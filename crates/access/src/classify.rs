@@ -1,0 +1,131 @@
+//! The four-class accessibility classification (paper §III-D).
+//!
+//! "low MAC and low ACSD receives a class best; high MAC and low ACSD
+//! receives a class worst; low MAC and high ACSD receives a class mostly
+//! good; high MAC and high ACSD receives a class mostly bad. Low means
+//! below average, high means above average."
+//!
+//! (Note the paper's quirk: "worst" is high MAC with *low* variation — a
+//! zone that is reliably badly served.)
+
+use crate::measures::{city_mean, ZoneMeasures};
+use serde::{Deserialize, Serialize};
+
+/// The four accessibility classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessClass {
+    /// Low MAC, low ACSD: reliably good access.
+    Best,
+    /// Low MAC, high ACSD: good on average, schedule-dependent.
+    MostlyGood,
+    /// High MAC, high ACSD: poor on average, occasionally better.
+    MostlyBad,
+    /// High MAC, low ACSD: reliably poor access.
+    Worst,
+}
+
+impl AccessClass {
+    /// Classification rule given the city-wide averages.
+    pub fn classify(mac: f64, acsd: f64, mean_mac: f64, mean_acsd: f64) -> AccessClass {
+        match (mac <= mean_mac, acsd <= mean_acsd) {
+            (true, true) => AccessClass::Best,
+            (true, false) => AccessClass::MostlyGood,
+            (false, false) => AccessClass::MostlyBad,
+            (false, true) => AccessClass::Worst,
+        }
+    }
+
+    /// Report label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            AccessClass::Best => "best",
+            AccessClass::MostlyGood => "mostly good",
+            AccessClass::MostlyBad => "mostly bad",
+            AccessClass::Worst => "worst",
+        }
+    }
+}
+
+impl std::fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classifies every zone against the city-wide means **of the given set**.
+///
+/// When evaluating predictions, pass reference means from the ground truth
+/// (`means_from`) so predicted and true classes share a threshold; the paper
+/// evaluates classification accuracy this way — class boundaries are a
+/// property of the city, not of the model output.
+pub fn classify_all(
+    measures: &[ZoneMeasures],
+    reference_means: Option<(f64, f64)>,
+) -> Vec<(staq_synth::ZoneId, AccessClass)> {
+    let (mean_mac, mean_acsd) = reference_means.unwrap_or_else(|| means_from(measures));
+    measures
+        .iter()
+        .map(|m| (m.zone, AccessClass::classify(m.mac, m.acsd, mean_mac, mean_acsd)))
+        .collect()
+}
+
+/// City-wide (mean MAC, mean ACSD) of a measure set.
+pub fn means_from(measures: &[ZoneMeasures]) -> (f64, f64) {
+    (city_mean(measures, |m| m.mac), city_mean(measures, |m| m.acsd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staq_synth::ZoneId;
+
+    fn mk(zone: u32, mac: f64, acsd: f64) -> ZoneMeasures {
+        ZoneMeasures { zone: ZoneId(zone), mac, acsd }
+    }
+
+    #[test]
+    fn four_quadrants() {
+        assert_eq!(AccessClass::classify(1.0, 1.0, 5.0, 5.0), AccessClass::Best);
+        assert_eq!(AccessClass::classify(1.0, 9.0, 5.0, 5.0), AccessClass::MostlyGood);
+        assert_eq!(AccessClass::classify(9.0, 9.0, 5.0, 5.0), AccessClass::MostlyBad);
+        assert_eq!(AccessClass::classify(9.0, 1.0, 5.0, 5.0), AccessClass::Worst);
+    }
+
+    #[test]
+    fn boundary_counts_as_low() {
+        assert_eq!(AccessClass::classify(5.0, 5.0, 5.0, 5.0), AccessClass::Best);
+    }
+
+    #[test]
+    fn classify_all_with_own_means() {
+        let ms = vec![mk(0, 10.0, 1.0), mk(1, 30.0, 1.0), mk(2, 10.0, 9.0), mk(3, 30.0, 9.0)];
+        let classes = classify_all(&ms, None);
+        assert_eq!(classes[0].1, AccessClass::Best);
+        assert_eq!(classes[1].1, AccessClass::Worst);
+        assert_eq!(classes[2].1, AccessClass::MostlyGood);
+        assert_eq!(classes[3].1, AccessClass::MostlyBad);
+    }
+
+    #[test]
+    fn reference_means_shift_classes() {
+        let ms = vec![mk(0, 10.0, 1.0)];
+        let own = classify_all(&ms, None);
+        assert_eq!(own[0].1, AccessClass::Best);
+        let reference = classify_all(&ms, Some((5.0, 0.5)));
+        assert_eq!(reference[0].1, AccessClass::MostlyBad);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> = [
+            AccessClass::Best,
+            AccessClass::MostlyGood,
+            AccessClass::MostlyBad,
+            AccessClass::Worst,
+        ]
+        .iter()
+        .map(|c| c.label())
+        .collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,207 @@
+//! Fairness index over access costs (paper §III-D).
+//!
+//! Jain's index (Jain, Chiu & Hawe 1984, developed for computer-network
+//! resource allocation): for allocations `x_i`,
+//! `J = (Σx)² / (n·Σx²) ∈ [1/n, 1]` — 1 when everyone receives the same,
+//! 1/n when one zone receives everything. Because MAC is a *cost* (lower is
+//! better), the index is computed over costs directly: equal costs across
+//! zones score 1 regardless of their level; a city where a few zones bear
+//! wildly higher costs scores low.
+
+use crate::measures::ZoneMeasures;
+
+/// Jain's fairness index of a non-negative allocation. Returns 1.0 for an
+/// empty or all-zero slice (nothing is unequally distributed).
+pub fn jain_index(values: &[f64]) -> f64 {
+    debug_assert!(values.iter().all(|v| *v >= 0.0), "Jain over negative values");
+    let n = values.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sq)
+}
+
+/// Demographic-weighted Jain index: zone `i` contributes with multiplicity
+/// proportional to `weights[i]` (e.g. vulnerable population), asking "is
+/// access fairly distributed over *people in this group*", not over zones.
+///
+/// Implemented as the weighted generalization
+/// `J = (Σ wᵢxᵢ)² / (Σwᵢ · Σ wᵢxᵢ²)`.
+pub fn weighted_jain_index(values: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(values.len(), weights.len(), "weighted Jain length mismatch");
+    debug_assert!(weights.iter().all(|w| *w >= 0.0));
+    let wsum: f64 = weights.iter().sum();
+    if wsum <= 0.0 {
+        return 1.0;
+    }
+    let s1: f64 = values.iter().zip(weights).map(|(x, w)| w * x).sum();
+    let s2: f64 = values.iter().zip(weights).map(|(x, w)| w * x * x).sum();
+    if s2 <= 0.0 {
+        return 1.0;
+    }
+    (s1 * s1) / (wsum * s2)
+}
+
+/// Jain index over a measure set's MAC column — the paper's fairness
+/// measure.
+pub fn fairness_of(measures: &[ZoneMeasures]) -> f64 {
+    let macs: Vec<f64> = measures.iter().map(|m| m.mac).collect();
+    jain_index(&macs)
+}
+
+/// Gini coefficient of a non-negative allocation, in `[0, 1)`: 0 for
+/// perfect equality. Included as an alternative inequality measure —
+/// transport-equity studies report it alongside Jain — computed with the
+/// standard mean-absolute-difference formula.
+pub fn gini(values: &[f64]) -> f64 {
+    debug_assert!(values.iter().all(|v| *v >= 0.0), "Gini over negative values");
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean: f64 = values.iter().sum::<f64>() / n as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // G = (2 Σ i·x_(i) / (n Σ x)) − (n + 1)/n, with 1-based ranks.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * n as f64 * mean) - (n as f64 + 1.0) / n as f64
+}
+
+/// Palma ratio over access *costs*: mean cost borne by the worst-served 10%
+/// of zones divided by the mean cost of the best-served 40%. Values near 1
+/// mean the tails fare alike; large values flag a badly-served minority
+/// (the job-access equity measure of Liu et al., cited by the paper).
+pub fn palma_ratio(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let k40 = ((n as f64 * 0.4).round() as usize).max(1);
+    let k10 = ((n as f64 * 0.1).round() as usize).max(1);
+    let best40: f64 = sorted[..k40].iter().sum::<f64>() / k40 as f64;
+    let worst10: f64 = sorted[n - k10..].iter().sum::<f64>() / k10 as f64;
+    if best40 <= 0.0 {
+        return 1.0;
+    }
+    worst10 / best40
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_allocation_scores_one() {
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn single_hog_scores_one_over_n() {
+        let j = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_is_scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 3.0]);
+        let b = jain_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_hold() {
+        let vals = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let j = jain_index(&vals);
+        assert!(j > 1.0 / vals.len() as f64 && j <= 1.0);
+    }
+
+    #[test]
+    fn weighted_reduces_to_unweighted_with_unit_weights() {
+        let vals = [2.0, 7.0, 4.0];
+        let w = [1.0, 1.0, 1.0];
+        assert!((weighted_jain_index(&vals, &w) - jain_index(&vals)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_focus_the_index() {
+        // Unequal values, but all the weight sits on equal-valued zones:
+        // perfectly fair for the weighted group.
+        let vals = [5.0, 5.0, 50.0];
+        let w = [1.0, 1.0, 0.0];
+        assert!((weighted_jain_index(&vals, &w) - 1.0).abs() < 1e-12);
+        // Weight on the unequal pair drops the index.
+        let w2 = [1.0, 0.0, 1.0];
+        assert!(weighted_jain_index(&vals, &w2) < 0.7);
+    }
+
+    #[test]
+    fn zero_weights_return_one() {
+        assert_eq!(weighted_jain_index(&[1.0, 2.0], &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn gini_equality_and_extremes() {
+        assert_eq!(gini(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+        // One hog among many approaches (n-1)/n.
+        let g = gini(&[0.0, 0.0, 0.0, 0.0, 100.0]);
+        assert!((g - 0.8).abs() < 1e-12, "got {g}");
+    }
+
+    #[test]
+    fn gini_scale_invariant_and_bounded() {
+        let a = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let scaled: Vec<f64> = a.iter().map(|v| v * 7.0).collect();
+        assert!((gini(&a) - gini(&scaled)).abs() < 1e-12);
+        assert!(gini(&a) >= 0.0 && gini(&a) < 1.0);
+    }
+
+    #[test]
+    fn gini_and_jain_agree_on_direction() {
+        let fair = [10.0, 10.0, 10.0, 11.0];
+        let unfair = [1.0, 1.0, 1.0, 50.0];
+        assert!(gini(&fair) < gini(&unfair));
+        assert!(jain_index(&fair) > jain_index(&unfair));
+    }
+
+    #[test]
+    fn palma_equality_is_one() {
+        assert!((palma_ratio(&[5.0; 10]) - 1.0).abs() < 1e-12);
+        assert_eq!(palma_ratio(&[]), 1.0);
+    }
+
+    #[test]
+    fn palma_flags_bad_tail() {
+        // Nine zones at cost 10, one at cost 100: worst decile / best 40%.
+        let mut v = vec![10.0; 9];
+        v.push(100.0);
+        assert!((palma_ratio(&v) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_of_measures() {
+        use staq_synth::ZoneId;
+        let ms = vec![
+            ZoneMeasures { zone: ZoneId(0), mac: 10.0, acsd: 0.0 },
+            ZoneMeasures { zone: ZoneId(1), mac: 10.0, acsd: 0.0 },
+        ];
+        assert!((fairness_of(&ms) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,26 @@
+//! # staq-access
+//!
+//! Accessibility measures and dynamic access queries (paper §III).
+//!
+//! Once the TODAM is labeled (every zone has a mean access cost and its
+//! standard deviation), this crate turns those per-zone statistics into the
+//! paper's measures and answers the four analytical queries its
+//! introduction motivates:
+//!
+//! * **MAC** — mean access cost per zone (Eq. 2).
+//! * **ACSD** — access-cost standard deviation (temporal variation).
+//! * **AC** — the four-class accessibility classification
+//!   (best / mostly good / mostly bad / worst, §III-D).
+//! * **Fairness index** — Jain's index over MAC, optionally weighted by
+//!   zone demographics.
+//! * [`query::AccessQuery`] — the analytical query types themselves.
+
+pub mod classify;
+pub mod fairness;
+pub mod measures;
+pub mod query;
+
+pub use classify::{classify_all, AccessClass};
+pub use fairness::{gini, jain_index, palma_ratio, weighted_jain_index};
+pub use measures::ZoneMeasures;
+pub use query::{AccessQuery, DemographicWeight, QueryAnswer};

@@ -1,0 +1,78 @@
+//! Property tests for the access measures: fairness-index bounds,
+//! classification totality, and query/answer coherence.
+
+use proptest::prelude::*;
+use staq_access::{classify, fairness, ZoneMeasures};
+use staq_synth::ZoneId;
+
+fn measures(max: usize) -> impl Strategy<Value = Vec<ZoneMeasures>> {
+    proptest::collection::vec((0.1f64..200.0, 0.0f64..50.0), 1..max).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (mac, acsd))| ZoneMeasures { zone: ZoneId(i as u32), mac, acsd })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn jain_is_bounded_by_one_over_n_and_one(ms in measures(40)) {
+        let vals: Vec<f64> = ms.iter().map(|m| m.mac).collect();
+        let j = fairness::jain_index(&vals);
+        prop_assert!(j <= 1.0 + 1e-12);
+        prop_assert!(j >= 1.0 / vals.len() as f64 - 1e-12);
+    }
+
+    #[test]
+    fn jain_scale_invariance(ms in measures(30), k in 0.1f64..50.0) {
+        let vals: Vec<f64> = ms.iter().map(|m| m.mac).collect();
+        let scaled: Vec<f64> = vals.iter().map(|v| v * k).collect();
+        prop_assert!((fairness::jain_index(&vals) - fairness::jain_index(&scaled)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_and_jain_move_oppositely_under_concentration(ms in measures(20)) {
+        // Concentrating all cost on one zone reduces Jain and raises Gini
+        // relative to the original allocation (strictly, unless already
+        // maximally concentrated).
+        let vals: Vec<f64> = ms.iter().map(|m| m.mac).collect();
+        if vals.len() < 3 {
+            return Ok(());
+        }
+        let total: f64 = vals.iter().sum();
+        let mut spike = vec![0.0; vals.len()];
+        spike[0] = total;
+        prop_assert!(fairness::jain_index(&spike) <= fairness::jain_index(&vals) + 1e-12);
+        prop_assert!(fairness::gini(&spike) + 1e-12 >= fairness::gini(&vals));
+    }
+
+    #[test]
+    fn weighted_jain_matches_unweighted_at_unit_weights(ms in measures(25)) {
+        let vals: Vec<f64> = ms.iter().map(|m| m.mac).collect();
+        let w = vec![1.0; vals.len()];
+        prop_assert!(
+            (fairness::weighted_jain_index(&vals, &w) - fairness::jain_index(&vals)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn classification_is_total_and_consistent(ms in measures(40)) {
+        let classes = classify::classify_all(&ms, None);
+        prop_assert_eq!(classes.len(), ms.len());
+        let (mean_mac, mean_acsd) = classify::means_from(&ms);
+        for ((z, c), m) in classes.iter().zip(&ms) {
+            prop_assert_eq!(*z, m.zone);
+            let expect = classify::AccessClass::classify(m.mac, m.acsd, mean_mac, mean_acsd);
+            prop_assert_eq!(*c, expect);
+        }
+    }
+
+    #[test]
+    fn palma_at_least_one_for_sorted_costs(ms in measures(30)) {
+        // Worst decile mean >= best-40% mean by definition of sorted tails.
+        let vals: Vec<f64> = ms.iter().map(|m| m.mac).collect();
+        prop_assert!(fairness::palma_ratio(&vals) >= 1.0 - 1e-12);
+    }
+}

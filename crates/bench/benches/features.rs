@@ -1,0 +1,39 @@
+//! Online feature-generation cost per (z_i, p_j) pair — the paper analyzes
+//! this as O(|Z| log |Z| + h |Z|) (§IV-E).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use staq_gtfs::time::TimeInterval;
+use staq_hoptree::{aggregate, FeatureExtractor, HopTreeStore};
+use staq_road::IsochroneParams;
+use staq_synth::{City, CityConfig, PoiCategory, ZoneId};
+use staq_todam::TodamSpec;
+use std::hint::black_box;
+
+fn bench_features(c: &mut Criterion) {
+    let city = City::generate(&CityConfig::small(42));
+    let store = HopTreeStore::build(&city, &TimeInterval::am_peak(), &IsochroneParams::default());
+    let fx = FeatureExtractor::new(&city, &store);
+    let m = TodamSpec::default().build(&city, PoiCategory::School);
+    let poi = *city.pois_of(PoiCategory::School)[0];
+
+    let mut g = c.benchmark_group("features");
+    g.sample_size(20);
+    let mut z = 0u32;
+    g.bench_function("od_feature_vector", |b| {
+        b.iter(|| {
+            z = (z + 1) % city.n_zones() as u32;
+            black_box(fx.features(ZoneId(z), &poi.pos, poi.zone))
+        })
+    });
+    let mut z = 0u32;
+    g.bench_function("origin_aggregated_features", |b| {
+        b.iter(|| {
+            z = (z + 1) % city.n_zones() as u32;
+            black_box(aggregate::origin_features(&fx, &city, &m, ZoneId(z)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Offline artifact cost: hop-tree store construction (isochrones + both
+//! tree families for every zone) — the paper's precomputation step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use staq_gtfs::time::TimeInterval;
+use staq_hoptree::HopTreeStore;
+use staq_road::IsochroneParams;
+use staq_synth::{City, CityConfig};
+use std::hint::black_box;
+
+fn bench_store_build(c: &mut Criterion) {
+    let city = City::generate(&CityConfig::small(42));
+    let v = TimeInterval::am_peak();
+    let params = IsochroneParams::default();
+
+    let mut g = c.benchmark_group("hoptree");
+    g.sample_size(10);
+    g.bench_function("store_build_120_zones", |b| {
+        b.iter(|| black_box(HopTreeStore::build(&city, &v, &params)))
+    });
+
+    let store = HopTreeStore::build(&city, &v, &params);
+    g.bench_function("rebuild_8_zones_incremental", |b| {
+        let zones: Vec<_> = (0..8u32).map(staq_synth::ZoneId).collect();
+        b.iter_batched(
+            || store_clone(&city, &v, &params),
+            |mut s| s.rebuild_zones(&city, &zones),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+    drop(store);
+}
+
+fn store_clone(city: &City, v: &TimeInterval, p: &IsochroneParams) -> HopTreeStore {
+    HopTreeStore::build(city, v, p)
+}
+
+criterion_group!(benches, bench_store_build);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Labeling throughput: SPQ-labeling one zone's trips — the dominant cost
+//! of the whole solution (§IV-E), and what β directly scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use staq_gtfs::time::TimeInterval;
+use staq_synth::{City, CityConfig, PoiCategory, ZoneId};
+use staq_todam::{LabelEngine, TodamSpec};
+use staq_transit::AccessCost;
+use std::hint::black_box;
+
+fn bench_labeling(c: &mut Criterion) {
+    let city = City::generate(&CityConfig::small(42));
+    let spec = TodamSpec { per_hour: 5, ..Default::default() };
+    let m = spec.build(&city, PoiCategory::School);
+    let engine = LabelEngine::new(&city, AccessCost::jt(), spec.interval.clone());
+    // A zone with a healthy trip count.
+    let zone = (0..city.n_zones() as u32)
+        .map(ZoneId)
+        .max_by_key(|&z| m.zone_trips(z).len())
+        .unwrap();
+
+    let mut g = c.benchmark_group("labeling");
+    g.sample_size(10);
+    g.bench_function(format!("label_zone_{}_trips", m.zone_trips(zone).len()), |b| {
+        b.iter(|| black_box(engine.label_zone(&m, zone)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_labeling);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Model training cost: fit+infer time of each SSR model on an
+//! origin-level-sized problem (hundreds of rows, 19 features).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use staq_ml::{Matrix, ModelKind, SparseAdj, SsrTask};
+use std::hint::black_box;
+
+/// A synthetic spatial regression problem shaped like the pipeline's.
+fn problem(n_l: usize, n_u: usize) -> (Vec<(f64, f64)>, Matrix, Matrix, Matrix) {
+    let n = n_l + n_u;
+    let mut coords = Vec::with_capacity(n);
+    let mut x = Matrix::zeros(n, 19);
+    let mut y = Matrix::zeros(n_l, 2);
+    let mut s = 99u64;
+    let mut rnd = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (s >> 33) as f64 / u32::MAX as f64
+    };
+    for i in 0..n {
+        let (cx, cy) = (rnd() * 4000.0, rnd() * 4000.0);
+        coords.push((cx, cy));
+        for j in 0..19 {
+            x[(i, j)] = (cx / 500.0).sin() * (j as f64 + 1.0) + rnd() * 0.2;
+        }
+        if i < n_l {
+            y[(i, 0)] = 20.0 + (cx / 700.0).cos() * 8.0 + rnd();
+            y[(i, 1)] = 4.0 + (cy / 900.0).sin() * 2.0 + rnd() * 0.5;
+        }
+    }
+    let xl = x.select_rows(&(0..n_l).collect::<Vec<_>>());
+    let xu = x.select_rows(&(n_l..n).collect::<Vec<_>>());
+    (coords, xl, y, xu)
+}
+
+fn bench_models(c: &mut Criterion) {
+    let (coords, xl, yl, xu) = problem(40, 160);
+    let adj = SparseAdj::gaussian_threshold(&coords, 12, 1e-4, None);
+
+    let mut g = c.benchmark_group("ml_models");
+    g.sample_size(10);
+    for kind in ModelKind::ALL {
+        let task = SsrTask {
+            x_labeled: &xl,
+            y_labeled: &yl,
+            x_unlabeled: &xu,
+            adjacency: Some(&adj),
+            seed: 5,
+        };
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| black_box(kind.build().fit_predict(&task)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end: the full SSR pipeline vs naive full labeling on a small city
+//! — the headline Table II comparison as a micro-benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use staq_core::{NaiveResult, OfflineArtifacts, PipelineConfig, SsrPipeline};
+use staq_gtfs::time::TimeInterval;
+use staq_ml::ModelKind;
+use staq_road::IsochroneParams;
+use staq_synth::{City, CityConfig, PoiCategory};
+use staq_todam::TodamSpec;
+use staq_transit::CostKind;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let city = City::generate(&CityConfig::small(42));
+    let spec = TodamSpec { per_hour: 4, ..Default::default() };
+    let artifacts =
+        OfflineArtifacts::build(&city, &TimeInterval::am_peak(), &IsochroneParams::default());
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("naive_full_labeling", |b| {
+        b.iter(|| {
+            black_box(NaiveResult::compute(&city, &spec, PoiCategory::School, CostKind::Jt))
+        })
+    });
+    for beta in [0.03, 0.1, 0.3] {
+        g.bench_function(format!("ssr_beta_{beta}"), |b| {
+            let cfg = PipelineConfig {
+                beta,
+                model: ModelKind::Ols, // cheapest model isolates the labeling saving
+                cost: CostKind::Jt,
+                todam: spec.clone(),
+                ..Default::default()
+            };
+            b.iter(|| {
+                black_box(
+                    SsrPipeline::new(&city, &artifacts, cfg.clone()).run(PoiCategory::School),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! SPQ latency: RAPTOR vs the time-dependent Dijkstra baseline — the cost
+//! the paper reports as 0.018±0.016 s per query on its real network, and
+//! the router ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use staq_gtfs::time::{DayOfWeek, Stime};
+use staq_synth::{City, CityConfig};
+use staq_transit::{mmdijkstra, Raptor, TransitNetwork};
+use std::hint::black_box;
+
+fn bench_routers(c: &mut Criterion) {
+    let city = City::generate(&CityConfig::small(42));
+    let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+    let raptor = Raptor::new(&net);
+    let pairs: Vec<_> = (0..16)
+        .map(|i| {
+            (
+                city.zones[(i * 7) % city.n_zones()].centroid,
+                city.zones[(i * 13 + 5) % city.n_zones()].centroid,
+            )
+        })
+        .collect();
+    let depart = Stime::hms(7, 30, 0);
+
+    let mut g = c.benchmark_group("router");
+    g.sample_size(10);
+    let mut k = 0;
+    g.bench_function("raptor_spq", |b| {
+        b.iter(|| {
+            let (o, d) = pairs[k % pairs.len()];
+            k += 1;
+            black_box(raptor.query(&o, &d, depart, DayOfWeek::Tuesday))
+        })
+    });
+    let mut k = 0;
+    g.bench_function("mmdijkstra_spq", |b| {
+        b.iter(|| {
+            let (o, d) = pairs[k % pairs.len()];
+            k += 1;
+            black_box(mmdijkstra::earliest_arrival(&net, &o, &d, depart, DayOfWeek::Tuesday))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_routers);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! **Ablations** — the design-choice studies DESIGN.md calls out, beyond
+//! the paper's headline tables:
+//!
+//! 1. sampling strategy: random (paper) vs spatial-coverage k-center
+//!    (paper's future-work suggestion);
+//! 2. feature set: full vs no-interchange-features vs h = 1 hop chaining;
+//! 3. fairness measures: Jain (paper) vs Gini vs Palma on the same truth.
+//!
+//! ```text
+//! cargo run --release -p staq-bench --bin ablation -- --scale 0.06
+//! ```
+
+use staq_bench::{birmingham, BenchArgs, CsvOut};
+use staq_core::{
+    evaluate, NaiveResult, OfflineArtifacts, PipelineConfig, SamplingStrategy, SsrPipeline,
+};
+use staq_ml::ModelKind;
+use staq_synth::PoiCategory;
+use staq_todam::TodamSpec;
+use staq_transit::CostKind;
+
+fn main() {
+    let args = BenchArgs::parse_with_default(BenchArgs { scale: 0.06, ..Default::default() });
+    let spec = TodamSpec { per_hour: 5, ..Default::default() };
+    let city = birmingham(&args);
+    let artifacts =
+        OfflineArtifacts::build(&city, &spec.interval, &staq_road::IsochroneParams::default());
+    let category = PoiCategory::School;
+    let truth = NaiveResult::compute(&city, &spec, category, CostKind::Jt);
+    let mut csv = CsvOut::new(&["ablation", "variant", "beta", "mac_mae", "mac_corr"]);
+
+    let base = |beta: f64| PipelineConfig {
+        beta,
+        model: ModelKind::Mlp,
+        cost: CostKind::Jt,
+        todam: spec.clone(),
+        seed: args.seed,
+        ..Default::default()
+    };
+
+    println!("== Ablations (Birmingham analogue, scale {}, schools) ==", args.scale);
+
+    // 1. Sampling strategy across budgets.
+    println!("\n-- sampling strategy (JT MAE / MAC corr) --");
+    println!("{:>6} {:>18} {:>18}", "beta%", "random", "spatial-coverage");
+    for beta in [0.03, 0.05, 0.10] {
+        let mut cells = Vec::new();
+        for (name, strat) in [
+            ("random", SamplingStrategy::Random),
+            ("coverage", SamplingStrategy::SpatialCoverage),
+        ] {
+            let cfg = PipelineConfig { sampling: strat, ..base(beta) };
+            let r = evaluate(&truth, &SsrPipeline::new(&city, &artifacts, cfg).run(category));
+            cells.push(format!("{:>8.2} / {:>5.3}", r.mac_mae, r.mac_corr));
+            csv.row(&[
+                "sampling".into(),
+                name.into(),
+                format!("{beta}"),
+                format!("{:.4}", r.mac_mae),
+                format!("{:.4}", r.mac_corr),
+            ]);
+        }
+        println!("{:>6.0} {:>18} {:>18}", beta * 100.0, cells[0], cells[1]);
+    }
+
+    // 2. Feature-set ablation at a fixed budget.
+    println!("\n-- feature set (beta = 10%) --");
+    for (name, interchanges, hops) in [
+        ("full (h=2 + interchanges)", true, 2usize),
+        ("no interchange features", false, 2),
+        ("h = 1 hop only", true, 1),
+        ("minimal (h=1, no interchanges)", false, 1),
+    ] {
+        let cfg = PipelineConfig {
+            use_interchange_features: interchanges,
+            max_hops: hops,
+            ..base(0.10)
+        };
+        let r = evaluate(&truth, &SsrPipeline::new(&city, &artifacts, cfg).run(category));
+        println!("{:<32} MAE {:>6.2}  corr {:>6.3}", name, r.mac_mae, r.mac_corr);
+        csv.row(&[
+            "features".into(),
+            name.into(),
+            "0.1".into(),
+            format!("{:.4}", r.mac_mae),
+            format!("{:.4}", r.mac_corr),
+        ]);
+    }
+
+    // 3. Fairness measures on the ground truth.
+    println!("\n-- fairness measures over ground-truth MAC --");
+    let macs: Vec<f64> = truth.measures.iter().map(|m| m.mac).collect();
+    let jain = staq_access::jain_index(&macs);
+    let gini = staq_access::gini(&macs);
+    let palma = staq_access::palma_ratio(&macs);
+    println!("Jain {jain:.4}   Gini {gini:.4}   Palma {palma:.3}");
+    csv.row(&["fairness".into(), "jain".into(), "-".into(), format!("{jain:.5}"), "-".into()]);
+    csv.row(&["fairness".into(), "gini".into(), "-".into(), format!("{gini:.5}"), "-".into()]);
+    csv.row(&["fairness".into(), "palma".into(), "-".into(), format!("{palma:.5}"), "-".into()]);
+
+    csv.maybe_write(&args.out);
+}

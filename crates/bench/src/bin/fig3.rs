@@ -1,0 +1,86 @@
+//! **Fig. 3** — journey-time (JT) mean absolute errors of the SSR solution,
+//! per model × labeling budget β × POI type × city.
+//!
+//! ```text
+//! cargo run --release -p staq-bench --bin fig3 -- --scale 0.06
+//! cargo run --release -p staq-bench --bin fig3 -- --quick   # MLP/OLS, 3 betas
+//! ```
+//!
+//! Paper shape to verify: MLP best overall; OLS competitive at high β but
+//! erratic at low β; COREG/MT/GNN not competitive; errors grow as β shrinks;
+//! the larger city (Birmingham) tolerates lower budgets.
+
+use staq_bench::{birmingham, coventry, BenchArgs, CsvOut};
+use staq_core::{evaluate, NaiveResult, OfflineArtifacts, PipelineConfig, SsrPipeline};
+use staq_ml::ModelKind;
+use staq_synth::{City, PoiCategory};
+use staq_todam::TodamSpec;
+use staq_transit::CostKind;
+
+fn main() {
+    let args = BenchArgs::parse_with_default(BenchArgs { scale: 0.06, ..Default::default() });
+    let betas: &[f64] = if args.quick { &[0.05, 0.1, 0.3] } else { &PipelineConfig::BETA_SWEEP };
+    let models: &[ModelKind] =
+        if args.quick { &[ModelKind::Ols, ModelKind::Mlp] } else { &ModelKind::ALL };
+    let spec = TodamSpec { per_hour: 5, ..Default::default() };
+
+    let mut csv = CsvOut::new(&["city", "category", "model", "beta", "jt_mae_min", "mac_corr"]);
+    println!("== Fig. 3: JT errors of the SSR solution (scale {}) ==", args.scale);
+
+    for city in [birmingham(&args), coventry(&args)] {
+        run_city(&city, &spec, betas, models, args.seed, &mut csv);
+    }
+    csv.maybe_write(&args.out);
+}
+
+fn run_city(
+    city: &City,
+    spec: &TodamSpec,
+    betas: &[f64],
+    models: &[ModelKind],
+    seed: u64,
+    csv: &mut CsvOut,
+) {
+    let artifacts =
+        OfflineArtifacts::build(city, &spec.interval, &staq_road::IsochroneParams::default());
+    for category in PoiCategory::ALL {
+        let truth = NaiveResult::compute(city, spec, category, CostKind::Jt);
+        println!(
+            "\n{} / {}  (|Z|={}, gravity trips={})",
+            city.config.name,
+            category,
+            city.n_zones(),
+            truth.n_trips
+        );
+        print!("{:>7}", "beta");
+        for m in models {
+            print!("  {:>7}", m.label());
+        }
+        println!();
+        for &beta in betas {
+            print!("{:>6}%", (beta * 100.0).round());
+            for &model in models {
+                let cfg = PipelineConfig {
+                    beta,
+                    model,
+                    cost: CostKind::Jt,
+                    todam: spec.clone(),
+                    seed,
+                    ..Default::default()
+                };
+                let result = SsrPipeline::new(city, &artifacts, cfg).run(category);
+                let report = evaluate(&truth, &result);
+                print!("  {:>7.2}", report.mac_mae);
+                csv.row(&[
+                    city.config.name.clone(),
+                    category.label().to_string(),
+                    model.label().to_string(),
+                    format!("{beta}"),
+                    format!("{:.4}", report.mac_mae),
+                    format!("{:.4}", report.mac_corr),
+                ]);
+            }
+            println!();
+        }
+    }
+}

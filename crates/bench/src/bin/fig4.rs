@@ -1,0 +1,85 @@
+//! **Fig. 4** — GAC performance on vaccination centers: MAC correlation,
+//! ACSD correlation, classification accuracy and fairness-index error per
+//! model × β × city.
+//!
+//! ```text
+//! cargo run --release -p staq-bench --bin fig4 -- --scale 0.06
+//! ```
+//!
+//! Paper shape to verify: MAC corr high and robust (MLP best); ACSD corr
+//! less reliable and dropping at low β (walk-only-trip effect, stronger in
+//! Coventry); accuracy > 50–60 % for MLP at β ≥ 5 % in Birmingham; FIE low
+//! everywhere.
+
+use staq_bench::{birmingham, coventry, BenchArgs, CsvOut};
+use staq_core::{evaluate, NaiveResult, OfflineArtifacts, PipelineConfig, SsrPipeline};
+use staq_ml::ModelKind;
+use staq_synth::PoiCategory;
+use staq_todam::TodamSpec;
+use staq_transit::CostKind;
+
+fn main() {
+    let args = BenchArgs::parse_with_default(BenchArgs { scale: 0.06, ..Default::default() });
+    let betas: &[f64] = if args.quick { &[0.05, 0.1, 0.3] } else { &PipelineConfig::BETA_SWEEP };
+    let models: &[ModelKind] =
+        if args.quick { &[ModelKind::Ols, ModelKind::Mlp] } else { &ModelKind::ALL };
+    let spec = TodamSpec { per_hour: 5, ..Default::default() };
+    let category = PoiCategory::VaxCenter;
+
+    let mut csv = CsvOut::new(&[
+        "city", "model", "beta", "mac_corr", "acsd_corr", "accuracy", "fie",
+    ]);
+    println!("== Fig. 4: GAC performance, vaccination centers (scale {}) ==", args.scale);
+
+    for city in [birmingham(&args), coventry(&args)] {
+        let artifacts = OfflineArtifacts::build(
+            &city,
+            &spec.interval,
+            &staq_road::IsochroneParams::default(),
+        );
+        let truth = NaiveResult::compute(&city, &spec, category, CostKind::Gac);
+        println!(
+            "\n{} (|Z|={}, gravity trips={})",
+            city.config.name,
+            city.n_zones(),
+            truth.n_trips
+        );
+        println!(
+            "{:>6} {:>6} {:>9} {:>10} {:>9} {:>8}",
+            "model", "beta%", "MAC corr", "ACSD corr", "accuracy", "FIE"
+        );
+        for &model in models {
+            for &beta in betas {
+                let cfg = PipelineConfig {
+                    beta,
+                    model,
+                    cost: CostKind::Gac,
+                    todam: spec.clone(),
+                    seed: args.seed,
+                    ..Default::default()
+                };
+                let result = SsrPipeline::new(&city, &artifacts, cfg).run(category);
+                let r = evaluate(&truth, &result);
+                println!(
+                    "{:>6} {:>6.0} {:>9.3} {:>10.3} {:>9.2} {:>8.4}",
+                    model.label(),
+                    beta * 100.0,
+                    r.mac_corr,
+                    r.acsd_corr,
+                    r.class_accuracy,
+                    r.fie
+                );
+                csv.row(&[
+                    city.config.name.clone(),
+                    model.label().to_string(),
+                    format!("{beta}"),
+                    format!("{:.4}", r.mac_corr),
+                    format!("{:.4}", r.acsd_corr),
+                    format!("{:.4}", r.class_accuracy),
+                    format!("{:.5}", r.fie),
+                ]);
+            }
+        }
+    }
+    csv.maybe_write(&args.out);
+}

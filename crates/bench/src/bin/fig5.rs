@@ -1,0 +1,71 @@
+//! **Fig. 5** — predicted GAC MAC mapped for vaccination centers
+//! (Birmingham at β = 3 %, Coventry at β = 10 %), rendered as an ASCII
+//! choropleth plus a per-zone CSV, with the ground-truth map alongside for
+//! visual comparison.
+//!
+//! ```text
+//! cargo run --release -p staq-bench --bin fig5 -- --scale 0.06 --out fig5.csv
+//! ```
+
+use staq_bench::{ascii_choropleth, birmingham, coventry, BenchArgs, CsvOut};
+use staq_core::{NaiveResult, OfflineArtifacts, PipelineConfig, SsrPipeline};
+use staq_ml::ModelKind;
+use staq_synth::{City, PoiCategory};
+use staq_todam::TodamSpec;
+use staq_transit::CostKind;
+
+fn main() {
+    let args = BenchArgs::parse_with_default(BenchArgs { scale: 0.06, ..Default::default() });
+    let spec = TodamSpec { per_hour: 5, ..Default::default() };
+    let mut csv = CsvOut::new(&["city", "zone", "x", "y", "mac_pred", "mac_truth"]);
+
+    println!("== Fig. 5: predicted GAC MAC, vaccination centers (scale {}) ==", args.scale);
+    render(&birmingham(&args), 0.03, &spec, &args, &mut csv);
+    render(&coventry(&args), 0.10, &spec, &args, &mut csv);
+    csv.maybe_write(&args.out);
+}
+
+fn render(city: &City, beta: f64, spec: &TodamSpec, args: &BenchArgs, csv: &mut CsvOut) {
+    let artifacts =
+        OfflineArtifacts::build(city, &spec.interval, &staq_road::IsochroneParams::default());
+    let truth = NaiveResult::compute(city, spec, PoiCategory::VaxCenter, CostKind::Gac);
+    let cfg = PipelineConfig {
+        beta,
+        model: ModelKind::Mlp,
+        cost: CostKind::Gac,
+        todam: spec.clone(),
+        seed: args.seed,
+        ..Default::default()
+    };
+    let result = SsrPipeline::new(city, &artifacts, cfg).run(PoiCategory::VaxCenter);
+
+    let pred: Vec<_> = result.predicted.iter().map(|m| (m.zone, m.mac)).collect();
+    let gt: Vec<_> = truth.measures.iter().map(|m| (m.zone, m.mac)).collect();
+    let (w, h) = (48, 20);
+    println!(
+        "\n{} (β = {:.0}%) — left: SSR prediction, right: ground truth (darker = worse access)",
+        city.config.name,
+        beta * 100.0
+    );
+    let left = ascii_choropleth(city, &pred, w, h);
+    let right = ascii_choropleth(city, &gt, w, h);
+    for (a, b) in left.lines().zip(right.lines()) {
+        println!("{a}   {b}");
+    }
+
+    let truth_by_zone: std::collections::HashMap<_, _> =
+        truth.measures.iter().map(|m| (m.zone, m.mac)).collect();
+    for m in &result.predicted {
+        let c = city.zone_centroid(m.zone);
+        csv.row(&[
+            city.config.name.clone(),
+            m.zone.0.to_string(),
+            format!("{:.1}", c.x),
+            format!("{:.1}", c.y),
+            format!("{:.3}", m.mac),
+            truth_by_zone
+                .get(&m.zone)
+                .map_or(String::new(), |v| format!("{v:.3}")),
+        ]);
+    }
+}

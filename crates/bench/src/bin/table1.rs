@@ -1,0 +1,46 @@
+//! **Table I** — full vs gravity matrix sizes and % reduction, for both
+//! cities and all four POI categories.
+//!
+//! ```text
+//! cargo run --release -p staq-bench --bin table1 -- --scale 0.25
+//! ```
+//!
+//! Matches the paper's pattern: larger POI sets thin more (Birmingham
+//! schools ≈ 98%), tiny sets barely thin (Coventry's two job centers ≈ 0%).
+
+use staq_bench::{birmingham, coventry, BenchArgs, CsvOut};
+use staq_todam::{MatrixStats, TodamSpec};
+
+fn main() {
+    let args = BenchArgs::parse_with_default(BenchArgs { scale: 0.25, ..Default::default() });
+    let spec = TodamSpec::default();
+
+    println!("== Table I: TODAM composition (scale {}) ==", args.scale);
+    println!(
+        "{:<11} {:<12} {:>6} {:>14} {:>12} {:>8}",
+        "City", "POI type", "|P|", "Full", "Gravity", "% Red."
+    );
+    let mut csv = CsvOut::new(&["city", "category", "n_pois", "full", "gravity", "reduction_pct"]);
+
+    for city in [birmingham(&args), coventry(&args)] {
+        let rows = MatrixStats::measure_all(&city, &spec);
+        for r in &rows {
+            println!(
+                "{:<11} {:<12} {:>6} {:>14} {:>12} {:>7.1}%",
+                r.city, r.category, r.n_pois, r.full, r.gravity, r.reduction_pct
+            );
+            csv.row(&[
+                r.city.clone(),
+                r.category.clone(),
+                r.n_pois.to_string(),
+                r.full.to_string(),
+                r.gravity.to_string(),
+                format!("{:.2}", r.reduction_pct),
+            ]);
+        }
+        let mean_red: f64 =
+            rows.iter().map(|r| r.reduction_pct).sum::<f64>() / rows.len() as f64;
+        println!("{:<11} mean reduction {:.1}%", rows[0].city, mean_red);
+    }
+    csv.maybe_write(&args.out);
+}

@@ -1,0 +1,88 @@
+//! The offline artifact bundle: built once per (city, interval), shared by
+//! every pipeline run and by the engine.
+
+use staq_gtfs::time::TimeInterval;
+use staq_hoptree::HopTreeStore;
+use staq_ml::SparseAdj;
+use staq_road::IsochroneParams;
+use staq_synth::City;
+use std::time::Instant;
+
+/// Precomputed structures for one `(city, interval)`.
+pub struct OfflineArtifacts {
+    /// Hop trees + isochrones + zone index.
+    pub store: HopTreeStore,
+    /// Gaussian-thresholded zone adjacency, in zone-id order (the GNN
+    /// permutes it into labeled-then-unlabeled order per run).
+    pub adjacency: SparseAdj,
+    /// Wall-clock seconds spent building (offline cost accounting).
+    pub build_secs: f64,
+}
+
+impl OfflineArtifacts {
+    /// Builds hop trees, isochrones and the zone adjacency.
+    pub fn build(city: &City, interval: &TimeInterval, params: &IsochroneParams) -> Self {
+        let t0 = Instant::now();
+        let store = HopTreeStore::build(city, interval, params);
+        let coords: Vec<(f64, f64)> =
+            city.zones.iter().map(|z| (z.centroid.x, z.centroid.y)).collect();
+        let adjacency = SparseAdj::gaussian_threshold(&coords, 12, 1e-4, None);
+        OfflineArtifacts { store, adjacency, build_secs: t0.elapsed().as_secs_f64() }
+    }
+
+    /// Persists the expensive part (hop trees) to `path`; see
+    /// [`staq_hoptree::persist`].
+    pub fn save_trees(&self, path: &std::path::Path) -> Result<(), String> {
+        staq_hoptree::persist::save(&self.store, path)
+    }
+
+    /// Loads previously saved trees instead of regenerating them; the
+    /// adjacency and isochrones are rebuilt from the city (cheap).
+    pub fn load_trees(city: &City, path: &std::path::Path) -> Result<Self, String> {
+        let t0 = Instant::now();
+        let store = staq_hoptree::persist::load(path, city)?;
+        let coords: Vec<(f64, f64)> =
+            city.zones.iter().map(|z| (z.centroid.x, z.centroid.y)).collect();
+        let adjacency = SparseAdj::gaussian_threshold(&coords, 12, 1e-4, None);
+        Ok(OfflineArtifacts { store, adjacency, build_secs: t0.elapsed().as_secs_f64() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staq_synth::CityConfig;
+
+    #[test]
+    fn trees_roundtrip_through_disk() {
+        let city = City::generate(&CityConfig::tiny(8));
+        let a = OfflineArtifacts::build(
+            &city,
+            &TimeInterval::am_peak(),
+            &IsochroneParams::default(),
+        );
+        let path = std::env::temp_dir().join(format!("staq_art_{}.txt", std::process::id()));
+        a.save_trees(&path).unwrap();
+        let b = OfflineArtifacts::load_trees(&city, &path).unwrap();
+        for z in 0..city.n_zones() as u32 {
+            let zid = staq_synth::ZoneId(z);
+            assert_eq!(a.store.outbound(zid), b.store.outbound(zid));
+            assert_eq!(a.store.inbound(zid), b.store.inbound(zid));
+        }
+        assert_eq!(a.adjacency, b.adjacency);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn builds_for_small_city() {
+        let city = City::generate(&CityConfig::small(42));
+        let a = OfflineArtifacts::build(
+            &city,
+            &TimeInterval::am_peak(),
+            &IsochroneParams::default(),
+        );
+        assert_eq!(a.store.n_zones(), city.n_zones());
+        assert_eq!(a.adjacency.n(), city.n_zones());
+        assert!(a.build_secs >= 0.0);
+    }
+}

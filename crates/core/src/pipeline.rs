@@ -1,0 +1,398 @@
+//! The SSR solution pipeline (paper Fig. 1 / §IV).
+//!
+//! Stages, each individually timed because Table II prices them:
+//!
+//! 1. **TODAM construction** — gravity-gated trip sampling.
+//! 2. **Feature extraction** — OD features from hop trees, α-aggregated to
+//!    the origin level.
+//! 3. **Sampling** — random β-fraction of zones into the labeled set `L`.
+//! 4. **Labeling** — real SPQs for `L`'s trips only.
+//! 5. **SSR** — train on `L`, infer `U`.
+
+use crate::artifacts::OfflineArtifacts;
+use crate::config::PipelineConfig;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use staq_access::ZoneMeasures;
+use staq_hoptree::{aggregate, FeatureExtractor, FEATURE_DIM};
+use staq_ml::{Matrix, SparseAdj, SsrTask};
+use staq_synth::{City, PoiCategory, ZoneId};
+use staq_todam::{LabelEngine, Todam, ZoneStats};
+use staq_transit::{AccessCost, CostKind};
+use std::time::Instant;
+
+/// Wall-clock seconds per stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    pub todam_secs: f64,
+    pub feature_secs: f64,
+    pub label_secs: f64,
+    pub train_secs: f64,
+}
+
+impl StageTimings {
+    /// End-to-end solution cost (Table II's "Solution Cost").
+    pub fn total(&self) -> f64 {
+        self.todam_secs + self.feature_secs + self.label_secs + self.train_secs
+    }
+}
+
+/// Output of one pipeline run.
+pub struct PipelineResult {
+    /// The gravity matrix used.
+    pub matrix: Todam,
+    /// Zones labeled with real SPQs.
+    pub labeled: Vec<ZoneId>,
+    /// Zones whose measures were inferred.
+    pub unlabeled: Vec<ZoneId>,
+    /// Ground-truth stats for the labeled zones (aligned with `labeled`).
+    pub labeled_stats: Vec<ZoneStats>,
+    /// Measures for every eligible zone — SPQ-labeled for `labeled`,
+    /// model-inferred for `unlabeled`.
+    pub predicted: Vec<ZoneMeasures>,
+    /// Trips actually routed (β of the matrix).
+    pub labeled_trips: usize,
+    pub timings: StageTimings,
+}
+
+impl PipelineResult {
+    /// Predicted measures of the unlabeled zones only (evaluation set).
+    pub fn predicted_unlabeled(&self) -> Vec<ZoneMeasures> {
+        let set: std::collections::HashSet<ZoneId> = self.unlabeled.iter().copied().collect();
+        self.predicted.iter().filter(|m| set.contains(&m.zone)).copied().collect()
+    }
+}
+
+/// The SSR pipeline bound to a city and its offline artifacts.
+pub struct SsrPipeline<'a> {
+    pub city: &'a City,
+    pub artifacts: &'a OfflineArtifacts,
+    pub config: PipelineConfig,
+}
+
+impl<'a> SsrPipeline<'a> {
+    /// Creates a pipeline; validates the configuration.
+    pub fn new(city: &'a City, artifacts: &'a OfflineArtifacts, config: PipelineConfig) -> Self {
+        config.validate().expect("invalid pipeline config");
+        SsrPipeline { city, artifacts, config }
+    }
+
+    /// Runs the full pipeline for one POI category.
+    pub fn run(&self, category: PoiCategory) -> PipelineResult {
+        let cfg = &self.config;
+
+        // 1. TODAM.
+        let t0 = Instant::now();
+        let matrix = cfg.todam.build(self.city, category);
+        let todam_secs = t0.elapsed().as_secs_f64();
+
+        // 2. Features for every zone (α-weighted origin level).
+        let t0 = Instant::now();
+        let mut fx = FeatureExtractor::new(self.city, &self.artifacts.store);
+        fx.use_interchanges = cfg.use_interchange_features;
+        fx.max_hops = cfg.max_hops;
+        let feats = aggregate::all_origin_features(&fx, self.city, &matrix);
+        let feature_secs = t0.elapsed().as_secs_f64();
+
+        // Eligible zones: have features and at least one trip to label.
+        let eligible: Vec<ZoneId> = (0..self.city.n_zones() as u32)
+            .map(ZoneId)
+            .filter(|&z| feats[z.idx()].is_some() && !matrix.zone_trips(z).is_empty())
+            .collect();
+        assert!(
+            eligible.len() >= 4,
+            "too few eligible zones ({}) for an SSR split",
+            eligible.len()
+        );
+
+        // 3. Draw L at budget β.
+        let n_l = ((eligible.len() as f64 * cfg.beta).ceil() as usize)
+            .clamp(2, eligible.len() - 1);
+        let labeled = match cfg.sampling {
+            crate::config::SamplingStrategy::Random => {
+                let mut order = eligible.clone();
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xBE7A);
+                order.shuffle(&mut rng);
+                order.truncate(n_l);
+                order
+            }
+            crate::config::SamplingStrategy::SpatialCoverage => {
+                farthest_point_sample(self.city, &eligible, n_l, cfg.seed)
+            }
+        };
+        let labeled_set: std::collections::HashSet<ZoneId> =
+            labeled.iter().copied().collect();
+        let unlabeled: Vec<ZoneId> =
+            eligible.iter().copied().filter(|z| !labeled_set.contains(z)).collect();
+
+        // 4. Label L with real SPQs.
+        let cost_model = match cfg.cost {
+            CostKind::Jt => AccessCost::jt(),
+            CostKind::Gac => AccessCost::gac(),
+        };
+        let engine = LabelEngine::new(self.city, cost_model, cfg.todam.interval.clone());
+        let t0 = Instant::now();
+        let stats = engine.label_zones(&matrix, &labeled);
+        let label_secs = t0.elapsed().as_secs_f64();
+        let labeled_trips = engine.trip_count(&matrix, &labeled);
+        // Eligibility guarantees trips, so every labeled zone has stats.
+        let labeled_stats: Vec<ZoneStats> = stats
+            .into_iter()
+            .map(|s| s.expect("eligible zone must label"))
+            .collect();
+
+        // 5. SSR train + infer.
+        let t0 = Instant::now();
+        let x_labeled = feature_matrix(&feats, &labeled);
+        let x_unlabeled = feature_matrix(&feats, &unlabeled);
+        let y_labeled = Matrix::from_rows(
+            &labeled_stats.iter().map(|s| vec![s.mac, s.acsd]).collect::<Vec<_>>(),
+        );
+        // GNN needs adjacency in L-then-U row order.
+        let adjacency = if cfg.model == staq_ml::ModelKind::Gnn {
+            let coords: Vec<(f64, f64)> = labeled
+                .iter()
+                .chain(&unlabeled)
+                .map(|z| {
+                    let c = self.city.zone_centroid(*z);
+                    (c.x, c.y)
+                })
+                .collect();
+            Some(SparseAdj::gaussian_threshold(&coords, 12, 1e-4, None))
+        } else {
+            None
+        };
+        let task = SsrTask {
+            x_labeled: &x_labeled,
+            y_labeled: &y_labeled,
+            x_unlabeled: &x_unlabeled,
+            adjacency: adjacency.as_ref(),
+            seed: cfg.seed,
+        };
+        let model = cfg.model.build();
+        let pred = model.fit_predict(&task);
+        let train_secs = t0.elapsed().as_secs_f64();
+
+        // Assemble: truth for L, inference for U (costs clamped to their
+        // physical domain: non-negative).
+        let mut predicted = Vec::with_capacity(eligible.len());
+        for (z, s) in labeled.iter().zip(&labeled_stats) {
+            predicted.push(ZoneMeasures { zone: *z, mac: s.mac, acsd: s.acsd });
+        }
+        for (k, z) in unlabeled.iter().enumerate() {
+            predicted.push(ZoneMeasures {
+                zone: *z,
+                mac: pred[(k, 0)].max(0.0),
+                acsd: pred[(k, 1)].max(0.0),
+            });
+        }
+        predicted.sort_by_key(|m| m.zone);
+
+        PipelineResult {
+            matrix,
+            labeled,
+            unlabeled,
+            labeled_stats,
+            predicted,
+            labeled_trips,
+            timings: StageTimings { todam_secs, feature_secs, label_secs, train_secs },
+        }
+    }
+}
+
+/// Greedy k-center sampling: start from the zone nearest the seed-chosen
+/// centroid, then repeatedly add the eligible zone farthest from the chosen
+/// set. Guarantees spatial coverage: every zone lies within the final
+/// covering radius of a labeled zone.
+fn farthest_point_sample(city: &City, eligible: &[ZoneId], k: usize, seed: u64) -> Vec<ZoneId> {
+    assert!(!eligible.is_empty());
+    let first = eligible[(seed as usize) % eligible.len()];
+    let mut chosen = vec![first];
+    // Distance from each eligible zone to the nearest chosen zone.
+    let mut dist: Vec<f64> = eligible
+        .iter()
+        .map(|&z| city.zone_centroid(z).dist(&city.zone_centroid(first)))
+        .collect();
+    while chosen.len() < k {
+        let (best_idx, _) = dist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("nonempty");
+        let next = eligible[best_idx];
+        chosen.push(next);
+        let np = city.zone_centroid(next);
+        for (d, &z) in dist.iter_mut().zip(eligible) {
+            *d = d.min(city.zone_centroid(z).dist(&np));
+        }
+    }
+    chosen
+}
+
+fn feature_matrix(
+    feats: &[Option<[f64; FEATURE_DIM]>],
+    zones: &[ZoneId],
+) -> Matrix {
+    Matrix::from_rows(
+        &zones
+            .iter()
+            .map(|z| feats[z.idx()].expect("eligible zone has features").to_vec())
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staq_gtfs::time::TimeInterval;
+    use staq_ml::ModelKind;
+    use staq_road::IsochroneParams;
+    use staq_synth::CityConfig;
+    use staq_todam::TodamSpec;
+
+    fn setup() -> (City, OfflineArtifacts) {
+        let city = City::generate(&CityConfig::small(42));
+        let artifacts = OfflineArtifacts::build(
+            &city,
+            &TimeInterval::am_peak(),
+            &IsochroneParams::default(),
+        );
+        (city, artifacts)
+    }
+
+    fn quick_config(beta: f64, model: ModelKind) -> PipelineConfig {
+        PipelineConfig {
+            beta,
+            model,
+            todam: TodamSpec { per_hour: 4, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_produces_full_coverage() {
+        let (city, artifacts) = setup();
+        let p = SsrPipeline::new(&city, &artifacts, quick_config(0.2, ModelKind::Ols));
+        let r = p.run(PoiCategory::School);
+        assert_eq!(r.predicted.len(), r.labeled.len() + r.unlabeled.len());
+        assert!(r.labeled.len() >= 2);
+        assert!(!r.unlabeled.is_empty());
+        for m in &r.predicted {
+            assert!(m.mac.is_finite() && m.mac >= 0.0);
+            assert!(m.acsd.is_finite() && m.acsd >= 0.0);
+        }
+        assert!(r.timings.label_secs > 0.0);
+        assert!(r.timings.total() > 0.0);
+    }
+
+    #[test]
+    fn beta_controls_labeled_fraction_and_cost() {
+        let (city, artifacts) = setup();
+        let small = SsrPipeline::new(&city, &artifacts, quick_config(0.05, ModelKind::Ols))
+            .run(PoiCategory::School);
+        let large = SsrPipeline::new(&city, &artifacts, quick_config(0.3, ModelKind::Ols))
+            .run(PoiCategory::School);
+        assert!(large.labeled.len() > small.labeled.len() * 3);
+        assert!(large.labeled_trips > small.labeled_trips);
+    }
+
+    #[test]
+    fn labeled_zones_carry_ground_truth() {
+        let (city, artifacts) = setup();
+        let r = SsrPipeline::new(&city, &artifacts, quick_config(0.2, ModelKind::Ols))
+            .run(PoiCategory::Hospital);
+        for (z, s) in r.labeled.iter().zip(&r.labeled_stats) {
+            let m = r.predicted.iter().find(|m| m.zone == *z).unwrap();
+            assert_eq!(m.mac, s.mac);
+            assert_eq!(m.acsd, s.acsd);
+        }
+    }
+
+    #[test]
+    fn all_models_run_end_to_end() {
+        let (city, artifacts) = setup();
+        for model in ModelKind::ALL {
+            let mut cfg = quick_config(0.2, model);
+            // Cheap training settings would live on the models; defaults are
+            // small enough for the 120-zone city.
+            cfg.seed = 3;
+            let r = SsrPipeline::new(&city, &artifacts, cfg).run(PoiCategory::VaxCenter);
+            assert!(
+                r.predicted.iter().all(|m| m.mac.is_finite()),
+                "model {model} produced non-finite MAC"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (city, artifacts) = setup();
+        let a = SsrPipeline::new(&city, &artifacts, quick_config(0.1, ModelKind::Mlp))
+            .run(PoiCategory::School);
+        let b = SsrPipeline::new(&city, &artifacts, quick_config(0.1, ModelKind::Mlp))
+            .run(PoiCategory::School);
+        assert_eq!(a.labeled, b.labeled);
+        assert_eq!(a.predicted, b.predicted);
+    }
+
+    #[test]
+    fn spatial_coverage_sampling_spreads_the_labeled_set() {
+        use crate::config::SamplingStrategy;
+        let (city, artifacts) = setup();
+        let run = |sampling: SamplingStrategy| {
+            let cfg = PipelineConfig {
+                sampling,
+                ..quick_config(0.1, ModelKind::Ols)
+            };
+            SsrPipeline::new(&city, &artifacts, cfg).run(PoiCategory::School)
+        };
+        let random = run(SamplingStrategy::Random);
+        let coverage = run(SamplingStrategy::SpatialCoverage);
+        assert_eq!(random.labeled.len(), coverage.labeled.len());
+        // Coverage radius: max distance from any zone to its nearest
+        // labeled zone. Farthest-point sampling minimizes this greedily, so
+        // it must not be worse than random.
+        let radius = |labeled: &[ZoneId]| {
+            city.zones
+                .iter()
+                .map(|z| {
+                    labeled
+                        .iter()
+                        .map(|&l| z.centroid.dist(&city.zone_centroid(l)))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .fold(0.0f64, f64::max)
+        };
+        assert!(
+            radius(&coverage.labeled) <= radius(&random.labeled) + 1e-9,
+            "k-center radius {} should not exceed random's {}",
+            radius(&coverage.labeled),
+            radius(&random.labeled)
+        );
+    }
+
+    #[test]
+    fn coverage_sampling_is_deterministic() {
+        use crate::config::SamplingStrategy;
+        let (city, artifacts) = setup();
+        let cfg = PipelineConfig {
+            sampling: SamplingStrategy::SpatialCoverage,
+            ..quick_config(0.1, ModelKind::Ols)
+        };
+        let a = SsrPipeline::new(&city, &artifacts, cfg.clone()).run(PoiCategory::School);
+        let b = SsrPipeline::new(&city, &artifacts, cfg).run(PoiCategory::School);
+        assert_eq!(a.labeled, b.labeled);
+    }
+
+    #[test]
+    fn predicted_unlabeled_excludes_labeled() {
+        let (city, artifacts) = setup();
+        let r = SsrPipeline::new(&city, &artifacts, quick_config(0.2, ModelKind::Ols))
+            .run(PoiCategory::School);
+        let u = r.predicted_unlabeled();
+        assert_eq!(u.len(), r.unlabeled.len());
+        let labeled: std::collections::HashSet<_> = r.labeled.iter().collect();
+        assert!(u.iter().all(|m| !labeled.contains(&m.zone)));
+    }
+}

@@ -1,0 +1,188 @@
+//! Evaluation: predicted vs ground-truth measures (paper §V-A's metrics).
+
+use crate::naive::NaiveResult;
+use crate::pipeline::PipelineResult;
+use serde::{Deserialize, Serialize};
+use staq_access::{classify, fairness, ZoneMeasures};
+use staq_ml::metrics::{accuracy, mae, pearson};
+use staq_synth::ZoneId;
+
+/// All §V-A performance measures for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// MAE of MAC over unlabeled zones (Fig. 3's error term).
+    pub mac_mae: f64,
+    /// Pearson correlation of MAC (Fig. 4 "MAC corr").
+    pub mac_corr: f64,
+    /// MAE of ACSD.
+    pub acsd_mae: f64,
+    /// Pearson correlation of ACSD (Fig. 4 "ACSD corr").
+    pub acsd_corr: f64,
+    /// Accessibility-classification accuracy (Fig. 4 "Accuracy").
+    pub class_accuracy: f64,
+    /// Fairness Index Error |J(truth) − J(predicted)| (Fig. 4 "FIE").
+    pub fie: f64,
+    /// Zones evaluated (the unlabeled set).
+    pub n_eval: usize,
+}
+
+/// Evaluates a pipeline run against naïve ground truth.
+///
+/// Metrics follow the paper: errors and correlations are computed on the
+/// *inferred* (unlabeled) zones; classification uses the ground truth's
+/// city-wide means as the shared class boundary; the fairness index
+/// compares the full measure sets (labeled zones carry their true values in
+/// the prediction, as in deployment).
+pub fn evaluate(truth: &NaiveResult, result: &PipelineResult) -> EvalReport {
+    let truth_by_zone: std::collections::HashMap<ZoneId, &ZoneMeasures> =
+        truth.measures.iter().map(|m| (m.zone, m)).collect();
+
+    // (truth, predicted) pairs over the unlabeled zones present in both.
+    let eval: Vec<(ZoneMeasures, ZoneMeasures)> = result
+        .predicted_unlabeled()
+        .into_iter()
+        .filter_map(|p| truth_by_zone.get(&p.zone).map(|t| (**t, p)))
+        .collect();
+    assert!(!eval.is_empty(), "no overlap between truth and prediction");
+
+    let t_mac: Vec<f64> = eval.iter().map(|(t, _)| t.mac).collect();
+    let p_mac: Vec<f64> = eval.iter().map(|(_, p)| p.mac).collect();
+    let t_acsd: Vec<f64> = eval.iter().map(|(t, _)| t.acsd).collect();
+    let p_acsd: Vec<f64> = eval.iter().map(|(_, p)| p.acsd).collect();
+
+    // Class boundaries from the ground truth's city means.
+    let ref_means = classify::means_from(&truth.measures);
+    let t_measures: Vec<ZoneMeasures> = eval.iter().map(|(t, _)| *t).collect();
+    let p_measures: Vec<ZoneMeasures> = eval.iter().map(|(_, p)| *p).collect();
+    let t_classes: Vec<_> = classify::classify_all(&t_measures, Some(ref_means))
+        .into_iter()
+        .map(|(_, c)| c)
+        .collect();
+    let p_classes: Vec<_> = classify::classify_all(&p_measures, Some(ref_means))
+        .into_iter()
+        .map(|(_, c)| c)
+        .collect();
+
+    // Fairness over the full sets.
+    let j_truth = fairness::fairness_of(&truth.measures);
+    let j_pred = fairness::fairness_of(&result.predicted);
+
+    EvalReport {
+        mac_mae: mae(&t_mac, &p_mac),
+        mac_corr: pearson(&t_mac, &p_mac),
+        acsd_mae: mae(&t_acsd, &p_acsd),
+        acsd_corr: pearson(&t_acsd, &p_acsd),
+        class_accuracy: accuracy(&t_classes, &p_classes),
+        fie: (j_truth - j_pred).abs(),
+        n_eval: eval.len(),
+    }
+}
+
+impl std::fmt::Display for EvalReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MAC mae={:.2} corr={:.3} | ACSD mae={:.2} corr={:.3} | acc={:.2} FIE={:.4} (n={})",
+            self.mac_mae,
+            self.mac_corr,
+            self.acsd_mae,
+            self.acsd_corr,
+            self.class_accuracy,
+            self.fie,
+            self.n_eval
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifacts::OfflineArtifacts;
+    use crate::config::PipelineConfig;
+    use crate::pipeline::SsrPipeline;
+    use staq_gtfs::time::TimeInterval;
+    use staq_ml::ModelKind;
+    use staq_road::IsochroneParams;
+    use staq_synth::{City, CityConfig, PoiCategory};
+    use staq_todam::TodamSpec;
+    use staq_transit::CostKind;
+
+    fn run_eval(model: ModelKind, beta: f64) -> EvalReport {
+        let city = City::generate(&CityConfig::small(42));
+        let artifacts = OfflineArtifacts::build(
+            &city,
+            &TimeInterval::am_peak(),
+            &IsochroneParams::default(),
+        );
+        let spec = TodamSpec { per_hour: 4, ..Default::default() };
+        let truth = NaiveResult::compute(&city, &spec, PoiCategory::School, CostKind::Jt);
+        let cfg = PipelineConfig { beta, model, todam: spec, ..Default::default() };
+        let result = SsrPipeline::new(&city, &artifacts, cfg).run(PoiCategory::School);
+        evaluate(&truth, &result)
+    }
+
+    #[test]
+    fn mlp_learns_access_costs() {
+        let r = run_eval(ModelKind::Mlp, 0.3);
+        assert!(r.mac_mae.is_finite() && r.mac_mae > 0.0);
+        assert!(
+            r.mac_corr > 0.5,
+            "MLP should capture the spatial pattern: corr {}",
+            r.mac_corr
+        );
+        assert!(r.class_accuracy > 0.25, "better than random 4-class");
+        assert!(r.fie < 0.2, "fairness index error {}", r.fie);
+        assert!(r.n_eval > 0);
+    }
+
+    #[test]
+    fn perfect_predictions_hit_ideal_metrics() {
+        // Oracle check: feeding the ground truth back as "prediction" must
+        // produce zero error, perfect correlation, full accuracy, zero FIE.
+        let city = City::generate(&CityConfig::small(42));
+        let artifacts = OfflineArtifacts::build(
+            &city,
+            &TimeInterval::am_peak(),
+            &IsochroneParams::default(),
+        );
+        let spec = TodamSpec { per_hour: 4, ..Default::default() };
+        let truth = NaiveResult::compute(&city, &spec, PoiCategory::School, CostKind::Jt);
+        let cfg = PipelineConfig {
+            beta: 0.2,
+            model: ModelKind::Ols,
+            todam: spec,
+            ..Default::default()
+        };
+        let mut result = SsrPipeline::new(&city, &artifacts, cfg).run(PoiCategory::School);
+        let truth_by_zone: std::collections::HashMap<_, _> =
+            truth.measures.iter().map(|m| (m.zone, *m)).collect();
+        for m in &mut result.predicted {
+            if let Some(t) = truth_by_zone.get(&m.zone) {
+                *m = *t;
+            }
+        }
+        let r = evaluate(&truth, &result);
+        assert!(r.mac_mae < 1e-9, "{r}");
+        assert!(r.acsd_mae < 1e-9, "{r}");
+        assert!((r.mac_corr - 1.0).abs() < 1e-9, "{r}");
+        assert!((r.class_accuracy - 1.0).abs() < 1e-12, "{r}");
+        assert!(r.fie < 1e-12, "{r}");
+    }
+
+    #[test]
+    fn report_displays() {
+        let r = run_eval(ModelKind::Ols, 0.3);
+        let s = r.to_string();
+        assert!(s.contains("MAC"));
+        assert!(s.contains("FIE"));
+    }
+
+    #[test]
+    fn higher_beta_does_not_hurt_much() {
+        // Sanity (not strict monotonicity — one seed): a 30% budget should
+        // not be wildly worse than 10%.
+        let lo = run_eval(ModelKind::Mlp, 0.1);
+        let hi = run_eval(ModelKind::Mlp, 0.3);
+        assert!(hi.mac_mae < lo.mac_mae * 2.0 + 2.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! The central claim, as a test: errors degrade gracefully as the labeling
+//! budget shrinks, and cost scales with β — on a seeded small city.
+
+use staq_core::{evaluate, NaiveResult, OfflineArtifacts, PipelineConfig, SsrPipeline};
+use staq_ml::ModelKind;
+use staq_road::IsochroneParams;
+use staq_synth::{City, CityConfig, PoiCategory};
+use staq_todam::TodamSpec;
+use staq_transit::CostKind;
+
+#[test]
+fn errors_shrink_with_budget_on_average() {
+    let city = City::generate(&CityConfig::small(42));
+    let spec = TodamSpec { per_hour: 4, ..Default::default() };
+    let artifacts =
+        OfflineArtifacts::build(&city, &spec.interval, &IsochroneParams::default());
+    let truth = NaiveResult::compute(&city, &spec, PoiCategory::School, CostKind::Jt);
+
+    // Average MAE over three seeds at each budget to damp sampling noise.
+    let mean_mae = |beta: f64| -> f64 {
+        [1u64, 2, 3]
+            .iter()
+            .map(|&seed| {
+                let cfg = PipelineConfig {
+                    beta,
+                    model: ModelKind::Mlp,
+                    todam: spec.clone(),
+                    seed,
+                    ..Default::default()
+                };
+                evaluate(&truth, &SsrPipeline::new(&city, &artifacts, cfg).run(PoiCategory::School))
+                    .mac_mae
+            })
+            .sum::<f64>()
+            / 3.0
+    };
+    let lo = mean_mae(0.05);
+    let hi = mean_mae(0.40);
+    assert!(
+        hi < lo,
+        "mean JT MAE should improve from beta 5% ({lo:.2}) to 40% ({hi:.2})"
+    );
+}
+
+#[test]
+fn solution_cost_tracks_beta_linearly_enough() {
+    let city = City::generate(&CityConfig::small(42));
+    let spec = TodamSpec { per_hour: 6, ..Default::default() };
+    let artifacts =
+        OfflineArtifacts::build(&city, &spec.interval, &IsochroneParams::default());
+    let trips_at = |beta: f64| {
+        let cfg = PipelineConfig {
+            beta,
+            model: ModelKind::Ols,
+            todam: spec.clone(),
+            ..Default::default()
+        };
+        SsrPipeline::new(&city, &artifacts, cfg).run(PoiCategory::School).labeled_trips as f64
+    };
+    let t05 = trips_at(0.05);
+    let t20 = trips_at(0.20);
+    let t40 = trips_at(0.40);
+    // Labeled-trip counts scale ~linearly with beta (the Table II mechanism).
+    assert!(t20 / t05 > 2.0 && t20 / t05 < 8.0, "5%->20%: {t05} -> {t20}");
+    assert!(t40 / t20 > 1.5 && t40 / t20 < 3.0, "20%->40%: {t20} -> {t40}");
+}

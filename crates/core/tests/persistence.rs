@@ -1,0 +1,35 @@
+//! Artifact persistence integration: a pipeline fed with disk-loaded
+//! artifacts must produce bit-identical results to one fed with freshly
+//! built artifacts.
+
+use staq_core::{OfflineArtifacts, PipelineConfig, SsrPipeline};
+use staq_gtfs::time::TimeInterval;
+use staq_ml::ModelKind;
+use staq_road::IsochroneParams;
+use staq_synth::{City, CityConfig, PoiCategory};
+use staq_todam::TodamSpec;
+
+#[test]
+fn loaded_artifacts_reproduce_pipeline_results() {
+    let city = City::generate(&CityConfig::tiny(21));
+    let fresh = OfflineArtifacts::build(
+        &city,
+        &TimeInterval::am_peak(),
+        &IsochroneParams::default(),
+    );
+    let path = std::env::temp_dir().join(format!("staq_persist_{}.txt", std::process::id()));
+    fresh.save_trees(&path).unwrap();
+    let loaded = OfflineArtifacts::load_trees(&city, &path).unwrap();
+
+    let cfg = PipelineConfig {
+        beta: 0.3,
+        model: ModelKind::Mlp,
+        todam: TodamSpec { per_hour: 4, ..Default::default() },
+        ..Default::default()
+    };
+    let a = SsrPipeline::new(&city, &fresh, cfg.clone()).run(PoiCategory::School);
+    let b = SsrPipeline::new(&city, &loaded, cfg).run(PoiCategory::School);
+    assert_eq!(a.labeled, b.labeled);
+    assert_eq!(a.predicted, b.predicted);
+    std::fs::remove_file(&path).ok();
+}

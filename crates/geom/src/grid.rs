@@ -1,0 +1,197 @@
+//! Uniform hash-grid spatial index.
+//!
+//! Complements the kd-tree for *bulk* radius queries with a fixed radius —
+//! e.g. "which bus stops are within the walking budget of each of 3000 zone
+//! centroids". With cell size ≈ query radius, each query touches at most 9
+//! cells.
+
+use crate::point::Point;
+
+/// A uniform grid over the plane bucketing `u32` payloads by cell.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell: f64,
+    /// (cell_x, cell_y, item, point) tuples sorted by cell key.
+    entries: Vec<(i64, i64, u32, Point)>,
+    /// Sorted cell keys with start offsets into `entries`.
+    offsets: Vec<(i64, usize)>,
+    /// Occupied cell bounds (min_cx, max_cx, min_cy, max_cy); queries are
+    /// clamped to this range so an oversized radius cannot scan empty space.
+    cell_bounds: (i64, i64, i64, i64),
+}
+
+#[inline]
+fn key(cx: i64, cy: i64) -> i64 {
+    // Interleave-free packing: cities span far fewer than 2^31 cells.
+    (cx << 32) ^ (cy & 0xffff_ffff)
+}
+
+impl GridIndex {
+    /// Builds an index with the given `cell_size` in meters. Panics if the
+    /// cell size is not strictly positive.
+    pub fn build(items: &[(Point, u32)], cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let inv = 1.0 / cell_size;
+        let mut entries: Vec<(i64, i64, u32, Point)> = items
+            .iter()
+            .map(|&(p, it)| {
+                let cx = (p.x * inv).floor() as i64;
+                let cy = (p.y * inv).floor() as i64;
+                (cx, cy, it, p)
+            })
+            .collect();
+        entries.sort_by_key(|&(cx, cy, _, _)| key(cx, cy));
+        let mut offsets = Vec::new();
+        let mut last = None;
+        for (i, &(cx, cy, _, _)) in entries.iter().enumerate() {
+            let k = key(cx, cy);
+            if last != Some(k) {
+                offsets.push((k, i));
+                last = Some(k);
+            }
+        }
+        let cell_bounds = entries.iter().fold(
+            (i64::MAX, i64::MIN, i64::MAX, i64::MIN),
+            |(x0, x1, y0, y1), &(cx, cy, _, _)| (x0.min(cx), x1.max(cx), y0.min(cy), y1.max(cy)),
+        );
+        GridIndex { cell: cell_size, entries, offsets, cell_bounds }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn cell_range(&self, k: i64) -> &[(i64, i64, u32, Point)] {
+        match self.offsets.binary_search_by_key(&k, |&(k, _)| k) {
+            Ok(i) => {
+                let start = self.offsets[i].1;
+                let end = self
+                    .offsets
+                    .get(i + 1)
+                    .map_or(self.entries.len(), |&(_, off)| off);
+                &self.entries[start..end]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// All items within `radius` meters of `query` (inclusive).
+    pub fn within_radius(&self, query: &Point, radius: f64) -> Vec<(u32, f64)> {
+        let mut out = Vec::new();
+        self.for_each_within(query, radius, |item, d2| out.push((item, d2.sqrt())));
+        out
+    }
+
+    /// Visits every item within `radius` meters of `query`, passing the
+    /// payload and *squared* distance. Avoids allocation on hot paths.
+    pub fn for_each_within<F: FnMut(u32, f64)>(&self, query: &Point, radius: f64, mut f: F) {
+        if radius < 0.0 || self.entries.is_empty() {
+            return;
+        }
+        let inv = 1.0 / self.cell;
+        let r2 = radius * radius;
+        let (bx0, bx1, by0, by1) = self.cell_bounds;
+        let cx0 = (((query.x - radius) * inv).floor() as i64).max(bx0);
+        let cx1 = (((query.x + radius) * inv).floor() as i64).min(bx1);
+        let cy0 = (((query.y - radius) * inv).floor() as i64).max(by0);
+        let cy1 = (((query.y + radius) * inv).floor() as i64).min(by1);
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                for &(_, _, item, p) in self.cell_range(key(cx, cy)) {
+                    let d2 = p.dist2(query);
+                    if d2 <= r2 {
+                        f(item, d2);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Vec<(Point, u32)> {
+        vec![
+            (Point::new(0.0, 0.0), 0),
+            (Point::new(5.0, 0.0), 1),
+            (Point::new(0.0, 5.0), 2),
+            (Point::new(100.0, 100.0), 3),
+            (Point::new(-50.0, 20.0), 4),
+        ]
+    }
+
+    #[test]
+    fn radius_query_finds_near_items_only() {
+        let g = GridIndex::build(&cluster(), 10.0);
+        let mut hits: Vec<u32> = g
+            .within_radius(&Point::new(0.0, 0.0), 6.0)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn radius_boundary_inclusive() {
+        let g = GridIndex::build(&cluster(), 10.0);
+        let hits = g.within_radius(&Point::new(0.0, 0.0), 5.0);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn matches_brute_force_on_many_points() {
+        // Deterministic pseudo-random scatter (no RNG dependency needed).
+        let mut items = Vec::new();
+        let mut s: u64 = 42;
+        for i in 0..500u32 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = ((s >> 16) & 0xffff) as f64 / 65536.0 * 1000.0;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = ((s >> 16) & 0xffff) as f64 / 65536.0 * 1000.0;
+            items.push((Point::new(x, y), i));
+        }
+        let g = GridIndex::build(&items, 50.0);
+        let q = Point::new(500.0, 500.0);
+        let r = 120.0;
+        let mut grid_hits: Vec<u32> = g.within_radius(&q, r).into_iter().map(|(i, _)| i).collect();
+        let mut brute: Vec<u32> = items
+            .iter()
+            .filter(|(p, _)| p.dist(&q) <= r)
+            .map(|&(_, i)| i)
+            .collect();
+        grid_hits.sort_unstable();
+        brute.sort_unstable();
+        assert_eq!(grid_hits, brute);
+        assert!(!brute.is_empty());
+    }
+
+    #[test]
+    fn negative_coordinates_handled() {
+        let g = GridIndex::build(&[(Point::new(-100.0, -100.0), 7)], 30.0);
+        let hits = g.within_radius(&Point::new(-101.0, -99.0), 5.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 7);
+    }
+
+    #[test]
+    fn empty_index() {
+        let g = GridIndex::build(&[], 10.0);
+        assert!(g.is_empty());
+        assert!(g.within_radius(&Point::new(0.0, 0.0), 1e9).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn rejects_zero_cell() {
+        GridIndex::build(&[], 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Convex hulls via Andrew's monotone chain.
+//!
+//! Isochrone polygons are produced by hulling the set of road nodes reachable
+//! within the walking budget (τ, ω). A convex outline slightly over-covers a
+//! truly concave walkshed; the paper's isochrones are similarly smoothed
+//! shapefiles, and over-coverage errs on the inclusive side for connectivity
+//! features.
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+
+/// Cross product of (b-a) x (c-a); positive for a left turn.
+#[inline]
+fn cross(a: Point, b: Point, c: Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Convex hull of `points` in counter-clockwise order, collinear points
+/// dropped. Returns fewer than 3 points for degenerate inputs (all points
+/// collinear or fewer than 3 distinct points).
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+    pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower chain.
+    for &p in &pts {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper chain.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point repeats the first
+    hull
+}
+
+/// Convex hull as a [`Polygon`], or `None` when the input is degenerate
+/// (hull has fewer than 3 vertices).
+pub fn hull_polygon(points: &[Point]) -> Option<Polygon> {
+    let h = convex_hull(points);
+    if h.len() >= 3 {
+        Some(Polygon::new(h))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0), // interior
+            Point::new(1.0, 2.0), // interior
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        assert!(!h.contains(&Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn hull_is_counter_clockwise() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 3.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 3);
+        // Signed area positive => CCW.
+        let mut s = 0.0;
+        for i in 0..h.len() {
+            let a = h[i];
+            let b = h[(i + 1) % h.len()];
+            s += a.x * b.y - b.x * a.y;
+        }
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn collinear_points_degenerate() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+        let h = convex_hull(&pts);
+        assert!(h.len() < 3, "collinear set must not form a polygon, got {h:?}");
+        assert!(hull_polygon(&pts).is_none());
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let p = Point::new(1.0, 1.0);
+        let h = convex_hull(&[p, p, p]);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn hull_polygon_contains_all_inputs() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 1.0),
+            Point::new(6.0, 8.0),
+            Point::new(2.0, 5.0),
+            Point::new(5.0, 3.0),
+        ];
+        let poly = hull_polygon(&pts).unwrap();
+        for p in &pts {
+            // Strict interior or within epsilon of the border.
+            let eps = Point::new(p.x, p.y); // identical point
+            assert!(
+                poly.contains(&eps) || poly.ring().iter().any(|v| v.dist(p) < 1e-9),
+                "hull must cover {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 2.0)]).len(), 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! `FeedIndex`: the query views the rest of the system uses.
+//!
+//! The paper consumes GTFS through two operations (§IV-A):
+//!
+//! * `F_stops ∩ W_i` — which stops fall in a walking isochrone. The index
+//!   exposes stop positions as `(Point, u32)` pairs ready for a spatial
+//!   index; the intersection itself happens in `staq-road`/`staq-hoptree`.
+//! * `F_trips` — "for each bus stop, all the services that pass through it
+//!   during `v_i`", and for each such service the subsequent (or preceding)
+//!   stops. [`FeedIndex::departures_at`] and [`FeedIndex::trip_calls`]
+//!   provide exactly these.
+
+use crate::model::{Feed, RouteId, ServiceId, StopId, StopTime, TripId};
+use crate::time::{DayOfWeek, Stime, TimeInterval};
+use staq_geom::Point;
+
+/// A departure event at a stop: `trip` leaves at `departure`, being call
+/// number `seq` of that trip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Departure {
+    pub trip: TripId,
+    pub departure: Stime,
+    pub seq: u32,
+}
+
+/// Precomputed inverted indexes over a [`Feed`].
+///
+/// Construction is O(|stop_times| log |stop_times|); all queries afterwards
+/// are binary searches plus slice scans.
+#[derive(Debug, Clone)]
+pub struct FeedIndex {
+    feed: Feed,
+    /// Per-trip ranges into `feed.stop_times` (which is `(trip, seq)`-sorted).
+    trip_ranges: Vec<(u32, u32)>,
+    /// Departures at each stop, sorted by time.
+    stop_departures: Vec<Vec<Departure>>,
+    /// Route of each trip (dense copy for cache-friendly lookups).
+    trip_route: Vec<RouteId>,
+    /// Service of each trip.
+    trip_service: Vec<ServiceId>,
+}
+
+impl FeedIndex {
+    /// Builds the index, taking ownership of the feed. The feed must be
+    /// normalized (sorted stop_times); [`crate::parse`] and `staq-synth`
+    /// both guarantee this, and it is re-checked here.
+    pub fn build(mut feed: Feed) -> Self {
+        if !feed.is_normalized() {
+            feed.normalize();
+        }
+        let n_trips = feed.trips.len();
+        let mut trip_ranges = vec![(0u32, 0u32); n_trips];
+        let mut i = 0usize;
+        while i < feed.stop_times.len() {
+            let trip = feed.stop_times[i].trip;
+            let start = i;
+            while i < feed.stop_times.len() && feed.stop_times[i].trip == trip {
+                i += 1;
+            }
+            trip_ranges[trip.idx()] = (start as u32, i as u32);
+        }
+
+        let mut stop_departures: Vec<Vec<Departure>> = vec![Vec::new(); feed.stops.len()];
+        for st in &feed.stop_times {
+            stop_departures[st.stop.idx()].push(Departure {
+                trip: st.trip,
+                departure: st.departure,
+                seq: st.seq,
+            });
+        }
+        for deps in &mut stop_departures {
+            deps.sort_by_key(|d| d.departure);
+        }
+
+        let trip_route = feed.trips.iter().map(|t| t.route).collect();
+        let trip_service = feed.trips.iter().map(|t| t.service).collect();
+        FeedIndex { feed, trip_ranges, stop_departures, trip_route, trip_service }
+    }
+
+    /// The underlying feed.
+    #[inline]
+    pub fn feed(&self) -> &Feed {
+        &self.feed
+    }
+
+    /// Number of stops.
+    #[inline]
+    pub fn n_stops(&self) -> usize {
+        self.feed.stops.len()
+    }
+
+    /// Position of a stop.
+    #[inline]
+    pub fn stop_pos(&self, s: StopId) -> Point {
+        self.feed.stops[s.idx()].pos
+    }
+
+    /// `(position, raw stop id)` pairs for building spatial indexes.
+    pub fn stop_points(&self) -> Vec<(Point, u32)> {
+        self.feed.stops.iter().map(|s| (s.pos, s.id.0)).collect()
+    }
+
+    /// The ordered calls of `trip` (slice into the canonical stop_times).
+    #[inline]
+    pub fn trip_calls(&self, trip: TripId) -> &[StopTime] {
+        let (a, b) = self.trip_ranges[trip.idx()];
+        &self.feed.stop_times[a as usize..b as usize]
+    }
+
+    /// Route operated by `trip`.
+    #[inline]
+    pub fn trip_route(&self, trip: TripId) -> RouteId {
+        self.trip_route[trip.idx()]
+    }
+
+    /// True when `trip` operates on `day`.
+    #[inline]
+    pub fn trip_runs_on(&self, trip: TripId, day: DayOfWeek) -> bool {
+        self.feed.services[self.trip_service[trip.idx()].idx()].runs_on(day)
+    }
+
+    /// All departures from `stop` (any day), sorted by time.
+    #[inline]
+    pub fn all_departures_at(&self, stop: StopId) -> &[Departure] {
+        &self.stop_departures[stop.idx()]
+    }
+
+    /// Departures from `stop` within the interval `v`, filtered to services
+    /// operating on `v.day` — the paper's `F_trips` retrieval.
+    pub fn departures_at<'a>(
+        &'a self,
+        stop: StopId,
+        v: &'a TimeInterval,
+    ) -> impl Iterator<Item = Departure> + 'a {
+        let deps = &self.stop_departures[stop.idx()];
+        let lo = deps.partition_point(|d| d.departure < v.start);
+        deps[lo..]
+            .iter()
+            .take_while(move |d| d.departure < v.end)
+            .filter(move |d| self.trip_runs_on(d.trip, v.day))
+            .copied()
+    }
+
+    /// First departure from `stop` of `trip_filtered` kind at or after `t`
+    /// on `day` — the router's "next vehicle" primitive.
+    pub fn next_departure(&self, stop: StopId, t: Stime, day: DayOfWeek) -> Option<Departure> {
+        let deps = &self.stop_departures[stop.idx()];
+        let lo = deps.partition_point(|d| d.departure < t);
+        deps[lo..].iter().find(|d| self.trip_runs_on(d.trip, day)).copied()
+    }
+
+    /// Mean scheduled headway (seconds between consecutive departures) at
+    /// `stop` within `v`; `None` with fewer than two departures.
+    pub fn mean_headway(&self, stop: StopId, v: &TimeInterval) -> Option<f64> {
+        let times: Vec<Stime> = self.departures_at(stop, v).map(|d| d.departure).collect();
+        if times.len() < 2 {
+            return None;
+        }
+        let total: u32 = times.windows(2).map(|w| w[0].until(w[1])).sum();
+        Some(total as f64 / (times.len() - 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::tests::tiny_feed_text;
+
+    fn index() -> FeedIndex {
+        FeedIndex::build(tiny_feed_text().parse().unwrap())
+    }
+
+    #[test]
+    fn trip_calls_are_ordered() {
+        let ix = index();
+        let calls = ix.trip_calls(TripId(0));
+        assert_eq!(calls.len(), 2);
+        assert!(calls[0].seq < calls[1].seq);
+        assert_eq!(calls[0].stop, StopId(0));
+    }
+
+    #[test]
+    fn departures_filtered_by_interval_and_day() {
+        let ix = index();
+        let am = TimeInterval::am_peak();
+        let deps: Vec<_> = ix.departures_at(StopId(0), &am).collect();
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].departure, Stime::hms(7, 0, 30));
+
+        // Sunday: weekday-only service doesn't run.
+        let sunday = TimeInterval::new(Stime::hours(7), Stime::hours(9), DayOfWeek::Sunday, "sun");
+        assert_eq!(ix.departures_at(StopId(0), &sunday).count(), 0);
+
+        // Window after the departure.
+        let late = TimeInterval::new(Stime::hours(10), Stime::hours(12), DayOfWeek::Tuesday, "late");
+        assert_eq!(ix.departures_at(StopId(0), &late).count(), 0);
+    }
+
+    #[test]
+    fn next_departure_respects_time_and_day() {
+        let ix = index();
+        let d = ix.next_departure(StopId(0), Stime::hours(7), DayOfWeek::Tuesday).unwrap();
+        assert_eq!(d.departure, Stime::hms(7, 0, 30));
+        assert!(ix.next_departure(StopId(0), Stime::hours(8), DayOfWeek::Tuesday).is_none());
+        assert!(ix.next_departure(StopId(0), Stime::hours(7), DayOfWeek::Sunday).is_none());
+    }
+
+    #[test]
+    fn mean_headway_requires_two_departures() {
+        let ix = index();
+        assert!(ix.mean_headway(StopId(0), &TimeInterval::am_peak()).is_none());
+    }
+
+    #[test]
+    fn stop_points_expose_all_stops() {
+        let ix = index();
+        let pts = ix.stop_points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].1, 0);
+    }
+
+    #[test]
+    fn builds_from_unnormalized_feed() {
+        let mut feed = tiny_feed_text().parse().unwrap();
+        feed.stop_times.reverse();
+        let ix = FeedIndex::build(feed);
+        assert_eq!(ix.trip_calls(TripId(0)).len(), 2);
+        assert!(ix.feed().is_normalized());
+    }
+}

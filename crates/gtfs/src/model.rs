@@ -1,0 +1,243 @@
+//! Typed GTFS records and the in-memory [`Feed`].
+//!
+//! Ids are dense `u32` newtypes assigned at parse time; the original GTFS
+//! string ids are retained on each record for round-tripping. Dense ids let
+//! downstream structures (timetables, hop trees) use `Vec` indexing instead
+//! of hash maps on hot paths.
+
+use crate::time::{DayOfWeek, Stime};
+use serde::{Deserialize, Serialize};
+use staq_geom::Point;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Raw dense index.
+            #[inline]
+            pub const fn idx(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Dense id of a [`Stop`].
+    StopId
+);
+id_newtype!(
+    /// Dense id of a [`Route`].
+    RouteId
+);
+id_newtype!(
+    /// Dense id of a [`Trip`].
+    TripId
+);
+id_newtype!(
+    /// Dense id of a [`Service`] (calendar entry).
+    ServiceId
+);
+id_newtype!(
+    /// Dense id of an [`Agency`].
+    AgencyId
+);
+
+/// A transit agency (`agency.txt`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Agency {
+    pub id: AgencyId,
+    /// Original GTFS `agency_id`.
+    pub gtfs_id: String,
+    pub name: String,
+}
+
+/// A boarding location (`stops.txt`). Coordinates are planar meters in the
+/// synthetic pipeline (see `staq-geom`); adapters for real feeds project
+/// lat/lon into the same frame before constructing the feed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stop {
+    pub id: StopId,
+    /// Original GTFS `stop_id`.
+    pub gtfs_id: String,
+    pub name: String,
+    /// Planar position in meters.
+    pub pos: Point,
+}
+
+/// Vehicle classes (`routes.txt` `route_type`). Only the modes relevant to
+/// the paper's bus-centric West Midlands network are modeled, plus rail
+/// variants for completeness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouteType {
+    Tram,
+    Metro,
+    Rail,
+    Bus,
+}
+
+impl RouteType {
+    /// GTFS numeric code.
+    pub const fn code(self) -> u32 {
+        match self {
+            RouteType::Tram => 0,
+            RouteType::Metro => 1,
+            RouteType::Rail => 2,
+            RouteType::Bus => 3,
+        }
+    }
+
+    /// Parses the GTFS numeric code.
+    pub fn from_code(c: u32) -> Result<Self, String> {
+        Ok(match c {
+            0 => RouteType::Tram,
+            1 => RouteType::Metro,
+            2 => RouteType::Rail,
+            3 => RouteType::Bus,
+            other => return Err(format!("unsupported route_type {other}")),
+        })
+    }
+}
+
+/// A named service pattern (`routes.txt`), e.g. bus line "X12".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    pub id: RouteId,
+    /// Original GTFS `route_id`.
+    pub gtfs_id: String,
+    pub agency: AgencyId,
+    /// Rider-facing short name ("11A").
+    pub short_name: String,
+    pub route_type: RouteType,
+}
+
+/// A calendar entry (`calendar.txt`): the weekly pattern a service runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Service {
+    pub id: ServiceId,
+    /// Original GTFS `service_id`.
+    pub gtfs_id: String,
+    /// `days[DayOfWeek::index()]` is true when the service operates that day.
+    pub days: [bool; 7],
+}
+
+impl Service {
+    /// True when the service operates on `day`.
+    #[inline]
+    pub fn runs_on(&self, day: DayOfWeek) -> bool {
+        self.days[day.index()]
+    }
+}
+
+/// One scheduled vehicle run (`trips.txt`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trip {
+    pub id: TripId,
+    /// Original GTFS `trip_id`.
+    pub gtfs_id: String,
+    pub route: RouteId,
+    pub service: ServiceId,
+}
+
+/// A scheduled call at a stop (`stop_times.txt`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StopTime {
+    pub trip: TripId,
+    pub stop: StopId,
+    pub arrival: Stime,
+    pub departure: Stime,
+    /// Order of this call within the trip (0-based, strictly increasing).
+    pub seq: u32,
+}
+
+/// A complete in-memory GTFS feed.
+///
+/// Records are stored densely: `stops[s.idx()]` is the stop with id `s`.
+/// `stop_times` is sorted by `(trip, seq)` — the natural order both for the
+/// router's timetable construction and for hop-tree generation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Feed {
+    pub agencies: Vec<Agency>,
+    pub stops: Vec<Stop>,
+    pub routes: Vec<Route>,
+    pub services: Vec<Service>,
+    pub trips: Vec<Trip>,
+    pub stop_times: Vec<StopTime>,
+}
+
+impl Feed {
+    /// Total number of scheduled calls.
+    pub fn n_stop_times(&self) -> usize {
+        self.stop_times.len()
+    }
+
+    /// Sorts `stop_times` into canonical `(trip, seq)` order. Parsing and
+    /// synthesis both call this; it is idempotent.
+    pub fn normalize(&mut self) {
+        self.stop_times.sort_by_key(|st| (st.trip, st.seq));
+    }
+
+    /// True when `stop_times` is in canonical order.
+    pub fn is_normalized(&self) -> bool {
+        self.stop_times.windows(2).all(|w| (w[0].trip, w[0].seq) <= (w[1].trip, w[1].seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_newtypes_are_dense_indices() {
+        let s = StopId(7);
+        assert_eq!(s.idx(), 7);
+        assert_eq!(StopId::from(7u32), s);
+    }
+
+    #[test]
+    fn route_type_codes_roundtrip() {
+        for rt in [RouteType::Tram, RouteType::Metro, RouteType::Rail, RouteType::Bus] {
+            assert_eq!(RouteType::from_code(rt.code()).unwrap(), rt);
+        }
+        assert!(RouteType::from_code(99).is_err());
+    }
+
+    #[test]
+    fn service_runs_on_days() {
+        let svc = Service {
+            id: ServiceId(0),
+            gtfs_id: "WK".into(),
+            days: [true, true, true, true, true, false, false],
+        };
+        assert!(svc.runs_on(DayOfWeek::Tuesday));
+        assert!(!svc.runs_on(DayOfWeek::Sunday));
+    }
+
+    #[test]
+    fn normalize_sorts_stop_times() {
+        let mut feed = Feed::default();
+        feed.stop_times = vec![
+            StopTime { trip: TripId(1), stop: StopId(0), arrival: Stime(10), departure: Stime(10), seq: 1 },
+            StopTime { trip: TripId(0), stop: StopId(1), arrival: Stime(5), departure: Stime(5), seq: 0 },
+            StopTime { trip: TripId(1), stop: StopId(2), arrival: Stime(2), departure: Stime(2), seq: 0 },
+        ];
+        assert!(!feed.is_normalized());
+        feed.normalize();
+        assert!(feed.is_normalized());
+        assert_eq!(feed.stop_times[0].trip, TripId(0));
+        assert_eq!(feed.stop_times[1], StopTime {
+            trip: TripId(1), stop: StopId(2), arrival: Stime(2), departure: Stime(2), seq: 0
+        });
+    }
+}

@@ -1,0 +1,191 @@
+//! Feed validation: the invariants every downstream stage assumes.
+
+use crate::model::Feed;
+
+/// A single validation failure, human-readable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation(pub String);
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Checks referential integrity, stop-time monotonicity, and basic sanity.
+/// Returns every violation found (empty = valid).
+///
+/// Checked invariants:
+/// 1. all id references resolve (dense ids in range);
+/// 2. within each trip, `seq` strictly increases and arrival/departure times
+///    are non-decreasing along the trip, with `departure >= arrival` at each
+///    call;
+/// 3. every trip has at least two calls (a one-call trip can never carry a
+///    passenger anywhere);
+/// 4. stop coordinates are finite;
+/// 5. every service operates on at least one day.
+pub fn validate(feed: &Feed) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let v = |s: String| Violation(s);
+
+    for stop in &feed.stops {
+        if !stop.pos.is_finite() {
+            out.push(v(format!("stop {} has non-finite position", stop.gtfs_id)));
+        }
+    }
+    for route in &feed.routes {
+        if route.agency.idx() >= feed.agencies.len() {
+            out.push(v(format!("route {} references missing agency", route.gtfs_id)));
+        }
+    }
+    for svc in &feed.services {
+        if !svc.days.iter().any(|&d| d) {
+            out.push(v(format!("service {} never operates", svc.gtfs_id)));
+        }
+    }
+    for trip in &feed.trips {
+        if trip.route.idx() >= feed.routes.len() {
+            out.push(v(format!("trip {} references missing route", trip.gtfs_id)));
+        }
+        if trip.service.idx() >= feed.services.len() {
+            out.push(v(format!("trip {} references missing service", trip.gtfs_id)));
+        }
+    }
+
+    // Per-trip checks over the canonical ordering.
+    let mut call_counts = vec![0u32; feed.trips.len()];
+    let mut i = 0usize;
+    let sts = &feed.stop_times;
+    while i < sts.len() {
+        let trip = sts[i].trip;
+        if trip.idx() >= feed.trips.len() {
+            out.push(v(format!("stop_time references missing trip #{}", trip.0)));
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < sts.len() && sts[i].trip == trip {
+            let st = &sts[i];
+            if st.stop.idx() >= feed.stops.len() {
+                out.push(v(format!(
+                    "trip {} call {} references missing stop",
+                    feed.trips[trip.idx()].gtfs_id,
+                    st.seq
+                )));
+            }
+            if st.departure < st.arrival {
+                out.push(v(format!(
+                    "trip {} call {} departs before it arrives",
+                    feed.trips[trip.idx()].gtfs_id,
+                    st.seq
+                )));
+            }
+            if i > start {
+                let prev = &sts[i - 1];
+                if st.seq <= prev.seq {
+                    out.push(v(format!(
+                        "trip {} stop_sequence not strictly increasing at {}",
+                        feed.trips[trip.idx()].gtfs_id,
+                        st.seq
+                    )));
+                }
+                if st.arrival < prev.departure {
+                    out.push(v(format!(
+                        "trip {} time travels between seq {} and {}",
+                        feed.trips[trip.idx()].gtfs_id,
+                        prev.seq,
+                        st.seq
+                    )));
+                }
+            }
+            i += 1;
+        }
+        call_counts[trip.idx()] = (i - start) as u32;
+    }
+    for (t, &n) in call_counts.iter().enumerate() {
+        if n == 1 {
+            out.push(v(format!("trip {} has a single call", feed.trips[t].gtfs_id)));
+        }
+    }
+    out
+}
+
+/// Convenience: panics with all violations when the feed is invalid. Used at
+/// the boundary between synthesis and the pipeline so experiments fail fast
+/// on generator bugs rather than producing subtly wrong numbers.
+pub fn assert_valid(feed: &Feed) {
+    let violations = validate(feed);
+    assert!(
+        violations.is_empty(),
+        "invalid GTFS feed ({} violations):\n{}",
+        violations.len(),
+        violations.iter().map(|v| format!("  - {v}")).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::tests::tiny_feed_text;
+    use crate::time::Stime;
+
+    #[test]
+    fn tiny_feed_is_valid() {
+        let feed = tiny_feed_text().parse().unwrap();
+        assert!(validate(&feed).is_empty());
+        assert_valid(&feed);
+    }
+
+    #[test]
+    fn detects_time_travel() {
+        let mut feed = tiny_feed_text().parse().unwrap();
+        feed.stop_times[1].arrival = Stime::hms(6, 0, 0);
+        let vs = validate(&feed);
+        assert!(vs.iter().any(|v| v.0.contains("time travels")), "{vs:?}");
+    }
+
+    #[test]
+    fn detects_departure_before_arrival() {
+        let mut feed = tiny_feed_text().parse().unwrap();
+        feed.stop_times[0].departure = Stime(0);
+        assert!(validate(&feed).iter().any(|v| v.0.contains("departs before")));
+    }
+
+    #[test]
+    fn detects_single_call_trip() {
+        let mut feed = tiny_feed_text().parse().unwrap();
+        feed.stop_times.pop();
+        assert!(validate(&feed).iter().any(|v| v.0.contains("single call")));
+    }
+
+    #[test]
+    fn detects_never_operating_service() {
+        let mut feed = tiny_feed_text().parse().unwrap();
+        feed.services[0].days = [false; 7];
+        assert!(validate(&feed).iter().any(|v| v.0.contains("never operates")));
+    }
+
+    #[test]
+    fn detects_non_finite_stop() {
+        let mut feed = tiny_feed_text().parse().unwrap();
+        feed.stops[0].pos = staq_geom::Point::new(f64::NAN, 0.0);
+        assert!(validate(&feed).iter().any(|v| v.0.contains("non-finite")));
+    }
+
+    #[test]
+    fn detects_nonmonotone_sequence() {
+        let mut feed = tiny_feed_text().parse().unwrap();
+        feed.stop_times[1].seq = 0;
+        assert!(validate(&feed)
+            .iter()
+            .any(|v| v.0.contains("not strictly increasing")));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GTFS feed")]
+    fn assert_valid_panics_on_bad_feed() {
+        let mut feed = tiny_feed_text().parse().unwrap();
+        feed.services[0].days = [false; 7];
+        assert_valid(&feed);
+    }
+}

@@ -1,0 +1,233 @@
+//! Hop-tree persistence.
+//!
+//! The paper's offline step ends with "the tree is saved such that it can
+//! be retrieved efficiently" — this module provides that: the full tree
+//! family of a store round-trips through a compact line-oriented text
+//! format, so a city's offline artifacts can be computed once and reloaded
+//! across sessions (isochrones and spatial indexes are rebuilt from the
+//! city, which is cheaper than tree generation and keeps the file format
+//! independent of geometry internals).
+//!
+//! Format (one file per store):
+//!
+//! ```text
+//! staq-hoptree v1
+//! interval <start_secs> <end_secs> <day_index> <label>
+//! params <tau_secs> <omega_mps>
+//! zones <n>
+//! tree <OB|IB> <zone> <n_leaves>
+//! <leaf_zone> <count> <jt_sum> <jt_min>
+//! ...
+//! ```
+
+use crate::store::HopTreeStore;
+use crate::tree::{Direction, HopTree};
+use staq_gtfs::time::{DayOfWeek, Stime, TimeInterval};
+use staq_road::IsochroneParams;
+use staq_synth::{City, ZoneId};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Serializes both tree families plus the interval/parameters header.
+pub fn to_text(store: &HopTreeStore) -> String {
+    let mut s = String::new();
+    s.push_str("staq-hoptree v1\n");
+    let v = &store.interval;
+    writeln!(s, "interval {} {} {} {}", v.start.0, v.end.0, v.day.index(), v.label).unwrap();
+    writeln!(s, "params {} {}", store.params.tau_secs, store.params.omega_mps).unwrap();
+    writeln!(s, "zones {}", store.n_zones()).unwrap();
+    for z in 0..store.n_zones() as u32 {
+        for (tag, tree) in [("OB", store.outbound(ZoneId(z))), ("IB", store.inbound(ZoneId(z)))] {
+            writeln!(s, "tree {tag} {z} {}", tree.n_leaves()).unwrap();
+            for leaf in tree.leaves() {
+                writeln!(s, "{} {} {} {}", leaf.zone.0, leaf.count, leaf.jt_sum(), leaf.jt_min)
+                    .unwrap();
+            }
+        }
+    }
+    s
+}
+
+/// Writes the store to `path`.
+pub fn save(store: &HopTreeStore, path: &Path) -> Result<(), String> {
+    std::fs::write(path, to_text(store)).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// Parses a store back. `city` supplies geometry (isochrones and the zone
+/// index are rebuilt); the trees themselves come from the file. Errors on
+/// any mismatch between the file and the city (zone counts) or a malformed
+/// line — a stale artifact must never silently corrupt an experiment.
+pub fn from_text(text: &str, city: &City) -> Result<HopTreeStore, String> {
+    let mut lines = text.lines().enumerate();
+    let mut next = |what: &str| -> Result<(usize, &str), String> {
+        lines.next().ok_or_else(|| format!("unexpected EOF expecting {what}"))
+    };
+
+    let (_, magic) = next("magic header")?;
+    if magic != "staq-hoptree v1" {
+        return Err(format!("bad magic {magic:?}"));
+    }
+
+    let (ln, interval_line) = next("interval")?;
+    let parts: Vec<&str> = interval_line.splitn(5, ' ').collect();
+    if parts.len() != 5 || parts[0] != "interval" {
+        return Err(format!("line {}: bad interval header", ln + 1));
+    }
+    let start: u32 = parts[1].parse().map_err(|_| "bad interval start")?;
+    let end: u32 = parts[2].parse().map_err(|_| "bad interval end")?;
+    let day_idx: usize = parts[3].parse().map_err(|_| "bad interval day")?;
+    let day = *DayOfWeek::ALL.get(day_idx).ok_or("day index out of range")?;
+    let interval = TimeInterval::new(Stime(start), Stime(end), day, parts[4]);
+
+    let (ln, params_line) = next("params")?;
+    let parts: Vec<&str> = params_line.split(' ').collect();
+    if parts.len() != 3 || parts[0] != "params" {
+        return Err(format!("line {}: bad params header", ln + 1));
+    }
+    let params = IsochroneParams {
+        tau_secs: parts[1].parse().map_err(|_| "bad tau")?,
+        omega_mps: parts[2].parse().map_err(|_| "bad omega")?,
+    };
+
+    let (ln, zones_line) = next("zones")?;
+    let n_zones: usize = zones_line
+        .strip_prefix("zones ")
+        .ok_or_else(|| format!("line {}: bad zones header", ln + 1))?
+        .parse()
+        .map_err(|_| "bad zone count")?;
+    if n_zones != city.n_zones() {
+        return Err(format!(
+            "artifact has {n_zones} zones but the city has {} — stale file?",
+            city.n_zones()
+        ));
+    }
+
+    let mut outbound: Vec<Option<HopTree>> = vec![None; n_zones];
+    let mut inbound: Vec<Option<HopTree>> = vec![None; n_zones];
+    while let Some((ln, header)) = lines.next() {
+        if header.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = header.split(' ').collect();
+        if parts.len() != 4 || parts[0] != "tree" {
+            return Err(format!("line {}: expected tree header, got {header:?}", ln + 1));
+        }
+        let direction = match parts[1] {
+            "OB" => Direction::Outbound,
+            "IB" => Direction::Inbound,
+            other => return Err(format!("line {}: bad direction {other:?}", ln + 1)),
+        };
+        let zone: u32 = parts[2].parse().map_err(|_| "bad tree zone")?;
+        if zone as usize >= n_zones {
+            return Err(format!("line {}: zone {zone} out of range", ln + 1));
+        }
+        let n_leaves: usize = parts[3].parse().map_err(|_| "bad leaf count")?;
+        let mut accum = Vec::with_capacity(n_leaves);
+        for _ in 0..n_leaves {
+            let (lln, leaf_line) =
+                lines.next().ok_or_else(|| "unexpected EOF in leaf list".to_string())?;
+            let p: Vec<&str> = leaf_line.split(' ').collect();
+            if p.len() != 4 {
+                return Err(format!("line {}: bad leaf line", lln + 1));
+            }
+            let lz: u32 = p[0].parse().map_err(|_| "bad leaf zone")?;
+            let count: u32 = p[1].parse().map_err(|_| "bad leaf count")?;
+            let jt_sum: f64 = p[2].parse().map_err(|_| "bad jt_sum")?;
+            let jt_min: f64 = p[3].parse().map_err(|_| "bad jt_min")?;
+            accum.push((ZoneId(lz), count, jt_sum, jt_min));
+        }
+        let tree = HopTree::from_accum(ZoneId(zone), direction, accum);
+        match direction {
+            Direction::Outbound => outbound[zone as usize] = Some(tree),
+            Direction::Inbound => inbound[zone as usize] = Some(tree),
+        }
+    }
+    let outbound: Vec<HopTree> = outbound
+        .into_iter()
+        .enumerate()
+        .map(|(z, t)| t.ok_or(format!("missing outbound tree for zone {z}")))
+        .collect::<Result<_, _>>()?;
+    let inbound: Vec<HopTree> = inbound
+        .into_iter()
+        .enumerate()
+        .map(|(z, t)| t.ok_or(format!("missing inbound tree for zone {z}")))
+        .collect::<Result<_, _>>()?;
+
+    Ok(HopTreeStore::from_parts(city, interval, params, outbound, inbound))
+}
+
+/// Reads a store from `path`.
+pub fn load(path: &Path, city: &City) -> Result<HopTreeStore, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    from_text(&text, city)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staq_synth::CityConfig;
+
+    fn setup() -> (City, HopTreeStore) {
+        let city = City::generate(&CityConfig::tiny(42));
+        let store =
+            HopTreeStore::build(&city, &TimeInterval::am_peak(), &IsochroneParams::default());
+        (city, store)
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_trees() {
+        let (city, store) = setup();
+        let text = to_text(&store);
+        let back = from_text(&text, &city).unwrap();
+        assert_eq!(back.n_zones(), store.n_zones());
+        assert_eq!(back.interval, store.interval);
+        assert_eq!(back.params, store.params);
+        for z in 0..store.n_zones() as u32 {
+            assert_eq!(back.outbound(ZoneId(z)), store.outbound(ZoneId(z)), "OB zone {z}");
+            assert_eq!(back.inbound(ZoneId(z)), store.inbound(ZoneId(z)), "IB zone {z}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (city, store) = setup();
+        let path = std::env::temp_dir().join(format!("staq_trees_{}.txt", std::process::id()));
+        save(&store, &path).unwrap();
+        let back = load(&path, &city).unwrap();
+        assert_eq!(back.outbound(ZoneId(0)), store.outbound(ZoneId(0)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_zone_count_mismatch() {
+        let (_, store) = setup();
+        let other_city = City::generate(&CityConfig::small(1));
+        let err = from_text(&to_text(&store), &other_city).unwrap_err();
+        assert!(err.contains("stale"), "{err}");
+    }
+
+    #[test]
+    fn rejects_corrupt_lines() {
+        let (city, store) = setup();
+        let text = to_text(&store);
+        // Break the magic.
+        assert!(from_text(&text.replace("v1", "v9"), &city).is_err());
+        // Truncate mid-leaf-list.
+        let cut = text.len() - text.len() / 10;
+        let truncated = &text[..cut];
+        assert!(from_text(truncated, &city).is_err());
+    }
+
+    #[test]
+    fn loaded_store_supports_chaining() {
+        let (city, store) = setup();
+        let back = from_text(&to_text(&store), &city).unwrap();
+        for z in 0..city.n_zones() as u32 {
+            assert_eq!(
+                back.reachable_within(ZoneId(z), 2),
+                store.reachable_within(ZoneId(z), 2)
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Ordinary least squares with a small ridge stabilizer.
+//!
+//! The paper's simplest baseline. Solved via the normal equations
+//! `(XᵀX + λI)W = XᵀY` with an intercept column; λ keeps the system
+//! solvable when the labeled set is small or collinear — exactly the regime
+//! (low β) where the paper observes OLS becoming "inconsistent".
+
+use crate::linalg::Matrix;
+use crate::ssr::{SsrModel, SsrTask};
+
+/// Ridge-stabilized OLS.
+#[derive(Debug, Clone, Copy)]
+pub struct Ols {
+    /// Ridge coefficient λ (0 = pure OLS; default keeps tiny-β runs finite).
+    pub ridge: f64,
+}
+
+impl Default for Ols {
+    fn default() -> Self {
+        Ols { ridge: 1e-6 }
+    }
+}
+
+impl SsrModel for Ols {
+    fn name(&self) -> &'static str {
+        "OLS"
+    }
+
+    fn fit_predict(&self, task: &SsrTask<'_>) -> Matrix {
+        task.validate().expect("invalid SSR task");
+        let x = task.x_labeled.with_bias_column();
+        let xt = x.transpose();
+        let mut gram = xt.matmul(&x);
+        for i in 0..gram.rows() {
+            gram[(i, i)] += self.ridge;
+        }
+        let rhs = xt.matmul(task.y_labeled);
+        // With the ridge the Gram matrix is positive definite unless the
+        // ridge is 0 and the design is singular; escalate the ridge once
+        // before giving up on a pathological design.
+        let w = gram.solve(&rhs).unwrap_or_else(|| {
+            let mut g2 = xt.matmul(&x);
+            for i in 0..g2.rows() {
+                g2[(i, i)] += 1e-3;
+            }
+            g2.solve(&rhs).expect("ridge-stabilized system must solve")
+        });
+        task.x_unlabeled.with_bias_column().matmul(&w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssr::fixtures;
+
+    #[test]
+    fn recovers_linear_relationship() {
+        // First target is linear in the features: OLS should be near exact.
+        let m = Ols::default();
+        let err = fixtures::model_mae(&m, 80, 40, 7);
+        assert!(err < 0.08, "linear target MAE {err}");
+    }
+
+    #[test]
+    fn beats_mean_baseline() {
+        let m = Ols::default();
+        let err = fixtures::model_mae(&m, 60, 30, 3);
+        let base = fixtures::mean_baseline_mae(60, 30, 3);
+        assert!(err < base * 0.3, "OLS {err} vs baseline {base}");
+    }
+
+    #[test]
+    fn exact_fit_on_noiseless_line() {
+        // y = 2x + 1 exactly.
+        let xl = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let yl = Matrix::from_rows(&[vec![1.0], vec![3.0], vec![5.0]]);
+        let xu = Matrix::from_rows(&[vec![10.0]]);
+        let task = SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 0 };
+        let pred = Ols::default().fit_predict(&task);
+        assert!((pred[(0, 0)] - 21.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn survives_collinear_features() {
+        // Second column duplicates the first: singular without the ridge.
+        let xl = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ]);
+        let yl = Matrix::from_rows(&[vec![2.0], vec![4.0], vec![6.0]]);
+        let xu = Matrix::from_rows(&[vec![4.0, 4.0]]);
+        let task = SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 0 };
+        let pred = Ols::default().fit_predict(&task);
+        assert!((pred[(0, 0)] - 8.0).abs() < 0.01, "got {}", pred[(0, 0)]);
+    }
+
+    #[test]
+    fn handles_more_features_than_rows() {
+        // Underdetermined: 2 rows, 4 features. Ridge keeps it solvable.
+        let xl = Matrix::from_rows(&[vec![1.0, 0.0, 2.0, 1.0], vec![0.0, 1.0, 1.0, 2.0]]);
+        let yl = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let xu = Matrix::from_rows(&[vec![1.0, 1.0, 3.0, 3.0]]);
+        let task = SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 0 };
+        let pred = Ols::default().fit_predict(&task);
+        assert!(pred[(0, 0)].is_finite());
+    }
+}

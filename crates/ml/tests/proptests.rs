@@ -1,0 +1,107 @@
+//! Property tests for the ML crate: linear-algebra identities, metric
+//! bounds, scaler round-trips, and fairness-free invariants of the models.
+
+use proptest::prelude::*;
+use staq_ml::linalg::Matrix;
+use staq_ml::metrics::{mae, pearson, rmse};
+use staq_ml::scaler::StandardScaler;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-100.0f64..100.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_associates(a in small_matrix(3, 4), b in small_matrix(4, 2), c in small_matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_of_product_swaps(a in small_matrix(3, 4), b in small_matrix(4, 2)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_inverts_well_conditioned_systems(mut a in small_matrix(4, 4), b in small_matrix(4, 2)) {
+        // Diagonal dominance guarantees solvability.
+        for i in 0..4 {
+            let row_sum: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+            a[(i, i)] += row_sum + 1.0;
+        }
+        let x = a.solve(&b).expect("diagonally dominant");
+        let residual = a.matmul(&x).add_scaled(&b, -1.0);
+        prop_assert!(residual.frobenius() < 1e-6, "residual {}", residual.frobenius());
+    }
+
+    #[test]
+    fn scaler_roundtrips(x in small_matrix(6, 3)) {
+        let s = StandardScaler::fit(&x);
+        let back = s.inverse_transform(&s.transform(&x));
+        for (a, b) in x.data().iter().zip(back.data()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pearson_bounded(a in proptest::collection::vec(-100.0f64..100.0, 2..40)) {
+        let b: Vec<f64> = a.iter().map(|v| v * 0.7 + 3.0).collect();
+        let r = pearson(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+    }
+
+    #[test]
+    fn mae_rmse_relations(pairs in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..30)) {
+        let t: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let p: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let m = mae(&t, &p);
+        let r = rmse(&t, &p);
+        prop_assert!(m >= 0.0);
+        prop_assert!(r + 1e-12 >= m, "rmse {r} < mae {m}");
+        // Identity: zero error on identical inputs.
+        prop_assert_eq!(mae(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn ols_is_translation_equivariant(seed in 0u64..1000) {
+        // Shifting all targets by c shifts all predictions by c.
+        use staq_ml::ols::Ols;
+        use staq_ml::ssr::{SsrModel, SsrTask};
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut rnd = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as f64 / u32::MAX as f64
+        };
+        let n = 20;
+        let mut xl = Matrix::zeros(n, 2);
+        let mut yl = Matrix::zeros(n, 1);
+        for i in 0..n {
+            let (a, b) = (rnd(), rnd());
+            xl[(i, 0)] = a;
+            xl[(i, 1)] = b;
+            yl[(i, 0)] = 2.0 * a - b + rnd() * 0.01;
+        }
+        let xu = Matrix::from_rows(&[vec![rnd(), rnd()], vec![rnd(), rnd()]]);
+        let shift = 17.5;
+        let y_shifted = yl.map(|v| v + shift);
+        let t1 = SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed };
+        let t2 = SsrTask { x_labeled: &xl, y_labeled: &y_shifted, x_unlabeled: &xu, adjacency: None, seed };
+        let p1 = Ols::default().fit_predict(&t1);
+        let p2 = Ols::default().fit_predict(&t2);
+        for (a, b) in p1.data().iter().zip(p2.data()) {
+            // Exact OLS is translation-equivariant; the tiny ridge also
+            // shrinks the intercept, leaving an O(ridge/n · shift) residual.
+            prop_assert!((b - a - shift).abs() < 1e-4, "{b} vs {a} + {shift}");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the road crate: Dijkstra against a Bellman-Ford
+//! reference on random graphs, and isochrone monotonicity.
+
+use proptest::prelude::*;
+use staq_geom::Point;
+use staq_road::dijkstra::{bounded_walk_times, walk_time, walk_times_from};
+use staq_road::{NodeId, RoadGraph, RoadGraphBuilder};
+
+/// A random directed graph of `n` nodes and some edges.
+fn random_graph() -> impl Strategy<Value = RoadGraph> {
+    (2usize..14, proptest::collection::vec((0usize..14, 0usize..14, 1.0f32..100.0), 1..40))
+        .prop_map(|(n, edges)| {
+            let mut b = RoadGraphBuilder::new();
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| b.add_node(Point::new(i as f64 * 10.0, (i * i % 7) as f64)))
+                .collect();
+            for (u, v, w) in edges {
+                let (u, v) = (u % n, v % n);
+                b.add_edge(ids[u], ids[v], w);
+            }
+            b.build()
+        })
+}
+
+/// Bellman-Ford reference.
+fn bellman_ford(g: &RoadGraph, src: NodeId) -> Vec<f64> {
+    let n = g.n_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[src.idx()] = 0.0;
+    for _ in 0..n {
+        let mut changed = false;
+        for u in 0..n {
+            if dist[u].is_infinite() {
+                continue;
+            }
+            for (v, w) in g.out_edges(NodeId(u as u32)) {
+                let cand = dist[u] + w as f64;
+                if cand < dist[v.idx()] - 1e-12 {
+                    dist[v.idx()] = cand;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dijkstra_matches_bellman_ford(g in random_graph()) {
+        let src = NodeId(0);
+        let fast = walk_times_from(&g, src);
+        let slow = bellman_ford(&g, src);
+        for (a, b) in fast.iter().zip(&slow) {
+            if a.is_infinite() || b.is_infinite() {
+                prop_assert_eq!(a.is_infinite(), b.is_infinite());
+            } else {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn one_to_one_agrees_with_one_to_all(g in random_graph(), dst in 0usize..14) {
+        let src = NodeId(0);
+        let dst = NodeId((dst % g.n_nodes()) as u32);
+        let all = walk_times_from(&g, src);
+        match walk_time(&g, src, dst) {
+            Some(t) => prop_assert!((t - all[dst.idx()]).abs() < 1e-9),
+            None => prop_assert!(all[dst.idx()].is_infinite()),
+        }
+    }
+
+    #[test]
+    fn bounded_is_prefix_of_full(g in random_graph(), budget in 0.0f64..300.0) {
+        let src = NodeId(0);
+        let full = walk_times_from(&g, src);
+        let bounded = bounded_walk_times(&g, src, budget);
+        // Everything returned is within budget and matches the full dist.
+        for &(n, t) in &bounded {
+            prop_assert!(t <= budget + 1e-9);
+            prop_assert!((t - full[n.idx()]).abs() < 1e-9);
+        }
+        // Nothing within budget is missed.
+        let returned: std::collections::HashSet<u32> =
+            bounded.iter().map(|&(n, _)| n.0).collect();
+        for (i, &d) in full.iter().enumerate() {
+            if d <= budget {
+                prop_assert!(returned.contains(&(i as u32)), "node {i} at {d} missed");
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_over_shortest_paths(g in random_graph()) {
+        // d(0, v) <= d(0, u) + w(u, v) for every edge (u, v).
+        let dist = walk_times_from(&g, NodeId(0));
+        for u in 0..g.n_nodes() {
+            if dist[u].is_infinite() {
+                continue;
+            }
+            for (v, w) in g.out_edges(NodeId(u as u32)) {
+                prop_assert!(dist[v.idx()] <= dist[u] + w as f64 + 1e-9);
+            }
+        }
+    }
+}

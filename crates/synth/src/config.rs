@@ -1,0 +1,192 @@
+//! City generation parameters and the paper's two presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-category POI counts (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoiCounts {
+    pub schools: u32,
+    pub hospitals: u32,
+    pub vax_centers: u32,
+    pub job_centers: u32,
+}
+
+/// Everything needed to generate a [`crate::City`] deterministically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CityConfig {
+    /// Display name ("Birmingham").
+    pub name: String,
+    /// RNG seed; two configs differing only in seed produce statistically
+    /// identical but point-wise different cities.
+    pub seed: u64,
+    /// Side of the square study area in meters.
+    pub side_m: f64,
+    /// Number of census-tract zones |Z|.
+    pub n_zones: u32,
+    /// POI counts per category.
+    pub pois: PoiCounts,
+    /// Number of urban density cores (≥ 1). The first is the city center;
+    /// the rest are sub-centers.
+    pub n_cores: u32,
+    /// Road grid spacing in meters (node every `road_spacing_m`).
+    pub road_spacing_m: f64,
+    /// Fraction of grid edges randomly removed (0..1) to break symmetry.
+    pub road_dropout: f64,
+    /// Number of bus routes.
+    pub n_routes: u32,
+    /// Target stop spacing along a route, meters.
+    pub stop_spacing_m: f64,
+    /// Scheduled bus cruise speed in meters/second (includes dwell slack).
+    pub bus_speed_mps: f64,
+    /// Peak headway (seconds between buses) on an average route; off-peak is
+    /// doubled, evening tripled. Route-level multipliers in [0.6, 1.8] are
+    /// sampled so high- and low-frequency corridors both exist.
+    pub peak_headway_s: u32,
+    /// Total population, distributed over zones by density.
+    pub population: u64,
+}
+
+impl CityConfig {
+    /// Full-scale Birmingham analogue: 3217 zones, Table I POI counts.
+    pub fn birmingham(seed: u64) -> Self {
+        CityConfig {
+            name: "Birmingham".into(),
+            seed,
+            side_m: 16_500.0,
+            n_zones: 3217,
+            pois: PoiCounts { schools: 874, hospitals: 56, vax_centers: 82, job_centers: 20 },
+            n_cores: 3,
+            road_spacing_m: 220.0,
+            road_dropout: 0.12,
+            n_routes: 110,
+            stop_spacing_m: 400.0,
+            bus_speed_mps: 5.6, // ~20 km/h scheduled incl. dwell
+            peak_headway_s: 600,
+            population: 1_140_000,
+        }
+    }
+
+    /// Full-scale Coventry analogue: 1014 zones, Table I POI counts.
+    pub fn coventry(seed: u64) -> Self {
+        CityConfig {
+            name: "Coventry".into(),
+            seed,
+            side_m: 10_000.0,
+            n_zones: 1014,
+            pois: PoiCounts { schools: 230, hospitals: 6, vax_centers: 22, job_centers: 2 },
+            n_cores: 1,
+            road_spacing_m: 220.0,
+            road_dropout: 0.12,
+            n_routes: 42,
+            stop_spacing_m: 400.0,
+            bus_speed_mps: 5.6,
+            peak_headway_s: 600,
+            population: 650_000,
+        }
+    }
+
+    /// A small city for integration tests and examples: ~120 zones, a few
+    /// routes, generates in well under a second.
+    pub fn small(seed: u64) -> Self {
+        CityConfig {
+            name: "Smallville".into(),
+            seed,
+            side_m: 4_000.0,
+            n_zones: 120,
+            pois: PoiCounts { schools: 12, hospitals: 2, vax_centers: 4, job_centers: 2 },
+            n_cores: 1,
+            road_spacing_m: 250.0,
+            road_dropout: 0.10,
+            n_routes: 8,
+            stop_spacing_m: 400.0,
+            bus_speed_mps: 5.6,
+            peak_headway_s: 600,
+            population: 40_000,
+        }
+    }
+
+    /// The smallest coherent city (unit tests): 16 zones, 2 routes.
+    pub fn tiny(seed: u64) -> Self {
+        CityConfig {
+            name: "Tinytown".into(),
+            seed,
+            side_m: 1_600.0,
+            n_zones: 16,
+            pois: PoiCounts { schools: 3, hospitals: 1, vax_centers: 1, job_centers: 1 },
+            n_cores: 1,
+            road_spacing_m: 200.0,
+            road_dropout: 0.05,
+            n_routes: 2,
+            stop_spacing_m: 350.0,
+            bus_speed_mps: 5.6,
+            peak_headway_s: 600,
+            population: 5_000,
+        }
+    }
+
+    /// Scales zone, POI and route counts by `f` (area by `f` as well, so
+    /// densities stay constant). `scaled(1.0)` is the identity. Used by the
+    /// reproduction binaries' `--scale` flag so paper-shape experiments run
+    /// on laptop budgets.
+    pub fn scaled(&self, f: f64) -> Self {
+        assert!(f > 0.0 && f.is_finite(), "scale must be positive");
+        let s = |v: u32| ((v as f64 * f).round() as u32).max(1);
+        CityConfig {
+            name: self.name.clone(),
+            seed: self.seed,
+            side_m: self.side_m * f.sqrt(),
+            n_zones: s(self.n_zones),
+            pois: PoiCounts {
+                schools: s(self.pois.schools),
+                hospitals: s(self.pois.hospitals),
+                vax_centers: s(self.pois.vax_centers),
+                job_centers: s(self.pois.job_centers),
+            },
+            n_cores: self.n_cores,
+            road_spacing_m: self.road_spacing_m,
+            road_dropout: self.road_dropout,
+            n_routes: s(self.n_routes),
+            stop_spacing_m: self.stop_spacing_m,
+            bus_speed_mps: self.bus_speed_mps,
+            peak_headway_s: self.peak_headway_s,
+            population: (self.population as f64 * f).round() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_counts() {
+        let b = CityConfig::birmingham(1);
+        assert_eq!(b.n_zones, 3217);
+        assert_eq!(b.pois.schools, 874);
+        assert_eq!(b.pois.job_centers, 20);
+        let c = CityConfig::coventry(1);
+        assert_eq!(c.n_zones, 1014);
+        assert_eq!(c.pois.hospitals, 6);
+        assert_eq!(c.pois.job_centers, 2);
+    }
+
+    #[test]
+    fn scaled_identity() {
+        let b = CityConfig::birmingham(1);
+        assert_eq!(b.scaled(1.0), b);
+    }
+
+    #[test]
+    fn scaled_down_preserves_minimums() {
+        let b = CityConfig::birmingham(1).scaled(0.01);
+        assert!(b.n_zones >= 32);
+        assert_eq!(b.pois.job_centers, 1, "counts never drop to zero");
+        assert!(b.side_m < 2000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn scaled_rejects_zero() {
+        CityConfig::tiny(1).scaled(0.0);
+    }
+}

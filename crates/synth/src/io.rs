@@ -1,0 +1,335 @@
+//! City dataset export/import.
+//!
+//! A generated [`City`] can be persisted as a plain-text dataset directory —
+//! the shape a transport analyst would actually exchange:
+//!
+//! ```text
+//! <dir>/zones.csv      id,x,y,population,pct_unemployed,pct_vulnerable,pct_children
+//! <dir>/pois.csv       id,category,x,y,zone
+//! <dir>/nodes.csv      id,x,y
+//! <dir>/edges.csv      from,to,secs
+//! <dir>/cores.csv      x,y
+//! <dir>/meta.csv       key,value            (the generating CityConfig)
+//! <dir>/gtfs/…         standard GTFS text files
+//! ```
+//!
+//! Import reverses it exactly; `export → import` is lossless (verified by
+//! tests), so experiments can be re-run against archived datasets and
+//! external GTFS/zone data can be swapped in by writing the same files.
+
+use crate::city::{City, Demographics, Poi, PoiCategory, PoiId, Zone, ZoneId};
+use crate::config::{CityConfig, PoiCounts};
+use staq_geom::Point;
+use staq_gtfs::csv;
+use staq_gtfs::FeedIndex;
+use staq_road::{NodeId, RoadGraphBuilder};
+use std::path::Path;
+
+/// Writes the full dataset under `dir` (created if missing).
+pub fn export_city(city: &City, dir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let write = |name: &str, body: String| {
+        std::fs::write(dir.join(name), body).map_err(|e| format!("writing {name}: {e}"))
+    };
+
+    write(
+        "zones.csv",
+        csv::write(
+            &["id", "x", "y", "population", "pct_unemployed", "pct_vulnerable", "pct_children"],
+            &city
+                .zones
+                .iter()
+                .map(|z| {
+                    vec![
+                        z.id.0.to_string(),
+                        z.centroid.x.to_string(),
+                        z.centroid.y.to_string(),
+                        z.population.to_string(),
+                        z.demographics.pct_unemployed.to_string(),
+                        z.demographics.pct_vulnerable.to_string(),
+                        z.demographics.pct_children.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        ),
+    )?;
+
+    write(
+        "pois.csv",
+        csv::write(
+            &["id", "category", "x", "y", "zone"],
+            &city
+                .pois
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.id.0.to_string(),
+                        p.category.label().to_string(),
+                        p.pos.x.to_string(),
+                        p.pos.y.to_string(),
+                        p.zone.0.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        ),
+    )?;
+
+    write(
+        "nodes.csv",
+        csv::write(
+            &["id", "x", "y"],
+            &(0..city.road.n_nodes())
+                .map(|i| {
+                    let p = city.road.pos(NodeId(i as u32));
+                    vec![i.to_string(), p.x.to_string(), p.y.to_string()]
+                })
+                .collect::<Vec<_>>(),
+        ),
+    )?;
+
+    let mut edge_rows = Vec::with_capacity(city.road.n_edges());
+    for u in 0..city.road.n_nodes() {
+        for (v, w) in city.road.out_edges(NodeId(u as u32)) {
+            edge_rows.push(vec![u.to_string(), v.0.to_string(), w.to_string()]);
+        }
+    }
+    write("edges.csv", csv::write(&["from", "to", "secs"], &edge_rows))?;
+
+    write(
+        "cores.csv",
+        csv::write(
+            &["x", "y"],
+            &city
+                .cores
+                .iter()
+                .map(|c| vec![c.x.to_string(), c.y.to_string()])
+                .collect::<Vec<_>>(),
+        ),
+    )?;
+
+    let cfg = &city.config;
+    let meta: Vec<(&str, String)> = vec![
+        ("name", cfg.name.clone()),
+        ("seed", cfg.seed.to_string()),
+        ("side_m", cfg.side_m.to_string()),
+        ("n_zones", cfg.n_zones.to_string()),
+        ("schools", cfg.pois.schools.to_string()),
+        ("hospitals", cfg.pois.hospitals.to_string()),
+        ("vax_centers", cfg.pois.vax_centers.to_string()),
+        ("job_centers", cfg.pois.job_centers.to_string()),
+        ("n_cores", cfg.n_cores.to_string()),
+        ("road_spacing_m", cfg.road_spacing_m.to_string()),
+        ("road_dropout", cfg.road_dropout.to_string()),
+        ("n_routes", cfg.n_routes.to_string()),
+        ("stop_spacing_m", cfg.stop_spacing_m.to_string()),
+        ("bus_speed_mps", cfg.bus_speed_mps.to_string()),
+        ("peak_headway_s", cfg.peak_headway_s.to_string()),
+        ("population", cfg.population.to_string()),
+    ];
+    write(
+        "meta.csv",
+        csv::write(
+            &["key", "value"],
+            &meta.iter().map(|(k, v)| vec![k.to_string(), v.clone()]).collect::<Vec<_>>(),
+        ),
+    )?;
+
+    staq_gtfs::write::to_dir(city.feed.feed(), &dir.join("gtfs"))
+}
+
+/// Reads a dataset directory written by [`export_city`].
+pub fn import_city(dir: &Path) -> Result<City, String> {
+    let read = |name: &str| {
+        std::fs::read_to_string(dir.join(name)).map_err(|e| format!("reading {name}: {e}"))
+    };
+    let parse_f = |s: &str, what: &str| -> Result<f64, String> {
+        s.parse().map_err(|_| format!("bad float {s:?} in {what}"))
+    };
+
+    // meta.csv -> CityConfig.
+    let t = csv::parse(&read("meta.csv")?)?;
+    let (ck, cv) = (t.col("key")?, t.col("value")?);
+    let get = |key: &str| -> Result<String, String> {
+        t.rows
+            .iter()
+            .find(|r| r[ck] == key)
+            .map(|r| r[cv].clone())
+            .ok_or_else(|| format!("meta.csv missing key {key:?}"))
+    };
+    let config = CityConfig {
+        name: get("name")?,
+        seed: get("seed")?.parse().map_err(|_| "bad seed")?,
+        side_m: parse_f(&get("side_m")?, "meta")?,
+        n_zones: get("n_zones")?.parse().map_err(|_| "bad n_zones")?,
+        pois: PoiCounts {
+            schools: get("schools")?.parse().map_err(|_| "bad schools")?,
+            hospitals: get("hospitals")?.parse().map_err(|_| "bad hospitals")?,
+            vax_centers: get("vax_centers")?.parse().map_err(|_| "bad vax_centers")?,
+            job_centers: get("job_centers")?.parse().map_err(|_| "bad job_centers")?,
+        },
+        n_cores: get("n_cores")?.parse().map_err(|_| "bad n_cores")?,
+        road_spacing_m: parse_f(&get("road_spacing_m")?, "meta")?,
+        road_dropout: parse_f(&get("road_dropout")?, "meta")?,
+        n_routes: get("n_routes")?.parse().map_err(|_| "bad n_routes")?,
+        stop_spacing_m: parse_f(&get("stop_spacing_m")?, "meta")?,
+        bus_speed_mps: parse_f(&get("bus_speed_mps")?, "meta")?,
+        peak_headway_s: get("peak_headway_s")?.parse().map_err(|_| "bad headway")?,
+        population: get("population")?.parse().map_err(|_| "bad population")?,
+    };
+
+    // zones.csv.
+    let t = csv::parse(&read("zones.csv")?)?;
+    let cols = [
+        t.col("id")?,
+        t.col("x")?,
+        t.col("y")?,
+        t.col("population")?,
+        t.col("pct_unemployed")?,
+        t.col("pct_vulnerable")?,
+        t.col("pct_children")?,
+    ];
+    let mut zones = Vec::with_capacity(t.rows.len());
+    for (i, r) in t.rows.iter().enumerate() {
+        let id: u32 = r[cols[0]].parse().map_err(|_| "bad zone id")?;
+        if id as usize != i {
+            return Err(format!("zones.csv ids must be dense and ordered, got {id} at row {i}"));
+        }
+        zones.push(Zone {
+            id: ZoneId(id),
+            centroid: Point::new(parse_f(&r[cols[1]], "zones")?, parse_f(&r[cols[2]], "zones")?),
+            population: parse_f(&r[cols[3]], "zones")?,
+            demographics: Demographics {
+                pct_unemployed: parse_f(&r[cols[4]], "zones")?,
+                pct_vulnerable: parse_f(&r[cols[5]], "zones")?,
+                pct_children: parse_f(&r[cols[6]], "zones")?,
+            },
+        });
+    }
+
+    // pois.csv.
+    let t = csv::parse(&read("pois.csv")?)?;
+    let (ci, cc, cx, cy, cz) =
+        (t.col("id")?, t.col("category")?, t.col("x")?, t.col("y")?, t.col("zone")?);
+    let mut pois = Vec::with_capacity(t.rows.len());
+    for r in &t.rows {
+        let category = PoiCategory::ALL
+            .iter()
+            .copied()
+            .find(|c| c.label() == r[cc])
+            .ok_or_else(|| format!("unknown POI category {:?}", r[cc]))?;
+        pois.push(Poi {
+            id: PoiId(r[ci].parse().map_err(|_| "bad poi id")?),
+            category,
+            pos: Point::new(parse_f(&r[cx], "pois")?, parse_f(&r[cy], "pois")?),
+            zone: ZoneId(r[cz].parse().map_err(|_| "bad poi zone")?),
+        });
+    }
+
+    // Road graph.
+    let t = csv::parse(&read("nodes.csv")?)?;
+    let (cx, cy) = (t.col("x")?, t.col("y")?);
+    let mut builder = RoadGraphBuilder::new();
+    for r in &t.rows {
+        builder.add_node(Point::new(parse_f(&r[cx], "nodes")?, parse_f(&r[cy], "nodes")?));
+    }
+    let t = csv::parse(&read("edges.csv")?)?;
+    let (cf, ct, cs) = (t.col("from")?, t.col("to")?, t.col("secs")?);
+    for r in &t.rows {
+        let from: u32 = r[cf].parse().map_err(|_| "bad edge endpoint")?;
+        let to: u32 = r[ct].parse().map_err(|_| "bad edge endpoint")?;
+        builder.add_edge(NodeId(from), NodeId(to), parse_f(&r[cs], "edges")? as f32);
+    }
+    let road = builder.build();
+    road.check_invariants()?;
+
+    // cores.csv.
+    let t = csv::parse(&read("cores.csv")?)?;
+    let (cx, cy) = (t.col("x")?, t.col("y")?);
+    let cores = t
+        .rows
+        .iter()
+        .map(|r| Ok(Point::new(parse_f(&r[cx], "cores")?, parse_f(&r[cy], "cores")?)))
+        .collect::<Result<Vec<_>, String>>()?;
+
+    // GTFS.
+    let feed = staq_gtfs::parse::FeedText::from_dir(&dir.join("gtfs"))?.parse()?;
+    staq_gtfs::validate::assert_valid(&feed);
+
+    Ok(City { config, zones, pois, road, feed: FeedIndex::build(feed), cores })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("staq_io_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn export_import_roundtrip_is_lossless() {
+        let city = City::generate(&CityConfig::tiny(77));
+        let dir = tmpdir("roundtrip");
+        export_city(&city, &dir).unwrap();
+        let back = import_city(&dir).unwrap();
+        assert_eq!(city.config, back.config);
+        assert_eq!(city.zones, back.zones);
+        assert_eq!(city.pois, back.pois);
+        assert_eq!(city.cores, back.cores);
+        assert_eq!(city.feed.feed(), back.feed.feed());
+        assert_eq!(city.road.n_nodes(), back.road.n_nodes());
+        assert_eq!(city.road.n_edges(), back.road.n_edges());
+        // Edge-by-edge equivalence.
+        for u in 0..city.road.n_nodes() {
+            let mut a: Vec<_> = city.road.out_edges(NodeId(u as u32)).collect();
+            let mut b: Vec<_> = back.road.out_edges(NodeId(u as u32)).collect();
+            a.sort_by_key(|e| e.0);
+            b.sort_by_key(|e| e.0);
+            assert_eq!(a, b);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn import_rejects_missing_files() {
+        let dir = tmpdir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = import_city(&dir).unwrap_err();
+        assert!(err.contains("meta.csv"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn import_rejects_sparse_zone_ids() {
+        let city = City::generate(&CityConfig::tiny(5));
+        let dir = tmpdir("sparse");
+        export_city(&city, &dir).unwrap();
+        // Corrupt: bump one id.
+        let z = std::fs::read_to_string(dir.join("zones.csv")).unwrap();
+        let z = z.replacen("\n1,", "\n9,", 1);
+        std::fs::write(dir.join("zones.csv"), z).unwrap();
+        assert!(import_city(&dir).unwrap_err().contains("dense"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn imported_city_runs_the_pipeline_identically() {
+        use staq_gtfs::time::TimeInterval;
+        let city = City::generate(&CityConfig::tiny(31));
+        let dir = tmpdir("pipeline");
+        export_city(&city, &dir).unwrap();
+        let back = import_city(&dir).unwrap();
+        // Identical departures at every stop => identical routing behavior.
+        let v = TimeInterval::am_peak();
+        for s in 0..city.feed.n_stops() {
+            let a: Vec<_> =
+                city.feed.departures_at(staq_gtfs::StopId(s as u32), &v).collect();
+            let b: Vec<_> =
+                back.feed.departures_at(staq_gtfs::StopId(s as u32), &v).collect();
+            assert_eq!(a, b);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

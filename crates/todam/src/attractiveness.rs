@@ -1,0 +1,128 @@
+//! Attractiveness scores `α_ij` (paper §III-C).
+//!
+//! "The attractiveness score can be given by domain knowledge, learned from
+//! real data, or calculated on-the-fly (e.g., by using a distance decay
+//! function). The score is then normalized over all P for each z_i ∈ Z."
+//! The experiments use "a negative exponential distance decay function"
+//! (§V-A) — implemented here, with a relative cutoff that zeroes the long
+//! tail (those pairs generate no trips, `M_b^{i,j,:} = 0`).
+
+use serde::{Deserialize, Serialize};
+use staq_geom::Point;
+
+/// Negative-exponential distance-decay attractiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Attractiveness {
+    /// Decay length in meters: `α'_ij = exp(-d_ij / decay_m)`.
+    pub decay_m: f64,
+    /// Post-normalization relative cutoff: scores below
+    /// `cutoff_rel * max_j(α_ij)` are zeroed (no trips sampled).
+    pub cutoff_rel: f64,
+}
+
+impl Default for Attractiveness {
+    /// 2 km decay — roughly the catchment of urban service POIs — and a 2%
+    /// relative cutoff.
+    fn default() -> Self {
+        Attractiveness { decay_m: 2000.0, cutoff_rel: 0.02 }
+    }
+}
+
+impl Attractiveness {
+    /// Normalized scores of `pois` for a zone centered at `origin`.
+    ///
+    /// Guarantees: entries are in `[0, 1]`, sum to 1 unless every POI was
+    /// cut off (then the nearest POI gets weight 1 — a zone always has
+    /// *some* demand for the category).
+    pub fn scores(&self, origin: &Point, pois: &[Point]) -> Vec<f64> {
+        assert!(!pois.is_empty(), "attractiveness over an empty POI set");
+        let mut raw: Vec<f64> =
+            pois.iter().map(|p| (-origin.dist(p) / self.decay_m).exp()).collect();
+        let max = raw.iter().copied().fold(f64::MIN, f64::max);
+        let cut = max * self.cutoff_rel;
+        for v in &mut raw {
+            if *v < cut {
+                *v = 0.0;
+            }
+        }
+        let sum: f64 = raw.iter().sum();
+        if sum <= 0.0 {
+            // Degenerate: everything cut off (can't happen with cutoff_rel
+            // < 1, kept for robustness against exotic configs).
+            let nearest = pois
+                .iter()
+                .enumerate()
+                .min_by(|a, b| origin.dist(a.1).partial_cmp(&origin.dist(b.1)).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            let mut out = vec![0.0; pois.len()];
+            out[nearest] = 1.0;
+            return out;
+        }
+        for v in &mut raw {
+            *v /= sum;
+        }
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_sum_to_one() {
+        let a = Attractiveness::default();
+        let origin = Point::new(0.0, 0.0);
+        let pois = vec![
+            Point::new(500.0, 0.0),
+            Point::new(3000.0, 0.0),
+            Point::new(0.0, 8000.0),
+        ];
+        let s = a.scores(&origin, &pois);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn nearer_pois_score_higher() {
+        let a = Attractiveness::default();
+        let origin = Point::new(0.0, 0.0);
+        let pois = vec![Point::new(400.0, 0.0), Point::new(4000.0, 0.0)];
+        let s = a.scores(&origin, &pois);
+        assert!(s[0] > s[1] * 3.0);
+    }
+
+    #[test]
+    fn cutoff_zeroes_distant_pois() {
+        let a = Attractiveness { decay_m: 1000.0, cutoff_rel: 0.05 };
+        let origin = Point::new(0.0, 0.0);
+        let pois = vec![Point::new(100.0, 0.0), Point::new(20_000.0, 0.0)];
+        let s = a.scores(&origin, &pois);
+        assert_eq!(s[1], 0.0, "20km POI is far past the cutoff");
+        assert!((s[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_poi_gets_full_weight() {
+        let a = Attractiveness::default();
+        let s = a.scores(&Point::new(0.0, 0.0), &[Point::new(9000.0, 9000.0)]);
+        assert_eq!(s, vec![1.0]);
+    }
+
+    #[test]
+    fn equidistant_pois_share_equally() {
+        let a = Attractiveness::default();
+        let origin = Point::new(0.0, 0.0);
+        let pois = vec![Point::new(1000.0, 0.0), Point::new(0.0, 1000.0)];
+        let s = a.scores(&origin, &pois);
+        assert!((s[0] - s[1]).abs() < 1e-12);
+        assert!((s[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty POI set")]
+    fn empty_pois_rejected() {
+        Attractiveness::default().scores(&Point::new(0.0, 0.0), &[]);
+    }
+}

@@ -1,0 +1,202 @@
+//! SPQ labeling: turning trips into access costs (paper §IV-D).
+//!
+//! "For labeling, each zone is selected in L and all of its respective trips
+//! are retrieved from M_g. For each, an SPQ is run in G to calculate its
+//! access cost. These access costs are then aggregated back to the
+//! zone-level using the mean and standard deviation, which forms the target
+//! vector."
+//!
+//! Labeling dominates end-to-end runtime (§IV-E), so it parallelizes across
+//! zones with a crossbeam worker pool. On the evaluation box every run is
+//! still deterministic: costs depend only on (city, matrix, router config),
+//! never on scheduling.
+
+use crate::build::{trip_origin, trip_poi_pos};
+use crate::matrix::Todam;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use staq_gtfs::time::TimeInterval;
+use staq_synth::{City, ZoneId};
+use staq_transit::{AccessCost, Raptor, TransitNetwork};
+
+/// Per-zone labeling result: the SSR target vector's components.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZoneStats {
+    /// Mean access cost (MAC numerator of Eq. 2, already gravity-weighted by
+    /// sampling).
+    pub mac: f64,
+    /// Standard deviation of access costs (ACSD).
+    pub acsd: f64,
+    /// Number of labeled trips.
+    pub n_trips: u32,
+    /// Fraction of the zone's trips that were walk-only (drives the ACSD=0
+    /// effect discussed in §V-B2).
+    pub walk_only_frac: f64,
+}
+
+impl ZoneStats {
+    /// Stats over a cost/walk-flag list. Returns `None` for an empty list
+    /// (zones without trips cannot be labeled).
+    pub fn from_costs(costs: &[(f64, bool)]) -> Option<ZoneStats> {
+        if costs.is_empty() {
+            return None;
+        }
+        let n = costs.len() as f64;
+        let mean = costs.iter().map(|c| c.0).sum::<f64>() / n;
+        let var = costs.iter().map(|c| (c.0 - mean).powi(2)).sum::<f64>() / n;
+        let walks = costs.iter().filter(|c| c.1).count() as f64;
+        Some(ZoneStats {
+            mac: mean,
+            acsd: var.sqrt(),
+            n_trips: costs.len() as u32,
+            walk_only_frac: walks / n,
+        })
+    }
+}
+
+/// The labeling engine: a router plus cost model over one city.
+pub struct LabelEngine<'a> {
+    city: &'a City,
+    net: TransitNetwork<'a>,
+    cost: AccessCost,
+    interval: TimeInterval,
+    /// Worker threads for zone-parallel labeling.
+    pub n_workers: usize,
+}
+
+impl<'a> LabelEngine<'a> {
+    /// Creates an engine with the default router config.
+    pub fn new(city: &'a City, cost: AccessCost, interval: TimeInterval) -> Self {
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let n_workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        LabelEngine { city, net, cost, interval, n_workers }
+    }
+
+    /// The underlying network (shared with feature extraction).
+    pub fn network(&self) -> &TransitNetwork<'a> {
+        &self.net
+    }
+
+    /// Labels a single zone: routes every trip, aggregates to mean/std.
+    /// `None` when the zone has no trips in `m`.
+    pub fn label_zone(&self, m: &Todam, zone: ZoneId) -> Option<ZoneStats> {
+        let router = Raptor::new(&self.net);
+        let trips = m.zone_trips(zone);
+        let mut costs = Vec::with_capacity(trips.len());
+        for trip in trips {
+            let o = trip_origin(self.city, trip);
+            let d = trip_poi_pos(self.city, m, trip);
+            let j = router.query(&o, &d, trip.start, self.interval.day);
+            costs.push((self.cost.cost(&j), j.is_walk_only()));
+        }
+        ZoneStats::from_costs(&costs)
+    }
+
+    /// Labels a set of zones in parallel. Output order matches `zones`;
+    /// entries are `None` for zones without trips.
+    pub fn label_zones(&self, m: &Todam, zones: &[ZoneId]) -> Vec<Option<ZoneStats>> {
+        if zones.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.n_workers.clamp(1, zones.len());
+        if workers == 1 {
+            return zones.iter().map(|&z| self.label_zone(m, z)).collect();
+        }
+        let out = Mutex::new(vec![None; zones.len()]);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= zones.len() {
+                        break;
+                    }
+                    let stats = self.label_zone(m, zones[i]);
+                    out.lock()[i] = stats;
+                });
+            }
+        })
+        .expect("labeling worker panicked");
+        out.into_inner()
+    }
+
+    /// Labels every zone of the matrix — the naïve full computation the
+    /// paper's Table II prices against the SSR solution.
+    pub fn label_all(&self, m: &Todam) -> Vec<Option<ZoneStats>> {
+        let zones: Vec<ZoneId> = (0..m.n_zones() as u32).map(ZoneId).collect();
+        self.label_zones(m, &zones)
+    }
+
+    /// Total trips labeled when covering `zones` (cost accounting).
+    pub fn trip_count(&self, m: &Todam, zones: &[ZoneId]) -> usize {
+        zones.iter().map(|&z| m.zone_trips(z).len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::TodamSpec;
+    use staq_synth::{CityConfig, PoiCategory};
+
+    fn setup() -> (City, Todam) {
+        let city = City::generate(&CityConfig::tiny(42));
+        let m = TodamSpec { per_hour: 5, ..Default::default() }.build(&city, PoiCategory::School);
+        (city, m)
+    }
+
+    #[test]
+    fn zone_stats_from_costs() {
+        let s = ZoneStats::from_costs(&[(10.0, false), (20.0, false), (30.0, true)]).unwrap();
+        assert!((s.mac - 20.0).abs() < 1e-12);
+        assert!((s.acsd - (200.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        assert_eq!(s.n_trips, 3);
+        assert!((s.walk_only_frac - 1.0 / 3.0).abs() < 1e-12);
+        assert!(ZoneStats::from_costs(&[]).is_none());
+    }
+
+    #[test]
+    fn labels_are_finite_and_positive() {
+        let (city, m) = setup();
+        let engine = LabelEngine::new(&city, AccessCost::jt(), TimeInterval::am_peak());
+        let all = engine.label_all(&m);
+        let labeled: Vec<_> = all.iter().flatten().collect();
+        assert!(!labeled.is_empty());
+        for s in labeled {
+            assert!(s.mac.is_finite() && s.mac > 0.0);
+            assert!(s.acsd.is_finite() && s.acsd >= 0.0);
+            assert!(s.n_trips > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (city, m) = setup();
+        let mut engine = LabelEngine::new(&city, AccessCost::jt(), TimeInterval::am_peak());
+        let zones: Vec<ZoneId> = (0..city.n_zones() as u32).map(ZoneId).collect();
+        engine.n_workers = 1;
+        let seq = engine.label_zones(&m, &zones);
+        engine.n_workers = 4;
+        let par = engine.label_zones(&m, &zones);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn gac_labels_exceed_jt_labels() {
+        let (city, m) = setup();
+        let jt = LabelEngine::new(&city, AccessCost::jt(), TimeInterval::am_peak());
+        let gac = LabelEngine::new(&city, AccessCost::gac(), TimeInterval::am_peak());
+        let z = ZoneId(0);
+        if let (Some(a), Some(b)) = (jt.label_zone(&m, z), gac.label_zone(&m, z)) {
+            assert!(b.mac >= a.mac * 0.99, "GAC MAC {} below JT MAC {}", b.mac, a.mac);
+        }
+    }
+
+    #[test]
+    fn trip_count_accounts_per_zone() {
+        let (city, m) = setup();
+        let engine = LabelEngine::new(&city, AccessCost::jt(), TimeInterval::am_peak());
+        let zones: Vec<ZoneId> = (0..city.n_zones() as u32).map(ZoneId).collect();
+        assert_eq!(engine.trip_count(&m, &zones), m.n_trips());
+    }
+}

@@ -1,0 +1,91 @@
+//! Matrix-composition accounting (paper Table I).
+
+use crate::build::TodamSpec;
+use serde::{Deserialize, Serialize};
+use staq_synth::{City, PoiCategory};
+
+/// One Table I row: full vs gravity size for one (city, category).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixStats {
+    pub city: String,
+    pub category: String,
+    pub n_pois: usize,
+    pub full: u64,
+    pub gravity: u64,
+    pub reduction_pct: f64,
+}
+
+impl MatrixStats {
+    /// Builds the gravity matrix and measures it against the full size.
+    pub fn measure(city: &City, spec: &TodamSpec, category: PoiCategory) -> MatrixStats {
+        let m = spec.build(city, category);
+        MatrixStats {
+            city: city.config.name.clone(),
+            category: category.label().to_string(),
+            n_pois: city.pois_of(category).len(),
+            full: m.full_size,
+            gravity: m.n_trips() as u64,
+            reduction_pct: m.reduction_pct(),
+        }
+    }
+
+    /// All four categories for one city (a Table I half).
+    pub fn measure_all(city: &City, spec: &TodamSpec) -> Vec<MatrixStats> {
+        PoiCategory::ALL
+            .iter()
+            .map(|&c| MatrixStats::measure(city, spec, c))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for MatrixStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<10} {:<11} |P|={:<5} full={:<12} gravity={:<10} red={:.1}%",
+            self.city, self.category, self.n_pois, self.full, self.gravity, self.reduction_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staq_synth::CityConfig;
+
+    #[test]
+    fn measures_all_categories() {
+        let city = City::generate(&CityConfig::small(42));
+        let rows = MatrixStats::measure_all(&city, &TodamSpec::default());
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.gravity <= r.full);
+            assert!((0.0..=100.0).contains(&r.reduction_pct));
+            assert!(r.n_pois > 0);
+        }
+    }
+
+    #[test]
+    fn larger_poi_sets_reduce_more() {
+        // The Table I pattern: more POIs per category -> thinner sampling.
+        let city = City::generate(&CityConfig::small(42));
+        let rows = MatrixStats::measure_all(&city, &TodamSpec::default());
+        let school = rows.iter().find(|r| r.category == "School").unwrap();
+        let job = rows.iter().find(|r| r.category == "Job Center").unwrap();
+        assert!(
+            school.reduction_pct > job.reduction_pct,
+            "school {} <= job {}",
+            school.reduction_pct,
+            job.reduction_pct
+        );
+    }
+
+    #[test]
+    fn display_formats_a_row() {
+        let city = City::generate(&CityConfig::tiny(1));
+        let r = MatrixStats::measure(&city, &TodamSpec::default(), PoiCategory::School);
+        let s = r.to_string();
+        assert!(s.contains("School"));
+        assert!(s.contains("red="));
+    }
+}

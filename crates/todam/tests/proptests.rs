@@ -1,0 +1,95 @@
+//! Property tests for TODAM construction: gravity gating must behave like a
+//! thinning (never invent trips), obey determinism, and respect α ordering.
+
+use proptest::prelude::*;
+use staq_gtfs::time::TimeInterval;
+use staq_synth::{City, CityConfig, PoiCategory, ZoneId};
+use staq_todam::{sampling, Attractiveness, TodamSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn matrix_invariants_hold_across_specs(
+        seed in 0u64..50,
+        per_hour in 1u32..8,
+        gamma in 1.0f64..40.0,
+        decay in 300.0f64..3000.0,
+    ) {
+        let city = City::generate(&CityConfig::tiny(seed));
+        let spec = TodamSpec {
+            per_hour,
+            gamma,
+            attractiveness: Attractiveness { decay_m: decay, cutoff_rel: 0.02 },
+            seed,
+            ..Default::default()
+        };
+        let m = spec.build(&city, PoiCategory::School);
+        prop_assert!(m.check_invariants().is_ok());
+        prop_assert!(m.n_trips() as u64 <= m.full_size);
+        for t in m.trips() {
+            prop_assert!(spec.interval.contains(t.start));
+        }
+    }
+
+    #[test]
+    fn larger_gamma_never_samples_fewer_trips(seed in 0u64..50) {
+        let city = City::generate(&CityConfig::tiny(seed));
+        let lo = TodamSpec { gamma: 3.0, seed, ..Default::default() }
+            .build(&city, PoiCategory::School);
+        let hi = TodamSpec { gamma: 30.0, seed, ..Default::default() }
+            .build(&city, PoiCategory::School);
+        // Same pair streams, higher keep probability: supersets per pair in
+        // expectation; totals must not shrink (allow equality at saturation).
+        prop_assert!(hi.n_trips() >= lo.n_trips());
+    }
+
+    #[test]
+    fn alpha_orders_trip_counts_within_a_zone(seed in 0u64..30) {
+        let city = City::generate(&CityConfig::small(seed));
+        let spec = TodamSpec { per_hour: 12, ..Default::default() };
+        let m = spec.build(&city, PoiCategory::School);
+        // For a zone with several attracted POIs, the most attractive POI
+        // should rarely receive fewer trips than one with <= half its alpha
+        // (binomial noise bounded by the 12x2=24 draws). Check the strong
+        // ordering only between extremes.
+        for z in 0..city.n_zones().min(30) {
+            let zid = ZoneId(z as u32);
+            let alpha = m.zone_alpha(zid);
+            if alpha.len() < 2 {
+                continue;
+            }
+            let max = alpha.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+            let min = alpha.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+            if max.1 < min.1 * 6.0 {
+                continue; // not extreme enough to beat sampling noise
+            }
+            let count = |poi: u32| m.zone_trips(zid).iter().filter(|t| t.poi_idx == poi).count();
+            prop_assert!(
+                count(max.0) >= count(min.0),
+                "zone {z}: alpha {:.3} got {} trips, alpha {:.3} got {}",
+                max.1, count(max.0), min.1, count(min.0)
+            );
+        }
+    }
+
+    #[test]
+    fn start_time_draws_stay_inside_any_interval(
+        start_h in 5u32..20,
+        len_h in 1u32..4,
+        rate in 1u32..20,
+        seed in 0u64..100,
+    ) {
+        let v = TimeInterval::new(
+            staq_gtfs::Stime::hours(start_h),
+            staq_gtfs::Stime::hours(start_h + len_h),
+            staq_gtfs::DayOfWeek::Tuesday,
+            "window",
+        );
+        let times = sampling::draw_start_times(&v, rate, seed);
+        prop_assert_eq!(times.len(), (rate * len_h) as usize);
+        for t in times {
+            prop_assert!(v.contains(t));
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Journeys and legs: the router's output, the cost models' input.
+
+use serde::{Deserialize, Serialize};
+use staq_gtfs::model::{RouteId, StopId, TripId};
+use staq_gtfs::time::Stime;
+
+/// One leg of a multimodal journey.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Leg {
+    /// Walking: from the origin, between stops, or to the destination.
+    Walk {
+        /// Duration in seconds.
+        secs: u32,
+        /// Stop walked *to* (`None` for the final egress walk).
+        to_stop: Option<StopId>,
+    },
+    /// Waiting at a stop for a vehicle.
+    Wait {
+        secs: u32,
+        at_stop: StopId,
+    },
+    /// Riding a vehicle between two stops.
+    Ride {
+        trip: TripId,
+        route: RouteId,
+        from_stop: StopId,
+        to_stop: StopId,
+        board: Stime,
+        alight: Stime,
+    },
+}
+
+impl Leg {
+    /// Leg duration in seconds.
+    pub fn secs(&self) -> u32 {
+        match *self {
+            Leg::Walk { secs, .. } | Leg::Wait { secs, .. } => secs,
+            Leg::Ride { board, alight, .. } => board.until(alight),
+        }
+    }
+}
+
+/// A complete journey from an `(o, d, t)` query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Journey {
+    /// Requested departure time `t`.
+    pub depart: Stime,
+    /// Arrival time at the destination, `AT(d)`.
+    pub arrive: Stime,
+    /// Ordered legs. A pure walking journey has a single `Walk` leg.
+    pub legs: Vec<Leg>,
+}
+
+impl Journey {
+    /// A walk-only journey.
+    pub fn walk_only(depart: Stime, walk_secs: u32) -> Journey {
+        Journey {
+            depart,
+            arrive: depart.plus(walk_secs),
+            legs: vec![Leg::Walk { secs: walk_secs, to_stop: None }],
+        }
+    }
+
+    /// Total journey time in seconds: `AT(d) − t`, the paper's JT cost.
+    #[inline]
+    pub fn jt_secs(&self) -> u32 {
+        self.depart.until(self.arrive)
+    }
+
+    /// True when no vehicle is boarded (paper §V-B2's "walking only trips",
+    /// which have ACSD 0 because they don't depend on the schedule).
+    pub fn is_walk_only(&self) -> bool {
+        !self.legs.iter().any(|l| matches!(l, Leg::Ride { .. }))
+    }
+
+    /// Number of vehicle boardings.
+    pub fn n_rides(&self) -> usize {
+        self.legs.iter().filter(|l| matches!(l, Leg::Ride { .. })).count()
+    }
+
+    /// Number of interchanges (boardings beyond the first).
+    pub fn n_transfers(&self) -> usize {
+        self.n_rides().saturating_sub(1)
+    }
+
+    /// Access walk time TAN: walking before the first ride (0 for walk-only
+    /// journeys, where all walking is the journey itself — reported under
+    /// `jt` instead so GAC's walk weighting applies once).
+    pub fn access_walk_secs(&self) -> u32 {
+        let mut acc = 0;
+        for leg in &self.legs {
+            match leg {
+                Leg::Walk { secs, .. } => acc += secs,
+                Leg::Wait { .. } => {}
+                Leg::Ride { .. } => return acc,
+            }
+        }
+        0 // never rode: walk-only journey
+    }
+
+    /// Egress walk time ET: walking after the last ride.
+    pub fn egress_walk_secs(&self) -> u32 {
+        let mut acc = 0;
+        for leg in self.legs.iter().rev() {
+            match leg {
+                Leg::Walk { secs, .. } => acc += secs,
+                Leg::Wait { .. } => {}
+                Leg::Ride { .. } => return acc,
+            }
+        }
+        0
+    }
+
+    /// Walking between rides (interchange walks).
+    pub fn transfer_walk_secs(&self) -> u32 {
+        let total: u32 = self
+            .legs
+            .iter()
+            .filter_map(|l| match l {
+                Leg::Walk { secs, .. } => Some(*secs),
+                _ => None,
+            })
+            .sum();
+        if self.is_walk_only() {
+            0
+        } else {
+            total - self.access_walk_secs() - self.egress_walk_secs()
+        }
+    }
+
+    /// Total waiting time WT.
+    pub fn wait_secs(&self) -> u32 {
+        self.legs
+            .iter()
+            .filter_map(|l| match l {
+                Leg::Wait { secs, .. } => Some(*secs),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total in-vehicle time IVT.
+    pub fn in_vehicle_secs(&self) -> u32 {
+        self.legs
+            .iter()
+            .filter_map(|l| match l {
+                Leg::Ride { board, alight, .. } => Some(board.until(*alight)),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Human-readable itinerary, one line per leg — the user-facing output
+    /// of the journey planner (used by examples and debugging).
+    pub fn describe(&self) -> String {
+        let mut out = format!("depart {} → arrive {} ({} min)\n", self.depart, self.arrive,
+            self.jt_secs() / 60);
+        for leg in &self.legs {
+            match leg {
+                Leg::Walk { secs, to_stop: Some(s) } => {
+                    out.push_str(&format!("  walk {:>3} min to stop {}\n", secs / 60, s.0));
+                }
+                Leg::Walk { secs, to_stop: None } => {
+                    out.push_str(&format!("  walk {:>3} min to destination\n", secs / 60));
+                }
+                Leg::Wait { secs, at_stop } => {
+                    out.push_str(&format!("  wait {:>3} min at stop {}\n", secs / 60, at_stop.0));
+                }
+                Leg::Ride { route, from_stop, to_stop, board, alight, .. } => {
+                    out.push_str(&format!(
+                        "  ride route {} from stop {} ({board}) to stop {} ({alight})\n",
+                        route.0, from_stop.0, to_stop.0
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Internal consistency: leg durations must sum to the journey time.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let legs_total: u32 = self.legs.iter().map(|l| l.secs()).sum();
+        if legs_total != self.jt_secs() {
+            return Err(format!(
+                "legs sum to {legs_total}s but journey spans {}s",
+                self.jt_secs()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_ride_journey() -> Journey {
+        // walk 120 -> wait 60 -> ride 600 -> walk 90 -> wait 30 -> ride 300 -> walk 60
+        let depart = Stime::hms(8, 0, 0);
+        let mut t = depart;
+        let mut legs = Vec::new();
+        legs.push(Leg::Walk { secs: 120, to_stop: Some(StopId(1)) });
+        t = t.plus(120);
+        legs.push(Leg::Wait { secs: 60, at_stop: StopId(1) });
+        t = t.plus(60);
+        legs.push(Leg::Ride {
+            trip: TripId(0),
+            route: RouteId(0),
+            from_stop: StopId(1),
+            to_stop: StopId(2),
+            board: t,
+            alight: t.plus(600),
+        });
+        t = t.plus(600);
+        legs.push(Leg::Walk { secs: 90, to_stop: Some(StopId(3)) });
+        t = t.plus(90);
+        legs.push(Leg::Wait { secs: 30, at_stop: StopId(3) });
+        t = t.plus(30);
+        legs.push(Leg::Ride {
+            trip: TripId(1),
+            route: RouteId(1),
+            from_stop: StopId(3),
+            to_stop: StopId(4),
+            board: t,
+            alight: t.plus(300),
+        });
+        t = t.plus(300);
+        legs.push(Leg::Walk { secs: 60, to_stop: None });
+        t = t.plus(60);
+        Journey { depart, arrive: t, legs }
+    }
+
+    #[test]
+    fn jt_is_arrival_minus_departure() {
+        let j = two_ride_journey();
+        assert_eq!(j.jt_secs(), 120 + 60 + 600 + 90 + 30 + 300 + 60);
+        j.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn component_decomposition() {
+        let j = two_ride_journey();
+        assert_eq!(j.access_walk_secs(), 120);
+        assert_eq!(j.egress_walk_secs(), 60);
+        assert_eq!(j.transfer_walk_secs(), 90);
+        assert_eq!(j.wait_secs(), 90);
+        assert_eq!(j.in_vehicle_secs(), 900);
+        assert_eq!(j.n_rides(), 2);
+        assert_eq!(j.n_transfers(), 1);
+        assert!(!j.is_walk_only());
+    }
+
+    #[test]
+    fn walk_only_journey() {
+        let j = Journey::walk_only(Stime::hms(7, 30, 0), 480);
+        assert!(j.is_walk_only());
+        assert_eq!(j.jt_secs(), 480);
+        assert_eq!(j.n_transfers(), 0);
+        assert_eq!(j.access_walk_secs(), 0, "walk-only walking counts as the journey");
+        assert_eq!(j.egress_walk_secs(), 0);
+        assert_eq!(j.wait_secs(), 0);
+        j.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn describe_mentions_every_leg() {
+        let j = two_ride_journey();
+        let s = j.describe();
+        assert_eq!(s.lines().count(), 1 + j.legs.len());
+        assert!(s.contains("ride route 0"));
+        assert!(s.contains("ride route 1"));
+        assert!(s.contains("to destination"));
+    }
+
+    #[test]
+    fn consistency_detects_gaps() {
+        let mut j = two_ride_journey();
+        j.arrive = j.arrive.plus(10);
+        assert!(j.check_consistency().is_err());
+    }
+}

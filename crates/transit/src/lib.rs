@@ -1,0 +1,36 @@
+//! # staq-transit
+//!
+//! The multimodal journey planner — this repository's substitute for Open
+//! Trip Planner, which the paper uses as its `(o, d, t) → journey` oracle
+//! for labeling (§IV-D). Given an origin point, destination point, departure
+//! time and day, the router returns the earliest-arriving journey as a
+//! sequence of legs (access walk, wait, ride, transfer, egress walk), from
+//! which both access costs are computed:
+//!
+//! * **JT** — journey time, `c(o,d,t) = AT(d) − t` (§III-C);
+//! * **GAC** — generalized access cost, Eq. (1): weighted walk/wait/in-vehicle
+//!   time, transfer penalties, and fare divided by the value of time,
+//!   following the UK DfT TAG M3.2 convention the paper cites.
+//!
+//! Two routing algorithms are provided:
+//!
+//! * [`raptor`] — round-based RAPTOR over trip patterns: exact earliest
+//!   arrival with a bounded number of transfers. The production labeler.
+//! * [`mmdijkstra`] — a time-dependent multimodal Dijkstra baseline used for
+//!   cross-validation tests and the router ablation benchmark.
+//!
+//! [`network::TransitNetwork`] precomputes the structures both share: trip
+//! patterns, stop→road-node snapping, stop-to-stop foot transfers.
+
+pub mod cost;
+pub mod fare;
+pub mod journey;
+pub mod mmdijkstra;
+pub mod network;
+pub mod raptor;
+
+pub use cost::{AccessCost, CostKind, GacWeights};
+pub use fare::FareModel;
+pub use journey::{Journey, Leg};
+pub use network::{RouterConfig, TransitNetwork};
+pub use raptor::Raptor;

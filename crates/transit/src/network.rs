@@ -1,0 +1,433 @@
+//! The prepared multimodal network shared by both routers.
+//!
+//! Construction extracts **trip patterns** (maximal groups of trips on one
+//! route with an identical stop sequence — the unit RAPTOR scans), flattens
+//! their timetables into dense arrival/departure matrices, snaps stops to
+//! road nodes, and precomputes stop-to-stop foot transfers.
+
+use serde::{Deserialize, Serialize};
+use staq_geom::{KdTree, Point};
+use staq_gtfs::model::{RouteId, StopId, TripId};
+use staq_gtfs::time::{DayOfWeek, Stime};
+use staq_gtfs::FeedIndex;
+use staq_road::{dijkstra, NodeId, NodeSnapper, RoadGraph};
+use std::collections::HashMap;
+
+/// Router parameters. Defaults mirror the paper's walking parameters
+/// (τ = 600 s, ω = 4.5 km/h) and a standard 3-transfer search depth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Maximum number of boardings (rides); RAPTOR runs this many rounds.
+    pub max_boardings: usize,
+    /// Walking budget to reach the first stop / leave the last stop, secs.
+    pub access_budget_secs: f64,
+    /// Maximum interchange walk between stops, secs.
+    pub transfer_walk_secs: f64,
+    /// Walking speed ω, m/s.
+    pub omega_mps: f64,
+    /// Crow-flies → street-distance factor for stop-to-stop transfer walks
+    /// and the direct-walk fallback.
+    pub walk_detour: f64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_boardings: 4,
+            access_budget_secs: staq_road::DEFAULT_TAU_SECS,
+            transfer_walk_secs: 240.0,
+            omega_mps: staq_road::DEFAULT_OMEGA_MPS,
+            walk_detour: 1.25,
+        }
+    }
+}
+
+/// A trip pattern: trips of one route sharing an exact stop sequence.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    pub route: RouteId,
+    /// Ordered stops of the pattern.
+    pub stops: Vec<StopId>,
+    /// Trips sorted by departure time at the first stop.
+    pub trips: Vec<TripId>,
+    /// Flattened `trips.len() x stops.len()` arrival matrix.
+    arrivals: Vec<Stime>,
+    /// Flattened departures, same layout.
+    departures: Vec<Stime>,
+}
+
+impl Pattern {
+    /// Arrival of trip index `t` (within this pattern) at stop position `i`.
+    #[inline]
+    pub fn arrival(&self, t: usize, i: usize) -> Stime {
+        self.arrivals[t * self.stops.len() + i]
+    }
+
+    /// Departure of trip index `t` at stop position `i`.
+    #[inline]
+    pub fn departure(&self, t: usize, i: usize) -> Stime {
+        self.departures[t * self.stops.len() + i]
+    }
+
+    /// Index (within this pattern) of the earliest trip departing stop
+    /// position `i` at or after `t` and running on `day`.
+    pub fn earliest_trip(
+        &self,
+        i: usize,
+        t: Stime,
+        day: DayOfWeek,
+        feed: &FeedIndex,
+    ) -> Option<usize> {
+        // Trips are sorted by first-stop departure and never overtake within
+        // a pattern (enforced in `check_no_overtaking` during build), so the
+        // departures at any fixed position are sorted too: binary search.
+        let n = self.trips.len();
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.departure(mid, i) < t {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo..n).find(|&k| feed.trip_runs_on(self.trips[k], day))
+    }
+}
+
+/// A foot transfer to another stop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transfer {
+    pub to: StopId,
+    pub walk_secs: u32,
+}
+
+/// The prepared multimodal network.
+pub struct TransitNetwork<'a> {
+    pub road: &'a RoadGraph,
+    pub feed: &'a FeedIndex,
+    pub cfg: RouterConfig,
+    patterns: Vec<Pattern>,
+    /// For each stop: `(pattern index, position within pattern)` pairs.
+    patterns_at_stop: Vec<Vec<(u32, u32)>>,
+    /// Road node each stop snaps to.
+    stop_node: Vec<NodeId>,
+    /// Stops at a given road node (reverse of `stop_node`).
+    node_stops: HashMap<u32, Vec<StopId>>,
+    /// Foot transfers per stop.
+    transfers: Vec<Vec<Transfer>>,
+    snapper: NodeSnapper,
+}
+
+impl<'a> TransitNetwork<'a> {
+    /// Prepares the network. Panics if a pattern's trips overtake each other
+    /// (violates RAPTOR's scan invariant; cannot happen with feeds from
+    /// `staq-synth`, and real feeds that overtake would need pattern
+    /// splitting — out of scope and loudly rejected rather than silently
+    /// mis-routed).
+    pub fn new(road: &'a RoadGraph, feed: &'a FeedIndex, cfg: RouterConfig) -> Self {
+        let patterns = build_patterns(feed);
+        for p in &patterns {
+            check_no_overtaking(p);
+        }
+        let n_stops = feed.n_stops();
+        let mut patterns_at_stop: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_stops];
+        for (pi, p) in patterns.iter().enumerate() {
+            for (pos, s) in p.stops.iter().enumerate() {
+                patterns_at_stop[s.idx()].push((pi as u32, pos as u32));
+            }
+        }
+
+        let snapper = NodeSnapper::new(road);
+        let mut stop_node = Vec::with_capacity(n_stops);
+        let mut node_stops: HashMap<u32, Vec<StopId>> = HashMap::new();
+        for s in 0..n_stops {
+            let node = snapper.snap_unchecked(&feed.stop_pos(StopId(s as u32)));
+            stop_node.push(node);
+            node_stops.entry(node.0).or_default().push(StopId(s as u32));
+        }
+
+        // Foot transfers: stops within walking range (crow-flies x detour).
+        let stop_tree = KdTree::build(&feed.stop_points());
+        let max_walk_m = cfg.transfer_walk_secs * cfg.omega_mps / cfg.walk_detour;
+        let mut transfers: Vec<Vec<Transfer>> = vec![Vec::new(); n_stops];
+        for s in 0..n_stops {
+            let pos = feed.stop_pos(StopId(s as u32));
+            for nb in stop_tree.within_radius(&pos, max_walk_m) {
+                if nb.item == s as u32 {
+                    continue;
+                }
+                let secs = (nb.dist() * cfg.walk_detour / cfg.omega_mps).round() as u32;
+                transfers[s].push(Transfer { to: StopId(nb.item), walk_secs: secs });
+            }
+        }
+
+        TransitNetwork {
+            road,
+            feed,
+            cfg,
+            patterns,
+            patterns_at_stop,
+            stop_node,
+            node_stops,
+            transfers,
+            snapper,
+        }
+    }
+
+    /// With default configuration.
+    pub fn with_defaults(road: &'a RoadGraph, feed: &'a FeedIndex) -> Self {
+        Self::new(road, feed, RouterConfig::default())
+    }
+
+    /// All trip patterns.
+    #[inline]
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Patterns serving `stop` with the position of `stop` in each.
+    #[inline]
+    pub fn patterns_at(&self, stop: StopId) -> &[(u32, u32)] {
+        &self.patterns_at_stop[stop.idx()]
+    }
+
+    /// Foot transfers out of `stop`.
+    #[inline]
+    pub fn transfers_from(&self, stop: StopId) -> &[Transfer] {
+        &self.transfers[stop.idx()]
+    }
+
+    /// Road node `stop` snaps to.
+    #[inline]
+    pub fn stop_node(&self, stop: StopId) -> NodeId {
+        self.stop_node[stop.idx()]
+    }
+
+    /// Stops reachable on foot from `point` within the access budget, as
+    /// `(stop, walk seconds)`. Walks the road graph (bounded Dijkstra), not
+    /// crow-flies, so severed streets are respected.
+    pub fn access_stops(&self, point: &Point) -> Vec<(StopId, u32)> {
+        let Some((root, gap_m)) = self.snapper.snap(point) else {
+            return Vec::new();
+        };
+        let entry = gap_m / self.cfg.omega_mps;
+        let remaining = self.cfg.access_budget_secs - entry;
+        if remaining < 0.0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (node, t) in dijkstra::bounded_walk_times(self.road, root, remaining) {
+            if let Some(stops) = self.node_stops.get(&node.0) {
+                for &s in stops {
+                    out.push((s, (entry + t).round() as u32));
+                }
+            }
+        }
+        out
+    }
+
+    /// Direct walking time from `o` to `d` in seconds: the walk-only
+    /// fallback, always finite (crow-flies × detour at ω). City-scale direct
+    /// walks are rarely competitive; when they are (nearby POIs) the
+    /// approximation error is a few percent of a short walk.
+    pub fn direct_walk_secs(&self, o: &Point, d: &Point) -> u32 {
+        (o.dist(d) * self.cfg.walk_detour / self.cfg.omega_mps).round() as u32
+    }
+
+    /// Total number of patterns (diagnostics).
+    pub fn n_patterns(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Structural summary for logs and reports.
+    pub fn stats(&self) -> NetworkStats {
+        let n_trips: usize = self.patterns.iter().map(|p| p.trips.len()).sum();
+        let n_transfers: usize = self.transfers.iter().map(Vec::len).sum();
+        NetworkStats {
+            n_stops: self.feed.n_stops(),
+            n_patterns: self.patterns.len(),
+            n_trips,
+            n_transfers,
+            mean_pattern_length: if self.patterns.is_empty() {
+                0.0
+            } else {
+                self.patterns.iter().map(|p| p.stops.len()).sum::<usize>() as f64
+                    / self.patterns.len() as f64
+            },
+        }
+    }
+}
+
+/// Summary counts of a prepared network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkStats {
+    pub n_stops: usize,
+    pub n_patterns: usize,
+    pub n_trips: usize,
+    pub n_transfers: usize,
+    pub mean_pattern_length: f64,
+}
+
+impl std::fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} stops, {} patterns ({} trips, mean length {:.1}), {} foot transfers",
+            self.n_stops, self.n_patterns, self.n_trips, self.mean_pattern_length,
+            self.n_transfers
+        )
+    }
+}
+
+/// Groups trips into patterns by (route, exact stop sequence).
+fn build_patterns(feed: &FeedIndex) -> Vec<Pattern> {
+    let mut keyed: HashMap<(RouteId, Vec<StopId>), Vec<TripId>> = HashMap::new();
+    for trip in &feed.feed().trips {
+        let calls = feed.trip_calls(trip.id);
+        if calls.len() < 2 {
+            continue;
+        }
+        let stops: Vec<StopId> = calls.iter().map(|c| c.stop).collect();
+        keyed.entry((trip.route, stops)).or_default().push(trip.id);
+    }
+    let mut keys: Vec<(RouteId, Vec<StopId>)> = keyed.keys().cloned().collect();
+    keys.sort(); // deterministic pattern order
+    let mut patterns = Vec::with_capacity(keys.len());
+    for key in keys {
+        let mut trips = keyed.remove(&key).unwrap();
+        trips.sort_by_key(|&t| feed.trip_calls(t)[0].departure);
+        let (route, stops) = key;
+        let mut arrivals = Vec::with_capacity(trips.len() * stops.len());
+        let mut departures = Vec::with_capacity(trips.len() * stops.len());
+        for &t in &trips {
+            for c in feed.trip_calls(t) {
+                arrivals.push(c.arrival);
+                departures.push(c.departure);
+            }
+        }
+        patterns.push(Pattern { route, stops, trips, arrivals, departures });
+    }
+    patterns
+}
+
+/// Panics when a later-departing trip arrives earlier at any stop.
+fn check_no_overtaking(p: &Pattern) {
+    let ns = p.stops.len();
+    for t in 1..p.trips.len() {
+        for i in 0..ns {
+            assert!(
+                p.arrival(t, i) >= p.arrival(t - 1, i),
+                "pattern on route {:?} has overtaking trips at stop position {i}",
+                p.route
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staq_synth::{City, CityConfig};
+
+    fn city() -> City {
+        City::generate(&CityConfig::small(42))
+    }
+
+    #[test]
+    fn patterns_cover_all_multi_call_trips() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let total_trips: usize = net.patterns().iter().map(|p| p.trips.len()).sum();
+        assert_eq!(total_trips, city.feed.feed().trips.len());
+        for p in net.patterns() {
+            assert!(p.stops.len() >= 2);
+            assert!(!p.trips.is_empty());
+        }
+    }
+
+    #[test]
+    fn pattern_timetable_matches_feed() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let p = &net.patterns()[0];
+        let calls = city.feed.trip_calls(p.trips[0]);
+        for (i, c) in calls.iter().enumerate() {
+            assert_eq!(p.arrival(0, i), c.arrival);
+            assert_eq!(p.departure(0, i), c.departure);
+        }
+    }
+
+    #[test]
+    fn earliest_trip_binary_search_agrees_with_scan() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let day = DayOfWeek::Tuesday;
+        for p in net.patterns().iter().take(5) {
+            for &probe in &[Stime::hours(6), Stime::hms(7, 43, 0), Stime::hours(22)] {
+                for i in [0usize, p.stops.len() / 2] {
+                    let got = p.earliest_trip(i, probe, day, &city.feed);
+                    let want = (0..p.trips.len()).find(|&k| {
+                        p.departure(k, i) >= probe && city.feed.trip_runs_on(p.trips[k], day)
+                    });
+                    assert_eq!(got, want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn access_stops_respects_budget() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let origin = city.cores[0];
+        let stops = net.access_stops(&origin);
+        assert!(!stops.is_empty(), "city center must reach some stop on foot");
+        for &(s, secs) in &stops {
+            assert!(secs as f64 <= net.cfg.access_budget_secs + 1.0);
+            // The stop really is near the walking range.
+            let crow = city.feed.stop_pos(s).dist(&origin);
+            assert!(crow <= net.cfg.access_budget_secs * net.cfg.omega_mps * 1.05);
+        }
+    }
+
+    #[test]
+    fn transfers_are_symmetricish_and_bounded() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        for s in 0..city.feed.n_stops() {
+            for tr in net.transfers_from(StopId(s as u32)) {
+                assert!(tr.walk_secs as f64 <= net.cfg.transfer_walk_secs + 1.0);
+                assert_ne!(tr.to, StopId(s as u32));
+                // Reverse transfer exists (same radius, symmetric metric).
+                assert!(net
+                    .transfers_from(tr.to)
+                    .iter()
+                    .any(|r| r.to == StopId(s as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_summarize_the_network() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let s = net.stats();
+        assert_eq!(s.n_stops, city.feed.n_stops());
+        assert_eq!(s.n_trips, city.feed.feed().trips.len());
+        assert!(s.mean_pattern_length >= 2.0);
+        assert!(s.to_string().contains("patterns"));
+    }
+
+    #[test]
+    fn direct_walk_scales_with_distance() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let a = Point::new(0.0, 0.0);
+        let near = net.direct_walk_secs(&a, &Point::new(100.0, 0.0));
+        let far = net.direct_walk_secs(&a, &Point::new(1000.0, 0.0));
+        assert!(far > near * 9);
+        assert_eq!(net.direct_walk_secs(&a, &a), 0);
+    }
+}

@@ -1,0 +1,363 @@
+//! RAPTOR: round-based earliest-arrival routing over trip patterns.
+//!
+//! Round `k` computes the earliest arrival at every stop using at most `k`
+//! boardings; foot transfers follow each round. Journeys are reconstructed
+//! from per-round labels into [`Journey`] legs so the GAC's components
+//! (access walk, wait, in-vehicle, egress, transfers) fall out directly.
+//!
+//! This is the workhorse behind every shortest-path query (SPQ) in the
+//! paper: TODAM labeling (§IV-D) calls [`Raptor::query`] once per sampled
+//! trip.
+
+use crate::journey::{Journey, Leg};
+use crate::network::TransitNetwork;
+use staq_geom::Point;
+use staq_gtfs::model::StopId;
+use staq_gtfs::time::{DayOfWeek, Stime};
+use std::collections::HashMap;
+
+const INF: u32 = u32::MAX;
+
+/// How a stop's arrival time was achieved in a given round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Label {
+    /// Not improved this round (carried over from the previous round).
+    None,
+    /// Walked from the origin (round 0 only).
+    Access { walk_secs: u32 },
+    /// Rode a trip of `pattern` from `board_pos` to `alight_pos`.
+    Ride { pattern: u32, trip_idx: u32, board_pos: u32, alight_pos: u32 },
+    /// Foot transfer from another stop improved this round.
+    Foot { from: StopId, walk_secs: u32 },
+}
+
+/// The RAPTOR router over a prepared [`TransitNetwork`].
+pub struct Raptor<'n, 'a> {
+    net: &'n TransitNetwork<'a>,
+}
+
+impl<'n, 'a> Raptor<'n, 'a> {
+    /// Wraps a prepared network.
+    pub fn new(net: &'n TransitNetwork<'a>) -> Self {
+        Raptor { net }
+    }
+
+    /// Earliest-arriving journey from `origin` to `dest` departing at
+    /// `depart` on `day`. Always returns a journey: the walk-only fallback
+    /// guarantees finiteness even across a severed network.
+    pub fn query(&self, origin: &Point, dest: &Point, depart: Stime, day: DayOfWeek) -> Journey {
+        let n_stops = self.net.feed.n_stops();
+        let rounds = self.net.cfg.max_boardings;
+
+        // arr[k][s]: earliest arrival at s with <= k boardings (seconds).
+        let mut arr: Vec<Vec<u32>> = Vec::with_capacity(rounds + 1);
+        let mut labels: Vec<Vec<Label>> = Vec::with_capacity(rounds + 1);
+        arr.push(vec![INF; n_stops]);
+        labels.push(vec![Label::None; n_stops]);
+
+        let mut marked: Vec<StopId> = Vec::new();
+        for (s, walk) in self.net.access_stops(origin) {
+            let t = depart.0.saturating_add(walk);
+            if t < arr[0][s.idx()] {
+                arr[0][s.idx()] = t;
+                labels[0][s.idx()] = Label::Access { walk_secs: walk };
+                marked.push(s);
+            }
+        }
+
+        for k in 1..=rounds {
+            arr.push(arr[k - 1].clone());
+            labels.push(vec![Label::None; n_stops]);
+            if marked.is_empty() {
+                continue;
+            }
+
+            // Queue: each pattern touched by a marked stop, with the
+            // earliest marked position along it.
+            let mut queue: HashMap<u32, u32> = HashMap::new();
+            for &s in &marked {
+                for &(p, pos) in self.net.patterns_at(s) {
+                    queue.entry(p).and_modify(|q| *q = (*q).min(pos)).or_insert(pos);
+                }
+            }
+            marked.clear();
+
+            let mut queue: Vec<(u32, u32)> = queue.into_iter().collect();
+            queue.sort_unstable(); // deterministic scan order
+
+            for (pi, start_pos) in queue {
+                let pattern = &self.net.patterns()[pi as usize];
+                let mut active: Option<(usize, usize)> = None; // (trip_idx, board_pos)
+                for i in start_pos as usize..pattern.stops.len() {
+                    let stop = pattern.stops[i];
+                    if let Some((t, b)) = active {
+                        let at = pattern.arrival(t, i).0;
+                        if at < arr[k][stop.idx()] {
+                            arr[k][stop.idx()] = at;
+                            labels[k][stop.idx()] = Label::Ride {
+                                pattern: pi,
+                                trip_idx: t as u32,
+                                board_pos: b as u32,
+                                alight_pos: i as u32,
+                            };
+                            marked.push(stop);
+                        }
+                    }
+                    // Board (or re-board an earlier trip) using the previous
+                    // round's arrival at this stop.
+                    let ready = arr[k - 1][stop.idx()];
+                    if ready < INF {
+                        let catchable =
+                            pattern.earliest_trip(i, Stime(ready), day, self.net.feed);
+                        if let Some(t2) = catchable {
+                            let earlier = match active {
+                                None => true,
+                                Some((t, _)) => t2 < t,
+                            };
+                            if earlier {
+                                active = Some((t2, i));
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Foot transfers from stops improved by riding this round.
+            let ride_marked = marked.clone();
+            for &s in &ride_marked {
+                let base = arr[k][s.idx()];
+                for tr in self.net.transfers_from(s) {
+                    let t = base.saturating_add(tr.walk_secs);
+                    if t < arr[k][tr.to.idx()] {
+                        arr[k][tr.to.idx()] = t;
+                        labels[k][tr.to.idx()] = Label::Foot { from: s, walk_secs: tr.walk_secs };
+                        marked.push(tr.to);
+                    }
+                }
+            }
+        }
+
+        // Egress: walkable stops around the destination (symmetric graph).
+        let mut best: Option<(u32, StopId, u32)> = None; // (total, stop, egress_walk)
+        for (s, walk) in self.net.access_stops(dest) {
+            let at = arr[rounds][s.idx()];
+            if at == INF {
+                continue;
+            }
+            let total = at.saturating_add(walk);
+            if best.map_or(true, |(bt, _, _)| total < bt) {
+                best = Some((total, s, walk));
+            }
+        }
+
+        let direct = depart.0.saturating_add(self.net.direct_walk_secs(origin, dest));
+        match best {
+            Some((total, stop, egress)) if total < direct => {
+                self.reconstruct(&arr, &labels, depart, stop, egress, Stime(total))
+            }
+            _ => Journey::walk_only(depart, direct - depart.0),
+        }
+    }
+
+    /// Earliest arrival time only (no journey construction) — used by tests
+    /// to cross-check against the Dijkstra baseline cheaply.
+    pub fn earliest_arrival(
+        &self,
+        origin: &Point,
+        dest: &Point,
+        depart: Stime,
+        day: DayOfWeek,
+    ) -> Stime {
+        self.query(origin, dest, depart, day).arrive
+    }
+
+    /// Rebuilds legs by walking labels backwards from the egress stop.
+    fn reconstruct(
+        &self,
+        arr: &[Vec<u32>],
+        labels: &[Vec<Label>],
+        depart: Stime,
+        egress_stop: StopId,
+        egress_walk: u32,
+        arrive: Stime,
+    ) -> Journey {
+        let mut rev: Vec<Leg> = Vec::new();
+        if egress_walk > 0 {
+            rev.push(Leg::Walk { secs: egress_walk, to_stop: None });
+        }
+        let mut k = arr.len() - 1;
+        let mut stop = egress_stop;
+        loop {
+            // Find the round that actually set this stop's current value.
+            while labels[k][stop.idx()] == Label::None {
+                debug_assert!(k > 0, "unlabeled stop {stop:?} reached during reconstruction");
+                k -= 1;
+            }
+            match labels[k][stop.idx()] {
+                Label::None => unreachable!(),
+                Label::Access { walk_secs } => {
+                    rev.push(Leg::Walk { secs: walk_secs, to_stop: Some(stop) });
+                    break;
+                }
+                Label::Foot { from, walk_secs } => {
+                    rev.push(Leg::Walk { secs: walk_secs, to_stop: Some(stop) });
+                    stop = from;
+                }
+                Label::Ride { pattern, trip_idx, board_pos, alight_pos } => {
+                    let p = &self.net.patterns()[pattern as usize];
+                    let board_stop = p.stops[board_pos as usize];
+                    let board = p.departure(trip_idx as usize, board_pos as usize);
+                    let alight = p.arrival(trip_idx as usize, alight_pos as usize);
+                    rev.push(Leg::Ride {
+                        trip: p.trips[trip_idx as usize],
+                        route: p.route,
+                        from_stop: board_stop,
+                        to_stop: stop,
+                        board,
+                        alight,
+                    });
+                    // Wait between becoming ready at the board stop (round
+                    // k-1 arrival) and the vehicle's departure.
+                    let ready = arr[k - 1][board_stop.idx()];
+                    let wait = board.0.saturating_sub(ready);
+                    if wait > 0 {
+                        rev.push(Leg::Wait { secs: wait, at_stop: board_stop });
+                    }
+                    stop = board_stop;
+                    k -= 1;
+                }
+            }
+        }
+        rev.reverse();
+        let mut j = Journey { depart, arrive, legs: rev };
+        // Arrival already includes every component; consistency is enforced
+        // in debug builds and fuzzed in tests.
+        debug_assert!(j.check_consistency().is_ok(), "{:?}", j.check_consistency());
+        // Round egress rounding slack into the final walk leg if the parts
+        // disagree by a second due to integer rounding of walks.
+        if j.check_consistency().is_err() {
+            let legs_total: u32 = j.legs.iter().map(|l| l.secs()).sum();
+            j.arrive = depart.plus(legs_total);
+        }
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::AccessCost;
+    use crate::network::RouterConfig;
+    use staq_synth::{City, CityConfig};
+
+    fn city() -> City {
+        City::generate(&CityConfig::small(42))
+    }
+
+    fn queries(city: &City, n: usize) -> Vec<(Point, Point)> {
+        // Deterministic OD pairs spread across zones.
+        (0..n)
+            .map(|i| {
+                let o = city.zones[(i * 7) % city.zones.len()].centroid;
+                let d = city.zones[(i * 13 + 5) % city.zones.len()].centroid;
+                (o, d)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn journeys_are_consistent_and_finite() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let router = Raptor::new(&net);
+        let depart = Stime::hms(7, 30, 0);
+        for (o, d) in queries(&city, 40) {
+            let j = router.query(&o, &d, depart, DayOfWeek::Tuesday);
+            j.check_consistency().unwrap();
+            assert!(j.arrive >= depart);
+            assert!(j.jt_secs() < 4 * 3600, "city crossing under 4h, got {}s", j.jt_secs());
+        }
+    }
+
+    #[test]
+    fn some_journeys_use_transit() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let router = Raptor::new(&net);
+        let mut rides = 0;
+        let mut walks = 0;
+        for (o, d) in queries(&city, 40) {
+            let j = router.query(&o, &d, Stime::hms(7, 30, 0), DayOfWeek::Tuesday);
+            if j.is_walk_only() {
+                walks += 1;
+            } else {
+                rides += 1;
+            }
+        }
+        assert!(rides > 0, "no transit journeys found at all");
+        assert!(walks > 0, "short trips should prefer walking");
+    }
+
+    #[test]
+    fn transit_never_loses_to_walking_badly() {
+        // The router picks transit only when it beats the walk fallback.
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let router = Raptor::new(&net);
+        for (o, d) in queries(&city, 30) {
+            let j = router.query(&o, &d, Stime::hms(7, 30, 0), DayOfWeek::Tuesday);
+            let walk = net.direct_walk_secs(&o, &d);
+            assert!(j.jt_secs() <= walk, "journey {} worse than walking {walk}", j.jt_secs());
+        }
+    }
+
+    #[test]
+    fn sunday_has_no_service_so_everything_walks() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let router = Raptor::new(&net);
+        for (o, d) in queries(&city, 10) {
+            let j = router.query(&o, &d, Stime::hms(7, 30, 0), DayOfWeek::Sunday);
+            assert!(j.is_walk_only());
+        }
+    }
+
+    #[test]
+    fn later_departure_never_arrives_earlier() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let router = Raptor::new(&net);
+        for (o, d) in queries(&city, 15) {
+            let j1 = router.query(&o, &d, Stime::hms(7, 0, 0), DayOfWeek::Tuesday);
+            let j2 = router.query(&o, &d, Stime::hms(7, 20, 0), DayOfWeek::Tuesday);
+            assert!(j2.arrive >= j1.arrive.minus(1), "FIFO violated: {:?} vs {:?}", j1.arrive, j2.arrive);
+        }
+    }
+
+    #[test]
+    fn zero_boardings_config_walks_everywhere() {
+        let city = city();
+        let cfg = RouterConfig { max_boardings: 0, ..RouterConfig::default() };
+        let net = TransitNetwork::new(&city.road, &city.feed, cfg);
+        let router = Raptor::new(&net);
+        let (o, d) = queries(&city, 1)[0];
+        let j = router.query(&o, &d, Stime::hms(7, 30, 0), DayOfWeek::Tuesday);
+        assert!(j.is_walk_only());
+    }
+
+    #[test]
+    fn gac_cost_computable_for_all_journeys() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let router = Raptor::new(&net);
+        let gac = AccessCost::gac();
+        let jt = AccessCost::jt();
+        for (o, d) in queries(&city, 20) {
+            let j = router.query(&o, &d, Stime::hms(8, 0, 0), DayOfWeek::Tuesday);
+            let g = gac.cost(&j);
+            let t = jt.cost(&j);
+            assert!(g.is_finite() && g >= 0.0);
+            assert!(g >= t * 0.99, "GAC {g} below JT {t}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Offline-artifact persistence: compute the transit-hop trees once, save
+//! them, and reload them in later sessions — the paper's "the tree is saved
+//! such that it can be retrieved efficiently", measured.
+//!
+//! ```text
+//! cargo run --release --example persisted_artifacts
+//! ```
+
+use staq_repro::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let city = City::generate(&CityConfig::small(42));
+    let interval = TimeInterval::am_peak();
+    let params = staq_repro::road::IsochroneParams::default();
+
+    // Build from scratch.
+    let t0 = Instant::now();
+    let fresh = OfflineArtifacts::build(&city, &interval, &params);
+    let build_time = t0.elapsed();
+
+    // Persist and reload.
+    let path = std::env::temp_dir().join("staq_demo_trees.txt");
+    fresh.save_trees(&path).expect("save");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let t0 = Instant::now();
+    let loaded = OfflineArtifacts::load_trees(&city, &path).expect("load");
+    let load_time = t0.elapsed();
+
+    println!(
+        "hop trees for {} zones: build {:.0?} | file {:.1} KiB | reload {:.0?}",
+        city.n_zones(),
+        build_time,
+        bytes as f64 / 1024.0,
+        load_time
+    );
+
+    // Both artifact sets drive identical pipelines.
+    let cfg = PipelineConfig { beta: 0.2, model: ModelKind::Ols, ..Default::default() };
+    let a = SsrPipeline::new(&city, &fresh, cfg.clone()).run(PoiCategory::School);
+    let b = SsrPipeline::new(&city, &loaded, cfg).run(PoiCategory::School);
+    assert_eq!(a.predicted, b.predicted);
+    println!(
+        "pipeline over loaded artifacts matches fresh build exactly ({} zones predicted)",
+        b.predicted.len()
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,67 @@
+//! Quickstart: generate a synthetic city, run the SSR access-query engine,
+//! and ask the paper's four analytical questions about school access.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use staq_repro::prelude::*;
+
+fn main() {
+    // 1. A deterministic synthetic city: zones, demographics, road network,
+    //    GTFS bus timetable, POI sets.
+    let city = City::generate(&CityConfig::small(42));
+    println!(
+        "city: {} zones, {} road nodes, {} stops, {} scheduled calls, {} POIs",
+        city.n_zones(),
+        city.road.n_nodes(),
+        city.feed.n_stops(),
+        city.feed.feed().n_stop_times(),
+        city.pois.len()
+    );
+
+    // 2. The engine precomputes the offline artifacts (walking isochrones +
+    //    transit-hop trees) once, then answers queries via semi-supervised
+    //    regression: only a β-fraction of zones pay for real shortest-path
+    //    queries.
+    let config = PipelineConfig {
+        beta: 0.10,
+        model: ModelKind::Mlp,
+        cost: CostKind::Jt,
+        ..Default::default()
+    };
+    let mut engine = AccessEngine::new(city, config);
+
+    // Q1: average travel time to schools, and its spatial spread.
+    match engine.query(&AccessQuery::MeanAccess, PoiCategory::School) {
+        QueryAnswer::MeanAccess { mean_mac, mean_acsd, n_zones } => println!(
+            "\nQ1  mean journey time to school: {mean_mac:.1} min \
+             (temporal spread {mean_acsd:.1} min, {n_zones} zones)"
+        ),
+        other => unreachable!("{other:?}"),
+    }
+
+    // Q2: the same with generalized cost is one config switch away
+    // (CostKind::Gac) — see the vaccination_siting example.
+
+    // Q3: which zones are most at risk? (> 1.5x the mean cost)
+    match engine.query(&AccessQuery::AtRisk { threshold_factor: 1.5 }, PoiCategory::School) {
+        QueryAnswer::AtRisk(zones) => {
+            println!("Q3  {} zones exceed 1.5x the city mean:", zones.len());
+            for z in zones.iter().take(5) {
+                let c = engine.city().zone_centroid(*z);
+                println!("      zone {:>4} at ({:.0} m, {:.0} m)", z.0, c.x, c.y);
+            }
+        }
+        other => unreachable!("{other:?}"),
+    }
+
+    // Q4: is access fairly distributed — overall, and for children
+    // specifically?
+    for weight in [DemographicWeight::Uniform, DemographicWeight::Children] {
+        match engine.query(&AccessQuery::Fairness { weight }, PoiCategory::School) {
+            QueryAnswer::Fairness(j) => println!("Q4  Jain fairness ({weight:?}): {j:.4}"),
+            other => unreachable!("{other:?}"),
+        }
+    }
+}

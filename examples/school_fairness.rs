@@ -1,0 +1,79 @@
+//! School-access equity analysis: classify every zone's accessibility,
+//! compare fairness across demographic weightings, and show how the
+//! generalized access cost (fares, waiting, interchanges) changes the
+//! picture relative to plain journey time.
+//!
+//! ```text
+//! cargo run --release --example school_fairness
+//! ```
+
+use staq_repro::access::classify;
+use staq_repro::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    let city = City::generate(&CityConfig::small(7));
+
+    for cost in [CostKind::Jt, CostKind::Gac] {
+        let mut engine = AccessEngine::new(
+            city.clone(),
+            PipelineConfig { beta: 0.15, model: ModelKind::Mlp, cost, ..Default::default() },
+        );
+
+        println!("=== cost model: {cost} ===");
+        match engine.query(&AccessQuery::MeanAccess, PoiCategory::School) {
+            QueryAnswer::MeanAccess { mean_mac, mean_acsd, .. } => println!(
+                "mean access cost {mean_mac:.1}, temporal spread {mean_acsd:.1}"
+            ),
+            other => unreachable!("{other:?}"),
+        }
+
+        // Accessibility classification (paper §III-D's four classes).
+        match engine.query(&AccessQuery::Classification, PoiCategory::School) {
+            QueryAnswer::Classification(classes) => {
+                let mut hist: HashMap<&str, usize> = HashMap::new();
+                for (_, c) in &classes {
+                    *hist.entry(c.label()).or_default() += 1;
+                }
+                let mut order: Vec<_> = hist.into_iter().collect();
+                order.sort();
+                print!("classes:");
+                for (label, n) in order {
+                    print!("  {label}: {n}");
+                }
+                println!();
+            }
+            other => unreachable!("{other:?}"),
+        }
+
+        // Fairness overall vs for children (the school-age population).
+        for weight in [
+            DemographicWeight::Uniform,
+            DemographicWeight::Population,
+            DemographicWeight::Children,
+        ] {
+            match engine.query(&AccessQuery::Fairness { weight }, PoiCategory::School) {
+                QueryAnswer::Fairness(j) => println!("fairness ({weight:?}): {j:.4}"),
+                other => unreachable!("{other:?}"),
+            }
+        }
+
+        // Worst five zones with their classes.
+        match engine.query(&AccessQuery::WorstZones { k: 5 }, PoiCategory::School) {
+            QueryAnswer::WorstZones(zs) => {
+                println!("worst-served zones:");
+                let measures = engine.measures(PoiCategory::School).predicted.clone();
+                let ref_means = classify::means_from(&measures);
+                for (z, mac) in zs {
+                    let m = measures.iter().find(|m| m.zone == z).unwrap();
+                    let class = classify::AccessClass::classify(
+                        m.mac, m.acsd, ref_means.0, ref_means.1,
+                    );
+                    println!("  zone {:>4}: cost {mac:>6.1} ({class})", z.0);
+                }
+            }
+            other => unreachable!("{other:?}"),
+        }
+        println!();
+    }
+}

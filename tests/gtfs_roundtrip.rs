@@ -1,0 +1,49 @@
+//! Cross-crate GTFS property: any synthetic city's feed survives a full
+//! text round-trip through disk, and the round-tripped feed routes
+//! identically.
+
+use staq_repro::gtfs::{parse::FeedText, write};
+use staq_repro::prelude::*;
+
+#[test]
+fn feed_roundtrips_through_disk() {
+    let city = City::generate(&CityConfig::small(5));
+    let dir = std::env::temp_dir().join("staq_roundtrip_test");
+    write::to_dir(city.feed.feed(), &dir).unwrap();
+    let reparsed = FeedText::from_dir(&dir).unwrap().parse().unwrap();
+    assert_eq!(*city.feed.feed(), reparsed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn roundtripped_feed_routes_identically() {
+    use staq_repro::gtfs::time::{DayOfWeek, Stime};
+    use staq_repro::gtfs::FeedIndex;
+    use staq_repro::transit::{Raptor, TransitNetwork};
+
+    let city = City::generate(&CityConfig::tiny(11));
+    let text = write::to_text(city.feed.feed());
+    let feed2 = FeedIndex::build(text.parse().unwrap());
+
+    let net1 = TransitNetwork::with_defaults(&city.road, &city.feed);
+    let net2 = TransitNetwork::with_defaults(&city.road, &feed2);
+    let r1 = Raptor::new(&net1);
+    let r2 = Raptor::new(&net2);
+    for i in 0..city.n_zones() {
+        let o = city.zones[i].centroid;
+        let d = city.zones[(i * 5 + 3) % city.n_zones()].centroid;
+        let j1 = r1.query(&o, &d, Stime::hms(7, 15, 0), DayOfWeek::Tuesday);
+        let j2 = r2.query(&o, &d, Stime::hms(7, 15, 0), DayOfWeek::Tuesday);
+        assert_eq!(j1.arrive, j2.arrive, "roundtrip changed routing for pair {i}");
+    }
+}
+
+#[test]
+fn seeds_produce_structurally_sound_feeds() {
+    use staq_repro::gtfs::validate;
+    for seed in [1u64, 17, 123, 9999] {
+        let city = City::generate(&CityConfig::tiny(seed));
+        let violations = validate::validate(city.feed.feed());
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+    }
+}

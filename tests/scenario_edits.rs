@@ -1,0 +1,113 @@
+//! Dynamic-scenario integration: the engine's edits keep every invariant of
+//! the underlying structures and produce the causally expected direction of
+//! change.
+
+use staq_repro::gtfs::validate;
+use staq_repro::prelude::*;
+
+fn engine() -> AccessEngine {
+    let city = City::generate(&CityConfig::small(42));
+    AccessEngine::new(
+        city,
+        PipelineConfig {
+            beta: 0.2,
+            model: ModelKind::Ols,
+            todam: TodamSpec { per_hour: 3, ..Default::default() },
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn added_route_keeps_feed_valid() {
+    let mut e = engine();
+    let a = e.city().zones[3].centroid;
+    let b = e.city().cores[0];
+    e.add_bus_route(&[a, a.midpoint(&b), b], 480);
+    let violations = validate::validate(e.city().feed.feed());
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn added_route_shortens_journeys_from_its_terminus() {
+    use staq_repro::gtfs::time::{DayOfWeek, Stime};
+    use staq_repro::transit::{Raptor, TransitNetwork};
+
+    let mut e = engine();
+    // Pick the zone farthest from the center: its journey to the center
+    // should benefit from a direct express route.
+    let center = e.city().cores[0];
+    let far = e
+        .city()
+        .zones
+        .iter()
+        .max_by(|x, y| {
+            x.centroid.dist(&center).partial_cmp(&y.centroid.dist(&center)).unwrap()
+        })
+        .unwrap()
+        .clone();
+
+    let before = {
+        let net = TransitNetwork::with_defaults(&e.city().road, &e.city().feed);
+        Raptor::new(&net)
+            .query(&far.centroid, &center, Stime::hms(8, 0, 0), DayOfWeek::Tuesday)
+            .jt_secs()
+    };
+    e.add_bus_route(&[far.centroid, far.centroid.midpoint(&center), center], 300);
+    let after = {
+        let net = TransitNetwork::with_defaults(&e.city().road, &e.city().feed);
+        Raptor::new(&net)
+            .query(&far.centroid, &center, Stime::hms(8, 0, 0), DayOfWeek::Tuesday)
+            .jt_secs()
+    };
+    assert!(
+        after <= before,
+        "a direct 5-minute-headway route must not worsen the journey: {before}s -> {after}s"
+    );
+    assert!(
+        after < before,
+        "journey from the periphery should strictly improve: {before}s -> {after}s"
+    );
+}
+
+#[test]
+fn poi_edits_extend_the_poi_set_consistently() {
+    let mut e = engine();
+    let n = e.city().pois.len();
+    let pos = e.city().cores[0];
+    let id = e.add_poi(PoiCategory::JobCenter, pos);
+    assert_eq!(e.city().pois.len(), n + 1);
+    let poi = &e.city().pois[id.idx()];
+    assert_eq!(poi.category, PoiCategory::JobCenter);
+    assert_eq!(poi.pos, pos);
+    // Zone association must be the nearest centroid.
+    let tree = staq_repro::geom::KdTree::build(&e.city().zone_points());
+    assert_eq!(poi.zone.0, tree.nearest(&pos).unwrap().item);
+}
+
+#[test]
+fn queries_work_after_many_edits() {
+    let mut e = engine();
+    let c = e.city().cores[0];
+    for k in 0..3 {
+        let p = c.offset(100.0 * k as f64, -50.0 * k as f64);
+        e.add_poi(PoiCategory::VaxCenter, p);
+    }
+    let side = e.city().config.side_m;
+    e.add_bus_route(
+        &[
+            staq_repro::geom::Point::new(side * 0.1, side * 0.1),
+            staq_repro::geom::Point::new(side * 0.5, side * 0.5),
+            staq_repro::geom::Point::new(side * 0.9, side * 0.9),
+        ],
+        600,
+    );
+    for cat in [PoiCategory::VaxCenter, PoiCategory::School] {
+        match e.query(&AccessQuery::MeanAccess, cat) {
+            QueryAnswer::MeanAccess { mean_mac, .. } => {
+                assert!(mean_mac.is_finite() && mean_mac > 0.0)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}
