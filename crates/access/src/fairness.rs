@@ -71,11 +71,7 @@ pub fn gini(values: &[f64]) -> f64 {
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     // G = (2 Σ i·x_(i) / (n Σ x)) − (n + 1)/n, with 1-based ranks.
-    let weighted: f64 = sorted
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| (i as f64 + 1.0) * x)
-        .sum();
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
     (2.0 * weighted) / (n as f64 * n as f64 * mean) - (n as f64 + 1.0) / n as f64
 }
 

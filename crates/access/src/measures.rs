@@ -27,9 +27,7 @@ impl ZoneMeasures {
         stats
             .iter()
             .enumerate()
-            .filter_map(|(z, s)| {
-                s.as_ref().map(|s| ZoneMeasures::from_stats(ZoneId(z as u32), s))
-            })
+            .filter_map(|(z, s)| s.as_ref().map(|s| ZoneMeasures::from_stats(ZoneId(z as u32), s)))
             .collect()
     }
 }
@@ -53,11 +51,7 @@ mod tests {
 
     #[test]
     fn collect_skips_unlabeled() {
-        let got = ZoneMeasures::collect(&[
-            Some(stats(10.0, 1.0)),
-            None,
-            Some(stats(20.0, 2.0)),
-        ]);
+        let got = ZoneMeasures::collect(&[Some(stats(10.0, 1.0)), None, Some(stats(20.0, 2.0))]);
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].zone, ZoneId(0));
         assert_eq!(got[1].zone, ZoneId(2));

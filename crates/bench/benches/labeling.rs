@@ -2,7 +2,6 @@
 //! of the whole solution (§IV-E), and what β directly scales.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use staq_gtfs::time::TimeInterval;
 use staq_synth::{City, CityConfig, PoiCategory, ZoneId};
 use staq_todam::{LabelEngine, TodamSpec};
 use staq_transit::AccessCost;
@@ -14,10 +13,8 @@ fn bench_labeling(c: &mut Criterion) {
     let m = spec.build(&city, PoiCategory::School);
     let engine = LabelEngine::new(&city, AccessCost::jt(), spec.interval.clone());
     // A zone with a healthy trip count.
-    let zone = (0..city.n_zones() as u32)
-        .map(ZoneId)
-        .max_by_key(|&z| m.zone_trips(z).len())
-        .unwrap();
+    let zone =
+        (0..city.n_zones() as u32).map(ZoneId).max_by_key(|&z| m.zone_trips(z).len()).unwrap();
 
     let mut g = c.benchmark_group("labeling");
     g.sample_size(10);

@@ -46,9 +46,7 @@ fn bench_models(c: &mut Criterion) {
             adjacency: Some(&adj),
             seed: 5,
         };
-        g.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(kind.build().fit_predict(&task)))
-        });
+        g.bench_function(kind.label(), |b| b.iter(|| black_box(kind.build().fit_predict(&task))));
     }
     g.finish();
 }

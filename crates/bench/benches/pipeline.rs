@@ -20,9 +20,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
     g.bench_function("naive_full_labeling", |b| {
-        b.iter(|| {
-            black_box(NaiveResult::compute(&city, &spec, PoiCategory::School, CostKind::Jt))
-        })
+        b.iter(|| black_box(NaiveResult::compute(&city, &spec, PoiCategory::School, CostKind::Jt)))
     });
     for beta in [0.03, 0.1, 0.3] {
         g.bench_function(format!("ssr_beta_{beta}"), |b| {
@@ -34,9 +32,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 ..Default::default()
             };
             b.iter(|| {
-                black_box(
-                    SsrPipeline::new(&city, &artifacts, cfg.clone()).run(PoiCategory::School),
-                )
+                black_box(SsrPipeline::new(&city, &artifacts, cfg.clone()).run(PoiCategory::School))
             })
         });
     }

@@ -1,0 +1,93 @@
+//! Serving-path micro-benchmarks: wire-codec round-trips and the
+//! end-to-end warm-cache query path through a real TCP server.
+//!
+//! The codec numbers bound the protocol overhead per request; the e2e
+//! number is what a client of a warm server actually observes (framing +
+//! queue + worker + cached-measure answer + framing back), to be read
+//! against the cold path's full SSR pipeline run.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion};
+use staq_access::measures::ZoneMeasures;
+use staq_access::AccessQuery;
+use staq_serve::codec::{decode_request, decode_response, encode_request, encode_response};
+use staq_serve::presets::CityPreset;
+use staq_serve::{Client, Request, Response, ServerConfig};
+use staq_synth::{PoiCategory, ZoneId};
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_codec");
+
+    let req = Request::Query {
+        category: PoiCategory::School,
+        query: AccessQuery::AtRisk { threshold_factor: 1.5 },
+    };
+    g.bench_function("query_request_roundtrip", |b| {
+        let mut buf = BytesMut::with_capacity(256);
+        b.iter(|| {
+            buf.clear();
+            encode_request(black_box(&req), &mut buf);
+            black_box(decode_request(&mut buf).unwrap().unwrap())
+        })
+    });
+
+    // A measures response the size of the test city (120 zones).
+    let resp = Response::Measures(
+        (0..120)
+            .map(|i| ZoneMeasures {
+                zone: ZoneId(i),
+                mac: 20.0 + i as f64 * 0.25,
+                acsd: 1.0 + i as f64 * 0.01,
+            })
+            .collect(),
+    );
+    g.bench_function("measures_response_roundtrip_120z", |b| {
+        let mut buf = BytesMut::with_capacity(4096);
+        b.iter(|| {
+            buf.clear();
+            encode_response(black_box(&resp), &mut buf);
+            black_box(decode_response(&mut buf).unwrap().unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_e2e_warm(c: &mut Criterion) {
+    // Real server, loopback TCP, cache warmed before measuring: numbers
+    // reflect the serving overhead, not the SSR pipeline.
+    let engine = CityPreset::Test.engine(0.05, 42);
+    let mut handle = staq_serve::serve(
+        engine,
+        &ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, queue_depth: 64 },
+    )
+    .expect("bind loopback server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.measures(PoiCategory::School).expect("warm the cache");
+
+    let mut g = c.benchmark_group("serve_e2e_warm");
+    g.sample_size(20);
+    g.bench_function("mean_access_query", |b| {
+        b.iter(|| {
+            black_box(
+                client.query(&AccessQuery::MeanAccess, PoiCategory::School).expect("warm query"),
+            )
+        })
+    });
+    g.bench_function("worst_zones_query", |b| {
+        b.iter(|| {
+            black_box(
+                client
+                    .query(&AccessQuery::WorstZones { k: 10 }, PoiCategory::School)
+                    .expect("warm query"),
+            )
+        })
+    });
+    g.bench_function("stats", |b| b.iter(|| black_box(client.stats().expect("stats"))));
+    g.finish();
+    drop(client);
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_codec, bench_e2e_warm);
+criterion_main!(benches);

@@ -45,10 +45,9 @@ fn main() {
     println!("{:>6} {:>18} {:>18}", "beta%", "random", "spatial-coverage");
     for beta in [0.03, 0.05, 0.10] {
         let mut cells = Vec::new();
-        for (name, strat) in [
-            ("random", SamplingStrategy::Random),
-            ("coverage", SamplingStrategy::SpatialCoverage),
-        ] {
+        for (name, strat) in
+            [("random", SamplingStrategy::Random), ("coverage", SamplingStrategy::SpatialCoverage)]
+        {
             let cfg = PipelineConfig { sampling: strat, ..base(beta) };
             let r = evaluate(&truth, &SsrPipeline::new(&city, &artifacts, cfg).run(category));
             cells.push(format!("{:>8.2} / {:>5.3}", r.mac_mae, r.mac_corr));
@@ -71,11 +70,8 @@ fn main() {
         ("h = 1 hop only", true, 1),
         ("minimal (h=1, no interchanges)", false, 1),
     ] {
-        let cfg = PipelineConfig {
-            use_interchange_features: interchanges,
-            max_hops: hops,
-            ..base(0.10)
-        };
+        let cfg =
+            PipelineConfig { use_interchange_features: interchanges, max_hops: hops, ..base(0.10) };
         let r = evaluate(&truth, &SsrPipeline::new(&city, &artifacts, cfg).run(category));
         println!("{:<32} MAE {:>6.2}  corr {:>6.3}", name, r.mac_mae, r.mac_corr);
         csv.row(&[

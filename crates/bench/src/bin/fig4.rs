@@ -26,17 +26,13 @@ fn main() {
     let spec = TodamSpec { per_hour: 5, ..Default::default() };
     let category = PoiCategory::VaxCenter;
 
-    let mut csv = CsvOut::new(&[
-        "city", "model", "beta", "mac_corr", "acsd_corr", "accuracy", "fie",
-    ]);
+    let mut csv =
+        CsvOut::new(&["city", "model", "beta", "mac_corr", "acsd_corr", "accuracy", "fie"]);
     println!("== Fig. 4: GAC performance, vaccination centers (scale {}) ==", args.scale);
 
     for city in [birmingham(&args), coventry(&args)] {
-        let artifacts = OfflineArtifacts::build(
-            &city,
-            &spec.interval,
-            &staq_road::IsochroneParams::default(),
-        );
+        let artifacts =
+            OfflineArtifacts::build(&city, &spec.interval, &staq_road::IsochroneParams::default());
         let truth = NaiveResult::compute(&city, &spec, category, CostKind::Gac);
         println!(
             "\n{} (|Z|={}, gravity trips={})",

@@ -63,9 +63,7 @@ fn render(city: &City, beta: f64, spec: &TodamSpec, args: &BenchArgs, csv: &mut 
             format!("{:.1}", c.x),
             format!("{:.1}", c.y),
             format!("{:.3}", m.mac),
-            truth_by_zone
-                .get(&m.zone)
-                .map_or(String::new(), |v| format!("{v:.3}")),
+            truth_by_zone.get(&m.zone).map_or(String::new(), |v| format!("{v:.3}")),
         ]);
     }
 }

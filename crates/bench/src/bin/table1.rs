@@ -38,8 +38,7 @@ fn main() {
                 format!("{:.2}", r.reduction_pct),
             ]);
         }
-        let mean_red: f64 =
-            rows.iter().map(|r| r.reduction_pct).sum::<f64>() / rows.len() as f64;
+        let mean_red: f64 = rows.iter().map(|r| r.reduction_pct).sum::<f64>() / rows.len() as f64;
         println!("{:<11} mean reduction {:.1}%", rows[0].city, mean_red);
     }
     csv.maybe_write(&args.out);

@@ -24,27 +24,19 @@ fn main() {
     // labeling-vs-everything ratio, so the start-time rate must match.
     let spec = TodamSpec { per_hour: 30, ..Default::default() };
 
-    let mut csv = CsvOut::new(&[
-        "city", "category", "beta", "label_cost_s", "solution_cost_s", "saving_pct",
-    ]);
+    let mut csv =
+        CsvOut::new(&["city", "category", "beta", "label_cost_s", "solution_cost_s", "saving_pct"]);
     println!("== Table II: runtime of naive vs SSR solution (scale {}) ==", args.scale);
 
     for city in [birmingham(&args), coventry(&args)] {
-        let artifacts = OfflineArtifacts::build(
-            &city,
-            &spec.interval,
-            &staq_road::IsochroneParams::default(),
-        );
+        let artifacts =
+            OfflineArtifacts::build(&city, &spec.interval, &staq_road::IsochroneParams::default());
         println!("\n{} (|Z|={})", city.config.name, city.n_zones());
         println!(
             "{:<12} {:>10} | {}",
             "POI type",
             "label(s)",
-            betas
-                .iter()
-                .map(|b| format!("{:>6.0}%", b * 100.0))
-                .collect::<Vec<_>>()
-                .join(" ")
+            betas.iter().map(|b| format!("{:>6.0}%", b * 100.0)).collect::<Vec<_>>().join(" ")
         );
         for category in PoiCategory::ALL {
             let truth = NaiveResult::compute(&city, &spec, category, CostKind::Jt);

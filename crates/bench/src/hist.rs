@@ -1,0 +1,203 @@
+//! Log-bucketed latency histogram for load-generation reports.
+//!
+//! Fixed memory (one `u64` per bucket), lock-free to merge, ~4% relative
+//! error per bucket — the usual trade for serving-latency percentiles,
+//! where tail *shape* matters and sub-percent precision does not.
+
+use std::time::Duration;
+
+/// Buckets per power of two of nanoseconds (resolution ≈ 1/16 ≈ 6%,
+/// worst-case relative error half that).
+const SUB_BUCKETS: usize = 16;
+const SUB_BITS: u32 = 4;
+/// Covers 1 ns .. ~2^40 ns (≈ 18 minutes), saturating above.
+const MAX_POW: usize = 40;
+const N_BUCKETS: usize = MAX_POW * SUB_BUCKETS;
+
+/// Latency histogram over nanosecond samples.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram { counts: vec![0; N_BUCKETS], total: 0, sum_ns: 0, max_ns: 0 }
+    }
+
+    fn bucket(ns: u64) -> usize {
+        if ns < SUB_BUCKETS as u64 {
+            return ns as usize;
+        }
+        let pow = 63 - ns.leading_zeros();
+        let sub = (ns >> (pow - SUB_BITS)) as usize - SUB_BUCKETS;
+        (((pow - SUB_BITS) as usize + 1) * SUB_BUCKETS + sub).min(N_BUCKETS - 1)
+    }
+
+    /// Representative (upper-edge) value of a bucket, inverse of `bucket`.
+    fn bucket_value(idx: usize) -> u64 {
+        if idx < SUB_BUCKETS {
+            return idx as u64;
+        }
+        let pow = (idx / SUB_BUCKETS - 1) as u32 + SUB_BITS;
+        let sub = (idx % SUB_BUCKETS) as u64 + SUB_BUCKETS as u64;
+        sub << (pow - SUB_BITS)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        self.counts[Self::bucket(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean (exact, not bucketed).
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_ns / self.total as u128) as u64)
+    }
+
+    /// Largest sample (exact, not bucketed).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Percentile in `[0, 100]`, from bucket upper edges.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_nanos(Self::bucket_value(i).min(self.max_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// Accumulates another histogram (e.g. per-thread partials).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// One-line report: `n=... mean=... p50=... p95=... p99=... max=...`.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={} p50={} p95={} p99={} max={}",
+            self.total,
+            fmt_dur(self.mean()),
+            fmt_dur(self.percentile(50.0)),
+            fmt_dur(self.percentile(95.0)),
+            fmt_dur(self.percentile(99.0)),
+            fmt_dur(self.max()),
+        )
+    }
+}
+
+/// Human-scaled duration: ns under 1 µs, µs under 1 ms, ms under 1 s.
+pub fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_value_inverts_bucket_within_resolution() {
+        for ns in [0u64, 1, 15, 16, 17, 100, 999, 1000, 123_456, 1 << 30, 1 << 39] {
+            let b = LatencyHistogram::bucket(ns);
+            let v = LatencyHistogram::bucket_value(b);
+            let err = (v as f64 - ns as f64).abs() / (ns.max(1) as f64);
+            assert!(err <= 0.07, "ns={ns} bucket={b} value={v} err={err}");
+            // Buckets are monotone.
+            if ns > 0 {
+                assert!(LatencyHistogram::bucket(ns - 1) <= b);
+            }
+        }
+        // Beyond the covered range (~18 min), samples saturate into the
+        // top bucket rather than indexing out of bounds.
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_micros(i));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile(50.0).as_micros() as f64;
+        let p99 = h.percentile(99.0).as_micros() as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.1, "p50={p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.1, "p99={p99}");
+        assert_eq!(h.max(), Duration::from_micros(1000));
+        let mean = h.mean().as_micros() as f64;
+        assert!((mean - 500.5).abs() < 1.0, "mean={mean}");
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for i in 1..=100u64 {
+            let d = Duration::from_nanos(i * i * 37);
+            if i % 2 == 0 {
+                a.record(d)
+            } else {
+                b.record(d)
+            }
+            whole.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for p in [10.0, 50.0, 95.0, 99.0] {
+            assert_eq!(a.percentile(p), whole.percentile(p));
+        }
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+}

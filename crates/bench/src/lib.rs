@@ -20,6 +20,10 @@
 //! hop-tree construction, per-pair feature generation (§IV-E), labeling
 //! throughput, model fit times, and the end-to-end pipeline.
 
+pub mod hist;
+
+pub use hist::{fmt_dur, LatencyHistogram};
+
 use staq_synth::{City, CityConfig};
 use std::path::PathBuf;
 
@@ -206,11 +210,7 @@ mod tests {
     #[test]
     fn choropleth_renders() {
         let city = City::generate(&CityConfig::tiny(1));
-        let vals: Vec<(ZoneId, f64)> = city
-            .zones
-            .iter()
-            .map(|z| (z.id, z.centroid.x))
-            .collect();
+        let vals: Vec<(ZoneId, f64)> = city.zones.iter().map(|z| (z.id, z.centroid.x)).collect();
         let map = ascii_choropleth(&city, &vals, 16, 8);
         assert_eq!(map.lines().count(), 8);
         assert!(map.contains('░') && map.contains('@'));

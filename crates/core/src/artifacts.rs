@@ -56,11 +56,8 @@ mod tests {
     #[test]
     fn trees_roundtrip_through_disk() {
         let city = City::generate(&CityConfig::tiny(8));
-        let a = OfflineArtifacts::build(
-            &city,
-            &TimeInterval::am_peak(),
-            &IsochroneParams::default(),
-        );
+        let a =
+            OfflineArtifacts::build(&city, &TimeInterval::am_peak(), &IsochroneParams::default());
         let path = std::env::temp_dir().join(format!("staq_art_{}.txt", std::process::id()));
         a.save_trees(&path).unwrap();
         let b = OfflineArtifacts::load_trees(&city, &path).unwrap();
@@ -76,11 +73,8 @@ mod tests {
     #[test]
     fn builds_for_small_city() {
         let city = City::generate(&CityConfig::small(42));
-        let a = OfflineArtifacts::build(
-            &city,
-            &TimeInterval::am_peak(),
-            &IsochroneParams::default(),
-        );
+        let a =
+            OfflineArtifacts::build(&city, &TimeInterval::am_peak(), &IsochroneParams::default());
         assert_eq!(a.store.n_zones(), city.n_zones());
         assert_eq!(a.adjacency.n(), city.n_zones());
         assert!(a.build_secs >= 0.0);

@@ -67,7 +67,7 @@ impl PipelineConfig {
         if self.todam.per_hour == 0 {
             return Err("per_hour sample rate must be positive".into());
         }
-        if !(self.todam.gamma > 0.0) {
+        if self.todam.gamma.is_nan() || self.todam.gamma <= 0.0 {
             return Err("gamma must be positive".into());
         }
         if self.max_hops == 0 {
@@ -111,8 +111,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_beta() {
-        let mut c = PipelineConfig::default();
-        c.beta = 0.0;
+        let mut c = PipelineConfig { beta: 0.0, ..Default::default() };
         assert!(c.validate().is_err());
         c.beta = 1.5;
         assert!(c.validate().is_err());

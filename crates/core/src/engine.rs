@@ -15,25 +15,117 @@
 //!   [`AccessEngine::add_bus_route`] (schedule change: the GTFS feed is
 //!   extended and only the zones whose walkshed touches a new-route stop
 //!   get their hop trees rebuilt).
+//!
+//! # Concurrency model
+//!
+//! Every method takes `&self`, so one engine can be shared (`Arc`) across a
+//! server's worker pool:
+//!
+//! * City + artifacts live under a [`RwLock`]: queries take the read path
+//!   and run concurrently; scenario edits take the write path.
+//! * The per-category result cache is **single-flight**: when N threads ask
+//!   for an uncached category at once, exactly one runs the SSR pipeline
+//!   while the rest wait on a per-category latch and share the
+//!   `Arc<PipelineResult>` it publishes. [`AccessEngine::pipeline_runs`]
+//!   counts actual pipeline executions so this is assertable.
+//! * Edits mutate state first, then invalidate: each category carries an
+//!   epoch, bumped on invalidation. An in-flight compute that started
+//!   before an edit still unblocks its waiters (they observe the pre-edit
+//!   snapshot, which is linearizable for reads concurrent with the edit)
+//!   but is *not* promoted into the cache, so no post-edit reader can see
+//!   a stale result.
+//!
+//! Lock order: the cache mutex is never held across a pipeline run or while
+//! acquiring the state lock.
 
 use crate::artifacts::OfflineArtifacts;
 use crate::config::PipelineConfig;
 use crate::pipeline::{PipelineResult, SsrPipeline};
+use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard};
 use staq_access::{AccessQuery, QueryAnswer};
 use staq_geom::{KdTree, Point};
-use staq_gtfs::model::{Route, RouteId, RouteType, Service, ServiceId, Stop, StopId, StopTime, Trip, TripId};
+use staq_gtfs::model::{
+    Route, RouteId, RouteType, Service, ServiceId, Stop, StopId, StopTime, Trip, TripId,
+};
 use staq_gtfs::time::Stime;
 use staq_gtfs::FeedIndex;
 use staq_synth::{City, Poi, PoiCategory, PoiId, ZoneId};
 use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// A stateful engine over one (mutable) city.
-pub struct AccessEngine {
+/// The mutable world state: what scenario edits rewrite.
+struct EngineState {
     city: City,
-    config: PipelineConfig,
     artifacts: OfflineArtifacts,
-    /// SSR results per POI category (cost kind lives in `config`).
-    cache: HashMap<PoiCategory, PipelineResult>,
+}
+
+/// Latch for one in-flight pipeline run. The computing thread publishes
+/// the shared result and wakes every waiter.
+struct Flight {
+    result: Mutex<Option<Arc<PipelineResult>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Arc<Self> {
+        Arc::new(Flight { result: Mutex::new(None), done: Condvar::new() })
+    }
+
+    fn publish(&self, result: Arc<PipelineResult>) {
+        *self.result.lock() = Some(result);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Arc<PipelineResult> {
+        let mut slot = self.result.lock();
+        loop {
+            if let Some(r) = slot.as_ref() {
+                return Arc::clone(r);
+            }
+            self.done.wait(&mut slot);
+        }
+    }
+}
+
+/// Cache slot per category: either a published result or a compute in
+/// flight that late arrivals should join instead of duplicating.
+enum Slot {
+    Ready(Arc<PipelineResult>),
+    Pending(Arc<Flight>),
+}
+
+#[derive(Default)]
+struct Cache {
+    slots: HashMap<PoiCategory, Slot>,
+    /// Bumped on every invalidation of the category; a compute is only
+    /// promoted to `Ready` if the epoch it started under is still current.
+    epochs: HashMap<PoiCategory, u64>,
+}
+
+/// Read guard over the engine's city. Derefs to [`City`]; holding it blocks
+/// scenario edits, so keep it short-lived.
+pub struct CityRef<'a> {
+    guard: RwLockReadGuard<'a, EngineState>,
+}
+
+impl Deref for CityRef<'_> {
+    type Target = City;
+    fn deref(&self) -> &City {
+        &self.guard.city
+    }
+}
+
+/// A stateful engine over one (mutable) city, shareable across threads.
+pub struct AccessEngine {
+    config: PipelineConfig,
+    /// Zones never change across scenario edits (edits add POIs and routes),
+    /// so the zone lookup tree is built once here instead of per `add_poi`.
+    zone_tree: KdTree,
+    state: RwLock<EngineState>,
+    cache: Mutex<Cache>,
+    pipeline_runs: AtomicU64,
 }
 
 impl AccessEngine {
@@ -41,14 +133,20 @@ impl AccessEngine {
     /// step).
     pub fn new(city: City, config: PipelineConfig) -> Self {
         config.validate().expect("invalid engine config");
-        let artifacts =
-            OfflineArtifacts::build(&city, &config.todam.interval, &config.isochrone);
-        AccessEngine { city, config, artifacts, cache: HashMap::new() }
+        let artifacts = OfflineArtifacts::build(&city, &config.todam.interval, &config.isochrone);
+        let zone_tree = KdTree::build(&city.zone_points());
+        AccessEngine {
+            config,
+            zone_tree,
+            state: RwLock::new(EngineState { city, artifacts }),
+            cache: Mutex::new(Cache::default()),
+            pipeline_runs: AtomicU64::new(0),
+        }
     }
 
-    /// The current city state.
-    pub fn city(&self) -> &City {
-        &self.city
+    /// The current city state, behind a read guard.
+    pub fn city(&self) -> CityRef<'_> {
+        CityRef { guard: self.state.read() }
     }
 
     /// The pipeline configuration.
@@ -56,31 +154,100 @@ impl AccessEngine {
         &self.config
     }
 
+    /// Number of SSR pipeline executions so far. Single-flight means this
+    /// advances once per (category, edit-generation), no matter how many
+    /// threads demand the result concurrently.
+    pub fn pipeline_runs(&self) -> u64 {
+        self.pipeline_runs.load(Ordering::Relaxed)
+    }
+
+    /// Categories with a published (warm) cache entry.
+    pub fn cached_categories(&self) -> Vec<PoiCategory> {
+        let cache = self.cache.lock();
+        let mut cats: Vec<PoiCategory> = cache
+            .slots
+            .iter()
+            .filter_map(|(c, s)| matches!(s, Slot::Ready(_)).then_some(*c))
+            .collect();
+        cats.sort_by_key(|c| *c as u32);
+        cats
+    }
+
     /// SSR measures for one category, cached until the next scenario edit.
-    pub fn measures(&mut self, category: PoiCategory) -> &PipelineResult {
-        if !self.cache.contains_key(&category) {
-            let result = SsrPipeline::new(&self.city, &self.artifacts, self.config.clone())
-                .run(category);
-            self.cache.insert(category, result);
+    ///
+    /// Concurrent callers for a cold category coalesce into one pipeline
+    /// run; everyone gets the same shared result.
+    pub fn measures(&self, category: PoiCategory) -> Arc<PipelineResult> {
+        // Fast path / join path under the cache lock.
+        let (flight, start_epoch) = {
+            let mut cache = self.cache.lock();
+            match cache.slots.get(&category) {
+                Some(Slot::Ready(r)) => return Arc::clone(r),
+                Some(Slot::Pending(f)) => {
+                    let f = Arc::clone(f);
+                    drop(cache);
+                    return f.wait();
+                }
+                None => {
+                    let epoch = *cache.epochs.entry(category).or_insert(0);
+                    let flight = Flight::new();
+                    cache.slots.insert(category, Slot::Pending(Arc::clone(&flight)));
+                    (flight, epoch)
+                }
+            }
+        };
+
+        // We own the compute. Run the pipeline under the state *read* lock
+        // so edits queue behind it but other queries proceed.
+        let result = {
+            let state = self.state.read();
+            Arc::new(
+                SsrPipeline::new(&state.city, &state.artifacts, self.config.clone()).run(category),
+            )
+        };
+        self.pipeline_runs.fetch_add(1, Ordering::Relaxed);
+        flight.publish(Arc::clone(&result));
+
+        // Promote to Ready only if no edit invalidated us mid-run.
+        let mut cache = self.cache.lock();
+        let current = cache.epochs.get(&category).copied().unwrap_or(0);
+        let ours = matches!(
+            cache.slots.get(&category),
+            Some(Slot::Pending(f)) if Arc::ptr_eq(f, &flight)
+        );
+        if ours {
+            if current == start_epoch {
+                cache.slots.insert(category, Slot::Ready(Arc::clone(&result)));
+            } else {
+                cache.slots.remove(&category);
+            }
         }
-        &self.cache[&category]
+        result
     }
 
     /// Answers an access query for one category via SSR measures.
-    pub fn query(&mut self, q: &AccessQuery, category: PoiCategory) -> QueryAnswer {
-        let predicted = self.measures(category).predicted.clone();
-        q.answer(&predicted, &self.city.zones)
+    pub fn query(&self, q: &AccessQuery, category: PoiCategory) -> QueryAnswer {
+        let predicted = self.measures(category);
+        let state = self.state.read();
+        q.answer(&predicted.predicted, &state.city.zones)
     }
 
     /// Adds a POI (e.g. a candidate vaccination site). No transit change:
     /// only the category's cached result is invalidated. Returns the new
     /// POI's id.
-    pub fn add_poi(&mut self, category: PoiCategory, pos: Point) -> PoiId {
-        let zone_tree = KdTree::build(&self.city.zone_points());
-        let zone = ZoneId(zone_tree.nearest(&pos).expect("city has zones").item);
-        let id = PoiId(self.city.pois.len() as u32);
-        self.city.pois.push(Poi { id, category, pos, zone });
-        self.cache.remove(&category);
+    pub fn add_poi(&self, category: PoiCategory, pos: Point) -> PoiId {
+        let zone = ZoneId(self.zone_tree.nearest(&pos).expect("city has zones").item);
+        let id = {
+            let mut state = self.state.write();
+            let id = PoiId(state.city.pois.len() as u32);
+            state.city.pois.push(Poi { id, category, pos, zone });
+            id
+        };
+        // Invalidate after the state change so no reader can cache the
+        // pre-edit world under the post-edit epoch.
+        let mut cache = self.cache.lock();
+        *cache.epochs.entry(category).or_insert(0) += 1;
+        cache.slots.remove(&category);
         id
     }
 
@@ -92,111 +259,123 @@ impl AccessEngine {
     /// trips); the hop-tree store is patched only for zones whose walking
     /// isochrone contains one of the new/touched stops — the incremental
     /// path that keeps dynamic queries dynamic.
-    pub fn add_bus_route(&mut self, stops_at: &[Point], peak_headway_s: u32) -> usize {
+    pub fn add_bus_route(&self, stops_at: &[Point], peak_headway_s: u32) -> usize {
         assert!(stops_at.len() >= 2, "a route needs at least two stops");
-        let mut feed = self.city.feed.feed().clone();
+        let affected_len = {
+            let mut state = self.state.write();
+            let state = &mut *state;
+            let mut feed = state.city.feed.feed().clone();
 
-        // New stops at the given points.
-        let mut new_stops: Vec<StopId> = Vec::with_capacity(stops_at.len());
-        for (k, p) in stops_at.iter().enumerate() {
-            let id = StopId(feed.stops.len() as u32);
-            feed.stops.push(Stop {
-                id,
-                gtfs_id: format!("DYN_S{}_{}", feed.routes.len(), k),
-                name: format!("Dynamic stop {k}"),
-                pos: *p,
-            });
-            new_stops.push(id);
-        }
-
-        // Weekday service dedicated to dynamic routes.
-        let svc = ServiceId(feed.services.len() as u32);
-        feed.services.push(Service {
-            id: svc,
-            gtfs_id: format!("DYN_WK{}", svc.0),
-            days: [true, true, true, true, true, false, false],
-        });
-        let route = RouteId(feed.routes.len() as u32);
-        feed.routes.push(Route {
-            id: route,
-            gtfs_id: format!("DYN_R{}", route.0),
-            agency: feed.agencies[0].id,
-            short_name: format!("D{}", route.0),
-            route_type: RouteType::Bus,
-        });
-
-        // Run times from stop geometry (same convention as the generator).
-        let bus_speed = self.city.config.bus_speed_mps;
-        let runtimes: Vec<u32> = stops_at
-            .windows(2)
-            .map(|w| ((w[0].dist(&w[1]) * 1.25 / bus_speed).round() as u32).max(30))
-            .collect();
-
-        // All-day service at the peak headway (scenario routes are what-ifs;
-        // a flat headway keeps the experiment interpretable).
-        for dir in 0..2u32 {
-            let ordered: Vec<StopId> = if dir == 0 {
-                new_stops.clone()
-            } else {
-                new_stops.iter().rev().copied().collect()
-            };
-            let runs: Vec<u32> = if dir == 0 {
-                runtimes.clone()
-            } else {
-                runtimes.iter().rev().copied().collect()
-            };
-            let mut t = 6 * 3600u32;
-            let mut k = 0u32;
-            while t < 22 * 3600 {
-                let trip = TripId(feed.trips.len() as u32);
-                feed.trips.push(Trip {
-                    id: trip,
-                    gtfs_id: format!("DYN_T{}_{dir}_{k}", route.0),
-                    route,
-                    service: svc,
+            // New stops at the given points.
+            let mut new_stops: Vec<StopId> = Vec::with_capacity(stops_at.len());
+            for (k, p) in stops_at.iter().enumerate() {
+                let id = StopId(feed.stops.len() as u32);
+                feed.stops.push(Stop {
+                    id,
+                    gtfs_id: format!("DYN_S{}_{}", feed.routes.len(), k),
+                    name: format!("Dynamic stop {k}"),
+                    pos: *p,
                 });
-                let mut clock = Stime(t);
-                for (i, &stop) in ordered.iter().enumerate() {
-                    let arrival = clock;
-                    let departure =
-                        if i + 1 < ordered.len() { arrival.plus(15) } else { arrival };
-                    feed.stop_times.push(StopTime {
-                        trip,
-                        stop,
-                        arrival,
-                        departure,
-                        seq: i as u32,
-                    });
-                    if i < runs.len() {
-                        clock = departure.plus(runs[i]);
-                    }
-                }
-                k += 1;
-                t += peak_headway_s.max(120);
+                new_stops.push(id);
             }
-        }
-        feed.normalize();
-        staq_gtfs::validate::assert_valid(&feed);
-        self.city.feed = FeedIndex::build(feed);
 
-        // Incremental hop-tree rebuild: zones whose walkshed reaches a new
-        // stop (crow-flies pre-filter by max walking radius, exact test via
-        // the stored isochrone).
-        let radius = self.config.isochrone.max_radius_m();
-        let mut affected: Vec<ZoneId> = Vec::new();
-        for z in 0..self.city.n_zones() {
-            let zid = ZoneId(z as u32);
-            let iso = self.artifacts.store.isochrone(zid);
-            let touched = stops_at.iter().any(|p| {
-                self.city.zone_centroid(zid).dist(p) <= radius * 1.5 && iso.contains(p)
+            // Weekday service dedicated to dynamic routes.
+            let svc = ServiceId(feed.services.len() as u32);
+            feed.services.push(Service {
+                id: svc,
+                gtfs_id: format!("DYN_WK{}", svc.0),
+                days: [true, true, true, true, true, false, false],
             });
-            if touched {
-                affected.push(zid);
+            let route = RouteId(feed.routes.len() as u32);
+            feed.routes.push(Route {
+                id: route,
+                gtfs_id: format!("DYN_R{}", route.0),
+                agency: feed.agencies[0].id,
+                short_name: format!("D{}", route.0),
+                route_type: RouteType::Bus,
+            });
+
+            // Run times from stop geometry (same convention as the
+            // generator).
+            let bus_speed = state.city.config.bus_speed_mps;
+            let runtimes: Vec<u32> = stops_at
+                .windows(2)
+                .map(|w| ((w[0].dist(&w[1]) * 1.25 / bus_speed).round() as u32).max(30))
+                .collect();
+
+            // All-day service at the peak headway (scenario routes are
+            // what-ifs; a flat headway keeps the experiment interpretable).
+            for dir in 0..2u32 {
+                let ordered: Vec<StopId> = if dir == 0 {
+                    new_stops.clone()
+                } else {
+                    new_stops.iter().rev().copied().collect()
+                };
+                let runs: Vec<u32> = if dir == 0 {
+                    runtimes.clone()
+                } else {
+                    runtimes.iter().rev().copied().collect()
+                };
+                let mut t = 6 * 3600u32;
+                let mut k = 0u32;
+                while t < 22 * 3600 {
+                    let trip = TripId(feed.trips.len() as u32);
+                    feed.trips.push(Trip {
+                        id: trip,
+                        gtfs_id: format!("DYN_T{}_{dir}_{k}", route.0),
+                        route,
+                        service: svc,
+                    });
+                    let mut clock = Stime(t);
+                    for (i, &stop) in ordered.iter().enumerate() {
+                        let arrival = clock;
+                        let departure =
+                            if i + 1 < ordered.len() { arrival.plus(15) } else { arrival };
+                        feed.stop_times.push(StopTime {
+                            trip,
+                            stop,
+                            arrival,
+                            departure,
+                            seq: i as u32,
+                        });
+                        if i < runs.len() {
+                            clock = departure.plus(runs[i]);
+                        }
+                    }
+                    k += 1;
+                    t += peak_headway_s.max(120);
+                }
             }
+            feed.normalize();
+            staq_gtfs::validate::assert_valid(&feed);
+            state.city.feed = FeedIndex::build(feed);
+
+            // Incremental hop-tree rebuild: zones whose walkshed reaches a
+            // new stop (crow-flies pre-filter by max walking radius, exact
+            // test via the stored isochrone).
+            let radius = self.config.isochrone.max_radius_m();
+            let mut affected: Vec<ZoneId> = Vec::new();
+            for z in 0..state.city.n_zones() {
+                let zid = ZoneId(z as u32);
+                let iso = state.artifacts.store.isochrone(zid);
+                let touched = stops_at.iter().any(|p| {
+                    state.city.zone_centroid(zid).dist(p) <= radius * 1.5 && iso.contains(p)
+                });
+                if touched {
+                    affected.push(zid);
+                }
+            }
+            state.artifacts.store.rebuild_zones(&state.city, &affected);
+            affected.len()
+        };
+        // Schedule changed: every category is stale. Bump all known epochs
+        // so no in-flight compute gets promoted either.
+        let mut cache = self.cache.lock();
+        for epoch in cache.epochs.values_mut() {
+            *epoch += 1;
         }
-        self.artifacts.store.rebuild_zones(&self.city, &affected);
-        self.cache.clear(); // schedule changed: every category is stale
-        affected.len()
+        cache.slots.clear();
+        affected_len
     }
 }
 
@@ -220,7 +399,7 @@ mod tests {
 
     #[test]
     fn queries_answer_from_ssr_measures() {
-        let mut e = engine();
+        let e = engine();
         let a = e.query(&AccessQuery::MeanAccess, PoiCategory::School);
         match a {
             QueryAnswer::MeanAccess { mean_mac, n_zones, .. } => {
@@ -229,23 +408,43 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        // Second call hits the cache (same result object).
-        let n1 = e.measures(PoiCategory::School).predicted.len();
-        let n2 = e.measures(PoiCategory::School).predicted.len();
-        assert_eq!(n1, n2);
+        // Second call hits the cache: the very same result object, and no
+        // extra pipeline execution.
+        let r1 = e.measures(PoiCategory::School);
+        let r2 = e.measures(PoiCategory::School);
+        assert!(Arc::ptr_eq(&r1, &r2));
+        assert_eq!(e.pipeline_runs(), 1);
     }
 
     #[test]
     fn add_poi_invalidates_only_its_category() {
-        let mut e = engine();
+        let e = engine();
         let _ = e.measures(PoiCategory::School);
         let _ = e.measures(PoiCategory::Hospital);
-        assert_eq!(e.cache.len(), 2);
+        assert_eq!(e.cached_categories().len(), 2);
         let center = e.city().cores[0];
         let id = e.add_poi(PoiCategory::School, center);
         assert_eq!(id.idx(), e.city().pois.len() - 1);
-        assert!(!e.cache.contains_key(&PoiCategory::School));
-        assert!(e.cache.contains_key(&PoiCategory::Hospital));
+        assert_eq!(e.cached_categories(), vec![PoiCategory::Hospital]);
+    }
+
+    #[test]
+    fn concurrent_cold_reads_run_pipeline_once() {
+        let e = Arc::new(engine());
+        let results: Vec<Arc<PipelineResult>> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let e = Arc::clone(&e);
+                    scope.spawn(move |_| e.measures(PoiCategory::School))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(e.pipeline_runs(), 1, "single-flight must coalesce cold reads");
+        for r in &results[1..] {
+            assert!(Arc::ptr_eq(&results[0], r), "all callers share one result");
+        }
     }
 
     #[test]
@@ -256,22 +455,16 @@ mod tests {
         use crate::naive::NaiveResult;
         use staq_transit::CostKind;
 
-        let mut e = engine();
+        let e = engine();
         let spec = e.config().todam.clone();
-        let before = NaiveResult::compute(e.city(), &spec, PoiCategory::Hospital, CostKind::Jt);
-        let worst = *before
-            .measures
-            .iter()
-            .max_by(|a, b| a.mac.partial_cmp(&b.mac).unwrap())
-            .unwrap();
+        let before = NaiveResult::compute(&e.city(), &spec, PoiCategory::Hospital, CostKind::Jt);
+        let worst =
+            *before.measures.iter().max_by(|a, b| a.mac.partial_cmp(&b.mac).unwrap()).unwrap();
         let pos = e.city().zone_centroid(worst.zone);
         e.add_poi(PoiCategory::Hospital, pos);
-        let after = NaiveResult::compute(e.city(), &spec, PoiCategory::Hospital, CostKind::Jt);
-        let worst_after = after
-            .measures
-            .iter()
-            .find(|m| m.zone == worst.zone)
-            .expect("worst zone still labeled");
+        let after = NaiveResult::compute(&e.city(), &spec, PoiCategory::Hospital, CostKind::Jt);
+        let worst_after =
+            after.measures.iter().find(|m| m.zone == worst.zone).expect("worst zone still labeled");
         // Note: the *city mean* MAC may legitimately rise — under gravity
         // trip redistribution a new attractor pulls trips toward itself from
         // zones it is far from. The zone that received the hospital,
@@ -287,7 +480,7 @@ mod tests {
 
     #[test]
     fn classification_query_covers_predicted_zones() {
-        let mut e = engine();
+        let e = engine();
         let n = e.measures(PoiCategory::School).predicted.len();
         match e.query(&AccessQuery::Classification, PoiCategory::School) {
             QueryAnswer::Classification(classes) => {
@@ -304,14 +497,16 @@ mod tests {
 
     #[test]
     fn add_bus_route_rebuilds_affected_zones() {
-        let mut e = engine();
+        let e = engine();
         let _ = e.measures(PoiCategory::School);
-        let a = e.city().zones[0].centroid;
-        let b = e.city().cores[0];
+        let (a, b) = {
+            let city = e.city();
+            (city.zones[0].centroid, city.cores[0])
+        };
         let mid = a.midpoint(&b);
         let n = e.add_bus_route(&[a, mid, b], 600);
         assert!(n > 0, "route through the city must touch some walkshed");
-        assert!(e.cache.is_empty(), "schedule edits invalidate all caches");
+        assert!(e.cached_categories().is_empty(), "schedule edits invalidate all caches");
         // Engine still answers queries afterwards.
         let ans = e.query(&AccessQuery::MeanAccess, PoiCategory::School);
         assert!(matches!(ans, QueryAnswer::MeanAccess { .. }));
@@ -320,7 +515,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two stops")]
     fn route_needs_two_stops() {
-        let mut e = engine();
+        let e = engine();
         e.add_bus_route(&[Point::new(0.0, 0.0)], 600);
     }
 }

@@ -107,8 +107,7 @@ impl<'a> SsrPipeline<'a> {
         );
 
         // 3. Draw L at budget β.
-        let n_l = ((eligible.len() as f64 * cfg.beta).ceil() as usize)
-            .clamp(2, eligible.len() - 1);
+        let n_l = ((eligible.len() as f64 * cfg.beta).ceil() as usize).clamp(2, eligible.len() - 1);
         let labeled = match cfg.sampling {
             crate::config::SamplingStrategy::Random => {
                 let mut order = eligible.clone();
@@ -121,8 +120,7 @@ impl<'a> SsrPipeline<'a> {
                 farthest_point_sample(self.city, &eligible, n_l, cfg.seed)
             }
         };
-        let labeled_set: std::collections::HashSet<ZoneId> =
-            labeled.iter().copied().collect();
+        let labeled_set: std::collections::HashSet<ZoneId> = labeled.iter().copied().collect();
         let unlabeled: Vec<ZoneId> =
             eligible.iter().copied().filter(|z| !labeled_set.contains(z)).collect();
 
@@ -137,10 +135,8 @@ impl<'a> SsrPipeline<'a> {
         let label_secs = t0.elapsed().as_secs_f64();
         let labeled_trips = engine.trip_count(&matrix, &labeled);
         // Eligibility guarantees trips, so every labeled zone has stats.
-        let labeled_stats: Vec<ZoneStats> = stats
-            .into_iter()
-            .map(|s| s.expect("eligible zone must label"))
-            .collect();
+        let labeled_stats: Vec<ZoneStats> =
+            stats.into_iter().map(|s| s.expect("eligible zone must label")).collect();
 
         // 5. SSR train + infer.
         let t0 = Instant::now();
@@ -210,16 +206,11 @@ fn farthest_point_sample(city: &City, eligible: &[ZoneId], k: usize, seed: u64) 
     let first = eligible[(seed as usize) % eligible.len()];
     let mut chosen = vec![first];
     // Distance from each eligible zone to the nearest chosen zone.
-    let mut dist: Vec<f64> = eligible
-        .iter()
-        .map(|&z| city.zone_centroid(z).dist(&city.zone_centroid(first)))
-        .collect();
+    let mut dist: Vec<f64> =
+        eligible.iter().map(|&z| city.zone_centroid(z).dist(&city.zone_centroid(first))).collect();
     while chosen.len() < k {
-        let (best_idx, _) = dist
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .expect("nonempty");
+        let (best_idx, _) =
+            dist.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).expect("nonempty");
         let next = eligible[best_idx];
         chosen.push(next);
         let np = city.zone_centroid(next);
@@ -230,10 +221,7 @@ fn farthest_point_sample(city: &City, eligible: &[ZoneId], k: usize, seed: u64) 
     chosen
 }
 
-fn feature_matrix(
-    feats: &[Option<[f64; FEATURE_DIM]>],
-    zones: &[ZoneId],
-) -> Matrix {
+fn feature_matrix(feats: &[Option<[f64; FEATURE_DIM]>], zones: &[ZoneId]) -> Matrix {
     Matrix::from_rows(
         &zones
             .iter()
@@ -253,11 +241,8 @@ mod tests {
 
     fn setup() -> (City, OfflineArtifacts) {
         let city = City::generate(&CityConfig::small(42));
-        let artifacts = OfflineArtifacts::build(
-            &city,
-            &TimeInterval::am_peak(),
-            &IsochroneParams::default(),
-        );
+        let artifacts =
+            OfflineArtifacts::build(&city, &TimeInterval::am_peak(), &IsochroneParams::default());
         (city, artifacts)
     }
 
@@ -341,10 +326,7 @@ mod tests {
         use crate::config::SamplingStrategy;
         let (city, artifacts) = setup();
         let run = |sampling: SamplingStrategy| {
-            let cfg = PipelineConfig {
-                sampling,
-                ..quick_config(0.1, ModelKind::Ols)
-            };
+            let cfg = PipelineConfig { sampling, ..quick_config(0.1, ModelKind::Ols) };
             SsrPipeline::new(&city, &artifacts, cfg).run(PoiCategory::School)
         };
         let random = run(SamplingStrategy::Random);

@@ -54,14 +54,10 @@ pub fn evaluate(truth: &NaiveResult, result: &PipelineResult) -> EvalReport {
     let ref_means = classify::means_from(&truth.measures);
     let t_measures: Vec<ZoneMeasures> = eval.iter().map(|(t, _)| *t).collect();
     let p_measures: Vec<ZoneMeasures> = eval.iter().map(|(_, p)| *p).collect();
-    let t_classes: Vec<_> = classify::classify_all(&t_measures, Some(ref_means))
-        .into_iter()
-        .map(|(_, c)| c)
-        .collect();
-    let p_classes: Vec<_> = classify::classify_all(&p_measures, Some(ref_means))
-        .into_iter()
-        .map(|(_, c)| c)
-        .collect();
+    let t_classes: Vec<_> =
+        classify::classify_all(&t_measures, Some(ref_means)).into_iter().map(|(_, c)| c).collect();
+    let p_classes: Vec<_> =
+        classify::classify_all(&p_measures, Some(ref_means)).into_iter().map(|(_, c)| c).collect();
 
     // Fairness over the full sets.
     let j_truth = fairness::fairness_of(&truth.measures);
@@ -109,11 +105,8 @@ mod tests {
 
     fn run_eval(model: ModelKind, beta: f64) -> EvalReport {
         let city = City::generate(&CityConfig::small(42));
-        let artifacts = OfflineArtifacts::build(
-            &city,
-            &TimeInterval::am_peak(),
-            &IsochroneParams::default(),
-        );
+        let artifacts =
+            OfflineArtifacts::build(&city, &TimeInterval::am_peak(), &IsochroneParams::default());
         let spec = TodamSpec { per_hour: 4, ..Default::default() };
         let truth = NaiveResult::compute(&city, &spec, PoiCategory::School, CostKind::Jt);
         let cfg = PipelineConfig { beta, model, todam: spec, ..Default::default() };
@@ -125,11 +118,7 @@ mod tests {
     fn mlp_learns_access_costs() {
         let r = run_eval(ModelKind::Mlp, 0.3);
         assert!(r.mac_mae.is_finite() && r.mac_mae > 0.0);
-        assert!(
-            r.mac_corr > 0.5,
-            "MLP should capture the spatial pattern: corr {}",
-            r.mac_corr
-        );
+        assert!(r.mac_corr > 0.5, "MLP should capture the spatial pattern: corr {}", r.mac_corr);
         assert!(r.class_accuracy > 0.25, "better than random 4-class");
         assert!(r.fie < 0.2, "fairness index error {}", r.fie);
         assert!(r.n_eval > 0);
@@ -140,19 +129,12 @@ mod tests {
         // Oracle check: feeding the ground truth back as "prediction" must
         // produce zero error, perfect correlation, full accuracy, zero FIE.
         let city = City::generate(&CityConfig::small(42));
-        let artifacts = OfflineArtifacts::build(
-            &city,
-            &TimeInterval::am_peak(),
-            &IsochroneParams::default(),
-        );
+        let artifacts =
+            OfflineArtifacts::build(&city, &TimeInterval::am_peak(), &IsochroneParams::default());
         let spec = TodamSpec { per_hour: 4, ..Default::default() };
         let truth = NaiveResult::compute(&city, &spec, PoiCategory::School, CostKind::Jt);
-        let cfg = PipelineConfig {
-            beta: 0.2,
-            model: ModelKind::Ols,
-            todam: spec,
-            ..Default::default()
-        };
+        let cfg =
+            PipelineConfig { beta: 0.2, model: ModelKind::Ols, todam: spec, ..Default::default() };
         let mut result = SsrPipeline::new(&city, &artifacts, cfg).run(PoiCategory::School);
         let truth_by_zone: std::collections::HashMap<_, _> =
             truth.measures.iter().map(|m| (m.zone, *m)).collect();

@@ -12,8 +12,7 @@ use staq_transit::CostKind;
 fn errors_shrink_with_budget_on_average() {
     let city = City::generate(&CityConfig::small(42));
     let spec = TodamSpec { per_hour: 4, ..Default::default() };
-    let artifacts =
-        OfflineArtifacts::build(&city, &spec.interval, &IsochroneParams::default());
+    let artifacts = OfflineArtifacts::build(&city, &spec.interval, &IsochroneParams::default());
     let truth = NaiveResult::compute(&city, &spec, PoiCategory::School, CostKind::Jt);
 
     // Average MAE over three seeds at each budget to damp sampling noise.
@@ -36,18 +35,14 @@ fn errors_shrink_with_budget_on_average() {
     };
     let lo = mean_mae(0.05);
     let hi = mean_mae(0.40);
-    assert!(
-        hi < lo,
-        "mean JT MAE should improve from beta 5% ({lo:.2}) to 40% ({hi:.2})"
-    );
+    assert!(hi < lo, "mean JT MAE should improve from beta 5% ({lo:.2}) to 40% ({hi:.2})");
 }
 
 #[test]
 fn solution_cost_tracks_beta_linearly_enough() {
     let city = City::generate(&CityConfig::small(42));
     let spec = TodamSpec { per_hour: 6, ..Default::default() };
-    let artifacts =
-        OfflineArtifacts::build(&city, &spec.interval, &IsochroneParams::default());
+    let artifacts = OfflineArtifacts::build(&city, &spec.interval, &IsochroneParams::default());
     let trips_at = |beta: f64| {
         let cfg = PipelineConfig {
             beta,

@@ -12,11 +12,8 @@ use staq_todam::TodamSpec;
 #[test]
 fn loaded_artifacts_reproduce_pipeline_results() {
     let city = City::generate(&CityConfig::tiny(21));
-    let fresh = OfflineArtifacts::build(
-        &city,
-        &TimeInterval::am_peak(),
-        &IsochroneParams::default(),
-    );
+    let fresh =
+        OfflineArtifacts::build(&city, &TimeInterval::am_peak(), &IsochroneParams::default());
     let path = std::env::temp_dir().join(format!("staq_persist_{}.txt", std::process::id()));
     fresh.save_trees(&path).unwrap();
     let loaded = OfflineArtifacts::load_trees(&city, &path).unwrap();

@@ -30,12 +30,7 @@ impl BBox {
 
     /// Box spanning the two corner points (in any order).
     pub fn from_corners(a: Point, b: Point) -> Self {
-        BBox {
-            min_x: a.x.min(b.x),
-            min_y: a.y.min(b.y),
-            max_x: a.x.max(b.x),
-            max_y: a.y.max(b.y),
-        }
+        BBox { min_x: a.x.min(b.x), min_y: a.y.min(b.y), max_x: a.x.max(b.x), max_y: a.y.max(b.y) }
     }
 
     /// Smallest box containing all `points`; empty box for an empty slice.
@@ -156,11 +151,7 @@ mod tests {
 
     #[test]
     fn of_points_bounds_everything() {
-        let pts = [
-            Point::new(1.0, 5.0),
-            Point::new(-2.0, 3.0),
-            Point::new(4.0, -1.0),
-        ];
+        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 3.0), Point::new(4.0, -1.0)];
         let b = BBox::of_points(&pts);
         for p in &pts {
             assert!(b.contains(p));

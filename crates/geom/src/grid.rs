@@ -50,10 +50,11 @@ impl GridIndex {
                 last = Some(k);
             }
         }
-        let cell_bounds = entries.iter().fold(
-            (i64::MAX, i64::MIN, i64::MAX, i64::MIN),
-            |(x0, x1, y0, y1), &(cx, cy, _, _)| (x0.min(cx), x1.max(cx), y0.min(cy), y1.max(cy)),
-        );
+        let cell_bounds = entries
+            .iter()
+            .fold((i64::MAX, i64::MIN, i64::MAX, i64::MIN), |(x0, x1, y0, y1), &(cx, cy, _, _)| {
+                (x0.min(cx), x1.max(cx), y0.min(cy), y1.max(cy))
+            });
         GridIndex { cell: cell_size, entries, offsets, cell_bounds }
     }
 
@@ -71,10 +72,7 @@ impl GridIndex {
         match self.offsets.binary_search_by_key(&k, |&(k, _)| k) {
             Ok(i) => {
                 let start = self.offsets[i].1;
-                let end = self
-                    .offsets
-                    .get(i + 1)
-                    .map_or(self.entries.len(), |&(_, off)| off);
+                let end = self.offsets.get(i + 1).map_or(self.entries.len(), |&(_, off)| off);
                 &self.entries[start..end]
             }
             Err(_) => &[],
@@ -131,11 +129,8 @@ mod tests {
     #[test]
     fn radius_query_finds_near_items_only() {
         let g = GridIndex::build(&cluster(), 10.0);
-        let mut hits: Vec<u32> = g
-            .within_radius(&Point::new(0.0, 0.0), 6.0)
-            .into_iter()
-            .map(|(i, _)| i)
-            .collect();
+        let mut hits: Vec<u32> =
+            g.within_radius(&Point::new(0.0, 0.0), 6.0).into_iter().map(|(i, _)| i).collect();
         hits.sort_unstable();
         assert_eq!(hits, vec![0, 1, 2]);
     }
@@ -163,11 +158,8 @@ mod tests {
         let q = Point::new(500.0, 500.0);
         let r = 120.0;
         let mut grid_hits: Vec<u32> = g.within_radius(&q, r).into_iter().map(|(i, _)| i).collect();
-        let mut brute: Vec<u32> = items
-            .iter()
-            .filter(|(p, _)| p.dist(&q) <= r)
-            .map(|&(_, i)| i)
-            .collect();
+        let mut brute: Vec<u32> =
+            items.iter().filter(|(p, _)| p.dist(&q) <= r).map(|&(_, i)| i).collect();
         grid_hits.sort_unstable();
         brute.sort_unstable();
         assert_eq!(grid_hits, brute);

@@ -37,7 +37,8 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     // Upper chain.
     let lower_len = hull.len() + 1;
     for &p in pts.iter().rev().skip(1) {
-        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
             hull.pop();
         }
         hull.push(p);
@@ -78,11 +79,7 @@ mod tests {
 
     #[test]
     fn hull_is_counter_clockwise() {
-        let pts = vec![
-            Point::new(0.0, 0.0),
-            Point::new(2.0, 0.0),
-            Point::new(1.0, 3.0),
-        ];
+        let pts = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(1.0, 3.0)];
         let h = convex_hull(&pts);
         assert_eq!(h.len(), 3);
         // Signed area positive => CCW.

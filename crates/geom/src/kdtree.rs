@@ -64,11 +64,7 @@ impl KdTree {
         let mut scratch: Vec<(Point, u32)> = items.to_vec();
         let mut nodes = Vec::with_capacity(items.len());
         let n = scratch.len();
-        let root = if n == 0 {
-            NONE
-        } else {
-            Self::build_rec(&mut scratch[..], 0, &mut nodes)
-        };
+        let root = if n == 0 { NONE } else { Self::build_rec(&mut scratch[..], 0, &mut nodes) };
         KdTree { nodes, root }
     }
 
@@ -135,7 +131,7 @@ impl KdTree {
             }
         }
         let d2 = node.point.dist2(query);
-        if best.map_or(true, |b| d2 < b.dist2) {
+        if best.is_none_or(|b| d2 < b.dist2) {
             *best = Some(Neighbor { item: node.item, point: node.point, dist2: d2 });
         }
         // Visit the child whose bounds are closer first: tightens `best`
@@ -161,7 +157,11 @@ impl KdTree {
         } else {
             f64::INFINITY
         };
-        if dl <= dr { (node.left, node.right) } else { (node.right, node.left) }
+        if dl <= dr {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        }
     }
 
     /// The `k` nearest indexed points to `query`, ascending by distance.

@@ -51,10 +51,7 @@ impl Point {
     /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
     #[inline]
     pub fn lerp(&self, other: &Point, t: f64) -> Point {
-        Point::new(
-            self.x + (other.x - self.x) * t,
-            self.y + (other.y - self.y) * t,
-        )
+        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
     }
 
     /// Bearing from `self` to `other` in radians, measured counter-clockwise
@@ -93,12 +90,8 @@ pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
 /// coordinates are geographic. The synthetic pipeline never calls this on the
 /// hot path.
 pub fn haversine_m(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
-    let (la1, lo1, la2, lo2) = (
-        lat1.to_radians(),
-        lon1.to_radians(),
-        lat2.to_radians(),
-        lon2.to_radians(),
-    );
+    let (la1, lo1, la2, lo2) =
+        (lat1.to_radians(), lon1.to_radians(), lat2.to_radians(), lon2.to_radians());
     let dlat = la2 - la1;
     let dlon = lo2 - lo1;
     let a = (dlat * 0.5).sin().powi(2) + la1.cos() * la2.cos() * (dlon * 0.5).sin().powi(2);

@@ -98,10 +98,7 @@ impl Polygon {
         }
         if a2.abs() < 1e-12 {
             let inv = 1.0 / n as f64;
-            let (sx, sy) = self
-                .ring
-                .iter()
-                .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+            let (sx, sy) = self.ring.iter().fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
             return Point::new(sx * inv, sy * inv);
         }
         let inv = 1.0 / (3.0 * a2);
@@ -197,11 +194,8 @@ mod tests {
     #[test]
     fn centroid_degenerate_ring_falls_back_to_mean() {
         // Collinear: zero area.
-        let p = Polygon::new(vec![
-            Point::new(0.0, 0.0),
-            Point::new(1.0, 0.0),
-            Point::new(2.0, 0.0),
-        ]);
+        let p =
+            Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)]);
         let c = p.centroid();
         assert!((c.x - 1.0).abs() < 1e-12);
         assert_eq!(c.y, 0.0);

@@ -44,11 +44,7 @@ pub fn parse(text: &str) -> Result<Table, String> {
     let ncols = header.len();
     for (i, row) in records.iter().enumerate() {
         if row.len() != ncols {
-            return Err(format!(
-                "row {} has {} fields, header has {ncols}",
-                i + 2,
-                row.len()
-            ));
+            return Err(format!("row {} has {} fields, header has {ncols}", i + 2, row.len()));
         }
     }
     Ok(Table { header, rows: records })
@@ -213,8 +209,10 @@ mod tests {
     fn write_quotes_only_when_needed() {
         let text = write(
             &["a", "b"],
-            &[vec!["plain".into(), "needs,quote".into()],
-              vec!["has\"q".into(), "multi\nline".into()]],
+            &[
+                vec!["plain".into(), "needs,quote".into()],
+                vec!["has\"q".into(), "multi\nline".into()],
+            ],
         );
         assert_eq!(text, "a,b\nplain,\"needs,quote\"\n\"has\"\"q\",\"multi\nline\"\n");
     }

@@ -192,7 +192,8 @@ mod tests {
         assert_eq!(ix.departures_at(StopId(0), &sunday).count(), 0);
 
         // Window after the departure.
-        let late = TimeInterval::new(Stime::hours(10), Stime::hours(12), DayOfWeek::Tuesday, "late");
+        let late =
+            TimeInterval::new(Stime::hours(10), Stime::hours(12), DayOfWeek::Tuesday, "late");
         assert_eq!(ix.departures_at(StopId(0), &late).count(), 0);
     }
 

@@ -226,18 +226,45 @@ mod tests {
 
     #[test]
     fn normalize_sorts_stop_times() {
-        let mut feed = Feed::default();
-        feed.stop_times = vec![
-            StopTime { trip: TripId(1), stop: StopId(0), arrival: Stime(10), departure: Stime(10), seq: 1 },
-            StopTime { trip: TripId(0), stop: StopId(1), arrival: Stime(5), departure: Stime(5), seq: 0 },
-            StopTime { trip: TripId(1), stop: StopId(2), arrival: Stime(2), departure: Stime(2), seq: 0 },
-        ];
+        let mut feed = Feed {
+            stop_times: vec![
+                StopTime {
+                    trip: TripId(1),
+                    stop: StopId(0),
+                    arrival: Stime(10),
+                    departure: Stime(10),
+                    seq: 1,
+                },
+                StopTime {
+                    trip: TripId(0),
+                    stop: StopId(1),
+                    arrival: Stime(5),
+                    departure: Stime(5),
+                    seq: 0,
+                },
+                StopTime {
+                    trip: TripId(1),
+                    stop: StopId(2),
+                    arrival: Stime(2),
+                    departure: Stime(2),
+                    seq: 0,
+                },
+            ],
+            ..Default::default()
+        };
         assert!(!feed.is_normalized());
         feed.normalize();
         assert!(feed.is_normalized());
         assert_eq!(feed.stop_times[0].trip, TripId(0));
-        assert_eq!(feed.stop_times[1], StopTime {
-            trip: TripId(1), stop: StopId(2), arrival: Stime(2), departure: Stime(2), seq: 0
-        });
+        assert_eq!(
+            feed.stop_times[1],
+            StopTime {
+                trip: TripId(1),
+                stop: StopId(2),
+                arrival: Stime(2),
+                departure: Stime(2),
+                seq: 0
+            }
+        );
     }
 }

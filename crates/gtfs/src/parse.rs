@@ -32,8 +32,7 @@ impl FeedText {
     /// Reads the six files from a directory on disk.
     pub fn from_dir(dir: &std::path::Path) -> Result<Self, String> {
         let read = |name: &str| {
-            std::fs::read_to_string(dir.join(name))
-                .map_err(|e| format!("reading {name}: {e}"))
+            std::fs::read_to_string(dir.join(name)).map_err(|e| format!("reading {name}: {e}"))
         };
         Ok(FeedText {
             agency: read("agency.txt")?,
@@ -73,8 +72,10 @@ impl FeedText {
         let mut stop_ids: HashMap<String, StopId> = HashMap::new();
         let mut raw: Vec<(f64, f64)> = Vec::with_capacity(t.rows.len());
         for row in &t.rows {
-            let lat: f64 = row[c_lat].parse().map_err(|_| format!("bad stop_lat {:?}", row[c_lat]))?;
-            let lon: f64 = row[c_lon].parse().map_err(|_| format!("bad stop_lon {:?}", row[c_lon]))?;
+            let lat: f64 =
+                row[c_lat].parse().map_err(|_| format!("bad stop_lat {:?}", row[c_lat]))?;
+            let lon: f64 =
+                row[c_lon].parse().map_err(|_| format!("bad stop_lon {:?}", row[c_lon]))?;
             raw.push((lat, lon));
         }
         // Geographic feeds have |lat| <= 90 everywhere; planar (synthetic)
@@ -83,10 +84,7 @@ impl FeedText {
             && !raw.is_empty();
         let (lat0, lon0) = if geographic {
             let n = raw.len() as f64;
-            (
-                raw.iter().map(|r| r.0).sum::<f64>() / n,
-                raw.iter().map(|r| r.1).sum::<f64>() / n,
-            )
+            (raw.iter().map(|r| r.0).sum::<f64>() / n, raw.iter().map(|r| r.1).sum::<f64>() / n)
         } else {
             (0.0, 0.0)
         };
@@ -101,7 +99,12 @@ impl FeedText {
                 // Planar: stop_lat is y (northing), stop_lon is x (easting).
                 staq_geom::Point::new(lon, lat)
             };
-            feed.stops.push(Stop { id, gtfs_id: row[c_id].clone(), name: row[c_name].clone(), pos });
+            feed.stops.push(Stop {
+                id,
+                gtfs_id: row[c_id].clone(),
+                name: row[c_name].clone(),
+                pos,
+            });
         }
 
         // routes.txt
@@ -116,10 +119,11 @@ impl FeedText {
             if route_ids.insert(row[c_id].clone(), id).is_some() {
                 return Err(format!("duplicate route_id {:?}", row[c_id]));
             }
-            let agency = *agency_ids
-                .get(&row[c_agency])
-                .ok_or_else(|| format!("route {:?} references unknown agency {:?}", row[c_id], row[c_agency]))?;
-            let code: u32 = row[c_type].parse().map_err(|_| format!("bad route_type {:?}", row[c_type]))?;
+            let agency = *agency_ids.get(&row[c_agency]).ok_or_else(|| {
+                format!("route {:?} references unknown agency {:?}", row[c_id], row[c_agency])
+            })?;
+            let code: u32 =
+                row[c_type].parse().map_err(|_| format!("bad route_type {:?}", row[c_type]))?;
             feed.routes.push(Route {
                 id,
                 gtfs_id: row[c_id].clone(),
@@ -167,12 +171,12 @@ impl FeedText {
             if trip_ids.insert(row[c_id].clone(), id).is_some() {
                 return Err(format!("duplicate trip_id {:?}", row[c_id]));
             }
-            let route = *route_ids
-                .get(&row[c_route])
-                .ok_or_else(|| format!("trip {:?} references unknown route {:?}", row[c_id], row[c_route]))?;
-            let service = *service_ids
-                .get(&row[c_svc])
-                .ok_or_else(|| format!("trip {:?} references unknown service {:?}", row[c_id], row[c_svc]))?;
+            let route = *route_ids.get(&row[c_route]).ok_or_else(|| {
+                format!("trip {:?} references unknown route {:?}", row[c_id], row[c_route])
+            })?;
+            let service = *service_ids.get(&row[c_svc]).ok_or_else(|| {
+                format!("trip {:?} references unknown service {:?}", row[c_id], row[c_svc])
+            })?;
             feed.trips.push(Trip { id, gtfs_id: row[c_id].clone(), route, service });
         }
 
@@ -193,7 +197,8 @@ impl FeedText {
                 .ok_or_else(|| format!("stop_time references unknown stop {:?}", row[c_stop]))?;
             let arrival = Stime::parse(&row[c_arr])?;
             let departure = Stime::parse(&row[c_dep])?;
-            let seq: u32 = row[c_seq].parse().map_err(|_| format!("bad stop_sequence {:?}", row[c_seq]))?;
+            let seq: u32 =
+                row[c_seq].parse().map_err(|_| format!("bad stop_sequence {:?}", row[c_seq]))?;
             feed.stop_times.push(StopTime { trip, stop, arrival, departure, seq });
         }
         feed.normalize();

@@ -170,7 +170,12 @@ impl TimeInterval {
 
     /// PM peak 16:30–18:30 on Tuesday (used for multi-interval examples).
     pub fn pm_peak() -> Self {
-        TimeInterval::new(Stime::hms(16, 30, 0), Stime::hms(18, 30, 0), DayOfWeek::Tuesday, "PM peak")
+        TimeInterval::new(
+            Stime::hms(16, 30, 0),
+            Stime::hms(18, 30, 0),
+            DayOfWeek::Tuesday,
+            "PM peak",
+        )
     }
 
     /// Inter-peak 11:00–13:00 on Tuesday.

@@ -176,9 +176,7 @@ mod tests {
     fn detects_nonmonotone_sequence() {
         let mut feed = tiny_feed_text().parse().unwrap();
         feed.stop_times[1].seq = 0;
-        assert!(validate(&feed)
-            .iter()
-            .any(|v| v.0.contains("not strictly increasing")));
+        assert!(validate(&feed).iter().any(|v| v.0.contains("not strictly increasing")));
     }
 
     #[test]

@@ -14,11 +14,7 @@ use crate::parse::FeedText;
 pub fn to_text(feed: &Feed) -> FeedText {
     let agency = csv::write(
         &["agency_id", "agency_name"],
-        &feed
-            .agencies
-            .iter()
-            .map(|a| vec![a.gtfs_id.clone(), a.name.clone()])
-            .collect::<Vec<_>>(),
+        &feed.agencies.iter().map(|a| vec![a.gtfs_id.clone(), a.name.clone()]).collect::<Vec<_>>(),
     );
     let stops = csv::write(
         &["stop_id", "stop_name", "stop_lat", "stop_lon"],
@@ -51,13 +47,24 @@ pub fn to_text(feed: &Feed) -> FeedText {
             .collect::<Vec<_>>(),
     );
     let calendar = csv::write(
-        &["service_id", "monday", "tuesday", "wednesday", "thursday", "friday", "saturday", "sunday"],
+        &[
+            "service_id",
+            "monday",
+            "tuesday",
+            "wednesday",
+            "thursday",
+            "friday",
+            "saturday",
+            "sunday",
+        ],
         &feed
             .services
             .iter()
             .map(|s| {
                 let mut row = vec![s.gtfs_id.clone()];
-                row.extend(s.days.iter().map(|&d| if d { "1".to_string() } else { "0".to_string() }));
+                row.extend(
+                    s.days.iter().map(|&d| if d { "1".to_string() } else { "0".to_string() }),
+                );
                 row
             })
             .collect::<Vec<_>>(),
@@ -128,7 +135,9 @@ mod tests {
     fn writes_all_tables_nonempty() {
         let feed = crate::parse::tests::tiny_feed_text().parse().unwrap();
         let text = to_text(&feed);
-        for body in [&text.agency, &text.stops, &text.routes, &text.calendar, &text.trips, &text.stop_times] {
+        for body in
+            [&text.agency, &text.stops, &text.routes, &text.calendar, &text.trips, &text.stop_times]
+        {
             assert!(body.lines().count() >= 2, "header plus at least one row");
         }
     }

@@ -44,9 +44,7 @@ pub fn all_origin_features(
     city: &City,
     m: &Todam,
 ) -> Vec<Option<[f64; FEATURE_DIM]>> {
-    (0..city.n_zones() as u32)
-        .map(|z| origin_features(fx, city, m, ZoneId(z)))
-        .collect()
+    (0..city.n_zones() as u32).map(|z| origin_features(fx, city, m, ZoneId(z))).collect()
 }
 
 #[cfg(test)]

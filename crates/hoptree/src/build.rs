@@ -36,9 +36,7 @@ impl<'a> BuildContext<'a> {
         let stop_grid = GridIndex::build(&stop_points, walk_radius_m.max(50.0));
         let stop_zone = stop_points
             .iter()
-            .map(|(p, _)| {
-                ZoneId(zone_tree.nearest(p).expect("at least one zone").item)
-            })
+            .map(|(p, _)| ZoneId(zone_tree.nearest(p).expect("at least one zone").item))
             .collect();
         BuildContext { feed, stop_grid, stop_zone }
     }
@@ -73,8 +71,7 @@ pub fn build_tree(
         for dep in ctx.feed.departures_at(stop, v) {
             let calls = ctx.feed.trip_calls(dep.trip);
             // Position of this call within the trip.
-            let Some(pos) = calls.iter().position(|c| c.stop == stop && c.seq == dep.seq)
-            else {
+            let Some(pos) = calls.iter().position(|c| c.stop == stop && c.seq == dep.seq) else {
                 continue;
             };
             match direction {
@@ -95,10 +92,8 @@ pub fn build_tree(
             }
         }
     }
-    let accum: Vec<(ZoneId, u32, f64, f64)> = accum
-        .into_iter()
-        .map(|(z, (c, sum, min))| (z, c, sum, min))
-        .collect();
+    let accum: Vec<(ZoneId, u32, f64, f64)> =
+        accum.into_iter().map(|(z, (c, sum, min))| (z, c, sum, min)).collect();
     HopTree::from_accum(zone, direction, accum)
 }
 

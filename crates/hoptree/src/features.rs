@@ -113,7 +113,7 @@ impl<'a> FeatureExtractor<'a> {
         let mut best: Option<(f64, f64, u32)> = None; // (dist, jt_avg, count)
         for leaf in ob.leaves() {
             let dist = self.centroids[leaf.zone.idx()].dist(d);
-            if best.map_or(true, |(bd, _, _)| dist < bd) {
+            if best.is_none_or(|(bd, _, _)| dist < bd) {
                 best = Some((dist, leaf.jt_avg(), leaf.count));
             }
         }
@@ -126,7 +126,7 @@ impl<'a> FeatureExtractor<'a> {
         let mut best: Option<(f64, f64, u32)> = None;
         for leaf in ib.leaves() {
             let dist = self.centroids[leaf.zone.idx()].dist(&o);
-            if best.map_or(true, |(bd, _, _)| dist < bd) {
+            if best.is_none_or(|(bd, _, _)| dist < bd) {
                 best = Some((dist, leaf.jt_avg(), leaf.count));
             }
         }
@@ -153,10 +153,8 @@ impl<'a> FeatureExtractor<'a> {
 
         // High-frequency analysis.
         let hf = ob.high_frequency_leaves(self.hf_quantile);
-        f[13] = hf
-            .iter()
-            .map(|l| self.centroids[l.zone.idx()].dist(d))
-            .fold(self.max_dist, f64::min);
+        f[13] =
+            hf.iter().map(|l| self.centroids[l.zone.idx()].dist(d)).fold(self.max_dist, f64::min);
         let hf_threshold = hf.iter().map(|l| l.count).min().unwrap_or(u32::MAX);
         f[14] = ints.iter().filter(|i| i.frequency >= hf_threshold).count() as f64;
 

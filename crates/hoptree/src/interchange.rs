@@ -39,11 +39,8 @@ pub fn find_interchanges(
         return Vec::new();
     }
     // k-NN index over the inbound leaves.
-    let ib_points: Vec<(staq_geom::Point, u32)> = ib
-        .leaves()
-        .iter()
-        .map(|l| (centroids[l.zone.idx()], l.zone.0))
-        .collect();
+    let ib_points: Vec<(staq_geom::Point, u32)> =
+        ib.leaves().iter().map(|l| (centroids[l.zone.idx()], l.zone.0)).collect();
     let ib_tree = KdTree::build(&ib_points);
 
     let mut out = Vec::new();
@@ -91,12 +88,8 @@ mod tests {
         let mut found_any = false;
         for z in 0..city.n_zones() {
             let dest = ZoneId(z as u32);
-            let ints = find_interchanges(
-                &store,
-                store.outbound(core),
-                store.inbound(dest),
-                &centroids,
-            );
+            let ints =
+                find_interchanges(&store, store.outbound(core), store.inbound(dest), &centroids);
             if !ints.is_empty() {
                 found_any = true;
                 for i in &ints {
@@ -125,7 +118,8 @@ mod tests {
         let core = ZoneId(store.zone_tree().nearest(&city.cores[0]).unwrap().item);
         for z in (0..city.n_zones()).step_by(7) {
             let dest = ZoneId(z as u32);
-            for i in find_interchanges(&store, store.outbound(core), store.inbound(dest), &centroids)
+            for i in
+                find_interchanges(&store, store.outbound(core), store.inbound(dest), &centroids)
             {
                 assert!(
                     store.isochrone(i.ob_zone).overlaps(store.isochrone(i.ib_zone)),

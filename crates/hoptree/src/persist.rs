@@ -158,8 +158,8 @@ pub fn from_text(text: &str, city: &City) -> Result<HopTreeStore, String> {
 
 /// Reads a store from `path`.
 pub fn load(path: &Path, city: &City) -> Result<HopTreeStore, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     from_text(&text, city)
 }
 
@@ -224,10 +224,7 @@ mod tests {
         let (city, store) = setup();
         let back = from_text(&to_text(&store), &city).unwrap();
         for z in 0..city.n_zones() as u32 {
-            assert_eq!(
-                back.reachable_within(ZoneId(z), 2),
-                store.reachable_within(ZoneId(z), 2)
-            );
+            assert_eq!(back.reachable_within(ZoneId(z), 2), store.reachable_within(ZoneId(z), 2));
         }
     }
 }

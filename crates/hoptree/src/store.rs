@@ -45,8 +45,10 @@ impl HopTreeStore {
                 snapper.snap_unchecked(&zone.centroid),
                 params,
             );
-            let ob = build_tree(&ctx, zone.id, &w, params.max_radius_m(), interval, Direction::Outbound);
-            let ib = build_tree(&ctx, zone.id, &w, params.max_radius_m(), interval, Direction::Inbound);
+            let ob =
+                build_tree(&ctx, zone.id, &w, params.max_radius_m(), interval, Direction::Outbound);
+            let ib =
+                build_tree(&ctx, zone.id, &w, params.max_radius_m(), interval, Direction::Inbound);
             isochrones.push(w);
             outbound.push(ob);
             inbound.push(ib);
@@ -160,12 +162,27 @@ impl HopTreeStore {
         let ctx = BuildContext::new(&city.feed, &self.zone_tree, self.params.max_radius_m());
         for &z in zones {
             let centroid = city.zone_centroid(z);
-            let w = Isochrone::grow(&city.road, centroid, snapper.snap_unchecked(&centroid), &self.params);
+            let w = Isochrone::grow(
+                &city.road,
+                centroid,
+                snapper.snap_unchecked(&centroid),
+                &self.params,
+            );
             self.outbound[z.idx()] = build_tree(
-                &ctx, z, &w, self.params.max_radius_m(), &self.interval, Direction::Outbound,
+                &ctx,
+                z,
+                &w,
+                self.params.max_radius_m(),
+                &self.interval,
+                Direction::Outbound,
             );
             self.inbound[z.idx()] = build_tree(
-                &ctx, z, &w, self.params.max_radius_m(), &self.interval, Direction::Inbound,
+                &ctx,
+                z,
+                &w,
+                self.params.max_radius_m(),
+                &self.interval,
+                Direction::Inbound,
             );
             self.isochrones[z.idx()] = w;
         }
@@ -188,14 +205,9 @@ mod tests {
         let (city, s) = store();
         assert_eq!(s.n_zones(), city.n_zones());
         // Most zones in a city with decent coverage have some connectivity.
-        let connected = (0..s.n_zones())
-            .filter(|&z| s.outbound(ZoneId(z as u32)).n_leaves() > 0)
-            .count();
-        assert!(
-            connected * 2 > s.n_zones(),
-            "only {connected}/{} zones connected",
-            s.n_zones()
-        );
+        let connected =
+            (0..s.n_zones()).filter(|&z| s.outbound(ZoneId(z as u32)).n_leaves() > 0).count();
+        assert!(connected * 2 > s.n_zones(), "only {connected}/{} zones connected", s.n_zones());
     }
 
     #[test]
@@ -209,10 +221,7 @@ mod tests {
         assert!(h1.len() >= h0.len());
         assert!(h2.len() >= h1.len());
         assert!(h1.is_subset(&h2));
-        assert!(
-            h2.len() > h1.len(),
-            "a second hop should reach new zones from the core"
-        );
+        assert!(h2.len() > h1.len(), "a second hop should reach new zones from the core");
     }
 
     #[test]
@@ -228,9 +237,8 @@ mod tests {
         let s_am = HopTreeStore::build(&city, &am, &params);
         let s_ev = HopTreeStore::build(&city, &evening, &params);
         let z = ZoneId(s_am.zone_tree().nearest(&city.cores[0]).unwrap().item);
-        let count = |s: &HopTreeStore| -> u32 {
-            s.outbound(z).leaves().iter().map(|l| l.count).sum()
-        };
+        let count =
+            |s: &HopTreeStore| -> u32 { s.outbound(z).leaves().iter().map(|l| l.count).sum() };
         assert!(
             count(&s_am) > count(&s_ev),
             "AM peak hops {} should exceed evening {}",

@@ -86,10 +86,7 @@ impl HopTree {
 
     /// Leaf for `zone`, if reachable in one hop.
     pub fn leaf(&self, zone: ZoneId) -> Option<&Leaf> {
-        self.leaves
-            .binary_search_by_key(&zone, |l| l.zone)
-            .ok()
-            .map(|i| &self.leaves[i])
+        self.leaves.binary_search_by_key(&zone, |l| l.zone).ok().map(|i| &self.leaves[i])
     }
 
     /// True when `zone` is reachable in one hop.

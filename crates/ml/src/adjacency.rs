@@ -51,11 +51,8 @@ impl SparseAdj {
             nearest.push(ds);
         }
         let sigma = sigma.unwrap_or_else(|| {
-            let sum: f64 = nearest
-                .iter()
-                .filter_map(|ds| ds.last())
-                .map(|&(_, d2)| d2.sqrt())
-                .sum();
+            let sum: f64 =
+                nearest.iter().filter_map(|ds| ds.last()).map(|&(_, d2)| d2.sqrt()).sum();
             (sum / n.max(1) as f64).max(1e-9)
         });
 
@@ -76,9 +73,8 @@ impl SparseAdj {
         }
 
         // Degree with self-loop, then symmetric normalization.
-        let deg: Vec<f64> = (0..n)
-            .map(|i| 1.0 + weights[i].iter().map(|&(_, w)| w).sum::<f64>())
-            .collect();
+        let deg: Vec<f64> =
+            (0..n).map(|i| 1.0 + weights[i].iter().map(|&(_, w)| w).sum::<f64>()).collect();
         let mut rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n);
         for i in 0..n {
             let mut row: Vec<(u32, f64)> = Vec::with_capacity(weights[i].len() + 1);

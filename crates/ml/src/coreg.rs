@@ -91,8 +91,7 @@ impl SsrModel for Coreg {
             if available.is_empty() {
                 break;
             }
-            let pool: Vec<usize> =
-                available.iter().copied().take(self.pool).collect();
+            let pool: Vec<usize> = available.iter().copied().take(self.pool).collect();
             let mut taught = Vec::new();
             // h1 teaches h2, then h2 teaches h1.
             for source in 0..2 {
@@ -106,7 +105,7 @@ impl SsrModel for Coreg {
                     let xq = task.x_unlabeled.row(u);
                     let yq = src.predict_one(xq);
                     let d = Coreg::delta(src, xq, &yq);
-                    if d > 0.0 && best.as_ref().map_or(true, |b| d > b.2) {
+                    if d > 0.0 && best.as_ref().is_none_or(|b| d > b.2) {
                         best = Some((u, yq, d));
                     }
                 }
@@ -156,7 +155,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (xl, yl, xu, _) = fixtures::synthetic(40, 25, 4);
-        let task = SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 11 };
+        let task =
+            SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 11 };
         let a = Coreg::default().fit_predict(&task);
         let b = Coreg::default().fit_predict(&task);
         assert_eq!(a, b);
@@ -165,7 +165,8 @@ mod tests {
     #[test]
     fn zero_rounds_reduces_to_knn_average() {
         let (xl, yl, xu, _) = fixtures::synthetic(30, 15, 8);
-        let task = SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 1 };
+        let task =
+            SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 1 };
         let coreg = Coreg { rounds: 0, ..Coreg::default() };
         let got = coreg.fit_predict(&task);
         let mut h1 = KnnRegressor::new(3, 2.0);

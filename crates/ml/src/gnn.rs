@@ -64,9 +64,7 @@ impl SsrModel for Gcn {
 
     fn fit_predict(&self, task: &SsrTask<'_>) -> Matrix {
         task.validate().expect("invalid SSR task");
-        let adj = task
-            .adjacency
-            .expect("GNN requires the zone adjacency in SsrTask::adjacency");
+        let adj = task.adjacency.expect("GNN requires the zone adjacency in SsrTask::adjacency");
         let n_l = task.x_labeled.rows();
         let n_u = task.x_unlabeled.rows();
         assert_eq!(adj.n(), n_l + n_u, "adjacency rows must cover L then U");
@@ -167,10 +165,10 @@ mod tests {
             feats.push(vec![f1, f2, noise() * 0.1]);
             targets.push(vec![3.0 * f1 + 2.0 * f2 + noise() * 0.1, f1 * f2]);
         }
-        let xl = Matrix::from_rows(&feats[..n_l].to_vec());
-        let yl = Matrix::from_rows(&targets[..n_l].to_vec());
-        let xu = Matrix::from_rows(&feats[n_l..].to_vec());
-        let yu = Matrix::from_rows(&targets[n_l..].to_vec());
+        let xl = Matrix::from_rows(&feats[..n_l]);
+        let yl = Matrix::from_rows(&targets[..n_l]);
+        let xu = Matrix::from_rows(&feats[n_l..]);
+        let yu = Matrix::from_rows(&targets[n_l..]);
         (coords, xl, yl, xu, yu)
     }
 
@@ -211,7 +209,8 @@ mod tests {
     #[should_panic(expected = "requires the zone adjacency")]
     fn missing_adjacency_panics() {
         let (_, xl, yl, xu, _) = spatial_problem(36, 12, 1);
-        let task = SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 0 };
+        let task =
+            SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 0 };
         Gcn::default().fit_predict(&task);
     }
 

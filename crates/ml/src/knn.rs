@@ -55,11 +55,7 @@ impl KnnRegressor {
     }
 
     fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
-        let s: f64 = a
-            .iter()
-            .zip(b)
-            .map(|(x, y)| (x - y).abs().powf(self.p))
-            .sum();
+        let s: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs().powf(self.p)).sum();
         s.powf(1.0 / self.p)
     }
 
@@ -71,9 +67,7 @@ impl KnnRegressor {
             return Vec::new();
         }
         idx.sort_by(|&a, &b| {
-            self.dist(q, &self.x[a])
-                .partial_cmp(&self.dist(q, &self.x[b]))
-                .unwrap()
+            self.dist(q, &self.x[a]).partial_cmp(&self.dist(q, &self.x[b])).unwrap()
         });
         idx.truncate(k);
         idx

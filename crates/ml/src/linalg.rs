@@ -93,8 +93,11 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul shape {}x{} * {}x{}",
-            self.rows, self.cols, other.rows, other.cols);
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let mut out = Matrix::zeros(self.rows, other.cols);
         // i-k-j loop order: streams over `other`'s rows, cache-friendly.
         for i in 0..self.rows {
@@ -127,22 +130,13 @@ impl Matrix {
     /// `self + alpha * other`, shapes must match.
     pub fn add_scaled(&self, other: &Matrix, alpha: f64) -> Matrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| a + alpha * b)
-            .collect();
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a + alpha * b).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
     /// Element-wise map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Vertical stack: `self` above `other` (same column count).

@@ -83,9 +83,8 @@ impl SsrModel for MeanTeacher {
 
                 // Consistency step on an unlabeled slice.
                 if n_u > 0 && cons_w > 0.0 {
-                    let uid: Vec<usize> = (0..u_per_batch)
-                        .map(|k| order_u[(u_cursor + k) % n_u])
-                        .collect();
+                    let uid: Vec<usize> =
+                        (0..u_per_batch).map(|k| order_u[(u_cursor + k) % n_u]).collect();
                     u_cursor = (u_cursor + u_per_batch) % n_u;
                     let ux = xu.select_rows(&uid);
                     // Teacher targets on clean inputs; student sees noise.
@@ -119,7 +118,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (xl, yl, xu, _) = fixtures::synthetic(30, 20, 9);
-        let task = SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 2 };
+        let task =
+            SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 2 };
         let short = MeanTeacher { epochs: 20, ..Default::default() };
         assert_eq!(short.fit_predict(&task), short.fit_predict(&task));
     }
@@ -129,7 +129,8 @@ mod tests {
         // With vs without consistency: predictions must differ, proving the
         // unlabeled branch participates in training.
         let (xl, yl, xu, _) = fixtures::synthetic(25, 40, 14);
-        let task = SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 4 };
+        let task =
+            SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 4 };
         let with = MeanTeacher { epochs: 30, ..Default::default() }.fit_predict(&task);
         let without =
             MeanTeacher { epochs: 30, consistency: 0.0, ..Default::default() }.fit_predict(&task);
@@ -139,7 +140,8 @@ mod tests {
     #[test]
     fn output_shape() {
         let (xl, yl, xu, _) = fixtures::synthetic(15, 6, 0);
-        let task = SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 0 };
+        let task =
+            SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 0 };
         let p = MeanTeacher { epochs: 3, ..Default::default() }.fit_predict(&task);
         assert_eq!((p.rows(), p.cols()), (6, 2));
     }

@@ -12,8 +12,7 @@ pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
 pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
     assert_eq!(truth.len(), pred.len(), "rmse length mismatch");
     assert!(!truth.is_empty(), "rmse of empty slice");
-    (truth.iter().zip(pred).map(|(t, p)| (t - p).powi(2)).sum::<f64>() / truth.len() as f64)
-        .sqrt()
+    (truth.iter().zip(pred).map(|(t, p)| (t - p).powi(2)).sum::<f64>() / truth.len() as f64).sqrt()
 }
 
 /// Pearson correlation coefficient. Returns 0 when either side has zero

@@ -81,16 +81,12 @@ impl Net {
         let acts = self.forward(x);
         let out = acts.last().unwrap();
         let n = x.rows().max(1) as f64;
-        let mse = out
-            .data()
-            .iter()
-            .zip(y.data())
-            .map(|(o, t)| (o - t) * (o - t))
-            .sum::<f64>()
+        let mse = out.data().iter().zip(y.data()).map(|(o, t)| (o - t) * (o - t)).sum::<f64>()
             / (n * y.cols() as f64);
 
         // dL/dOut for L = loss_weight * MSE.
-        let mut delta = out.add_scaled(y, -1.0).map(|v| v * 2.0 * loss_weight / (n * y.cols() as f64));
+        let mut delta =
+            out.add_scaled(y, -1.0).map(|v| v * 2.0 * loss_weight / (n * y.cols() as f64));
         let mut grads_w: Vec<Matrix> = Vec::with_capacity(self.weights.len());
         let mut grads_b: Vec<Vec<f64>> = Vec::with_capacity(self.weights.len());
         for l in (0..self.weights.len()).rev() {
@@ -254,7 +250,8 @@ mod tests {
     fn fits_nonlinear_target_better_than_ols() {
         // Second target is quadratic; compare on that column.
         let (xl, yl, xu, yu) = fixtures::synthetic(150, 60, 6);
-        let task = SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 6 };
+        let task =
+            SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 6 };
         let mlp_pred = MlpRegressor::default().fit_predict(&task);
         let ols_pred = crate::ols::Ols::default().fit_predict(&task);
         let mlp_err = crate::metrics::mae(&yu.col_vec(1), &mlp_pred.col_vec(1));
@@ -276,7 +273,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (xl, yl, xu, _) = fixtures::synthetic(40, 20, 12);
-        let task = SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 5 };
+        let task =
+            SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 5 };
         let a = MlpRegressor::default().fit_predict(&task);
         let b = MlpRegressor::default().fit_predict(&task);
         assert_eq!(a, b);
@@ -297,7 +295,8 @@ mod tests {
     #[test]
     fn predict_shape() {
         let (xl, yl, xu, _) = fixtures::synthetic(20, 7, 1);
-        let task = SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 0 };
+        let task =
+            SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 0 };
         let p = MlpRegressor { epochs: 5, ..Default::default() }.fit_predict(&task);
         assert_eq!((p.rows(), p.cols()), (7, 2));
     }

@@ -76,7 +76,8 @@ mod tests {
         let xl = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
         let yl = Matrix::from_rows(&[vec![1.0], vec![3.0], vec![5.0]]);
         let xu = Matrix::from_rows(&[vec![10.0]]);
-        let task = SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 0 };
+        let task =
+            SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 0 };
         let pred = Ols::default().fit_predict(&task);
         assert!((pred[(0, 0)] - 21.0).abs() < 1e-3);
     }
@@ -84,14 +85,11 @@ mod tests {
     #[test]
     fn survives_collinear_features() {
         // Second column duplicates the first: singular without the ridge.
-        let xl = Matrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![2.0, 2.0],
-            vec![3.0, 3.0],
-        ]);
+        let xl = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
         let yl = Matrix::from_rows(&[vec![2.0], vec![4.0], vec![6.0]]);
         let xu = Matrix::from_rows(&[vec![4.0, 4.0]]);
-        let task = SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 0 };
+        let task =
+            SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 0 };
         let pred = Ols::default().fit_predict(&task);
         assert!((pred[(0, 0)] - 8.0).abs() < 0.01, "got {}", pred[(0, 0)]);
     }
@@ -102,7 +100,8 @@ mod tests {
         let xl = Matrix::from_rows(&[vec![1.0, 0.0, 2.0, 1.0], vec![0.0, 1.0, 1.0, 2.0]]);
         let yl = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
         let xu = Matrix::from_rows(&[vec![1.0, 1.0, 3.0, 3.0]]);
-        let task = SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 0 };
+        let task =
+            SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed: 0 };
         let pred = Ols::default().fit_predict(&task);
         assert!(pred[(0, 0)].is_finite());
     }

@@ -32,10 +32,7 @@ impl StandardScaler {
                 var[j] += dv * dv;
             }
         }
-        let std = var
-            .iter()
-            .map(|&v| (v / n.max(1) as f64).sqrt().max(1e-9))
-            .collect();
+        let std = var.iter().map(|&v| (v / n.max(1) as f64).sqrt().max(1e-9)).collect();
         StandardScaler { mean, std }
     }
 

@@ -66,13 +66,8 @@ pub enum ModelKind {
 
 impl ModelKind {
     /// All five models, in the paper's reporting order.
-    pub const ALL: [ModelKind; 5] = [
-        ModelKind::Ols,
-        ModelKind::Mlp,
-        ModelKind::Coreg,
-        ModelKind::MeanTeacher,
-        ModelKind::Gnn,
-    ];
+    pub const ALL: [ModelKind; 5] =
+        [ModelKind::Ols, ModelKind::Mlp, ModelKind::Coreg, ModelKind::MeanTeacher, ModelKind::Gnn];
 
     /// Report label.
     pub const fn label(self) -> &'static str {
@@ -137,13 +132,8 @@ pub(crate) mod fixtures {
     /// MAE of a model on the synthetic problem's first target.
     pub fn model_mae(model: &dyn SsrModel, n_l: usize, n_u: usize, seed: u64) -> f64 {
         let (xl, yl, xu, yu) = synthetic(n_l, n_u, seed);
-        let task = SsrTask {
-            x_labeled: &xl,
-            y_labeled: &yl,
-            x_unlabeled: &xu,
-            adjacency: None,
-            seed,
-        };
+        let task =
+            SsrTask { x_labeled: &xl, y_labeled: &yl, x_unlabeled: &xu, adjacency: None, seed };
         task.validate().unwrap();
         let pred = model.fit_predict(&task);
         assert_eq!(pred.rows(), n_u);
@@ -169,20 +159,39 @@ mod tests {
         let x = Matrix::zeros(4, 3);
         let y = Matrix::zeros(4, 2);
         let xu = Matrix::zeros(6, 3);
-        let ok = SsrTask { x_labeled: &x, y_labeled: &y, x_unlabeled: &xu, adjacency: None, seed: 0 };
+        let ok =
+            SsrTask { x_labeled: &x, y_labeled: &y, x_unlabeled: &xu, adjacency: None, seed: 0 };
         assert!(ok.validate().is_ok());
 
         let bad_dim = Matrix::zeros(6, 2);
-        let t = SsrTask { x_labeled: &x, y_labeled: &y, x_unlabeled: &bad_dim, adjacency: None, seed: 0 };
+        let t = SsrTask {
+            x_labeled: &x,
+            y_labeled: &y,
+            x_unlabeled: &bad_dim,
+            adjacency: None,
+            seed: 0,
+        };
         assert!(t.validate().is_err());
 
         let bad_y = Matrix::zeros(3, 2);
-        let t = SsrTask { x_labeled: &x, y_labeled: &bad_y, x_unlabeled: &xu, adjacency: None, seed: 0 };
+        let t = SsrTask {
+            x_labeled: &x,
+            y_labeled: &bad_y,
+            x_unlabeled: &xu,
+            adjacency: None,
+            seed: 0,
+        };
         assert!(t.validate().is_err());
 
         let empty = Matrix::zeros(0, 3);
         let ey = Matrix::zeros(0, 2);
-        let t = SsrTask { x_labeled: &empty, y_labeled: &ey, x_unlabeled: &xu, adjacency: None, seed: 0 };
+        let t = SsrTask {
+            x_labeled: &empty,
+            y_labeled: &ey,
+            x_unlabeled: &xu,
+            adjacency: None,
+            seed: 0,
+        };
         assert!(t.validate().is_err());
     }
 

@@ -65,10 +65,7 @@ impl RoadGraph {
     pub fn out_edges(&self, n: NodeId) -> impl Iterator<Item = (NodeId, f32)> + '_ {
         let lo = self.adj_offsets[n.idx()] as usize;
         let hi = self.adj_offsets[n.idx() + 1] as usize;
-        self.adj_targets[lo..hi]
-            .iter()
-            .zip(&self.adj_costs[lo..hi])
-            .map(|(&t, &c)| (NodeId(t), c))
+        self.adj_targets[lo..hi].iter().zip(&self.adj_costs[lo..hi]).map(|(&t, &c)| (NodeId(t), c))
     }
 
     /// Out-degree of `n`.

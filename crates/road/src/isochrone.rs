@@ -25,10 +25,7 @@ pub struct IsochroneParams {
 
 impl Default for IsochroneParams {
     fn default() -> Self {
-        IsochroneParams {
-            tau_secs: crate::DEFAULT_TAU_SECS,
-            omega_mps: crate::DEFAULT_OMEGA_MPS,
-        }
+        IsochroneParams { tau_secs: crate::DEFAULT_TAU_SECS, omega_mps: crate::DEFAULT_OMEGA_MPS }
     }
 }
 

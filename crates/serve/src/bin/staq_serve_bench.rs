@@ -1,0 +1,244 @@
+//! Open-loop load generator for a running staq-serve daemon.
+//!
+//! ```text
+//! staq-serve-bench [--addr 127.0.0.1:7878] [--conns N] [--duration secs]
+//!                  [--rate req/s] [--edit-every ms]
+//! ```
+//!
+//! Phase 1 (cold): with an empty server cache, one connection touches
+//! every POI category once — these latencies include the SSR pipeline
+//! run. Phase 2 (warm): `--conns` connections issue a rotating query mix
+//! for `--duration` seconds; `--rate` (total requests/sec, spread across
+//! connections) makes the loop open-loop — senders pace by wall clock
+//! and do not slow down when the server does. `--rate 0` means closed
+//! loop (send as fast as responses return). `--edit-every N` adds a
+//! dedicated connection issuing `add_poi` every N ms, so the cache keeps
+//! being invalidated under read load.
+//!
+//! The report prints requests/sec and p50/p95/p99 per request kind,
+//! plus the server's pipeline-run counter before and after.
+
+use staq_bench::{fmt_dur, LatencyHistogram};
+use staq_serve::client::Client;
+use staq_synth::PoiCategory;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    conns: usize,
+    duration: Duration,
+    rate: f64,
+    edit_every: Option<Duration>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".into(),
+        conns: 16,
+        duration: Duration::from_secs(10),
+        rate: 0.0,
+        edit_every: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => args.addr = need(&mut it, "--addr"),
+            "--conns" => args.conns = parse(&mut it, "--conns"),
+            "--duration" => args.duration = Duration::from_secs_f64(parse(&mut it, "--duration")),
+            "--rate" => args.rate = parse(&mut it, "--rate"),
+            "--edit-every" => {
+                let ms: u64 = parse(&mut it, "--edit-every");
+                args.edit_every = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if args.conns == 0 {
+        usage("--conns must be at least 1");
+    }
+    args
+}
+
+fn need(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+}
+
+fn parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    need(it, flag).parse().unwrap_or_else(|_| usage(&format!("{flag} needs a valid value")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: staq-serve-bench [--addr host:port] [--conns N] [--duration secs] \
+         [--rate req/s] [--edit-every ms]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 })
+}
+
+/// Kinds tracked separately in the report, in print order.
+const KINDS: [&str; 4] = ["measures", "mean_access", "worst_zones", "at_risk"];
+
+struct WorkerReport {
+    hists: Vec<LatencyHistogram>, // indexed like KINDS
+    errors: u64,
+}
+
+fn main() {
+    let args = parse_args();
+    let mut control = Client::connect(&args.addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+    let stats0 = control.stats().expect("stats");
+    println!(
+        "server at {}: {} workers, {} pipeline runs so far",
+        args.addr, stats0.workers, stats0.pipeline_runs
+    );
+
+    // Cold phase: first touch per category pays the SSR pipeline.
+    let mut cold = LatencyHistogram::new();
+    for cat in PoiCategory::ALL {
+        let t = Instant::now();
+        control.measures(cat).expect("cold measures");
+        cold.record(t.elapsed());
+    }
+    println!("cold (first touch per category): {}", cold.summary());
+
+    // Warm phase: rotating query mix over `conns` connections.
+    let stop = Arc::new(AtomicBool::new(false));
+    let per_conn_interval =
+        (args.rate > 0.0).then(|| Duration::from_secs_f64(args.conns as f64 / args.rate));
+    let t_start = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..args.conns {
+        let addr = args.addr.clone();
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || run_conn(&addr, c, per_conn_interval, &stop)));
+    }
+    let editor = args.edit_every.map(|every| {
+        let addr = args.addr.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || run_editor(&addr, every, &stop))
+    });
+
+    std::thread::sleep(args.duration);
+    stop.store(true, Ordering::SeqCst);
+
+    let mut hists: Vec<LatencyHistogram> =
+        (0..KINDS.len()).map(|_| LatencyHistogram::new()).collect();
+    let mut errors = 0u64;
+    for h in handles {
+        let r = h.join().expect("worker thread panicked");
+        for (acc, part) in hists.iter_mut().zip(&r.hists) {
+            acc.merge(part);
+        }
+        errors += r.errors;
+    }
+    let edit_report = editor.map(|h| h.join().expect("editor thread panicked"));
+    let elapsed = t_start.elapsed().as_secs_f64();
+
+    let total: u64 = hists.iter().map(|h| h.count()).sum();
+    println!(
+        "\nwarm: {} requests over {:.1}s from {} conns -> {:.0} req/s ({} errors)",
+        total,
+        elapsed,
+        args.conns,
+        total as f64 / elapsed,
+        errors
+    );
+    for (kind, h) in KINDS.iter().zip(&hists) {
+        if h.count() > 0 {
+            println!("  {kind:<12} {}", h.summary());
+        }
+    }
+    if let Some((h, errs)) = edit_report {
+        println!("  {:<12} {} ({errs} errors)", "add_poi", h.summary());
+    }
+
+    let stats1 = control.stats().expect("stats");
+    println!(
+        "pipeline runs {} -> {} (+{}); requests served {}",
+        stats0.pipeline_runs,
+        stats1.pipeline_runs,
+        stats1.pipeline_runs - stats0.pipeline_runs,
+        stats1.requests_served
+    );
+    println!(
+        "warm vs cold p99: {} vs {}",
+        fmt_dur(
+            hists
+                .iter()
+                .fold(LatencyHistogram::new(), |mut a, h| {
+                    a.merge(h);
+                    a
+                })
+                .percentile(99.0)
+        ),
+        fmt_dur(cold.percentile(99.0)),
+    );
+}
+
+fn run_conn(addr: &str, index: usize, pace: Option<Duration>, stop: &AtomicBool) -> WorkerReport {
+    use staq_access::AccessQuery;
+
+    let mut report = WorkerReport {
+        hists: (0..KINDS.len()).map(|_| LatencyHistogram::new()).collect(),
+        errors: 0,
+    };
+    let Ok(mut client) = Client::connect(addr) else {
+        report.errors += 1;
+        return report;
+    };
+    let mut i = index; // desynchronize the rotation across connections
+    let mut next_send = Instant::now();
+    while !stop.load(Ordering::SeqCst) {
+        if let Some(p) = pace {
+            // Open loop: stick to the schedule even if responses lag.
+            let now = Instant::now();
+            if now < next_send {
+                std::thread::sleep(next_send - now);
+            }
+            next_send += p;
+        }
+        let cat = PoiCategory::ALL[i % 4];
+        let t = Instant::now();
+        let (slot, res) = match i % 8 {
+            0 => (0, client.measures(cat).map(|_| ())),
+            1..=3 => (1, client.query(&AccessQuery::MeanAccess, cat).map(|_| ())),
+            4 | 5 => (2, client.query(&AccessQuery::WorstZones { k: 10 }, cat).map(|_| ())),
+            _ => (3, client.query(&AccessQuery::AtRisk { threshold_factor: 1.5 }, cat).map(|_| ())),
+        };
+        let elapsed = t.elapsed();
+        match res {
+            Ok(()) => report.hists[slot].record(elapsed),
+            Err(_) => report.errors += 1,
+        }
+        i += 1;
+    }
+    report
+}
+
+fn run_editor(addr: &str, every: Duration, stop: &AtomicBool) -> (LatencyHistogram, u64) {
+    let mut hist = LatencyHistogram::new();
+    let mut errors = 0u64;
+    let Ok(mut client) = Client::connect(addr) else { return (hist, 1) };
+    // Walk POIs along a diagonal so every edit is a distinct position.
+    let mut k = 0u32;
+    while !stop.load(Ordering::SeqCst) {
+        let pos = staq_geom::Point::new(500.0 + 13.0 * k as f64, 500.0 + 7.0 * k as f64);
+        let t = Instant::now();
+        match client.add_poi(PoiCategory::ALL[k as usize % 4], pos) {
+            Ok(_) => hist.record(t.elapsed()),
+            Err(_) => errors += 1,
+        }
+        k += 1;
+        std::thread::sleep(every);
+    }
+    (hist, errors)
+}

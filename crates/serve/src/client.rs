@@ -1,0 +1,154 @@
+//! Blocking client for the staq-serve wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and issues one request at a
+//! time (the protocol itself allows pipelining; the load generator opens
+//! many clients instead). Semantic failures arrive as
+//! [`ClientError::Server`] with the server's error code and message —
+//! the connection stays usable after them.
+
+use crate::codec::{self, CodecError, ErrorCode, Request, Response, StatsReply};
+use bytes::BytesMut;
+use staq_access::measures::ZoneMeasures;
+use staq_access::{AccessQuery, QueryAnswer};
+use staq_geom::Point;
+use staq_synth::{PoiCategory, PoiId};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    Codec(CodecError),
+    /// The server answered with an error frame.
+    Server {
+        code: ErrorCode,
+        message: String,
+    },
+    /// The server answered with the wrong response kind.
+    Unexpected(&'static str),
+    /// The server closed the connection.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Codec(e) => write!(f, "codec: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code:?}: {message}")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<CodecError> for ClientError {
+    fn from(e: CodecError) -> Self {
+        ClientError::Codec(e)
+    }
+}
+
+/// One connection to a staq-serve server.
+pub struct Client {
+    stream: TcpStream,
+    buf: BytesMut,
+    out: BytesMut,
+}
+
+impl Client {
+    /// Connects and disables Nagle (request/response latencies matter
+    /// more than byte counts here).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: BytesMut::with_capacity(4096),
+            out: BytesMut::with_capacity(4096),
+        })
+    }
+
+    /// Full SSR measure vector for one category.
+    pub fn measures(&mut self, category: PoiCategory) -> Result<Vec<ZoneMeasures>, ClientError> {
+        match self.call(&Request::Measures { category })? {
+            Response::Measures(ms) => Ok(ms),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// An analytical access query for one category.
+    pub fn query(
+        &mut self,
+        query: &AccessQuery,
+        category: PoiCategory,
+    ) -> Result<QueryAnswer, ClientError> {
+        match self.call(&Request::Query { category, query: query.clone() })? {
+            Response::Query(a) => Ok(a),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Scenario edit: add a POI.
+    pub fn add_poi(&mut self, category: PoiCategory, pos: Point) -> Result<PoiId, ClientError> {
+        match self.call(&Request::AddPoi { category, pos })? {
+            Response::AddPoi { poi_id } => Ok(PoiId(poi_id)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Scenario edit: add a bus route; returns zones rebuilt.
+    pub fn add_bus_route(&mut self, stops: &[Point], headway_s: u32) -> Result<u32, ClientError> {
+        match self.call(&Request::AddBusRoute { stops: stops.to_vec(), headway_s })? {
+            Response::AddBusRoute { zones_rebuilt } => Ok(zones_rebuilt),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Server counters.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Sends one request frame and blocks for its response frame.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.out.clear();
+        codec::encode_request(request, &mut self.out);
+        self.stream.write_all(&self.out)?;
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            if let Some(resp) = codec::decode_response(&mut self.buf)? {
+                return Ok(resp);
+            }
+            let n = self.stream.read(&mut scratch)?;
+            if n == 0 {
+                return Err(ClientError::Disconnected);
+            }
+            self.buf.extend_from_slice(&scratch[..n]);
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> ClientError {
+    match resp {
+        Response::Error { code, message } => ClientError::Server { code, message },
+        Response::Measures(_) => ClientError::Unexpected("measures"),
+        Response::Query(_) => ClientError::Unexpected("query answer"),
+        Response::AddPoi { .. } => ClientError::Unexpected("add_poi ack"),
+        Response::AddBusRoute { .. } => ClientError::Unexpected("add_bus_route ack"),
+        Response::Stats(_) => ClientError::Unexpected("stats"),
+    }
+}

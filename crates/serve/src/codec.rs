@@ -1,0 +1,724 @@
+//! Length-prefixed binary wire protocol for access-query serving.
+//!
+//! Every frame, request or response, is:
+//!
+//! ```text
+//! +----------------+-----------+--------+------------------+
+//! | len: u32 (BE)  | ver: u8   | kind   | payload (len-2 B)|
+//! +----------------+-----------+--------+------------------+
+//! ```
+//!
+//! `len` counts everything after itself (version byte + kind byte +
+//! payload). Integers and floats are big-endian. Strings are
+//! `u16` length + UTF-8 bytes. The version byte is [`WIRE_VERSION`];
+//! a peer speaking a different version gets an error frame and the
+//! connection is closed.
+//!
+//! Request kinds are `0x01..=0x05`; response kinds mirror them with the
+//! high bit set (`0x81..=0x85`), and `0xFF` is the error frame — so a
+//! response can never be confused for a request even if framing slips.
+
+use bytes::{Buf, BufMut, BytesMut};
+use staq_access::measures::ZoneMeasures;
+use staq_access::{AccessClass, AccessQuery, DemographicWeight, QueryAnswer};
+use staq_geom::Point;
+use staq_synth::{PoiCategory, ZoneId};
+
+/// Protocol version carried in every frame header.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on `len`; larger frames indicate a desynced or hostile
+/// peer and are rejected before any allocation.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// A request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Full SSR measure vector for one category.
+    Measures { category: PoiCategory },
+    /// An analytical access query against one category.
+    Query { category: PoiCategory, query: AccessQuery },
+    /// Scenario edit: add a POI at a position.
+    AddPoi { category: PoiCategory, pos: Point },
+    /// Scenario edit: add a bus route through the given stops.
+    AddBusRoute { stops: Vec<Point>, headway_s: u32 },
+    /// Server counters (pipeline runs, cache state, requests served).
+    Stats,
+}
+
+impl Request {
+    /// Short label for latency reporting, one per request kind.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Request::Measures { .. } => "measures",
+            Request::Query { .. } => "query",
+            Request::AddPoi { .. } => "add_poi",
+            Request::AddBusRoute { .. } => "add_bus_route",
+            Request::Stats => "stats",
+        }
+    }
+}
+
+/// Server counters exposed over the wire; `pipeline_runs` makes the
+/// single-flight guarantee assertable by a remote client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReply {
+    /// SSR pipeline executions since startup.
+    pub pipeline_runs: u64,
+    /// Requests answered (all kinds) since startup.
+    pub requests_served: u64,
+    /// Categories with a warm cache entry.
+    pub cached: Vec<PoiCategory>,
+    /// Worker threads in the pool.
+    pub workers: u16,
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Measures(Vec<ZoneMeasures>),
+    Query(QueryAnswer),
+    AddPoi {
+        poi_id: u32,
+    },
+    AddBusRoute {
+        zones_rebuilt: u32,
+    },
+    Stats(StatsReply),
+    /// Semantic failure; the connection stays usable.
+    Error {
+        code: ErrorCode,
+        message: String,
+    },
+}
+
+/// Error codes carried in error frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Malformed or unsupported frame.
+    BadRequest = 1,
+    /// Structurally valid but semantically rejected (e.g. a one-stop route).
+    Invalid = 2,
+    /// The server is shutting down or the queue is gone.
+    Unavailable = 3,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        match v {
+            1 => Some(ErrorCode::BadRequest),
+            2 => Some(ErrorCode::Invalid),
+            3 => Some(ErrorCode::Unavailable),
+            _ => None,
+        }
+    }
+}
+
+/// Decode-side failure. `Incomplete` is not an error — the caller reads
+/// more bytes; everything else means the stream is no longer trustworthy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    BadVersion(u8),
+    BadKind(u8),
+    BadPayload(&'static str),
+    FrameTooLarge(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadVersion(v) => {
+                write!(f, "unsupported wire version {v} (want {WIRE_VERSION})")
+            }
+            CodecError::BadKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            CodecError::BadPayload(why) => write!(f, "malformed payload: {why}"),
+            CodecError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds {MAX_FRAME_LEN}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const K_MEASURES: u8 = 0x01;
+const K_QUERY: u8 = 0x02;
+const K_ADD_POI: u8 = 0x03;
+const K_ADD_BUS_ROUTE: u8 = 0x04;
+const K_STATS: u8 = 0x05;
+const K_R_MEASURES: u8 = 0x81;
+const K_R_QUERY: u8 = 0x82;
+const K_R_ADD_POI: u8 = 0x83;
+const K_R_ADD_BUS_ROUTE: u8 = 0x84;
+const K_R_STATS: u8 = 0x85;
+const K_R_ERROR: u8 = 0xFF;
+
+fn category_code(c: PoiCategory) -> u8 {
+    PoiCategory::ALL.iter().position(|k| *k == c).expect("category in ALL") as u8
+}
+
+fn category_from(code: u8) -> Result<PoiCategory, CodecError> {
+    PoiCategory::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or(CodecError::BadPayload("unknown POI category"))
+}
+
+fn class_code(c: AccessClass) -> u8 {
+    match c {
+        AccessClass::Best => 0,
+        AccessClass::MostlyGood => 1,
+        AccessClass::MostlyBad => 2,
+        AccessClass::Worst => 3,
+    }
+}
+
+fn class_from(code: u8) -> Result<AccessClass, CodecError> {
+    Ok(match code {
+        0 => AccessClass::Best,
+        1 => AccessClass::MostlyGood,
+        2 => AccessClass::MostlyBad,
+        3 => AccessClass::Worst,
+        _ => return Err(CodecError::BadPayload("unknown access class")),
+    })
+}
+
+fn weight_code(w: DemographicWeight) -> u8 {
+    match w {
+        DemographicWeight::Uniform => 0,
+        DemographicWeight::Population => 1,
+        DemographicWeight::Unemployed => 2,
+        DemographicWeight::Vulnerable => 3,
+        DemographicWeight::Children => 4,
+    }
+}
+
+fn weight_from(code: u8) -> Result<DemographicWeight, CodecError> {
+    Ok(match code {
+        0 => DemographicWeight::Uniform,
+        1 => DemographicWeight::Population,
+        2 => DemographicWeight::Unemployed,
+        3 => DemographicWeight::Vulnerable,
+        4 => DemographicWeight::Children,
+        _ => return Err(CodecError::BadPayload("unknown demographic weight")),
+    })
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    let bytes = s.as_bytes();
+    let n = bytes.len().min(u16::MAX as usize);
+    buf.put_u16(n as u16);
+    buf.put_slice(&bytes[..n]);
+}
+
+fn take_string(buf: &mut &[u8]) -> Result<String, CodecError> {
+    let n = take_u16(buf)? as usize;
+    if buf.remaining() < n {
+        return Err(CodecError::BadPayload("truncated string"));
+    }
+    let s = std::str::from_utf8(&buf.chunk()[..n])
+        .map_err(|_| CodecError::BadPayload("non-UTF-8 string"))?
+        .to_owned();
+    buf.advance(n);
+    Ok(s)
+}
+
+macro_rules! take_fixed {
+    ($name:ident, $ty:ty, $get:ident, $width:expr) => {
+        fn $name(buf: &mut &[u8]) -> Result<$ty, CodecError> {
+            if buf.remaining() < $width {
+                return Err(CodecError::BadPayload("truncated frame"));
+            }
+            Ok(buf.$get())
+        }
+    };
+}
+
+take_fixed!(take_u8, u8, get_u8, 1);
+take_fixed!(take_u16, u16, get_u16, 2);
+take_fixed!(take_u32, u32, get_u32, 4);
+take_fixed!(take_u64, u64, get_u64, 8);
+take_fixed!(take_f64, f64, get_f64, 8);
+
+fn encode_query(buf: &mut BytesMut, q: &AccessQuery) {
+    match q {
+        AccessQuery::MeanAccess => buf.put_u8(0),
+        AccessQuery::Classification => buf.put_u8(1),
+        AccessQuery::AtRisk { threshold_factor } => {
+            buf.put_u8(2);
+            buf.put_f64(*threshold_factor);
+        }
+        AccessQuery::Fairness { weight } => {
+            buf.put_u8(3);
+            buf.put_u8(weight_code(*weight));
+        }
+        AccessQuery::WorstZones { k } => {
+            buf.put_u8(4);
+            buf.put_u32(*k as u32);
+        }
+    }
+}
+
+fn decode_query(buf: &mut &[u8]) -> Result<AccessQuery, CodecError> {
+    Ok(match take_u8(buf)? {
+        0 => AccessQuery::MeanAccess,
+        1 => AccessQuery::Classification,
+        2 => AccessQuery::AtRisk { threshold_factor: take_f64(buf)? },
+        3 => AccessQuery::Fairness { weight: weight_from(take_u8(buf)?)? },
+        4 => AccessQuery::WorstZones { k: take_u32(buf)? as usize },
+        _ => return Err(CodecError::BadPayload("unknown query tag")),
+    })
+}
+
+fn encode_answer(buf: &mut BytesMut, a: &QueryAnswer) {
+    match a {
+        QueryAnswer::MeanAccess { mean_mac, mean_acsd, n_zones } => {
+            buf.put_u8(0);
+            buf.put_f64(*mean_mac);
+            buf.put_f64(*mean_acsd);
+            buf.put_u32(*n_zones as u32);
+        }
+        QueryAnswer::Classification(cs) => {
+            buf.put_u8(1);
+            buf.put_u32(cs.len() as u32);
+            for (z, c) in cs {
+                buf.put_u32(z.0);
+                buf.put_u8(class_code(*c));
+            }
+        }
+        QueryAnswer::AtRisk(zs) => {
+            buf.put_u8(2);
+            buf.put_u32(zs.len() as u32);
+            for z in zs {
+                buf.put_u32(z.0);
+            }
+        }
+        QueryAnswer::Fairness(j) => {
+            buf.put_u8(3);
+            buf.put_f64(*j);
+        }
+        QueryAnswer::WorstZones(zs) => {
+            buf.put_u8(4);
+            buf.put_u32(zs.len() as u32);
+            for (z, mac) in zs {
+                buf.put_u32(z.0);
+                buf.put_f64(*mac);
+            }
+        }
+    }
+}
+
+fn decode_answer(buf: &mut &[u8]) -> Result<QueryAnswer, CodecError> {
+    Ok(match take_u8(buf)? {
+        0 => QueryAnswer::MeanAccess {
+            mean_mac: take_f64(buf)?,
+            mean_acsd: take_f64(buf)?,
+            n_zones: take_u32(buf)? as usize,
+        },
+        1 => {
+            let n = take_u32(buf)? as usize;
+            let mut cs = Vec::with_capacity(n);
+            for _ in 0..n {
+                cs.push((ZoneId(take_u32(buf)?), class_from(take_u8(buf)?)?));
+            }
+            QueryAnswer::Classification(cs)
+        }
+        2 => {
+            let n = take_u32(buf)? as usize;
+            let mut zs = Vec::with_capacity(n);
+            for _ in 0..n {
+                zs.push(ZoneId(take_u32(buf)?));
+            }
+            QueryAnswer::AtRisk(zs)
+        }
+        3 => QueryAnswer::Fairness(take_f64(buf)?),
+        4 => {
+            let n = take_u32(buf)? as usize;
+            let mut zs = Vec::with_capacity(n);
+            for _ in 0..n {
+                zs.push((ZoneId(take_u32(buf)?), take_f64(buf)?));
+            }
+            QueryAnswer::WorstZones(zs)
+        }
+        _ => return Err(CodecError::BadPayload("unknown answer tag")),
+    })
+}
+
+/// Appends one encoded request frame (header included) to `buf`.
+pub fn encode_request(req: &Request, buf: &mut BytesMut) {
+    let body_start = begin_frame(buf);
+    match req {
+        Request::Measures { category } => {
+            buf.put_u8(K_MEASURES);
+            buf.put_u8(category_code(*category));
+        }
+        Request::Query { category, query } => {
+            buf.put_u8(K_QUERY);
+            buf.put_u8(category_code(*category));
+            encode_query(buf, query);
+        }
+        Request::AddPoi { category, pos } => {
+            buf.put_u8(K_ADD_POI);
+            buf.put_u8(category_code(*category));
+            buf.put_f64(pos.x);
+            buf.put_f64(pos.y);
+        }
+        Request::AddBusRoute { stops, headway_s } => {
+            buf.put_u8(K_ADD_BUS_ROUTE);
+            buf.put_u32(*headway_s);
+            buf.put_u16(stops.len() as u16);
+            for p in stops {
+                buf.put_f64(p.x);
+                buf.put_f64(p.y);
+            }
+        }
+        Request::Stats => buf.put_u8(K_STATS),
+    }
+    end_frame(buf, body_start);
+}
+
+/// Appends one encoded response frame (header included) to `buf`.
+pub fn encode_response(resp: &Response, buf: &mut BytesMut) {
+    let body_start = begin_frame(buf);
+    match resp {
+        Response::Measures(ms) => {
+            buf.put_u8(K_R_MEASURES);
+            buf.put_u32(ms.len() as u32);
+            for m in ms {
+                buf.put_u32(m.zone.0);
+                buf.put_f64(m.mac);
+                buf.put_f64(m.acsd);
+            }
+        }
+        Response::Query(a) => {
+            buf.put_u8(K_R_QUERY);
+            encode_answer(buf, a);
+        }
+        Response::AddPoi { poi_id } => {
+            buf.put_u8(K_R_ADD_POI);
+            buf.put_u32(*poi_id);
+        }
+        Response::AddBusRoute { zones_rebuilt } => {
+            buf.put_u8(K_R_ADD_BUS_ROUTE);
+            buf.put_u32(*zones_rebuilt);
+        }
+        Response::Stats(s) => {
+            buf.put_u8(K_R_STATS);
+            buf.put_u64(s.pipeline_runs);
+            buf.put_u64(s.requests_served);
+            buf.put_u16(s.workers);
+            buf.put_u8(s.cached.len() as u8);
+            for c in &s.cached {
+                buf.put_u8(category_code(*c));
+            }
+        }
+        Response::Error { code, message } => {
+            buf.put_u8(K_R_ERROR);
+            buf.put_u8(*code as u8);
+            put_string(buf, message);
+        }
+    }
+    end_frame(buf, body_start);
+}
+
+/// Reserves the length prefix; returns the body offset for [`end_frame`].
+fn begin_frame(buf: &mut BytesMut) -> usize {
+    buf.put_u32(0);
+    let body_start = buf.len();
+    buf.put_u8(WIRE_VERSION);
+    body_start
+}
+
+/// Backpatches the length prefix once the body is written.
+fn end_frame(buf: &mut BytesMut, body_start: usize) {
+    let len = (buf.len() - body_start) as u32;
+    buf[body_start - 4..body_start].copy_from_slice(&len.to_be_bytes());
+}
+
+/// Pulls one complete frame body (version-checked, kind + payload) out of
+/// `buf`, or `None` if more bytes are needed.
+fn split_frame(buf: &mut BytesMut) -> Result<Option<BytesMut>, CodecError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(CodecError::FrameTooLarge(len));
+    }
+    if len < 2 {
+        return Err(CodecError::BadPayload("frame shorter than header"));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let mut frame = buf.split_to(len);
+    let version = frame[0];
+    if version != WIRE_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    frame.advance(1);
+    Ok(Some(frame))
+}
+
+/// Decodes one request from `buf` if a complete frame is buffered.
+pub fn decode_request(buf: &mut BytesMut) -> Result<Option<Request>, CodecError> {
+    let Some(frame) = split_frame(buf)? else { return Ok(None) };
+    let mut p: &[u8] = &frame;
+    let kind = take_u8(&mut p)?;
+    let req = match kind {
+        K_MEASURES => Request::Measures { category: category_from(take_u8(&mut p)?)? },
+        K_QUERY => Request::Query {
+            category: category_from(take_u8(&mut p)?)?,
+            query: decode_query(&mut p)?,
+        },
+        K_ADD_POI => Request::AddPoi {
+            category: category_from(take_u8(&mut p)?)?,
+            pos: Point::new(take_f64(&mut p)?, take_f64(&mut p)?),
+        },
+        K_ADD_BUS_ROUTE => {
+            let headway_s = take_u32(&mut p)?;
+            let n = take_u16(&mut p)? as usize;
+            let mut stops = Vec::with_capacity(n);
+            for _ in 0..n {
+                stops.push(Point::new(take_f64(&mut p)?, take_f64(&mut p)?));
+            }
+            Request::AddBusRoute { stops, headway_s }
+        }
+        K_STATS => Request::Stats,
+        other => return Err(CodecError::BadKind(other)),
+    };
+    if p.remaining() != 0 {
+        return Err(CodecError::BadPayload("trailing bytes in frame"));
+    }
+    Ok(Some(req))
+}
+
+/// Decodes one response from `buf` if a complete frame is buffered.
+pub fn decode_response(buf: &mut BytesMut) -> Result<Option<Response>, CodecError> {
+    let Some(frame) = split_frame(buf)? else { return Ok(None) };
+    let mut p: &[u8] = &frame;
+    let kind = take_u8(&mut p)?;
+    let resp = match kind {
+        K_R_MEASURES => {
+            let n = take_u32(&mut p)? as usize;
+            let mut ms = Vec::with_capacity(n);
+            for _ in 0..n {
+                ms.push(ZoneMeasures {
+                    zone: ZoneId(take_u32(&mut p)?),
+                    mac: take_f64(&mut p)?,
+                    acsd: take_f64(&mut p)?,
+                });
+            }
+            Response::Measures(ms)
+        }
+        K_R_QUERY => Response::Query(decode_answer(&mut p)?),
+        K_R_ADD_POI => Response::AddPoi { poi_id: take_u32(&mut p)? },
+        K_R_ADD_BUS_ROUTE => Response::AddBusRoute { zones_rebuilt: take_u32(&mut p)? },
+        K_R_STATS => {
+            let pipeline_runs = take_u64(&mut p)?;
+            let requests_served = take_u64(&mut p)?;
+            let workers = take_u16(&mut p)?;
+            let n = take_u8(&mut p)? as usize;
+            let mut cached = Vec::with_capacity(n);
+            for _ in 0..n {
+                cached.push(category_from(take_u8(&mut p)?)?);
+            }
+            Response::Stats(StatsReply { pipeline_runs, requests_served, cached, workers })
+        }
+        K_R_ERROR => {
+            let code = ErrorCode::from_u8(take_u8(&mut p)?)
+                .ok_or(CodecError::BadPayload("unknown error code"))?;
+            let message = take_string(&mut p)?;
+            Response::Error { code, message }
+        }
+        other => return Err(CodecError::BadKind(other)),
+    };
+    if p.remaining() != 0 {
+        return Err(CodecError::BadPayload("trailing bytes in frame"));
+    }
+    Ok(Some(resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip_request(req: &Request) -> Request {
+        let mut buf = BytesMut::new();
+        encode_request(req, &mut buf);
+        let got = decode_request(&mut buf).unwrap().expect("complete frame");
+        assert!(buf.is_empty(), "decoder must consume the whole frame");
+        got
+    }
+
+    fn roundtrip_response(resp: &Response) -> Response {
+        let mut buf = BytesMut::new();
+        encode_response(resp, &mut buf);
+        let got = decode_response(&mut buf).unwrap().expect("complete frame");
+        assert!(buf.is_empty());
+        got
+    }
+
+    #[test]
+    fn request_kinds_roundtrip() {
+        let reqs = [
+            Request::Measures { category: PoiCategory::School },
+            Request::Query {
+                category: PoiCategory::Hospital,
+                query: AccessQuery::AtRisk { threshold_factor: 1.5 },
+            },
+            Request::Query {
+                category: PoiCategory::JobCenter,
+                query: AccessQuery::Fairness { weight: DemographicWeight::Unemployed },
+            },
+            Request::Query {
+                category: PoiCategory::VaxCenter,
+                query: AccessQuery::WorstZones { k: 7 },
+            },
+            Request::AddPoi { category: PoiCategory::VaxCenter, pos: Point::new(1234.5, -6.25) },
+            Request::AddBusRoute {
+                stops: vec![Point::new(0.0, 0.0), Point::new(10.0, 20.0)],
+                headway_s: 600,
+            },
+            Request::Stats,
+        ];
+        for r in &reqs {
+            assert_eq!(&roundtrip_request(r), r);
+        }
+    }
+
+    #[test]
+    fn response_kinds_roundtrip() {
+        let resps = [
+            Response::Measures(vec![
+                ZoneMeasures { zone: ZoneId(0), mac: 10.0, acsd: 0.5 },
+                ZoneMeasures { zone: ZoneId(7), mac: 22.25, acsd: 1.75 },
+            ]),
+            Response::Query(QueryAnswer::MeanAccess {
+                mean_mac: 31.5,
+                mean_acsd: 2.0,
+                n_zones: 120,
+            }),
+            Response::Query(QueryAnswer::Classification(vec![
+                (ZoneId(1), AccessClass::Best),
+                (ZoneId(2), AccessClass::Worst),
+            ])),
+            Response::Query(QueryAnswer::AtRisk(vec![ZoneId(3), ZoneId(9)])),
+            Response::Query(QueryAnswer::Fairness(0.83)),
+            Response::Query(QueryAnswer::WorstZones(vec![(ZoneId(5), 99.5)])),
+            Response::AddPoi { poi_id: 41 },
+            Response::AddBusRoute { zones_rebuilt: 17 },
+            Response::Stats(StatsReply {
+                pipeline_runs: 3,
+                requests_served: 1000,
+                cached: vec![PoiCategory::School, PoiCategory::JobCenter],
+                workers: 8,
+            }),
+            Response::Error {
+                code: ErrorCode::Invalid,
+                message: "a route needs at least two stops".into(),
+            },
+        ];
+        for r in &resps {
+            assert_eq!(&roundtrip_response(r), r);
+        }
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let mut full = BytesMut::new();
+        encode_request(&Request::Stats, &mut full);
+        for cut in 0..full.len() {
+            let mut partial = BytesMut::new();
+            partial.extend_from_slice(&full[..cut]);
+            assert_eq!(decode_request(&mut partial), Ok(None), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        let mut buf = BytesMut::new();
+        encode_request(&Request::Stats, &mut buf);
+        encode_request(&Request::Measures { category: PoiCategory::School }, &mut buf);
+        assert_eq!(decode_request(&mut buf).unwrap(), Some(Request::Stats));
+        assert_eq!(
+            decode_request(&mut buf).unwrap(),
+            Some(Request::Measures { category: PoiCategory::School })
+        );
+        assert_eq!(decode_request(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut buf = BytesMut::new();
+        encode_request(&Request::Stats, &mut buf);
+        buf[4] = WIRE_VERSION + 1;
+        assert_eq!(decode_request(&mut buf), Err(CodecError::BadVersion(WIRE_VERSION + 1)));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_buffering() {
+        let mut buf = BytesMut::new();
+        buf.put_u32((MAX_FRAME_LEN + 1) as u32);
+        assert_eq!(decode_request(&mut buf), Err(CodecError::FrameTooLarge(MAX_FRAME_LEN + 1)));
+    }
+
+    #[test]
+    fn trailing_garbage_in_frame_is_rejected() {
+        let mut buf = BytesMut::new();
+        encode_request(&Request::Stats, &mut buf);
+        // Extend payload by one byte and fix up the length prefix.
+        let mut raw = buf.to_vec();
+        raw.push(0xAB);
+        let len = (raw.len() - 4) as u32;
+        raw[..4].copy_from_slice(&len.to_be_bytes());
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&raw);
+        assert_eq!(
+            decode_request(&mut buf),
+            Err(CodecError::BadPayload("trailing bytes in frame"))
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn arbitrary_query_requests_roundtrip(
+            cat in 0usize..4,
+            tag in 0u8..5,
+            x in -1e6f64..1e6,
+            k in 0u32..1000,
+        ) {
+            let category = PoiCategory::ALL[cat];
+            let query = match tag {
+                0 => AccessQuery::MeanAccess,
+                1 => AccessQuery::Classification,
+                2 => AccessQuery::AtRisk { threshold_factor: x },
+                3 => AccessQuery::Fairness { weight: DemographicWeight::Children },
+                _ => AccessQuery::WorstZones { k: k as usize },
+            };
+            let req = Request::Query { category, query };
+            prop_assert_eq!(roundtrip_request(&req), req);
+        }
+
+        #[test]
+        fn arbitrary_measure_responses_roundtrip(
+            n in 0usize..64,
+            seed in 0u64..1000,
+        ) {
+            let ms: Vec<ZoneMeasures> = (0..n)
+                .map(|i| ZoneMeasures {
+                    zone: ZoneId(i as u32),
+                    mac: (seed as f64) * 0.25 + i as f64,
+                    acsd: i as f64 * 0.125,
+                })
+                .collect();
+            let resp = Response::Measures(ms);
+            prop_assert_eq!(roundtrip_response(&resp), resp);
+        }
+    }
+}

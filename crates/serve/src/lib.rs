@@ -1,0 +1,37 @@
+//! # staq-serve
+//!
+//! A concurrent access-query serving subsystem: the paper's dynamic
+//! spatio-temporal access queries (§I, §IV) exposed as a network service.
+//! Planners' tools connect over TCP, issue [`AccessQuery`]s and scenario
+//! edits (`add_poi`, `add_bus_route`), and share one
+//! [`staq_core::AccessEngine`] whose per-category SSR results are computed
+//! at most once per edit generation no matter how many clients demand
+//! them concurrently (single-flight caching).
+//!
+//! Layers, bottom up:
+//!
+//! * [`codec`] — hand-rolled length-prefixed binary wire protocol
+//!   (versioned header, request/response frames, error frames).
+//! * [`pool`] — fixed worker threads over a bounded job queue; the only
+//!   place engine methods are called.
+//! * [`server`] — TCP accept loop and per-connection framing threads,
+//!   with graceful shutdown.
+//! * [`client`] — blocking client used by tests, the load generator and
+//!   external tools.
+//!
+//! Binaries: `serve` (the daemon) and `staq-serve-bench` (open-loop load
+//! generator reporting throughput and latency percentiles per request
+//! kind).
+//!
+//! [`AccessQuery`]: staq_access::AccessQuery
+
+pub mod client;
+pub mod codec;
+pub mod pool;
+pub mod presets;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use codec::{Request, Response, StatsReply, WIRE_VERSION};
+pub use pool::WorkerPool;
+pub use server::{serve, serve_shared, ServerConfig, ServerHandle};

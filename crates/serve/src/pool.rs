@@ -1,0 +1,225 @@
+//! Fixed-size worker pool over a bounded request queue.
+//!
+//! Connection threads enqueue [`Job`]s; `N` workers execute them against
+//! the shared [`AccessEngine`] and send the [`Response`] back through the
+//! job's reply channel. The queue is bounded, so a flood of requests
+//! exerts backpressure on connection threads instead of growing memory
+//! without limit. Dropping the pool (or calling [`WorkerPool::shutdown`])
+//! closes the queue; workers drain what is left and exit.
+
+use crate::codec::{ErrorCode, Request, Response, StatsReply};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use staq_core::AccessEngine;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One queued request plus the channel its answer goes back on.
+pub struct Job {
+    pub request: Request,
+    pub reply: Sender<Response>,
+}
+
+/// Shared counters the pool maintains for `Stats` requests.
+#[derive(Default)]
+pub struct PoolStats {
+    requests_served: AtomicU64,
+}
+
+impl PoolStats {
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed worker threads executing requests against one shared engine.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<PoolStats>,
+    size: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads with a queue of `queue_depth` jobs.
+    pub fn spawn(engine: Arc<AccessEngine>, workers: usize, queue_depth: usize) -> Self {
+        assert!(workers >= 1, "a pool needs at least one worker");
+        assert!(queue_depth >= 1, "the queue must hold at least one job");
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(queue_depth);
+        let stats = Arc::new(PoolStats::default());
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let engine = Arc::clone(&engine);
+                let stats = Arc::clone(&stats);
+                let size = workers;
+                std::thread::Builder::new()
+                    .name(format!("staq-worker-{i}"))
+                    .spawn(move || worker_loop(rx, engine, stats, size))
+                    .expect("spawning worker thread")
+            })
+            .collect();
+        WorkerPool { tx: Some(tx), workers: handles, stats, size: workers }
+    }
+
+    /// Queue sender for connection threads. Cloning is cheap.
+    pub fn sender(&self) -> Sender<Job> {
+        self.tx.as_ref().expect("pool is running").clone()
+    }
+
+    /// Pool-wide counters.
+    pub fn stats(&self) -> Arc<PoolStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Closes the queue and joins every worker; pending jobs are drained
+    /// first. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.tx.take();
+        for h in self.workers.drain(..) {
+            h.join().expect("worker thread panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<Job>,
+    engine: Arc<AccessEngine>,
+    stats: Arc<PoolStats>,
+    pool_size: usize,
+) {
+    while let Ok(job) = rx.recv() {
+        let response = execute(&engine, &stats, pool_size, &job.request);
+        stats.requests_served.fetch_add(1, Ordering::Relaxed);
+        // A dropped reply receiver means the connection died; fine.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Executes one request against the engine. Validation happens here (not
+/// in the engine, which asserts) so a bad request becomes an error frame
+/// instead of a dead worker.
+pub fn execute(
+    engine: &AccessEngine,
+    stats: &PoolStats,
+    pool_size: usize,
+    request: &Request,
+) -> Response {
+    match request {
+        Request::Measures { category } => {
+            Response::Measures(engine.measures(*category).predicted.clone())
+        }
+        Request::Query { category, query } => Response::Query(engine.query(query, *category)),
+        Request::AddPoi { category, pos } => {
+            if !pos.x.is_finite() || !pos.y.is_finite() {
+                return Response::Error {
+                    code: ErrorCode::Invalid,
+                    message: "POI position must be finite".into(),
+                };
+            }
+            Response::AddPoi { poi_id: engine.add_poi(*category, *pos).0 }
+        }
+        Request::AddBusRoute { stops, headway_s } => {
+            if stops.len() < 2 {
+                return Response::Error {
+                    code: ErrorCode::Invalid,
+                    message: "a route needs at least two stops".into(),
+                };
+            }
+            if stops.iter().any(|p| !p.x.is_finite() || !p.y.is_finite()) {
+                return Response::Error {
+                    code: ErrorCode::Invalid,
+                    message: "route stops must be finite".into(),
+                };
+            }
+            Response::AddBusRoute { zones_rebuilt: engine.add_bus_route(stops, *headway_s) as u32 }
+        }
+        Request::Stats => Response::Stats(StatsReply {
+            pipeline_runs: engine.pipeline_runs(),
+            requests_served: stats.requests_served(),
+            cached: engine.cached_categories(),
+            workers: pool_size as u16,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staq_core::PipelineConfig;
+    use staq_ml::ModelKind;
+    use staq_synth::{City, CityConfig, PoiCategory};
+    use staq_todam::TodamSpec;
+
+    fn engine() -> Arc<AccessEngine> {
+        let city = City::generate(&CityConfig::small(42));
+        Arc::new(AccessEngine::new(
+            city,
+            PipelineConfig {
+                beta: 0.25,
+                model: ModelKind::Ols,
+                todam: TodamSpec { per_hour: 3, ..Default::default() },
+                ..Default::default()
+            },
+        ))
+    }
+
+    fn roundtrip(pool: &WorkerPool, request: Request) -> Response {
+        let (reply_tx, reply_rx) = bounded(1);
+        pool.sender().send(Job { request, reply: reply_tx }).unwrap();
+        reply_rx.recv().unwrap()
+    }
+
+    #[test]
+    fn pool_answers_and_counts_requests() {
+        let pool = WorkerPool::spawn(engine(), 2, 8);
+        match roundtrip(&pool, Request::Measures { category: PoiCategory::School }) {
+            Response::Measures(ms) => assert!(!ms.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        match roundtrip(&pool, Request::Stats) {
+            Response::Stats(s) => {
+                assert_eq!(s.pipeline_runs, 1);
+                assert_eq!(s.requests_served, 1); // stats itself not yet counted
+                assert_eq!(s.cached, vec![PoiCategory::School]);
+                assert_eq!(s.workers, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_edits_become_error_frames_not_panics() {
+        let pool = WorkerPool::spawn(engine(), 1, 4);
+        match roundtrip(
+            &pool,
+            Request::AddBusRoute { stops: vec![staq_geom::Point::new(0.0, 0.0)], headway_s: 600 },
+        ) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Invalid),
+            other => panic!("{other:?}"),
+        }
+        // The worker survived and keeps serving.
+        match roundtrip(&pool, Request::Stats) {
+            Response::Stats(s) => assert_eq!(s.requests_served, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_joins_workers() {
+        let mut pool = WorkerPool::spawn(engine(), 3, 4);
+        pool.shutdown();
+        pool.shutdown(); // idempotent
+    }
+}

@@ -1,0 +1,64 @@
+//! City presets shared by the `serve` daemon and the load generator.
+
+use staq_core::{AccessEngine, PipelineConfig};
+use staq_ml::ModelKind;
+use staq_synth::{City, CityConfig};
+use staq_todam::TodamSpec;
+
+/// Which synthetic city the server hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CityPreset {
+    /// Scaled Birmingham analogue (paper §V-A).
+    Birmingham,
+    /// Scaled Coventry analogue.
+    Coventry,
+    /// Small fixed-size city for tests and demos (fast to build).
+    Test,
+}
+
+impl CityPreset {
+    /// Parses the `--city` flag value.
+    pub fn parse(s: &str) -> Option<CityPreset> {
+        match s {
+            "birmingham" => Some(CityPreset::Birmingham),
+            "coventry" => Some(CityPreset::Coventry),
+            "test" => Some(CityPreset::Test),
+            _ => None,
+        }
+    }
+
+    /// Generates the city. `scale` applies to the paper-size presets and
+    /// is ignored by `test` (which is already small).
+    pub fn generate(self, scale: f64, seed: u64) -> City {
+        let cfg = match self {
+            CityPreset::Birmingham => CityConfig::birmingham(seed).scaled(scale),
+            CityPreset::Coventry => CityConfig::coventry(seed).scaled(scale),
+            CityPreset::Test => CityConfig::small(seed),
+        };
+        City::generate(&cfg)
+    }
+
+    /// Builds an engine with a serving-appropriate pipeline config: OLS
+    /// keeps cold-cache latencies low; the paper's β sweet spot (~0.2)
+    /// balances label cost against accuracy.
+    pub fn engine(self, scale: f64, seed: u64) -> AccessEngine {
+        let city = self.generate(scale, seed);
+        let config = PipelineConfig {
+            beta: 0.2,
+            model: ModelKind::Ols,
+            todam: TodamSpec { per_hour: 3, ..Default::default() },
+            ..Default::default()
+        };
+        AccessEngine::new(city, config)
+    }
+}
+
+impl std::fmt::Display for CityPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CityPreset::Birmingham => "birmingham",
+            CityPreset::Coventry => "coventry",
+            CityPreset::Test => "test",
+        })
+    }
+}

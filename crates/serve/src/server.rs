@@ -1,0 +1,207 @@
+//! TCP server: accept loop + per-connection framing threads over the
+//! shared worker pool.
+//!
+//! Threading model:
+//!
+//! ```text
+//! acceptor ──spawns──► connection thread (one per client)
+//!                        │  read frame → decode → Job{request, reply}
+//!                        ▼
+//!                 bounded job queue ──► worker 0..N  (shared AccessEngine)
+//!                        ▲                   │
+//!                        └── reply channel ◄─┘
+//!                        │  encode → write frame
+//! ```
+//!
+//! Connection threads only parse and write bytes; every engine touch
+//! happens on a worker. Shutdown flips an atomic flag, nudges the
+//! acceptor awake with a loopback connect, then drains and joins the
+//! pool.
+
+use crate::codec::{self, CodecError, ErrorCode, Request, Response, MAX_FRAME_LEN};
+use crate::pool::{Job, WorkerPool};
+use bytes::BytesMut;
+use crossbeam::channel::bounded;
+use parking_lot::Mutex;
+use staq_core::AccessEngine;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878`. Port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded job-queue depth (backpressure point).
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { addr: "127.0.0.1:0".into(), workers: 4, queue_depth: 256 }
+    }
+}
+
+/// Handle to a running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    pool: WorkerPool,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes connections after their in-flight request,
+    /// drains the job queue and joins every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Nudge the blocking accept() awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            h.join().expect("acceptor thread panicked");
+        }
+        let conns = std::mem::take(&mut *self.conns.lock());
+        for c in conns {
+            c.join().expect("connection thread panicked");
+        }
+        self.pool.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `cfg.addr` and serves `engine` until shutdown.
+pub fn serve(engine: AccessEngine, cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
+    serve_shared(Arc::new(engine), cfg)
+}
+
+/// Like [`serve`], for an engine that is already shared.
+pub fn serve_shared(
+    engine: Arc<AccessEngine>,
+    cfg: &ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let pool = WorkerPool::spawn(engine, cfg.workers, cfg.queue_depth);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        let conns = Arc::clone(&conns);
+        let jobs = pool.sender();
+        std::thread::Builder::new()
+            .name("staq-acceptor".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shutdown = Arc::clone(&shutdown);
+                    let jobs = jobs.clone();
+                    let handle = std::thread::Builder::new()
+                        .name("staq-conn".into())
+                        .spawn(move || {
+                            let _ = handle_connection(stream, jobs, shutdown);
+                        })
+                        .expect("spawning connection thread");
+                    conns.lock().push(handle);
+                }
+            })
+            .expect("spawning acceptor thread")
+    };
+
+    Ok(ServerHandle { addr, shutdown, acceptor: Some(acceptor), pool, conns })
+}
+
+/// Serves one client until it disconnects, the protocol desyncs, or the
+/// server shuts down.
+fn handle_connection(
+    mut stream: TcpStream,
+    jobs: crossbeam::channel::Sender<Job>,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    // Periodic read timeouts let the thread notice shutdown while idle.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut buf = BytesMut::with_capacity(4096);
+    let mut scratch = [0u8; 16 * 1024];
+    let mut out = BytesMut::with_capacity(4096);
+
+    loop {
+        // Drain every complete frame already buffered.
+        loop {
+            match codec::decode_request(&mut buf) {
+                Ok(Some(request)) => {
+                    let response = match dispatch(&jobs, request) {
+                        Some(r) => r,
+                        None => Response::Error {
+                            code: ErrorCode::Unavailable,
+                            message: "server is shutting down".into(),
+                        },
+                    };
+                    out.clear();
+                    codec::encode_response(&response, &mut out);
+                    stream.write_all(&out)?;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing is gone; tell the client why and hang up.
+                    out.clear();
+                    codec::encode_response(
+                        &Response::Error { code: ErrorCode::BadRequest, message: e.to_string() },
+                        &mut out,
+                    );
+                    let _ = stream.write_all(&out);
+                    return Ok(());
+                }
+            }
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => {
+                if buf.len() + n > MAX_FRAME_LEN + 4 {
+                    return Err(std::io::Error::new(
+                        ErrorKind::InvalidData,
+                        CodecError::FrameTooLarge(buf.len() + n),
+                    ));
+                }
+                buf.extend_from_slice(&scratch[..n]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue; // idle tick: loop to re-check the shutdown flag
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Runs one request through the pool; `None` if the queue is closed.
+fn dispatch(jobs: &crossbeam::channel::Sender<Job>, request: Request) -> Option<Response> {
+    let (reply_tx, reply_rx) = bounded(1);
+    jobs.send(Job { request, reply: reply_tx }).ok()?;
+    reply_rx.recv().ok()
+}

@@ -221,7 +221,7 @@ fn generate_zones(config: &CityConfig, cores: &[Point], rng: &mut StdRng) -> Vec
         // target), with idiosyncratic noise.
         let core_dist = cores.iter().map(|c| centroid.dist(c)).fold(f64::INFINITY, f64::min);
         let periphery = (core_dist / (config.side_m * 0.7)).min(1.0);
-        let noise = |rng: &mut StdRng| rng.random_range(-0.03..0.03);
+        let noise = |rng: &mut StdRng| rng.random_range(-0.03f64..0.03);
         zones.push(Zone {
             id: ZoneId(i as u32),
             centroid,

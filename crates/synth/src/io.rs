@@ -99,11 +99,7 @@ pub fn export_city(city: &City, dir: &Path) -> Result<(), String> {
         "cores.csv",
         csv::write(
             &["x", "y"],
-            &city
-                .cores
-                .iter()
-                .map(|c| vec![c.x.to_string(), c.y.to_string()])
-                .collect::<Vec<_>>(),
+            &city.cores.iter().map(|c| vec![c.x.to_string(), c.y.to_string()]).collect::<Vec<_>>(),
         ),
     )?;
 
@@ -324,10 +320,8 @@ mod tests {
         // Identical departures at every stop => identical routing behavior.
         let v = TimeInterval::am_peak();
         for s in 0..city.feed.n_stops() {
-            let a: Vec<_> =
-                city.feed.departures_at(staq_gtfs::StopId(s as u32), &v).collect();
-            let b: Vec<_> =
-                back.feed.departures_at(staq_gtfs::StopId(s as u32), &v).collect();
+            let a: Vec<_> = city.feed.departures_at(staq_gtfs::StopId(s as u32), &v).collect();
+            let b: Vec<_> = back.feed.departures_at(staq_gtfs::StopId(s as u32), &v).collect();
             assert_eq!(a, b);
         }
         std::fs::remove_dir_all(&dir).ok();

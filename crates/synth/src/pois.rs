@@ -29,9 +29,7 @@ pub fn generate(
     cores: &[Point],
     rng: &mut StdRng,
 ) -> Vec<Poi> {
-    let zone_tree = KdTree::build(
-        &zones.iter().map(|z| (z.centroid, z.id.0)).collect::<Vec<_>>(),
-    );
+    let zone_tree = KdTree::build(&zones.iter().map(|z| (z.centroid, z.id.0)).collect::<Vec<_>>());
     // Cumulative population weights for density-proportional placement.
     let mut cum: Vec<f64> = Vec::with_capacity(zones.len());
     let mut acc = 0.0;
@@ -50,10 +48,9 @@ pub fn generate(
                 let u = rng.random_range(0.0..total);
                 let zi = cum.partition_point(|&c| c < u).min(zones.len() - 1);
                 let cell = config.side_m / (zones.len() as f64).sqrt();
-                zones[zi].centroid.offset(
-                    rng.random_range(-0.6..0.6) * cell,
-                    rng.random_range(-0.6..0.6) * cell,
-                )
+                zones[zi]
+                    .centroid
+                    .offset(rng.random_range(-0.6..0.6) * cell, rng.random_range(-0.6..0.6) * cell)
             } else {
                 // Uniform over the study area (with a small margin).
                 let m = config.side_m * 0.03;

@@ -74,7 +74,7 @@ pub fn generate(config: &CityConfig, rng: &mut StdRng) -> RoadGraph {
     let mut dropped: Vec<(NodeId, NodeId)> = Vec::new();
     for j in 0..=g {
         for i in 0..=g {
-            if i + 1 <= g {
+            if i < g {
                 let e = (at(i, j), at(i + 1, j));
                 if rng.random_range(0.0..1.0) < config.road_dropout {
                     dropped.push(e);
@@ -82,7 +82,7 @@ pub fn generate(config: &CityConfig, rng: &mut StdRng) -> RoadGraph {
                     kept.push(e);
                 }
             }
-            if j + 1 <= g {
+            if j < g {
                 let e = (at(i, j), at(i, j + 1));
                 if rng.random_range(0.0..1.0) < config.road_dropout {
                     dropped.push(e);
@@ -101,7 +101,7 @@ pub fn generate(config: &CityConfig, rng: &mut StdRng) -> RoadGraph {
         for k in 0..g {
             let (i1, j1) = (k, (k + off) % (g + 1));
             let (i2, j2) = (k + 1, (k + 1 + off) % (g + 1));
-            if j2 == (j1 + 1) % (g + 1) && j1 + 1 <= g {
+            if j2 == (j1 + 1) % (g + 1) && j1 < g {
                 kept.push((at(i1, j1), at(i2, j1 + 1)));
             }
         }
@@ -153,9 +153,8 @@ mod tests {
     #[test]
     fn degree_distribution_is_urban() {
         let g = gen(5);
-        let mean_deg =
-            (0..g.n_nodes()).map(|n| g.degree(NodeId(n as u32))).sum::<usize>() as f64
-                / g.n_nodes() as f64;
+        let mean_deg = (0..g.n_nodes()).map(|n| g.degree(NodeId(n as u32))).sum::<usize>() as f64
+            / g.n_nodes() as f64;
         // Bidirectional edges: grid interior degree 4 (out-degree counts each
         // direction once), dropout trims it.
         assert!((2.5..4.5).contains(&mean_deg), "mean out-degree {mean_deg}");

@@ -19,8 +19,8 @@ use rand::rngs::StdRng;
 use rand::RngExt;
 use staq_geom::Point;
 use staq_gtfs::model::{
-    Agency, AgencyId, Feed, Route, RouteId, RouteType, Service, ServiceId, Stop, StopId,
-    StopTime, Trip, TripId,
+    Agency, AgencyId, Feed, Route, RouteId, RouteType, Service, ServiceId, Stop, StopId, StopTime,
+    Trip, TripId,
 };
 use staq_gtfs::time::Stime;
 use staq_road::{NodeSnapper, RoadGraph};
@@ -34,10 +34,10 @@ const DETOUR: f64 = 1.25;
 /// Headway bands over the service day.
 /// `(start, end, multiplier over peak headway)`.
 const BANDS: [(u32, u32, f64); 5] = [
-    (5 * 3600 + 1800, 7 * 3600, 2.0),       // early
-    (7 * 3600, 9 * 3600, 1.0),              // AM peak
-    (9 * 3600, 16 * 3600, 2.0),             // daytime
-    (16 * 3600, 18 * 3600 + 1800, 1.0),     // PM peak
+    (5 * 3600 + 1800, 7 * 3600, 2.0),          // early
+    (7 * 3600, 9 * 3600, 1.0),                 // AM peak
+    (9 * 3600, 16 * 3600, 2.0),                // daytime
+    (16 * 3600, 18 * 3600 + 1800, 1.0),        // PM peak
     (18 * 3600 + 1800, 23 * 3600 + 1800, 3.0), // evening
 ];
 
@@ -97,11 +97,8 @@ pub fn generate(config: &CityConfig, cores: &[Point], road: &RoadGraph, rng: &mu
             })
             .collect();
 
-        let services: &[(ServiceId, f64)] = if r % 2 == 0 {
-            &[(weekday, 1.0), (saturday, 1.8)]
-        } else {
-            &[(weekday, 1.0)]
-        };
+        let services: &[(ServiceId, f64)] =
+            if r % 2 == 0 { &[(weekday, 1.0), (saturday, 1.8)] } else { &[(weekday, 1.0)] };
         for &(svc, svc_mult) in services {
             for dir in 0..2 {
                 let ordered: Vec<StopId> = if dir == 0 {
@@ -153,15 +150,14 @@ fn route_waypoints(config: &CityConfig, cores: &[Point], rng: &mut StdRng, r: u3
         // Radial: center -> edge, slightly bent via a midpoint jitter.
         0 => {
             let edge = rand_edge_point(rng);
-            let mid = center.midpoint(&edge).offset(
-                rng.random_range(-0.08..0.08) * side,
-                rng.random_range(-0.08..0.08) * side,
-            );
+            let mid = center
+                .midpoint(&edge)
+                .offset(rng.random_range(-0.08..0.08) * side, rng.random_range(-0.08..0.08) * side);
             vec![center, mid, edge]
         }
         // Orbital: ring around the center.
         1 => {
-            let radius = rng.random_range(0.18..0.35) * side;
+            let radius = rng.random_range(0.18f64..0.35) * side;
             let n = 10;
             let phase = rng.random_range(0.0..std::f64::consts::TAU);
             (0..=n)
@@ -178,10 +174,8 @@ fn route_waypoints(config: &CityConfig, cores: &[Point], rng: &mut StdRng, r: u3
         _ => {
             let a = rand_edge_point(rng);
             let b = rand_edge_point(rng);
-            let via = center.offset(
-                rng.random_range(-0.06..0.06) * side,
-                rng.random_range(-0.06..0.06) * side,
-            );
+            let via = center
+                .offset(rng.random_range(-0.06..0.06) * side, rng.random_range(-0.06..0.06) * side);
             vec![a, via, b]
         }
     }
@@ -338,12 +332,8 @@ mod tests {
         let feed = gen_feed(7);
         let ix = FeedIndex::build(feed);
         let am = TimeInterval::am_peak();
-        let evening = TimeInterval::new(
-            Stime::hours(19),
-            Stime::hours(23),
-            DayOfWeek::Tuesday,
-            "evening",
-        );
+        let evening =
+            TimeInterval::new(Stime::hours(19), Stime::hours(23), DayOfWeek::Tuesday, "evening");
         // Average departures per stop must be higher in the (2h) peak than
         // scaled evening (4h => compare rates).
         let mut peak_n = 0usize;
@@ -354,10 +344,7 @@ mod tests {
         }
         let peak_rate = peak_n as f64 / am.duration_hours();
         let eve_rate = eve_n as f64 / evening.duration_hours();
-        assert!(
-            peak_rate > eve_rate * 1.5,
-            "peak rate {peak_rate} vs evening {eve_rate}"
-        );
+        assert!(peak_rate > eve_rate * 1.5, "peak rate {peak_rate} vs evening {eve_rate}");
     }
 
     #[test]

@@ -50,10 +50,7 @@ fn poi_density_follows_population() {
         pops.sort_by(|a, b| b.partial_cmp(a).unwrap());
         let cut = pops[city.n_zones() / 4];
         let schools = city.pois_of(PoiCategory::School);
-        let in_top = schools
-            .iter()
-            .filter(|p| city.zones[p.zone.idx()].population >= cut)
-            .count();
+        let in_top = schools.iter().filter(|p| city.zones[p.zone.idx()].population >= cut).count();
         top_quartile_share += in_top as f64 / schools.len() as f64;
     }
     top_quartile_share /= seeds.len() as f64;

@@ -74,11 +74,7 @@ mod tests {
     fn scores_sum_to_one() {
         let a = Attractiveness::default();
         let origin = Point::new(0.0, 0.0);
-        let pois = vec![
-            Point::new(500.0, 0.0),
-            Point::new(3000.0, 0.0),
-            Point::new(0.0, 8000.0),
-        ];
+        let pois = vec![Point::new(500.0, 0.0), Point::new(3000.0, 0.0), Point::new(0.0, 8000.0)];
         let s = a.scores(&origin, &pois);
         assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));

@@ -60,14 +60,9 @@ impl TodamSpec {
                     continue;
                 }
                 zalpha.push((j as u32, a));
-                for t in sampling::thin_for_pair(
-                    &times,
-                    a,
-                    self.gamma,
-                    self.seed,
-                    zone.id.0,
-                    j as u32,
-                ) {
+                for t in
+                    sampling::thin_for_pair(&times, a, self.gamma, self.seed, zone.id.0, j as u32)
+                {
                     ztrips.push(Trip { zone: zone.id, poi_idx: j as u32, start: t });
                 }
             }
@@ -126,11 +121,7 @@ mod tests {
             ..Default::default()
         };
         let schools = spec.build(&city, PoiCategory::School);
-        assert!(
-            schools.reduction_pct() > 30.0,
-            "school reduction {}",
-            schools.reduction_pct()
-        );
+        assert!(schools.reduction_pct() > 30.0, "school reduction {}", schools.reduction_pct());
     }
 
     #[test]
@@ -164,9 +155,8 @@ mod tests {
         // At γ = 15 a zone whose nearest hospital dominates (α near 1)
         // keeps every start time; check a sane aggregate rather than per
         // zone randomness: most zones have at least one trip.
-        let zones_with_trips = (0..m.n_zones())
-            .filter(|&z| !m.zone_trips(ZoneId(z as u32)).is_empty())
-            .count();
+        let zones_with_trips =
+            (0..m.n_zones()).filter(|&z| !m.zone_trips(ZoneId(z as u32)).is_empty()).count();
         assert!(
             zones_with_trips * 10 >= m.n_zones() * 9,
             "{zones_with_trips}/{} zones have trips",

@@ -175,11 +175,7 @@ mod tests {
         // Reach in through the trips slice via from_parts misuse.
         m = Todam::from_parts(
             m.pois.clone(),
-            vec![
-                vec![Trip { zone: ZoneId(0), poi_idx: 9, start: Stime(0) }],
-                vec![],
-                vec![],
-            ],
+            vec![vec![Trip { zone: ZoneId(0), poi_idx: 9, start: Stime(0) }], vec![], vec![]],
             vec![vec![], vec![], vec![]],
             60,
         );

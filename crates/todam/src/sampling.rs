@@ -16,9 +16,8 @@ use staq_gtfs::time::{Stime, TimeInterval};
 pub fn draw_start_times(v: &TimeInterval, per_hour: u32, seed: u64) -> Vec<Stime> {
     let n = ((v.duration_hours() * per_hour as f64).round() as usize).max(1);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_7135);
-    let mut times: Vec<Stime> = (0..n)
-        .map(|_| Stime(rng.random_range(v.start.0..v.end.0)))
-        .collect();
+    let mut times: Vec<Stime> =
+        (0..n).map(|_| Stime(rng.random_range(v.start.0..v.end.0))).collect();
     times.sort_unstable();
     times
 }
@@ -54,11 +53,7 @@ pub fn thin_for_pair(
         .wrapping_add((zone as u64).wrapping_mul(0x9E3779B97F4A7C15))
         .wrapping_add((poi as u64).wrapping_mul(0xBF58476D1CE4E5B9));
     let mut rng = StdRng::seed_from_u64(mix);
-    times
-        .iter()
-        .copied()
-        .filter(|_| rng.random_range(0.0..1.0) < p)
-        .collect()
+    times.iter().copied().filter(|_| rng.random_range(0.0..1.0) < p).collect()
 }
 
 #[cfg(test)]

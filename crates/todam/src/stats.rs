@@ -31,10 +31,7 @@ impl MatrixStats {
 
     /// All four categories for one city (a Table I half).
     pub fn measure_all(city: &City, spec: &TodamSpec) -> Vec<MatrixStats> {
-        PoiCategory::ALL
-            .iter()
-            .map(|&c| MatrixStats::measure(city, spec, c))
-            .collect()
+        PoiCategory::ALL.iter().map(|&c| MatrixStats::measure(city, spec, c)).collect()
     }
 }
 

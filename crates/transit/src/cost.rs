@@ -79,7 +79,7 @@ impl GacWeights {
         if vals.iter().any(|v| !v.is_finite() || *v < 0.0) {
             return Err("GAC weights must be finite and non-negative".into());
         }
-        if !(self.vot_per_min > 0.0) {
+        if self.vot_per_min.is_nan() || self.vot_per_min <= 0.0 {
             return Err("value of time must be positive".into());
         }
         Ok(())
@@ -179,7 +179,7 @@ mod tests {
             + 1.0 * 10.0               // ivt
             + 2.0 * 1.0                // egress
             + 0.0                      // no transfers
-            + 1.70 / w.vot_per_min;    // one fare
+            + 1.70 / w.vot_per_min; // one fare
         assert!((AccessCost::gac().cost(&j) - expected).abs() < 1e-9);
     }
 
@@ -225,8 +225,7 @@ mod tests {
         assert!(w.validate().is_ok());
         w.lambda_wait = -1.0;
         assert!(w.validate().is_err());
-        let mut w2 = GacWeights::default();
-        w2.vot_per_min = 0.0;
+        let w2 = GacWeights { vot_per_min: 0.0, ..Default::default() };
         assert!(w2.validate().is_err());
     }
 }

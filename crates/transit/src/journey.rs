@@ -15,10 +15,7 @@ pub enum Leg {
         to_stop: Option<StopId>,
     },
     /// Waiting at a stop for a vehicle.
-    Wait {
-        secs: u32,
-        at_stop: StopId,
-    },
+    Wait { secs: u32, at_stop: StopId },
     /// Riding a vehicle between two stops.
     Ride {
         trip: TripId,
@@ -153,8 +150,12 @@ impl Journey {
     /// Human-readable itinerary, one line per leg — the user-facing output
     /// of the journey planner (used by examples and debugging).
     pub fn describe(&self) -> String {
-        let mut out = format!("depart {} → arrive {} ({} min)\n", self.depart, self.arrive,
-            self.jt_secs() / 60);
+        let mut out = format!(
+            "depart {} → arrive {} ({} min)\n",
+            self.depart,
+            self.arrive,
+            self.jt_secs() / 60
+        );
         for leg in &self.legs {
             match leg {
                 Leg::Walk { secs, to_stop: Some(s) } => {
@@ -181,10 +182,7 @@ impl Journey {
     pub fn check_consistency(&self) -> Result<(), String> {
         let legs_total: u32 = self.legs.iter().map(|l| l.secs()).sum();
         if legs_total != self.jt_secs() {
-            return Err(format!(
-                "legs sum to {legs_total}s but journey spans {}s",
-                self.jt_secs()
-            ));
+            return Err(format!("legs sum to {legs_total}s but journey spans {}s", self.jt_secs()));
         }
         Ok(())
     }

@@ -101,18 +101,12 @@ mod tests {
             let d = city.zones[(i * 17 + 3) % city.zones.len()].centroid;
             let dij = earliest_arrival(&net, &o, &d, depart, DayOfWeek::Tuesday);
             let rap = raptor.earliest_arrival(&o, &d, depart, DayOfWeek::Tuesday);
-            assert!(
-                dij <= rap,
-                "unbounded Dijkstra ({dij}) must not lose to RAPTOR ({rap})"
-            );
+            assert!(dij <= rap, "unbounded Dijkstra ({dij}) must not lose to RAPTOR ({rap})");
             if dij == rap {
                 equal += 1;
             }
         }
-        assert!(
-            equal * 10 >= n * 7,
-            "routers should agree on most ODs, agreed {equal}/{n}"
-        );
+        assert!(equal * 10 >= n * 7, "routers should agree on most ODs, agreed {equal}/{n}");
     }
 
     #[test]
@@ -132,7 +126,8 @@ mod tests {
         let net = TransitNetwork::with_defaults(&city.road, &city.feed);
         let depart = Stime::hms(7, 0, 0);
         for z in &city.zones {
-            let at = earliest_arrival(&net, &city.cores[0], &z.centroid, depart, DayOfWeek::Tuesday);
+            let at =
+                earliest_arrival(&net, &city.cores[0], &z.centroid, depart, DayOfWeek::Tuesday);
             assert!(at >= depart);
         }
     }

@@ -152,14 +152,14 @@ impl<'a> TransitNetwork<'a> {
         let stop_tree = KdTree::build(&feed.stop_points());
         let max_walk_m = cfg.transfer_walk_secs * cfg.omega_mps / cfg.walk_detour;
         let mut transfers: Vec<Vec<Transfer>> = vec![Vec::new(); n_stops];
-        for s in 0..n_stops {
+        for (s, out) in transfers.iter_mut().enumerate() {
             let pos = feed.stop_pos(StopId(s as u32));
             for nb in stop_tree.within_radius(&pos, max_walk_m) {
                 if nb.item == s as u32 {
                     continue;
                 }
                 let secs = (nb.dist() * cfg.walk_detour / cfg.omega_mps).round() as u32;
-                transfers[s].push(Transfer { to: StopId(nb.item), walk_secs: secs });
+                out.push(Transfer { to: StopId(nb.item), walk_secs: secs });
             }
         }
 
@@ -275,8 +275,7 @@ impl std::fmt::Display for NetworkStats {
         write!(
             f,
             "{} stops, {} patterns ({} trips, mean length {:.1}), {} foot transfers",
-            self.n_stops, self.n_patterns, self.n_trips, self.mean_pattern_length,
-            self.n_transfers
+            self.n_stops, self.n_patterns, self.n_trips, self.mean_pattern_length, self.n_transfers
         )
     }
 }
@@ -401,10 +400,7 @@ mod tests {
                 assert!(tr.walk_secs as f64 <= net.cfg.transfer_walk_secs + 1.0);
                 assert_ne!(tr.to, StopId(s as u32));
                 // Reverse transfer exists (same radius, symmetric metric).
-                assert!(net
-                    .transfers_from(tr.to)
-                    .iter()
-                    .any(|r| r.to == StopId(s as u32)));
+                assert!(net.transfers_from(tr.to).iter().any(|r| r.to == StopId(s as u32)));
             }
         }
     }

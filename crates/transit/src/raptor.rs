@@ -107,8 +107,7 @@ impl<'n, 'a> Raptor<'n, 'a> {
                     // round's arrival at this stop.
                     let ready = arr[k - 1][stop.idx()];
                     if ready < INF {
-                        let catchable =
-                            pattern.earliest_trip(i, Stime(ready), day, self.net.feed);
+                        let catchable = pattern.earliest_trip(i, Stime(ready), day, self.net.feed);
                         if let Some(t2) = catchable {
                             let earlier = match active {
                                 None => true,
@@ -145,7 +144,7 @@ impl<'n, 'a> Raptor<'n, 'a> {
                 continue;
             }
             let total = at.saturating_add(walk);
-            if best.map_or(true, |(bt, _, _)| total < bt) {
+            if best.is_none_or(|(bt, _, _)| total < bt) {
                 best = Some((total, s, walk));
             }
         }
@@ -153,7 +152,7 @@ impl<'n, 'a> Raptor<'n, 'a> {
         let direct = depart.0.saturating_add(self.net.direct_walk_secs(origin, dest));
         match best {
             Some((total, stop, egress)) if total < direct => {
-                self.reconstruct(&arr, &labels, depart, stop, egress, Stime(total))
+                self.reconstruct(&labels, depart, stop, egress, Stime(total))
             }
             _ => Journey::walk_only(depart, direct - depart.0),
         }
@@ -174,7 +173,6 @@ impl<'n, 'a> Raptor<'n, 'a> {
     /// Rebuilds legs by walking labels backwards from the egress stop.
     fn reconstruct(
         &self,
-        arr: &[Vec<u32>],
         labels: &[Vec<Label>],
         depart: Stime,
         egress_stop: StopId,
@@ -185,7 +183,7 @@ impl<'n, 'a> Raptor<'n, 'a> {
         if egress_walk > 0 {
             rev.push(Leg::Walk { secs: egress_walk, to_stop: None });
         }
-        let mut k = arr.len() - 1;
+        let mut k = labels.len() - 1;
         let mut stop = egress_stop;
         loop {
             // Find the round that actually set this stop's current value.
@@ -216,29 +214,46 @@ impl<'n, 'a> Raptor<'n, 'a> {
                         board,
                         alight,
                     });
-                    // Wait between becoming ready at the board stop (round
-                    // k-1 arrival) and the vehicle's departure.
-                    let ready = arr[k - 1][board_stop.idx()];
-                    let wait = board.0.saturating_sub(ready);
-                    if wait > 0 {
-                        rev.push(Leg::Wait { secs: wait, at_stop: board_stop });
-                    }
                     stop = board_stop;
                     k -= 1;
                 }
             }
         }
         rev.reverse();
-        let mut j = Journey { depart, arrive, legs: rev };
-        // Arrival already includes every component; consistency is enforced
-        // in debug builds and fuzzed in tests.
-        debug_assert!(j.check_consistency().is_ok(), "{:?}", j.check_consistency());
-        // Round egress rounding slack into the final walk leg if the parts
-        // disagree by a second due to integer rounding of walks.
-        if j.check_consistency().is_err() {
-            let legs_total: u32 = j.legs.iter().map(|l| l.secs()).sum();
-            j.arrive = depart.plus(legs_total);
+
+        // Forward pass: derive waits from the chain's own clock. They
+        // cannot come from `arr`: chained foot transfers may overwrite a
+        // parent label after a successor's value was derived from the
+        // parent's older (slower) value, so the label chain can reach a
+        // boarding stop strictly earlier than `arr` recorded — the slack
+        // is real waiting time, and the chain end (never later than the
+        // `arr`-based bound) is the journey's true arrival.
+        let mut legs: Vec<Leg> = Vec::with_capacity(rev.len() + 1);
+        let mut t = depart;
+        for leg in rev {
+            match leg {
+                Leg::Walk { secs, .. } => {
+                    t = t.plus(secs);
+                    legs.push(leg);
+                }
+                Leg::Wait { .. } => unreachable!("waits are derived in the forward pass"),
+                Leg::Ride { board, alight, from_stop, .. } => {
+                    debug_assert!(
+                        t.0 <= board.0,
+                        "chain reaches {from_stop:?} at {t:?}, after boarding at {board:?}"
+                    );
+                    let wait = board.0.saturating_sub(t.0);
+                    if wait > 0 {
+                        legs.push(Leg::Wait { secs: wait, at_stop: from_stop });
+                    }
+                    t = alight;
+                    legs.push(leg);
+                }
+            }
         }
+        debug_assert!(t.0 <= arrive.0, "chain arrival {t:?} exceeds arr bound {arrive:?}");
+        let j = Journey { depart, arrive: t, legs };
+        debug_assert!(j.check_consistency().is_ok(), "{:?}", j.check_consistency());
         j
     }
 }
@@ -330,7 +345,12 @@ mod tests {
         for (o, d) in queries(&city, 15) {
             let j1 = router.query(&o, &d, Stime::hms(7, 0, 0), DayOfWeek::Tuesday);
             let j2 = router.query(&o, &d, Stime::hms(7, 20, 0), DayOfWeek::Tuesday);
-            assert!(j2.arrive >= j1.arrive.minus(1), "FIFO violated: {:?} vs {:?}", j1.arrive, j2.arrive);
+            assert!(
+                j2.arrive >= j1.arrive.minus(1),
+                "FIFO violated: {:?} vs {:?}",
+                j1.arrive,
+                j2.arrive
+            );
         }
     }
 

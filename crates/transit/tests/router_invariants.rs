@@ -40,11 +40,7 @@ fn more_boardings_never_hurt() {
             .map(|n| Raptor::new(n).earliest_arrival(&o, &d, depart, DayOfWeek::Tuesday))
             .collect();
         for w in arrivals.windows(2) {
-            assert!(
-                w[1] <= w[0],
-                "extra boarding budget worsened arrival: {:?}",
-                arrivals
-            );
+            assert!(w[1] <= w[0], "extra boarding budget worsened arrival: {:?}", arrivals);
         }
     }
 }

@@ -17,11 +17,7 @@ fn main() {
 
     // Ground-truth hospital access before the intervention.
     let before = NaiveResult::compute(&city, &spec, PoiCategory::Hospital, CostKind::Jt);
-    let worst = *before
-        .measures
-        .iter()
-        .max_by(|a, b| a.mac.partial_cmp(&b.mac).unwrap())
-        .unwrap();
+    let worst = *before.measures.iter().max_by(|a, b| a.mac.partial_cmp(&b.mac).unwrap()).unwrap();
     println!(
         "access desert: zone {} with mean journey time {:.1} min (city mean {:.1})",
         worst.zone.0,
@@ -31,7 +27,7 @@ fn main() {
 
     // A what-if route: desert -> midpoint -> city center (where the
     // hospitals cluster), every 10 minutes.
-    let mut engine = AccessEngine::new(
+    let engine = AccessEngine::new(
         city,
         PipelineConfig {
             beta: 0.15,
@@ -51,7 +47,7 @@ fn main() {
     );
 
     // Ground truth after: the desert zone must improve.
-    let after = NaiveResult::compute(engine.city(), &spec, PoiCategory::Hospital, CostKind::Jt);
+    let after = NaiveResult::compute(&engine.city(), &spec, PoiCategory::Hospital, CostKind::Jt);
     let worst_after = after.measures.iter().find(|m| m.zone == worst.zone).unwrap();
     println!(
         "zone {}: {:.1} -> {:.1} min ({:+.1})",

@@ -30,7 +30,7 @@ fn main() {
         cost: CostKind::Jt,
         ..Default::default()
     };
-    let mut engine = AccessEngine::new(city, config);
+    let engine = AccessEngine::new(city, config);
 
     // Q1: average travel time to schools, and its spatial spread.
     match engine.query(&AccessQuery::MeanAccess, PoiCategory::School) {

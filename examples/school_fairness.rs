@@ -15,16 +15,16 @@ fn main() {
     let city = City::generate(&CityConfig::small(7));
 
     for cost in [CostKind::Jt, CostKind::Gac] {
-        let mut engine = AccessEngine::new(
+        let engine = AccessEngine::new(
             city.clone(),
             PipelineConfig { beta: 0.15, model: ModelKind::Mlp, cost, ..Default::default() },
         );
 
         println!("=== cost model: {cost} ===");
         match engine.query(&AccessQuery::MeanAccess, PoiCategory::School) {
-            QueryAnswer::MeanAccess { mean_mac, mean_acsd, .. } => println!(
-                "mean access cost {mean_mac:.1}, temporal spread {mean_acsd:.1}"
-            ),
+            QueryAnswer::MeanAccess { mean_mac, mean_acsd, .. } => {
+                println!("mean access cost {mean_mac:.1}, temporal spread {mean_acsd:.1}")
+            }
             other => unreachable!("{other:?}"),
         }
 
@@ -47,11 +47,9 @@ fn main() {
         }
 
         // Fairness overall vs for children (the school-age population).
-        for weight in [
-            DemographicWeight::Uniform,
-            DemographicWeight::Population,
-            DemographicWeight::Children,
-        ] {
+        for weight in
+            [DemographicWeight::Uniform, DemographicWeight::Population, DemographicWeight::Children]
+        {
             match engine.query(&AccessQuery::Fairness { weight }, PoiCategory::School) {
                 QueryAnswer::Fairness(j) => println!("fairness ({weight:?}): {j:.4}"),
                 other => unreachable!("{other:?}"),
@@ -66,9 +64,8 @@ fn main() {
                 let ref_means = classify::means_from(&measures);
                 for (z, mac) in zs {
                     let m = measures.iter().find(|m| m.zone == z).unwrap();
-                    let class = classify::AccessClass::classify(
-                        m.mac, m.acsd, ref_means.0, ref_means.1,
-                    );
+                    let class =
+                        classify::AccessClass::classify(m.mac, m.acsd, ref_means.0, ref_means.1);
                     println!("  zone {:>4}: cost {mac:>6.1} ({class})", z.0);
                 }
             }

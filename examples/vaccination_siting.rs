@@ -20,12 +20,8 @@ fn main() {
 
     // Candidates: near the center, mid-ring, and the periphery's worst zone.
     let truth = NaiveResult::compute(&base_city, &spec, PoiCategory::VaxCenter, CostKind::Gac);
-    let worst_zone = truth
-        .measures
-        .iter()
-        .max_by(|a, b| a.mac.partial_cmp(&b.mac).unwrap())
-        .unwrap()
-        .zone;
+    let worst_zone =
+        truth.measures.iter().max_by(|a, b| a.mac.partial_cmp(&b.mac).unwrap()).unwrap().zone;
     let side = base_city.config.side_m;
     let candidates = [
         ("city center", base_city.cores[0]),
@@ -42,16 +38,11 @@ fn main() {
         let zone_tree = staq_repro::geom::KdTree::build(&city.zone_points());
         let zone = ZoneId(zone_tree.nearest(&pos).unwrap().item);
         let id = staq_repro::synth::PoiId(city.pois.len() as u32);
-        city.pois.push(staq_repro::synth::Poi {
-            id,
-            category: PoiCategory::VaxCenter,
-            pos,
-            zone,
-        });
+        city.pois.push(staq_repro::synth::Poi { id, category: PoiCategory::VaxCenter, pos, zone });
         let r = NaiveResult::compute(&city, &spec, PoiCategory::VaxCenter, CostKind::Gac);
         let (m, j) = (mean_mac(&r), fairness_vulnerable(&city, &r));
         println!("  {name:<18} mean GAC {m:>6.1} gmin   vulnerable-weighted fairness {j:.4}");
-        if best.map_or(true, |(_, _, bj)| j > bj) {
+        if best.is_none_or(|(_, _, bj)| j > bj) {
             best = Some((name, m, j));
         }
     }
@@ -62,7 +53,7 @@ fn main() {
     // ordering of sites is recoverable from a tenth of the SPQs.
     println!("\ncross-check via SSR (beta = 10%, MLP):");
     for (name, pos) in candidates {
-        let mut engine = AccessEngine::new(
+        let engine = AccessEngine::new(
             base_city.clone(),
             PipelineConfig {
                 beta: 0.10,

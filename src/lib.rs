@@ -9,7 +9,7 @@
 //! use staq_repro::prelude::*;
 //!
 //! let city = City::generate(&CityConfig::small(7));
-//! let mut engine = AccessEngine::new(city, PipelineConfig::default());
+//! let engine = AccessEngine::new(city, PipelineConfig::default());
 //! let answer = engine.query(&AccessQuery::MeanAccess, PoiCategory::School);
 //! println!("{answer:?}");
 //! ```

@@ -1,0 +1,123 @@
+//! Determinism under concurrency: interleaved queries and scenario edits
+//! from many threads leave the shared engine in a state whose answers are
+//! bit-identical to a serial replay of the same edits.
+//!
+//! The invariant that makes this checkable: SSR results for a category
+//! depend on the city's *per-category* POI list (positions, in insertion
+//! order) and the transit schedule — not on global POI ids or on how
+//! edits to *other* categories interleave. Each category gets exactly one
+//! editor thread, so every category's edit subsequence is deterministic
+//! even though the global interleaving is not.
+
+use staq_repro::prelude::*;
+use std::sync::Arc;
+
+fn config() -> PipelineConfig {
+    PipelineConfig {
+        beta: 0.25,
+        model: ModelKind::Ols,
+        todam: TodamSpec { per_hour: 3, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Deterministic edit positions for category `ci`, edit `k`.
+fn poi_pos(side: f64, ci: usize, k: usize) -> staq_repro::geom::Point {
+    staq_repro::geom::Point::new(
+        side * (0.15 + 0.17 * ci as f64 + 0.03 * k as f64),
+        side * (0.75 - 0.13 * ci as f64 - 0.05 * k as f64),
+    )
+}
+
+const EDITS_PER_CATEGORY: usize = 3;
+
+#[test]
+fn concurrent_edits_and_queries_match_serial_replay() {
+    let city = City::generate(&CityConfig::small(42));
+    let side = city.config.side_m;
+    let concurrent = Arc::new(AccessEngine::new(city, config()));
+
+    // 8 threads: one editor per category (4) interleaving edits with
+    // reads, plus 4 pure readers hammering queries the whole time.
+    crossbeam::scope(|scope| {
+        for (ci, cat) in PoiCategory::ALL.into_iter().enumerate() {
+            let e = Arc::clone(&concurrent);
+            scope.spawn(move |_| {
+                for k in 0..EDITS_PER_CATEGORY {
+                    let _ = e.measures(cat); // make sure edits hit warm caches too
+                    e.add_poi(cat, poi_pos(side, ci, k));
+                    let _ = e.query(&AccessQuery::MeanAccess, cat);
+                }
+            });
+        }
+        for r in 0..4 {
+            let e = Arc::clone(&concurrent);
+            scope.spawn(move |_| {
+                let cat = PoiCategory::ALL[r % 4];
+                for _ in 0..5 {
+                    match e.query(&AccessQuery::WorstZones { k: 5 }, cat) {
+                        QueryAnswer::WorstZones(zs) => assert!(!zs.is_empty()),
+                        other => panic!("{other:?}"),
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    // Serial replay: same city, same config, same per-category edit
+    // sequences, no concurrency.
+    let serial = AccessEngine::new(City::generate(&CityConfig::small(42)), config());
+    for (ci, cat) in PoiCategory::ALL.into_iter().enumerate() {
+        for k in 0..EDITS_PER_CATEGORY {
+            serial.add_poi(cat, poi_pos(side, ci, k));
+        }
+    }
+
+    for cat in PoiCategory::ALL {
+        let got = concurrent.measures(cat);
+        let want = serial.measures(cat);
+        assert_eq!(got.predicted.len(), want.predicted.len(), "{cat:?}");
+        for (g, w) in got.predicted.iter().zip(want.predicted.iter()) {
+            assert_eq!(g.zone, w.zone, "{cat:?}");
+            assert_eq!(
+                g.mac.to_bits(),
+                w.mac.to_bits(),
+                "{cat:?} zone {:?}: mac {} vs {}",
+                g.zone,
+                g.mac,
+                w.mac
+            );
+            assert_eq!(
+                g.acsd.to_bits(),
+                w.acsd.to_bits(),
+                "{cat:?} zone {:?}: acsd {} vs {}",
+                g.zone,
+                g.acsd,
+                w.acsd
+            );
+        }
+    }
+
+    // Both engines saw the same edits.
+    assert_eq!(
+        concurrent.city().pois.len(),
+        serial.city().pois.len(),
+        "same number of POIs after replay"
+    );
+}
+
+#[test]
+fn hammering_one_cold_category_from_many_threads_is_single_flight() {
+    let engine = Arc::new(AccessEngine::new(City::generate(&CityConfig::small(7)), config()));
+    crossbeam::scope(|scope| {
+        for _ in 0..12 {
+            let e = Arc::clone(&engine);
+            scope.spawn(move |_| {
+                let _ = e.measures(PoiCategory::JobCenter);
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(engine.pipeline_runs(), 1, "12 concurrent cold reads, one pipeline run");
+}

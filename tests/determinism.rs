@@ -14,12 +14,8 @@ fn full_stack_is_deterministic() {
             &spec.interval,
             &staq_repro::road::IsochroneParams::default(),
         );
-        let cfg = PipelineConfig {
-            beta: 0.3,
-            model: ModelKind::Mlp,
-            todam: spec,
-            ..Default::default()
-        };
+        let cfg =
+            PipelineConfig { beta: 0.3, model: ModelKind::Mlp, todam: spec, ..Default::default() };
         let r = SsrPipeline::new(&city, &artifacts, cfg).run(PoiCategory::School);
         r.predicted
     };
@@ -31,10 +27,9 @@ fn seeds_actually_matter() {
     let city_a = City::generate(&CityConfig::tiny(1));
     let city_b = City::generate(&CityConfig::tiny(2));
     assert_ne!(city_a.zones, city_b.zones);
-    assert_ne!(
-        city_a.feed.feed().stop_times.len() == city_b.feed.feed().stop_times.len()
-            && city_a.feed.feed() == city_b.feed.feed(),
-        true,
+    assert!(
+        city_a.feed.feed().stop_times.len() != city_b.feed.feed().stop_times.len()
+            || city_a.feed.feed() != city_b.feed.feed(),
         "different seeds must produce different feeds"
     );
 }

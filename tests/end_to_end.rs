@@ -19,18 +19,11 @@ fn setup() -> (City, OfflineArtifacts, TodamSpec) {
 fn ssr_recovers_spatial_access_pattern() {
     let (city, artifacts, spec) = setup();
     let truth = NaiveResult::compute(&city, &spec, PoiCategory::School, CostKind::Jt);
-    let cfg = PipelineConfig {
-        beta: 0.2,
-        model: ModelKind::Mlp,
-        todam: spec,
-        ..Default::default()
-    };
+    let cfg =
+        PipelineConfig { beta: 0.2, model: ModelKind::Mlp, todam: spec, ..Default::default() };
     let result = SsrPipeline::new(&city, &artifacts, cfg).run(PoiCategory::School);
     let report = evaluate(&truth, &result);
-    assert!(
-        report.mac_corr > 0.5,
-        "MAC correlation should be strongly positive: {report}"
-    );
+    assert!(report.mac_corr > 0.5, "MAC correlation should be strongly positive: {report}");
     assert!(report.mac_mae < 15.0, "JT MAE should be minutes, not tens: {report}");
     assert!(report.fie < 0.15, "fairness index error should be small: {report}");
 }
@@ -39,23 +32,15 @@ fn ssr_recovers_spatial_access_pattern() {
 fn ssr_beats_mean_predictor() {
     let (city, artifacts, spec) = setup();
     let truth = NaiveResult::compute(&city, &spec, PoiCategory::VaxCenter, CostKind::Jt);
-    let cfg = PipelineConfig {
-        beta: 0.2,
-        model: ModelKind::Mlp,
-        todam: spec,
-        ..Default::default()
-    };
+    let cfg =
+        PipelineConfig { beta: 0.2, model: ModelKind::Mlp, todam: spec, ..Default::default() };
     let result = SsrPipeline::new(&city, &artifacts, cfg).run(PoiCategory::VaxCenter);
     let report = evaluate(&truth, &result);
 
     // Mean predictor baseline over the same evaluation zones.
     let labeled: std::collections::HashSet<ZoneId> = result.labeled.iter().copied().collect();
-    let labeled_mean = result
-        .labeled_stats
-        .iter()
-        .map(|s| s.mac)
-        .sum::<f64>()
-        / result.labeled_stats.len() as f64;
+    let labeled_mean =
+        result.labeled_stats.iter().map(|s| s.mac).sum::<f64>() / result.labeled_stats.len() as f64;
     let base_mae = truth
         .measures
         .iter()
@@ -120,8 +105,7 @@ fn walk_only_trips_are_schedule_independent() {
 
     let (city, _artifacts, spec) = setup();
     let truth = NaiveResult::compute(&city, &spec, PoiCategory::School, CostKind::Jt);
-    let total_walk_frac: f64 =
-        truth.stats.iter().flatten().map(|s| s.walk_only_frac).sum();
+    let total_walk_frac: f64 = truth.stats.iter().flatten().map(|s| s.walk_only_frac).sum();
     assert!(total_walk_frac > 0.0, "no walk-only trips in the whole city");
 
     // Find an OD pair that walks and probe it across the interval.
@@ -139,10 +123,6 @@ fn walk_only_trips_are_schedule_independent() {
     for minutes in [15u32, 47, 95] {
         let t = Stime::hms(7, 0, 0).plus(minutes * 60);
         let j = router.query(&o, &d, t, DayOfWeek::Tuesday);
-        assert_eq!(
-            j.jt_secs(),
-            base,
-            "walk-only journey time must not depend on departure time"
-        );
+        assert_eq!(j.jt_secs(), base, "walk-only journey time must not depend on departure time");
     }
 }

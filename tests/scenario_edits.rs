@@ -20,7 +20,7 @@ fn engine() -> AccessEngine {
 
 #[test]
 fn added_route_keeps_feed_valid() {
-    let mut e = engine();
+    let e = engine();
     let a = e.city().zones[3].centroid;
     let b = e.city().cores[0];
     e.add_bus_route(&[a, a.midpoint(&b), b], 480);
@@ -33,7 +33,7 @@ fn added_route_shortens_journeys_from_its_terminus() {
     use staq_repro::gtfs::time::{DayOfWeek, Stime};
     use staq_repro::transit::{Raptor, TransitNetwork};
 
-    let mut e = engine();
+    let e = engine();
     // Pick the zone farthest from the center: its journey to the center
     // should benefit from a direct express route.
     let center = e.city().cores[0];
@@ -41,21 +41,21 @@ fn added_route_shortens_journeys_from_its_terminus() {
         .city()
         .zones
         .iter()
-        .max_by(|x, y| {
-            x.centroid.dist(&center).partial_cmp(&y.centroid.dist(&center)).unwrap()
-        })
+        .max_by(|x, y| x.centroid.dist(&center).partial_cmp(&y.centroid.dist(&center)).unwrap())
         .unwrap()
         .clone();
 
     let before = {
-        let net = TransitNetwork::with_defaults(&e.city().road, &e.city().feed);
+        let city = e.city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
         Raptor::new(&net)
             .query(&far.centroid, &center, Stime::hms(8, 0, 0), DayOfWeek::Tuesday)
             .jt_secs()
     };
     e.add_bus_route(&[far.centroid, far.centroid.midpoint(&center), center], 300);
     let after = {
-        let net = TransitNetwork::with_defaults(&e.city().road, &e.city().feed);
+        let city = e.city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
         Raptor::new(&net)
             .query(&far.centroid, &center, Stime::hms(8, 0, 0), DayOfWeek::Tuesday)
             .jt_secs()
@@ -72,7 +72,7 @@ fn added_route_shortens_journeys_from_its_terminus() {
 
 #[test]
 fn poi_edits_extend_the_poi_set_consistently() {
-    let mut e = engine();
+    let e = engine();
     let n = e.city().pois.len();
     let pos = e.city().cores[0];
     let id = e.add_poi(PoiCategory::JobCenter, pos);
@@ -87,7 +87,7 @@ fn poi_edits_extend_the_poi_set_consistently() {
 
 #[test]
 fn queries_work_after_many_edits() {
-    let mut e = engine();
+    let e = engine();
     let c = e.city().cores[0];
     for k in 0..3 {
         let p = c.offset(100.0 * k as f64, -50.0 * k as f64);

@@ -1,0 +1,203 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the macro and method surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`/`iter_batched`, `black_box`) with two
+//! modes, selected the same way upstream does:
+//!
+//! * `cargo bench` passes `--bench`: each target runs an adaptive timing
+//!   loop (~200 ms per benchmark) and prints mean ns/iter.
+//! * `cargo test` (no `--bench` flag): each closure runs once as a smoke
+//!   test, so benches stay compile- and panic-checked in CI.
+//!
+//! No statistics, plots, or baselines — numbers are indicative only.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the stand-in always
+/// materializes one input per routine call, so this is advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level bench driver.
+#[derive(Default)]
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Criterion {
+    /// Upstream reads CLI flags here; we only need the `--bench` marker
+    /// cargo appends when invoked via `cargo bench`.
+    pub fn configure_from_args(mut self) -> Self {
+        self.bench_mode = std::env::args().any(|a| a == "--bench");
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.bench_mode, &id.into(), f);
+        self
+    }
+}
+
+/// A named group; the stand-in flattens groups to a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-count hint; accepted for API compatibility, unused.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint; accepted for API compatibility, unused.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion.bench_mode, &full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(bench_mode: bool, name: &str, mut f: F) {
+    let mut b = Bencher { bench_mode, total: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    if bench_mode {
+        let per_iter = if b.iters == 0 { Duration::ZERO } else { b.total / b.iters.max(1) as u32 };
+        println!(
+            "bench {name:<50} {:>12.0} ns/iter ({} iters)",
+            per_iter.as_nanos() as f64,
+            b.iters
+        );
+    } else {
+        println!("bench {name}: ok (test mode, 1 iter)");
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    bench_mode: bool,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`. Test mode: one call. Bench mode: calibrates, then
+    /// measures enough iterations to fill ~200 ms.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.bench_mode {
+            black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        // Calibration: one timed call decides the measured iteration count.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(200);
+        let n = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.total = t1.elapsed();
+        self.iters = n;
+    }
+
+    /// Times `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if !self.bench_mode {
+            black_box(routine(setup()));
+            self.iters = 1;
+            return;
+        }
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(200);
+        let n = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..n {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.total = total;
+        self.iters = n;
+    }
+}
+
+/// Declares a bench entry point running each listed function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` calling each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion::default();
+        let mut count = 0;
+        c.bench_function("demo", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        let mut hits = 0;
+        g.bench_function("one", |b| b.iter_batched(|| 3, |x| hits += x, BatchSize::SmallInput));
+        g.finish();
+        assert_eq!(hits, 3);
+    }
+}

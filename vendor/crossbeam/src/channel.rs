@@ -1,0 +1,294 @@
+//! MPMC channels in the `crossbeam_channel` API shape.
+//!
+//! One Mutex-guarded deque plus two condvars; senders and receivers are
+//! cheap `Arc` clones. Bounded channels block senders at capacity, which
+//! is what the serve worker pool relies on for back-pressure.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Shared<T> {
+    queue: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: Option<usize>,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Sending half; clonable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half; clonable (MPMC: each item goes to exactly one receiver).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Error on send into a channel with no receivers; returns the value.
+pub struct SendError<T>(pub T);
+
+/// Error on receive from an empty channel with no senders.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error for [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+/// Error for [`Sender::try_send`].
+pub enum TrySendError<T> {
+    Full(T),
+    Disconnected(T),
+}
+
+/// Error for [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TrySendError::Full(_) => "Full(..)",
+            TrySendError::Disconnected(_) => "Disconnected(..)",
+        })
+    }
+}
+
+/// Creates a channel holding at most `cap` items.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_cap(Some(cap))
+}
+
+/// Creates a channel with unlimited buffering.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_cap(None)
+}
+
+fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        cap,
+    });
+    (Sender { shared: shared.clone() }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Blocks while the channel is full; errors when all receivers left.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.shared.cap {
+                Some(cap) if state.items.len() >= cap => {
+                    state = self.shared.not_full.wait(state).expect("channel lock");
+                }
+                _ => break,
+            }
+        }
+        state.items.push_back(value);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking send.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.shared.cap {
+            if state.items.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        state.items.push_back(value);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until an item arrives; errors once empty with no senders.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if let Some(v) = state.items.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.not_empty.wait(state).expect("channel lock");
+        }
+    }
+
+    /// Bounded-time blocking receive.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if let Some(v) = state.items.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (s, res) =
+                self.shared.not_empty.wait_timeout(state, deadline - now).expect("channel lock");
+            state = s;
+            if res.timed_out() && state.items.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        if let Some(v) = state.items.pop_front() {
+            drop(state);
+            self.shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if state.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().expect("channel lock").items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().expect("channel lock").senders += 1;
+        Sender { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().expect("channel lock").receivers += 1;
+        Receiver { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpmc_delivers_everything_once() {
+        let (tx, rx) = bounded::<u32>(4);
+        let collected = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for w in 0..3 {
+                let rx = rx.clone();
+                let collected = &collected;
+                s.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        collected.lock().unwrap().push((w, v));
+                    }
+                });
+            }
+            drop(rx);
+            for v in 0..100 {
+                tx.send(v).unwrap();
+            }
+            drop(tx);
+        });
+        let mut got: Vec<u32> =
+            collected.into_inner().unwrap().into_iter().map(|(_, v)| v).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_try_send_fills() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn recv_errors_after_senders_gone() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = bounded::<u32>(1);
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+    }
+}

@@ -1,0 +1,93 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the two pieces the workspace uses, in crossbeam's API shape:
+//!
+//! * [`scope`] — scoped threads, built on `std::thread::scope` (child
+//!   panics propagate as a panic at the scope, rather than surfacing in
+//!   the returned `Result`; every call site treats both as fatal).
+//! * [`channel`] — MPMC channels with bounded and unbounded flavors, a
+//!   Mutex+Condvar ring shared by any number of cloned senders/receivers.
+
+pub mod channel;
+
+use std::marker::PhantomData;
+
+/// Scoped thread handle collection, mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    _marker: PhantomData<&'env ()>,
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread; `Err` carries the panic payload.
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread tied to the scope; the closure receives the scope
+    /// (crossbeam's signature) so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner, _marker: PhantomData })) }
+    }
+}
+
+/// Runs `f` with a scope in which borrowing, scoped threads can be
+/// spawned; returns once all of them finished. A panicking child thread
+/// panics here (std semantics) instead of producing `Err` — the `Result`
+/// exists for call-site compatibility and is always `Ok`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s, _marker: PhantomData })))
+}
+
+/// `crossbeam::thread` module alias, matching upstream layout.
+pub mod thread {
+    pub use crate::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all() {
+        let n = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    n.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    n.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+    }
+}

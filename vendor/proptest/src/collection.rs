@@ -1,0 +1,54 @@
+//! Collection strategies.
+
+use crate::strategy::{Strategy, TestRng};
+use rand::RngExt;
+
+/// Acceptable size arguments for [`vec`]: an exact length or a half-open
+/// range of lengths.
+#[derive(Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+/// Strategy producing `Vec`s of `element` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.lo + 1 == self.size.hi {
+            self.size.lo
+        } else {
+            rng.0.random_range(self.size.lo..self.size.hi)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

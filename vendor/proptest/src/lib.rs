@@ -1,0 +1,311 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Runs each property over `cases` deterministic pseudo-random inputs —
+//! the call-site syntax (`proptest! { #[test] fn p(x in strat) {..} }`,
+//! range/tuple strategies, `prop_map`, `collection::vec`, `string_regex`)
+//! matches upstream so the real crate can be swapped back in. Differences,
+//! by design: no shrinking (a failing case panics with its inputs via the
+//! normal assert message), no persistence files, and `prop_assert*` panics
+//! instead of returning `Err`.
+
+pub mod collection;
+pub mod string;
+
+pub mod strategy {
+    use rand::{RngCore, RngExt, SampleRange};
+
+    /// Deterministic per-case generator.
+    pub struct TestRng(pub(crate) rand::StdRng);
+
+    impl TestRng {
+        /// Case `i` of a named test gets an independent, reproducible
+        /// stream: runs are stable across processes and machines.
+        pub fn for_case(name: &str, case: u32) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(rand::SeedableRng::seed_from_u64(h ^ ((case as u64) << 32 | 0xA5)))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Value generator. Upstream's trait, minus shrinking.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `pred` (bounded retries).
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, pred, whence }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        pred: F,
+        whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter {:?} rejected 1000 candidates", self.whence);
+        }
+    }
+
+    /// Constant strategy.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t>
+            where
+                std::ops::RangeInclusive<$t>: SampleRange<$t>,
+            {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Like `assert!`, inside a property (panics; upstream returns `Err`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Like `assert_eq!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Like `assert_ne!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Binds `name in strategy` argument lists inside [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $arg:pat in $strat:expr) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident, $arg:pat in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+/// Expands property functions into case-looping `#[test]`s.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ($cfg:expr;) => {};
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng =
+                    $crate::strategy::TestRng::for_case(stringify!($name), __case);
+                $crate::__proptest_bind!(__rng, $($args)*);
+                // Upstream bodies may `return Ok(())` early (TestCaseResult);
+                // asserts panic in this stand-in, so Err never materializes.
+                #[allow(clippy::redundant_closure_call)]
+                let __result: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body Ok(()) })();
+                if let Err(__e) = __result {
+                    panic!("property {} rejected case {}: {}",
+                        stringify!($name), __case, __e);
+                }
+            }
+        }
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+}
+
+/// Upstream-compatible entry macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..10, f in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_map(
+            v in crate::collection::vec((0u32..5, 0.0f64..1.0), 1..8).prop_map(|v| v.len()),
+        ) {
+            prop_assert!((1..8).contains(&v));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    fn string_regex_generates_matching() {
+        use crate::strategy::{Strategy, TestRng};
+        let s = crate::string::string_regex("[ab c]{2,5}").unwrap();
+        let mut rng = TestRng::for_case("strtest", 0);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((2..=5).contains(&v.chars().count()), "{v:?}");
+            assert!(v.chars().all(|c| "ab c".contains(c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        use crate::strategy::{Strategy, TestRng};
+        let s = crate::collection::vec(0u32..3, 4);
+        let mut rng = TestRng::for_case("vec4", 0);
+        assert_eq!(s.generate(&mut rng).len(), 4);
+    }
+}

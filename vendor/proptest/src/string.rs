@@ -1,0 +1,100 @@
+//! String strategies.
+//!
+//! Upstream generates strings matching arbitrary regexes; this stand-in
+//! supports the pattern shape the workspace actually uses — a single
+//! character class with a bounded repetition, `[chars]{lo,hi}` — and
+//! errors loudly on anything else so a silent mismatch can't slip in.
+
+use crate::strategy::{Strategy, TestRng};
+use rand::RngExt;
+
+/// Error for unsupported or malformed patterns.
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "string_regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Strategy over strings matching `[class]{lo,hi}`.
+pub struct RegexStringStrategy {
+    alphabet: Vec<char>,
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+/// Parses `[class]{lo,hi}` (escapes `\n`, `\t`, `\\`, `\"` and ranges
+/// `a-z` supported inside the class; a trailing `-` is a literal).
+pub fn string_regex(pattern: &str) -> Result<RegexStringStrategy, Error> {
+    let err = |m: &str| Err(Error(format!("{m} in pattern {pattern:?}")));
+    let rest = match pattern.strip_prefix('[') {
+        Some(r) => r,
+        None => return err("expected leading character class"),
+    };
+    let close = match rest.find(']') {
+        Some(i) => i,
+        None => return err("unterminated character class"),
+    };
+    let (class, tail) = (&rest[..close], &rest[close + 1..]);
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = match chars[i] {
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(&c) => c,
+                    None => return err("dangling escape"),
+                }
+            }
+            c => c,
+        };
+        if chars.get(i + 1) == Some(&'-') && i + 2 < chars.len() {
+            let end = chars[i + 2];
+            if (c as u32) > (end as u32) {
+                return err("inverted range");
+            }
+            for u in (c as u32)..=(end as u32) {
+                alphabet.push(char::from_u32(u).expect("valid scalar"));
+            }
+            i += 3;
+        } else {
+            alphabet.push(c);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return err("empty character class");
+    }
+
+    let counts = match tail.strip_prefix('{').and_then(|t| t.strip_suffix('}')) {
+        Some(c) => c,
+        None => return err("expected trailing {lo,hi} repetition"),
+    };
+    let (lo, hi) = match counts.split_once(',') {
+        Some((a, b)) => (a.trim().parse(), b.trim().parse()),
+        None => (counts.trim().parse(), counts.trim().parse()),
+    };
+    let (lo, hi): (usize, usize) = match (lo, hi) {
+        (Ok(a), Ok(b)) if a <= b => (a, b),
+        _ => return err("malformed repetition counts"),
+    };
+    Ok(RegexStringStrategy { alphabet, lo, hi })
+}
+
+impl Strategy for RegexStringStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = rng.0.random_range(self.lo..self.hi + 1);
+        (0..len).map(|_| self.alphabet[rng.0.random_range(0..self.alphabet.len())]).collect()
+    }
+}

@@ -1,0 +1,161 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides exactly the API surface the workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `RngExt::random_range`, and
+//! `seq::SliceRandom::shuffle` — with the same signatures as rand 0.10.
+//! The generator is xoshiro256++ seeded through SplitMix64: deterministic
+//! for a given seed, statistically strong enough for the synthetic-city
+//! statistics the test-suite asserts. The stream differs from upstream
+//! `StdRng` (ChaCha12), which is fine: the workspace only relies on
+//! *self-consistent* determinism, never on a specific stream.
+
+pub mod rngs;
+pub mod seq;
+
+pub use rngs::StdRng;
+
+/// Sources of randomness: the core 64-bit generator.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling helpers (rand 0.10's extension-trait spelling).
+pub trait RngExt: RngCore {
+    /// Uniform sample from a half-open range. Panics on an empty range.
+    /// The element type is a free parameter (upstream's shape) so return
+    /// position can drive inference of float-literal ranges.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+/// Maps 64 random bits to a uniform f64 in [0, 1).
+#[inline]
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Range types [`RngExt::random_range`] accepts, producing `T`.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift bounded sampling (Lemire); one u64 of
+                // entropy is plenty for spans far below 2^64.
+                let hi = ((rng.next_u64() as u128).wrapping_mul(span)) >> 64;
+                (self.start as i128 + hi as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let v = ((rng.next_u64() as u128).wrapping_mul(span)) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.random_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let f = r.random_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&f));
+            let i = r.random_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn int_range_covers_endpoints() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.random_range(0u32..4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_interval_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.random_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(4);
+        let _ = r.random_range(5u32..5);
+    }
+}

@@ -1,0 +1,59 @@
+//! Sequence helpers.
+
+use crate::RngCore;
+
+/// Slice shuffling and choosing.
+pub trait SliceRandom {
+    type Item;
+
+    /// Uniform in-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// Uniformly chosen element, `None` when empty.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let span = (i + 1) as u128;
+            let j = (((rng.next_u64() as u128).wrapping_mul(span)) >> 64) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            return None;
+        }
+        let span = self.len() as u128;
+        let i = (((rng.next_u64() as u128).wrapping_mul(span)) >> 64) as usize;
+        Some(&self[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, StdRng};
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut r = StdRng::seed_from_u64(9);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+}

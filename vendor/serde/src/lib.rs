@@ -1,0 +1,38 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never drives an actual serializer (persistence is a hand-rolled text
+//! format, the wire protocol a hand-rolled binary codec). With no registry
+//! access in the build environment, this crate supplies just enough for
+//! those derives to compile: the two trait names, blanket-implemented, and
+//! no-op derive macros. Swapping the real serde back in later is a
+//! one-line Cargo.toml change — call sites are already spelled identically.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`. Blanket-implemented: every
+/// type is trivially "serializable" until a real backend exists.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize, Debug, PartialEq)]
+    struct Demo {
+        a: u32,
+        b: String,
+    }
+
+    fn takes_serialize<T: super::Serialize>(_: &T) {}
+
+    #[test]
+    fn derives_compile_and_traits_blanket() {
+        let d = Demo { a: 1, b: "x".into() };
+        takes_serialize(&d);
+        assert_eq!(d, Demo { a: 1, b: "x".into() });
+    }
+}

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The vendored `serde` stand-in blanket-implements both traits, so the
+//! derives have nothing to emit — they exist purely so that
+//! `#[derive(Serialize, Deserialize)]` in the workspace keeps compiling
+//! without registry access.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
