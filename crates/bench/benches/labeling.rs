@@ -24,5 +24,26 @@ fn bench_labeling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_labeling);
+/// Thread-scaling sweep for the full labeling pass: with per-worker output
+/// slices the walltime should track 1/workers until memory bandwidth, where
+/// the old per-zone `Mutex<Vec>` write serialized the pool.
+fn bench_labeling_scaling(c: &mut Criterion) {
+    let city = City::generate(&CityConfig::small(42));
+    let spec = TodamSpec { per_hour: 5, ..Default::default() };
+    let m = spec.build(&city, PoiCategory::School);
+    let mut engine = LabelEngine::new(&city, AccessCost::jt(), spec.interval.clone());
+    let zones: Vec<ZoneId> = (0..city.n_zones() as u32).map(ZoneId).collect();
+
+    let mut g = c.benchmark_group("labeling_scaling");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        engine.n_workers = workers;
+        g.bench_function(format!("label_all_{workers}w"), |b| {
+            b.iter(|| black_box(engine.label_zones(&m, &zones)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_labeling, bench_labeling_scaling);
 criterion_main!(benches);

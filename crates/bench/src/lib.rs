@@ -20,7 +20,12 @@
 //! hop-tree construction, per-pair feature generation (§IV-E), labeling
 //! throughput, model fit times, and the end-to-end pipeline.
 
-pub mod hist;
+/// Latency histogram machinery now lives in `staq-obs` (shared with the
+/// serving metrics layer); re-exported here so bench-side callers keep
+/// their import paths.
+pub mod hist {
+    pub use staq_obs::hist::{fmt_dur, LatencyHistogram};
+}
 
 pub use hist::{fmt_dur, LatencyHistogram};
 

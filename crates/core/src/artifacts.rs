@@ -4,9 +4,14 @@
 use staq_gtfs::time::TimeInterval;
 use staq_hoptree::HopTreeStore;
 use staq_ml::SparseAdj;
+use staq_obs::AtomicHistogram;
 use staq_road::IsochroneParams;
 use staq_synth::City;
 use std::time::Instant;
+
+/// Offline artifact builds (hop trees + isochrones + adjacency) — the
+/// once-per-(city, interval) stage upstream of every pipeline run.
+static STAGE_ARTIFACTS: AtomicHistogram = AtomicHistogram::new("pipeline.stage.artifacts");
 
 /// Precomputed structures for one `(city, interval)`.
 pub struct OfflineArtifacts {
@@ -27,6 +32,7 @@ impl OfflineArtifacts {
         let coords: Vec<(f64, f64)> =
             city.zones.iter().map(|z| (z.centroid.x, z.centroid.y)).collect();
         let adjacency = SparseAdj::gaussian_threshold(&coords, 12, 1e-4, None);
+        STAGE_ARTIFACTS.record(t0.elapsed());
         OfflineArtifacts { store, adjacency, build_secs: t0.elapsed().as_secs_f64() }
     }
 

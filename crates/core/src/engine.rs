@@ -49,11 +49,21 @@ use staq_gtfs::model::{
 };
 use staq_gtfs::time::Stime;
 use staq_gtfs::FeedIndex;
+use staq_obs::Counter;
 use staq_synth::{City, Poi, PoiCategory, PoiId, ZoneId};
 use std::collections::HashMap;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Warm reads: a published result served straight from the cache.
+static CACHE_HITS: Counter = Counter::new("engine.cache.hits");
+/// Cold reads that ran the SSR pipeline.
+static CACHE_MISSES: Counter = Counter::new("engine.cache.misses");
+/// Reads that joined another thread's in-flight compute (single-flight).
+static CACHE_JOINS: Counter = Counter::new("engine.cache.joins");
+/// Category invalidations from scenario edits (epoch bumps).
+static CACHE_INVALIDATIONS: Counter = Counter::new("engine.cache.invalidations");
 
 /// The mutable world state: what scenario edits rewrite.
 struct EngineState {
@@ -182,13 +192,18 @@ impl AccessEngine {
         let (flight, start_epoch) = {
             let mut cache = self.cache.lock();
             match cache.slots.get(&category) {
-                Some(Slot::Ready(r)) => return Arc::clone(r),
+                Some(Slot::Ready(r)) => {
+                    CACHE_HITS.inc();
+                    return Arc::clone(r);
+                }
                 Some(Slot::Pending(f)) => {
                     let f = Arc::clone(f);
                     drop(cache);
+                    CACHE_JOINS.inc();
                     return f.wait();
                 }
                 None => {
+                    CACHE_MISSES.inc();
                     let epoch = *cache.epochs.entry(category).or_insert(0);
                     let flight = Flight::new();
                     cache.slots.insert(category, Slot::Pending(Arc::clone(&flight)));
@@ -248,6 +263,7 @@ impl AccessEngine {
         let mut cache = self.cache.lock();
         *cache.epochs.entry(category).or_insert(0) += 1;
         cache.slots.remove(&category);
+        CACHE_INVALIDATIONS.inc();
         id
     }
 
@@ -373,6 +389,7 @@ impl AccessEngine {
         let mut cache = self.cache.lock();
         for epoch in cache.epochs.values_mut() {
             *epoch += 1;
+            CACHE_INVALIDATIONS.inc();
         }
         cache.slots.clear();
         affected_len

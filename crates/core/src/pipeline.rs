@@ -17,16 +17,29 @@ use rand::SeedableRng;
 use staq_access::ZoneMeasures;
 use staq_hoptree::{aggregate, FeatureExtractor, FEATURE_DIM};
 use staq_ml::{Matrix, SparseAdj, SsrTask};
+use staq_obs::{AtomicHistogram, Counter};
 use staq_synth::{City, PoiCategory, ZoneId};
 use staq_todam::{LabelEngine, Todam, ZoneStats};
 use staq_transit::{AccessCost, CostKind};
 use std::time::Instant;
+
+/// Full pipeline passes completed.
+static PIPELINE_RUNS: Counter = Counter::new("pipeline.runs");
+/// Stage walltimes, one histogram per stage so relative cost (Table II's
+/// breakdown) is readable straight off a [`staq_obs::snapshot`].
+static STAGE_TODAM: AtomicHistogram = AtomicHistogram::new("pipeline.stage.todam");
+static STAGE_FEATURES: AtomicHistogram = AtomicHistogram::new("pipeline.stage.features");
+static STAGE_SAMPLING: AtomicHistogram = AtomicHistogram::new("pipeline.stage.sampling");
+static STAGE_LABELING: AtomicHistogram = AtomicHistogram::new("pipeline.stage.labeling");
+static STAGE_TRAIN: AtomicHistogram = AtomicHistogram::new("pipeline.stage.train");
 
 /// Wall-clock seconds per stage.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageTimings {
     pub todam_secs: f64,
     pub feature_secs: f64,
+    /// Drawing the labeled set `L` (cheap, but β-strategy dependent).
+    pub sampling_secs: f64,
     pub label_secs: f64,
     pub train_secs: f64,
 }
@@ -34,7 +47,7 @@ pub struct StageTimings {
 impl StageTimings {
     /// End-to-end solution cost (Table II's "Solution Cost").
     pub fn total(&self) -> f64 {
-        self.todam_secs + self.feature_secs + self.label_secs + self.train_secs
+        self.todam_secs + self.feature_secs + self.sampling_secs + self.label_secs + self.train_secs
     }
 }
 
@@ -86,6 +99,7 @@ impl<'a> SsrPipeline<'a> {
         let t0 = Instant::now();
         let matrix = cfg.todam.build(self.city, category);
         let todam_secs = t0.elapsed().as_secs_f64();
+        STAGE_TODAM.record(t0.elapsed());
 
         // 2. Features for every zone (α-weighted origin level).
         let t0 = Instant::now();
@@ -94,6 +108,7 @@ impl<'a> SsrPipeline<'a> {
         fx.max_hops = cfg.max_hops;
         let feats = aggregate::all_origin_features(&fx, self.city, &matrix);
         let feature_secs = t0.elapsed().as_secs_f64();
+        STAGE_FEATURES.record(t0.elapsed());
 
         // Eligible zones: have features and at least one trip to label.
         let eligible: Vec<ZoneId> = (0..self.city.n_zones() as u32)
@@ -107,6 +122,7 @@ impl<'a> SsrPipeline<'a> {
         );
 
         // 3. Draw L at budget β.
+        let t0 = Instant::now();
         let n_l = ((eligible.len() as f64 * cfg.beta).ceil() as usize).clamp(2, eligible.len() - 1);
         let labeled = match cfg.sampling {
             crate::config::SamplingStrategy::Random => {
@@ -123,6 +139,8 @@ impl<'a> SsrPipeline<'a> {
         let labeled_set: std::collections::HashSet<ZoneId> = labeled.iter().copied().collect();
         let unlabeled: Vec<ZoneId> =
             eligible.iter().copied().filter(|z| !labeled_set.contains(z)).collect();
+        let sampling_secs = t0.elapsed().as_secs_f64();
+        STAGE_SAMPLING.record(t0.elapsed());
 
         // 4. Label L with real SPQs.
         let cost_model = match cfg.cost {
@@ -133,6 +151,7 @@ impl<'a> SsrPipeline<'a> {
         let t0 = Instant::now();
         let stats = engine.label_zones(&matrix, &labeled);
         let label_secs = t0.elapsed().as_secs_f64();
+        STAGE_LABELING.record(t0.elapsed());
         let labeled_trips = engine.trip_count(&matrix, &labeled);
         // Eligibility guarantees trips, so every labeled zone has stats.
         let labeled_stats: Vec<ZoneStats> =
@@ -169,6 +188,8 @@ impl<'a> SsrPipeline<'a> {
         let model = cfg.model.build();
         let pred = model.fit_predict(&task);
         let train_secs = t0.elapsed().as_secs_f64();
+        STAGE_TRAIN.record(t0.elapsed());
+        PIPELINE_RUNS.inc();
 
         // Assemble: truth for L, inference for U (costs clamped to their
         // physical domain: non-negative).
@@ -192,7 +213,13 @@ impl<'a> SsrPipeline<'a> {
             labeled_stats,
             predicted,
             labeled_trips,
-            timings: StageTimings { todam_secs, feature_secs, label_secs, train_secs },
+            timings: StageTimings {
+                todam_secs,
+                feature_secs,
+                sampling_secs,
+                label_secs,
+                train_secs,
+            },
         }
     }
 }

@@ -1,8 +1,14 @@
-//! Log-bucketed latency histogram for load-generation reports.
+//! Log-bucketed latency histogram.
 //!
 //! Fixed memory (one `u64` per bucket), lock-free to merge, ~4% relative
 //! error per bucket — the usual trade for serving-latency percentiles,
 //! where tail *shape* matters and sub-percent precision does not.
+//!
+//! The same bucket math backs two types: [`LatencyHistogram`] (single
+//! writer, used by load generators and snapshots) and
+//! [`AtomicHistogram`](crate::registry::AtomicHistogram) (many concurrent
+//! writers on the serving hot path). They stay mergeable with each other
+//! because they share [`bucket`]/[`bucket_value`].
 
 use std::time::Duration;
 
@@ -12,7 +18,27 @@ const SUB_BUCKETS: usize = 16;
 const SUB_BITS: u32 = 4;
 /// Covers 1 ns .. ~2^40 ns (≈ 18 minutes), saturating above.
 const MAX_POW: usize = 40;
-const N_BUCKETS: usize = MAX_POW * SUB_BUCKETS;
+pub(crate) const N_BUCKETS: usize = MAX_POW * SUB_BUCKETS;
+
+/// Bucket index for a nanosecond sample.
+pub(crate) fn bucket(ns: u64) -> usize {
+    if ns < SUB_BUCKETS as u64 {
+        return ns as usize;
+    }
+    let pow = 63 - ns.leading_zeros();
+    let sub = (ns >> (pow - SUB_BITS)) as usize - SUB_BUCKETS;
+    (((pow - SUB_BITS) as usize + 1) * SUB_BUCKETS + sub).min(N_BUCKETS - 1)
+}
+
+/// Representative (upper-edge) value of a bucket, inverse of [`bucket`].
+pub(crate) fn bucket_value(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS {
+        return idx as u64;
+    }
+    let pow = (idx / SUB_BUCKETS - 1) as u32 + SUB_BITS;
+    let sub = (idx % SUB_BUCKETS) as u64 + SUB_BUCKETS as u64;
+    sub << (pow - SUB_BITS)
+}
 
 /// Latency histogram over nanosecond samples.
 #[derive(Clone)]
@@ -34,29 +60,39 @@ impl LatencyHistogram {
         LatencyHistogram { counts: vec![0; N_BUCKETS], total: 0, sum_ns: 0, max_ns: 0 }
     }
 
-    fn bucket(ns: u64) -> usize {
-        if ns < SUB_BUCKETS as u64 {
-            return ns as usize;
+    /// Rebuilds a histogram from sparse `(bucket index, count)` pairs, as
+    /// exported by a snapshot. Out-of-range indices saturate into the top
+    /// bucket rather than panicking on foreign data.
+    pub fn from_sparse(buckets: &[(u32, u64)], sum_ns: u128, max_ns: u64) -> Self {
+        let mut h = LatencyHistogram::new();
+        for &(idx, c) in buckets {
+            h.counts[(idx as usize).min(N_BUCKETS - 1)] += c;
+            h.total += c;
         }
-        let pow = 63 - ns.leading_zeros();
-        let sub = (ns >> (pow - SUB_BITS)) as usize - SUB_BUCKETS;
-        (((pow - SUB_BITS) as usize + 1) * SUB_BUCKETS + sub).min(N_BUCKETS - 1)
+        h.sum_ns = sum_ns;
+        h.max_ns = max_ns;
+        h
     }
 
-    /// Representative (upper-edge) value of a bucket, inverse of `bucket`.
-    fn bucket_value(idx: usize) -> u64 {
-        if idx < SUB_BUCKETS {
-            return idx as u64;
-        }
-        let pow = (idx / SUB_BUCKETS - 1) as u32 + SUB_BITS;
-        let sub = (idx % SUB_BUCKETS) as u64 + SUB_BUCKETS as u64;
-        sub << (pow - SUB_BITS)
+    /// Non-empty buckets as `(bucket index, count)` pairs — the compact
+    /// form snapshots carry.
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
     }
 
     /// Records one sample.
     pub fn record(&mut self, d: Duration) {
-        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
-        self.counts[Self::bucket(ns)] += 1;
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one nanosecond sample.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[bucket(ns)] += 1;
         self.total += 1;
         self.sum_ns += ns as u128;
         self.max_ns = self.max_ns.max(ns);
@@ -65,6 +101,11 @@ impl LatencyHistogram {
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.total
+    }
+
+    /// Exact nanosecond sum over all samples.
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
     }
 
     /// Arithmetic mean (exact, not bucketed).
@@ -90,7 +131,7 @@ impl LatencyHistogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Duration::from_nanos(Self::bucket_value(i).min(self.max_ns));
+                return Duration::from_nanos(bucket_value(i).min(self.max_ns));
             }
         }
         self.max()
@@ -141,18 +182,18 @@ mod tests {
     #[test]
     fn bucket_value_inverts_bucket_within_resolution() {
         for ns in [0u64, 1, 15, 16, 17, 100, 999, 1000, 123_456, 1 << 30, 1 << 39] {
-            let b = LatencyHistogram::bucket(ns);
-            let v = LatencyHistogram::bucket_value(b);
+            let b = bucket(ns);
+            let v = bucket_value(b);
             let err = (v as f64 - ns as f64).abs() / (ns.max(1) as f64);
             assert!(err <= 0.07, "ns={ns} bucket={b} value={v} err={err}");
             // Buckets are monotone.
             if ns > 0 {
-                assert!(LatencyHistogram::bucket(ns - 1) <= b);
+                assert!(bucket(ns - 1) <= b);
             }
         }
         // Beyond the covered range (~18 min), samples saturate into the
         // top bucket rather than indexing out of bounds.
-        assert_eq!(LatencyHistogram::bucket(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket(u64::MAX), N_BUCKETS - 1);
     }
 
     #[test]
@@ -199,5 +240,20 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.percentile(99.0), Duration::ZERO);
         assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn sparse_roundtrip_preserves_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=500u64 {
+            h.record(Duration::from_nanos(i * 977));
+        }
+        let back = LatencyHistogram::from_sparse(&h.nonzero_buckets(), h.sum_ns(), h.max_ns);
+        assert_eq!(back.count(), h.count());
+        for p in [25.0, 50.0, 95.0, 99.9] {
+            assert_eq!(back.percentile(p), h.percentile(p));
+        }
+        assert_eq!(back.max(), h.max());
+        assert_eq!(back.mean(), h.mean());
     }
 }

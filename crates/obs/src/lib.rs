@@ -1,0 +1,32 @@
+//! # staq-obs
+//!
+//! Zero-dependency metrics & tracing for the STAQ workspace. The paper's
+//! cost analysis (§IV-E) says SPQ labeling dominates end-to-end runtime;
+//! this crate makes "where do the seconds go" answerable in-process and
+//! over the wire, without taking a lock on any hot path.
+//!
+//! Three pieces:
+//!
+//! * [`registry`] — `static`-declared [`Counter`]s, [`Gauge`]s and
+//!   concurrent [`AtomicHistogram`]s that self-register on first touch.
+//!   Recording is relaxed atomics only; [`snapshot()`] assembles the
+//!   registry's state on demand without blocking writers.
+//! * [`hist`] — the log-bucketed mergeable [`LatencyHistogram`]
+//!   (previously in `staq-bench`, re-exported there for compatibility)
+//!   plus the bucket math shared with the atomic variant.
+//! * [`snapshot`] — [`MetricsSnapshot`], the serde-typed interchange view
+//!   with a hand-rolled JSON codec (`to_json`/`from_json`) for
+//!   `BENCH_*.json` trajectories and the serve `Stats` frame.
+//!
+//! Instrumentation cost: a counter bump is one relaxed `fetch_add` plus a
+//! relaxed flag load; a histogram record is three. Building with the
+//! `obs-off` feature compiles every recording call to a no-op so the
+//! overhead itself is benchmarkable.
+
+pub mod hist;
+pub mod registry;
+pub mod snapshot;
+
+pub use hist::{fmt_dur, LatencyHistogram};
+pub use registry::{snapshot, AtomicHistogram, Counter, Gauge, ScopedTimer};
+pub use snapshot::{CounterSample, GaugeSample, HistogramSample, JsonError, MetricsSnapshot};

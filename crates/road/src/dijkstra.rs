@@ -90,18 +90,68 @@ pub fn walk_times_from(g: &RoadGraph, src: NodeId) -> Vec<f64> {
     dist
 }
 
+/// Reusable state for [`bounded_walk_times_into`]: the distance table, the
+/// heap, and the list of entries the last run dirtied. Isochrone queries
+/// touch a handful of nodes but the distance table spans the whole graph —
+/// resetting only the dirtied entries keeps repeated queries allocation-free
+/// *and* proportional to the isochrone, not the graph.
+#[derive(Default)]
+pub struct WalkScratch {
+    dist: Vec<f64>,
+    touched: Vec<u32>,
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl WalkScratch {
+    /// Empty scratch; sizes itself to the graph on first use.
+    pub fn new() -> Self {
+        WalkScratch::default()
+    }
+
+    /// Distance table ready for `g`: sized on first use (or a graph swap),
+    /// sparse-reset from the previous run's touched list otherwise.
+    fn reset(&mut self, g: &RoadGraph) {
+        if self.dist.len() != g.n_nodes() {
+            self.dist.clear();
+            self.dist.resize(g.n_nodes(), f64::INFINITY);
+        } else {
+            for &n in &self.touched {
+                self.dist[n as usize] = f64::INFINITY;
+            }
+        }
+        self.touched.clear();
+        self.heap.clear();
+    }
+}
+
 /// Nodes reachable from `src` within `budget_secs`, as `(node, time)` pairs
 /// in settle order (non-decreasing time). The frontier never expands a node
 /// whose settled time exceeds the budget, so the cost is proportional to the
 /// isochrone's size, not the graph's.
 pub fn bounded_walk_times(g: &RoadGraph, src: NodeId, budget_secs: f64) -> Vec<(NodeId, f64)> {
-    let mut dist = vec![f64::INFINITY; g.n_nodes()];
-    let mut heap = BinaryHeap::new();
     let mut out = Vec::new();
+    bounded_walk_times_into(g, src, budget_secs, &mut WalkScratch::new(), &mut out);
+    out
+}
+
+/// [`bounded_walk_times`] against caller-owned scratch and output buffers —
+/// the hot-path variant: RAPTOR runs two isochrones per query (origin
+/// access, destination egress) and labeling runs millions of queries.
+pub fn bounded_walk_times_into(
+    g: &RoadGraph,
+    src: NodeId,
+    budget_secs: f64,
+    scratch: &mut WalkScratch,
+    out: &mut Vec<(NodeId, f64)>,
+) {
+    out.clear();
     if budget_secs < 0.0 {
-        return out;
+        return;
     }
+    scratch.reset(g);
+    let WalkScratch { dist, touched, heap } = scratch;
     dist[src.idx()] = 0.0;
+    touched.push(src.0);
     heap.push(HeapItem { cost: 0.0, node: src.0 });
     while let Some(HeapItem { cost, node }) = heap.pop() {
         if cost > dist[node as usize] {
@@ -111,12 +161,14 @@ pub fn bounded_walk_times(g: &RoadGraph, src: NodeId, budget_secs: f64) -> Vec<(
         for (t, w) in g.out_edges(NodeId(node)) {
             let nc = cost + w as f64;
             if nc <= budget_secs && nc < dist[t.idx()] {
+                if dist[t.idx()].is_infinite() {
+                    touched.push(t.0);
+                }
                 dist[t.idx()] = nc;
                 heap.push(HeapItem { cost: nc, node: t.0 });
             }
         }
     }
-    out
 }
 
 /// One-to-many: shortest times from `src` to each of `targets`, early-exiting

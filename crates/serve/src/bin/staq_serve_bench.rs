@@ -1,8 +1,9 @@
-//! Open-loop load generator for a running staq-serve daemon.
+//! Open-loop load generator for a staq-serve daemon.
 //!
 //! ```text
-//! staq-serve-bench [--addr 127.0.0.1:7878] [--conns N] [--duration secs]
-//!                  [--rate req/s] [--edit-every ms]
+//! staq-serve-bench [--addr 127.0.0.1:7878 | --loopback] [--conns N]
+//!                  [--duration secs] [--rate req/s] [--edit-every ms]
+//!                  [--workers N] [--seed N] [--emit-json path]
 //! ```
 //!
 //! Phase 1 (cold): with an empty server cache, one connection touches
@@ -15,11 +16,23 @@
 //! dedicated connection issuing `add_poi` every N ms, so the cache keeps
 //! being invalidated under read load.
 //!
+//! `--loopback` skips the external daemon: the bench hosts its own
+//! server (test-size city, `--seed`-fixed, `--workers` threads) on a
+//! free loopback port — self-contained enough for CI. `--emit-json`
+//! writes the machine-readable report (`BENCH_serve.json`): client-side
+//! throughput plus the server's own [`MetricsSnapshot`] — per-kind
+//! latency quantiles as the workers measured them, engine cache
+//! hit/miss/invalidation counts, pipeline stage timings.
+//!
 //! The report prints requests/sec and p50/p95/p99 per request kind,
 //! plus the server's pipeline-run counter before and after.
+//!
+//! [`MetricsSnapshot`]: staq_obs::MetricsSnapshot
 
 use staq_bench::{fmt_dur, LatencyHistogram};
 use staq_serve::client::Client;
+use staq_serve::presets::CityPreset;
+use staq_serve::{ServerConfig, StatsReply};
 use staq_synth::PoiCategory;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -31,6 +44,10 @@ struct Args {
     duration: Duration,
     rate: f64,
     edit_every: Option<Duration>,
+    loopback: bool,
+    workers: usize,
+    seed: u64,
+    emit_json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +57,10 @@ fn parse_args() -> Args {
         duration: Duration::from_secs(10),
         rate: 0.0,
         edit_every: None,
+        loopback: false,
+        workers: 4,
+        seed: 42,
+        emit_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -52,12 +73,19 @@ fn parse_args() -> Args {
                 let ms: u64 = parse(&mut it, "--edit-every");
                 args.edit_every = (ms > 0).then(|| Duration::from_millis(ms));
             }
+            "--loopback" => args.loopback = true,
+            "--workers" => args.workers = parse(&mut it, "--workers"),
+            "--seed" => args.seed = parse(&mut it, "--seed"),
+            "--emit-json" => args.emit_json = Some(need(&mut it, "--emit-json")),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
     }
     if args.conns == 0 {
         usage("--conns must be at least 1");
+    }
+    if args.workers == 0 {
+        usage("--workers must be at least 1");
     }
     args
 }
@@ -75,8 +103,9 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: staq-serve-bench [--addr host:port] [--conns N] [--duration secs] \
-         [--rate req/s] [--edit-every ms]"
+        "usage: staq-serve-bench [--addr host:port | --loopback] [--conns N] \
+         [--duration secs] [--rate req/s] [--edit-every ms] [--workers N] \
+         [--seed N] [--emit-json path]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
@@ -90,7 +119,22 @@ struct WorkerReport {
 }
 
 fn main() {
-    let args = parse_args();
+    let mut args = parse_args();
+    // Self-hosted mode: a test-size city on a free loopback port, so CI
+    // can run the bench without a separately managed daemon.
+    let mut loopback_server = args.loopback.then(|| {
+        let engine = CityPreset::Test.engine(0.05, args.seed);
+        let handle = staq_serve::serve(
+            engine,
+            &ServerConfig { addr: "127.0.0.1:0".into(), workers: args.workers, queue_depth: 256 },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot start loopback server: {e}");
+            std::process::exit(1);
+        });
+        args.addr = handle.addr().to_string();
+        handle
+    });
     let mut control = Client::connect(&args.addr).unwrap_or_else(|e| {
         eprintln!("error: cannot connect to {}: {e}", args.addr);
         std::process::exit(1);
@@ -182,6 +226,64 @@ fn main() {
         ),
         fmt_dur(cold.percentile(99.0)),
     );
+
+    if let Some(path) = &args.emit_json {
+        let json = bench_json(&args, elapsed, total, errors, &stats1);
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+
+    drop(control);
+    if let Some(mut server) = loopback_server.take() {
+        server.shutdown();
+    }
+}
+
+/// The machine-readable report (`BENCH_serve.json`): client-observed
+/// throughput plus the server's own view — per-kind execution latency
+/// quantiles from the worker-side histograms, engine cache counters, and
+/// the full metrics snapshot for anything else (stage timings, RAPTOR
+/// counters). Hand-rolled JSON, like the snapshot's own codec.
+fn bench_json(args: &Args, elapsed: f64, total: u64, errors: u64, stats: &StatsReply) -> String {
+    let m = &stats.metrics;
+    let mut kinds = String::new();
+    for (i, kind) in ["measures", "query", "add_poi", "add_bus_route", "stats"].iter().enumerate() {
+        if i > 0 {
+            kinds.push(',');
+        }
+        match m.histogram(&format!("serve.request.{kind}")) {
+            Some(h) => kinds.push_str(&format!(
+                "{{\"kind\":\"{kind}\",\"count\":{},\"p50_ns\":{},\"p95_ns\":{},\
+                 \"p99_ns\":{},\"max_ns\":{}}}",
+                h.count, h.p50_ns, h.p95_ns, h.p99_ns, h.max_ns
+            )),
+            None => kinds.push_str(&format!("{{\"kind\":\"{kind}\",\"count\":0}}")),
+        }
+    }
+    let cache = |name: &str| m.counter(&format!("engine.cache.{name}")).unwrap_or(0);
+    format!(
+        "{{\"bench\":\"staq-serve-bench\",\"seed\":{},\"workers\":{},\"conns\":{},\
+         \"duration_secs\":{:.3},\"total_requests\":{},\"requests_per_sec\":{:.1},\
+         \"errors\":{},\"pipeline_runs\":{},\"engine_cache\":{{\"hits\":{},\"misses\":{},\
+         \"joins\":{},\"invalidations\":{}}},\"server_kinds\":[{}],\"metrics\":{}}}",
+        args.seed,
+        stats.workers,
+        args.conns,
+        elapsed,
+        total,
+        total as f64 / elapsed,
+        errors,
+        stats.pipeline_runs,
+        cache("hits"),
+        cache("misses"),
+        cache("joins"),
+        cache("invalidations"),
+        kinds,
+        m.to_json(),
+    )
 }
 
 fn run_conn(addr: &str, index: usize, pace: Option<Duration>, stop: &AtomicBool) -> WorkerReport {

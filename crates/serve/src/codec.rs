@@ -22,10 +22,12 @@ use bytes::{Buf, BufMut, BytesMut};
 use staq_access::measures::ZoneMeasures;
 use staq_access::{AccessClass, AccessQuery, DemographicWeight, QueryAnswer};
 use staq_geom::Point;
+use staq_obs::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
 use staq_synth::{PoiCategory, ZoneId};
 
-/// Protocol version carried in every frame header.
-pub const WIRE_VERSION: u8 = 1;
+/// Protocol version carried in every frame header. v2 extended the
+/// `Stats` response with a full [`MetricsSnapshot`].
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on `len`; larger frames indicate a desynced or hostile
 /// peer and are rejected before any allocation.
@@ -71,6 +73,9 @@ pub struct StatsReply {
     pub cached: Vec<PoiCategory>,
     /// Worker threads in the pool.
     pub workers: u16,
+    /// Server-side metrics registry at reply time: per-kind request
+    /// latency histograms, engine cache counters, pipeline stage timers.
+    pub metrics: MetricsSnapshot,
 }
 
 /// A response frame.
@@ -345,6 +350,79 @@ fn decode_answer(buf: &mut &[u8]) -> Result<QueryAnswer, CodecError> {
     })
 }
 
+/// Wire form of a [`MetricsSnapshot`]: three `u16`-counted sample lists.
+/// Binary rather than the snapshot's JSON text — a busy server's registry
+/// serializes to tens of KiB of JSON, and the stats frame should stay a
+/// cheap request to poll.
+fn encode_snapshot(buf: &mut BytesMut, m: &MetricsSnapshot) {
+    buf.put_u16(m.counters.len().min(u16::MAX as usize) as u16);
+    for c in m.counters.iter().take(u16::MAX as usize) {
+        put_string(buf, &c.name);
+        buf.put_u64(c.value);
+    }
+    buf.put_u16(m.gauges.len().min(u16::MAX as usize) as u16);
+    for g in m.gauges.iter().take(u16::MAX as usize) {
+        put_string(buf, &g.name);
+        buf.put_u64(g.value);
+    }
+    buf.put_u16(m.histograms.len().min(u16::MAX as usize) as u16);
+    for h in m.histograms.iter().take(u16::MAX as usize) {
+        put_string(buf, &h.name);
+        buf.put_u64(h.count);
+        buf.put_u64(h.sum_ns);
+        buf.put_u64(h.max_ns);
+        buf.put_u64(h.p50_ns);
+        buf.put_u64(h.p95_ns);
+        buf.put_u64(h.p99_ns);
+        buf.put_u16(h.buckets.len().min(u16::MAX as usize) as u16);
+        for &(idx, n) in h.buckets.iter().take(u16::MAX as usize) {
+            buf.put_u32(idx);
+            buf.put_u64(n);
+        }
+    }
+}
+
+fn decode_snapshot(buf: &mut &[u8]) -> Result<MetricsSnapshot, CodecError> {
+    let mut m = MetricsSnapshot::default();
+    let n = take_u16(buf)? as usize;
+    m.counters.reserve(n);
+    for _ in 0..n {
+        m.counters.push(CounterSample { name: take_string(buf)?, value: take_u64(buf)? });
+    }
+    let n = take_u16(buf)? as usize;
+    m.gauges.reserve(n);
+    for _ in 0..n {
+        m.gauges.push(GaugeSample { name: take_string(buf)?, value: take_u64(buf)? });
+    }
+    let n = take_u16(buf)? as usize;
+    m.histograms.reserve(n);
+    for _ in 0..n {
+        let name = take_string(buf)?;
+        let count = take_u64(buf)?;
+        let sum_ns = take_u64(buf)?;
+        let max_ns = take_u64(buf)?;
+        let p50_ns = take_u64(buf)?;
+        let p95_ns = take_u64(buf)?;
+        let p99_ns = take_u64(buf)?;
+        let n_buckets = take_u16(buf)? as usize;
+        let mut buckets = Vec::with_capacity(n_buckets);
+        for _ in 0..n_buckets {
+            buckets.push((take_u32(buf)?, take_u64(buf)?));
+        }
+        m.histograms.push(HistogramSample {
+            name,
+            count,
+            sum_ns,
+            max_ns,
+            p50_ns,
+            p95_ns,
+            p99_ns,
+            buckets,
+        });
+    }
+    Ok(m)
+}
+
 /// Appends one encoded request frame (header included) to `buf`.
 pub fn encode_request(req: &Request, buf: &mut BytesMut) {
     let body_start = begin_frame(buf);
@@ -412,6 +490,7 @@ pub fn encode_response(resp: &Response, buf: &mut BytesMut) {
             for c in &s.cached {
                 buf.put_u8(category_code(*c));
             }
+            encode_snapshot(buf, &s.metrics);
         }
         Response::Error { code, message } => {
             buf.put_u8(K_R_ERROR);
@@ -525,7 +604,8 @@ pub fn decode_response(buf: &mut BytesMut) -> Result<Option<Response>, CodecErro
             for _ in 0..n {
                 cached.push(category_from(take_u8(&mut p)?)?);
             }
-            Response::Stats(StatsReply { pipeline_runs, requests_served, cached, workers })
+            let metrics = decode_snapshot(&mut p)?;
+            Response::Stats(StatsReply { pipeline_runs, requests_served, cached, workers, metrics })
         }
         K_R_ERROR => {
             let code = ErrorCode::from_u8(take_u8(&mut p)?)
@@ -560,6 +640,29 @@ mod tests {
         let got = decode_response(&mut buf).unwrap().expect("complete frame");
         assert!(buf.is_empty());
         got
+    }
+
+    /// A snapshot touching every sample kind, including a histogram with
+    /// sparse buckets, so the stats roundtrip exercises the whole wire
+    /// shape.
+    fn sample_metrics() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                CounterSample { name: "engine.cache.hits".into(), value: 42 },
+                CounterSample { name: "serve.requests".into(), value: u64::MAX },
+            ],
+            gauges: vec![GaugeSample { name: "serve.workers".into(), value: 8 }],
+            histograms: vec![HistogramSample {
+                name: "serve.request.query".into(),
+                count: 1000,
+                sum_ns: 14_000_000,
+                max_ns: 90_000,
+                p50_ns: 13_000,
+                p95_ns: 40_000,
+                p99_ns: 88_000,
+                buckets: vec![(120, 900), (121, 80), (200, 20)],
+            }],
+        }
     }
 
     #[test]
@@ -616,6 +719,7 @@ mod tests {
                 requests_served: 1000,
                 cached: vec![PoiCategory::School, PoiCategory::JobCenter],
                 workers: 8,
+                metrics: sample_metrics(),
             }),
             Response::Error {
                 code: ErrorCode::Invalid,
@@ -625,6 +729,41 @@ mod tests {
         for r in &resps {
             assert_eq!(&roundtrip_response(r), r);
         }
+    }
+
+    #[test]
+    fn stats_with_empty_metrics_roundtrips() {
+        let resp = Response::Stats(StatsReply {
+            pipeline_runs: 0,
+            requests_served: 0,
+            cached: Vec::new(),
+            workers: 1,
+            metrics: MetricsSnapshot::default(),
+        });
+        assert_eq!(roundtrip_response(&resp), resp);
+    }
+
+    /// Chopping bytes out of the embedded snapshot must surface as a
+    /// payload error, never a panic or a silently-shorter snapshot.
+    #[test]
+    fn truncated_stats_metrics_is_rejected() {
+        let resp = Response::Stats(StatsReply {
+            pipeline_runs: 1,
+            requests_served: 2,
+            cached: Vec::new(),
+            workers: 4,
+            metrics: sample_metrics(),
+        });
+        let mut full = BytesMut::new();
+        encode_response(&resp, &mut full);
+        // Drop the last 8 bytes of the frame body and fix the prefix.
+        let mut raw = full.to_vec();
+        raw.truncate(raw.len() - 8);
+        let len = (raw.len() - 4) as u32;
+        raw[..4].copy_from_slice(&len.to_be_bytes());
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&raw);
+        assert!(matches!(decode_response(&mut buf), Err(CodecError::BadPayload(_))));
     }
 
     #[test]

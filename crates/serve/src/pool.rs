@@ -10,9 +10,34 @@
 use crate::codec::{ErrorCode, Request, Response, StatsReply};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use staq_core::AccessEngine;
+use staq_obs::{AtomicHistogram, Counter};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Requests executed, all kinds (the registry's view of
+/// `PoolStats::requests_served`, which stays per-pool).
+static REQUESTS: Counter = Counter::new("serve.requests");
+/// Server-side execution latency per request kind — queue wait excluded,
+/// engine time included, so the histograms price the work itself.
+static H_MEASURES: AtomicHistogram = AtomicHistogram::new("serve.request.measures");
+static H_QUERY: AtomicHistogram = AtomicHistogram::new("serve.request.query");
+static H_ADD_POI: AtomicHistogram = AtomicHistogram::new("serve.request.add_poi");
+static H_ADD_BUS_ROUTE: AtomicHistogram = AtomicHistogram::new("serve.request.add_bus_route");
+static H_STATS: AtomicHistogram = AtomicHistogram::new("serve.request.stats");
+
+/// The latency histogram for one request kind; names follow
+/// [`Request::kind_label`] under the `serve.request.` prefix.
+fn kind_histogram(request: &Request) -> &'static AtomicHistogram {
+    match request {
+        Request::Measures { .. } => &H_MEASURES,
+        Request::Query { .. } => &H_QUERY,
+        Request::AddPoi { .. } => &H_ADD_POI,
+        Request::AddBusRoute { .. } => &H_ADD_BUS_ROUTE,
+        Request::Stats => &H_STATS,
+    }
+}
 
 /// One queued request plus the channel its answer goes back on.
 pub struct Job {
@@ -107,10 +132,24 @@ fn worker_loop(
     }
 }
 
-/// Executes one request against the engine. Validation happens here (not
-/// in the engine, which asserts) so a bad request becomes an error frame
-/// instead of a dead worker.
+/// Executes one request against the engine, timing it into the kind's
+/// latency histogram. Validation happens here (not in the engine, which
+/// asserts) so a bad request becomes an error frame instead of a dead
+/// worker.
 pub fn execute(
+    engine: &AccessEngine,
+    stats: &PoolStats,
+    pool_size: usize,
+    request: &Request,
+) -> Response {
+    let t0 = Instant::now();
+    let response = execute_inner(engine, stats, pool_size, request);
+    REQUESTS.inc();
+    kind_histogram(request).record(t0.elapsed());
+    response
+}
+
+fn execute_inner(
     engine: &AccessEngine,
     stats: &PoolStats,
     pool_size: usize,
@@ -150,6 +189,9 @@ pub fn execute(
             requests_served: stats.requests_served(),
             cached: engine.cached_categories(),
             workers: pool_size as u16,
+            // The snapshot is taken before this stats request's own
+            // latency lands, so `serve.request.stats` lags itself by one.
+            metrics: staq_obs::snapshot(),
         }),
     }
 }
@@ -194,6 +236,13 @@ mod tests {
                 assert_eq!(s.requests_served, 1); // stats itself not yet counted
                 assert_eq!(s.cached, vec![PoiCategory::School]);
                 assert_eq!(s.workers, 2);
+                // The embedded snapshot saw the measures request land
+                // (obs statics are process-global, so only lower bounds
+                // hold when tests share the binary).
+                assert!(s.metrics.counter("serve.requests").unwrap_or(0) >= 1);
+                let h = s.metrics.histogram("serve.request.measures").expect("measures hist");
+                assert!(h.count >= 1, "measures latency must be recorded");
+                assert!(h.p50_ns > 0, "recorded latencies are nonzero");
             }
             other => panic!("{other:?}"),
         }

@@ -13,11 +13,29 @@
 
 use crate::build::{trip_origin, trip_poi_pos};
 use crate::matrix::Todam;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use staq_gtfs::time::TimeInterval;
+use staq_obs::{AtomicHistogram, Counter};
 use staq_synth::{City, ZoneId};
 use staq_transit::{AccessCost, Raptor, TransitNetwork};
+
+/// Zones labeled (attempted — zones without trips count; they cost a map
+/// lookup, not a routing pass).
+static ZONES_LABELED: Counter = Counter::new("label.zones");
+/// Trips routed and costed across all labeling passes.
+static TRIPS_LABELED: Counter = Counter::new("label.trips");
+/// Wall time each parallel labeling worker spent on its share of zones —
+/// the spread is the load-balance diagnostic for §IV-E's dominant cost.
+static WORKER_WALL: AtomicHistogram = AtomicHistogram::new("label.worker_wall");
+
+/// Zones handed to a worker per claimed output chunk. Small enough that
+/// stride assignment stays balanced when per-zone trip counts vary, large
+/// enough that a chunk's writes stay on one cache line.
+const LABEL_CHUNK: usize = 4;
+
+/// One worker's claimed chunks: paired input zones and the exclusive
+/// output slice their labels land in.
+type LabelShare<'s> = Vec<(&'s [ZoneId], &'s mut [Option<ZoneStats>])>;
 
 /// Per-zone labeling result: the SSR target vector's components.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -81,6 +99,13 @@ impl<'a> LabelEngine<'a> {
     /// `None` when the zone has no trips in `m`.
     pub fn label_zone(&self, m: &Todam, zone: ZoneId) -> Option<ZoneStats> {
         let router = Raptor::new(&self.net);
+        self.label_zone_with(&router, m, zone)
+    }
+
+    /// [`label_zone`](Self::label_zone) against a caller-owned router, so
+    /// workers amortize one `Raptor` (and its query scratch) across their
+    /// whole share of zones instead of rebuilding it per zone.
+    fn label_zone_with(&self, router: &Raptor, m: &Todam, zone: ZoneId) -> Option<ZoneStats> {
         let trips = m.zone_trips(zone);
         let mut costs = Vec::with_capacity(trips.len());
         for trip in trips {
@@ -89,6 +114,8 @@ impl<'a> LabelEngine<'a> {
             let j = router.query(&o, &d, trip.start, self.interval.day);
             costs.push((self.cost.cost(&j), j.is_walk_only()));
         }
+        ZONES_LABELED.inc();
+        TRIPS_LABELED.add(trips.len() as u64);
         ZoneStats::from_costs(&costs)
     }
 
@@ -102,22 +129,34 @@ impl<'a> LabelEngine<'a> {
         if workers == 1 {
             return zones.iter().map(|&z| self.label_zone(m, z)).collect();
         }
-        let out = Mutex::new(vec![None; zones.len()]);
-        let next = std::sync::atomic::AtomicUsize::new(0);
+        // Every result lands through a `&mut` slice only its worker holds:
+        // output chunks are claimed up front in stride order (worker `w`
+        // takes chunks `w, w+workers, ...`), so the hot loop writes with no
+        // lock and no atomic. The old implementation funneled every zone's
+        // result through one `Mutex<Vec>`, serializing workers on the lock
+        // (and its cache line) once per zone.
+        let mut out = vec![None; zones.len()];
+        let mut shares: Vec<LabelShare<'_>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, (zc, oc)) in zones.chunks(LABEL_CHUNK).zip(out.chunks_mut(LABEL_CHUNK)).enumerate()
+        {
+            shares[i % workers].push((zc, oc));
+        }
         crossbeam::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= zones.len() {
-                        break;
+            for share in shares {
+                scope.spawn(move |_| {
+                    let wall = std::time::Instant::now();
+                    let router = Raptor::new(&self.net);
+                    for (zc, oc) in share {
+                        for (&z, slot) in zc.iter().zip(oc.iter_mut()) {
+                            *slot = self.label_zone_with(&router, m, z);
+                        }
                     }
-                    let stats = self.label_zone(m, zones[i]);
-                    out.lock()[i] = stats;
+                    WORKER_WALL.record(wall.elapsed());
                 });
             }
         })
         .expect("labeling worker panicked");
-        out.into_inner()
+        out
     }
 
     /// Labels every zone of the matrix — the naïve full computation the
@@ -176,9 +215,24 @@ mod tests {
         let zones: Vec<ZoneId> = (0..city.n_zones() as u32).map(ZoneId).collect();
         engine.n_workers = 1;
         let seq = engine.label_zones(&m, &zones);
-        engine.n_workers = 4;
-        let par = engine.label_zones(&m, &zones);
-        assert_eq!(seq, par);
+        for workers in [2, 4, 8] {
+            engine.n_workers = workers;
+            let par = engine.label_zones(&m, &zones);
+            assert_eq!(seq, par, "diverged at {workers} workers");
+        }
+    }
+
+    /// Worker counts above the zone count (1-zone chunks everywhere, some
+    /// workers idle) still produce the exact sequential labeling.
+    #[test]
+    fn oversubscribed_workers_match_sequential() {
+        let (city, m) = setup();
+        let mut engine = LabelEngine::new(&city, AccessCost::jt(), TimeInterval::am_peak());
+        let zones: Vec<ZoneId> = (0..5).map(ZoneId).collect();
+        engine.n_workers = 1;
+        let seq = engine.label_zones(&m, &zones);
+        engine.n_workers = 64;
+        assert_eq!(seq, engine.label_zones(&m, &zones));
     }
 
     #[test]

@@ -12,8 +12,13 @@ use rand::{RngExt, SeedableRng};
 use staq_gtfs::time::{Stime, TimeInterval};
 
 /// Draws the global start-time set `R`: `per_hour` uniform samples per hour
-/// of `v`, sorted ascending.
+/// of `v`, sorted ascending. A degenerate interval (`start == end`) spans
+/// zero hours, so it yields the empty set — sampling `start.0..end.0`
+/// unconditionally used to panic on the empty range.
 pub fn draw_start_times(v: &TimeInterval, per_hour: u32, seed: u64) -> Vec<Stime> {
+    if v.start.0 >= v.end.0 {
+        return Vec::new();
+    }
     let n = ((v.duration_hours() * per_hour as f64).round() as usize).max(1);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_7135);
     let mut times: Vec<Stime> =
@@ -76,6 +81,13 @@ mod tests {
     fn deterministic_in_seed() {
         assert_eq!(draw_start_times(&am(), 7, 9), draw_start_times(&am(), 7, 9));
         assert_ne!(draw_start_times(&am(), 7, 9), draw_start_times(&am(), 7, 10));
+    }
+
+    #[test]
+    fn degenerate_interval_draws_nothing() {
+        let t = Stime::hms(8, 0, 0);
+        let point = TimeInterval { start: t, end: t, ..am() };
+        assert!(draw_start_times(&point, 5, 1).is_empty());
     }
 
     #[test]

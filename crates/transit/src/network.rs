@@ -209,23 +209,38 @@ impl<'a> TransitNetwork<'a> {
     /// `(stop, walk seconds)`. Walks the road graph (bounded Dijkstra), not
     /// crow-flies, so severed streets are respected.
     pub fn access_stops(&self, point: &Point) -> Vec<(StopId, u32)> {
+        let mut out = Vec::new();
+        self.access_stops_into(point, &mut dijkstra::WalkScratch::new(), &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// [`access_stops`](Self::access_stops) against caller-owned scratch and
+    /// buffers — the query hot path runs two of these per SPQ, and the
+    /// Dijkstra distance table alone spans the whole road graph.
+    pub fn access_stops_into(
+        &self,
+        point: &Point,
+        walk: &mut dijkstra::WalkScratch,
+        nodes: &mut Vec<(NodeId, f64)>,
+        out: &mut Vec<(StopId, u32)>,
+    ) {
+        out.clear();
         let Some((root, gap_m)) = self.snapper.snap(point) else {
-            return Vec::new();
+            return;
         };
         let entry = gap_m / self.cfg.omega_mps;
         let remaining = self.cfg.access_budget_secs - entry;
         if remaining < 0.0 {
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::new();
-        for (node, t) in dijkstra::bounded_walk_times(self.road, root, remaining) {
+        dijkstra::bounded_walk_times_into(self.road, root, remaining, walk, nodes);
+        for &(node, t) in nodes.iter() {
             if let Some(stops) = self.node_stops.get(&node.0) {
                 for &s in stops {
                     out.push((s, (entry + t).round() as u32));
                 }
             }
         }
-        out
     }
 
     /// Direct walking time from `o` to `d` in seconds: the walk-only

@@ -14,9 +14,21 @@ use crate::network::TransitNetwork;
 use staq_geom::Point;
 use staq_gtfs::model::StopId;
 use staq_gtfs::time::{DayOfWeek, Stime};
+use staq_obs::Counter;
+use staq_road::dijkstra::WalkScratch;
+use staq_road::NodeId;
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 const INF: u32 = u32::MAX;
+
+/// Queries answered across all routers in the process.
+static QUERIES: Counter = Counter::new("raptor.queries");
+/// RAPTOR rounds that scanned patterns (rounds skipped because no stop was
+/// marked don't count — they do no routing work).
+static ROUNDS: Counter = Counter::new("raptor.rounds");
+/// Pattern scans across all rounds (the inner-loop unit of work).
+static PATTERNS_SCANNED: Counter = Counter::new("raptor.patterns_scanned");
 
 /// How a stop's arrival time was achieved in a given round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,61 +43,125 @@ enum Label {
     Foot { from: StopId, walk_secs: u32 },
 }
 
+/// Per-router query state, allocated once in [`Raptor::new`] and cleared —
+/// never reallocated — between queries. Labeling runs millions of SPQs per
+/// pipeline pass (§IV-E); the previous implementation rebuilt
+/// `(max_boardings + 1) × n_stops` arrival/label tables plus a fresh
+/// pattern-queue map on every call, so the allocator was on the hottest
+/// path in the workspace.
+struct Scratch {
+    /// `arr[k][s]`: earliest arrival at `s` with ≤ `k` boardings (seconds).
+    arr: Vec<Vec<u32>>,
+    /// `labels[k][s]`: how round `k` achieved `arr[k][s]`.
+    labels: Vec<Vec<Label>>,
+    /// Stops improved in the current round.
+    marked: Vec<StopId>,
+    /// Ride-improved stops, snapshotted before the foot-transfer relaxation.
+    ride_marked: Vec<StopId>,
+    /// Pattern → earliest marked position, rebuilt each round.
+    queue: HashMap<u32, u32>,
+    /// The queue in deterministic (sorted) scan order.
+    queue_sorted: Vec<(u32, u32)>,
+    /// Road-graph Dijkstra state for the access/egress isochrones.
+    walk: WalkScratch,
+    /// Isochrone output: road nodes within the walk budget.
+    walk_nodes: Vec<(NodeId, f64)>,
+    /// Stops (with walk seconds) around the origin, then the destination.
+    access: Vec<(StopId, u32)>,
+}
+
+impl Scratch {
+    fn new(rounds: usize, n_stops: usize) -> Self {
+        Scratch {
+            arr: vec![vec![INF; n_stops]; rounds + 1],
+            labels: vec![vec![Label::None; n_stops]; rounds + 1],
+            marked: Vec::new(),
+            ride_marked: Vec::new(),
+            queue: HashMap::new(),
+            queue_sorted: Vec::new(),
+            walk: WalkScratch::new(),
+            walk_nodes: Vec::new(),
+            access: Vec::new(),
+        }
+    }
+}
+
 /// The RAPTOR router over a prepared [`TransitNetwork`].
+///
+/// Holds reusable query scratch behind a `RefCell`, which makes a router
+/// `!Sync` — share networks across threads, not routers. Every existing
+/// call-site already builds one router per worker.
 pub struct Raptor<'n, 'a> {
     net: &'n TransitNetwork<'a>,
+    scratch: RefCell<Scratch>,
 }
 
 impl<'n, 'a> Raptor<'n, 'a> {
     /// Wraps a prepared network.
     pub fn new(net: &'n TransitNetwork<'a>) -> Self {
-        Raptor { net }
+        let scratch = RefCell::new(Scratch::new(net.cfg.max_boardings, net.feed.n_stops()));
+        Raptor { net, scratch }
     }
 
     /// Earliest-arriving journey from `origin` to `dest` departing at
     /// `depart` on `day`. Always returns a journey: the walk-only fallback
     /// guarantees finiteness even across a severed network.
     pub fn query(&self, origin: &Point, dest: &Point, depart: Stime, day: DayOfWeek) -> Journey {
-        let n_stops = self.net.feed.n_stops();
         let rounds = self.net.cfg.max_boardings;
+        let mut rounds_run = 0u64;
+        let mut patterns_scanned = 0u64;
 
-        // arr[k][s]: earliest arrival at s with <= k boardings (seconds).
-        let mut arr: Vec<Vec<u32>> = Vec::with_capacity(rounds + 1);
-        let mut labels: Vec<Vec<Label>> = Vec::with_capacity(rounds + 1);
-        arr.push(vec![INF; n_stops]);
-        labels.push(vec![Label::None; n_stops]);
+        let mut s = self.scratch.borrow_mut();
+        let Scratch {
+            arr,
+            labels,
+            marked,
+            ride_marked,
+            queue,
+            queue_sorted,
+            walk,
+            walk_nodes,
+            access,
+        } = &mut *s;
+        arr[0].fill(INF);
+        labels[0].fill(Label::None);
+        marked.clear();
 
-        let mut marked: Vec<StopId> = Vec::new();
-        for (s, walk) in self.net.access_stops(origin) {
-            let t = depart.0.saturating_add(walk);
-            if t < arr[0][s.idx()] {
-                arr[0][s.idx()] = t;
-                labels[0][s.idx()] = Label::Access { walk_secs: walk };
-                marked.push(s);
+        self.net.access_stops_into(origin, walk, walk_nodes, access);
+        for &(st, w) in access.iter() {
+            let t = depart.0.saturating_add(w);
+            if t < arr[0][st.idx()] {
+                arr[0][st.idx()] = t;
+                labels[0][st.idx()] = Label::Access { walk_secs: w };
+                marked.push(st);
             }
         }
 
         for k in 1..=rounds {
-            arr.push(arr[k - 1].clone());
-            labels.push(vec![Label::None; n_stops]);
+            let (prev, cur) = arr.split_at_mut(k);
+            cur[0].copy_from_slice(&prev[k - 1]);
+            labels[k].fill(Label::None);
             if marked.is_empty() {
                 continue;
             }
+            rounds_run += 1;
 
             // Queue: each pattern touched by a marked stop, with the
             // earliest marked position along it.
-            let mut queue: HashMap<u32, u32> = HashMap::new();
-            for &s in &marked {
+            queue.clear();
+            for &s in marked.iter() {
                 for &(p, pos) in self.net.patterns_at(s) {
                     queue.entry(p).and_modify(|q| *q = (*q).min(pos)).or_insert(pos);
                 }
             }
             marked.clear();
 
-            let mut queue: Vec<(u32, u32)> = queue.into_iter().collect();
-            queue.sort_unstable(); // deterministic scan order
+            queue_sorted.clear();
+            queue_sorted.extend(queue.iter().map(|(&p, &pos)| (p, pos)));
+            queue_sorted.sort_unstable(); // deterministic scan order
+            patterns_scanned += queue_sorted.len() as u64;
 
-            for (pi, start_pos) in queue {
+            for &(pi, start_pos) in queue_sorted.iter() {
                 let pattern = &self.net.patterns()[pi as usize];
                 let mut active: Option<(usize, usize)> = None; // (trip_idx, board_pos)
                 for i in start_pos as usize..pattern.stops.len() {
@@ -122,8 +198,9 @@ impl<'n, 'a> Raptor<'n, 'a> {
             }
 
             // Foot transfers from stops improved by riding this round.
-            let ride_marked = marked.clone();
-            for &s in &ride_marked {
+            ride_marked.clear();
+            ride_marked.extend_from_slice(marked);
+            for &s in ride_marked.iter() {
                 let base = arr[k][s.idx()];
                 for tr in self.net.transfers_from(s) {
                     let t = base.saturating_add(tr.walk_secs);
@@ -137,22 +214,30 @@ impl<'n, 'a> Raptor<'n, 'a> {
         }
 
         // Egress: walkable stops around the destination (symmetric graph).
+        // The origin's access list is spent by now, so its buffer is reused.
         let mut best: Option<(u32, StopId, u32)> = None; // (total, stop, egress_walk)
-        for (s, walk) in self.net.access_stops(dest) {
+        self.net.access_stops_into(dest, walk, walk_nodes, access);
+        for &(s, w) in access.iter() {
             let at = arr[rounds][s.idx()];
             if at == INF {
                 continue;
             }
-            let total = at.saturating_add(walk);
+            let total = at.saturating_add(w);
             if best.is_none_or(|(bt, _, _)| total < bt) {
-                best = Some((total, s, walk));
+                best = Some((total, s, w));
             }
         }
 
         let direct = depart.0.saturating_add(self.net.direct_walk_secs(origin, dest));
+        // One batched registry update per query: eight labeling workers
+        // bumping shared counters per round/pattern would contend on the
+        // counters' cache lines inside the inner loop.
+        QUERIES.inc();
+        ROUNDS.add(rounds_run);
+        PATTERNS_SCANNED.add(patterns_scanned);
         match best {
             Some((total, stop, egress)) if total < direct => {
-                self.reconstruct(&labels, depart, stop, egress, Stime(total))
+                self.reconstruct(labels, depart, stop, egress, Stime(total))
             }
             _ => Journey::walk_only(depart, direct - depart.0),
         }

@@ -1,0 +1,70 @@
+//! The observability contract over the wire: a warm query burst against a
+//! real loopback server must come back countable through the `Stats`
+//! frame's embedded metrics snapshot — per-kind server-side latency
+//! histograms, engine cache counters, and the pipeline stage timers the
+//! cold run left behind.
+//!
+//! Obs statics are process-global, so everything here asserts lower
+//! bounds from a single test body instead of exact counts.
+
+use staq_repro::prelude::*;
+use staq_serve::presets::CityPreset;
+use staq_serve::{Client, ServerConfig};
+
+#[test]
+fn stats_frame_carries_server_side_latency_histograms() {
+    let engine = CityPreset::Test.engine(0.05, 42);
+    let mut server = staq_serve::serve(
+        engine,
+        &ServerConfig { addr: "127.0.0.1:0".into(), workers: 4, queue_depth: 64 },
+    )
+    .expect("bind loopback server");
+    let mut c = Client::connect(server.addr()).expect("connect");
+
+    // One cold touch (runs the SSR pipeline), then a warm burst.
+    c.measures(PoiCategory::School).expect("cold measures");
+    const BURST: u64 = 50;
+    for _ in 0..BURST {
+        c.query(&AccessQuery::MeanAccess, PoiCategory::School).expect("warm query");
+        c.query(&AccessQuery::WorstZones { k: 5 }, PoiCategory::School).expect("warm query");
+    }
+
+    let stats = c.stats().expect("stats");
+    let m = &stats.metrics;
+
+    // Per-kind server-side latency histograms are non-zero and ordered.
+    let q = m.histogram("serve.request.query").expect("query latency histogram");
+    assert!(q.count >= 2 * BURST, "burst must be visible server-side, got {}", q.count);
+    assert!(q.p50_ns > 0, "recorded latencies are nonzero");
+    assert!(q.p50_ns <= q.p95_ns && q.p95_ns <= q.p99_ns, "quantiles must be ordered");
+    assert!(q.max_ns >= q.p99_ns);
+    assert!(!q.buckets.is_empty(), "sparse buckets ship with the frame");
+    let meas = m.histogram("serve.request.measures").expect("measures latency histogram");
+    assert!(meas.count >= 1);
+
+    // The registry's request counter covers at least what the pool
+    // reported served (both all-kind, registry may lead by in-flight).
+    assert!(m.counter("serve.requests").unwrap_or(0) >= stats.requests_served);
+
+    // Engine cache counters: one miss (the cold touch), many hits.
+    assert!(m.counter("engine.cache.misses").unwrap_or(0) >= 1);
+    assert!(m.counter("engine.cache.hits").unwrap_or(0) >= 2 * BURST);
+
+    // The cold pipeline run left stage timings and router/labeling
+    // counters behind.
+    for stage in ["artifacts", "features", "sampling", "labeling", "train"] {
+        let h = m
+            .histogram(&format!("pipeline.stage.{stage}"))
+            .unwrap_or_else(|| panic!("missing pipeline.stage.{stage}"));
+        assert!(h.count >= 1, "stage {stage} must have run");
+    }
+    assert!(m.counter("raptor.queries").unwrap_or(0) > 0);
+    assert!(m.counter("label.zones").unwrap_or(0) > 0);
+
+    // The snapshot survives its JSON interchange form intact.
+    let reparsed =
+        staq_obs::MetricsSnapshot::from_json(&m.to_json()).expect("snapshot JSON parses back");
+    assert_eq!(&reparsed, m);
+
+    server.shutdown();
+}
