@@ -1,0 +1,299 @@
+//! Labeling-throughput bench: prices the SPQ hot path end to end.
+//!
+//! ```text
+//! label-bench [--seed N] [--workers N] [--iters N] [--quick]
+//!             [--emit-json path] [--baseline path]
+//! ```
+//!
+//! Three measurements, one report (`BENCH_label.json`):
+//!
+//! 1. **Scheduling.** Labels an adversarially *skewed* zone ordering —
+//!    trip-heavy zones packed into the chunk slots static striding hands
+//!    to worker 0 — under both [`LabelSchedule`]s, reporting the median
+//!    labeling wall and each schedule's max/min worker-wall ratio. Static
+//!    striding is the recorded baseline the work-stealing default is
+//!    judged against.
+//! 2. **RAPTOR pruning.** Replays a warm query set through
+//!    [`Raptor::reference`] (pruning off) and [`Raptor::new`], reporting
+//!    `raptor.patterns_scanned` per query for both and the drop.
+//! 3. **Access-isochrone memoization.** Cache hit/miss counters across
+//!    the whole run.
+//!
+//! `--baseline` compares the fresh medians against a committed report and
+//! *warns* on regression — it never fails the run (CI stays green; the
+//! numbers are for humans and trend tooling).
+
+use staq_bench::fmt_dur;
+use staq_gtfs::time::{DayOfWeek, Stime, TimeInterval};
+use staq_obs::snapshot;
+use staq_synth::{City, CityConfig, PoiCategory, ZoneId};
+use staq_todam::{LabelEngine, LabelSchedule, Todam, TodamSpec};
+use staq_transit::{AccessCost, Raptor};
+use std::time::{Duration, Instant};
+
+struct Args {
+    seed: u64,
+    workers: usize,
+    iters: usize,
+    quick: bool,
+    emit_json: Option<String>,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { seed: 42, workers: 8, iters: 5, quick: false, emit_json: None, baseline: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => args.seed = parse(&mut it, "--seed"),
+            "--workers" => args.workers = parse(&mut it, "--workers"),
+            "--iters" => args.iters = parse(&mut it, "--iters"),
+            "--quick" => args.quick = true,
+            "--emit-json" => args.emit_json = Some(need(&mut it, "--emit-json")),
+            "--baseline" => args.baseline = Some(need(&mut it, "--baseline")),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if args.workers == 0 {
+        usage("--workers must be at least 1");
+    }
+    if args.iters == 0 {
+        usage("--iters must be at least 1");
+    }
+    args
+}
+
+fn need(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+}
+
+fn parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    need(it, flag).parse().unwrap_or_else(|_| usage(&format!("{flag} needs a valid value")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: label-bench [--seed N] [--workers N] [--iters N] [--quick] \
+         [--emit-json path] [--baseline path]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 })
+}
+
+/// Zone ordering that is worst-case for static striding: zones sorted by
+/// trip count descending, then laid out so the heaviest chunks all land at
+/// chunk indices `≡ 0 (mod workers)` — i.e. every heavy chunk goes to
+/// worker 0, every second-heaviest to worker 1, and so on. Work stealing
+/// is insensitive to ordering by construction; static striding is not, and
+/// this ordering shows it.
+fn skewed_zone_order(m: &Todam, n_zones: usize, workers: usize) -> Vec<ZoneId> {
+    const CHUNK: usize = 4; // LABEL_CHUNK
+    let mut zones: Vec<ZoneId> = (0..n_zones as u32).map(ZoneId).collect();
+    zones.sort_by_key(|&z| std::cmp::Reverse(m.zone_trips(z).len()));
+    let n_chunks = zones.len().div_ceil(CHUNK);
+    // Chunk indices in the order static striding assigns them: all of
+    // worker 0's chunks first, then worker 1's, ...
+    let mut slots: Vec<usize> = (0..n_chunks).collect();
+    slots.sort_by_key(|&c| (c % workers, c / workers));
+    let mut out = vec![ZoneId(0); zones.len()];
+    let mut next = zones.into_iter();
+    for &chunk in &slots {
+        let start = chunk * CHUNK;
+        let end = (start + CHUNK).min(out.len());
+        for slot in out.iter_mut().take(end).skip(start) {
+            *slot = next.next().expect("chunk layout covers all zones");
+        }
+    }
+    out
+}
+
+fn counter(name: &str) -> u64 {
+    snapshot().counter(name).unwrap_or(0)
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+struct ScheduleReport {
+    median_wall_secs: f64,
+    wall_ratio: f64,
+}
+
+/// Runs `iters` labeling passes under `schedule`; returns the median pass
+/// wall and the median max/min per-worker wall ratio.
+fn run_schedule(engine: &LabelEngine, m: &Todam, zones: &[ZoneId], iters: usize) -> ScheduleReport {
+    let mut walls = Vec::with_capacity(iters);
+    let mut ratios = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        let (_, worker_walls) = engine.label_zones_timed(m, zones);
+        walls.push(t.elapsed().as_secs_f64());
+        let max = worker_walls.iter().max().copied().unwrap_or(Duration::ZERO);
+        let min = worker_walls.iter().min().copied().unwrap_or(Duration::ZERO);
+        ratios.push(max.as_secs_f64() / min.as_secs_f64().max(1e-9));
+    }
+    ScheduleReport { median_wall_secs: median(&mut walls), wall_ratio: median(&mut ratios) }
+}
+
+fn main() {
+    let args = parse_args();
+    let iters = if args.quick { 2.min(args.iters) } else { args.iters };
+    let city = City::generate(&CityConfig::small(args.seed));
+    let m = TodamSpec { per_hour: if args.quick { 3 } else { 6 }, ..Default::default() }
+        .build(&city, PoiCategory::School);
+    let zones = skewed_zone_order(&m, city.n_zones(), args.workers);
+    println!(
+        "city: {} zones, {} trips; {} workers, {} iters (seed {})",
+        city.n_zones(),
+        m.n_trips(),
+        args.workers,
+        iters,
+        args.seed
+    );
+
+    let mut engine = LabelEngine::new(&city, AccessCost::jt(), TimeInterval::am_peak());
+    engine.n_workers = args.workers;
+
+    // Warm-up pass: pays the one-time access-cache misses so the measured
+    // passes reflect the steady labeling state.
+    engine.schedule = LabelSchedule::WorkStealing;
+    engine.label_zones(&m, &zones);
+
+    engine.schedule = LabelSchedule::Static;
+    let st = run_schedule(&engine, &m, &zones, iters);
+    engine.schedule = LabelSchedule::WorkStealing;
+    let claims_before = counter("label.chunks_claimed");
+    let ws = run_schedule(&engine, &m, &zones, iters);
+    let chunks_claimed = counter("label.chunks_claimed") - claims_before;
+
+    println!(
+        "static:        median {} | worker-wall max/min {:.2}",
+        fmt_dur(Duration::from_secs_f64(st.median_wall_secs)),
+        st.wall_ratio
+    );
+    println!(
+        "work-stealing: median {} | worker-wall max/min {:.2} | {} chunk claims",
+        fmt_dur(Duration::from_secs_f64(ws.median_wall_secs)),
+        ws.wall_ratio,
+        chunks_claimed
+    );
+
+    // RAPTOR pruning: warm query replay, reference vs pruned.
+    let net = engine.network();
+    let reference = Raptor::reference(net);
+    let pruned = Raptor::new(net);
+    let ods: Vec<_> = (0..60)
+        .map(|i| {
+            let o = city.zones[(i * 7) % city.n_zones()].centroid;
+            let d = city.zones[(i * 13 + 5) % city.n_zones()].centroid;
+            (o, d)
+        })
+        .collect();
+    let depart = Stime::hms(7, 30, 0);
+    for (o, d) in &ods {
+        reference.query(o, d, depart, DayOfWeek::Tuesday);
+        pruned.query(o, d, depart, DayOfWeek::Tuesday);
+    }
+    let base = counter("raptor.patterns_scanned");
+    for (o, d) in &ods {
+        reference.query(o, d, depart, DayOfWeek::Tuesday);
+    }
+    let ref_scans = (counter("raptor.patterns_scanned") - base) as f64 / ods.len() as f64;
+    let base = counter("raptor.patterns_scanned");
+    for (o, d) in &ods {
+        pruned.query(o, d, depart, DayOfWeek::Tuesday);
+    }
+    let pruned_scans = (counter("raptor.patterns_scanned") - base) as f64 / ods.len() as f64;
+    let drop_pct = 100.0 * (1.0 - pruned_scans / ref_scans.max(1e-9));
+    println!(
+        "raptor patterns/query: reference {ref_scans:.1}, pruned {pruned_scans:.1} \
+         ({drop_pct:.0}% drop)"
+    );
+
+    let hits = counter("transit.access_cache.hit");
+    let misses = counter("transit.access_cache.miss");
+    let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
+    println!("access cache: {hits} hits / {misses} misses ({:.1}% hit rate)", 100.0 * hit_rate);
+
+    if let Some(path) = &args.baseline {
+        compare_baseline(path, st.median_wall_secs, ws.median_wall_secs);
+    }
+
+    if let Some(path) = &args.emit_json {
+        let json = format!(
+            "{{\"bench\":\"label-bench\",\"seed\":{},\"workers\":{},\"iters\":{},\
+             \"zones\":{},\"trips\":{},\
+             \"static\":{{\"median_wall_secs\":{:.6},\"wall_ratio\":{:.3}}},\
+             \"work_stealing\":{{\"median_wall_secs\":{:.6},\"wall_ratio\":{:.3},\
+             \"chunks_claimed\":{}}},\
+             \"raptor\":{{\"reference_patterns_per_query\":{:.2},\
+             \"pruned_patterns_per_query\":{:.2},\"drop_pct\":{:.1}}},\
+             \"access_cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4}}},\
+             \"metrics\":{}}}",
+            args.seed,
+            args.workers,
+            iters,
+            city.n_zones(),
+            m.n_trips(),
+            st.median_wall_secs,
+            st.wall_ratio,
+            ws.median_wall_secs,
+            ws.wall_ratio,
+            chunks_claimed,
+            ref_scans,
+            pruned_scans,
+            drop_pct,
+            hits,
+            misses,
+            hit_rate,
+            snapshot().to_json(),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+}
+
+/// Warn-only regression gate: compares fresh medians against the committed
+/// baseline report. Timing on shared CI boxes is noisy, so this prints and
+/// never exits non-zero — the committed JSON is the trend record.
+fn compare_baseline(path: &str, static_median: f64, ws_median: f64) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        println!("baseline: cannot read {path}, skipping comparison");
+        return;
+    };
+    for (section, fresh) in [("static", static_median), ("work_stealing", ws_median)] {
+        match json_f64(&text, section, "median_wall_secs") {
+            Some(old) if fresh > old * 1.25 => println!(
+                "WARNING: {section} labeling median regressed: {} -> {} (baseline {path})",
+                fmt_dur(Duration::from_secs_f64(old)),
+                fmt_dur(Duration::from_secs_f64(fresh)),
+            ),
+            Some(old) => println!(
+                "baseline {section}: {} -> {} (within 25% tolerance)",
+                fmt_dur(Duration::from_secs_f64(old)),
+                fmt_dur(Duration::from_secs_f64(fresh)),
+            ),
+            None => println!("baseline: no {section}.median_wall_secs in {path}"),
+        }
+    }
+}
+
+/// Extracts `"key":<number>` from inside the `"section":{...}` object of a
+/// flat hand-rolled report. Good enough for our own JSON; not a parser.
+fn json_f64(text: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = text.find(&format!("\"{section}\":"))?;
+    let tail = &text[sec..];
+    let k = tail.find(&format!("\"{key}\":"))?;
+    let val = &tail[k + key.len() + 3..];
+    let end = val.find([',', '}'])?;
+    val[..end].trim().parse().ok()
+}

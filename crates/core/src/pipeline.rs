@@ -72,8 +72,21 @@ pub struct PipelineResult {
 impl PipelineResult {
     /// Predicted measures of the unlabeled zones only (evaluation set).
     pub fn predicted_unlabeled(&self) -> Vec<ZoneMeasures> {
-        let set: std::collections::HashSet<ZoneId> = self.unlabeled.iter().copied().collect();
-        self.predicted.iter().filter(|m| set.contains(&m.zone)).copied().collect()
+        // Two-pointer merge: `predicted` is sorted by zone and `unlabeled`
+        // ascends (it filters the ascending eligible list), so no per-call
+        // set needs building.
+        let mut out = Vec::with_capacity(self.unlabeled.len());
+        let mut i = 0;
+        for &z in &self.unlabeled {
+            while i < self.predicted.len() && self.predicted[i].zone < z {
+                i += 1;
+            }
+            if i < self.predicted.len() && self.predicted[i].zone == z {
+                out.push(self.predicted[i]);
+                i += 1;
+            }
+        }
+        out
     }
 }
 
@@ -230,19 +243,20 @@ impl<'a> SsrPipeline<'a> {
 /// covering radius of a labeled zone.
 fn farthest_point_sample(city: &City, eligible: &[ZoneId], k: usize, seed: u64) -> Vec<ZoneId> {
     assert!(!eligible.is_empty());
-    let first = eligible[(seed as usize) % eligible.len()];
-    let mut chosen = vec![first];
+    // Centroids once up front — the update loop runs k·n times and
+    // `zone_centroid` is not free.
+    let cents: Vec<_> = eligible.iter().map(|&z| city.zone_centroid(z)).collect();
+    let first_idx = (seed as usize) % eligible.len();
+    let mut chosen = vec![eligible[first_idx]];
     // Distance from each eligible zone to the nearest chosen zone.
-    let mut dist: Vec<f64> =
-        eligible.iter().map(|&z| city.zone_centroid(z).dist(&city.zone_centroid(first))).collect();
+    let mut dist: Vec<f64> = cents.iter().map(|c| c.dist(&cents[first_idx])).collect();
     while chosen.len() < k {
         let (best_idx, _) =
             dist.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).expect("nonempty");
-        let next = eligible[best_idx];
-        chosen.push(next);
-        let np = city.zone_centroid(next);
-        for (d, &z) in dist.iter_mut().zip(eligible) {
-            *d = d.min(city.zone_centroid(z).dist(&np));
+        chosen.push(eligible[best_idx]);
+        let np = cents[best_idx];
+        for (d, c) in dist.iter_mut().zip(&cents) {
+            *d = d.min(c.dist(&np));
         }
     }
     chosen

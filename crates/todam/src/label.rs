@@ -18,24 +18,53 @@ use staq_gtfs::time::TimeInterval;
 use staq_obs::{AtomicHistogram, Counter};
 use staq_synth::{City, ZoneId};
 use staq_transit::{AccessCost, Raptor, TransitNetwork};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Zones labeled (attempted — zones without trips count; they cost a map
 /// lookup, not a routing pass).
 static ZONES_LABELED: Counter = Counter::new("label.zones");
 /// Trips routed and costed across all labeling passes.
 static TRIPS_LABELED: Counter = Counter::new("label.trips");
-/// Wall time each parallel labeling worker spent on its share of zones —
-/// the spread is the load-balance diagnostic for §IV-E's dominant cost.
+/// Per-worker wall from the labeling pass's start to that worker's
+/// completion. The max/min spread is the load-balance diagnostic for
+/// §IV-E's dominant cost: a balanced pass has every worker finishing
+/// together (ratio ≈ 1); under skew, static striding leaves early
+/// finishers idle while the overloaded worker runs on alone.
 static WORKER_WALL: AtomicHistogram = AtomicHistogram::new("label.worker_wall");
+/// Output chunks claimed from the shared cursor by work-stealing workers.
+static CHUNKS_CLAIMED: Counter = Counter::new("label.chunks_claimed");
 
 /// Zones handed to a worker per claimed output chunk. Small enough that
-/// stride assignment stays balanced when per-zone trip counts vary, large
-/// enough that a chunk's writes stay on one cache line.
+/// claims stay balanced when per-zone trip counts vary, large enough that
+/// a chunk's writes stay on one cache line (and the claim cursor stays off
+/// the per-zone path).
 const LABEL_CHUNK: usize = 4;
 
 /// One worker's claimed chunks: paired input zones and the exclusive
 /// output slice their labels land in.
 type LabelShare<'s> = Vec<(&'s [ZoneId], &'s mut [Option<ZoneStats>])>;
+
+/// How `label_zones` distributes zone chunks across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelSchedule {
+    /// Chunks assigned up front in stride order (worker `w` takes chunks
+    /// `w, w + workers, ...`). Zero coordination, but skewed per-zone trip
+    /// counts leave workers unbalanced — kept as the bench baseline.
+    Static,
+    /// Workers claim the next chunk from a shared atomic cursor as they
+    /// finish the last — one relaxed `fetch_add` per `LABEL_CHUNK` zones.
+    /// Balances skew by construction; the default.
+    WorkStealing,
+}
+
+/// Shared base pointer into the output vector for work-stealing workers.
+///
+/// SAFETY: `Sync` is sound because workers write *disjoint* ranges — the
+/// atomic cursor hands out each chunk index exactly once, and a chunk maps
+/// to a fixed, non-overlapping output range.
+struct OutPtr(*mut Option<ZoneStats>);
+unsafe impl Sync for OutPtr {}
 
 /// Per-zone labeling result: the SSR target vector's components.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -80,6 +109,8 @@ pub struct LabelEngine<'a> {
     interval: TimeInterval,
     /// Worker threads for zone-parallel labeling.
     pub n_workers: usize,
+    /// Chunk-distribution strategy for the worker pool.
+    pub schedule: LabelSchedule,
 }
 
 impl<'a> LabelEngine<'a> {
@@ -87,7 +118,7 @@ impl<'a> LabelEngine<'a> {
     pub fn new(city: &'a City, cost: AccessCost, interval: TimeInterval) -> Self {
         let net = TransitNetwork::with_defaults(&city.road, &city.feed);
         let n_workers = std::thread::available_parallelism().map_or(1, |n| n.get());
-        LabelEngine { city, net, cost, interval, n_workers }
+        LabelEngine { city, net, cost, interval, n_workers, schedule: LabelSchedule::WorkStealing }
     }
 
     /// The underlying network (shared with feature extraction).
@@ -122,41 +153,132 @@ impl<'a> LabelEngine<'a> {
     /// Labels a set of zones in parallel. Output order matches `zones`;
     /// entries are `None` for zones without trips.
     pub fn label_zones(&self, m: &Todam, zones: &[ZoneId]) -> Vec<Option<ZoneStats>> {
+        self.label_zones_timed(m, zones).0
+    }
+
+    /// [`label_zones`](Self::label_zones) plus each worker's wall time —
+    /// what the labeling bench uses to measure load balance. The walls are
+    /// also recorded in the `label.worker_wall` histogram.
+    pub fn label_zones_timed(
+        &self,
+        m: &Todam,
+        zones: &[ZoneId],
+    ) -> (Vec<Option<ZoneStats>>, Vec<Duration>) {
         if zones.is_empty() {
-            return Vec::new();
+            return (Vec::new(), Vec::new());
         }
         let workers = self.n_workers.clamp(1, zones.len());
         if workers == 1 {
-            return zones.iter().map(|&z| self.label_zone(m, z)).collect();
+            let t0 = std::time::Instant::now();
+            let router = Raptor::new(&self.net);
+            let out = zones.iter().map(|&z| self.label_zone_with(&router, m, z)).collect();
+            let elapsed = t0.elapsed();
+            WORKER_WALL.record(elapsed);
+            return (out, vec![elapsed]);
         }
-        // Every result lands through a `&mut` slice only its worker holds:
-        // output chunks are claimed up front in stride order (worker `w`
-        // takes chunks `w, w+workers, ...`), so the hot loop writes with no
-        // lock and no atomic. The old implementation funneled every zone's
-        // result through one `Mutex<Vec>`, serializing workers on the lock
-        // (and its cache line) once per zone.
+        // Either way, every result lands through memory only its worker
+        // touches: the hot loop writes with no lock and no per-zone atomic.
+        // The pre-PR-2 implementation funneled every zone's result through
+        // one `Mutex<Vec>`, serializing workers on the lock (and its cache
+        // line) once per zone.
         let mut out = vec![None; zones.len()];
+        let walls = match self.schedule {
+            LabelSchedule::Static => self.run_static(m, zones, &mut out, workers),
+            LabelSchedule::WorkStealing => self.run_stealing(m, zones, &mut out, workers),
+        };
+        for &w in &walls {
+            WORKER_WALL.record(w);
+        }
+        (out, walls)
+    }
+
+    /// Static striding: chunk `i` belongs to worker `i % workers`, decided
+    /// before any work runs. Lock-free via per-worker `&mut` sub-slices.
+    fn run_static(
+        &self,
+        m: &Todam,
+        zones: &[ZoneId],
+        out: &mut [Option<ZoneStats>],
+        workers: usize,
+    ) -> Vec<Duration> {
         let mut shares: Vec<LabelShare<'_>> = (0..workers).map(|_| Vec::new()).collect();
         for (i, (zc, oc)) in zones.chunks(LABEL_CHUNK).zip(out.chunks_mut(LABEL_CHUNK)).enumerate()
         {
             shares[i % workers].push((zc, oc));
         }
+        // Walls are measured from a shared pass start, not each thread's
+        // spawn: finish-time spread is the balance signal, and spawn
+        // jitter on an oversubscribed box would otherwise drown it.
+        let t0 = std::time::Instant::now();
         crossbeam::scope(|scope| {
-            for share in shares {
-                scope.spawn(move |_| {
-                    let wall = std::time::Instant::now();
-                    let router = Raptor::new(&self.net);
-                    for (zc, oc) in share {
-                        for (&z, slot) in zc.iter().zip(oc.iter_mut()) {
-                            *slot = self.label_zone_with(&router, m, z);
+            let handles: Vec<_> = shares
+                .into_iter()
+                .map(|share| {
+                    scope.spawn(move |_| {
+                        let router = Raptor::new(&self.net);
+                        for (zc, oc) in share {
+                            for (&z, slot) in zc.iter().zip(oc.iter_mut()) {
+                                *slot = self.label_zone_with(&router, m, z);
+                            }
                         }
-                    }
-                    WORKER_WALL.record(wall.elapsed());
-                });
-            }
+                        t0.elapsed()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("labeling worker panicked")).collect()
         })
-        .expect("labeling worker panicked");
-        out
+        .expect("labeling worker panicked")
+    }
+
+    /// Work stealing: workers claim the next `LABEL_CHUNK`-zone chunk from
+    /// a shared cursor as they finish the last, so a worker stuck on a
+    /// trip-heavy zone stops accumulating future chunks it hasn't started.
+    fn run_stealing(
+        &self,
+        m: &Todam,
+        zones: &[ZoneId],
+        out: &mut [Option<ZoneStats>],
+        workers: usize,
+    ) -> Vec<Duration> {
+        let n_chunks = zones.len().div_ceil(LABEL_CHUNK);
+        let cursor = AtomicUsize::new(0);
+        let out_ptr = OutPtr(out.as_mut_ptr());
+        let t0 = std::time::Instant::now();
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let out_ptr = &out_ptr;
+                    scope.spawn(move |_| {
+                        let router = Raptor::new(&self.net);
+                        let mut claimed = 0u64;
+                        loop {
+                            let c = cursor.fetch_add(1, Ordering::Relaxed);
+                            if c >= n_chunks {
+                                break;
+                            }
+                            claimed += 1;
+                            let start = c * LABEL_CHUNK;
+                            let end = (start + LABEL_CHUNK).min(zones.len());
+                            for (i, &zone) in zones.iter().enumerate().take(end).skip(start) {
+                                let stats = self.label_zone_with(&router, m, zone);
+                                // SAFETY: the fetch_add handed chunk `c` to
+                                // this worker alone, and `i` stays inside
+                                // the chunk's output range — no two workers
+                                // ever write the same slot, and the scope
+                                // join orders the writes before the main
+                                // thread reads `out`.
+                                unsafe { *out_ptr.0.add(i) = stats };
+                            }
+                        }
+                        CHUNKS_CLAIMED.add(claimed);
+                        t0.elapsed()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("labeling worker panicked")).collect()
+        })
+        .expect("labeling worker panicked")
     }
 
     /// Labels every zone of the matrix — the naïve full computation the
@@ -233,6 +355,38 @@ mod tests {
         let seq = engine.label_zones(&m, &zones);
         engine.n_workers = 64;
         assert_eq!(seq, engine.label_zones(&m, &zones));
+    }
+
+    /// Scheduling is an implementation detail: both strategies produce the
+    /// exact sequential labeling at every worker count.
+    #[test]
+    fn schedules_agree_with_each_other_and_sequential() {
+        let (city, m) = setup();
+        let mut engine = LabelEngine::new(&city, AccessCost::jt(), TimeInterval::am_peak());
+        let zones: Vec<ZoneId> = (0..city.n_zones() as u32).map(ZoneId).collect();
+        engine.n_workers = 1;
+        let seq = engine.label_zones(&m, &zones);
+        for workers in [3, 8] {
+            engine.n_workers = workers;
+            engine.schedule = LabelSchedule::Static;
+            assert_eq!(seq, engine.label_zones(&m, &zones), "static diverged at {workers}");
+            engine.schedule = LabelSchedule::WorkStealing;
+            assert_eq!(seq, engine.label_zones(&m, &zones), "stealing diverged at {workers}");
+        }
+    }
+
+    #[test]
+    fn timed_labeling_reports_one_wall_per_worker() {
+        let (city, m) = setup();
+        let mut engine = LabelEngine::new(&city, AccessCost::jt(), TimeInterval::am_peak());
+        let zones: Vec<ZoneId> = (0..city.n_zones() as u32).map(ZoneId).collect();
+        engine.n_workers = 4;
+        let (out, walls) = engine.label_zones_timed(&m, &zones);
+        assert_eq!(out.len(), zones.len());
+        assert_eq!(walls.len(), 4.min(zones.len()));
+        engine.n_workers = 1;
+        let (_, walls) = engine.label_zones_timed(&m, &zones);
+        assert_eq!(walls.len(), 1);
     }
 
     #[test]

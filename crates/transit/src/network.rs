@@ -10,8 +10,14 @@ use staq_geom::{KdTree, Point};
 use staq_gtfs::model::{RouteId, StopId, TripId};
 use staq_gtfs::time::{DayOfWeek, Stime};
 use staq_gtfs::FeedIndex;
+use staq_obs::Counter;
 use staq_road::{dijkstra, NodeId, NodeSnapper, RoadGraph};
 use std::collections::HashMap;
+
+/// Access-isochrone memo lookups answered from the cache.
+static ACCESS_CACHE_HIT: Counter = Counter::new("transit.access_cache.hit");
+/// Access-isochrone memo lookups that ran the road-graph Dijkstra.
+static ACCESS_CACHE_MISS: Counter = Counter::new("transit.access_cache.miss");
 
 /// Router parameters. Defaults mirror the paper's walking parameters
 /// (τ = 600 s, ω = 4.5 km/h) and a standard 3-transfer search depth.
@@ -243,6 +249,27 @@ impl<'a> TransitNetwork<'a> {
         }
     }
 
+    /// [`access_stops_into`](Self::access_stops_into) through a memo: the
+    /// cached stop list for `point` when present, the freshly computed (and
+    /// now cached) one otherwise. Returns an arena range; resolve it with
+    /// [`AccessCache::slice`].
+    pub fn access_stops_cached(
+        &self,
+        point: &Point,
+        cache: &mut AccessCache,
+        walk: &mut dijkstra::WalkScratch,
+        nodes: &mut Vec<(NodeId, f64)>,
+        tmp: &mut Vec<(StopId, u32)>,
+    ) -> AccessRange {
+        if let Some(range) = cache.get(point) {
+            ACCESS_CACHE_HIT.inc();
+            return range;
+        }
+        ACCESS_CACHE_MISS.inc();
+        self.access_stops_into(point, walk, nodes, tmp);
+        cache.insert(point, tmp)
+    }
+
     /// Direct walking time from `o` to `d` in seconds: the walk-only
     /// fallback, always finite (crow-flies × detour at ω). City-scale direct
     /// walks are rarely competitive; when they are (nearby POIs) the
@@ -272,6 +299,98 @@ impl<'a> TransitNetwork<'a> {
                     / self.patterns.len() as f64
             },
         }
+    }
+}
+
+/// An entry handle into an [`AccessCache`] arena: `(start, len)`.
+pub type AccessRange = (u32, u32);
+
+/// Memo of access/egress stop isochrones, keyed by quantized query point.
+///
+/// Labeling routes every trip of a zone from the *same* origin centroid to
+/// one of a handful of POI destinations, so the bounded road-graph Dijkstra
+/// behind [`TransitNetwork::access_stops_into`] recomputes identical
+/// isochrones thousands of times per pass. The memo collapses those to one
+/// computation each: keys are points snapped to a millimeter grid (an
+/// identity in practice — distinct zone centroids, POIs, and request points
+/// sit meters apart), and results live in a single arena so hits are
+/// allocation-free.
+///
+/// The cache is per-router (routers are per-worker), so no synchronization
+/// is needed. Eviction is wholesale: [`begin_query`](Self::begin_query)
+/// clears everything when the *next* query's two inserts could exceed the
+/// entry budget, which also guarantees ranges handed out within one query
+/// are never invalidated mid-query.
+pub struct AccessCache {
+    map: HashMap<(i64, i64), AccessRange>,
+    arena: Vec<(StopId, u32)>,
+    max_entries: usize,
+}
+
+impl Default for AccessCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AccessCache {
+    /// Default entry budget: generous for a labeling pass (zones + POIs),
+    /// small next to the router's own scratch.
+    const DEFAULT_MAX_ENTRIES: usize = 4096;
+
+    /// An empty cache with the default entry budget.
+    pub fn new() -> Self {
+        Self::with_max_entries(Self::DEFAULT_MAX_ENTRIES)
+    }
+
+    /// An empty cache holding at most `max_entries` memoized isochrones.
+    pub fn with_max_entries(max_entries: usize) -> Self {
+        AccessCache { map: HashMap::new(), arena: Vec::new(), max_entries: max_entries.max(2) }
+    }
+
+    /// Millimeter-grid key: exact for any two points that aren't within
+    /// 1 mm of a shared grid line, i.e. all real origins/destinations.
+    fn key(point: &Point) -> (i64, i64) {
+        ((point.x * 1000.0).round() as i64, (point.y * 1000.0).round() as i64)
+    }
+
+    /// Call once per query, before its lookups: wholesale-evicts when the
+    /// query's (up to two) inserts could overflow the budget, so ranges
+    /// returned within a single query always stay valid.
+    pub fn begin_query(&mut self) {
+        if self.map.len() + 2 > self.max_entries {
+            self.map.clear();
+            self.arena.clear();
+        }
+    }
+
+    /// Cached range for `point`, if present.
+    fn get(&self, point: &Point) -> Option<AccessRange> {
+        self.map.get(&Self::key(point)).copied()
+    }
+
+    /// Memoizes `stops` as the isochrone of `point`.
+    fn insert(&mut self, point: &Point, stops: &[(StopId, u32)]) -> AccessRange {
+        let start = self.arena.len() as u32;
+        self.arena.extend_from_slice(stops);
+        let range = (start, stops.len() as u32);
+        self.map.insert(Self::key(point), range);
+        range
+    }
+
+    /// Resolves a range returned by [`TransitNetwork::access_stops_cached`].
+    pub fn slice(&self, (start, len): AccessRange) -> &[(StopId, u32)] {
+        &self.arena[start as usize..(start + len) as usize]
+    }
+
+    /// Number of memoized isochrones.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 }
 
@@ -429,6 +548,41 @@ mod tests {
         assert_eq!(s.n_trips, city.feed.feed().trips.len());
         assert!(s.mean_pattern_length >= 2.0);
         assert!(s.to_string().contains("patterns"));
+    }
+
+    #[test]
+    fn access_cache_returns_identical_stop_lists() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let mut cache = AccessCache::new();
+        let mut walk = dijkstra::WalkScratch::new();
+        let (mut nodes, mut tmp) = (Vec::new(), Vec::new());
+        for p in [city.cores[0], city.zones[3].centroid, city.zones[7].centroid] {
+            cache.begin_query();
+            let miss = net.access_stops_cached(&p, &mut cache, &mut walk, &mut nodes, &mut tmp);
+            let first: Vec<_> = cache.slice(miss).to_vec();
+            let hit = net.access_stops_cached(&p, &mut cache, &mut walk, &mut nodes, &mut tmp);
+            assert_eq!(cache.slice(hit), &first[..]);
+            assert_eq!(first, net.access_stops(&p), "cached list diverged from direct compute");
+        }
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn access_cache_evicts_wholesale_at_budget() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let mut cache = AccessCache::with_max_entries(4);
+        let mut walk = dijkstra::WalkScratch::new();
+        let (mut nodes, mut tmp) = (Vec::new(), Vec::new());
+        for z in 0..6 {
+            cache.begin_query();
+            let p = city.zones[z].centroid;
+            let r = net.access_stops_cached(&p, &mut cache, &mut walk, &mut nodes, &mut tmp);
+            assert_eq!(cache.slice(r), &net.access_stops(&p)[..]);
+            assert!(cache.len() <= 4);
+        }
+        assert!(!cache.is_empty());
     }
 
     #[test]

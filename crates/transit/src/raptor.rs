@@ -8,9 +8,43 @@
 //! This is the workhorse behind every shortest-path query (SPQ) in the
 //! paper: TODAM labeling (§IV-D) calls [`Raptor::query`] once per sampled
 //! trip.
+//!
+//! ## Pruning
+//!
+//! The router prunes **exactly** — the returned journey is leg-for-leg
+//! identical to the unpruned scan (see `tests/prune_equivalence.rs`):
+//!
+//! * **Target pruning.** The egress stop set is computed *before* the
+//!   rounds loop and a best-known-arrival bound, seeded by the direct-walk
+//!   fallback, tightens whenever an improved stop completes a journey. An
+//!   improvement that arrives *after* the bound can never sit on the
+//!   returned journey's label chain (every chain arrival is at most the
+//!   optimal total, which the bound never undercuts), so it is skipped.
+//!   The comparison is strict (`>`): arrivals that tie the bound are kept,
+//!   which is what makes the journeys — not just the arrival times —
+//!   identical.
+//! * **Local pruning.** A single per-stop best-arrival array (`tau_star`)
+//!   replaces the former `(max_boardings + 1) × n_stops` arrival matrix and
+//!   its per-round copy-forward; boarding reads `tau_prev`, last round's
+//!   snapshot, preserving the bounded-boardings semantics.
+//! * **Early exit.** When every marked stop is already past the bound, no
+//!   later round can produce a journey that beats or ties it, so the
+//!   remaining rounds are cut (`raptor.rounds_cut`).
+//! * **Dense queue.** The per-round pattern queue is a generation-stamped
+//!   `Vec` indexed by pattern id instead of a rebuilt `HashMap`, and a stop
+//!   bitmask deduplicates `marked` so a stop improved twice in one round is
+//!   processed once.
+//!
+//! Access/egress isochrones go through the per-router
+//! [`AccessCache`](crate::network::AccessCache): labeling re-routes the
+//! same zone centroids and POI destinations thousands of times per pass,
+//! so the bounded road-graph Dijkstra memoizes by (quantized) point.
+//!
+//! [`Raptor::reference`] builds the same router with every pruning rule
+//! disabled — the equivalence oracle for tests and benches.
 
 use crate::journey::{Journey, Leg};
-use crate::network::TransitNetwork;
+use crate::network::{AccessCache, TransitNetwork};
 use staq_geom::Point;
 use staq_gtfs::model::StopId;
 use staq_gtfs::time::{DayOfWeek, Stime};
@@ -18,7 +52,6 @@ use staq_obs::Counter;
 use staq_road::dijkstra::WalkScratch;
 use staq_road::NodeId;
 use std::cell::RefCell;
-use std::collections::HashMap;
 
 const INF: u32 = u32::MAX;
 
@@ -29,6 +62,13 @@ static QUERIES: Counter = Counter::new("raptor.queries");
 static ROUNDS: Counter = Counter::new("raptor.rounds");
 /// Pattern scans across all rounds (the inner-loop unit of work).
 static PATTERNS_SCANNED: Counter = Counter::new("raptor.patterns_scanned");
+/// Pattern-enqueue attempts suppressed by target pruning: a marked stop
+/// whose best arrival already trails the destination bound contributes its
+/// pattern list here instead of to the queue.
+static PATTERNS_PRUNED: Counter = Counter::new("raptor.patterns_pruned");
+/// Rounds cut by the bound-based early exit (remaining rounds that would
+/// have scanned, summed per query).
+static ROUNDS_CUT: Counter = Counter::new("raptor.rounds_cut");
 
 /// How a stop's arrival time was achieved in a given round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,43 +85,69 @@ enum Label {
 
 /// Per-router query state, allocated once in [`Raptor::new`] and cleared —
 /// never reallocated — between queries. Labeling runs millions of SPQs per
-/// pipeline pass (§IV-E); the previous implementation rebuilt
-/// `(max_boardings + 1) × n_stops` arrival/label tables plus a fresh
-/// pattern-queue map on every call, so the allocator was on the hottest
-/// path in the workspace.
+/// pipeline pass (§IV-E), so the allocator must stay off this path.
 struct Scratch {
-    /// `arr[k][s]`: earliest arrival at `s` with ≤ `k` boardings (seconds).
-    arr: Vec<Vec<u32>>,
-    /// `labels[k][s]`: how round `k` achieved `arr[k][s]`.
+    /// `tau_star[s]`: best-known arrival at `s` across all rounds so far —
+    /// the local-pruning array. Replaces the old per-round arrival matrix
+    /// (and its O(n_stops) copy-forward per round).
+    tau_star: Vec<u32>,
+    /// `tau_star` as of the end of the previous round; boarding reads this
+    /// so round `k` only extends journeys with ≤ `k - 1` boardings.
+    tau_prev: Vec<u32>,
+    /// `labels[k][s]`: how round `k` achieved its arrival at `s`.
     labels: Vec<Vec<Label>>,
-    /// Stops improved in the current round.
+    /// Stops improved in the current round (deduplicated).
     marked: Vec<StopId>,
     /// Ride-improved stops, snapshotted before the foot-transfer relaxation.
     ride_marked: Vec<StopId>,
-    /// Pattern → earliest marked position, rebuilt each round.
-    queue: HashMap<u32, u32>,
-    /// The queue in deterministic (sorted) scan order.
-    queue_sorted: Vec<(u32, u32)>,
+    /// Membership bitmask for `marked`: a stop improved twice in one round
+    /// is processed once.
+    stop_marked: Vec<bool>,
+    /// Per-pattern earliest marked position, valid when the generation
+    /// stamp matches the current round.
+    queue_pos: Vec<u32>,
+    /// Generation stamps for `queue_pos`.
+    queue_gen: Vec<u32>,
+    /// Current queue generation (bumped per round).
+    queue_round: u32,
+    /// Pattern ids touched this round, sorted for a deterministic scan.
+    queue_patterns: Vec<u32>,
+    /// Egress walk seconds per stop, valid when `egress_gen` matches.
+    egress_walk: Vec<u32>,
+    /// Generation stamps for `egress_walk`.
+    egress_gen: Vec<u32>,
+    /// Current egress generation (bumped per query).
+    egress_round: u32,
     /// Road-graph Dijkstra state for the access/egress isochrones.
     walk: WalkScratch,
     /// Isochrone output: road nodes within the walk budget.
     walk_nodes: Vec<(NodeId, f64)>,
-    /// Stops (with walk seconds) around the origin, then the destination.
-    access: Vec<(StopId, u32)>,
+    /// Staging buffer for isochrones on a cache miss.
+    access_tmp: Vec<(StopId, u32)>,
+    /// Memoized access/egress isochrones (quantized-point keyed).
+    cache: AccessCache,
 }
 
 impl Scratch {
-    fn new(rounds: usize, n_stops: usize) -> Self {
+    fn new(rounds: usize, n_stops: usize, n_patterns: usize) -> Self {
         Scratch {
-            arr: vec![vec![INF; n_stops]; rounds + 1],
+            tau_star: vec![INF; n_stops],
+            tau_prev: vec![INF; n_stops],
             labels: vec![vec![Label::None; n_stops]; rounds + 1],
             marked: Vec::new(),
             ride_marked: Vec::new(),
-            queue: HashMap::new(),
-            queue_sorted: Vec::new(),
+            stop_marked: vec![false; n_stops],
+            queue_pos: vec![0; n_patterns],
+            queue_gen: vec![0; n_patterns],
+            queue_round: 0,
+            queue_patterns: Vec::new(),
+            egress_walk: vec![0; n_stops],
+            egress_gen: vec![0; n_stops],
+            egress_round: 0,
             walk: WalkScratch::new(),
             walk_nodes: Vec::new(),
-            access: Vec::new(),
+            access_tmp: Vec::new(),
+            cache: AccessCache::new(),
         }
     }
 }
@@ -94,13 +160,29 @@ impl Scratch {
 pub struct Raptor<'n, 'a> {
     net: &'n TransitNetwork<'a>,
     scratch: RefCell<Scratch>,
+    /// Target pruning + early exit on; off only for the reference oracle.
+    pruning: bool,
 }
 
 impl<'n, 'a> Raptor<'n, 'a> {
-    /// Wraps a prepared network.
+    /// Wraps a prepared network. Pruning is on: this is the production
+    /// router.
     pub fn new(net: &'n TransitNetwork<'a>) -> Self {
-        let scratch = RefCell::new(Scratch::new(net.cfg.max_boardings, net.feed.n_stops()));
-        Raptor { net, scratch }
+        Self::with_pruning(net, true)
+    }
+
+    /// The unpruned reference router: every round scans every touched
+    /// pattern, exactly like the pre-pruning implementation. Exists so
+    /// tests and benches can assert the pruned router returns leg-for-leg
+    /// identical journeys.
+    pub fn reference(net: &'n TransitNetwork<'a>) -> Self {
+        Self::with_pruning(net, false)
+    }
+
+    fn with_pruning(net: &'n TransitNetwork<'a>, pruning: bool) -> Self {
+        let scratch =
+            RefCell::new(Scratch::new(net.cfg.max_boardings, net.feed.n_stops(), net.n_patterns()));
+        Raptor { net, scratch, pruning }
     }
 
     /// Earliest-arriving journey from `origin` to `dest` departing at
@@ -108,80 +190,200 @@ impl<'n, 'a> Raptor<'n, 'a> {
     /// guarantees finiteness even across a severed network.
     pub fn query(&self, origin: &Point, dest: &Point, depart: Stime, day: DayOfWeek) -> Journey {
         let rounds = self.net.cfg.max_boardings;
+        let prune = self.pruning;
         let mut rounds_run = 0u64;
         let mut patterns_scanned = 0u64;
+        let mut patterns_pruned = 0u64;
+        let mut rounds_cut = 0u64;
 
         let mut s = self.scratch.borrow_mut();
         let Scratch {
-            arr,
+            tau_star,
+            tau_prev,
             labels,
             marked,
             ride_marked,
-            queue,
-            queue_sorted,
+            stop_marked,
+            queue_pos,
+            queue_gen,
+            queue_round,
+            queue_patterns,
+            egress_walk,
+            egress_gen,
+            egress_round,
             walk,
             walk_nodes,
-            access,
+            access_tmp,
+            cache,
         } = &mut *s;
-        arr[0].fill(INF);
-        labels[0].fill(Label::None);
-        marked.clear();
 
-        self.net.access_stops_into(origin, walk, walk_nodes, access);
-        for &(st, w) in access.iter() {
+        // A cut query can leave its last round's marks unconsumed.
+        for &st in marked.iter() {
+            stop_marked[st.idx()] = false;
+        }
+        marked.clear();
+        tau_star.fill(INF);
+        labels[0].fill(Label::None);
+
+        // Both isochrones up front: the egress set drives the pruning
+        // bound through every round. `begin_query` guarantees neither
+        // lookup evicts the other's range.
+        cache.begin_query();
+        let egress = self.net.access_stops_cached(dest, cache, walk, walk_nodes, access_tmp);
+        let origin_acc = self.net.access_stops_cached(origin, cache, walk, walk_nodes, access_tmp);
+
+        *egress_round = egress_round.wrapping_add(1);
+        if *egress_round == 0 {
+            egress_gen.fill(0);
+            *egress_round = 1;
+        }
+        // `min_eg` is a lower bound on what any journey still owes after
+        // its last alighting: every total is some arrival plus an egress
+        // walk of at least this much. Pruning on `arrival + min_eg` is
+        // therefore still exact and strictly tighter than `arrival` alone.
+        // An empty egress set leaves it saturating — no transit journey can
+        // complete, so with pruning on everything collapses to the walk
+        // fallback (which the reference also returns).
+        let mut min_eg = INF;
+        for &(st, w) in cache.slice(egress) {
+            egress_walk[st.idx()] = w;
+            egress_gen[st.idx()] = *egress_round;
+            min_eg = min_eg.min(w);
+        }
+
+        // Upper bound on any total arrival worth recording, seeded by the
+        // walk-only fallback. Invariant: never below the optimal total, so
+        // pruning arrivals whose completion must be strictly later is
+        // exact (ties are kept — that is what makes the *journeys*, not
+        // just the arrival times, identical to the reference).
+        let direct = depart.0.saturating_add(self.net.direct_walk_secs(origin, dest));
+        let mut bound = direct;
+
+        // Whether pruning suppressed any would-be improvement or marked
+        // stop in the round just processed; decides whether an empty
+        // `marked` at the next round means "cut by the bound" (counted in
+        // `raptor.rounds_cut`) or natural exhaustion.
+        let mut suppressed_prev = false;
+
+        for &(st, w) in cache.slice(origin_acc) {
             let t = depart.0.saturating_add(w);
-            if t < arr[0][st.idx()] {
-                arr[0][st.idx()] = t;
-                labels[0][st.idx()] = Label::Access { walk_secs: w };
-                marked.push(st);
+            let idx = st.idx();
+            if t < tau_star[idx] {
+                if prune && t.saturating_add(min_eg) > bound {
+                    suppressed_prev = true;
+                    continue;
+                }
+                tau_star[idx] = t;
+                labels[0][idx] = Label::Access { walk_secs: w };
+                if !stop_marked[idx] {
+                    stop_marked[idx] = true;
+                    marked.push(st);
+                }
+                if egress_gen[idx] == *egress_round {
+                    bound = bound.min(t.saturating_add(egress_walk[idx]));
+                }
             }
         }
 
+        // Last round whose labels row is valid; reconstruction starts here.
+        let mut final_k = 0usize;
+        #[allow(clippy::needless_range_loop)] // k is the round number, not just an index
         for k in 1..=rounds {
-            let (prev, cur) = arr.split_at_mut(k);
-            cur[0].copy_from_slice(&prev[k - 1]);
-            labels[k].fill(Label::None);
             if marked.is_empty() {
-                continue;
+                if suppressed_prev {
+                    rounds_cut += (rounds - k + 1) as u64;
+                }
+                break;
             }
-            rounds_run += 1;
+            suppressed_prev = false;
 
-            // Queue: each pattern touched by a marked stop, with the
-            // earliest marked position along it.
-            queue.clear();
-            for &s in marked.iter() {
-                for &(p, pos) in self.net.patterns_at(s) {
-                    queue.entry(p).and_modify(|q| *q = (*q).min(pos)).or_insert(pos);
+            // Queue: each pattern touched by a surviving marked stop, with
+            // the earliest marked position along it.
+            *queue_round = queue_round.wrapping_add(1);
+            if *queue_round == 0 {
+                queue_gen.fill(0);
+                *queue_round = 1;
+            }
+            queue_patterns.clear();
+            let mut dropped_any = false;
+            for &st in marked.iter() {
+                let idx = st.idx();
+                stop_marked[idx] = false;
+                if prune && tau_star[idx].saturating_add(min_eg) > bound {
+                    // Boarding here departs no earlier than an arrival
+                    // that — after paying the cheapest possible egress —
+                    // already trails the bound: nothing downstream can beat
+                    // or tie the best journey.
+                    patterns_pruned += self.net.patterns_at(st).len() as u64;
+                    dropped_any = true;
+                    suppressed_prev = true;
+                    continue;
+                }
+                for &(p, pos) in self.net.patterns_at(st) {
+                    let pi = p as usize;
+                    if prune && pos as usize + 1 >= self.net.patterns()[pi].stops.len() {
+                        // Boarding at a pattern's last stop can't alight
+                        // anywhere: the scan would be a provable no-op.
+                        patterns_pruned += 1;
+                        continue;
+                    }
+                    if queue_gen[pi] == *queue_round {
+                        queue_pos[pi] = queue_pos[pi].min(pos);
+                    } else {
+                        queue_gen[pi] = *queue_round;
+                        queue_pos[pi] = pos;
+                        queue_patterns.push(p);
+                    }
                 }
             }
             marked.clear();
+            if queue_patterns.is_empty() {
+                if dropped_any {
+                    rounds_cut += (rounds - k + 1) as u64;
+                }
+                break;
+            }
 
-            queue_sorted.clear();
-            queue_sorted.extend(queue.iter().map(|(&p, &pos)| (p, pos)));
-            queue_sorted.sort_unstable(); // deterministic scan order
-            patterns_scanned += queue_sorted.len() as u64;
+            rounds_run += 1;
+            final_k = k;
+            tau_prev.copy_from_slice(tau_star);
+            labels[k].fill(Label::None);
+            queue_patterns.sort_unstable(); // deterministic scan order
+            patterns_scanned += queue_patterns.len() as u64;
 
-            for &(pi, start_pos) in queue_sorted.iter() {
+            for &pi in queue_patterns.iter() {
+                let start_pos = queue_pos[pi as usize];
                 let pattern = &self.net.patterns()[pi as usize];
                 let mut active: Option<(usize, usize)> = None; // (trip_idx, board_pos)
                 for i in start_pos as usize..pattern.stops.len() {
                     let stop = pattern.stops[i];
+                    let idx = stop.idx();
                     if let Some((t, b)) = active {
                         let at = pattern.arrival(t, i).0;
-                        if at < arr[k][stop.idx()] {
-                            arr[k][stop.idx()] = at;
-                            labels[k][stop.idx()] = Label::Ride {
-                                pattern: pi,
-                                trip_idx: t as u32,
-                                board_pos: b as u32,
-                                alight_pos: i as u32,
-                            };
-                            marked.push(stop);
+                        if at < tau_star[idx] {
+                            if prune && at.saturating_add(min_eg) > bound {
+                                suppressed_prev = true;
+                            } else {
+                                tau_star[idx] = at;
+                                labels[k][idx] = Label::Ride {
+                                    pattern: pi,
+                                    trip_idx: t as u32,
+                                    board_pos: b as u32,
+                                    alight_pos: i as u32,
+                                };
+                                if !stop_marked[idx] {
+                                    stop_marked[idx] = true;
+                                    marked.push(stop);
+                                }
+                                if egress_gen[idx] == *egress_round {
+                                    bound = bound.min(at.saturating_add(egress_walk[idx]));
+                                }
+                            }
                         }
                     }
                     // Board (or re-board an earlier trip) using the previous
                     // round's arrival at this stop.
-                    let ready = arr[k - 1][stop.idx()];
+                    let ready = tau_prev[idx];
                     if ready < INF {
                         let catchable = pattern.earliest_trip(i, Stime(ready), day, self.net.feed);
                         if let Some(t2) = catchable {
@@ -198,46 +400,63 @@ impl<'n, 'a> Raptor<'n, 'a> {
             }
 
             // Foot transfers from stops improved by riding this round.
+            // Sorted so relaxation order — which chained foot transfers
+            // within one round are sensitive to — depends only on *which*
+            // stops improved, never on the order pattern scans marked
+            // them. The pruned and reference routers mark the same
+            // chain-relevant stops in different sequences; without the
+            // sort their foot phases could interleave differently.
             ride_marked.clear();
             ride_marked.extend_from_slice(marked);
-            for &s in ride_marked.iter() {
-                let base = arr[k][s.idx()];
-                for tr in self.net.transfers_from(s) {
+            ride_marked.sort_unstable();
+            for &st in ride_marked.iter() {
+                let base = tau_star[st.idx()];
+                for tr in self.net.transfers_from(st) {
                     let t = base.saturating_add(tr.walk_secs);
-                    if t < arr[k][tr.to.idx()] {
-                        arr[k][tr.to.idx()] = t;
-                        labels[k][tr.to.idx()] = Label::Foot { from: s, walk_secs: tr.walk_secs };
-                        marked.push(tr.to);
+                    let idx = tr.to.idx();
+                    if t < tau_star[idx] {
+                        if prune && t.saturating_add(min_eg) > bound {
+                            suppressed_prev = true;
+                            continue;
+                        }
+                        tau_star[idx] = t;
+                        labels[k][idx] = Label::Foot { from: st, walk_secs: tr.walk_secs };
+                        if !stop_marked[idx] {
+                            stop_marked[idx] = true;
+                            marked.push(tr.to);
+                        }
+                        if egress_gen[idx] == *egress_round {
+                            bound = bound.min(t.saturating_add(egress_walk[idx]));
+                        }
                     }
                 }
             }
         }
 
-        // Egress: walkable stops around the destination (symmetric graph).
-        // The origin's access list is spent by now, so its buffer is reused.
+        // Egress: best total over the walkable stops around the destination.
         let mut best: Option<(u32, StopId, u32)> = None; // (total, stop, egress_walk)
-        self.net.access_stops_into(dest, walk, walk_nodes, access);
-        for &(s, w) in access.iter() {
-            let at = arr[rounds][s.idx()];
+        for &(st, w) in cache.slice(egress) {
+            let at = tau_star[st.idx()];
             if at == INF {
                 continue;
             }
             let total = at.saturating_add(w);
             if best.is_none_or(|(bt, _, _)| total < bt) {
-                best = Some((total, s, w));
+                best = Some((total, st, w));
             }
         }
 
-        let direct = depart.0.saturating_add(self.net.direct_walk_secs(origin, dest));
         // One batched registry update per query: eight labeling workers
         // bumping shared counters per round/pattern would contend on the
         // counters' cache lines inside the inner loop.
         QUERIES.inc();
         ROUNDS.add(rounds_run);
         PATTERNS_SCANNED.add(patterns_scanned);
+        PATTERNS_PRUNED.add(patterns_pruned);
+        ROUNDS_CUT.add(rounds_cut);
         match best {
-            Some((total, stop, egress)) if total < direct => {
-                self.reconstruct(labels, depart, stop, egress, Stime(total))
+            Some((total, stop, egress_w)) if total < direct => {
+                self.reconstruct(&labels[..=final_k], depart, stop, egress_w, Stime(total))
             }
             _ => Journey::walk_only(depart, direct - depart.0),
         }
@@ -307,12 +526,12 @@ impl<'n, 'a> Raptor<'n, 'a> {
         rev.reverse();
 
         // Forward pass: derive waits from the chain's own clock. They
-        // cannot come from `arr`: chained foot transfers may overwrite a
-        // parent label after a successor's value was derived from the
-        // parent's older (slower) value, so the label chain can reach a
-        // boarding stop strictly earlier than `arr` recorded — the slack
-        // is real waiting time, and the chain end (never later than the
-        // `arr`-based bound) is the journey's true arrival.
+        // cannot come from the arrival table: chained foot transfers may
+        // overwrite a parent label after a successor's value was derived
+        // from the parent's older (slower) value, so the label chain can
+        // reach a boarding stop strictly earlier than the table recorded —
+        // the slack is real waiting time, and the chain end (never later
+        // than the table-derived bound) is the journey's true arrival.
         let mut legs: Vec<Leg> = Vec::with_capacity(rev.len() + 1);
         let mut t = depart;
         for leg in rev {
@@ -464,5 +683,18 @@ mod tests {
             assert!(g.is_finite() && g >= 0.0);
             assert!(g >= t * 0.99, "GAC {g} below JT {t}");
         }
+    }
+
+    /// The reference router is the same machine with pruning off; smoke
+    /// check it still routes (full equivalence lives in
+    /// `tests/prune_equivalence.rs`).
+    #[test]
+    fn reference_router_routes() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let router = Raptor::reference(&net);
+        let (o, d) = queries(&city, 5)[4];
+        let j = router.query(&o, &d, Stime::hms(7, 30, 0), DayOfWeek::Tuesday);
+        j.check_consistency().unwrap();
     }
 }

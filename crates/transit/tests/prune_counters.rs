@@ -1,0 +1,79 @@
+//! Counter-level acceptance checks for the pruned SPQ path.
+//!
+//! Lives in its own integration-test binary (therefore its own process):
+//! the staq-obs registry is global, and unit tests in other binaries bump
+//! `raptor.*` counters concurrently. Everything here is a single `#[test]`
+//! for the same reason — in-process tests run in parallel threads.
+
+use staq_geom::Point;
+use staq_gtfs::time::{DayOfWeek, Stime};
+use staq_synth::{City, CityConfig};
+use staq_transit::{Raptor, TransitNetwork};
+
+fn od_pairs(city: &City, n: usize) -> Vec<(Point, Point)> {
+    (0..n)
+        .map(|i| {
+            let o = city.zones[(i * 7) % city.zones.len()].centroid;
+            let d = city.zones[(i * 13 + 5) % city.zones.len()].centroid;
+            (o, d)
+        })
+        .collect()
+}
+
+fn counter(name: &str) -> u64 {
+    staq_obs::snapshot().counter(name).unwrap_or(0)
+}
+
+#[test]
+fn pruning_cuts_pattern_scans_and_cache_serves_warm_queries() {
+    let city = City::generate(&CityConfig::small(42));
+    let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+    let ods = od_pairs(&city, 40);
+    let depart = Stime::hms(7, 30, 0);
+
+    let reference = Raptor::reference(&net);
+    let pruned = Raptor::new(&net);
+    // Warm both routers so the measured passes hit only cached isochrones.
+    for (o, d) in &ods {
+        reference.query(o, d, depart, DayOfWeek::Tuesday);
+        pruned.query(o, d, depart, DayOfWeek::Tuesday);
+    }
+
+    let scans_before = counter("raptor.patterns_scanned");
+    for (o, d) in &ods {
+        reference.query(o, d, depart, DayOfWeek::Tuesday);
+    }
+    let ref_scans = counter("raptor.patterns_scanned") - scans_before;
+
+    let scans_before = counter("raptor.patterns_scanned");
+    let hits_before = counter("transit.access_cache.hit");
+    let misses_before = counter("transit.access_cache.miss");
+    for (o, d) in &ods {
+        pruned.query(o, d, depart, DayOfWeek::Tuesday);
+    }
+    let pruned_scans = counter("raptor.patterns_scanned") - scans_before;
+    let hits = counter("transit.access_cache.hit") - hits_before;
+    let misses = counter("transit.access_cache.miss") - misses_before;
+
+    eprintln!(
+        "patterns_scanned/query: reference {:.1}, pruned {:.1} ({:.0}% drop); \
+         warm cache hits {hits}, misses {misses}",
+        ref_scans as f64 / ods.len() as f64,
+        pruned_scans as f64 / ods.len() as f64,
+        100.0 * (1.0 - pruned_scans as f64 / ref_scans as f64),
+    );
+
+    // Acceptance criterion: ≥ 40% fewer pattern scans per warm query.
+    assert!(
+        (pruned_scans as f64) <= 0.6 * (ref_scans as f64),
+        "pruning cut patterns_scanned only {ref_scans} -> {pruned_scans} \
+         (need >= 40% drop)"
+    );
+    // Warm pass: every isochrone lookup (2 per query) must be a hit.
+    assert_eq!(hits, 2 * ods.len() as u64, "warm pass should be all cache hits");
+    assert_eq!(misses, 0, "warm pass should not miss the access cache");
+
+    // The pruning-specific counters actually move on this workload.
+    assert!(counter("raptor.patterns_pruned") > 0, "no patterns were ever pruned");
+    assert!(counter("raptor.rounds_cut") > 0, "no rounds were ever cut early");
+}
