@@ -87,6 +87,44 @@ impl MetricsSnapshot {
         self.histograms.iter().find(|h| h.name == name)
     }
 
+    /// Folds another snapshot in, for scatter-gather over processes that
+    /// each own a registry (the staq-shard router merging its backends):
+    /// counters and gauges sum by name (a gauge is a level, so the sum is
+    /// the fleet-wide level — total queue depth, total cache entries);
+    /// histograms merge bucket-wise, which preserves quantiles exactly at
+    /// bucket resolution. Names sort afterwards so merged output stays
+    /// deterministic.
+    ///
+    /// Merging snapshots taken from the *same* registry double-counts;
+    /// callers with in-process backends must take one snapshot instead.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for c in &other.counters {
+            match self.counters.iter_mut().find(|m| m.name == c.name) {
+                Some(m) => m.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        for g in &other.gauges {
+            match self.gauges.iter_mut().find(|m| m.name == g.name) {
+                Some(m) => m.value += g.value,
+                None => self.gauges.push(g.clone()),
+            }
+        }
+        for h in &other.histograms {
+            match self.histograms.iter_mut().find(|m| m.name == h.name) {
+                Some(m) => {
+                    let mut merged = m.to_histogram();
+                    merged.merge(&h.to_histogram());
+                    *m = HistogramSample::from_histogram(&h.name, &merged);
+                }
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
     /// Serializes to JSON text (stable field order).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256);
@@ -472,6 +510,30 @@ mod tests {
         assert!(MetricsSnapshot::from_json("null").is_err());
         let valid = sample_snapshot().to_json();
         assert!(MetricsSnapshot::from_json(&format!("{valid}x")).is_err());
+    }
+
+    #[test]
+    fn merge_sums_by_name_and_merges_histograms() {
+        let mut a = sample_snapshot();
+        let b = sample_snapshot();
+        // A reference histogram holding both copies of the samples.
+        let mut both = a.histograms[0].to_histogram();
+        both.merge(&b.histograms[0].to_histogram());
+
+        a.merge(&b);
+        assert_eq!(a.counter("engine.cache.hits"), Some(84));
+        assert_eq!(a.counter("raptor.queries"), Some(2 * 123_456));
+        assert_eq!(a.gauge("serve.workers"), Some(16));
+        let h = a.histogram("serve.request.query").unwrap();
+        assert_eq!(h.count, 200);
+        assert_eq!(h.to_histogram().percentile(95.0), both.percentile(95.0));
+
+        // Disjoint names just union in, sorted.
+        a.merge(&MetricsSnapshot {
+            counters: vec![CounterSample { name: "aaa.first".into(), value: 1 }],
+            ..Default::default()
+        });
+        assert_eq!(a.counters[0].name, "aaa.first");
     }
 
     #[test]

@@ -2,11 +2,16 @@
 //!
 //! ```text
 //! serve [--addr 127.0.0.1:7878] [--workers N] [--city birmingham|coventry|test]
-//!       [--scale f] [--seed u64] [--queue-depth N]
+//!       [--scale f] [--seed u64] [--queue-depth N] [--port-file path]
 //! ```
 //!
 //! Builds the city and its offline artifacts (the expensive step), then
 //! serves access queries and scenario edits until SIGINT/EOF on stdin.
+//!
+//! `--port-file` writes the bound address (useful with `--addr :0`) to a
+//! file once the listener is up — how the staq-shard supervisor discovers
+//! the port of a backend it spawned. The write is atomic (temp file +
+//! rename) so a poller never reads a half-written address.
 
 use staq_serve::presets::CityPreset;
 use staq_serve::{serve, ServerConfig};
@@ -16,6 +21,7 @@ struct Args {
     city: CityPreset,
     scale: f64,
     seed: u64,
+    port_file: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -24,6 +30,7 @@ fn parse_args() -> Args {
         city: CityPreset::Test,
         scale: 0.05,
         seed: 42,
+        port_file: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -38,6 +45,7 @@ fn parse_args() -> Args {
             }
             "--scale" => args.scale = parse(&mut it, "--scale"),
             "--seed" => args.seed = parse(&mut it, "--seed"),
+            "--port-file" => args.port_file = Some(need(&mut it, "--port-file")),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -65,7 +73,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: serve [--addr host:port] [--workers N] [--queue-depth N] \
-         [--city birmingham|coventry|test] [--scale f] [--seed u64]"
+         [--city birmingham|coventry|test] [--scale f] [--seed u64] [--port-file path]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
@@ -95,6 +103,15 @@ fn main() {
         args.cfg.workers,
         args.cfg.queue_depth
     );
+    if let Some(path) = &args.port_file {
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, handle.addr().to_string())
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot write port file {path}: {e}");
+                std::process::exit(1);
+            });
+    }
 
     // Foreground daemon: block until stdin closes (^D, or the supervisor
     // hanging up), then drain and exit.

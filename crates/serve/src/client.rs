@@ -29,6 +29,9 @@ pub enum ClientError {
     Unexpected(&'static str),
     /// The server closed the connection.
     Disconnected,
+    /// A previous call failed mid-frame; request/response pairing on this
+    /// connection can no longer be trusted. Discard the client.
+    Poisoned,
 }
 
 impl std::fmt::Display for ClientError {
@@ -41,6 +44,9 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
             ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Poisoned => {
+                write!(f, "connection poisoned by an earlier mid-frame failure")
+            }
         }
     }
 }
@@ -64,6 +70,11 @@ pub struct Client {
     stream: TcpStream,
     buf: BytesMut,
     out: BytesMut,
+    /// Set when a call failed after its request may have reached the
+    /// wire: an unread (or half-read) response could still be in flight,
+    /// so the next call would pair with the wrong frame. Once set, every
+    /// call fails fast — pools use this to discard instead of reuse.
+    poisoned: bool,
 }
 
 impl Client {
@@ -76,7 +87,16 @@ impl Client {
             stream,
             buf: BytesMut::with_capacity(4096),
             out: BytesMut::with_capacity(4096),
+            poisoned: false,
         })
+    }
+
+    /// True after any IO/codec failure mid-call: the connection's framing
+    /// state is undefined and the client must not be reused. Semantic
+    /// error frames ([`ClientError::Server`]) do *not* poison — the
+    /// protocol stays in sync across them.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Full SSR measure vector for one category.
@@ -124,7 +144,25 @@ impl Client {
     }
 
     /// Sends one request frame and blocks for its response frame.
+    ///
+    /// Any IO or codec failure poisons the client: the request may have
+    /// reached the server, so a retry on the same connection could read
+    /// the *first* request's response as its own. Callers that retry must
+    /// do so on a fresh connection.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        if self.poisoned {
+            return Err(ClientError::Poisoned);
+        }
+        match self.call_inner(request) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn call_inner(&mut self, request: &Request) -> Result<Response, ClientError> {
         self.out.clear();
         codec::encode_request(request, &mut self.out);
         self.stream.write_all(&self.out)?;

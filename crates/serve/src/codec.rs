@@ -246,6 +246,15 @@ take_fixed!(take_u32, u32, get_u32, 4);
 take_fixed!(take_u64, u64, get_u64, 8);
 take_fixed!(take_f64, f64, get_f64, 8);
 
+/// Capacity to pre-reserve for a counted list: trust the claimed count
+/// only up to what the remaining bytes could actually hold. A frame that
+/// lies about its count (arbitrary bytes from a desynced or hostile peer)
+/// must fail on the per-element reads, not get a multi-gigabyte
+/// allocation first.
+fn capped(claimed: usize, remaining: usize, elem_bytes: usize) -> usize {
+    claimed.min(remaining / elem_bytes.max(1))
+}
+
 fn encode_query(buf: &mut BytesMut, q: &AccessQuery) {
     match q {
         AccessQuery::MeanAccess => buf.put_u8(0),
@@ -323,7 +332,7 @@ fn decode_answer(buf: &mut &[u8]) -> Result<QueryAnswer, CodecError> {
         },
         1 => {
             let n = take_u32(buf)? as usize;
-            let mut cs = Vec::with_capacity(n);
+            let mut cs = Vec::with_capacity(capped(n, buf.remaining(), 5));
             for _ in 0..n {
                 cs.push((ZoneId(take_u32(buf)?), class_from(take_u8(buf)?)?));
             }
@@ -331,7 +340,7 @@ fn decode_answer(buf: &mut &[u8]) -> Result<QueryAnswer, CodecError> {
         }
         2 => {
             let n = take_u32(buf)? as usize;
-            let mut zs = Vec::with_capacity(n);
+            let mut zs = Vec::with_capacity(capped(n, buf.remaining(), 4));
             for _ in 0..n {
                 zs.push(ZoneId(take_u32(buf)?));
             }
@@ -340,7 +349,7 @@ fn decode_answer(buf: &mut &[u8]) -> Result<QueryAnswer, CodecError> {
         3 => QueryAnswer::Fairness(take_f64(buf)?),
         4 => {
             let n = take_u32(buf)? as usize;
-            let mut zs = Vec::with_capacity(n);
+            let mut zs = Vec::with_capacity(capped(n, buf.remaining(), 12));
             for _ in 0..n {
                 zs.push((ZoneId(take_u32(buf)?), take_f64(buf)?));
             }
@@ -385,17 +394,17 @@ fn encode_snapshot(buf: &mut BytesMut, m: &MetricsSnapshot) {
 fn decode_snapshot(buf: &mut &[u8]) -> Result<MetricsSnapshot, CodecError> {
     let mut m = MetricsSnapshot::default();
     let n = take_u16(buf)? as usize;
-    m.counters.reserve(n);
+    m.counters.reserve(capped(n, buf.remaining(), 10));
     for _ in 0..n {
         m.counters.push(CounterSample { name: take_string(buf)?, value: take_u64(buf)? });
     }
     let n = take_u16(buf)? as usize;
-    m.gauges.reserve(n);
+    m.gauges.reserve(capped(n, buf.remaining(), 10));
     for _ in 0..n {
         m.gauges.push(GaugeSample { name: take_string(buf)?, value: take_u64(buf)? });
     }
     let n = take_u16(buf)? as usize;
-    m.histograms.reserve(n);
+    m.histograms.reserve(capped(n, buf.remaining(), 52));
     for _ in 0..n {
         let name = take_string(buf)?;
         let count = take_u64(buf)?;
@@ -405,7 +414,7 @@ fn decode_snapshot(buf: &mut &[u8]) -> Result<MetricsSnapshot, CodecError> {
         let p95_ns = take_u64(buf)?;
         let p99_ns = take_u64(buf)?;
         let n_buckets = take_u16(buf)? as usize;
-        let mut buckets = Vec::with_capacity(n_buckets);
+        let mut buckets = Vec::with_capacity(capped(n_buckets, buf.remaining(), 12));
         for _ in 0..n_buckets {
             buckets.push((take_u32(buf)?, take_u64(buf)?));
         }
@@ -559,7 +568,7 @@ pub fn decode_request(buf: &mut BytesMut) -> Result<Option<Request>, CodecError>
         K_ADD_BUS_ROUTE => {
             let headway_s = take_u32(&mut p)?;
             let n = take_u16(&mut p)? as usize;
-            let mut stops = Vec::with_capacity(n);
+            let mut stops = Vec::with_capacity(capped(n, p.remaining(), 16));
             for _ in 0..n {
                 stops.push(Point::new(take_f64(&mut p)?, take_f64(&mut p)?));
             }
@@ -582,7 +591,7 @@ pub fn decode_response(buf: &mut BytesMut) -> Result<Option<Response>, CodecErro
     let resp = match kind {
         K_R_MEASURES => {
             let n = take_u32(&mut p)? as usize;
-            let mut ms = Vec::with_capacity(n);
+            let mut ms = Vec::with_capacity(capped(n, p.remaining(), 20));
             for _ in 0..n {
                 ms.push(ZoneMeasures {
                     zone: ZoneId(take_u32(&mut p)?),

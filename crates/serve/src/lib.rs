@@ -19,9 +19,9 @@
 //! * [`client`] — blocking client used by tests, the load generator and
 //!   external tools.
 //!
-//! Binaries: `serve` (the daemon) and `staq-serve-bench` (open-loop load
-//! generator reporting throughput and latency percentiles per request
-//! kind).
+//! Binaries: `serve` (the daemon). The open-loop load generator
+//! `staq-serve-bench` lives in `staq-shard` (it can drive either a single
+//! server or the sharded router).
 //!
 //! [`AccessQuery`]: staq_access::AccessQuery
 

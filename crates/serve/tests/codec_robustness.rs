@@ -1,0 +1,286 @@
+//! Codec robustness: the shard router decodes frames produced by backend
+//! processes it does not control, so the decoder must survive arbitrary
+//! bytes — truncated frames, corrupted bytes, lying length prefixes and
+//! element counts — without panicking or allocating unboundedly.
+//!
+//! Complements the round-trip tests inside `codec.rs`: those check that
+//! well-formed frames survive; this file checks that malformed ones fail
+//! *cleanly*.
+
+use bytes::{BufMut, BytesMut};
+use proptest::prelude::*;
+use staq_access::measures::ZoneMeasures;
+use staq_access::{AccessClass, AccessQuery, DemographicWeight, QueryAnswer};
+use staq_geom::Point;
+use staq_obs::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
+use staq_serve::codec::{
+    decode_request, decode_response, encode_request, encode_response, ErrorCode, Request, Response,
+    StatsReply,
+};
+use staq_synth::{PoiCategory, ZoneId};
+
+/// One of every request variant, exercising every encoder branch.
+fn request_catalogue() -> Vec<Request> {
+    vec![
+        Request::Measures { category: PoiCategory::School },
+        Request::Query { category: PoiCategory::Hospital, query: AccessQuery::MeanAccess },
+        Request::Query { category: PoiCategory::School, query: AccessQuery::Classification },
+        Request::Query {
+            category: PoiCategory::VaxCenter,
+            query: AccessQuery::AtRisk { threshold_factor: 1.25 },
+        },
+        Request::Query {
+            category: PoiCategory::JobCenter,
+            query: AccessQuery::Fairness { weight: DemographicWeight::Vulnerable },
+        },
+        Request::Query { category: PoiCategory::School, query: AccessQuery::WorstZones { k: 5 } },
+        Request::AddPoi { category: PoiCategory::Hospital, pos: Point::new(-12.5, 99.0) },
+        Request::AddBusRoute {
+            stops: vec![Point::new(0.0, 0.0), Point::new(100.0, 50.0), Point::new(10.0, 1.0)],
+            headway_s: 450,
+        },
+        Request::Stats,
+    ]
+}
+
+fn sample_metrics() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: vec![CounterSample { name: "a.b".into(), value: 7 }],
+        gauges: vec![GaugeSample { name: "c".into(), value: 1 }],
+        histograms: vec![HistogramSample {
+            name: "d.e".into(),
+            count: 10,
+            sum_ns: 1000,
+            max_ns: 200,
+            p50_ns: 90,
+            p95_ns: 180,
+            p99_ns: 199,
+            buckets: vec![(3, 9), (40, 1)],
+        }],
+    }
+}
+
+/// One of every response variant, including every answer tag and error
+/// code.
+fn response_catalogue() -> Vec<Response> {
+    vec![
+        Response::Measures(vec![
+            ZoneMeasures { zone: ZoneId(1), mac: 11.0, acsd: 0.25 },
+            ZoneMeasures { zone: ZoneId(9), mac: 44.5, acsd: 3.5 },
+        ]),
+        Response::Query(QueryAnswer::MeanAccess { mean_mac: 9.5, mean_acsd: 1.0, n_zones: 64 }),
+        Response::Query(QueryAnswer::Classification(vec![
+            (ZoneId(0), AccessClass::Best),
+            (ZoneId(1), AccessClass::MostlyGood),
+            (ZoneId(2), AccessClass::MostlyBad),
+            (ZoneId(3), AccessClass::Worst),
+        ])),
+        Response::Query(QueryAnswer::AtRisk(vec![ZoneId(5), ZoneId(6)])),
+        Response::Query(QueryAnswer::Fairness(0.5)),
+        Response::Query(QueryAnswer::WorstZones(vec![(ZoneId(2), 80.0), (ZoneId(4), 70.0)])),
+        Response::AddPoi { poi_id: 17 },
+        Response::AddBusRoute { zones_rebuilt: 4 },
+        Response::Stats(StatsReply {
+            pipeline_runs: 2,
+            requests_served: 99,
+            cached: vec![PoiCategory::School, PoiCategory::VaxCenter],
+            workers: 4,
+            metrics: sample_metrics(),
+        }),
+        Response::Error { code: ErrorCode::BadRequest, message: "x".into() },
+        Response::Error { code: ErrorCode::Invalid, message: "yy".into() },
+        Response::Error { code: ErrorCode::Unavailable, message: String::new() },
+    ]
+}
+
+fn encoded_requests() -> Vec<Vec<u8>> {
+    request_catalogue()
+        .iter()
+        .map(|r| {
+            let mut b = BytesMut::new();
+            encode_request(r, &mut b);
+            b.to_vec()
+        })
+        .collect()
+}
+
+fn encoded_responses() -> Vec<Vec<u8>> {
+    response_catalogue()
+        .iter()
+        .map(|r| {
+            let mut b = BytesMut::new();
+            encode_response(r, &mut b);
+            b.to_vec()
+        })
+        .collect()
+}
+
+#[test]
+fn every_request_variant_roundtrips() {
+    for req in request_catalogue() {
+        let mut b = BytesMut::new();
+        encode_request(&req, &mut b);
+        let got = decode_request(&mut b).unwrap().expect("complete frame");
+        assert_eq!(got, req);
+        assert!(b.is_empty());
+    }
+}
+
+#[test]
+fn every_response_variant_roundtrips() {
+    for resp in response_catalogue() {
+        let mut b = BytesMut::new();
+        encode_response(&resp, &mut b);
+        let got = decode_response(&mut b).unwrap().expect("complete frame");
+        assert_eq!(got, resp);
+        assert!(b.is_empty());
+    }
+}
+
+/// Rewrites the length prefix of `raw[..cut]` so the truncation presents
+/// as a complete frame; `None` when the cut leaves no full prefix.
+fn truncated_frame(raw: &[u8], cut: usize) -> Option<BytesMut> {
+    if cut < 4 {
+        return None;
+    }
+    let mut t = raw[..cut].to_vec();
+    let len = (cut - 4) as u32;
+    t[..4].copy_from_slice(&len.to_be_bytes());
+    let mut b = BytesMut::new();
+    b.extend_from_slice(&t);
+    Some(b)
+}
+
+/// Every strict truncation of every variant, presented as a complete
+/// frame, must decode to a clean error — never a panic, never a silently
+/// shorter value.
+#[test]
+fn truncations_of_every_request_fail_cleanly() {
+    for raw in encoded_requests() {
+        for cut in 0..raw.len() {
+            let Some(mut b) = truncated_frame(&raw, cut) else { continue };
+            match decode_request(&mut b) {
+                Err(_) | Ok(None) => {}
+                Ok(Some(got)) => panic!("truncation at {cut}/{} decoded as {got:?}", raw.len()),
+            }
+        }
+    }
+}
+
+#[test]
+fn truncations_of_every_response_fail_cleanly() {
+    for raw in encoded_responses() {
+        for cut in 0..raw.len() {
+            let Some(mut b) = truncated_frame(&raw, cut) else { continue };
+            match decode_response(&mut b) {
+                Err(_) | Ok(None) => {}
+                Ok(Some(got)) => panic!("truncation at {cut}/{} decoded as {got:?}", raw.len()),
+            }
+        }
+    }
+}
+
+/// A frame that claims a huge element count but carries almost no bytes
+/// must be rejected without reserving the claimed capacity (the decoder
+/// caps its pre-allocation by the bytes actually present).
+#[test]
+fn lying_element_counts_do_not_allocate() {
+    // Measures response claiming u32::MAX zones, 0 carried.
+    let mut b = BytesMut::new();
+    b.put_u32(2 + 4); // version + kind + count
+    b.put_u8(staq_serve::WIRE_VERSION);
+    b.put_u8(0x81); // K_R_MEASURES
+    b.put_u32(u32::MAX);
+    assert!(decode_response(&mut b).is_err());
+
+    // Classification answer claiming u32::MAX entries.
+    let mut b = BytesMut::new();
+    b.put_u32(2 + 1 + 4); // version + kind + tag + count
+    b.put_u8(staq_serve::WIRE_VERSION);
+    b.put_u8(0x82); // K_R_QUERY
+    b.put_u8(1); // Classification tag
+    b.put_u32(u32::MAX);
+    assert!(decode_response(&mut b).is_err());
+
+    // AddBusRoute request claiming u16::MAX stops.
+    let mut b = BytesMut::new();
+    b.put_u32(2 + 4 + 2); // version + kind + headway + count
+    b.put_u8(staq_serve::WIRE_VERSION);
+    b.put_u8(0x04); // K_ADD_BUS_ROUTE
+    b.put_u32(600);
+    b.put_u16(u16::MAX);
+    assert!(decode_request(&mut b).is_err());
+}
+
+/// Drains a buffer the way a connection loop does; returns how many
+/// frames decoded before the stream ended or went bad.
+fn drain_responses(mut b: BytesMut) -> usize {
+    let mut n = 0;
+    loop {
+        match decode_response(&mut b) {
+            Ok(Some(_)) => n += 1,
+            Ok(None) | Err(_) => return n,
+        }
+    }
+}
+
+fn drain_requests(mut b: BytesMut) -> usize {
+    let mut n = 0;
+    loop {
+        match decode_request(&mut b) {
+            Ok(Some(_)) => n += 1,
+            Ok(None) | Err(_) => return n,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Flipping any single byte of any well-formed response frame must
+    /// never panic the decoder (it may still decode — some bytes are
+    /// payload values — but it must return).
+    #[test]
+    fn single_byte_corruption_never_panics(
+        frame_idx in 0usize..12,
+        byte_idx in 0usize..4096,
+        value in 0u8..=255u8,
+    ) {
+        let frames = encoded_responses();
+        let raw = &frames[frame_idx % frames.len()];
+        let mut corrupted = raw.clone();
+        let i = byte_idx % corrupted.len();
+        corrupted[i] = value;
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&corrupted);
+        drain_responses(b);
+    }
+
+    #[test]
+    fn request_corruption_never_panics(
+        frame_idx in 0usize..9,
+        byte_idx in 0usize..4096,
+        value in 0u8..=255u8,
+    ) {
+        let frames = encoded_requests();
+        let raw = &frames[frame_idx % frames.len()];
+        let mut corrupted = raw.clone();
+        let i = byte_idx % corrupted.len();
+        corrupted[i] = value;
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&corrupted);
+        drain_requests(b);
+    }
+
+    /// Entirely arbitrary bytes: the decoders must terminate cleanly on
+    /// garbage streams of any shape.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255u8, 0..2048)) {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&bytes);
+        drain_responses(b);
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&bytes);
+        drain_requests(b);
+    }
+}

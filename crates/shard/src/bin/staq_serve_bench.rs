@@ -1,9 +1,10 @@
-//! Open-loop load generator for a staq-serve daemon.
+//! Open-loop load generator for a staq-serve daemon or a staq-shard
+//! fleet.
 //!
 //! ```text
 //! staq-serve-bench [--addr 127.0.0.1:7878 | --loopback] [--conns N]
 //!                  [--duration secs] [--rate req/s] [--edit-every ms]
-//!                  [--workers N] [--seed N] [--emit-json path]
+//!                  [--workers N] [--seed N] [--shards N] [--emit-json path]
 //! ```
 //!
 //! Phase 1 (cold): with an empty server cache, one connection touches
@@ -18,14 +19,24 @@
 //!
 //! `--loopback` skips the external daemon: the bench hosts its own
 //! server (test-size city, `--seed`-fixed, `--workers` threads) on a
-//! free loopback port — self-contained enough for CI. `--emit-json`
-//! writes the machine-readable report (`BENCH_serve.json`): client-side
-//! throughput plus the server's own [`MetricsSnapshot`] — per-kind
-//! latency quantiles as the workers measured them, engine cache
-//! hit/miss/invalidation counts, pipeline stage timings.
+//! free loopback port — self-contained enough for CI.
 //!
-//! The report prints requests/sec and p50/p95/p99 per request kind,
-//! plus the server's pipeline-run counter before and after.
+//! `--shards N` (loopback only) measures one-process-vs-N-process
+//! serving: the same workload runs twice, first against a single server
+//! with `--workers` threads, then against a staq-shard router fronting
+//! `N` in-process backends of `--workers` threads each (scale-out, not
+//! same-budget: the sharded fleet has N× the workers). The report prints
+//! both and their throughput ratio; `--emit-json` (`BENCH_shard.json`)
+//! carries a `single` and a `sharded` section. Both runs share this
+//! process's metrics registry, so the sharded section's raw snapshot
+//! includes the single run's samples — compare the client-side sections,
+//! which are per-run.
+//!
+//! `--emit-json` without `--shards` writes the classic single-server
+//! report (`BENCH_serve.json`): client-side throughput plus the server's
+//! own [`MetricsSnapshot`] — per-kind latency quantiles as the workers
+//! measured them, engine cache hit/miss/invalidation counts, pipeline
+//! stage timings.
 //!
 //! [`MetricsSnapshot`]: staq_obs::MetricsSnapshot
 
@@ -33,6 +44,7 @@ use staq_bench::{fmt_dur, LatencyHistogram};
 use staq_serve::client::Client;
 use staq_serve::presets::CityPreset;
 use staq_serve::{ServerConfig, StatsReply};
+use staq_shard::{route, RouterConfig, ShardSupervisor, SupervisorConfig, ThreadBackend};
 use staq_synth::PoiCategory;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -47,6 +59,7 @@ struct Args {
     loopback: bool,
     workers: usize,
     seed: u64,
+    shards: usize,
     emit_json: Option<String>,
 }
 
@@ -60,6 +73,7 @@ fn parse_args() -> Args {
         loopback: false,
         workers: 4,
         seed: 42,
+        shards: 0,
         emit_json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -76,6 +90,7 @@ fn parse_args() -> Args {
             "--loopback" => args.loopback = true,
             "--workers" => args.workers = parse(&mut it, "--workers"),
             "--seed" => args.seed = parse(&mut it, "--seed"),
+            "--shards" => args.shards = parse(&mut it, "--shards"),
             "--emit-json" => args.emit_json = Some(need(&mut it, "--emit-json")),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
@@ -86,6 +101,9 @@ fn parse_args() -> Args {
     }
     if args.workers == 0 {
         usage("--workers must be at least 1");
+    }
+    if args.shards > 0 && !args.loopback {
+        usage("--shards requires --loopback (the bench hosts the fleet itself)");
     }
     args
 }
@@ -105,7 +123,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: staq-serve-bench [--addr host:port | --loopback] [--conns N] \
          [--duration secs] [--rate req/s] [--edit-every ms] [--workers N] \
-         [--seed N] [--emit-json path]"
+         [--seed N] [--shards N] [--emit-json path]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
@@ -118,8 +136,32 @@ struct WorkerReport {
     errors: u64,
 }
 
+/// One full cold+warm run against one address.
+struct PhaseReport {
+    cold: LatencyHistogram,
+    hists: Vec<LatencyHistogram>,
+    edit: Option<(LatencyHistogram, u64)>,
+    errors: u64,
+    elapsed: f64,
+    total: u64,
+    stats0: StatsReply,
+    stats1: StatsReply,
+}
+
+impl PhaseReport {
+    fn req_per_sec(&self) -> f64 {
+        self.total as f64 / self.elapsed
+    }
+}
+
 fn main() {
     let mut args = parse_args();
+
+    if args.shards > 0 {
+        run_comparison(&args);
+        return;
+    }
+
     // Self-hosted mode: a test-size city on a free loopback port, so CI
     // can run the bench without a separately managed daemon.
     let mut loopback_server = args.loopback.then(|| {
@@ -135,14 +177,94 @@ fn main() {
         args.addr = handle.addr().to_string();
         handle
     });
-    let mut control = Client::connect(&args.addr).unwrap_or_else(|e| {
-        eprintln!("error: cannot connect to {}: {e}", args.addr);
+
+    let phase = run_workload(&args.addr, &args);
+    print_phase(&phase, &args);
+
+    if let Some(path) = &args.emit_json {
+        let json = format!(
+            "{{\"bench\":\"staq-serve-bench\",{}}}",
+            phase_json(&phase, &args, args.workers as u64)
+        );
+        write_json(path, &json);
+    }
+
+    if let Some(mut server) = loopback_server.take() {
+        server.shutdown();
+    }
+}
+
+/// `--shards N`: the same workload against one process, then against a
+/// sharded fleet, printed side by side.
+fn run_comparison(args: &Args) {
+    println!("== single process ({} workers) ==", args.workers);
+    let mut server = {
+        let engine = CityPreset::Test.engine(0.05, args.seed);
+        staq_serve::serve(
+            engine,
+            &ServerConfig { addr: "127.0.0.1:0".into(), workers: args.workers, queue_depth: 256 },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot start loopback server: {e}");
+            std::process::exit(1);
+        })
+    };
+    let single = run_workload(&server.addr().to_string(), args);
+    print_phase(&single, args);
+    server.shutdown();
+    drop(server);
+
+    println!("\n== sharded: {} backends x {} workers ==", args.shards, args.workers);
+    let backends = (0..args.shards)
+        .map(|_| {
+            let (workers, seed) = (args.workers, args.seed);
+            Box::new(ThreadBackend::new(workers, move || {
+                Arc::new(CityPreset::Test.engine(0.05, seed))
+            })) as Box<dyn staq_shard::Backend>
+        })
+        .collect();
+    let sup = ShardSupervisor::start(backends, SupervisorConfig::default()).unwrap_or_else(|e| {
+        eprintln!("error: fleet failed to start: {e}");
+        std::process::exit(1);
+    });
+    let mut router = route(sup, &RouterConfig::default()).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind router: {e}");
+        std::process::exit(1);
+    });
+    let sharded = run_workload(&router.addr().to_string(), args);
+    print_phase(&sharded, args);
+    router.shutdown();
+
+    let speedup = sharded.req_per_sec() / single.req_per_sec();
+    println!(
+        "\nsharded/single throughput: {:.0}/{:.0} req/s = {speedup:.2}x ({} shards)",
+        sharded.req_per_sec(),
+        single.req_per_sec(),
+        args.shards
+    );
+
+    if let Some(path) = &args.emit_json {
+        let json = format!(
+            "{{\"bench\":\"staq-serve-bench\",\"mode\":\"shard-compare\",\"shards\":{},\
+             \"speedup\":{speedup:.4},\"single\":{{{}}},\"sharded\":{{{}}}}}",
+            args.shards,
+            phase_json(&single, args, args.workers as u64),
+            phase_json(&sharded, args, (args.workers * args.shards) as u64),
+        );
+        write_json(path, &json);
+    }
+}
+
+/// Runs the cold sweep plus the timed warm mix against `addr`.
+fn run_workload(addr: &str, args: &Args) -> PhaseReport {
+    let mut control = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {addr}: {e}");
         std::process::exit(1);
     });
     let stats0 = control.stats().expect("stats");
     println!(
-        "server at {}: {} workers, {} pipeline runs so far",
-        args.addr, stats0.workers, stats0.pipeline_runs
+        "server at {addr}: {} workers, {} pipeline runs so far",
+        stats0.workers, stats0.pipeline_runs
     );
 
     // Cold phase: first touch per category pays the SSR pipeline.
@@ -152,7 +274,6 @@ fn main() {
         control.measures(cat).expect("cold measures");
         cold.record(t.elapsed());
     }
-    println!("cold (first touch per category): {}", cold.summary());
 
     // Warm phase: rotating query mix over `conns` connections.
     let stop = Arc::new(AtomicBool::new(false));
@@ -161,12 +282,12 @@ fn main() {
     let t_start = Instant::now();
     let mut handles = Vec::new();
     for c in 0..args.conns {
-        let addr = args.addr.clone();
+        let addr = addr.to_string();
         let stop = Arc::clone(&stop);
         handles.push(std::thread::spawn(move || run_conn(&addr, c, per_conn_interval, &stop)));
     }
     let editor = args.edit_every.map(|every| {
-        let addr = args.addr.clone();
+        let addr = addr.to_string();
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || run_editor(&addr, every, &stop))
     });
@@ -184,39 +305,42 @@ fn main() {
         }
         errors += r.errors;
     }
-    let edit_report = editor.map(|h| h.join().expect("editor thread panicked"));
+    let edit = editor.map(|h| h.join().expect("editor thread panicked"));
     let elapsed = t_start.elapsed().as_secs_f64();
-
     let total: u64 = hists.iter().map(|h| h.count()).sum();
+    let stats1 = control.stats().expect("stats");
+    PhaseReport { cold, hists, edit, errors, elapsed, total, stats0, stats1 }
+}
+
+fn print_phase(p: &PhaseReport, args: &Args) {
+    println!("cold (first touch per category): {}", p.cold.summary());
     println!(
-        "\nwarm: {} requests over {:.1}s from {} conns -> {:.0} req/s ({} errors)",
-        total,
-        elapsed,
+        "warm: {} requests over {:.1}s from {} conns -> {:.0} req/s ({} errors)",
+        p.total,
+        p.elapsed,
         args.conns,
-        total as f64 / elapsed,
-        errors
+        p.req_per_sec(),
+        p.errors
     );
-    for (kind, h) in KINDS.iter().zip(&hists) {
+    for (kind, h) in KINDS.iter().zip(&p.hists) {
         if h.count() > 0 {
             println!("  {kind:<12} {}", h.summary());
         }
     }
-    if let Some((h, errs)) = edit_report {
+    if let Some((h, errs)) = &p.edit {
         println!("  {:<12} {} ({errs} errors)", "add_poi", h.summary());
     }
-
-    let stats1 = control.stats().expect("stats");
     println!(
         "pipeline runs {} -> {} (+{}); requests served {}",
-        stats0.pipeline_runs,
-        stats1.pipeline_runs,
-        stats1.pipeline_runs - stats0.pipeline_runs,
-        stats1.requests_served
+        p.stats0.pipeline_runs,
+        p.stats1.pipeline_runs,
+        p.stats1.pipeline_runs - p.stats0.pipeline_runs,
+        p.stats1.requests_served
     );
     println!(
         "warm vs cold p99: {} vs {}",
         fmt_dur(
-            hists
+            p.hists
                 .iter()
                 .fold(LatencyHistogram::new(), |mut a, h| {
                     a.merge(h);
@@ -224,31 +348,25 @@ fn main() {
                 })
                 .percentile(99.0)
         ),
-        fmt_dur(cold.percentile(99.0)),
+        fmt_dur(p.cold.percentile(99.0)),
     );
-
-    if let Some(path) = &args.emit_json {
-        let json = bench_json(&args, elapsed, total, errors, &stats1);
-        std::fs::write(path, json).unwrap_or_else(|e| {
-            eprintln!("error: cannot write {path}: {e}");
-            std::process::exit(1);
-        });
-        println!("wrote {path}");
-    }
-
-    drop(control);
-    if let Some(mut server) = loopback_server.take() {
-        server.shutdown();
-    }
 }
 
-/// The machine-readable report (`BENCH_serve.json`): client-observed
-/// throughput plus the server's own view — per-kind execution latency
-/// quantiles from the worker-side histograms, engine cache counters, and
-/// the full metrics snapshot for anything else (stage timings, RAPTOR
-/// counters). Hand-rolled JSON, like the snapshot's own codec.
-fn bench_json(args: &Args, elapsed: f64, total: u64, errors: u64, stats: &StatsReply) -> String {
-    let m = &stats.metrics;
+fn write_json(path: &str, json: &str) {
+    std::fs::write(path, json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {path}");
+}
+
+/// The body of one phase's machine-readable report (caller wraps it):
+/// client-observed throughput plus the server's own view — per-kind
+/// execution latency quantiles from the worker-side histograms, engine
+/// cache counters, and the full metrics snapshot for anything else
+/// (stage timings, RAPTOR counters, shard routing counters).
+fn phase_json(p: &PhaseReport, args: &Args, workers: u64) -> String {
+    let m = &p.stats1.metrics;
     let mut kinds = String::new();
     for (i, kind) in ["measures", "query", "add_poi", "add_bus_route", "stats"].iter().enumerate() {
         if i > 0 {
@@ -265,18 +383,17 @@ fn bench_json(args: &Args, elapsed: f64, total: u64, errors: u64, stats: &StatsR
     }
     let cache = |name: &str| m.counter(&format!("engine.cache.{name}")).unwrap_or(0);
     format!(
-        "{{\"bench\":\"staq-serve-bench\",\"seed\":{},\"workers\":{},\"conns\":{},\
+        "\"seed\":{},\"workers\":{workers},\"conns\":{},\
          \"duration_secs\":{:.3},\"total_requests\":{},\"requests_per_sec\":{:.1},\
          \"errors\":{},\"pipeline_runs\":{},\"engine_cache\":{{\"hits\":{},\"misses\":{},\
-         \"joins\":{},\"invalidations\":{}}},\"server_kinds\":[{}],\"metrics\":{}}}",
+         \"joins\":{},\"invalidations\":{}}},\"server_kinds\":[{}],\"metrics\":{}",
         args.seed,
-        stats.workers,
         args.conns,
-        elapsed,
-        total,
-        total as f64 / elapsed,
-        errors,
-        stats.pipeline_runs,
+        p.elapsed,
+        p.total,
+        p.req_per_sec(),
+        p.errors,
+        p.stats1.pipeline_runs,
         cache("hits"),
         cache("misses"),
         cache("joins"),

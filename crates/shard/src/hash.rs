@@ -1,0 +1,115 @@
+//! Rendezvous (highest-random-weight) hashing from shard key to shard.
+//!
+//! Every `(key, shard)` pair gets a pseudo-random score; the key lives on
+//! the shard with the highest score. The property that matters for
+//! resharding: growing from `n` to `n + 1` shards only re-homes the keys
+//! whose new-shard score beats their old winner — in expectation `1/(n+1)`
+//! of them — and those keys all land on the *new* shard. No key ever moves
+//! between surviving shards, so their warm SSR caches stay valid.
+//!
+//! The score is a [splitmix64] finalizer over the mixed pair. With four
+//! POI categories the table could be written by hand; hashing keeps the
+//! assignment stable under any future category count without a registry
+//! of manual tables per fleet size.
+//!
+//! [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+
+use staq_synth::PoiCategory;
+
+/// splitmix64 finalizer: a cheap, well-distributed 64-bit mix.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Rendezvous score of `key` on `shard`.
+fn score(key: u64, shard: u64) -> u64 {
+    mix(mix(key).wrapping_add(shard.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)))
+}
+
+/// The shard (in `0..n_shards`) that owns an arbitrary 64-bit key.
+///
+/// Ties are broken toward the lower shard index, deterministically.
+pub fn shard_for_key(key: u64, n_shards: usize) -> usize {
+    assert!(n_shards > 0, "shard_for_key needs at least one shard");
+    let mut best = 0usize;
+    let mut best_score = score(key, 0);
+    for s in 1..n_shards {
+        let sc = score(key, s as u64);
+        if sc > best_score {
+            best = s;
+            best_score = sc;
+        }
+    }
+    best
+}
+
+/// The shard that owns a POI category — the router's placement function.
+pub fn shard_for(category: PoiCategory, n_shards: usize) -> usize {
+    let key = PoiCategory::ALL.iter().position(|c| *c == category).expect("category in ALL");
+    shard_for_key(key as u64, n_shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        for n in 1..=9 {
+            for cat in PoiCategory::ALL {
+                let s = shard_for(cat, n);
+                assert!(s < n);
+                assert_eq!(s, shard_for(cat, n));
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        for cat in PoiCategory::ALL {
+            assert_eq!(shard_for(cat, 1), 0);
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        // Over many keys, every shard of a 4-way fleet owns a fair share
+        // (a loose band — rendezvous is balanced in expectation).
+        let n = 4;
+        let mut owned = [0usize; 4];
+        let keys = 4096u64;
+        for k in 0..keys {
+            owned[shard_for_key(k, n)] += 1;
+        }
+        for (s, cnt) in owned.iter().enumerate() {
+            let share = *cnt as f64 / keys as f64;
+            assert!((0.15..0.35).contains(&share), "shard {s} owns {share:.3} of keys");
+        }
+    }
+
+    proptest! {
+        /// The resharding contract: growing the fleet moves a key either
+        /// nowhere or onto the new shard — never between old shards.
+        #[test]
+        fn growth_only_remaps_onto_the_new_shard(key in 0u64..u64::MAX, n in 1usize..16) {
+            let before = shard_for_key(key, n);
+            let after = shard_for_key(key, n + 1);
+            prop_assert!(after == before || after == n, "key moved {before} -> {after} (new shard {n})");
+        }
+
+        /// Roughly 1/(n+1) of keys remap when a shard joins.
+        #[test]
+        fn growth_remaps_a_minority(n in 2usize..9) {
+            let keys = 2048u64;
+            let moved = (0..keys).filter(|&k| shard_for_key(k, n) != shard_for_key(k, n + 1)).count();
+            let frac = moved as f64 / keys as f64;
+            let expect = 1.0 / (n + 1) as f64;
+            prop_assert!(frac < 2.5 * expect, "{moved}/{keys} keys moved (expected ~{expect:.3})");
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Per-backend connection pool: reuse, bounded in-flight, generations.
+//!
+//! One [`BackendPool`] fronts one shard. It hands out [`Lease`]s —
+//! checked-out client connections — reusing idle ones and dialing new
+//! ones (with retry + linear backoff) when the idle list is dry. The
+//! in-flight count is capped: past the cap, checkout blocks briefly and
+//! then fails, turning a wedged backend into backpressure instead of an
+//! unbounded thread pile-up.
+//!
+//! Respawn safety is generation-based. Every `bring_up` bumps the pool's
+//! generation and every lease carries the generation it was minted under;
+//! idle returns and down-markings from stale generations are ignored.
+//! Without this, a slow request that started before a crash could — on
+//! failing — mark the *respawned* backend down, or park a connection to
+//! the dead process in the idle list of the new one.
+//!
+//! The pool never unpoisons: a [`Client`] that failed mid-frame
+//! ([`Client::is_poisoned`]) is dropped on return, never reused (the
+//! poison-and-report contract added to `staq-serve` for exactly this
+//! caller).
+
+use parking_lot::{Condvar, Mutex};
+use staq_serve::Client;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Pool tunables.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Idle connections kept per backend.
+    pub max_idle: usize,
+    /// Checked-out connections per backend; past this, checkout waits.
+    pub max_inflight: usize,
+    /// Connect attempts before declaring the backend unreachable.
+    pub connect_retries: u32,
+    /// Backoff between connect attempts (linear: 1×, 2×, ...).
+    pub connect_backoff: Duration,
+    /// How long checkout waits for an in-flight permit before failing.
+    pub acquire_timeout: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            max_idle: 8,
+            max_inflight: 64,
+            connect_retries: 3,
+            connect_backoff: Duration::from_millis(20),
+            acquire_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Why a checkout failed. Both map to `ErrorCode::Unavailable` frames at
+/// the router; the distinction feeds the error message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// The backend is marked down (crashed, or connects are failing).
+    Down,
+    /// The in-flight cap held for the whole acquire timeout.
+    Overloaded,
+}
+
+/// A checked-out connection. Return it with [`BackendPool::give_back`] —
+/// dropping it without returning would leak an in-flight permit.
+pub struct Lease {
+    pub client: Client,
+    /// Pool generation this lease was minted under.
+    pub gen: u64,
+}
+
+impl std::fmt::Debug for Lease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lease")
+            .field("gen", &self.gen)
+            .field("poisoned", &self.client.is_poisoned())
+            .finish()
+    }
+}
+
+struct PoolState {
+    /// `None` while the backend is down.
+    addr: Option<SocketAddr>,
+    /// Bumped on every `bring_up`; stale-generation events are ignored.
+    gen: u64,
+    /// Idle connections with the generation they were dialed under.
+    idle: Vec<(u64, Client)>,
+    inflight: usize,
+}
+
+/// The pool for one backend.
+pub struct BackendPool {
+    cfg: PoolConfig,
+    state: Mutex<PoolState>,
+    permit_freed: Condvar,
+}
+
+impl BackendPool {
+    /// A pool starting in the *down* state; the supervisor calls
+    /// [`bring_up`](Self::bring_up) after the readiness probe passes.
+    pub fn new(cfg: PoolConfig) -> Self {
+        BackendPool {
+            cfg,
+            state: Mutex::new(PoolState { addr: None, gen: 0, idle: Vec::new(), inflight: 0 }),
+            permit_freed: Condvar::new(),
+        }
+    }
+
+    /// Whether the backend is currently accepting traffic.
+    pub fn is_up(&self) -> bool {
+        self.state.lock().addr.is_some()
+    }
+
+    /// Current generation (for stale-event filtering by callers).
+    pub fn generation(&self) -> u64 {
+        self.state.lock().gen
+    }
+
+    /// Admits traffic to `addr` under a fresh generation, discarding any
+    /// idle connections to the previous incarnation.
+    pub fn bring_up(&self, addr: SocketAddr) {
+        let mut s = self.state.lock();
+        s.addr = Some(addr);
+        s.gen += 1;
+        s.idle.clear();
+        drop(s);
+        self.permit_freed.notify_all();
+    }
+
+    /// Marks the backend down if `gen` is still current; returns whether
+    /// this call performed the up→down transition (the caller counts
+    /// failovers on `true`). A stale generation is a no-op: the failure
+    /// belongs to an incarnation that has already been replaced.
+    pub fn mark_down_if(&self, gen: u64) -> bool {
+        let mut s = self.state.lock();
+        if s.gen != gen || s.addr.is_none() {
+            return false;
+        }
+        s.addr = None;
+        s.idle.clear();
+        drop(s);
+        // Waiters should fail fast with Down rather than ride out the
+        // acquire timeout.
+        self.permit_freed.notify_all();
+        true
+    }
+
+    /// Marks the backend down unconditionally (supervisor-observed death,
+    /// explicit kill); same transition reporting as [`mark_down_if`](Self::mark_down_if).
+    pub fn mark_down(&self) -> bool {
+        let gen = self.state.lock().gen;
+        self.mark_down_if(gen)
+    }
+
+    /// Checks out a connection: an idle one when available, otherwise a
+    /// fresh dial with `connect_retries` × `connect_backoff`. Fails fast
+    /// with [`PoolError::Down`] while the backend is down — no dialing,
+    /// no waiting.
+    pub fn checkout(&self) -> Result<Lease, PoolError> {
+        let (addr, gen) = {
+            let mut s = self.state.lock();
+            loop {
+                let Some(addr) = s.addr else { return Err(PoolError::Down) };
+                if s.inflight < self.cfg.max_inflight {
+                    s.inflight += 1;
+                    // Reuse the freshest idle connection of this
+                    // generation; drop stale or poisoned ones.
+                    while let Some((g, client)) = s.idle.pop() {
+                        if g == s.gen && !client.is_poisoned() {
+                            return Ok(Lease { client, gen: g });
+                        }
+                    }
+                    break (addr, s.gen);
+                }
+                if self.permit_freed.wait_for(&mut s, self.cfg.acquire_timeout).timed_out() {
+                    return Err(PoolError::Overloaded);
+                }
+            }
+        };
+
+        // Dial outside the lock; connects can take milliseconds.
+        let mut attempt = 0;
+        loop {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(Lease { client, gen }),
+                Err(_) if attempt + 1 < self.cfg.connect_retries => {
+                    attempt += 1;
+                    crate::metrics::RETRIES.inc();
+                    std::thread::sleep(self.cfg.connect_backoff * attempt);
+                }
+                Err(_) => {
+                    self.release_permit();
+                    if self.mark_down_if(gen) {
+                        crate::metrics::FAILOVERS.inc();
+                    }
+                    return Err(PoolError::Down);
+                }
+            }
+        }
+    }
+
+    /// Returns a lease. The connection is parked for reuse only when it
+    /// is healthy, current-generation, and the idle list has room; it is
+    /// dropped otherwise. Always frees the in-flight permit.
+    pub fn give_back(&self, lease: Lease) {
+        let mut s = self.state.lock();
+        s.inflight = s.inflight.saturating_sub(1);
+        if !lease.client.is_poisoned() && lease.gen == s.gen && s.idle.len() < self.cfg.max_idle {
+            s.idle.push((lease.gen, lease.client));
+        }
+        drop(s);
+        self.permit_freed.notify_one();
+    }
+
+    /// Frees a permit for a lease that never materialized (dial failure).
+    fn release_permit(&self) {
+        let mut s = self.state.lock();
+        s.inflight = s.inflight.saturating_sub(1);
+        drop(s);
+        self.permit_freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pool_at(listener: &TcpListener, cfg: PoolConfig) -> BackendPool {
+        let pool = BackendPool::new(cfg);
+        pool.bring_up(listener.local_addr().unwrap());
+        pool
+    }
+
+    #[test]
+    fn down_pool_fails_fast_without_dialing() {
+        let pool = BackendPool::new(PoolConfig::default());
+        assert!(!pool.is_up());
+        assert_eq!(pool.checkout().unwrap_err(), PoolError::Down);
+    }
+
+    #[test]
+    fn connections_are_reused_within_a_generation() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let pool = pool_at(&listener, PoolConfig::default());
+        let a = pool.checkout().unwrap();
+        let gen = a.gen;
+        pool.give_back(a);
+        // Only one accept happened: the second checkout reused the idle
+        // connection instead of dialing again.
+        let b = pool.checkout().unwrap();
+        assert_eq!(b.gen, gen);
+        listener.set_nonblocking(true).unwrap();
+        let _first = listener.accept().expect("exactly one dial");
+        assert!(listener.accept().is_err(), "second checkout must not dial");
+        pool.give_back(b);
+    }
+
+    #[test]
+    fn respawn_generation_discards_stale_idle_connections() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let pool = pool_at(&listener, PoolConfig::default());
+        let old = pool.checkout().unwrap();
+        let old_gen = old.gen;
+        pool.give_back(old);
+
+        // Backend "crashes" and comes back (same addr, new incarnation).
+        assert!(pool.mark_down());
+        assert!(!pool.mark_down(), "transition reported once");
+        assert_eq!(pool.checkout().unwrap_err(), PoolError::Down);
+        pool.bring_up(listener.local_addr().unwrap());
+
+        let fresh = pool.checkout().unwrap();
+        assert_eq!(fresh.gen, old_gen + 1, "bring_up bumps the generation");
+        // A stale-generation down-marking must not take the new pool down.
+        assert!(!pool.mark_down_if(old_gen));
+        assert!(pool.is_up());
+        pool.give_back(fresh);
+    }
+
+    #[test]
+    fn inflight_cap_turns_into_overloaded() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let cfg = PoolConfig {
+            max_inflight: 1,
+            acquire_timeout: Duration::from_millis(50),
+            ..Default::default()
+        };
+        let pool = pool_at(&listener, cfg);
+        let held = pool.checkout().unwrap();
+        assert_eq!(pool.checkout().unwrap_err(), PoolError::Overloaded);
+        pool.give_back(held);
+        let again = pool.checkout().unwrap();
+        pool.give_back(again);
+    }
+
+    #[test]
+    fn unreachable_backend_marks_itself_down() {
+        // Bind a port, then drop the listener so connects are refused.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let cfg = PoolConfig {
+            connect_retries: 2,
+            connect_backoff: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let pool = BackendPool::new(cfg);
+        pool.bring_up(addr);
+        assert_eq!(pool.checkout().unwrap_err(), PoolError::Down);
+        assert!(!pool.is_up(), "failed dialing must mark the backend down");
+    }
+}

@@ -1,0 +1,313 @@
+//! The front server: wire protocol in, shard calls out.
+//!
+//! Speaks the same v2 protocol as a single `staq-serve` server, so every
+//! existing client — including the load generator — works against a
+//! sharded fleet unchanged. Per-request routing:
+//!
+//! * `Measures` / `Query` / `AddPoi` carry a category → routed to the
+//!   one shard that [`shard_for`] assigns it.
+//! * `AddBusRoute` changes the transit schedule for every category →
+//!   broadcast to all shards concurrently. A partial application (some
+//!   shard down mid-broadcast) is reported as `Unavailable` with the
+//!   applied count; the live shards keep the edit.
+//! * `Stats` scatter-gathers: every live shard's [`StatsReply`] merges
+//!   into one — engine fields sum, cached categories union, and metrics
+//!   snapshots fold together via [`MetricsSnapshot::merge`] (or, when the
+//!   backends share this process's registry, one snapshot stands for all
+//!   to avoid double-counting).
+//!
+//! Threading mirrors `staq-serve`'s server: an acceptor spawns one
+//! framing thread per client connection; that thread blocks on backend
+//! round-trips, and backend-side concurrency is bounded by the per-shard
+//! pools rather than a worker pool here.
+
+use crate::hash::shard_for;
+use crate::metrics;
+use crate::supervisor::ShardSupervisor;
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use staq_obs::MetricsSnapshot;
+use staq_serve::codec::{
+    self, CodecError, ErrorCode, Request, Response, StatsReply, MAX_FRAME_LEN,
+};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Router front-end tunables.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig { addr: "127.0.0.1:0".into() }
+    }
+}
+
+/// Handle to a running router; dropping it shuts down the front end and
+/// the supervised backend fleet.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    sup: Arc<ShardSupervisor>,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl RouterHandle {
+    /// The bound front address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The supervised fleet behind this router (test hooks: kill a
+    /// backend, check shard status).
+    pub fn supervisor(&self) -> &ShardSupervisor {
+        &self.sup
+    }
+
+    /// Stops accepting, drains connections, then shuts the fleet down.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            h.join().expect("router acceptor panicked");
+        }
+        let conns = std::mem::take(&mut *self.conns.lock());
+        for c in conns {
+            c.join().expect("router connection thread panicked");
+        }
+        self.sup.shutdown();
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds the front end over an already-started fleet.
+pub fn route(sup: ShardSupervisor, cfg: &RouterConfig) -> std::io::Result<RouterHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let sup = Arc::new(sup);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        let conns = Arc::clone(&conns);
+        let sup = Arc::clone(&sup);
+        std::thread::Builder::new()
+            .name("staq-shard-acceptor".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shutdown = Arc::clone(&shutdown);
+                    let sup = Arc::clone(&sup);
+                    let handle = std::thread::Builder::new()
+                        .name("staq-shard-conn".into())
+                        .spawn(move || {
+                            let _ = handle_connection(stream, &sup, &shutdown);
+                        })
+                        .expect("spawning router connection thread");
+                    conns.lock().push(handle);
+                }
+            })
+            .expect("spawning router acceptor thread")
+    };
+
+    Ok(RouterHandle { addr, sup, shutdown, acceptor: Some(acceptor), conns })
+}
+
+/// Serves one front connection until it closes, desyncs, or shutdown.
+fn handle_connection(
+    mut stream: TcpStream,
+    sup: &ShardSupervisor,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut buf = BytesMut::with_capacity(4096);
+    let mut scratch = [0u8; 16 * 1024];
+    let mut out = BytesMut::with_capacity(4096);
+
+    loop {
+        loop {
+            match codec::decode_request(&mut buf) {
+                Ok(Some(request)) => {
+                    let response = dispatch(sup, request);
+                    out.clear();
+                    codec::encode_response(&response, &mut out);
+                    stream.write_all(&out)?;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    out.clear();
+                    codec::encode_response(
+                        &Response::Error { code: ErrorCode::BadRequest, message: e.to_string() },
+                        &mut out,
+                    );
+                    let _ = stream.write_all(&out);
+                    return Ok(());
+                }
+            }
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => return Ok(()),
+            Ok(n) => {
+                if buf.len() + n > MAX_FRAME_LEN + 4 {
+                    return Err(std::io::Error::new(
+                        ErrorKind::InvalidData,
+                        CodecError::FrameTooLarge(buf.len() + n),
+                    ));
+                }
+                buf.extend_from_slice(&scratch[..n]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Routes one decoded request to the fleet and produces its response.
+pub fn dispatch(sup: &ShardSupervisor, request: Request) -> Response {
+    metrics::route_counter(request.kind_label()).inc();
+    match &request {
+        Request::Measures { category }
+        | Request::Query { category, .. }
+        | Request::AddPoi { category, .. } => {
+            sup.call(shard_for(*category, sup.n_shards()), &request)
+        }
+        Request::AddBusRoute { .. } => broadcast(sup, &request),
+        Request::Stats => gather_stats(sup),
+    }
+}
+
+/// Applies a schedule edit on every shard concurrently. All-or-error:
+/// any non-success is reported (with how many shards applied the edit),
+/// because a fleet with divergent schedules serves inconsistent answers
+/// until the dead shard respawns into a fresh city.
+fn broadcast(sup: &ShardSupervisor, request: &Request) -> Response {
+    let n = sup.n_shards();
+    let replies: Vec<Response> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..n).map(|i| scope.spawn(move |_| sup.call(i, request))).collect();
+        handles.into_iter().map(|h| h.join().expect("broadcast thread panicked")).collect()
+    })
+    .expect("broadcast scope");
+
+    let mut applied = 0usize;
+    let mut first_ok = None;
+    let mut first_err = None;
+    for r in replies {
+        match r {
+            Response::Error { .. } => first_err.get_or_insert(r),
+            ok => {
+                applied += 1;
+                first_ok.get_or_insert(ok)
+            }
+        };
+    }
+    match (first_ok, first_err) {
+        (Some(ok), None) => ok,
+        // A semantic rejection (e.g. a one-stop route) is unanimous —
+        // every backend validates identically — so relaying the first
+        // error frame covers both the all-down and all-rejected cases.
+        (None, Some(err)) => err,
+        (Some(_), Some(_)) => Response::Error {
+            code: ErrorCode::Unavailable,
+            message: format!(
+                "bus route applied on {applied}/{n} shards; dead shards will respawn without it"
+            ),
+        },
+        (None, None) => unreachable!("fleet is never empty"),
+    }
+}
+
+/// Scatter-gathers `Stats` from every live shard into one reply.
+fn gather_stats(sup: &ShardSupervisor) -> Response {
+    let n = sup.n_shards();
+    let replies: Vec<Response> = crossbeam::scope(|scope| {
+        let handles: Vec<_> =
+            (0..n).map(|i| scope.spawn(move |_| sup.call(i, &Request::Stats))).collect();
+        handles.into_iter().map(|h| h.join().expect("stats thread panicked")).collect()
+    })
+    .expect("stats scope");
+
+    let stats: Vec<StatsReply> = replies
+        .into_iter()
+        .filter_map(|r| match r {
+            Response::Stats(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    if stats.is_empty() {
+        return Response::Error {
+            code: ErrorCode::Unavailable,
+            message: "no shard answered stats".into(),
+        };
+    }
+    Response::Stats(merge_stats(stats, sup.any_in_process()))
+}
+
+/// Merges per-shard stats. Engine-level fields (`pipeline_runs`,
+/// `requests_served`, `workers`, `cached`) are per-engine state and
+/// always sum/union. The metrics snapshot is registry state: with
+/// out-of-process backends each reply carries a distinct registry and
+/// they fold via [`MetricsSnapshot::merge`]; with in-process backends
+/// every reply snapshot *is* this process's registry, so the local
+/// snapshot stands alone (summing N copies would multiply every value
+/// by the fleet size).
+fn merge_stats(stats: Vec<StatsReply>, backends_share_registry: bool) -> StatsReply {
+    let mut merged = StatsReply {
+        pipeline_runs: 0,
+        requests_served: 0,
+        cached: Vec::new(),
+        workers: 0,
+        metrics: MetricsSnapshot::default(),
+    };
+    for s in &stats {
+        merged.pipeline_runs += s.pipeline_runs;
+        merged.requests_served += s.requests_served;
+        merged.workers = merged.workers.saturating_add(s.workers);
+        for &c in &s.cached {
+            if !merged.cached.contains(&c) {
+                merged.cached.push(c);
+            }
+        }
+    }
+    // Deterministic category order, independent of shard reply order.
+    merged.cached.sort_by_key(|c| {
+        staq_synth::PoiCategory::ALL.iter().position(|k| k == c).unwrap_or(usize::MAX)
+    });
+    if backends_share_registry {
+        merged.metrics = staq_obs::snapshot();
+    } else {
+        for s in &stats {
+            merged.metrics.merge(&s.metrics);
+        }
+        // The router's own registry (shard.* counters, per-backend
+        // latency) rides along in the same reply.
+        merged.metrics.merge(&staq_obs::snapshot());
+    }
+    merged
+}

@@ -1,0 +1,293 @@
+//! Backend lifecycle and the per-shard call path.
+//!
+//! [`ShardSupervisor::start`] boots every backend in parallel, readiness-
+//! probes each one (connect + `Stats` until it answers) and only then
+//! admits traffic. A monitor thread watches liveness: a backend that dies
+//! — observed either by the monitor or by a failed call — is marked down,
+//! and after `respawn_backoff` the monitor restarts it, re-probes, and
+//! brings its pool back up under a fresh generation.
+//!
+//! While a shard is down, calls to it fail fast with
+//! `ErrorCode::Unavailable` — no dialing, no timeout-waiting — so the
+//! categories owned by live shards are completely unaffected by a crashed
+//! neighbour.
+//!
+//! Retry semantics on a mid-call failure:
+//!
+//! * **Reads** (`Measures`, `Query`, `Stats`) are idempotent and retried
+//!   once on a *fresh* connection (the failed one is poisoned and
+//!   discarded; the wire protocol has no request ids, so the same
+//!   connection must never be reused after a desync).
+//! * **Edits** (`AddPoi`, `AddBusRoute`) are not retried: the backend may
+//!   have applied the edit before the connection died, and replaying it
+//!   would double-apply. The caller gets `Unavailable` and decides.
+
+use crate::backend::Backend;
+use crate::metrics;
+use crate::pool::{BackendPool, PoolConfig, PoolError};
+use parking_lot::Mutex;
+use staq_serve::codec::{ErrorCode, Request, Response};
+use staq_serve::Client;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Supervisor tunables.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Delay between a backend being marked down and the respawn attempt.
+    pub respawn_backoff: Duration,
+    /// Readiness-probe window per backend start.
+    pub probe_timeout: Duration,
+    /// Monitor thread tick.
+    pub poll_interval: Duration,
+    /// Per-backend connection pool settings.
+    pub pool: PoolConfig,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            respawn_backoff: Duration::from_millis(500),
+            probe_timeout: Duration::from_secs(600),
+            poll_interval: Duration::from_millis(50),
+            pool: PoolConfig::default(),
+        }
+    }
+}
+
+struct Slot {
+    backend: Mutex<Box<dyn Backend>>,
+    pool: BackendPool,
+}
+
+struct Inner {
+    slots: Vec<Slot>,
+    cfg: SupervisorConfig,
+    shutdown: AtomicBool,
+}
+
+/// Spawns, probes, monitors and respawns the backend fleet; owns the
+/// routed call path. Dropping the supervisor kills every backend.
+pub struct ShardSupervisor {
+    inner: Arc<Inner>,
+    /// Behind a mutex so [`shutdown`](Self::shutdown) can take `&self` —
+    /// the router shares the supervisor across connection threads.
+    monitor: Mutex<Option<JoinHandle<()>>>,
+    in_process: bool,
+}
+
+impl ShardSupervisor {
+    /// Starts every backend concurrently (city builds dominate startup),
+    /// probes readiness, and admits traffic. Fails if any backend cannot
+    /// start or never answers its probe.
+    pub fn start(
+        backends: Vec<Box<dyn Backend>>,
+        cfg: SupervisorConfig,
+    ) -> io::Result<ShardSupervisor> {
+        assert!(!backends.is_empty(), "a shard fleet needs at least one backend");
+        let in_process = backends.iter().any(|b| b.in_process());
+        let probe_timeout = cfg.probe_timeout;
+        let slots: Vec<Slot> = backends
+            .into_iter()
+            .map(|b| Slot { backend: Mutex::new(b), pool: BackendPool::new(cfg.pool.clone()) })
+            .collect();
+
+        let addrs: Vec<io::Result<SocketAddr>> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = slots
+                .iter()
+                .map(|slot| {
+                    scope.spawn(move |_| -> io::Result<SocketAddr> {
+                        let addr = slot.backend.lock().start()?;
+                        probe(addr, probe_timeout)?;
+                        Ok(addr)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("backend start panicked")).collect()
+        })
+        .expect("backend start scope");
+
+        for (slot, addr) in slots.iter().zip(addrs) {
+            match addr {
+                Ok(a) => slot.pool.bring_up(a),
+                Err(e) => {
+                    for s in &slots {
+                        s.backend.lock().kill();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        let inner = Arc::new(Inner { slots, cfg, shutdown: AtomicBool::new(false) });
+        let monitor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("staq-shard-monitor".into())
+                .spawn(move || monitor_loop(&inner))
+                .expect("spawning monitor thread")
+        };
+        Ok(ShardSupervisor { inner, monitor: Mutex::new(Some(monitor)), in_process })
+    }
+
+    /// Number of shards in the fleet.
+    pub fn n_shards(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// True when any backend shares this process (and its metrics
+    /// registry) — the Stats merge must not sum identical snapshots.
+    pub fn any_in_process(&self) -> bool {
+        self.in_process
+    }
+
+    /// Whether a shard is currently admitting traffic.
+    pub fn is_up(&self, shard: usize) -> bool {
+        self.inner.slots[shard].pool.is_up()
+    }
+
+    /// Test hook: hard-kills one backend, as a crash would. The monitor
+    /// respawns it after the configured backoff.
+    pub fn kill_backend(&self, shard: usize) {
+        let slot = &self.inner.slots[shard];
+        slot.backend.lock().kill();
+        if slot.pool.mark_down() {
+            metrics::FAILOVERS.inc();
+        }
+    }
+
+    /// Sends one request to one shard through its pool, with the retry
+    /// semantics described at module level. Failures come back as
+    /// `Unavailable` error frames, never as transport errors — the front
+    /// connection stays healthy while backends churn.
+    pub fn call(&self, shard: usize, request: &Request) -> Response {
+        let slot = &self.inner.slots[shard];
+        let retryable = !matches!(request, Request::AddPoi { .. } | Request::AddBusRoute { .. });
+        let attempts = if retryable { 2 } else { 1 };
+
+        for attempt in 0..attempts {
+            let mut lease = match slot.pool.checkout() {
+                Ok(l) => l,
+                Err(PoolError::Down) => return unavailable(shard, "down"),
+                Err(PoolError::Overloaded) => return unavailable(shard, "overloaded"),
+            };
+            let gen = lease.gen;
+            let t = Instant::now();
+            match lease.client.call(request) {
+                Ok(resp) => {
+                    metrics::backend_latency(shard).record(t.elapsed());
+                    slot.pool.give_back(lease);
+                    return resp;
+                }
+                Err(_) => {
+                    // The lease is poisoned; give_back frees the permit
+                    // and drops the connection.
+                    slot.pool.give_back(lease);
+                    if attempt + 1 < attempts {
+                        metrics::RETRIES.inc();
+                        continue;
+                    }
+                    if slot.pool.mark_down_if(gen) {
+                        metrics::FAILOVERS.inc();
+                    }
+                    return unavailable(shard, "failed mid-request");
+                }
+            }
+        }
+        unreachable!("attempts >= 1")
+    }
+
+    /// Stops the monitor and kills every backend. Idempotent.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(h) = self.monitor.lock().take() {
+            h.join().expect("monitor thread panicked");
+        }
+        for slot in &self.inner.slots {
+            slot.backend.lock().kill();
+            slot.pool.mark_down();
+        }
+    }
+}
+
+impl Drop for ShardSupervisor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn unavailable(shard: usize, why: &str) -> Response {
+    Response::Error { code: ErrorCode::Unavailable, message: format!("shard {shard} is {why}") }
+}
+
+/// Readiness: the backend must answer a real `Stats` request, not merely
+/// accept a connection — the listener comes up before the worker pool.
+fn probe(addr: SocketAddr, timeout: Duration) -> io::Result<()> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok(mut c) = Client::connect(addr) {
+            if c.stats().is_ok() {
+                return Ok(());
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("backend at {addr} never answered its readiness probe"),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Watches liveness and respawns dead backends after the backoff.
+fn monitor_loop(inner: &Inner) {
+    // Per-slot deadline for the next respawn attempt.
+    let mut respawn_at: Vec<Option<Instant>> = vec![None; inner.slots.len()];
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(inner.cfg.poll_interval);
+        for (i, slot) in inner.slots.iter().enumerate() {
+            if slot.pool.is_up() {
+                respawn_at[i] = None;
+                // The process can die without any call noticing (idle
+                // shard): poll liveness directly.
+                if !slot.backend.lock().is_alive() && slot.pool.mark_down() {
+                    metrics::FAILOVERS.inc();
+                }
+                continue;
+            }
+            let due =
+                *respawn_at[i].get_or_insert_with(|| Instant::now() + inner.cfg.respawn_backoff);
+            if Instant::now() < due {
+                continue;
+            }
+            // Attempt a restart; on failure, back off again.
+            let started = {
+                let mut backend = slot.backend.lock();
+                backend.start().and_then(|addr| {
+                    probe(addr, inner.cfg.probe_timeout)?;
+                    Ok(addr)
+                })
+            };
+            match started {
+                Ok(addr) => {
+                    slot.pool.bring_up(addr);
+                    metrics::RESPAWNS.inc();
+                    respawn_at[i] = None;
+                }
+                Err(_) => {
+                    respawn_at[i] = Some(Instant::now() + inner.cfg.respawn_backoff);
+                }
+            }
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+    }
+}

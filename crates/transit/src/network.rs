@@ -60,6 +60,10 @@ pub struct Pattern {
     arrivals: Vec<Stime>,
     /// Flattened departures, same layout.
     departures: Vec<Stime>,
+    /// Bit `DayOfWeek::index()` set when at least one trip runs that day.
+    /// Lets the router skip whole patterns on no-service days before they
+    /// are ever enqueued.
+    service_days: u8,
 }
 
 impl Pattern {
@@ -99,6 +103,14 @@ impl Pattern {
             }
         }
         (lo..n).find(|&k| feed.trip_runs_on(self.trips[k], day))
+    }
+
+    /// True when at least one of this pattern's trips runs on `day`.
+    /// Precomputed at network build; a pattern with no service can never
+    /// board, so skipping it entirely is exact.
+    #[inline]
+    pub fn runs_on(&self, day: DayOfWeek) -> bool {
+        self.service_days & (1u8 << day.index()) != 0
     }
 }
 
@@ -434,13 +446,19 @@ fn build_patterns(feed: &FeedIndex) -> Vec<Pattern> {
         let (route, stops) = key;
         let mut arrivals = Vec::with_capacity(trips.len() * stops.len());
         let mut departures = Vec::with_capacity(trips.len() * stops.len());
+        let mut service_days = 0u8;
         for &t in &trips {
             for c in feed.trip_calls(t) {
                 arrivals.push(c.arrival);
                 departures.push(c.departure);
             }
+            for day in DayOfWeek::ALL {
+                if feed.trip_runs_on(t, day) {
+                    service_days |= 1u8 << day.index();
+                }
+            }
         }
-        patterns.push(Pattern { route, stops, trips, arrivals, departures });
+        patterns.push(Pattern { route, stops, trips, arrivals, departures, service_days });
     }
     patterns
 }

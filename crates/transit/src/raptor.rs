@@ -69,6 +69,9 @@ static PATTERNS_PRUNED: Counter = Counter::new("raptor.patterns_pruned");
 /// Rounds cut by the bound-based early exit (remaining rounds that would
 /// have scanned, summed per query).
 static ROUNDS_CUT: Counter = Counter::new("raptor.rounds_cut");
+/// Pattern-enqueue attempts skipped because the pattern runs no trip at
+/// all on the query day — `earliest_trip` could never board it.
+static PATTERNS_DAY_SKIPPED: Counter = Counter::new("raptor.patterns_day_skipped");
 
 /// How a stop's arrival time was achieved in a given round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -194,6 +197,7 @@ impl<'n, 'a> Raptor<'n, 'a> {
         let mut rounds_run = 0u64;
         let mut patterns_scanned = 0u64;
         let mut patterns_pruned = 0u64;
+        let mut patterns_day_skipped = 0u64;
         let mut rounds_cut = 0u64;
 
         let mut s = self.scratch.borrow_mut();
@@ -321,6 +325,13 @@ impl<'n, 'a> Raptor<'n, 'a> {
                 }
                 for &(p, pos) in self.net.patterns_at(st) {
                     let pi = p as usize;
+                    if prune && !self.net.patterns()[pi].runs_on(day) {
+                        // No trip of this pattern runs on the query day:
+                        // `earliest_trip` would reject every candidate, so
+                        // scanning it is a provable no-op.
+                        patterns_day_skipped += 1;
+                        continue;
+                    }
                     if prune && pos as usize + 1 >= self.net.patterns()[pi].stops.len() {
                         // Boarding at a pattern's last stop can't alight
                         // anywhere: the scan would be a provable no-op.
@@ -453,6 +464,7 @@ impl<'n, 'a> Raptor<'n, 'a> {
         ROUNDS.add(rounds_run);
         PATTERNS_SCANNED.add(patterns_scanned);
         PATTERNS_PRUNED.add(patterns_pruned);
+        PATTERNS_DAY_SKIPPED.add(patterns_day_skipped);
         ROUNDS_CUT.add(rounds_cut);
         match best {
             Some((total, stop, egress_w)) if total < direct => {

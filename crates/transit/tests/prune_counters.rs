@@ -76,4 +76,25 @@ fn pruning_cuts_pattern_scans_and_cache_serves_warm_queries() {
     // The pruning-specific counters actually move on this workload.
     assert!(counter("raptor.patterns_pruned") > 0, "no patterns were ever pruned");
     assert!(counter("raptor.rounds_cut") > 0, "no rounds were ever cut early");
+
+    // Day filter: the synth feed runs no Sunday service, so every pattern
+    // a Sunday query touches is skipped before enqueueing — and a weekday
+    // query skips none (all synth patterns run Mon–Sat).
+    let day_before = counter("raptor.patterns_day_skipped");
+    for (o, d) in ods.iter().take(10) {
+        pruned.query(o, d, depart, DayOfWeek::Sunday);
+    }
+    assert!(
+        counter("raptor.patterns_day_skipped") > day_before,
+        "Sunday queries must skip serviceless patterns by day"
+    );
+    let day_before = counter("raptor.patterns_day_skipped");
+    for (o, d) in ods.iter().take(10) {
+        pruned.query(o, d, depart, DayOfWeek::Tuesday);
+    }
+    assert_eq!(
+        counter("raptor.patterns_day_skipped"),
+        day_before,
+        "weekday queries must not skip any pattern by day"
+    );
 }

@@ -163,11 +163,31 @@ fn shutdown_disconnects_idle_clients_cleanly() {
     let mut server = start_server(2);
     let mut c = Client::connect(server.addr()).expect("connect");
     c.stats().expect("stats");
+    assert!(!c.is_poisoned(), "a healthy request/response must not poison");
     server.shutdown();
     // After shutdown the connection is gone: the next call fails rather
-    // than hanging.
+    // than hanging, and the failure poisons the client so a pool can
+    // detect the broken connection instead of reusing it.
     match c.stats() {
         Err(_) => {}
         Ok(_) => panic!("server answered after shutdown"),
     }
+    assert!(c.is_poisoned(), "a mid-call failure must poison the connection");
+    match c.stats() {
+        Err(ClientError::Poisoned) => {}
+        other => panic!("a poisoned client must fail fast, got {other:?}"),
+    }
+}
+
+#[test]
+fn semantic_error_frames_do_not_poison() {
+    let mut server = start_server(2);
+    let mut c = Client::connect(server.addr()).expect("connect");
+    match c.add_bus_route(&[staq_repro::geom::Point::new(0.0, 0.0)], 600) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Invalid),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    assert!(!c.is_poisoned(), "error frames keep the protocol in sync");
+    c.stats().expect("connection stays usable");
+    server.shutdown();
 }
