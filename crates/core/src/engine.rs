@@ -188,22 +188,26 @@ impl AccessEngine {
     /// Concurrent callers for a cold category coalesce into one pipeline
     /// run; everyone gets the same shared result.
     pub fn measures(&self, category: PoiCategory) -> Arc<PipelineResult> {
+        let mut span = staq_obs::trace::span("engine.measures");
         // Fast path / join path under the cache lock.
         let (flight, start_epoch) = {
             let mut cache = self.cache.lock();
             match cache.slots.get(&category) {
                 Some(Slot::Ready(r)) => {
                     CACHE_HITS.inc();
+                    span.attr("cache_hit", 1);
                     return Arc::clone(r);
                 }
                 Some(Slot::Pending(f)) => {
                     let f = Arc::clone(f);
                     drop(cache);
                     CACHE_JOINS.inc();
+                    span.attr("cache_join", 1);
                     return f.wait();
                 }
                 None => {
                     CACHE_MISSES.inc();
+                    span.attr("cache_miss", 1);
                     let epoch = *cache.epochs.entry(category).or_insert(0);
                     let flight = Flight::new();
                     cache.slots.insert(category, Slot::Pending(Arc::clone(&flight)));

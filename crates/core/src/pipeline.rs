@@ -17,7 +17,7 @@ use rand::SeedableRng;
 use staq_access::ZoneMeasures;
 use staq_hoptree::{aggregate, FeatureExtractor, FEATURE_DIM};
 use staq_ml::{Matrix, SparseAdj, SsrTask};
-use staq_obs::{AtomicHistogram, Counter};
+use staq_obs::{trace, AtomicHistogram, Counter};
 use staq_synth::{City, PoiCategory, ZoneId};
 use staq_todam::{LabelEngine, Todam, ZoneStats};
 use staq_transit::{AccessCost, CostKind};
@@ -107,19 +107,24 @@ impl<'a> SsrPipeline<'a> {
     /// Runs the full pipeline for one POI category.
     pub fn run(&self, category: PoiCategory) -> PipelineResult {
         let cfg = &self.config;
+        let _run_span = trace::span("pipeline.run");
 
         // 1. TODAM.
         let t0 = Instant::now();
+        let stage = trace::span("pipeline.stage.todam");
         let matrix = cfg.todam.build(self.city, category);
+        drop(stage);
         let todam_secs = t0.elapsed().as_secs_f64();
         STAGE_TODAM.record(t0.elapsed());
 
         // 2. Features for every zone (α-weighted origin level).
         let t0 = Instant::now();
+        let stage = trace::span("pipeline.stage.features");
         let mut fx = FeatureExtractor::new(self.city, &self.artifacts.store);
         fx.use_interchanges = cfg.use_interchange_features;
         fx.max_hops = cfg.max_hops;
         let feats = aggregate::all_origin_features(&fx, self.city, &matrix);
+        drop(stage);
         let feature_secs = t0.elapsed().as_secs_f64();
         STAGE_FEATURES.record(t0.elapsed());
 
@@ -136,6 +141,7 @@ impl<'a> SsrPipeline<'a> {
 
         // 3. Draw L at budget β.
         let t0 = Instant::now();
+        let stage = trace::span("pipeline.stage.sampling");
         let n_l = ((eligible.len() as f64 * cfg.beta).ceil() as usize).clamp(2, eligible.len() - 1);
         let labeled = match cfg.sampling {
             crate::config::SamplingStrategy::Random => {
@@ -152,6 +158,7 @@ impl<'a> SsrPipeline<'a> {
         let labeled_set: std::collections::HashSet<ZoneId> = labeled.iter().copied().collect();
         let unlabeled: Vec<ZoneId> =
             eligible.iter().copied().filter(|z| !labeled_set.contains(z)).collect();
+        drop(stage);
         let sampling_secs = t0.elapsed().as_secs_f64();
         STAGE_SAMPLING.record(t0.elapsed());
 
@@ -162,7 +169,9 @@ impl<'a> SsrPipeline<'a> {
         };
         let engine = LabelEngine::new(self.city, cost_model, cfg.todam.interval.clone());
         let t0 = Instant::now();
+        let stage = trace::span("pipeline.stage.labeling");
         let stats = engine.label_zones(&matrix, &labeled);
+        drop(stage);
         let label_secs = t0.elapsed().as_secs_f64();
         STAGE_LABELING.record(t0.elapsed());
         let labeled_trips = engine.trip_count(&matrix, &labeled);
@@ -172,6 +181,7 @@ impl<'a> SsrPipeline<'a> {
 
         // 5. SSR train + infer.
         let t0 = Instant::now();
+        let stage = trace::span("pipeline.stage.train");
         let x_labeled = feature_matrix(&feats, &labeled);
         let x_unlabeled = feature_matrix(&feats, &unlabeled);
         let y_labeled = Matrix::from_rows(
@@ -200,6 +210,7 @@ impl<'a> SsrPipeline<'a> {
         };
         let model = cfg.model.build();
         let pred = model.fit_predict(&task);
+        drop(stage);
         let train_secs = t0.elapsed().as_secs_f64();
         STAGE_TRAIN.record(t0.elapsed());
         PIPELINE_RUNS.inc();

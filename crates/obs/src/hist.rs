@@ -161,18 +161,38 @@ impl LatencyHistogram {
     }
 }
 
-/// Human-scaled duration: ns under 1 µs, µs under 1 ms, ms under 1 s.
+/// Human-scaled duration: exact `0ns`, whole ns under 1 µs, then
+/// µs / ms / s, with minutes and hours above two minutes.
+///
+/// Unit thresholds sit where the smaller unit's rounded display would
+/// hit `1000.0` of itself, so `999.96µs` prints as `1.00ms` — never the
+/// four-integer-digit `1000.0us` the naive `< 1_000_000` cut produces.
+/// Span self-times are routinely sub-microsecond, hence the exact-ns
+/// band at the bottom; `u64::MAX` ns lands in the hours band instead of
+/// an 11-digit seconds figure.
 pub fn fmt_dur(d: Duration) -> String {
     let ns = d.as_nanos();
-    if ns < 1_000 {
-        format!("{ns}ns")
-    } else if ns < 1_000_000 {
-        format!("{:.1}us", ns as f64 / 1e3)
-    } else if ns < 1_000_000_000 {
-        format!("{:.2}ms", ns as f64 / 1e6)
-    } else {
-        format!("{:.3}s", ns as f64 / 1e9)
+    if ns == 0 {
+        return "0ns".into();
     }
+    if ns < 1_000 {
+        return format!("{ns}ns");
+    }
+    if ns < 999_950 {
+        return format!("{:.1}us", ns as f64 / 1e3);
+    }
+    if ns < 999_995_000 {
+        return format!("{:.2}ms", ns as f64 / 1e6);
+    }
+    let secs = ns as f64 / 1e9;
+    if secs < 120.0 {
+        return format!("{secs:.3}s");
+    }
+    let mins = secs / 60.0;
+    if mins < 120.0 {
+        return format!("{mins:.1}m");
+    }
+    format!("{:.1}h", mins / 60.0)
 }
 
 #[cfg(test)]
@@ -240,6 +260,30 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.percentile(99.0), Duration::ZERO);
         assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn fmt_dur_boundaries() {
+        let f = |ns: u64| fmt_dur(Duration::from_nanos(ns));
+        assert_eq!(f(0), "0ns");
+        assert_eq!(f(1), "1ns");
+        assert_eq!(f(999), "999ns");
+        assert_eq!(f(1_000), "1.0us");
+        assert_eq!(f(1_500), "1.5us");
+        assert_eq!(f(999_949), "999.9us");
+        // At the rounding cliff the unit promotes instead of showing
+        // "1000.0us".
+        assert_eq!(f(999_950), "1.00ms");
+        assert_eq!(f(1_000_000), "1.00ms");
+        assert_eq!(f(999_994_999), "999.99ms");
+        assert_eq!(f(999_995_000), "1.000s");
+        assert_eq!(f(1_000_000_000), "1.000s");
+        assert_eq!(f(119_999_000_000), "119.999s");
+        assert_eq!(f(120_000_000_000), "2.0m");
+        assert_eq!(f(7_200_000_000_000), "2.0h");
+        // u64::MAX ns is ~585 years; it must stay finite and short.
+        let huge = f(u64::MAX);
+        assert!(huge.ends_with('h') && huge.len() < 16, "{huge}");
     }
 
     #[test]

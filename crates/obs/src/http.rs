@@ -1,0 +1,144 @@
+//! A deliberately tiny HTTP/1.1 listener for `GET /metrics`.
+//!
+//! Just enough for a Prometheus scraper or `curl`: one thread, one
+//! request per connection, close after the response. Anything fancier
+//! belongs in a real HTTP stack; the point here is that `serve` and
+//! `shard` daemons gain a scrape port (`--metrics-addr`) without a
+//! dependency.
+
+use crate::prom;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running scrape listener; [`shutdown`](Self::shutdown) (or
+/// drop) stops it.
+pub struct ScrapeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ScrapeHandle {
+    /// The bound scrape address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Nudge the blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.thread.take() {
+            h.join().expect("metrics listener thread panicked");
+        }
+    }
+}
+
+impl Drop for ScrapeHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` (port 0 picks a free port) and answers `GET /metrics`
+/// with the Prometheus rendering of the process's metric registry.
+/// Other paths get 404, other methods 405.
+pub fn serve_prometheus(addr: &str) -> io::Result<ScrapeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new().name("staq-metrics-http".into()).spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // Scrapes are rare and tiny; serve inline rather
+                // than spawning per connection.
+                let _ = answer(stream);
+            }
+        })?
+    };
+    Ok(ScrapeHandle { addr, stop, thread: Some(thread) })
+}
+
+/// Reads one request head and writes one response.
+fn answer(mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 2048];
+    let mut len = 0usize;
+    // Read until the header terminator (or the buffer fills — a request
+    // line that big gets whatever we parsed so far).
+    while len < buf.len() && !buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => len += n,
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", String::from("method not allowed\n"))
+    } else if path == "/metrics" || path.starts_with("/metrics?") {
+        ("200 OK", prom::render(&crate::registry::snapshot()))
+    } else {
+        ("404 Not Found", String::from("try /metrics\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn scrapes_metrics_and_rejects_other_paths() {
+        static PROBE: crate::registry::Counter =
+            crate::registry::Counter::new("test.http.scrape_probe");
+        PROBE.add(5);
+        let mut handle = serve_prometheus("127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+
+        let ok = get(addr, "/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        #[cfg(not(feature = "obs-off"))]
+        assert!(ok.contains("staq_test_http_scrape_probe"), "{ok}");
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+
+        handle.shutdown();
+        handle.shutdown(); // idempotent
+    }
+}

@@ -17,16 +17,35 @@
 //! * [`snapshot`] — [`MetricsSnapshot`], the serde-typed interchange view
 //!   with a hand-rolled JSON codec (`to_json`/`from_json`) for
 //!   `BENCH_*.json` trajectories and the serve `Stats` frame.
+//! * [`trace`] — staq-trace: per-query spans in a lock-free seqlock ring,
+//!   with a propagatable [`SpanContext`] that crosses threads by value
+//!   and processes via the wire protocol's v3 frame header.
+//! * [`prom`] / [`http`] — the ops scrape surface: Prometheus text
+//!   exposition of a snapshot and the std-only `--metrics-addr`
+//!   listener that serves it.
 //!
 //! Instrumentation cost: a counter bump is one relaxed `fetch_add` plus a
-//! relaxed flag load; a histogram record is three. Building with the
-//! `obs-off` feature compiles every recording call to a no-op so the
-//! overhead itself is benchmarkable.
+//! relaxed flag load; a histogram record is three; an untraced span is a
+//! thread-local read. Building with the `obs-off` feature compiles every
+//! recording call — metrics and spans — to a no-op so the overhead
+//! itself is benchmarkable.
 
 pub mod hist;
+pub mod http;
+pub mod prom;
 pub mod registry;
 pub mod snapshot;
+pub mod trace;
 
 pub use hist::{fmt_dur, LatencyHistogram};
+pub use http::{serve_prometheus, ScrapeHandle};
 pub use registry::{snapshot, AtomicHistogram, Counter, Gauge, ScopedTimer};
 pub use snapshot::{CounterSample, GaugeSample, HistogramSample, JsonError, MetricsSnapshot};
+pub use trace::{OwnedSpan, SpanContext, TraceId};
+
+/// True when the crate was built with recording compiled in (i.e. the
+/// `obs-off` feature is absent) — benches stamp this into their reports
+/// so a "fast" run can't silently be an uninstrumented one.
+pub const fn obs_enabled() -> bool {
+    cfg!(not(feature = "obs-off"))
+}

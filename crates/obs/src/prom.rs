@@ -1,0 +1,111 @@
+//! Prometheus text exposition of a [`MetricsSnapshot`].
+//!
+//! The scrape surface renders whatever [`snapshot()`](crate::snapshot())
+//! returns — counters and gauges as-is, histograms as cumulative
+//! `_bucket{le="..."}` series reconstructed from the sparse log-bucket
+//! pairs. Names map `.` → `_` under a `staq_` prefix; durations follow
+//! the Prometheus convention of seconds.
+
+use crate::hist::bucket_value;
+use crate::snapshot::MetricsSnapshot;
+
+/// Renders the snapshot in Prometheus text exposition format (v0.0.4).
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    for c in &snap.counters {
+        let name = metric_name(&c.name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.value));
+    }
+    for g in &snap.gauges {
+        let name = metric_name(&g.name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.value));
+    }
+    for h in &snap.histograms {
+        let name = metric_name(&h.name);
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cum = 0u64;
+        for &(idx, n) in &h.buckets {
+            cum += n;
+            let le = bucket_value(idx as usize) as f64 / 1e9;
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{name}_sum {}\n", h.sum_ns as f64 / 1e9));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    }
+    out
+}
+
+/// `engine.cache.hits` → `staq_engine_cache_hits`; anything outside
+/// `[a-zA-Z0-9_]` becomes `_` so foreign names can't break the format.
+fn metric_name(raw: &str) -> String {
+    let mut s = String::with_capacity(raw.len() + 5);
+    s.push_str("staq_");
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            s.push(c);
+        } else {
+            s.push('_');
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+    use crate::snapshot::{CounterSample, GaugeSample, HistogramSample};
+    use std::time::Duration;
+
+    #[test]
+    fn counters_and_gauges_render_with_types() {
+        let snap = MetricsSnapshot {
+            counters: vec![CounterSample { name: "engine.cache.hits".into(), value: 42 }],
+            gauges: vec![GaugeSample { name: "serve.workers".into(), value: 8 }],
+            histograms: vec![],
+        };
+        let text = render(&snap);
+        assert!(text.contains("# TYPE staq_engine_cache_hits counter\n"));
+        assert!(text.contains("staq_engine_cache_hits 42\n"));
+        assert!(text.contains("# TYPE staq_serve_workers gauge\n"));
+        assert!(text.contains("staq_serve_workers 8\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100u64 {
+            h.record(Duration::from_micros(i));
+        }
+        let snap = MetricsSnapshot {
+            histograms: vec![HistogramSample::from_histogram("serve.request.query", &h)],
+            ..Default::default()
+        };
+        let text = render(&snap);
+        assert!(text.contains("# TYPE staq_serve_request_query histogram\n"));
+        assert!(text.contains("staq_serve_request_query_bucket{le=\"+Inf\"} 100\n"));
+        assert!(text.contains("staq_serve_request_query_count 100\n"));
+        // Bucket counts never decrease down the page.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=")) {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= last, "non-cumulative bucket line: {line}");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn weird_names_sanitize() {
+        let snap = MetricsSnapshot {
+            counters: vec![CounterSample { name: "a.b-c d\"e".into(), value: 1 }],
+            ..Default::default()
+        };
+        assert!(render(&snap).contains("staq_a_b_c_d_e 1\n"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render(&MetricsSnapshot::default()), "");
+    }
+}

@@ -20,14 +20,31 @@
 //! With the `obs-off` feature every recording operation compiles to a
 //! no-op and snapshots are empty, so benches can price the
 //! instrumentation itself.
+//!
+//! ## The registry is process-global
+//!
+//! There is exactly one registry per process and no way to reset it:
+//! counters only ever go up, for as long as the process lives. Anything
+//! that shares a process shares every metric — most notably the test
+//! harness, which runs many `#[test]` functions concurrently in one
+//! binary. A test must therefore never assert an absolute counter value
+//! ("`serve.requests` == 3"); it must take a [`snapshot`] before the
+//! work, another after, and assert on the *delta* — other tests may bump
+//! the same metric at any moment. The same aliasing shows up in
+//! production topologies: a shard router whose backends run in-process
+//! sees one registry for the whole fleet (see the router's stats-merge
+//! logic), while out-of-process backends each own one.
 
-use crate::hist::{bucket, LatencyHistogram, N_BUCKETS};
+#[cfg(not(feature = "obs-off"))]
+use crate::hist::bucket;
+use crate::hist::{LatencyHistogram, N_BUCKETS};
 use crate::snapshot::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
 /// A registered metric, by reference to its static.
+#[cfg_attr(feature = "obs-off", allow(dead_code))]
 enum Metric {
     Counter(&'static Counter),
     Gauge(&'static Gauge),
@@ -56,6 +73,7 @@ macro_rules! ensure_registered {
 pub struct Counter {
     name: &'static str,
     value: AtomicU64,
+    #[cfg_attr(feature = "obs-off", allow(dead_code))]
     registered: AtomicBool,
 }
 
@@ -96,6 +114,7 @@ impl Counter {
 pub struct Gauge {
     name: &'static str,
     value: AtomicU64,
+    #[cfg_attr(feature = "obs-off", allow(dead_code))]
     registered: AtomicBool,
 }
 
@@ -137,6 +156,7 @@ pub struct AtomicHistogram {
     total: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
+    #[cfg_attr(feature = "obs-off", allow(dead_code))]
     registered: AtomicBool,
 }
 
@@ -270,6 +290,7 @@ mod tests {
     use super::*;
 
     static T_COUNTER: Counter = Counter::new("test.registry.counter");
+    #[cfg_attr(feature = "obs-off", allow(dead_code))]
     static T_GAUGE: Gauge = Gauge::new("test.registry.gauge");
     static T_HIST: AtomicHistogram = AtomicHistogram::new("test.registry.hist");
 

@@ -537,6 +537,56 @@ mod tests {
     }
 
     #[test]
+    fn empty_snapshot_roundtrips() {
+        // An untouched registry (or an obs-off build) snapshots to three
+        // empty arrays; the codec must not choke on the degenerate form.
+        let snap = MetricsSnapshot::default();
+        let json = snap.to_json();
+        let back = MetricsSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+        assert!(back.counters.is_empty() && back.gauges.is_empty() && back.histograms.is_empty());
+    }
+
+    #[test]
+    fn u64_max_values_roundtrip_exactly() {
+        // Counter/gauge values are u64 end to end; the JSON number path
+        // must not round through f64 (2^64 - 1 is not representable).
+        let snap = MetricsSnapshot {
+            counters: vec![CounterSample { name: "c".into(), value: u64::MAX }],
+            gauges: vec![GaugeSample { name: "g".into(), value: u64::MAX }],
+            histograms: Vec::new(),
+        };
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.counter("c"), Some(u64::MAX));
+        assert_eq!(back.gauge("g"), Some(u64::MAX));
+    }
+
+    #[test]
+    fn overflow_bucket_only_histogram_roundtrips() {
+        // Samples beyond the bucketed range (~18 min) all saturate into
+        // the top bucket; a histogram holding nothing else still has to
+        // survive the wire with count, max and bucket index intact.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..5 {
+            h.record_ns(u64::MAX);
+        }
+        let sample = HistogramSample::from_histogram("overflow", &h);
+        assert_eq!(sample.buckets.len(), 1, "all mass in one bucket");
+        assert_eq!(sample.buckets[0], (crate::hist::N_BUCKETS as u32 - 1, 5));
+
+        let snap = MetricsSnapshot { histograms: vec![sample], ..Default::default() };
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        let rebuilt = back.histograms[0].to_histogram();
+        assert_eq!(rebuilt.count(), 5);
+        assert_eq!(rebuilt.max(), Duration::from_nanos(u64::MAX));
+        // Percentiles resolve to the overflow bucket's representative
+        // value (the bucketed range tops out well below the true max).
+        let top = Duration::from_nanos(crate::hist::bucket_value(crate::hist::N_BUCKETS - 1));
+        assert_eq!(rebuilt.percentile(99.0), top);
+    }
+
+    #[test]
     fn string_escapes_roundtrip() {
         let snap = MetricsSnapshot {
             counters: vec![CounterSample {

@@ -4,7 +4,9 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use proptest::string::string_regex;
-use staq_obs::{AtomicHistogram, Counter, CounterSample, GaugeSample};
+#[cfg(not(feature = "obs-off"))]
+use staq_obs::AtomicHistogram;
+use staq_obs::{Counter, CounterSample, GaugeSample};
 use staq_obs::{HistogramSample, LatencyHistogram, MetricsSnapshot};
 use std::time::Duration;
 

@@ -3,6 +3,7 @@
 //! ```text
 //! serve [--addr 127.0.0.1:7878] [--workers N] [--city birmingham|coventry|test]
 //!       [--scale f] [--seed u64] [--queue-depth N] [--port-file path]
+//!       [--metrics-addr host:port]
 //! ```
 //!
 //! Builds the city and its offline artifacts (the expensive step), then
@@ -12,6 +13,9 @@
 //! file once the listener is up — how the staq-shard supervisor discovers
 //! the port of a backend it spawned. The write is atomic (temp file +
 //! rename) so a poller never reads a half-written address.
+//!
+//! `--metrics-addr` additionally serves the process's metrics registry as
+//! Prometheus text on `GET /metrics` — the ops scrape surface.
 
 use staq_serve::presets::CityPreset;
 use staq_serve::{serve, ServerConfig};
@@ -22,6 +26,7 @@ struct Args {
     scale: f64,
     seed: u64,
     port_file: Option<String>,
+    metrics_addr: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -31,6 +36,7 @@ fn parse_args() -> Args {
         scale: 0.05,
         seed: 42,
         port_file: None,
+        metrics_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -46,6 +52,7 @@ fn parse_args() -> Args {
             "--scale" => args.scale = parse(&mut it, "--scale"),
             "--seed" => args.seed = parse(&mut it, "--seed"),
             "--port-file" => args.port_file = Some(need(&mut it, "--port-file")),
+            "--metrics-addr" => args.metrics_addr = Some(need(&mut it, "--metrics-addr")),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -73,7 +80,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: serve [--addr host:port] [--workers N] [--queue-depth N] \
-         [--city birmingham|coventry|test] [--scale f] [--seed u64] [--port-file path]"
+         [--city birmingham|coventry|test] [--scale f] [--seed u64] [--port-file path] \
+         [--metrics-addr host:port]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
@@ -112,6 +120,14 @@ fn main() {
                 std::process::exit(1);
             });
     }
+    let _scrape = args.metrics_addr.as_ref().map(|addr| {
+        let h = staq_obs::serve_prometheus(addr).unwrap_or_else(|e| {
+            eprintln!("error: cannot bind metrics listener {addr}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("metrics on http://{}/metrics", h.addr());
+        h
+    });
 
     // Foreground daemon: block until stdin closes (^D, or the supervisor
     // hanging up), then drain and exit.

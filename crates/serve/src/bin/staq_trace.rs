@@ -1,0 +1,153 @@
+//! staq-trace: fetch a trace dump from a server or router and render
+//! per-query span trees.
+//!
+//! ```text
+//! staq-trace [--addr 127.0.0.1:7900] [--min-dur-us N] [--set-capture-us N]
+//!            [--limit N]
+//! ```
+//!
+//! Issues a `TraceDump` request (routers fan it out across the fleet and
+//! concatenate), stitches the returned spans into trees by
+//! `(trace, parent)` links, and prints one tree per trace — newest first
+//! — with each span's total time and self time (total minus the children
+//! that ran under it).
+//!
+//! `--min-dur-us` filters the dump server-side; `--set-capture-us`
+//! retunes the server's capture threshold for *future* spans, which is
+//! how an operator keeps sub-microsecond spans from flooding the ring
+//! before taking a dump worth reading.
+
+use staq_obs::{fmt_dur, OwnedSpan};
+use staq_serve::Client;
+use std::collections::HashMap;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    min_dur_us: u64,
+    set_capture_us: Option<u64>,
+    limit: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { addr: "127.0.0.1:7900".into(), min_dur_us: 0, set_capture_us: None, limit: 20 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => args.addr = need(&mut it, "--addr"),
+            "--min-dur-us" => args.min_dur_us = parse(&mut it, "--min-dur-us"),
+            "--set-capture-us" => args.set_capture_us = Some(parse(&mut it, "--set-capture-us")),
+            "--limit" => args.limit = parse(&mut it, "--limit"),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn need(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+}
+
+fn parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    need(it, flag).parse().unwrap_or_else(|_| usage(&format!("{flag} needs a valid value")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: staq-trace [--addr host:port] [--min-dur-us N] [--set-capture-us N] [--limit N]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 })
+}
+
+fn main() {
+    let args = parse_args();
+    let mut client = Client::connect(&args.addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+    let spans = client
+        .trace_dump(args.min_dur_us * 1_000, args.set_capture_us.map(|us| us * 1_000))
+        .unwrap_or_else(|e| {
+            eprintln!("error: trace dump failed: {e}");
+            std::process::exit(1);
+        });
+    if let Some(us) = args.set_capture_us {
+        eprintln!("capture threshold set to {us}us");
+    }
+    if spans.is_empty() {
+        println!("no spans (ring empty, filtered out, or server built with obs-off)");
+        return;
+    }
+    print_traces(&spans, args.limit);
+}
+
+/// Groups spans by trace, newest trace first, and prints each as a tree.
+fn print_traces(spans: &[OwnedSpan], limit: usize) {
+    let mut by_trace: HashMap<u64, Vec<&OwnedSpan>> = HashMap::new();
+    for s in spans {
+        by_trace.entry(s.trace).or_default().push(s);
+    }
+    let mut traces: Vec<(u64, Vec<&OwnedSpan>)> = by_trace.into_iter().collect();
+    // Newest activity first: a dump is usually taken to look at what just
+    // happened.
+    traces.sort_by_key(|(_, ss)| std::cmp::Reverse(ss.iter().map(|s| s.start_unix_ns).max()));
+    let total = traces.len();
+    for (trace, mut ss) in traces.into_iter().take(limit) {
+        ss.sort_by_key(|s| (s.start_unix_ns, s.span));
+        let start = ss.iter().map(|s| s.start_unix_ns).min().unwrap_or(0);
+        let end = ss.iter().map(|s| s.start_unix_ns + s.dur_ns).max().unwrap_or(0);
+        println!(
+            "trace {trace:016x}  {} span(s), {} end to end",
+            ss.len(),
+            fmt_dur(Duration::from_nanos(end.saturating_sub(start)))
+        );
+        // Parent → children index; roots are spans whose parent is absent
+        // from the dump (evicted, below threshold, or on another host).
+        let ids: HashMap<u64, ()> = ss.iter().map(|s| (s.span, ())).collect();
+        let mut children: HashMap<u64, Vec<&OwnedSpan>> = HashMap::new();
+        let mut roots: Vec<&OwnedSpan> = Vec::new();
+        for s in &ss {
+            if s.parent != 0 && ids.contains_key(&s.parent) && s.parent != s.span {
+                children.entry(s.parent).or_default().push(s);
+            } else {
+                roots.push(s);
+            }
+        }
+        for root in roots {
+            print_tree(root, &children, 1, ss.len());
+        }
+    }
+    if total > limit {
+        println!("... {} more trace(s); raise --limit to see them", total - limit);
+    }
+}
+
+fn print_tree(s: &OwnedSpan, children: &HashMap<u64, Vec<&OwnedSpan>>, depth: usize, cap: usize) {
+    // Depth is bounded by the span count, so corrupt parent links cannot
+    // recurse forever.
+    if depth > cap {
+        return;
+    }
+    let kids = children.get(&s.span).map(Vec::as_slice).unwrap_or(&[]);
+    let child_ns: u64 = kids.iter().map(|k| k.dur_ns).sum();
+    let self_ns = s.dur_ns.saturating_sub(child_ns);
+    let mut line = format!(
+        "{}{}  total={} self={}",
+        "  ".repeat(depth),
+        s.name,
+        fmt_dur(Duration::from_nanos(s.dur_ns)),
+        fmt_dur(Duration::from_nanos(self_ns)),
+    );
+    for (k, v) in &s.attrs {
+        line.push_str(&format!(" {k}={v}"));
+    }
+    println!("{line}");
+    for k in kids {
+        print_tree(k, children, depth + 1, cap);
+    }
+}

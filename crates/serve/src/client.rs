@@ -11,6 +11,7 @@ use bytes::BytesMut;
 use staq_access::measures::ZoneMeasures;
 use staq_access::{AccessQuery, QueryAnswer};
 use staq_geom::Point;
+use staq_obs::OwnedSpan;
 use staq_synth::{PoiCategory, PoiId};
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -143,6 +144,20 @@ impl Client {
         }
     }
 
+    /// Completed spans at least `min_dur_ns` long from the server's trace
+    /// ring; `set_capture_ns` first retunes the server's capture
+    /// threshold (spans shorter than it are never recorded).
+    pub fn trace_dump(
+        &mut self,
+        min_dur_ns: u64,
+        set_capture_ns: Option<u64>,
+    ) -> Result<Vec<OwnedSpan>, ClientError> {
+        match self.call(&Request::TraceDump { min_dur_ns, set_capture_ns })? {
+            Response::TraceDump(spans) => Ok(spans),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Sends one request frame and blocks for its response frame.
     ///
     /// Any IO or codec failure poisons the client: the request may have
@@ -188,5 +203,6 @@ fn unexpected(resp: Response) -> ClientError {
         Response::AddPoi { .. } => ClientError::Unexpected("add_poi ack"),
         Response::AddBusRoute { .. } => ClientError::Unexpected("add_bus_route ack"),
         Response::Stats(_) => ClientError::Unexpected("stats"),
+        Response::TraceDump(_) => ClientError::Unexpected("trace dump"),
     }
 }

@@ -10,24 +10,42 @@
 //!
 //! `len` counts everything after itself (version byte + kind byte +
 //! payload). Integers and floats are big-endian. Strings are
-//! `u16` length + UTF-8 bytes. The version byte is [`WIRE_VERSION`];
-//! a peer speaking a different version gets an error frame and the
-//! connection is closed.
+//! `u16` length + UTF-8 bytes. The version byte is [`WIRE_VERSION`] or
+//! any accepted older version (≥ [`MIN_WIRE_VERSION`]); a peer speaking
+//! anything else gets an error frame and the connection is closed.
 //!
-//! Request kinds are `0x01..=0x05`; response kinds mirror them with the
-//! high bit set (`0x81..=0x85`), and `0xFF` is the error frame — so a
+//! Request kinds are `0x01..=0x06`; response kinds mirror them with the
+//! high bit set (`0x81..=0x86`), and `0xFF` is the error frame — so a
 //! response can never be confused for a request even if framing slips.
+//!
+//! ## Versions and trace context
+//!
+//! v3 inserts a 16-byte trace context — `trace id: u64, span id: u64`,
+//! both zero when untraced — between the kind byte and the payload of
+//! every **request** frame; responses are unchanged. [`encode_request`]
+//! stamps the calling thread's current [`SpanContext`] automatically, so
+//! a client running inside a span propagates it without any API change.
+//! v2 frames (no context) still decode — [`decode_request`] reports
+//! which version the peer spoke so servers can reply in kind via
+//! [`encode_response_to`], keeping un-upgraded v2 clients working
+//! against a v3 server.
 
 use bytes::{Buf, BufMut, BytesMut};
 use staq_access::measures::ZoneMeasures;
 use staq_access::{AccessClass, AccessQuery, DemographicWeight, QueryAnswer};
 use staq_geom::Point;
-use staq_obs::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
+use staq_obs::SpanContext;
+use staq_obs::{trace, CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, OwnedSpan};
 use staq_synth::{PoiCategory, ZoneId};
 
-/// Protocol version carried in every frame header. v2 extended the
-/// `Stats` response with a full [`MetricsSnapshot`].
-pub const WIRE_VERSION: u8 = 2;
+/// Protocol version this build emits. v2 extended the `Stats` response
+/// with a full [`MetricsSnapshot`]; v3 added the request trace context
+/// and the `TraceDump` request/response pair.
+pub const WIRE_VERSION: u8 = 3;
+
+/// Oldest version still accepted on decode. v2 peers round-trip every
+/// pre-trace request kind; their requests simply carry no span context.
+pub const MIN_WIRE_VERSION: u8 = 2;
 
 /// Upper bound on `len`; larger frames indicate a desynced or hostile
 /// peer and are rejected before any allocation.
@@ -46,6 +64,9 @@ pub enum Request {
     AddBusRoute { stops: Vec<Point>, headway_s: u32 },
     /// Server counters (pipeline runs, cache state, requests served).
     Stats,
+    /// Recent completed spans with duration ≥ `min_dur_ns`; optionally
+    /// retunes the server's capture threshold first (v3+).
+    TraceDump { min_dur_ns: u64, set_capture_ns: Option<u64> },
 }
 
 impl Request {
@@ -57,8 +78,19 @@ impl Request {
             Request::AddPoi { .. } => "add_poi",
             Request::AddBusRoute { .. } => "add_bus_route",
             Request::Stats => "stats",
+            Request::TraceDump { .. } => "trace_dump",
         }
     }
+}
+
+/// A decoded request plus the frame-header facts a server needs: which
+/// protocol version the peer spoke (to answer in kind) and the trace
+/// context it propagated (`SpanContext::NONE` for v2 or untraced v3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedRequest {
+    pub request: Request,
+    pub ctx: SpanContext,
+    pub version: u8,
 }
 
 /// Server counters exposed over the wire; `pipeline_runs` makes the
@@ -90,6 +122,8 @@ pub enum Response {
         zones_rebuilt: u32,
     },
     Stats(StatsReply),
+    /// Spans matching a `TraceDump` request, oldest first.
+    TraceDump(Vec<OwnedSpan>),
     /// Semantic failure; the connection stays usable.
     Error {
         code: ErrorCode,
@@ -134,7 +168,7 @@ impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodecError::BadVersion(v) => {
-                write!(f, "unsupported wire version {v} (want {WIRE_VERSION})")
+                write!(f, "unsupported wire version {v} (want {MIN_WIRE_VERSION}..={WIRE_VERSION})")
             }
             CodecError::BadKind(k) => write!(f, "unknown frame kind {k:#04x}"),
             CodecError::BadPayload(why) => write!(f, "malformed payload: {why}"),
@@ -152,11 +186,13 @@ const K_QUERY: u8 = 0x02;
 const K_ADD_POI: u8 = 0x03;
 const K_ADD_BUS_ROUTE: u8 = 0x04;
 const K_STATS: u8 = 0x05;
+const K_TRACE_DUMP: u8 = 0x06;
 const K_R_MEASURES: u8 = 0x81;
 const K_R_QUERY: u8 = 0x82;
 const K_R_ADD_POI: u8 = 0x83;
 const K_R_ADD_BUS_ROUTE: u8 = 0x84;
 const K_R_STATS: u8 = 0x85;
+const K_R_TRACE_DUMP: u8 = 0x86;
 const K_R_ERROR: u8 = 0xFF;
 
 fn category_code(c: PoiCategory) -> u8 {
@@ -432,27 +468,84 @@ fn decode_snapshot(buf: &mut &[u8]) -> Result<MetricsSnapshot, CodecError> {
     Ok(m)
 }
 
-/// Appends one encoded request frame (header included) to `buf`.
+/// Wire form of one completed span inside a `TraceDump` response.
+fn encode_span(buf: &mut BytesMut, s: &OwnedSpan) {
+    buf.put_u64(s.trace);
+    buf.put_u64(s.span);
+    buf.put_u64(s.parent);
+    put_string(buf, &s.name);
+    buf.put_u64(s.start_unix_ns);
+    buf.put_u64(s.dur_ns);
+    buf.put_u8(s.attrs.len().min(u8::MAX as usize) as u8);
+    for (k, v) in s.attrs.iter().take(u8::MAX as usize) {
+        put_string(buf, k);
+        buf.put_u64(*v);
+    }
+}
+
+fn decode_span(buf: &mut &[u8]) -> Result<OwnedSpan, CodecError> {
+    let trace = take_u64(buf)?;
+    let span = take_u64(buf)?;
+    let parent = take_u64(buf)?;
+    let name = take_string(buf)?;
+    let start_unix_ns = take_u64(buf)?;
+    let dur_ns = take_u64(buf)?;
+    let n = take_u8(buf)? as usize;
+    let mut attrs = Vec::with_capacity(capped(n, buf.remaining(), 10));
+    for _ in 0..n {
+        attrs.push((take_string(buf)?, take_u64(buf)?));
+    }
+    Ok(OwnedSpan { trace, span, parent, name, start_unix_ns, dur_ns, attrs })
+}
+
+/// Appends one encoded request frame (header included) to `buf`, at
+/// [`WIRE_VERSION`], carrying the calling thread's current span context
+/// — propagation is automatic for any client running inside a span.
 pub fn encode_request(req: &Request, buf: &mut BytesMut) {
-    let body_start = begin_frame(buf);
+    encode_request_v(req, WIRE_VERSION, trace::current(), buf)
+}
+
+/// Encodes a v2 (pre-trace) request frame — what an un-upgraded client
+/// sends. Kept callable for compatibility tests; `TraceDump` does not
+/// exist in v2 and panics here.
+pub fn encode_request_v2(req: &Request, buf: &mut BytesMut) {
+    assert!(
+        !matches!(req, Request::TraceDump { .. }),
+        "TraceDump is a v3 request; v2 cannot encode it"
+    );
+    encode_request_v(req, 2, SpanContext::NONE, buf)
+}
+
+fn encode_request_v(req: &Request, version: u8, ctx: SpanContext, buf: &mut BytesMut) {
+    let body_start = begin_frame(buf, version);
+    let put_ctx = |buf: &mut BytesMut| {
+        if version >= 3 {
+            buf.put_u64(ctx.trace);
+            buf.put_u64(ctx.span);
+        }
+    };
     match req {
         Request::Measures { category } => {
             buf.put_u8(K_MEASURES);
+            put_ctx(buf);
             buf.put_u8(category_code(*category));
         }
         Request::Query { category, query } => {
             buf.put_u8(K_QUERY);
+            put_ctx(buf);
             buf.put_u8(category_code(*category));
             encode_query(buf, query);
         }
         Request::AddPoi { category, pos } => {
             buf.put_u8(K_ADD_POI);
+            put_ctx(buf);
             buf.put_u8(category_code(*category));
             buf.put_f64(pos.x);
             buf.put_f64(pos.y);
         }
         Request::AddBusRoute { stops, headway_s } => {
             buf.put_u8(K_ADD_BUS_ROUTE);
+            put_ctx(buf);
             buf.put_u32(*headway_s);
             buf.put_u16(stops.len() as u16);
             for p in stops {
@@ -460,14 +553,39 @@ pub fn encode_request(req: &Request, buf: &mut BytesMut) {
                 buf.put_f64(p.y);
             }
         }
-        Request::Stats => buf.put_u8(K_STATS),
+        Request::Stats => {
+            buf.put_u8(K_STATS);
+            put_ctx(buf);
+        }
+        Request::TraceDump { min_dur_ns, set_capture_ns } => {
+            buf.put_u8(K_TRACE_DUMP);
+            put_ctx(buf);
+            buf.put_u64(*min_dur_ns);
+            match set_capture_ns {
+                Some(ns) => {
+                    buf.put_u8(1);
+                    buf.put_u64(*ns);
+                }
+                None => buf.put_u8(0),
+            }
+        }
     }
     end_frame(buf, body_start);
 }
 
-/// Appends one encoded response frame (header included) to `buf`.
+/// Appends one encoded response frame (header included) to `buf`, at
+/// [`WIRE_VERSION`].
 pub fn encode_response(resp: &Response, buf: &mut BytesMut) {
-    let body_start = begin_frame(buf);
+    encode_response_to(resp, WIRE_VERSION, buf)
+}
+
+/// Encodes a response stamped with the version the requester spoke — a
+/// v2 client's `split_frame` hard-rejects any other version byte, so
+/// answering v2 requests at v3 would break exactly the peers the
+/// [`MIN_WIRE_VERSION`] floor is meant to keep alive. The response body
+/// layout is identical across v2/v3.
+pub fn encode_response_to(resp: &Response, version: u8, buf: &mut BytesMut) {
+    let body_start = begin_frame(buf, version);
     match resp {
         Response::Measures(ms) => {
             buf.put_u8(K_R_MEASURES);
@@ -501,6 +619,13 @@ pub fn encode_response(resp: &Response, buf: &mut BytesMut) {
             }
             encode_snapshot(buf, &s.metrics);
         }
+        Response::TraceDump(spans) => {
+            buf.put_u8(K_R_TRACE_DUMP);
+            buf.put_u32(spans.len() as u32);
+            for s in spans {
+                encode_span(buf, s);
+            }
+        }
         Response::Error { code, message } => {
             buf.put_u8(K_R_ERROR);
             buf.put_u8(*code as u8);
@@ -511,10 +636,10 @@ pub fn encode_response(resp: &Response, buf: &mut BytesMut) {
 }
 
 /// Reserves the length prefix; returns the body offset for [`end_frame`].
-fn begin_frame(buf: &mut BytesMut) -> usize {
+fn begin_frame(buf: &mut BytesMut, version: u8) -> usize {
     buf.put_u32(0);
     let body_start = buf.len();
-    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(version);
     body_start
 }
 
@@ -524,9 +649,10 @@ fn end_frame(buf: &mut BytesMut, body_start: usize) {
     buf[body_start - 4..body_start].copy_from_slice(&len.to_be_bytes());
 }
 
-/// Pulls one complete frame body (version-checked, kind + payload) out of
-/// `buf`, or `None` if more bytes are needed.
-fn split_frame(buf: &mut BytesMut) -> Result<Option<BytesMut>, CodecError> {
+/// Pulls one complete frame body (kind + payload) out of `buf` along
+/// with its version byte, or `None` if more bytes are needed. Versions
+/// in `MIN_WIRE_VERSION..=WIRE_VERSION` are accepted.
+fn split_frame(buf: &mut BytesMut) -> Result<Option<(u8, BytesMut)>, CodecError> {
     if buf.len() < 4 {
         return Ok(None);
     }
@@ -543,18 +669,31 @@ fn split_frame(buf: &mut BytesMut) -> Result<Option<BytesMut>, CodecError> {
     buf.advance(4);
     let mut frame = buf.split_to(len);
     let version = frame[0];
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(CodecError::BadVersion(version));
     }
     frame.advance(1);
-    Ok(Some(frame))
+    Ok(Some((version, frame)))
 }
 
-/// Decodes one request from `buf` if a complete frame is buffered.
+/// Decodes one request from `buf` if a complete frame is buffered,
+/// discarding version and trace context — the form tests and simple
+/// tools want. Servers use [`decode_request_full`].
 pub fn decode_request(buf: &mut BytesMut) -> Result<Option<Request>, CodecError> {
-    let Some(frame) = split_frame(buf)? else { return Ok(None) };
+    Ok(decode_request_full(buf)?.map(|d| d.request))
+}
+
+/// Decodes one request plus its frame version and propagated trace
+/// context (`SpanContext::NONE` for v2 frames or untraced v3 ones).
+pub fn decode_request_full(buf: &mut BytesMut) -> Result<Option<DecodedRequest>, CodecError> {
+    let Some((version, frame)) = split_frame(buf)? else { return Ok(None) };
     let mut p: &[u8] = &frame;
     let kind = take_u8(&mut p)?;
+    let ctx = if version >= 3 {
+        SpanContext { trace: take_u64(&mut p)?, span: take_u64(&mut p)? }
+    } else {
+        SpanContext::NONE
+    };
     let req = match kind {
         K_MEASURES => Request::Measures { category: category_from(take_u8(&mut p)?)? },
         K_QUERY => Request::Query {
@@ -575,17 +714,26 @@ pub fn decode_request(buf: &mut BytesMut) -> Result<Option<Request>, CodecError>
             Request::AddBusRoute { stops, headway_s }
         }
         K_STATS => Request::Stats,
+        K_TRACE_DUMP => {
+            let min_dur_ns = take_u64(&mut p)?;
+            let set_capture_ns = match take_u8(&mut p)? {
+                0 => None,
+                1 => Some(take_u64(&mut p)?),
+                _ => return Err(CodecError::BadPayload("bad set-capture flag")),
+            };
+            Request::TraceDump { min_dur_ns, set_capture_ns }
+        }
         other => return Err(CodecError::BadKind(other)),
     };
     if p.remaining() != 0 {
         return Err(CodecError::BadPayload("trailing bytes in frame"));
     }
-    Ok(Some(req))
+    Ok(Some(DecodedRequest { request: req, ctx, version }))
 }
 
 /// Decodes one response from `buf` if a complete frame is buffered.
 pub fn decode_response(buf: &mut BytesMut) -> Result<Option<Response>, CodecError> {
-    let Some(frame) = split_frame(buf)? else { return Ok(None) };
+    let Some((_version, frame)) = split_frame(buf)? else { return Ok(None) };
     let mut p: &[u8] = &frame;
     let kind = take_u8(&mut p)?;
     let resp = match kind {
@@ -615,6 +763,14 @@ pub fn decode_response(buf: &mut BytesMut) -> Result<Option<Response>, CodecErro
             }
             let metrics = decode_snapshot(&mut p)?;
             Response::Stats(StatsReply { pipeline_runs, requests_served, cached, workers, metrics })
+        }
+        K_R_TRACE_DUMP => {
+            let n = take_u32(&mut p)? as usize;
+            let mut spans = Vec::with_capacity(capped(n, p.remaining(), 43));
+            for _ in 0..n {
+                spans.push(decode_span(&mut p)?);
+            }
+            Response::TraceDump(spans)
         }
         K_R_ERROR => {
             let code = ErrorCode::from_u8(take_u8(&mut p)?)
@@ -800,11 +956,101 @@ mod tests {
     }
 
     #[test]
-    fn version_mismatch_is_rejected() {
+    fn version_outside_accepted_range_is_rejected() {
+        for bad in [0u8, 1, WIRE_VERSION + 1, 0xFF] {
+            let mut buf = BytesMut::new();
+            encode_request(&Request::Stats, &mut buf);
+            buf[4] = bad;
+            assert_eq!(decode_request(&mut buf), Err(CodecError::BadVersion(bad)), "v{bad}");
+        }
+    }
+
+    #[test]
+    fn trace_dump_request_roundtrips() {
+        for req in [
+            Request::TraceDump { min_dur_ns: 0, set_capture_ns: None },
+            Request::TraceDump { min_dur_ns: 50_000, set_capture_ns: Some(25_000) },
+            Request::TraceDump { min_dur_ns: u64::MAX, set_capture_ns: Some(0) },
+        ] {
+            assert_eq!(roundtrip_request(&req), req);
+        }
+    }
+
+    #[test]
+    fn trace_dump_response_roundtrips() {
+        let spans = vec![
+            OwnedSpan {
+                trace: 0xDEAD_BEEF,
+                span: 2,
+                parent: 0,
+                name: "shard.request".into(),
+                start_unix_ns: 1_700_000_000_000_000_000,
+                dur_ns: 1_234_567,
+                attrs: vec![("shard".into(), 3)],
+            },
+            OwnedSpan {
+                trace: 0xDEAD_BEEF,
+                span: 3,
+                parent: 2,
+                name: "raptor.query".into(),
+                start_unix_ns: 1_700_000_000_000_100_000,
+                dur_ns: 890,
+                attrs: vec![("rounds".into(), 4), ("patterns_scanned".into(), 128)],
+            },
+        ];
+        let resp = Response::TraceDump(spans);
+        assert_eq!(roundtrip_response(&resp), resp);
+        assert_eq!(roundtrip_response(&Response::TraceDump(vec![])), Response::TraceDump(vec![]));
+    }
+
+    /// The v2↔v3 compatibility contract: a pre-trace v2 client's frames
+    /// decode on a v3 server (with an empty context), and the server's
+    /// v2-stamped replies carry the version byte that client insists on.
+    #[test]
+    fn v2_request_frames_decode_with_empty_context() {
+        let reqs = [
+            Request::Measures { category: PoiCategory::School },
+            Request::Query { category: PoiCategory::Hospital, query: AccessQuery::MeanAccess },
+            Request::AddPoi { category: PoiCategory::VaxCenter, pos: Point::new(3.0, 4.0) },
+            Request::AddBusRoute {
+                stops: vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)],
+                headway_s: 300,
+            },
+            Request::Stats,
+        ];
+        for r in &reqs {
+            let mut buf = BytesMut::new();
+            encode_request_v2(r, &mut buf);
+            assert_eq!(buf[4], 2, "v2 frames carry version byte 2");
+            let d = decode_request_full(&mut buf).unwrap().expect("complete frame");
+            assert!(buf.is_empty());
+            assert_eq!(&d.request, r);
+            assert_eq!(d.version, 2);
+            assert_eq!(d.ctx, SpanContext::NONE);
+        }
+    }
+
+    #[test]
+    fn responses_stamped_v2_roundtrip_and_carry_v2_byte() {
+        let resp = Response::AddPoi { poi_id: 9 };
+        let mut buf = BytesMut::new();
+        encode_response_to(&resp, 2, &mut buf);
+        assert_eq!(buf[4], 2);
+        assert_eq!(decode_response(&mut buf).unwrap(), Some(resp));
+    }
+
+    #[test]
+    fn v3_requests_carry_the_current_span_context() {
+        let ctx = SpanContext { trace: 0x1234_5678_9ABC_DEF0, span: 42 };
+        let _g = trace::attach(ctx);
         let mut buf = BytesMut::new();
         encode_request(&Request::Stats, &mut buf);
-        buf[4] = WIRE_VERSION + 1;
-        assert_eq!(decode_request(&mut buf), Err(CodecError::BadVersion(WIRE_VERSION + 1)));
+        let d = decode_request_full(&mut buf).unwrap().expect("complete frame");
+        assert_eq!(d.version, WIRE_VERSION);
+        // Under obs-off the attach above is a no-op and the frame
+        // carries the empty context; the layout is identical either way.
+        let want = if staq_obs::obs_enabled() { ctx } else { SpanContext::NONE };
+        assert_eq!(d.ctx, want);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::codec::{ErrorCode, Request, Response, StatsReply};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use staq_core::AccessEngine;
-use staq_obs::{AtomicHistogram, Counter};
+use staq_obs::{trace, AtomicHistogram, Counter, SpanContext};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -26,6 +26,7 @@ static H_QUERY: AtomicHistogram = AtomicHistogram::new("serve.request.query");
 static H_ADD_POI: AtomicHistogram = AtomicHistogram::new("serve.request.add_poi");
 static H_ADD_BUS_ROUTE: AtomicHistogram = AtomicHistogram::new("serve.request.add_bus_route");
 static H_STATS: AtomicHistogram = AtomicHistogram::new("serve.request.stats");
+static H_TRACE_DUMP: AtomicHistogram = AtomicHistogram::new("serve.request.trace_dump");
 
 /// The latency histogram for one request kind; names follow
 /// [`Request::kind_label`] under the `serve.request.` prefix.
@@ -36,6 +37,7 @@ fn kind_histogram(request: &Request) -> &'static AtomicHistogram {
         Request::AddPoi { .. } => &H_ADD_POI,
         Request::AddBusRoute { .. } => &H_ADD_BUS_ROUTE,
         Request::Stats => &H_STATS,
+        Request::TraceDump { .. } => &H_TRACE_DUMP,
     }
 }
 
@@ -43,6 +45,18 @@ fn kind_histogram(request: &Request) -> &'static AtomicHistogram {
 pub struct Job {
     pub request: Request,
     pub reply: Sender<Response>,
+    /// Span context of the connection's `serve.request` span; the worker
+    /// re-attaches it so engine spans land in the caller's trace.
+    pub ctx: SpanContext,
+    /// When the job entered the queue — priced as `serve.queue_wait`.
+    pub enqueued: Instant,
+}
+
+impl Job {
+    /// A job carrying the current thread's span context, enqueued now.
+    pub fn new(request: Request, reply: Sender<Response>) -> Job {
+        Job { request, reply, ctx: trace::current(), enqueued: Instant::now() }
+    }
 }
 
 /// Shared counters the pool maintains for `Stats` requests.
@@ -125,6 +139,10 @@ fn worker_loop(
     pool_size: usize,
 ) {
     while let Ok(job) = rx.recv() {
+        // Adopt the connection's trace on this worker thread: the queue
+        // wait is backdated to enqueue time, then execution runs under it.
+        let _ctx = trace::attach(job.ctx);
+        drop(trace::span_at("serve.queue_wait", job.enqueued));
         let response = execute(&engine, &stats, pool_size, &job.request);
         stats.requests_served.fetch_add(1, Ordering::Relaxed);
         // A dropped reply receiver means the connection died; fine.
@@ -143,7 +161,9 @@ pub fn execute(
     request: &Request,
 ) -> Response {
     let t0 = Instant::now();
+    let span = trace::span("serve.execute");
     let response = execute_inner(engine, stats, pool_size, request);
+    drop(span);
     REQUESTS.inc();
     kind_histogram(request).record(t0.elapsed());
     response
@@ -193,6 +213,12 @@ fn execute_inner(
             // latency lands, so `serve.request.stats` lags itself by one.
             metrics: staq_obs::snapshot(),
         }),
+        Request::TraceDump { min_dur_ns, set_capture_ns } => {
+            if let Some(ns) = set_capture_ns {
+                trace::set_capture_min_ns(*ns);
+            }
+            Response::TraceDump(trace::dump(*min_dur_ns))
+        }
     }
 }
 
@@ -219,7 +245,7 @@ mod tests {
 
     fn roundtrip(pool: &WorkerPool, request: Request) -> Response {
         let (reply_tx, reply_rx) = bounded(1);
-        pool.sender().send(Job { request, reply: reply_tx }).unwrap();
+        pool.sender().send(Job::new(request, reply_tx)).unwrap();
         reply_rx.recv().unwrap()
     }
 

@@ -24,6 +24,7 @@ use bytes::BytesMut;
 use crossbeam::channel::bounded;
 use parking_lot::Mutex;
 use staq_core::AccessEngine;
+use staq_obs::{trace, SpanContext};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -150,17 +151,27 @@ fn handle_connection(
     loop {
         // Drain every complete frame already buffered.
         loop {
-            match codec::decode_request(&mut buf) {
-                Ok(Some(request)) => {
-                    let response = match dispatch(&jobs, request) {
+            match codec::decode_request_full(&mut buf) {
+                Ok(Some(decoded)) => {
+                    // Continue the peer's trace, or become the edge and
+                    // root a new one when serving directly (no router).
+                    let _ctx = trace::attach(decoded.ctx);
+                    let span = if decoded.ctx.is_some() {
+                        trace::span("serve.request")
+                    } else {
+                        trace::root_span("serve.request")
+                    };
+                    let response = match dispatch(&jobs, decoded.request, span.context()) {
                         Some(r) => r,
                         None => Response::Error {
                             code: ErrorCode::Unavailable,
                             message: "server is shutting down".into(),
                         },
                     };
+                    drop(span);
                     out.clear();
-                    codec::encode_response(&response, &mut out);
+                    // Answer in whichever version the client spoke.
+                    codec::encode_response_to(&response, decoded.version, &mut out);
                     stream.write_all(&out)?;
                 }
                 Ok(None) => break,
@@ -200,8 +211,14 @@ fn handle_connection(
 }
 
 /// Runs one request through the pool; `None` if the queue is closed.
-fn dispatch(jobs: &crossbeam::channel::Sender<Job>, request: Request) -> Option<Response> {
+/// `ctx` is the span the executing worker should parent its spans under
+/// (the connection's `serve.request` span).
+fn dispatch(
+    jobs: &crossbeam::channel::Sender<Job>,
+    request: Request,
+    ctx: SpanContext,
+) -> Option<Response> {
     let (reply_tx, reply_rx) = bounded(1);
-    jobs.send(Job { request, reply: reply_tx }).ok()?;
+    jobs.send(Job { request, reply: reply_tx, ctx, enqueued: std::time::Instant::now() }).ok()?;
     reply_rx.recv().ok()
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! shard [--addr 127.0.0.1:7900] [--shards N] [--mode process|thread]
 //!       [--workers N] [--city birmingham|coventry|test] [--scale f]
-//!       [--seed u64] [--serve-bin path]
+//!       [--seed u64] [--serve-bin path] [--metrics-addr host:port]
 //! ```
 //!
 //! Boots `--shards` backend engines — each one a spawned `serve` daemon
@@ -34,6 +34,7 @@ struct Args {
     scale: f64,
     seed: u64,
     serve_bin: Option<String>,
+    metrics_addr: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -46,6 +47,7 @@ fn parse_args() -> Args {
         scale: 0.05,
         seed: 42,
         serve_bin: None,
+        metrics_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -68,6 +70,7 @@ fn parse_args() -> Args {
             "--scale" => args.scale = parse(&mut it, "--scale"),
             "--seed" => args.seed = parse(&mut it, "--seed"),
             "--serve-bin" => args.serve_bin = Some(need(&mut it, "--serve-bin")),
+            "--metrics-addr" => args.metrics_addr = Some(need(&mut it, "--metrics-addr")),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -96,7 +99,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: shard [--addr host:port] [--shards N] [--mode process|thread] \
          [--workers N] [--city birmingham|coventry|test] [--scale f] [--seed u64] \
-         [--serve-bin path]"
+         [--serve-bin path] [--metrics-addr host:port]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
@@ -166,6 +169,16 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!("routing on {} across {} shards; close stdin to stop", handle.addr(), args.shards);
+    // Router-side registry: shard.* counters, backend latency banks, and
+    // (in thread mode) the in-process backends' own metrics too.
+    let _scrape = args.metrics_addr.as_ref().map(|addr| {
+        let h = staq_obs::serve_prometheus(addr).unwrap_or_else(|e| {
+            eprintln!("error: cannot bind metrics listener {addr}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("metrics on http://{}/metrics", h.addr());
+        h
+    });
 
     let mut sink = String::new();
     while std::io::stdin().read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {

@@ -38,6 +38,16 @@
 //! measured them, engine cache hit/miss/invalidation counts, pipeline
 //! stage timings.
 //!
+//! `--trace-compare` (loopback only) prices the staq-trace span layer:
+//! after a warm-up sweep, the same warm workload runs in interleaved
+//! rounds with tracing disabled and enabled (`--duration` each, five
+//! pairs), so drift affects both sides equally. The report and its JSON
+//! (`BENCH_trace.json`) carry both median throughputs and their ratio —
+//! the PR 2 contract holds when the ratio stays within the ±6% noise
+//! floor. Run the same flag on an `obs-off` build for the third point
+//! (metrics *and* spans compiled out); the JSON stamps `obs_enabled` so
+//! the reports stay distinguishable.
+//!
 //! [`MetricsSnapshot`]: staq_obs::MetricsSnapshot
 
 use staq_bench::{fmt_dur, LatencyHistogram};
@@ -61,6 +71,7 @@ struct Args {
     seed: u64,
     shards: usize,
     emit_json: Option<String>,
+    trace_compare: bool,
 }
 
 fn parse_args() -> Args {
@@ -75,6 +86,7 @@ fn parse_args() -> Args {
         seed: 42,
         shards: 0,
         emit_json: None,
+        trace_compare: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -92,6 +104,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = parse(&mut it, "--seed"),
             "--shards" => args.shards = parse(&mut it, "--shards"),
             "--emit-json" => args.emit_json = Some(need(&mut it, "--emit-json")),
+            "--trace-compare" => args.trace_compare = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -104,6 +117,12 @@ fn parse_args() -> Args {
     }
     if args.shards > 0 && !args.loopback {
         usage("--shards requires --loopback (the bench hosts the fleet itself)");
+    }
+    if args.trace_compare && !args.loopback {
+        usage("--trace-compare requires --loopback (it toggles the in-process trace layer)");
+    }
+    if args.trace_compare && args.shards > 0 {
+        usage("--trace-compare and --shards are mutually exclusive");
     }
     args
 }
@@ -123,7 +142,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: staq-serve-bench [--addr host:port | --loopback] [--conns N] \
          [--duration secs] [--rate req/s] [--edit-every ms] [--workers N] \
-         [--seed N] [--shards N] [--emit-json path]"
+         [--seed N] [--shards N] [--emit-json path] [--trace-compare]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
@@ -159,6 +178,10 @@ fn main() {
 
     if args.shards > 0 {
         run_comparison(&args);
+        return;
+    }
+    if args.trace_compare {
+        run_trace_compare(&args);
         return;
     }
 
@@ -253,6 +276,117 @@ fn run_comparison(args: &Args) {
         );
         write_json(path, &json);
     }
+}
+
+/// `--trace-compare`: interleaved warm rounds with tracing off and on
+/// against one loopback server, so the span layer's cost is measured
+/// against its own baseline under identical drift.
+fn run_trace_compare(args: &Args) {
+    let mut server = {
+        let engine = CityPreset::Test.engine(0.05, args.seed);
+        staq_serve::serve(
+            engine,
+            &ServerConfig { addr: "127.0.0.1:0".into(), workers: args.workers, queue_depth: 256 },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot start loopback server: {e}");
+            std::process::exit(1);
+        })
+    };
+    let addr = server.addr().to_string();
+
+    // Warm every category so no round pays a pipeline run.
+    let mut control = Client::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    for cat in PoiCategory::ALL {
+        control.measures(cat).expect("warm-up measures");
+    }
+
+    const PAIRS: usize = 5;
+    println!(
+        "trace compare: {PAIRS} interleaved pairs of {:.1}s rounds, {} conns, obs_enabled={}",
+        args.duration.as_secs_f64(),
+        args.conns,
+        staq_obs::obs_enabled()
+    );
+    let mut off = Vec::with_capacity(PAIRS);
+    let mut on = Vec::with_capacity(PAIRS);
+    for pair in 0..PAIRS {
+        for enabled in [false, true] {
+            staq_obs::trace::set_enabled(enabled);
+            let rps = timed_round(&addr, args);
+            println!(
+                "  pair {pair} tracing {}: {rps:.0} req/s",
+                if enabled { "on " } else { "off" }
+            );
+            if enabled { &mut on } else { &mut off }.push(rps);
+        }
+    }
+    staq_obs::trace::set_enabled(true);
+
+    let m_off = median(&mut off);
+    let m_on = median(&mut on);
+    let ratio = m_on / m_off;
+    let snap = staq_obs::snapshot();
+    let recorded = snap.counter("trace.spans_recorded").unwrap_or(0);
+    let dropped = snap.counter("trace.spans_dropped").unwrap_or(0);
+    println!(
+        "median tracing-on/off: {m_on:.0}/{m_off:.0} req/s = {ratio:.4} \
+         ({recorded} spans recorded, {dropped} dropped)"
+    );
+
+    if let Some(path) = &args.emit_json {
+        let fmt_list =
+            |v: &[f64]| v.iter().map(|x| format!("{x:.1}")).collect::<Vec<_>>().join(",");
+        let json = format!(
+            "{{\"bench\":\"staq-serve-bench\",\"mode\":\"trace-compare\",\
+             \"obs_enabled\":{},\"seed\":{},\"workers\":{},\"conns\":{},\
+             \"round_secs\":{:.3},\"pairs\":{PAIRS},\
+             \"tracing_off_rps\":[{}],\"tracing_on_rps\":[{}],\
+             \"median_off\":{m_off:.1},\"median_on\":{m_on:.1},\"on_off_ratio\":{ratio:.4},\
+             \"spans_recorded\":{recorded},\"spans_dropped\":{dropped}}}",
+            staq_obs::obs_enabled(),
+            args.seed,
+            args.workers,
+            args.conns,
+            args.duration.as_secs_f64(),
+            fmt_list(&off),
+            fmt_list(&on),
+        );
+        write_json(path, &json);
+    }
+    server.shutdown();
+}
+
+/// One warm round: the standard connection mix for `--duration`, returning
+/// client-observed req/s.
+fn timed_round(addr: &str, args: &Args) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let per_conn_interval =
+        (args.rate > 0.0).then(|| Duration::from_secs_f64(args.conns as f64 / args.rate));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..args.conns)
+        .map(|c| {
+            let addr = addr.to_string();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || run_conn(&addr, c, per_conn_interval, &stop))
+        })
+        .collect();
+    std::thread::sleep(args.duration);
+    stop.store(true, Ordering::SeqCst);
+    let mut total = 0u64;
+    for h in handles {
+        let r = h.join().expect("round thread panicked");
+        total += r.hists.iter().map(LatencyHistogram::count).sum::<u64>();
+    }
+    total as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[v.len() / 2]
 }
 
 /// Runs the cold sweep plus the timed warm mix against `addr`.

@@ -15,6 +15,7 @@ static ROUTE_QUERY: Counter = Counter::new("shard.route.query");
 static ROUTE_ADD_POI: Counter = Counter::new("shard.route.add_poi");
 static ROUTE_ADD_BUS_ROUTE: Counter = Counter::new("shard.route.add_bus_route");
 static ROUTE_STATS: Counter = Counter::new("shard.route.stats");
+static ROUTE_TRACE_DUMP: Counter = Counter::new("shard.route.trace_dump");
 
 /// Mid-call failures retried on a fresh connection (idempotent reads only).
 pub(crate) static RETRIES: Counter = Counter::new("shard.backend.retries");
@@ -30,6 +31,7 @@ pub(crate) fn route_counter(kind: &'static str) -> &'static Counter {
         "query" => &ROUTE_QUERY,
         "add_poi" => &ROUTE_ADD_POI,
         "add_bus_route" => &ROUTE_ADD_BUS_ROUTE,
+        "trace_dump" => &ROUTE_TRACE_DUMP,
         _ => &ROUTE_STATS,
     }
 }

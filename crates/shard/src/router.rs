@@ -26,7 +26,7 @@ use crate::metrics;
 use crate::supervisor::ShardSupervisor;
 use bytes::BytesMut;
 use parking_lot::Mutex;
-use staq_obs::MetricsSnapshot;
+use staq_obs::{trace, MetricsSnapshot, OwnedSpan};
 use staq_serve::codec::{
     self, CodecError, ErrorCode, Request, Response, StatsReply, MAX_FRAME_LEN,
 };
@@ -147,11 +147,20 @@ fn handle_connection(
 
     loop {
         loop {
-            match codec::decode_request(&mut buf) {
-                Ok(Some(request)) => {
-                    let response = dispatch(sup, request);
+            match codec::decode_request_full(&mut buf) {
+                Ok(Some(decoded)) => {
+                    // The router is the fleet's edge: continue a traced
+                    // client's context, or mint the TraceId here.
+                    let _ctx = trace::attach(decoded.ctx);
+                    let span = if decoded.ctx.is_some() {
+                        trace::span("shard.request")
+                    } else {
+                        trace::root_span("shard.request")
+                    };
+                    let response = dispatch(sup, decoded.request);
+                    drop(span);
                     out.clear();
-                    codec::encode_response(&response, &mut out);
+                    codec::encode_response_to(&response, decoded.version, &mut out);
                     stream.write_all(&out)?;
                 }
                 Ok(None) => break,
@@ -196,10 +205,16 @@ pub fn dispatch(sup: &ShardSupervisor, request: Request) -> Response {
         Request::Measures { category }
         | Request::Query { category, .. }
         | Request::AddPoi { category, .. } => {
-            sup.call(shard_for(*category, sup.n_shards()), &request)
+            let shard = shard_for(*category, sup.n_shards());
+            let mut span = trace::span("shard.route");
+            span.attr("shard", shard as u64);
+            sup.call(shard, &request)
         }
         Request::AddBusRoute { .. } => broadcast(sup, &request),
         Request::Stats => gather_stats(sup),
+        Request::TraceDump { min_dur_ns, set_capture_ns } => {
+            gather_traces(sup, *min_dur_ns, *set_capture_ns)
+        }
     }
 }
 
@@ -209,8 +224,18 @@ pub fn dispatch(sup: &ShardSupervisor, request: Request) -> Response {
 /// until the dead shard respawns into a fresh city.
 fn broadcast(sup: &ShardSupervisor, request: &Request) -> Response {
     let n = sup.n_shards();
+    // Scope threads are new stacks: hand each one the caller's span
+    // context so per-shard calls stay inside the request's trace.
+    let ctx = trace::current();
     let replies: Vec<Response> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = (0..n).map(|i| scope.spawn(move |_| sup.call(i, request))).collect();
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                scope.spawn(move |_| {
+                    let _ctx = trace::attach(ctx);
+                    sup.call(i, request)
+                })
+            })
+            .collect();
         handles.into_iter().map(|h| h.join().expect("broadcast thread panicked")).collect()
     })
     .expect("broadcast scope");
@@ -246,9 +271,16 @@ fn broadcast(sup: &ShardSupervisor, request: &Request) -> Response {
 /// Scatter-gathers `Stats` from every live shard into one reply.
 fn gather_stats(sup: &ShardSupervisor) -> Response {
     let n = sup.n_shards();
+    let ctx = trace::current();
     let replies: Vec<Response> = crossbeam::scope(|scope| {
-        let handles: Vec<_> =
-            (0..n).map(|i| scope.spawn(move |_| sup.call(i, &Request::Stats))).collect();
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                scope.spawn(move |_| {
+                    let _ctx = trace::attach(ctx);
+                    sup.call(i, &Request::Stats)
+                })
+            })
+            .collect();
         handles.into_iter().map(|h| h.join().expect("stats thread panicked")).collect()
     })
     .expect("stats scope");
@@ -267,6 +299,44 @@ fn gather_stats(sup: &ShardSupervisor) -> Response {
         };
     }
     Response::Stats(merge_stats(stats, sup.any_in_process()))
+}
+
+/// Scatter-gathers `TraceDump` from every shard and concatenates the
+/// spans with the router's own ring. With in-process backends the fleet
+/// shares one ring, so the local dump already covers everyone (fanning
+/// out would return every span N+1 times). Shards that fail to answer
+/// are skipped — a trace dump is diagnostic, not transactional.
+fn gather_traces(sup: &ShardSupervisor, min_dur_ns: u64, set_capture_ns: Option<u64>) -> Response {
+    if let Some(ns) = set_capture_ns {
+        trace::set_capture_min_ns(ns);
+    }
+    if sup.any_in_process() {
+        return Response::TraceDump(trace::dump(min_dur_ns));
+    }
+    let n = sup.n_shards();
+    let request = Request::TraceDump { min_dur_ns, set_capture_ns };
+    let ctx = trace::current();
+    let replies: Vec<Response> = crossbeam::scope(|scope| {
+        let request = &request;
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                scope.spawn(move |_| {
+                    let _ctx = trace::attach(ctx);
+                    sup.call(i, request)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("trace dump thread panicked")).collect()
+    })
+    .expect("trace dump scope");
+
+    let mut spans: Vec<OwnedSpan> = trace::dump(min_dur_ns);
+    for r in replies {
+        if let Response::TraceDump(s) = r {
+            spans.extend(s);
+        }
+    }
+    Response::TraceDump(spans)
 }
 
 /// Merges per-shard stats. Engine-level fields (`pipeline_runs`,

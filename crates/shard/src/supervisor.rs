@@ -26,6 +26,7 @@ use crate::backend::Backend;
 use crate::metrics;
 use crate::pool::{BackendPool, PoolConfig, PoolError};
 use parking_lot::Mutex;
+use staq_obs::trace;
 use staq_serve::codec::{ErrorCode, Request, Response};
 use staq_serve::Client;
 use std::io;
@@ -170,14 +171,25 @@ impl ShardSupervisor {
         let attempts = if retryable { 2 } else { 1 };
 
         for attempt in 0..attempts {
-            let mut lease = match slot.pool.checkout() {
+            let acquire = trace::span("shard.pool.acquire");
+            let checkout = slot.pool.checkout();
+            drop(acquire);
+            let mut lease = match checkout {
                 Ok(l) => l,
                 Err(PoolError::Down) => return unavailable(shard, "down"),
                 Err(PoolError::Overloaded) => return unavailable(shard, "overloaded"),
             };
             let gen = lease.gen;
             let t = Instant::now();
-            match lease.client.call(request) {
+            // The client encodes the current span context into the frame,
+            // so opening this span *before* the call is what propagates
+            // the trace to the backend.
+            let mut span = trace::span("shard.backend.call");
+            span.attr("shard", shard as u64);
+            span.attr("attempt", attempt as u64);
+            let result = lease.client.call(request);
+            drop(span);
+            match result {
                 Ok(resp) => {
                     metrics::backend_latency(shard).record(t.elapsed());
                     slot.pool.give_back(lease);

@@ -15,7 +15,7 @@ use crate::build::{trip_origin, trip_poi_pos};
 use crate::matrix::Todam;
 use serde::{Deserialize, Serialize};
 use staq_gtfs::time::TimeInterval;
-use staq_obs::{AtomicHistogram, Counter};
+use staq_obs::{trace, AtomicHistogram, Counter};
 use staq_synth::{City, ZoneId};
 use staq_transit::{AccessCost, Raptor, TransitNetwork};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -170,8 +170,12 @@ impl<'a> LabelEngine<'a> {
         let workers = self.n_workers.clamp(1, zones.len());
         if workers == 1 {
             let t0 = std::time::Instant::now();
+            let mut span = trace::span("label.worker");
+            span.attr("worker", 0);
+            span.attr("chunks", zones.len().div_ceil(LABEL_CHUNK) as u64);
             let router = Raptor::new(&self.net);
             let out = zones.iter().map(|&z| self.label_zone_with(&router, m, z)).collect();
+            drop(span);
             let elapsed = t0.elapsed();
             WORKER_WALL.record(elapsed);
             return (out, vec![elapsed]);
@@ -210,17 +214,26 @@ impl<'a> LabelEngine<'a> {
         // spawn: finish-time spread is the balance signal, and spawn
         // jitter on an oversubscribed box would otherwise drown it.
         let t0 = std::time::Instant::now();
+        // Worker threads start with an empty span stack; hand them the
+        // pass's context so their spans join the caller's trace.
+        let ctx = trace::current();
         crossbeam::scope(|scope| {
             let handles: Vec<_> = shares
                 .into_iter()
-                .map(|share| {
+                .enumerate()
+                .map(|(w, share)| {
                     scope.spawn(move |_| {
+                        let _ctx = trace::attach(ctx);
+                        let mut span = trace::span("label.worker");
+                        span.attr("worker", w as u64);
+                        span.attr("chunks", share.len() as u64);
                         let router = Raptor::new(&self.net);
                         for (zc, oc) in share {
                             for (&z, slot) in zc.iter().zip(oc.iter_mut()) {
                                 *slot = self.label_zone_with(&router, m, z);
                             }
                         }
+                        drop(span);
                         t0.elapsed()
                     })
                 })
@@ -244,12 +257,16 @@ impl<'a> LabelEngine<'a> {
         let cursor = AtomicUsize::new(0);
         let out_ptr = OutPtr(out.as_mut_ptr());
         let t0 = std::time::Instant::now();
+        let ctx = trace::current();
         crossbeam::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     let cursor = &cursor;
                     let out_ptr = &out_ptr;
                     scope.spawn(move |_| {
+                        let _ctx = trace::attach(ctx);
+                        let mut worker_span = trace::span("label.worker");
+                        worker_span.attr("worker", w as u64);
                         let router = Raptor::new(&self.net);
                         let mut claimed = 0u64;
                         loop {
@@ -260,6 +277,9 @@ impl<'a> LabelEngine<'a> {
                             claimed += 1;
                             let start = c * LABEL_CHUNK;
                             let end = (start + LABEL_CHUNK).min(zones.len());
+                            let mut chunk_span = trace::span("label.chunk");
+                            chunk_span.attr("chunk", c as u64);
+                            chunk_span.attr("zones", (end - start) as u64);
                             for (i, &zone) in zones.iter().enumerate().take(end).skip(start) {
                                 let stats = self.label_zone_with(&router, m, zone);
                                 // SAFETY: the fetch_add handed chunk `c` to
@@ -271,6 +291,7 @@ impl<'a> LabelEngine<'a> {
                                 unsafe { *out_ptr.0.add(i) = stats };
                             }
                         }
+                        worker_span.attr("chunks", claimed);
                         CHUNKS_CLAIMED.add(claimed);
                         t0.elapsed()
                     })

@@ -278,6 +278,9 @@ impl<'a> TransitNetwork<'a> {
             return range;
         }
         ACCESS_CACHE_MISS.inc();
+        // Only the miss path gets a span: a hit is a hash probe and would
+        // drown the ring in sub-microsecond records.
+        let _span = staq_obs::trace::span("network.access_isochrone");
         self.access_stops_into(point, walk, nodes, tmp);
         cache.insert(point, tmp)
     }

@@ -192,6 +192,9 @@ impl<'n, 'a> Raptor<'n, 'a> {
     /// `depart` on `day`. Always returns a journey: the walk-only fallback
     /// guarantees finiteness even across a severed network.
     pub fn query(&self, origin: &Point, dest: &Point, depart: Stime, day: DayOfWeek) -> Journey {
+        // Deferred span: only sample the clock when a trace is live, so
+        // the untraced hot path stays a thread-local read.
+        let t_span = staq_obs::trace::is_active().then(std::time::Instant::now);
         let rounds = self.net.cfg.max_boardings;
         let prune = self.pruning;
         let mut rounds_run = 0u64;
@@ -466,6 +469,11 @@ impl<'n, 'a> Raptor<'n, 'a> {
         PATTERNS_PRUNED.add(patterns_pruned);
         PATTERNS_DAY_SKIPPED.add(patterns_day_skipped);
         ROUNDS_CUT.add(rounds_cut);
+        if let Some(t0) = t_span {
+            let mut span = staq_obs::trace::span_at("raptor.query", t0);
+            span.attr("rounds", rounds_run);
+            span.attr("patterns_scanned", patterns_scanned);
+        }
         match best {
             Some((total, stop, egress_w)) if total < direct => {
                 self.reconstruct(&labels[..=final_k], depart, stop, egress_w, Stime(total))
