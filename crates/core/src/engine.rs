@@ -40,17 +40,15 @@
 
 use crate::artifacts::OfflineArtifacts;
 use crate::config::PipelineConfig;
-use crate::pipeline::{PipelineResult, SsrPipeline};
+use crate::pipeline::{ssr_train_infer, PipelineResult, SsrPipeline};
 use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard};
-use staq_access::{AccessQuery, QueryAnswer};
+use staq_access::{AccessQuery, QueryAnswer, ZoneMeasures};
 use staq_geom::{KdTree, Point};
-use staq_gtfs::model::{
-    Route, RouteId, RouteType, Service, ServiceId, Stop, StopId, StopTime, Trip, TripId,
-};
-use staq_gtfs::time::Stime;
-use staq_gtfs::FeedIndex;
+use staq_gtfs::Delta;
 use staq_obs::Counter;
 use staq_synth::{City, Poi, PoiCategory, PoiId, ZoneId};
+use staq_todam::{LabelEngine, ZoneStats};
+use staq_transit::{AccessCost, CostKind, OverlayStats, TransitNetwork};
 use std::collections::HashMap;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -251,6 +249,14 @@ impl AccessEngine {
         q.answer(&predicted.predicted, &state.city.zones)
     }
 
+    /// Answers `q` against an externally supplied measure vector (e.g. one
+    /// scenario's [`Self::what_if`] outcome) using this engine's zone set
+    /// for demographic weights.
+    pub fn answer_with(&self, measures: &[ZoneMeasures], q: &AccessQuery) -> QueryAnswer {
+        let state = self.state.read();
+        q.answer(measures, &state.city.zones)
+    }
+
     /// Adds a POI (e.g. a candidate vaccination site). No transit change:
     /// only the category's cached result is invalidated. Returns the new
     /// POI's id.
@@ -275,110 +281,53 @@ impl AccessEngine {
     /// peak headway, weekdays only. Returns the number of zones whose hop
     /// trees were incrementally rebuilt.
     ///
-    /// The feed is extended GTFS-natively (new stops, route, service,
-    /// trips); the hop-tree store is patched only for zones whose walking
-    /// isochrone contains one of the new/touched stops — the incremental
-    /// path that keeps dynamic queries dynamic.
+    /// Compatibility wrapper over [`apply_delta`](Self::apply_delta) with
+    /// [`Delta::AddRoute`] — serve/shard and the streaming path share one
+    /// edit implementation. Panics on fewer than two stops (the historical
+    /// contract; the delta path returns `Err` instead).
     pub fn add_bus_route(&self, stops_at: &[Point], peak_headway_s: u32) -> usize {
         assert!(stops_at.len() >= 2, "a route needs at least two stops");
-        let affected_len = {
+        self.apply_delta(&Delta::AddRoute { stops: stops_at.to_vec(), headway_s: peak_headway_s })
+            .expect("add_bus_route delta rejected")
+            .zones_rebuilt
+    }
+
+    /// Applies one streaming delta to the live world, **incrementally**: the
+    /// feed index is mutated in place (no rebuild), then exactly the state
+    /// the delta invalidates is refreshed.
+    ///
+    /// Invalidation matrix:
+    ///
+    /// * `ServiceAlert` — advisory; nothing structural changed, no caches
+    ///   touched, no locks taken.
+    /// * All structural deltas — hop trees are rebuilt only for zones whose
+    ///   stored walking isochrone contains a touched stop (crow-flies
+    ///   pre-filter, exact isochrone test), and every category's result
+    ///   epoch is bumped so neither cached nor in-flight results survive.
+    ///
+    /// Rejected deltas (unknown ids, bad geometry) leave the world
+    /// untouched.
+    pub fn apply_delta(&self, delta: &Delta) -> Result<DeltaApplied, String> {
+        let mut span = staq_obs::trace::span("engine.apply_delta");
+        span.attr("structural", delta.is_structural() as u64);
+        if !delta.is_structural() {
+            return Ok(DeltaApplied { structural: false, zones_rebuilt: 0, invalidated: 0 });
+        }
+        let zones_rebuilt = {
             let mut state = self.state.write();
             let state = &mut *state;
-            let mut feed = state.city.feed.feed().clone();
-
-            // New stops at the given points.
-            let mut new_stops: Vec<StopId> = Vec::with_capacity(stops_at.len());
-            for (k, p) in stops_at.iter().enumerate() {
-                let id = StopId(feed.stops.len() as u32);
-                feed.stops.push(Stop {
-                    id,
-                    gtfs_id: format!("DYN_S{}_{}", feed.routes.len(), k),
-                    name: format!("Dynamic stop {k}"),
-                    pos: *p,
-                });
-                new_stops.push(id);
-            }
-
-            // Weekday service dedicated to dynamic routes.
-            let svc = ServiceId(feed.services.len() as u32);
-            feed.services.push(Service {
-                id: svc,
-                gtfs_id: format!("DYN_WK{}", svc.0),
-                days: [true, true, true, true, true, false, false],
-            });
-            let route = RouteId(feed.routes.len() as u32);
-            feed.routes.push(Route {
-                id: route,
-                gtfs_id: format!("DYN_R{}", route.0),
-                agency: feed.agencies[0].id,
-                short_name: format!("D{}", route.0),
-                route_type: RouteType::Bus,
-            });
-
-            // Run times from stop geometry (same convention as the
-            // generator).
             let bus_speed = state.city.config.bus_speed_mps;
-            let runtimes: Vec<u32> = stops_at
-                .windows(2)
-                .map(|w| ((w[0].dist(&w[1]) * 1.25 / bus_speed).round() as u32).max(30))
-                .collect();
-
-            // All-day service at the peak headway (scenario routes are
-            // what-ifs; a flat headway keeps the experiment interpretable).
-            for dir in 0..2u32 {
-                let ordered: Vec<StopId> = if dir == 0 {
-                    new_stops.clone()
-                } else {
-                    new_stops.iter().rev().copied().collect()
-                };
-                let runs: Vec<u32> = if dir == 0 {
-                    runtimes.clone()
-                } else {
-                    runtimes.iter().rev().copied().collect()
-                };
-                let mut t = 6 * 3600u32;
-                let mut k = 0u32;
-                while t < 22 * 3600 {
-                    let trip = TripId(feed.trips.len() as u32);
-                    feed.trips.push(Trip {
-                        id: trip,
-                        gtfs_id: format!("DYN_T{}_{dir}_{k}", route.0),
-                        route,
-                        service: svc,
-                    });
-                    let mut clock = Stime(t);
-                    for (i, &stop) in ordered.iter().enumerate() {
-                        let arrival = clock;
-                        let departure =
-                            if i + 1 < ordered.len() { arrival.plus(15) } else { arrival };
-                        feed.stop_times.push(StopTime {
-                            trip,
-                            stop,
-                            arrival,
-                            departure,
-                            seq: i as u32,
-                        });
-                        if i < runs.len() {
-                            clock = departure.plus(runs[i]);
-                        }
-                    }
-                    k += 1;
-                    t += peak_headway_s.max(120);
-                }
-            }
-            feed.normalize();
-            staq_gtfs::validate::assert_valid(&feed);
-            state.city.feed = FeedIndex::build(feed);
+            let outcome = state.city.feed.apply_delta(delta, bus_speed)?;
 
             // Incremental hop-tree rebuild: zones whose walkshed reaches a
-            // new stop (crow-flies pre-filter by max walking radius, exact
-            // test via the stored isochrone).
+            // touched stop (crow-flies pre-filter by max walking radius,
+            // exact test via the stored isochrone).
             let radius = self.config.isochrone.max_radius_m();
             let mut affected: Vec<ZoneId> = Vec::new();
             for z in 0..state.city.n_zones() {
                 let zid = ZoneId(z as u32);
                 let iso = state.artifacts.store.isochrone(zid);
-                let touched = stops_at.iter().any(|p| {
+                let touched = outcome.touched_stops.iter().any(|p| {
                     state.city.zone_centroid(zid).dist(p) <= radius * 1.5 && iso.contains(p)
                 });
                 if touched {
@@ -391,13 +340,94 @@ impl AccessEngine {
         // Schedule changed: every category is stale. Bump all known epochs
         // so no in-flight compute gets promoted either.
         let mut cache = self.cache.lock();
+        let mut invalidated = 0usize;
         for epoch in cache.epochs.values_mut() {
             *epoch += 1;
+            invalidated += 1;
             CACHE_INVALIDATIONS.inc();
         }
         cache.slots.clear();
-        affected_len
+        Ok(DeltaApplied { structural: true, zones_rebuilt, invalidated })
     }
+
+    /// Evaluates `scenarios` (each a list of deltas) against the current
+    /// world for one category, side by side, **without mutating anything**.
+    ///
+    /// One immutable base is shared by all scenarios: the cached base
+    /// measures supply the TODAM, the L/U split, and the feature matrices
+    /// (demand is POI-driven, so the TODAM is exact under schedule deltas;
+    /// reusing base hop-tree features is the documented approximation), and
+    /// one base transit network supplies copy-on-write overlays. Per
+    /// scenario, only labeling `L` over the overlay and retraining the SSR
+    /// model run — the expensive artifacts are never cloned, which is what
+    /// makes K scenarios cheaper than K engines.
+    ///
+    /// An empty scenario reproduces the base measures bit-for-bit.
+    pub fn what_if(
+        &self,
+        category: PoiCategory,
+        scenarios: &[Vec<Delta>],
+    ) -> Result<Vec<ScenarioOutcome>, String> {
+        let mut span = staq_obs::trace::span("engine.what_if");
+        span.attr("scenarios", scenarios.len() as u64);
+        let base = self.measures(category);
+        let state = self.state.read();
+        let bus_speed = state.city.config.bus_speed_mps;
+        let net = TransitNetwork::with_defaults(&state.city.road, &state.city.feed);
+        let mut out = Vec::with_capacity(scenarios.len());
+        for deltas in scenarios {
+            let (overlay, overlay_stats) = net.overlay(deltas, bus_speed)?;
+            let cost_model = match self.config.cost {
+                CostKind::Jt => AccessCost::jt(),
+                CostKind::Gac => AccessCost::gac(),
+            };
+            let labeler = LabelEngine::with_network(
+                &state.city,
+                overlay,
+                cost_model,
+                self.config.todam.interval.clone(),
+            );
+            let labeled_stats: Vec<ZoneStats> = labeler
+                .label_zones(&base.matrix, &base.labeled)
+                .into_iter()
+                .map(|s| s.expect("base-labeled zone must relabel under the overlay"))
+                .collect();
+            let predicted = ssr_train_infer(
+                &state.city,
+                &self.config,
+                &base.labeled,
+                &base.unlabeled,
+                &base.x_labeled,
+                &base.x_unlabeled,
+                &labeled_stats,
+            );
+            out.push(ScenarioOutcome { predicted, labeled_stats, overlay: overlay_stats });
+        }
+        Ok(out)
+    }
+}
+
+/// What [`AccessEngine::apply_delta`] did — the invalidation receipt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaApplied {
+    /// False for advisory deltas (nothing below changed).
+    pub structural: bool,
+    /// Zones whose hop trees were incrementally rebuilt.
+    pub zones_rebuilt: usize,
+    /// Categories whose cached/in-flight results were invalidated.
+    pub invalidated: usize,
+}
+
+/// One counterfactual scenario's evaluation from [`AccessEngine::what_if`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Access measures per zone under the scenario (same zone set as the
+    /// base measures: truth for `L`, inference for `U`).
+    pub predicted: Vec<ZoneMeasures>,
+    /// Counterfactual ground-truth stats for the labeled zones.
+    pub labeled_stats: Vec<ZoneStats>,
+    /// What the copy-on-write overlay materialized.
+    pub overlay: OverlayStats,
 }
 
 #[cfg(test)]

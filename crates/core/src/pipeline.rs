@@ -64,6 +64,11 @@ pub struct PipelineResult {
     /// Measures for every eligible zone — SPQ-labeled for `labeled`,
     /// model-inferred for `unlabeled`.
     pub predicted: Vec<ZoneMeasures>,
+    /// Feature matrix of the labeled zones (row order = `labeled`), retained
+    /// so what-if scenarios can retrain without re-extracting features.
+    pub x_labeled: Matrix,
+    /// Feature matrix of the unlabeled zones (row order = `unlabeled`).
+    pub x_unlabeled: Matrix,
     /// Trips actually routed (β of the matrix).
     pub labeled_trips: usize,
     pub timings: StageTimings,
@@ -184,51 +189,19 @@ impl<'a> SsrPipeline<'a> {
         let stage = trace::span("pipeline.stage.train");
         let x_labeled = feature_matrix(&feats, &labeled);
         let x_unlabeled = feature_matrix(&feats, &unlabeled);
-        let y_labeled = Matrix::from_rows(
-            &labeled_stats.iter().map(|s| vec![s.mac, s.acsd]).collect::<Vec<_>>(),
+        let predicted = ssr_train_infer(
+            self.city,
+            cfg,
+            &labeled,
+            &unlabeled,
+            &x_labeled,
+            &x_unlabeled,
+            &labeled_stats,
         );
-        // GNN needs adjacency in L-then-U row order.
-        let adjacency = if cfg.model == staq_ml::ModelKind::Gnn {
-            let coords: Vec<(f64, f64)> = labeled
-                .iter()
-                .chain(&unlabeled)
-                .map(|z| {
-                    let c = self.city.zone_centroid(*z);
-                    (c.x, c.y)
-                })
-                .collect();
-            Some(SparseAdj::gaussian_threshold(&coords, 12, 1e-4, None))
-        } else {
-            None
-        };
-        let task = SsrTask {
-            x_labeled: &x_labeled,
-            y_labeled: &y_labeled,
-            x_unlabeled: &x_unlabeled,
-            adjacency: adjacency.as_ref(),
-            seed: cfg.seed,
-        };
-        let model = cfg.model.build();
-        let pred = model.fit_predict(&task);
         drop(stage);
         let train_secs = t0.elapsed().as_secs_f64();
         STAGE_TRAIN.record(t0.elapsed());
         PIPELINE_RUNS.inc();
-
-        // Assemble: truth for L, inference for U (costs clamped to their
-        // physical domain: non-negative).
-        let mut predicted = Vec::with_capacity(eligible.len());
-        for (z, s) in labeled.iter().zip(&labeled_stats) {
-            predicted.push(ZoneMeasures { zone: *z, mac: s.mac, acsd: s.acsd });
-        }
-        for (k, z) in unlabeled.iter().enumerate() {
-            predicted.push(ZoneMeasures {
-                zone: *z,
-                mac: pred[(k, 0)].max(0.0),
-                acsd: pred[(k, 1)].max(0.0),
-            });
-        }
-        predicted.sort_by_key(|m| m.zone);
 
         PipelineResult {
             matrix,
@@ -236,6 +209,8 @@ impl<'a> SsrPipeline<'a> {
             unlabeled,
             labeled_stats,
             predicted,
+            x_labeled,
+            x_unlabeled,
             labeled_trips,
             timings: StageTimings {
                 todam_secs,
@@ -271,6 +246,63 @@ fn farthest_point_sample(city: &City, eligible: &[ZoneId], k: usize, seed: u64) 
         }
     }
     chosen
+}
+
+/// Stage 5 proper: train the configured SSR model on `(x_labeled,
+/// labeled_stats)`, infer the unlabeled zones, and assemble the full
+/// per-zone measure list (truth for `L`, clamped inference for `U`), sorted
+/// by zone. Shared by the pipeline and the what-if engine, which retrains
+/// on counterfactual labels over the *same* feature matrices.
+pub fn ssr_train_infer(
+    city: &City,
+    cfg: &PipelineConfig,
+    labeled: &[ZoneId],
+    unlabeled: &[ZoneId],
+    x_labeled: &Matrix,
+    x_unlabeled: &Matrix,
+    labeled_stats: &[ZoneStats],
+) -> Vec<ZoneMeasures> {
+    let y_labeled =
+        Matrix::from_rows(&labeled_stats.iter().map(|s| vec![s.mac, s.acsd]).collect::<Vec<_>>());
+    // GNN needs adjacency in L-then-U row order.
+    let adjacency = if cfg.model == staq_ml::ModelKind::Gnn {
+        let coords: Vec<(f64, f64)> = labeled
+            .iter()
+            .chain(unlabeled)
+            .map(|z| {
+                let c = city.zone_centroid(*z);
+                (c.x, c.y)
+            })
+            .collect();
+        Some(SparseAdj::gaussian_threshold(&coords, 12, 1e-4, None))
+    } else {
+        None
+    };
+    let task = SsrTask {
+        x_labeled,
+        y_labeled: &y_labeled,
+        x_unlabeled,
+        adjacency: adjacency.as_ref(),
+        seed: cfg.seed,
+    };
+    let model = cfg.model.build();
+    let pred = model.fit_predict(&task);
+
+    // Assemble: truth for L, inference for U (costs clamped to their
+    // physical domain: non-negative).
+    let mut predicted = Vec::with_capacity(labeled.len() + unlabeled.len());
+    for (z, s) in labeled.iter().zip(labeled_stats) {
+        predicted.push(ZoneMeasures { zone: *z, mac: s.mac, acsd: s.acsd });
+    }
+    for (k, z) in unlabeled.iter().enumerate() {
+        predicted.push(ZoneMeasures {
+            zone: *z,
+            mac: pred[(k, 0)].max(0.0),
+            acsd: pred[(k, 1)].max(0.0),
+        });
+    }
+    predicted.sort_by_key(|m| m.zone);
+    predicted
 }
 
 fn feature_matrix(feats: &[Option<[f64; FEATURE_DIM]>], zones: &[ZoneId]) -> Matrix {

@@ -10,7 +10,10 @@
 //!   stops. [`FeedIndex::departures_at`] and [`FeedIndex::trip_calls`]
 //!   provide exactly these.
 
-use crate::model::{Feed, RouteId, ServiceId, StopId, StopTime, TripId};
+use crate::delta::{Delta, DeltaOutcome};
+use crate::model::{
+    Feed, Route, RouteId, RouteType, Service, ServiceId, Stop, StopId, StopTime, Trip, TripId,
+};
 use crate::time::{DayOfWeek, Stime, TimeInterval};
 use staq_geom::Point;
 
@@ -27,7 +30,13 @@ pub struct Departure {
 ///
 /// Construction is O(|stop_times| log |stop_times|); all queries afterwards
 /// are binary searches plus slice scans.
-#[derive(Debug, Clone)]
+///
+/// The index is also *incrementally mutable*: [`FeedIndex::apply_delta`]
+/// applies a streaming schedule [`Delta`] by patching only the touched
+/// ranges and departure rows — never a full rebuild — and is exact:
+/// equality (`PartialEq`) with `FeedIndex::build` over the equivalently
+/// mutated feed is test-gated.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeedIndex {
     feed: Feed,
     /// Per-trip ranges into `feed.stop_times` (which is `(trip, seq)`-sorted).
@@ -69,7 +78,11 @@ impl FeedIndex {
             });
         }
         for deps in &mut stop_departures {
-            deps.sort_by_key(|d| d.departure);
+            // Total order: the `(trip, seq)` tie-break matches the stable
+            // sort over canonical stop_time order this used to be, and makes
+            // incremental departure edits land at the same slot a rebuild
+            // would.
+            deps.sort_by_key(|d| (d.departure, d.trip, d.seq));
         }
 
         let trip_route = feed.trips.iter().map(|t| t.route).collect();
@@ -159,6 +172,232 @@ impl FeedIndex {
         let total: u32 = times.windows(2).map(|w| w[0].until(w[1])).sum();
         Some(total as f64 / (times.len() - 1) as f64)
     }
+
+    // ------------------------------------------------------------------
+    // Incremental mutation: the live-delta path. Every method patches the
+    // feed *and* the inverted indexes in place; equality with a
+    // from-scratch `build` over the mutated feed is the test-gated
+    // contract.
+    // ------------------------------------------------------------------
+
+    /// Applies one streaming [`Delta`] incrementally. Returns what was
+    /// touched so callers can invalidate precisely; `Err` on unknown ids or
+    /// invalid route geometry (the index is unchanged on error).
+    ///
+    /// `bus_speed_mps` parameterizes the run times of [`Delta::AddRoute`]
+    /// (the city's bus speed; unused by the other kinds).
+    pub fn apply_delta(
+        &mut self,
+        delta: &Delta,
+        bus_speed_mps: f64,
+    ) -> Result<DeltaOutcome, String> {
+        let touched_stops = match delta {
+            Delta::TripDelay { trip, delay_secs } => self.delay_trip(*trip, *delay_secs)?,
+            Delta::TripCancel { trip } => self.cancel_trip(*trip)?,
+            Delta::RouteRemove { route } => self.remove_route(*route)?,
+            Delta::ServiceAlert { .. } => {
+                return Ok(DeltaOutcome { touched_stops: Vec::new(), structural: false })
+            }
+            Delta::AddRoute { stops, headway_s } => {
+                self.append_route(stops, *headway_s, bus_speed_mps)?
+            }
+        };
+        Ok(DeltaOutcome { touched_stops, structural: true })
+    }
+
+    /// Shifts every call of `trip` `delay_secs` later (uniform holding
+    /// delay). Returns the positions of the touched stops.
+    pub fn delay_trip(&mut self, trip: TripId, delay_secs: u32) -> Result<Vec<Point>, String> {
+        let (a, b) =
+            *self.trip_ranges.get(trip.idx()).ok_or_else(|| format!("unknown trip #{}", trip.0))?;
+        if a == b {
+            return Err(format!("trip #{} has no calls to delay", trip.0));
+        }
+        let mut touched = Vec::with_capacity((b - a) as usize);
+        for i in a as usize..b as usize {
+            let st = self.feed.stop_times[i];
+            // Re-slot the departure in its stop's sorted row: remove the old
+            // event, insert the shifted one at its total-order position.
+            let row = &mut self.stop_departures[st.stop.idx()];
+            let pos = row
+                .iter()
+                .position(|d| d.trip == trip && d.seq == st.seq)
+                .expect("departure rows track the feed");
+            row.remove(pos);
+            let nd = Departure { trip, departure: st.departure.plus(delay_secs), seq: st.seq };
+            let at = row.partition_point(|d| {
+                (d.departure, d.trip, d.seq) < (nd.departure, nd.trip, nd.seq)
+            });
+            row.insert(at, nd);
+            let stm = &mut self.feed.stop_times[i];
+            stm.arrival = stm.arrival.plus(delay_secs);
+            stm.departure = stm.departure.plus(delay_secs);
+            touched.push(self.feed.stops[st.stop.idx()].pos);
+        }
+        Ok(touched)
+    }
+
+    /// Cancels `trip`: its calls are removed from the feed and every
+    /// departure row. A trip that already makes no calls is a no-op (so
+    /// replaying a delta log is idempotent per entry). The trip record
+    /// itself remains — dense ids stay stable.
+    pub fn cancel_trip(&mut self, trip: TripId) -> Result<Vec<Point>, String> {
+        let (a, b) =
+            *self.trip_ranges.get(trip.idx()).ok_or_else(|| format!("unknown trip #{}", trip.0))?;
+        if a == b {
+            return Ok(Vec::new());
+        }
+        let mut touched = Vec::with_capacity((b - a) as usize);
+        for i in a as usize..b as usize {
+            let st = self.feed.stop_times[i];
+            let row = &mut self.stop_departures[st.stop.idx()];
+            let pos = row
+                .iter()
+                .position(|d| d.trip == trip && d.seq == st.seq)
+                .expect("departure rows track the feed");
+            row.remove(pos);
+            touched.push(self.feed.stops[st.stop.idx()].pos);
+        }
+        self.feed.stop_times.drain(a as usize..b as usize);
+        let removed = b - a;
+        self.trip_ranges[trip.idx()] = (0, 0);
+        for r in &mut self.trip_ranges {
+            if r.0 >= b {
+                r.0 -= removed;
+                r.1 -= removed;
+            }
+        }
+        Ok(touched)
+    }
+
+    /// Cancels every trip of `route`. The route (and its trips/services)
+    /// stay as records; only calls disappear.
+    pub fn remove_route(&mut self, route: RouteId) -> Result<Vec<Point>, String> {
+        if route.idx() >= self.feed.routes.len() {
+            return Err(format!("unknown route #{}", route.0));
+        }
+        let trips: Vec<TripId> =
+            self.feed.trips.iter().filter(|t| t.route == route).map(|t| t.id).collect();
+        let mut touched = Vec::new();
+        for t in trips {
+            touched.extend(self.cancel_trip(t)?);
+        }
+        Ok(touched)
+    }
+
+    /// Appends a new weekday bus route calling at `stops_at` in order with
+    /// the given peak headway, extending the index incrementally: new trips
+    /// get fresh (maximal) ids, so their stop_times append in canonical
+    /// order and no existing departure row is touched.
+    pub fn append_route(
+        &mut self,
+        stops_at: &[Point],
+        peak_headway_s: u32,
+        bus_speed_mps: f64,
+    ) -> Result<Vec<Point>, String> {
+        if stops_at.len() < 2 {
+            return Err("a route needs at least two stops".into());
+        }
+        if stops_at.iter().any(|p| !p.is_finite()) {
+            return Err("route stops must be finite".into());
+        }
+        let feed = &mut self.feed;
+        let first_new_stop = feed.stops.len();
+        let first_new_trip = feed.trips.len();
+        let first_new_st = feed.stop_times.len();
+
+        // New stops at the given points.
+        let mut new_stops: Vec<StopId> = Vec::with_capacity(stops_at.len());
+        for (k, p) in stops_at.iter().enumerate() {
+            let id = StopId(feed.stops.len() as u32);
+            feed.stops.push(Stop {
+                id,
+                gtfs_id: format!("DYN_S{}_{}", feed.routes.len(), k),
+                name: format!("Dynamic stop {k}"),
+                pos: *p,
+            });
+            new_stops.push(id);
+        }
+
+        // Weekday service dedicated to dynamic routes.
+        let svc = ServiceId(feed.services.len() as u32);
+        feed.services.push(Service {
+            id: svc,
+            gtfs_id: format!("DYN_WK{}", svc.0),
+            days: [true, true, true, true, true, false, false],
+        });
+        let route = RouteId(feed.routes.len() as u32);
+        feed.routes.push(Route {
+            id: route,
+            gtfs_id: format!("DYN_R{}", route.0),
+            agency: feed.agencies[0].id,
+            short_name: format!("D{}", route.0),
+            route_type: RouteType::Bus,
+        });
+
+        // All-day service at the peak headway (scenario routes are
+        // what-ifs; a flat headway keeps the experiment interpretable).
+        // The schedule convention lives in `dyn_route_timetable` so the
+        // what-if overlay produces bit-identical trips.
+        let tt = crate::delta::dyn_route_timetable(stops_at, peak_headway_s, bus_speed_mps);
+        for dir in 0..2usize {
+            let ordered: Vec<StopId> = if dir == 0 {
+                new_stops.clone()
+            } else {
+                new_stops.iter().rev().copied().collect()
+            };
+            for (k, &start) in tt.starts.iter().enumerate() {
+                let trip = TripId(feed.trips.len() as u32);
+                feed.trips.push(Trip {
+                    id: trip,
+                    gtfs_id: format!("DYN_T{}_{dir}_{k}", route.0),
+                    route,
+                    service: svc,
+                });
+                for (i, &stop) in ordered.iter().enumerate() {
+                    let (arr, dep) = tt.offsets[dir][i];
+                    feed.stop_times.push(StopTime {
+                        trip,
+                        stop,
+                        arrival: Stime(start + arr),
+                        departure: Stime(start + dep),
+                        seq: i as u32,
+                    });
+                }
+            }
+        }
+
+        // Incremental index extension. New trips carry maximal ids, so the
+        // appended stop_times keep the feed `(trip, seq)`-normalized and
+        // their ranges scan off the tail.
+        self.trip_route.extend(feed.trips[first_new_trip..].iter().map(|t| t.route));
+        self.trip_service.extend(feed.trips[first_new_trip..].iter().map(|t| t.service));
+        self.trip_ranges.resize(feed.trips.len(), (0, 0));
+        let mut i = first_new_st;
+        while i < feed.stop_times.len() {
+            let trip = feed.stop_times[i].trip;
+            let start = i;
+            while i < feed.stop_times.len() && feed.stop_times[i].trip == trip {
+                i += 1;
+            }
+            self.trip_ranges[trip.idx()] = (start as u32, i as u32);
+        }
+        // New trips call only at new stops: existing departure rows are
+        // untouched, the fresh rows sort like a rebuild would.
+        self.stop_departures.resize(feed.stops.len(), Vec::new());
+        for st in &feed.stop_times[first_new_st..] {
+            self.stop_departures[st.stop.idx()].push(Departure {
+                trip: st.trip,
+                departure: st.departure,
+                seq: st.seq,
+            });
+        }
+        for row in &mut self.stop_departures[first_new_stop..] {
+            row.sort_by_key(|d| (d.departure, d.trip, d.seq));
+        }
+        debug_assert!(self.feed.is_normalized());
+        Ok(stops_at.to_vec())
+    }
 }
 
 #[cfg(test)]
@@ -227,5 +466,111 @@ mod tests {
         let ix = FeedIndex::build(feed);
         assert_eq!(ix.trip_calls(TripId(0)).len(), 2);
         assert!(ix.feed().is_normalized());
+    }
+
+    /// A richer index for mutation tests: the tiny feed plus an appended
+    /// dynamic route (several trips over fresh stops).
+    fn mutable_index() -> FeedIndex {
+        let mut ix = index();
+        ix.append_route(
+            &[Point::new(0.0, 0.0), Point::new(900.0, 0.0), Point::new(1800.0, 600.0)],
+            1800,
+            8.0,
+        )
+        .unwrap();
+        ix
+    }
+
+    /// The incremental-mutation contract: after any delta, the index equals
+    /// a from-scratch build over its own mutated feed.
+    fn assert_matches_rebuild(ix: &FeedIndex) {
+        let rebuilt = FeedIndex::build(ix.feed().clone());
+        assert_eq!(*ix, rebuilt, "incremental index diverged from rebuild");
+    }
+
+    #[test]
+    fn append_route_matches_rebuild_and_validates() {
+        let base_trips = index().feed().trips.len();
+        let ix = mutable_index();
+        crate::validate::assert_valid(ix.feed());
+        assert_matches_rebuild(&ix);
+        // Both directions, 6:00–22:00 at the (clamped) headway.
+        let n_new_trips = ix.feed().trips.len() - base_trips;
+        assert_eq!(n_new_trips, 2 * 32, "32 departures per direction over 6:00-22:00 at 1800s");
+    }
+
+    #[test]
+    fn delay_trip_matches_rebuild() {
+        let mut ix = mutable_index();
+        let trip = TripId(2); // first appended trip
+        let before: Vec<Stime> = ix.trip_calls(trip).iter().map(|c| c.departure).collect();
+        let touched = ix.delay_trip(trip, 420).unwrap();
+        assert_eq!(touched.len(), 3);
+        let after: Vec<Stime> = ix.trip_calls(trip).iter().map(|c| c.departure).collect();
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b.plus(420), *a);
+        }
+        assert_matches_rebuild(&ix);
+        crate::validate::assert_valid(ix.feed());
+    }
+
+    #[test]
+    fn cancel_trip_matches_rebuild_and_clears_calls() {
+        let mut ix = mutable_index();
+        let trip = TripId(3);
+        let stop = ix.trip_calls(trip)[0].stop;
+        let deps_before = ix.all_departures_at(stop).len();
+        let touched = ix.cancel_trip(trip).unwrap();
+        assert_eq!(touched.len(), 3);
+        assert!(ix.trip_calls(trip).is_empty());
+        assert_eq!(ix.all_departures_at(stop).len(), deps_before - 1);
+        assert_matches_rebuild(&ix);
+        crate::validate::assert_valid(ix.feed());
+        // Cancelling again is a structural no-op.
+        assert!(ix.cancel_trip(trip).unwrap().is_empty());
+        assert_matches_rebuild(&ix);
+    }
+
+    #[test]
+    fn remove_route_cancels_every_trip_and_matches_rebuild() {
+        let mut ix = mutable_index();
+        let route = ix.feed().routes.last().unwrap().id;
+        ix.remove_route(route).unwrap();
+        for t in ix.feed().trips.iter().filter(|t| t.route == route) {
+            assert!(ix.trip_calls(t.id).is_empty());
+        }
+        // The original trips are untouched.
+        assert_eq!(ix.trip_calls(TripId(0)).len(), 2);
+        assert_matches_rebuild(&ix);
+        crate::validate::assert_valid(ix.feed());
+    }
+
+    #[test]
+    fn apply_delta_dispatches_and_reports_structure() {
+        let mut ix = mutable_index();
+        let alert = ix
+            .apply_delta(&Delta::ServiceAlert { route: RouteId(0), message: "slow".into() }, 8.0)
+            .unwrap();
+        assert!(!alert.structural);
+        assert!(alert.touched_stops.is_empty());
+        let out =
+            ix.apply_delta(&Delta::TripDelay { trip: TripId(2), delay_secs: 60 }, 8.0).unwrap();
+        assert!(out.structural);
+        assert!(!out.touched_stops.is_empty());
+        assert_matches_rebuild(&ix);
+    }
+
+    #[test]
+    fn mutations_reject_unknown_ids_and_bad_geometry() {
+        let mut ix = index();
+        assert!(ix.delay_trip(TripId(99), 60).is_err());
+        assert!(ix.cancel_trip(TripId(99)).is_err());
+        assert!(ix.remove_route(RouteId(99)).is_err());
+        assert!(ix.append_route(&[Point::new(0.0, 0.0)], 600, 8.0).is_err());
+        assert!(ix
+            .append_route(&[Point::new(0.0, 0.0), Point::new(f64::NAN, 0.0)], 600, 8.0)
+            .is_err());
+        // Failed mutations leave the index untouched.
+        assert_eq!(ix, index());
     }
 }

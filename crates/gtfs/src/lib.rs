@@ -26,6 +26,7 @@
 //! * [`validate`] — referential integrity and monotonicity checks.
 
 pub mod csv;
+pub mod delta;
 pub mod index;
 pub mod model;
 pub mod parse;
@@ -33,6 +34,7 @@ pub mod time;
 pub mod validate;
 pub mod write;
 
+pub use delta::{Delta, DeltaOutcome};
 pub use index::FeedIndex;
 pub use model::{Feed, Route, RouteId, Stop, StopId, StopTime, Trip, TripId};
 pub use time::{DayOfWeek, Stime, TimeInterval};

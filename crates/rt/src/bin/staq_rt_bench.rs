@@ -1,0 +1,242 @@
+//! Benchmark for the staq-rt streaming subsystem.
+//!
+//! ```text
+//! staq-rt-bench [--duration secs] [--readers N] [--scenarios K]
+//!               [--seed N] [--emit-json path]
+//! ```
+//!
+//! Two phases:
+//!
+//! * **Stream** — one writer applies timetable deltas through the
+//!   sequenced log as fast as the engine absorbs them while `--readers`
+//!   threads hammer queries against the same engine. Reported as
+//!   deltas/sec and queries/sec over `--duration`; the mix alternates
+//!   structural `TripDelay`s (incremental hop-tree rebuilds + cache
+//!   invalidation) with advisory `ServiceAlert`s (no locks taken), which
+//!   is what live feeds look like.
+//! * **What-if** — `--scenarios` (K) counterfactuals evaluated two ways
+//!   against the same pristine city: once through
+//!   [`RtEngine::what_if`]'s copy-on-write overlays over one immutable
+//!   base, and once the naive way — K cloned cities, each mutated and
+//!   given a brand-new engine that recomputes everything. The report
+//!   carries both wall times and their ratio; the subsystem's contract
+//!   is `ratio < 0.30` at K = 8.
+//!
+//! `--emit-json` writes `BENCH_rt.json` with both sections for CI
+//! archiving.
+//!
+//! [`RtEngine::what_if`]: staq_rt::RtEngine::what_if
+
+use staq_core::{AccessEngine, PipelineConfig};
+use staq_gtfs::model::{RouteId, TripId};
+use staq_gtfs::Delta;
+use staq_ml::ModelKind;
+use staq_rt::RtEngine;
+use staq_synth::{City, CityConfig, PoiCategory};
+use staq_todam::TodamSpec;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    duration: Duration,
+    readers: usize,
+    scenarios: usize,
+    seed: u64,
+    emit_json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        duration: Duration::from_secs(5),
+        readers: 4,
+        scenarios: 8,
+        seed: 42,
+        emit_json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--duration" => args.duration = Duration::from_secs_f64(parse(&mut it, "--duration")),
+            "--readers" => args.readers = parse(&mut it, "--readers"),
+            "--scenarios" => args.scenarios = parse(&mut it, "--scenarios"),
+            "--seed" => args.seed = parse(&mut it, "--seed"),
+            "--emit-json" => args.emit_json = Some(need(&mut it, "--emit-json")),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if args.readers == 0 {
+        usage("--readers must be at least 1");
+    }
+    if args.scenarios == 0 {
+        usage("--scenarios must be at least 1");
+    }
+    args
+}
+
+fn need(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+}
+
+fn parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    need(it, flag).parse().unwrap_or_else(|_| usage(&format!("{flag} needs a valid value")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!(
+        "usage: staq-rt-bench [--duration secs] [--readers N] [--scenarios K] \
+         [--seed N] [--emit-json path]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+fn pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        beta: 0.2,
+        model: ModelKind::Ols,
+        todam: TodamSpec { per_hour: 3, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Streams deltas through the log while reader threads query.
+fn bench_stream(args: &Args) -> (u64, u64, f64) {
+    let city = City::generate(&CityConfig::small(args.seed));
+    let n_trips = city.feed.feed().trips.len() as u32;
+    let rt = Arc::new(RtEngine::new(Arc::new(AccessEngine::new(city, pipeline_config()))));
+
+    // Warm every category the readers will touch: the stream phase
+    // measures steady-state invalidate/recompute, not four cold starts.
+    let cats = [PoiCategory::School, PoiCategory::Hospital];
+    for c in cats {
+        rt.engine().measures(c);
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(AtomicU64::new(0));
+    let deltas = crossbeam::scope(|scope| {
+        for r in 0..args.readers {
+            let rt = Arc::clone(&rt);
+            let stop = Arc::clone(&stop);
+            let queries = Arc::clone(&queries);
+            scope.spawn(move |_| {
+                let mut i = r;
+                while !stop.load(Ordering::Relaxed) {
+                    let cat = cats[i % cats.len()];
+                    rt.engine().query(&staq_access::AccessQuery::MeanAccess, cat);
+                    queries.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+
+        // The writer: alternate structural delays with advisory alerts,
+        // rotating over real trips so every delta is valid.
+        let deadline = Instant::now() + args.duration;
+        let mut applied = 0u64;
+        let mut i = 0u32;
+        while Instant::now() < deadline {
+            let delta = if i.is_multiple_of(2) {
+                Delta::TripDelay { trip: TripId(i / 2 % n_trips), delay_secs: 30 }
+            } else {
+                Delta::ServiceAlert { route: RouteId(0), message: "bench alert".into() }
+            };
+            rt.apply(delta).expect("bench delta applies");
+            applied += 1;
+            i += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        applied
+    })
+    .expect("stream scope");
+
+    let q = queries.load(Ordering::Relaxed);
+    (deltas, q, args.duration.as_secs_f64())
+}
+
+/// K what-if overlays vs K cloned-and-rebuilt engines.
+fn bench_what_if(args: &Args) -> (f64, f64, u64) {
+    let city = City::generate(&CityConfig::small(args.seed));
+    let n_routes = city.feed.feed().routes.len() as u32;
+    let bus_speed = city.config.bus_speed_mps;
+    let category = PoiCategory::School;
+    let scenarios: Vec<Vec<Delta>> = (0..args.scenarios)
+        .map(|k| vec![Delta::RouteRemove { route: RouteId(k as u32 % n_routes) }])
+        .collect();
+
+    let rt = RtEngine::new(Arc::new(AccessEngine::new(city.clone(), pipeline_config())));
+    // The base measures are what-if's shared immutable input; computing
+    // them is the cost of *serving*, not of the scenarios.
+    rt.engine().measures(category);
+
+    let t = Instant::now();
+    let outcomes = rt.what_if(category, &scenarios).expect("what-if evaluates");
+    let what_if_s = t.elapsed().as_secs_f64();
+    let overlay_bytes: u64 = outcomes.iter().map(|o| o.overlay.overlay_bytes as u64).sum();
+
+    // Naive baseline: clone the city per scenario, mutate its feed, and
+    // pay a full fresh-engine pipeline run for the same measures.
+    let t = Instant::now();
+    for deltas in &scenarios {
+        let mut clone = city.clone();
+        for d in deltas {
+            clone.feed.apply_delta(d, bus_speed).expect("baseline delta applies");
+        }
+        let fresh = AccessEngine::new(clone, pipeline_config());
+        fresh.measures(category);
+    }
+    let clone_s = t.elapsed().as_secs_f64();
+
+    (what_if_s, clone_s, overlay_bytes)
+}
+
+fn main() {
+    let args = parse_args();
+
+    println!("== stream: deltas under {} readers ==", args.readers);
+    let (deltas, queries, secs) = bench_stream(&args);
+    let dps = deltas as f64 / secs;
+    let qps = queries as f64 / secs;
+    println!("  applied {deltas} deltas in {secs:.1}s  ({dps:.0} deltas/s)");
+    println!("  served  {queries} queries concurrently ({qps:.0} queries/s)");
+
+    println!("== what-if: K={} overlays vs K clones ==", args.scenarios);
+    let (what_if_s, clone_s, overlay_bytes) = bench_what_if(&args);
+    let ratio = what_if_s / clone_s;
+    let pass = ratio < 0.30;
+    println!("  what-if  {:.0} ms  ({overlay_bytes} overlay bytes)", what_if_s * 1e3);
+    println!("  clones   {:.0} ms", clone_s * 1e3);
+    println!("  ratio    {ratio:.3}  (contract < 0.300: {})", if pass { "pass" } else { "FAIL" });
+
+    if let Some(path) = &args.emit_json {
+        let json = format!(
+            "{{\"bench\":\"staq-rt-bench\",\"seed\":{},\
+             \"stream\":{{\"readers\":{},\"duration_s\":{:.3},\"deltas_applied\":{},\
+             \"deltas_per_sec\":{:.1},\"queries_served\":{},\"queries_per_sec\":{:.1}}},\
+             \"what_if\":{{\"k\":{},\"what_if_ms\":{:.3},\"clone_ms\":{:.3},\
+             \"ratio\":{:.4},\"gate\":0.30,\"gate_pass\":{},\"overlay_bytes\":{}}}}}",
+            args.seed,
+            args.readers,
+            secs,
+            deltas,
+            dps,
+            queries,
+            qps,
+            args.scenarios,
+            what_if_s * 1e3,
+            clone_s * 1e3,
+            ratio,
+            pass,
+            overlay_bytes,
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+}

@@ -6,11 +6,14 @@
 //! [`ClientError::Server`] with the server's error code and message —
 //! the connection stays usable after them.
 
-use crate::codec::{self, CodecError, ErrorCode, Request, Response, StatsReply};
+use crate::codec::{
+    self, CodecError, DeltaAck, ErrorCode, Request, Response, StatsReply, WhatIfAnswer,
+};
 use bytes::BytesMut;
 use staq_access::measures::ZoneMeasures;
 use staq_access::{AccessQuery, QueryAnswer};
 use staq_geom::Point;
+use staq_gtfs::Delta;
 use staq_obs::OwnedSpan;
 use staq_synth::{PoiCategory, PoiId};
 use std::io::{Read, Write};
@@ -136,6 +139,47 @@ impl Client {
         }
     }
 
+    /// Streams one delta at a sequence number (0 = let the server assign
+    /// the next one). A [`ClientError::Server`] with
+    /// [`ErrorCode::SeqGap`] means this client is ahead of the server's
+    /// log and must resend the missing tail first.
+    pub fn apply_delta(&mut self, seq: u64, delta: &Delta) -> Result<DeltaAck, ClientError> {
+        match self.call(&Request::ApplyDelta { seq, delta: delta.clone() })? {
+            Response::ApplyDelta(ack) => Ok(ack),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Streams a contiguous run of deltas starting at `first_seq`
+    /// (1-based); already-seen prefixes are skipped idempotently. Returns
+    /// the highest sequence number the server's log now covers from this
+    /// batch.
+    pub fn delta_batch(&mut self, first_seq: u64, deltas: &[Delta]) -> Result<u64, ClientError> {
+        match self.call(&Request::DeltaBatch { first_seq, deltas: deltas.to_vec() })? {
+            Response::DeltaBatch { last_seq } => Ok(last_seq),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Evaluates counterfactual scenarios (each a delta list) against the
+    /// live engine, answering `query` under each — side by side, in
+    /// request order.
+    pub fn what_if(
+        &mut self,
+        category: PoiCategory,
+        scenarios: &[Vec<Delta>],
+        query: &AccessQuery,
+    ) -> Result<Vec<WhatIfAnswer>, ClientError> {
+        match self.call(&Request::WhatIf {
+            category,
+            scenarios: scenarios.to_vec(),
+            query: query.clone(),
+        })? {
+            Response::WhatIf(answers) => Ok(answers),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Server counters.
     pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
         match self.call(&Request::Stats)? {
@@ -204,5 +248,8 @@ fn unexpected(resp: Response) -> ClientError {
         Response::AddBusRoute { .. } => ClientError::Unexpected("add_bus_route ack"),
         Response::Stats(_) => ClientError::Unexpected("stats"),
         Response::TraceDump(_) => ClientError::Unexpected("trace dump"),
+        Response::ApplyDelta(_) => ClientError::Unexpected("apply_delta ack"),
+        Response::DeltaBatch { .. } => ClientError::Unexpected("delta_batch ack"),
+        Response::WhatIf(_) => ClientError::Unexpected("what_if answers"),
     }
 }

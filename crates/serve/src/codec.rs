@@ -14,8 +14,8 @@
 //! any accepted older version (≥ [`MIN_WIRE_VERSION`]); a peer speaking
 //! anything else gets an error frame and the connection is closed.
 //!
-//! Request kinds are `0x01..=0x06`; response kinds mirror them with the
-//! high bit set (`0x81..=0x86`), and `0xFF` is the error frame — so a
+//! Request kinds are `0x01..=0x09`; response kinds mirror them with the
+//! high bit set (`0x81..=0x89`), and `0xFF` is the error frame — so a
 //! response can never be confused for a request even if framing slips.
 //!
 //! ## Versions and trace context
@@ -29,18 +29,33 @@
 //! which version the peer spoke so servers can reply in kind via
 //! [`encode_response_to`], keeping un-upgraded v2 clients working
 //! against a v3 server.
+//!
+//! ## Streaming frames (v3 only)
+//!
+//! `ApplyDelta` carries one [`Delta`] plus an explicit sequence number
+//! (0 = "assign the next one"); `DeltaBatch` carries a contiguous run of
+//! deltas starting at `first_seq` — the catch-up payload replicas replay
+//! idempotently. `WhatIf` evaluates K counterfactual scenarios (each a
+//! delta list) against the live engine and answers one [`AccessQuery`]
+//! per scenario, side by side. A server whose delta log is behind a
+//! claimed sequence number answers an [`ErrorCode::SeqGap`] error frame;
+//! the sender recovers by resending from the gap. None of these frames
+//! exist in v2 — [`encode_request_v2`] refuses them.
 
 use bytes::{Buf, BufMut, BytesMut};
 use staq_access::measures::ZoneMeasures;
 use staq_access::{AccessClass, AccessQuery, DemographicWeight, QueryAnswer};
 use staq_geom::Point;
+use staq_gtfs::model::{RouteId, TripId};
+use staq_gtfs::Delta;
 use staq_obs::SpanContext;
 use staq_obs::{trace, CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, OwnedSpan};
 use staq_synth::{PoiCategory, ZoneId};
 
 /// Protocol version this build emits. v2 extended the `Stats` response
-/// with a full [`MetricsSnapshot`]; v3 added the request trace context
-/// and the `TraceDump` request/response pair.
+/// with a full [`MetricsSnapshot`]; v3 added the request trace context,
+/// the `TraceDump` request/response pair, and the streaming frames
+/// (`ApplyDelta`, `DeltaBatch`, `WhatIf`).
 pub const WIRE_VERSION: u8 = 3;
 
 /// Oldest version still accepted on decode. v2 peers round-trip every
@@ -67,6 +82,15 @@ pub enum Request {
     /// Recent completed spans with duration ≥ `min_dur_ns`; optionally
     /// retunes the server's capture threshold first (v3+).
     TraceDump { min_dur_ns: u64, set_capture_ns: Option<u64> },
+    /// Streaming edit: apply one delta at a sequence number (0 = assign
+    /// the next one) to the server's delta log (v3+).
+    ApplyDelta { seq: u64, delta: Delta },
+    /// Streaming catch-up: a contiguous run of deltas starting at
+    /// `first_seq`; already-seen prefixes are skipped idempotently (v3+).
+    DeltaBatch { first_seq: u64, deltas: Vec<Delta> },
+    /// Evaluate each counterfactual scenario (a delta list) against the
+    /// live engine and answer `query` under each, side by side (v3+).
+    WhatIf { category: PoiCategory, scenarios: Vec<Vec<Delta>>, query: AccessQuery },
 }
 
 impl Request {
@@ -79,6 +103,9 @@ impl Request {
             Request::AddBusRoute { .. } => "add_bus_route",
             Request::Stats => "stats",
             Request::TraceDump { .. } => "trace_dump",
+            Request::ApplyDelta { .. } => "apply_delta",
+            Request::DeltaBatch { .. } => "delta_batch",
+            Request::WhatIf { .. } => "what_if",
         }
     }
 }
@@ -110,6 +137,27 @@ pub struct StatsReply {
     pub metrics: MetricsSnapshot,
 }
 
+/// Acknowledgement of one streamed delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaAck {
+    /// The delta's position in the server's log (1-based).
+    pub seq: u64,
+    /// Zones whose access artifacts were incrementally rebuilt.
+    pub zones_rebuilt: u32,
+    /// True when the sequence number was already in the log and the delta
+    /// was idempotently skipped (a retried broadcast, not a new edit).
+    pub replayed: bool,
+}
+
+/// One scenario's answer inside a `WhatIf` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfAnswer {
+    /// The request's query answered under this scenario's overlay.
+    pub answer: QueryAnswer,
+    /// Bytes the copy-on-write overlay materialized for this scenario.
+    pub overlay_bytes: u64,
+}
+
 /// A response frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -124,6 +172,15 @@ pub enum Response {
     Stats(StatsReply),
     /// Spans matching a `TraceDump` request, oldest first.
     TraceDump(Vec<OwnedSpan>),
+    /// One streamed delta accepted (or idempotently skipped).
+    ApplyDelta(DeltaAck),
+    /// A catch-up batch fully applied; `last_seq` is the highest sequence
+    /// number now in the server's log from this batch.
+    DeltaBatch {
+        last_seq: u64,
+    },
+    /// Per-scenario answers, in request order.
+    WhatIf(Vec<WhatIfAnswer>),
     /// Semantic failure; the connection stays usable.
     Error {
         code: ErrorCode,
@@ -141,6 +198,9 @@ pub enum ErrorCode {
     Invalid = 2,
     /// The server is shutting down or the queue is gone.
     Unavailable = 3,
+    /// A streamed delta's sequence number is ahead of the server's log;
+    /// the sender must resend the missing tail.
+    SeqGap = 4,
 }
 
 impl ErrorCode {
@@ -149,6 +209,7 @@ impl ErrorCode {
             1 => Some(ErrorCode::BadRequest),
             2 => Some(ErrorCode::Invalid),
             3 => Some(ErrorCode::Unavailable),
+            4 => Some(ErrorCode::SeqGap),
             _ => None,
         }
     }
@@ -187,12 +248,18 @@ const K_ADD_POI: u8 = 0x03;
 const K_ADD_BUS_ROUTE: u8 = 0x04;
 const K_STATS: u8 = 0x05;
 const K_TRACE_DUMP: u8 = 0x06;
+const K_APPLY_DELTA: u8 = 0x07;
+const K_DELTA_BATCH: u8 = 0x08;
+const K_WHAT_IF: u8 = 0x09;
 const K_R_MEASURES: u8 = 0x81;
 const K_R_QUERY: u8 = 0x82;
 const K_R_ADD_POI: u8 = 0x83;
 const K_R_ADD_BUS_ROUTE: u8 = 0x84;
 const K_R_STATS: u8 = 0x85;
 const K_R_TRACE_DUMP: u8 = 0x86;
+const K_R_APPLY_DELTA: u8 = 0x87;
+const K_R_DELTA_BATCH: u8 = 0x88;
+const K_R_WHAT_IF: u8 = 0x89;
 const K_R_ERROR: u8 = 0xFF;
 
 fn category_code(c: PoiCategory) -> u8 {
@@ -395,6 +462,58 @@ fn decode_answer(buf: &mut &[u8]) -> Result<QueryAnswer, CodecError> {
     })
 }
 
+/// Wire form of one [`Delta`]: a tag byte then the variant's fields.
+fn encode_delta(buf: &mut BytesMut, d: &Delta) {
+    match d {
+        Delta::TripDelay { trip, delay_secs } => {
+            buf.put_u8(0);
+            buf.put_u32(trip.0);
+            buf.put_u32(*delay_secs);
+        }
+        Delta::TripCancel { trip } => {
+            buf.put_u8(1);
+            buf.put_u32(trip.0);
+        }
+        Delta::RouteRemove { route } => {
+            buf.put_u8(2);
+            buf.put_u32(route.0);
+        }
+        Delta::ServiceAlert { route, message } => {
+            buf.put_u8(3);
+            buf.put_u32(route.0);
+            put_string(buf, message);
+        }
+        Delta::AddRoute { stops, headway_s } => {
+            buf.put_u8(4);
+            buf.put_u32(*headway_s);
+            buf.put_u16(stops.len().min(u16::MAX as usize) as u16);
+            for p in stops.iter().take(u16::MAX as usize) {
+                buf.put_f64(p.x);
+                buf.put_f64(p.y);
+            }
+        }
+    }
+}
+
+fn decode_delta(buf: &mut &[u8]) -> Result<Delta, CodecError> {
+    Ok(match take_u8(buf)? {
+        0 => Delta::TripDelay { trip: TripId(take_u32(buf)?), delay_secs: take_u32(buf)? },
+        1 => Delta::TripCancel { trip: TripId(take_u32(buf)?) },
+        2 => Delta::RouteRemove { route: RouteId(take_u32(buf)?) },
+        3 => Delta::ServiceAlert { route: RouteId(take_u32(buf)?), message: take_string(buf)? },
+        4 => {
+            let headway_s = take_u32(buf)?;
+            let n = take_u16(buf)? as usize;
+            let mut stops = Vec::with_capacity(capped(n, buf.remaining(), 16));
+            for _ in 0..n {
+                stops.push(Point::new(take_f64(buf)?, take_f64(buf)?));
+            }
+            Delta::AddRoute { stops, headway_s }
+        }
+        _ => return Err(CodecError::BadPayload("unknown delta tag")),
+    })
+}
+
 /// Wire form of a [`MetricsSnapshot`]: three `u16`-counted sample lists.
 /// Binary rather than the snapshot's JSON text — a busy server's registry
 /// serializes to tens of KiB of JSON, and the stats frame should stay a
@@ -506,12 +625,19 @@ pub fn encode_request(req: &Request, buf: &mut BytesMut) {
 }
 
 /// Encodes a v2 (pre-trace) request frame — what an un-upgraded client
-/// sends. Kept callable for compatibility tests; `TraceDump` does not
-/// exist in v2 and panics here.
+/// sends. Kept callable for compatibility tests; `TraceDump` and the
+/// streaming frames do not exist in v2 and panic here.
 pub fn encode_request_v2(req: &Request, buf: &mut BytesMut) {
     assert!(
-        !matches!(req, Request::TraceDump { .. }),
-        "TraceDump is a v3 request; v2 cannot encode it"
+        !matches!(
+            req,
+            Request::TraceDump { .. }
+                | Request::ApplyDelta { .. }
+                | Request::DeltaBatch { .. }
+                | Request::WhatIf { .. }
+        ),
+        "{} is a v3 request; v2 cannot encode it",
+        req.kind_label()
     );
     encode_request_v(req, 2, SpanContext::NONE, buf)
 }
@@ -569,6 +695,34 @@ fn encode_request_v(req: &Request, version: u8, ctx: SpanContext, buf: &mut Byte
                 None => buf.put_u8(0),
             }
         }
+        Request::ApplyDelta { seq, delta } => {
+            buf.put_u8(K_APPLY_DELTA);
+            put_ctx(buf);
+            buf.put_u64(*seq);
+            encode_delta(buf, delta);
+        }
+        Request::DeltaBatch { first_seq, deltas } => {
+            buf.put_u8(K_DELTA_BATCH);
+            put_ctx(buf);
+            buf.put_u64(*first_seq);
+            buf.put_u16(deltas.len().min(u16::MAX as usize) as u16);
+            for d in deltas.iter().take(u16::MAX as usize) {
+                encode_delta(buf, d);
+            }
+        }
+        Request::WhatIf { category, scenarios, query } => {
+            buf.put_u8(K_WHAT_IF);
+            put_ctx(buf);
+            buf.put_u8(category_code(*category));
+            encode_query(buf, query);
+            buf.put_u16(scenarios.len().min(u16::MAX as usize) as u16);
+            for scenario in scenarios.iter().take(u16::MAX as usize) {
+                buf.put_u16(scenario.len().min(u16::MAX as usize) as u16);
+                for d in scenario.iter().take(u16::MAX as usize) {
+                    encode_delta(buf, d);
+                }
+            }
+        }
     }
     end_frame(buf, body_start);
 }
@@ -624,6 +778,24 @@ pub fn encode_response_to(resp: &Response, version: u8, buf: &mut BytesMut) {
             buf.put_u32(spans.len() as u32);
             for s in spans {
                 encode_span(buf, s);
+            }
+        }
+        Response::ApplyDelta(ack) => {
+            buf.put_u8(K_R_APPLY_DELTA);
+            buf.put_u64(ack.seq);
+            buf.put_u32(ack.zones_rebuilt);
+            buf.put_u8(ack.replayed as u8);
+        }
+        Response::DeltaBatch { last_seq } => {
+            buf.put_u8(K_R_DELTA_BATCH);
+            buf.put_u64(*last_seq);
+        }
+        Response::WhatIf(answers) => {
+            buf.put_u8(K_R_WHAT_IF);
+            buf.put_u16(answers.len().min(u16::MAX as usize) as u16);
+            for a in answers.iter().take(u16::MAX as usize) {
+                encode_answer(buf, &a.answer);
+                buf.put_u64(a.overlay_bytes);
             }
         }
         Response::Error { code, message } => {
@@ -723,6 +895,35 @@ pub fn decode_request_full(buf: &mut BytesMut) -> Result<Option<DecodedRequest>,
             };
             Request::TraceDump { min_dur_ns, set_capture_ns }
         }
+        K_APPLY_DELTA => {
+            let seq = take_u64(&mut p)?;
+            let delta = decode_delta(&mut p)?;
+            Request::ApplyDelta { seq, delta }
+        }
+        K_DELTA_BATCH => {
+            let first_seq = take_u64(&mut p)?;
+            let n = take_u16(&mut p)? as usize;
+            let mut deltas = Vec::with_capacity(capped(n, p.remaining(), 5));
+            for _ in 0..n {
+                deltas.push(decode_delta(&mut p)?);
+            }
+            Request::DeltaBatch { first_seq, deltas }
+        }
+        K_WHAT_IF => {
+            let category = category_from(take_u8(&mut p)?)?;
+            let query = decode_query(&mut p)?;
+            let k = take_u16(&mut p)? as usize;
+            let mut scenarios = Vec::with_capacity(capped(k, p.remaining(), 2));
+            for _ in 0..k {
+                let n = take_u16(&mut p)? as usize;
+                let mut deltas = Vec::with_capacity(capped(n, p.remaining(), 5));
+                for _ in 0..n {
+                    deltas.push(decode_delta(&mut p)?);
+                }
+                scenarios.push(deltas);
+            }
+            Request::WhatIf { category, scenarios, query }
+        }
         other => return Err(CodecError::BadKind(other)),
     };
     if p.remaining() != 0 {
@@ -771,6 +972,27 @@ pub fn decode_response(buf: &mut BytesMut) -> Result<Option<Response>, CodecErro
                 spans.push(decode_span(&mut p)?);
             }
             Response::TraceDump(spans)
+        }
+        K_R_APPLY_DELTA => {
+            let seq = take_u64(&mut p)?;
+            let zones_rebuilt = take_u32(&mut p)?;
+            let replayed = match take_u8(&mut p)? {
+                0 => false,
+                1 => true,
+                _ => return Err(CodecError::BadPayload("bad replayed flag")),
+            };
+            Response::ApplyDelta(DeltaAck { seq, zones_rebuilt, replayed })
+        }
+        K_R_DELTA_BATCH => Response::DeltaBatch { last_seq: take_u64(&mut p)? },
+        K_R_WHAT_IF => {
+            let n = take_u16(&mut p)? as usize;
+            let mut answers = Vec::with_capacity(capped(n, p.remaining(), 9));
+            for _ in 0..n {
+                let answer = decode_answer(&mut p)?;
+                let overlay_bytes = take_u64(&mut p)?;
+                answers.push(WhatIfAnswer { answer, overlay_bytes });
+            }
+            Response::WhatIf(answers)
         }
         K_R_ERROR => {
             let code = ErrorCode::from_u8(take_u8(&mut p)?)
@@ -1001,6 +1223,113 @@ mod tests {
         let resp = Response::TraceDump(spans);
         assert_eq!(roundtrip_response(&resp), resp);
         assert_eq!(roundtrip_response(&Response::TraceDump(vec![])), Response::TraceDump(vec![]));
+    }
+
+    fn sample_deltas() -> Vec<Delta> {
+        vec![
+            Delta::TripDelay { trip: TripId(7), delay_secs: 300 },
+            Delta::TripCancel { trip: TripId(0) },
+            Delta::RouteRemove { route: RouteId(3) },
+            Delta::ServiceAlert { route: RouteId(1), message: "snow detour".into() },
+            Delta::AddRoute {
+                stops: vec![Point::new(0.5, -1.25), Point::new(900.0, 42.0)],
+                headway_s: 480,
+            },
+        ]
+    }
+
+    #[test]
+    fn streaming_request_kinds_roundtrip() {
+        for d in sample_deltas() {
+            let req = Request::ApplyDelta { seq: 17, delta: d };
+            assert_eq!(roundtrip_request(&req), req);
+        }
+        let reqs = [
+            Request::ApplyDelta {
+                seq: 0,
+                delta: Delta::TripDelay { trip: TripId(1), delay_secs: 1 },
+            },
+            Request::DeltaBatch { first_seq: 1, deltas: sample_deltas() },
+            Request::DeltaBatch { first_seq: u64::MAX, deltas: vec![] },
+            Request::WhatIf {
+                category: PoiCategory::Hospital,
+                scenarios: vec![
+                    vec![],
+                    sample_deltas(),
+                    vec![Delta::TripCancel { trip: TripId(9) }],
+                ],
+                query: AccessQuery::WorstZones { k: 5 },
+            },
+            Request::WhatIf {
+                category: PoiCategory::School,
+                scenarios: vec![],
+                query: AccessQuery::MeanAccess,
+            },
+        ];
+        for r in &reqs {
+            assert_eq!(&roundtrip_request(r), r);
+        }
+    }
+
+    #[test]
+    fn streaming_response_kinds_roundtrip() {
+        let resps = [
+            Response::ApplyDelta(DeltaAck { seq: 1, zones_rebuilt: 42, replayed: false }),
+            Response::ApplyDelta(DeltaAck { seq: u64::MAX, zones_rebuilt: 0, replayed: true }),
+            Response::DeltaBatch { last_seq: 12 },
+            Response::WhatIf(vec![]),
+            Response::WhatIf(vec![
+                WhatIfAnswer {
+                    answer: QueryAnswer::MeanAccess { mean_mac: 9.5, mean_acsd: 1.5, n_zones: 3 },
+                    overlay_bytes: 4096,
+                },
+                WhatIfAnswer { answer: QueryAnswer::Fairness(0.7), overlay_bytes: 0 },
+            ]),
+            Response::Error { code: ErrorCode::SeqGap, message: "have 2, got 5".into() },
+        ];
+        for r in &resps {
+            assert_eq!(&roundtrip_response(r), r);
+        }
+    }
+
+    /// Truncating a delta frame mid-payload must be a payload error (or a
+    /// wait-for-more on a clean length cut), never a panic.
+    #[test]
+    fn truncated_delta_batch_is_rejected() {
+        let req = Request::DeltaBatch { first_seq: 1, deltas: sample_deltas() };
+        let mut full = BytesMut::new();
+        encode_request(&req, &mut full);
+        let mut raw = full.to_vec();
+        raw.truncate(raw.len() - 6);
+        let len = (raw.len() - 4) as u32;
+        raw[..4].copy_from_slice(&len.to_be_bytes());
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&raw);
+        assert!(matches!(decode_request(&mut buf), Err(CodecError::BadPayload(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "v3 request")]
+    fn v2_cannot_encode_apply_delta() {
+        let mut buf = BytesMut::new();
+        encode_request_v2(
+            &Request::ApplyDelta { seq: 0, delta: Delta::TripCancel { trip: TripId(0) } },
+            &mut buf,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "v3 request")]
+    fn v2_cannot_encode_what_if() {
+        let mut buf = BytesMut::new();
+        encode_request_v2(
+            &Request::WhatIf {
+                category: PoiCategory::School,
+                scenarios: vec![],
+                query: AccessQuery::MeanAccess,
+            },
+            &mut buf,
+        );
     }
 
     /// The v2↔v3 compatibility contract: a pre-trace v2 client's frames

@@ -2,11 +2,14 @@
 //!
 //! A concurrent access-query serving subsystem: the paper's dynamic
 //! spatio-temporal access queries (§I, §IV) exposed as a network service.
-//! Planners' tools connect over TCP, issue [`AccessQuery`]s and scenario
-//! edits (`add_poi`, `add_bus_route`), and share one
-//! [`staq_core::AccessEngine`] whose per-category SSR results are computed
-//! at most once per edit generation no matter how many clients demand
-//! them concurrently (single-flight caching).
+//! Planners' tools connect over TCP, issue [`AccessQuery`]s, scenario
+//! edits (`add_poi`, `add_bus_route`), live timetable deltas
+//! (`apply_delta`, `delta_batch`) and counterfactual `what_if` requests,
+//! and share one [`staq_core::AccessEngine`] whose per-category SSR
+//! results are computed at most once per edit generation no matter how
+//! many clients demand them concurrently (single-flight caching). Every
+//! mutation flows through one sequenced [`staq_rt::RtEngine`] delta log,
+//! so a server's edit history is replayable onto a fresh replica.
 //!
 //! Layers, bottom up:
 //!
@@ -32,6 +35,6 @@ pub mod presets;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use codec::{Request, Response, StatsReply, WIRE_VERSION};
+pub use codec::{DeltaAck, Request, Response, StatsReply, WhatIfAnswer, WIRE_VERSION};
 pub use pool::WorkerPool;
-pub use server::{serve, serve_shared, ServerConfig, ServerHandle};
+pub use server::{serve, serve_rt, serve_shared, ServerConfig, ServerHandle};

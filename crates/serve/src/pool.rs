@@ -1,16 +1,22 @@
 //! Fixed-size worker pool over a bounded request queue.
 //!
 //! Connection threads enqueue [`Job`]s; `N` workers execute them against
-//! the shared [`AccessEngine`] and send the [`Response`] back through the
-//! job's reply channel. The queue is bounded, so a flood of requests
-//! exerts backpressure on connection threads instead of growing memory
-//! without limit. Dropping the pool (or calling [`WorkerPool::shutdown`])
-//! closes the queue; workers drain what is left and exit.
+//! the shared [`RtEngine`] (a sequenced delta log wrapping the
+//! [`AccessEngine`]) and send the [`Response`] back through the job's
+//! reply channel. Every schedule edit — the legacy `AddBusRoute` frame
+//! included — flows through the delta log, so replicas can replay a
+//! server's edits deterministically. The queue is bounded, so a flood of
+//! requests exerts backpressure on connection threads instead of growing
+//! memory without limit. Dropping the pool (or calling
+//! [`WorkerPool::shutdown`]) closes the queue; workers drain what is left
+//! and exit.
 
-use crate::codec::{ErrorCode, Request, Response, StatsReply};
+use crate::codec::{DeltaAck, ErrorCode, Request, Response, StatsReply, WhatIfAnswer};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use staq_core::AccessEngine;
+use staq_gtfs::Delta;
 use staq_obs::{trace, AtomicHistogram, Counter, SpanContext};
+use staq_rt::{RtEngine, RtError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -27,6 +33,9 @@ static H_ADD_POI: AtomicHistogram = AtomicHistogram::new("serve.request.add_poi"
 static H_ADD_BUS_ROUTE: AtomicHistogram = AtomicHistogram::new("serve.request.add_bus_route");
 static H_STATS: AtomicHistogram = AtomicHistogram::new("serve.request.stats");
 static H_TRACE_DUMP: AtomicHistogram = AtomicHistogram::new("serve.request.trace_dump");
+static H_APPLY_DELTA: AtomicHistogram = AtomicHistogram::new("serve.request.apply_delta");
+static H_DELTA_BATCH: AtomicHistogram = AtomicHistogram::new("serve.request.delta_batch");
+static H_WHAT_IF: AtomicHistogram = AtomicHistogram::new("serve.request.what_if");
 
 /// The latency histogram for one request kind; names follow
 /// [`Request::kind_label`] under the `serve.request.` prefix.
@@ -38,6 +47,9 @@ fn kind_histogram(request: &Request) -> &'static AtomicHistogram {
         Request::AddBusRoute { .. } => &H_ADD_BUS_ROUTE,
         Request::Stats => &H_STATS,
         Request::TraceDump { .. } => &H_TRACE_DUMP,
+        Request::ApplyDelta { .. } => &H_APPLY_DELTA,
+        Request::DeltaBatch { .. } => &H_DELTA_BATCH,
+        Request::WhatIf { .. } => &H_WHAT_IF,
     }
 }
 
@@ -80,8 +92,16 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads with a queue of `queue_depth` jobs.
+    /// Spawns `workers` threads with a queue of `queue_depth` jobs. The
+    /// engine is wrapped in a fresh (empty) delta log; servers that must
+    /// keep a log across restarts use [`WorkerPool::spawn_rt`].
     pub fn spawn(engine: Arc<AccessEngine>, workers: usize, queue_depth: usize) -> Self {
+        Self::spawn_rt(Arc::new(RtEngine::new(engine)), workers, queue_depth)
+    }
+
+    /// Spawns the pool over an existing [`RtEngine`], preserving its delta
+    /// log (sequence numbers keep counting from where the log stands).
+    pub fn spawn_rt(rt: Arc<RtEngine>, workers: usize, queue_depth: usize) -> Self {
         assert!(workers >= 1, "a pool needs at least one worker");
         assert!(queue_depth >= 1, "the queue must hold at least one job");
         let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(queue_depth);
@@ -89,12 +109,12 @@ impl WorkerPool {
         let handles = (0..workers)
             .map(|i| {
                 let rx = rx.clone();
-                let engine = Arc::clone(&engine);
+                let rt = Arc::clone(&rt);
                 let stats = Arc::clone(&stats);
                 let size = workers;
                 std::thread::Builder::new()
                     .name(format!("staq-worker-{i}"))
-                    .spawn(move || worker_loop(rx, engine, stats, size))
+                    .spawn(move || worker_loop(rx, rt, stats, size))
                     .expect("spawning worker thread")
             })
             .collect();
@@ -132,18 +152,13 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(
-    rx: Receiver<Job>,
-    engine: Arc<AccessEngine>,
-    stats: Arc<PoolStats>,
-    pool_size: usize,
-) {
+fn worker_loop(rx: Receiver<Job>, rt: Arc<RtEngine>, stats: Arc<PoolStats>, pool_size: usize) {
     while let Ok(job) = rx.recv() {
         // Adopt the connection's trace on this worker thread: the queue
         // wait is backdated to enqueue time, then execution runs under it.
         let _ctx = trace::attach(job.ctx);
         drop(trace::span_at("serve.queue_wait", job.enqueued));
-        let response = execute(&engine, &stats, pool_size, &job.request);
+        let response = execute(&rt, &stats, pool_size, &job.request);
         stats.requests_served.fetch_add(1, Ordering::Relaxed);
         // A dropped reply receiver means the connection died; fine.
         let _ = job.reply.send(response);
@@ -151,30 +166,35 @@ fn worker_loop(
 }
 
 /// Executes one request against the engine, timing it into the kind's
-/// latency histogram. Validation happens here (not in the engine, which
-/// asserts) so a bad request becomes an error frame instead of a dead
-/// worker.
-pub fn execute(
-    engine: &AccessEngine,
-    stats: &PoolStats,
-    pool_size: usize,
-    request: &Request,
-) -> Response {
+/// latency histogram. Validation happens here or in the delta path's
+/// `Result` (never an engine assert) so a bad request becomes an error
+/// frame instead of a dead worker.
+pub fn execute(rt: &RtEngine, stats: &PoolStats, pool_size: usize, request: &Request) -> Response {
     let t0 = Instant::now();
     let span = trace::span("serve.execute");
-    let response = execute_inner(engine, stats, pool_size, request);
+    let response = execute_inner(rt, stats, pool_size, request);
     drop(span);
     REQUESTS.inc();
     kind_histogram(request).record(t0.elapsed());
     response
 }
 
+/// Maps a streaming failure to its error frame: gaps are recoverable
+/// (resend the tail), rejections are semantic.
+fn rt_error(e: RtError) -> Response {
+    match e {
+        RtError::Gap { .. } => Response::Error { code: ErrorCode::SeqGap, message: e.to_string() },
+        RtError::Rejected(message) => Response::Error { code: ErrorCode::Invalid, message },
+    }
+}
+
 fn execute_inner(
-    engine: &AccessEngine,
+    rt: &RtEngine,
     stats: &PoolStats,
     pool_size: usize,
     request: &Request,
 ) -> Response {
+    let engine: &AccessEngine = rt.engine();
     match request {
         Request::Measures { category } => {
             Response::Measures(engine.measures(*category).predicted.clone())
@@ -189,21 +209,50 @@ fn execute_inner(
             }
             Response::AddPoi { poi_id: engine.add_poi(*category, *pos).0 }
         }
+        // The legacy edit frame, kept as an alias: it is sequenced into
+        // the delta log exactly like an `ApplyDelta` carrying `AddRoute`,
+        // so v2 clients' edits replay on replicas too.
         Request::AddBusRoute { stops, headway_s } => {
-            if stops.len() < 2 {
-                return Response::Error {
-                    code: ErrorCode::Invalid,
-                    message: "a route needs at least two stops".into(),
-                };
+            match rt.apply(Delta::AddRoute { stops: stops.clone(), headway_s: *headway_s }) {
+                Ok(a) => Response::AddBusRoute {
+                    zones_rebuilt: a.receipt.map_or(0, |r| r.zones_rebuilt as u32),
+                },
+                Err(e) => rt_error(e),
             }
-            if stops.iter().any(|p| !p.x.is_finite() || !p.y.is_finite()) {
-                return Response::Error {
-                    code: ErrorCode::Invalid,
-                    message: "route stops must be finite".into(),
-                };
-            }
-            Response::AddBusRoute { zones_rebuilt: engine.add_bus_route(stops, *headway_s) as u32 }
         }
+        Request::ApplyDelta { seq, delta } => match rt.apply_at(*seq, delta.clone()) {
+            Ok(a) => Response::ApplyDelta(DeltaAck {
+                seq: a.seq,
+                zones_rebuilt: a.receipt.map_or(0, |r| r.zones_rebuilt as u32),
+                replayed: a.receipt.is_none(),
+            }),
+            Err(e) => rt_error(e),
+        },
+        Request::DeltaBatch { first_seq, deltas } => {
+            if *first_seq == 0 {
+                return Response::Error {
+                    code: ErrorCode::Invalid,
+                    message: "a delta batch carries explicit sequence numbers (first_seq >= 1)"
+                        .into(),
+                };
+            }
+            match rt.apply_batch(*first_seq, deltas) {
+                Ok(a) => Response::DeltaBatch { last_seq: a.seq },
+                Err(e) => rt_error(e),
+            }
+        }
+        Request::WhatIf { category, scenarios, query } => match rt.what_if(*category, scenarios) {
+            Ok(outcomes) => Response::WhatIf(
+                outcomes
+                    .iter()
+                    .map(|o| WhatIfAnswer {
+                        answer: engine.answer_with(&o.predicted, query),
+                        overlay_bytes: o.overlay.overlay_bytes as u64,
+                    })
+                    .collect(),
+            ),
+            Err(e) => rt_error(e),
+        },
         Request::Stats => Response::Stats(StatsReply {
             pipeline_runs: engine.pipeline_runs(),
             requests_served: stats.requests_served(),
@@ -296,5 +345,62 @@ mod tests {
         let mut pool = WorkerPool::spawn(engine(), 3, 4);
         pool.shutdown();
         pool.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn edits_and_deltas_share_one_sequenced_log() {
+        use staq_gtfs::model::TripId;
+
+        let pool = WorkerPool::spawn(engine(), 1, 4);
+        // The legacy frame takes seq 1...
+        let stops = vec![staq_geom::Point::new(100.0, 100.0), staq_geom::Point::new(900.0, 900.0)];
+        match roundtrip(&pool, Request::AddBusRoute { stops, headway_s: 600 }) {
+            Response::AddBusRoute { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // ...so the first explicit delta gets seq 2.
+        let delta = Delta::TripDelay { trip: TripId(0), delay_secs: 60 };
+        match roundtrip(&pool, Request::ApplyDelta { seq: 0, delta: delta.clone() }) {
+            Response::ApplyDelta(ack) => {
+                assert_eq!(ack.seq, 2);
+                assert!(!ack.replayed);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Replaying seq 2 is idempotent; jumping to 9 is a gap.
+        match roundtrip(&pool, Request::ApplyDelta { seq: 2, delta: delta.clone() }) {
+            Response::ApplyDelta(ack) => assert!(ack.replayed),
+            other => panic!("{other:?}"),
+        }
+        match roundtrip(&pool, Request::ApplyDelta { seq: 9, delta }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::SeqGap),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn what_if_empty_scenario_reproduces_the_base_answer() {
+        use staq_access::AccessQuery;
+        use staq_synth::PoiCategory;
+
+        let pool = WorkerPool::spawn(engine(), 2, 8);
+        let query = AccessQuery::MeanAccess;
+        let base = match roundtrip(
+            &pool,
+            Request::Query { category: PoiCategory::School, query: query.clone() },
+        ) {
+            Response::Query(a) => a,
+            other => panic!("{other:?}"),
+        };
+        match roundtrip(
+            &pool,
+            Request::WhatIf { category: PoiCategory::School, scenarios: vec![vec![]], query },
+        ) {
+            Response::WhatIf(answers) => {
+                assert_eq!(answers.len(), 1);
+                assert_eq!(answers[0].answer, base);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 }

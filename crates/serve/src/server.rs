@@ -94,14 +94,24 @@ pub fn serve(engine: AccessEngine, cfg: &ServerConfig) -> std::io::Result<Server
     serve_shared(Arc::new(engine), cfg)
 }
 
-/// Like [`serve`], for an engine that is already shared.
+/// Like [`serve`], for an engine that is already shared. The server's
+/// delta log starts empty; to serve an [`RtEngine`] whose log must
+/// survive a server restart, use [`serve_rt`].
 pub fn serve_shared(
     engine: Arc<AccessEngine>,
     cfg: &ServerConfig,
 ) -> std::io::Result<ServerHandle> {
+    serve_rt(Arc::new(staq_rt::RtEngine::new(engine)), cfg)
+}
+
+/// Like [`serve_shared`], over an existing [`RtEngine`] — the sequenced
+/// delta log is shared with (and survives) the server.
+///
+/// [`RtEngine`]: staq_rt::RtEngine
+pub fn serve_rt(rt: Arc<staq_rt::RtEngine>, cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
-    let pool = WorkerPool::spawn(engine, cfg.workers, cfg.queue_depth);
+    let pool = WorkerPool::spawn_rt(rt, cfg.workers, cfg.queue_depth);
     let shutdown = Arc::new(AtomicBool::new(false));
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 

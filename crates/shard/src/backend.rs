@@ -55,6 +55,14 @@ pub trait Backend: Send {
 /// start models a real crash (cold cache, edits lost); cloning one
 /// `Arc<AccessEngine>` across starts keeps the engine warm and is what
 /// the bench uses to avoid paying N city builds per respawn.
+///
+/// Either way, each start wraps the engine in a **fresh `RtEngine`**, so
+/// the backend's sequenced delta log restarts empty across respawns. The
+/// supervisor relies on this: after a respawn it replays the fleet log
+/// from sequence 1. That replay is only exact for *fresh-engine*
+/// factories — a warm engine already carries its applied edits, and a
+/// full replay on top would double-apply them. Warm factories are
+/// therefore only safe where backends are never killed (the bench).
 pub struct ThreadBackend {
     factory: Box<dyn Fn() -> Arc<AccessEngine> + Send>,
     cfg: ServerConfig,

@@ -4,12 +4,16 @@
 //! existing client — including the load generator — works against a
 //! sharded fleet unchanged. Per-request routing:
 //!
-//! * `Measures` / `Query` / `AddPoi` carry a category → routed to the
-//!   one shard that [`shard_for`] assigns it.
-//! * `AddBusRoute` changes the transit schedule for every category →
-//!   broadcast to all shards concurrently. A partial application (some
-//!   shard down mid-broadcast) is reported as `Unavailable` with the
-//!   applied count; the live shards keep the edit.
+//! * `Measures` / `Query` / `AddPoi` / `WhatIf` carry a category →
+//!   routed to the one shard that [`shard_for`] assigns it (what-if
+//!   overlays are read-only, so any replica answers them).
+//! * `AddBusRoute` / `ApplyDelta` / `DeltaBatch` change the transit
+//!   schedule for every category → the router is the fleet's sequencing
+//!   authority: the supervisor appends the delta to its edit log under
+//!   the next fleet sequence number (a client's `ApplyDelta` seq is
+//!   advisory and ignored; `DeltaBatch` seqs are honored idempotently)
+//!   and broadcasts it, gating OK on every shard acking. See
+//!   `supervisor` module docs for catch-up and partial-failure behavior.
 //! * `Stats` scatter-gathers: every live shard's [`StatsReply`] merges
 //!   into one — engine fields sum, cached categories union, and metrics
 //!   snapshots fold together via [`MetricsSnapshot::merge`] (or, when the
@@ -26,6 +30,7 @@ use crate::metrics;
 use crate::supervisor::ShardSupervisor;
 use bytes::BytesMut;
 use parking_lot::Mutex;
+use staq_gtfs::Delta;
 use staq_obs::{trace, MetricsSnapshot, OwnedSpan};
 use staq_serve::codec::{
     self, CodecError, ErrorCode, Request, Response, StatsReply, MAX_FRAME_LEN,
@@ -204,67 +209,33 @@ pub fn dispatch(sup: &ShardSupervisor, request: Request) -> Response {
     match &request {
         Request::Measures { category }
         | Request::Query { category, .. }
-        | Request::AddPoi { category, .. } => {
+        | Request::AddPoi { category, .. }
+        | Request::WhatIf { category, .. } => {
             let shard = shard_for(*category, sup.n_shards());
             let mut span = trace::span("shard.route");
             span.attr("shard", shard as u64);
             sup.call(shard, &request)
         }
-        Request::AddBusRoute { .. } => broadcast(sup, &request),
+        // Schedule edits: the supervisor sequences them into the fleet
+        // log and broadcasts, replying OK only once every shard acked.
+        Request::AddBusRoute { stops, headway_s } => {
+            let delta = Delta::AddRoute { stops: stops.clone(), headway_s: *headway_s };
+            match sup.broadcast_delta(delta) {
+                Ok(ack) => Response::AddBusRoute { zones_rebuilt: ack.zones_rebuilt },
+                Err(e) => e,
+            }
+        }
+        // The router assigns fleet sequence numbers; a client's own seq
+        // is advisory and ignored (0 already means "assign for me").
+        Request::ApplyDelta { delta, .. } => match sup.broadcast_delta(delta.clone()) {
+            Ok(ack) => Response::ApplyDelta(ack),
+            Err(e) => e,
+        },
+        Request::DeltaBatch { first_seq, deltas } => sup.broadcast_batch(*first_seq, deltas),
         Request::Stats => gather_stats(sup),
         Request::TraceDump { min_dur_ns, set_capture_ns } => {
             gather_traces(sup, *min_dur_ns, *set_capture_ns)
         }
-    }
-}
-
-/// Applies a schedule edit on every shard concurrently. All-or-error:
-/// any non-success is reported (with how many shards applied the edit),
-/// because a fleet with divergent schedules serves inconsistent answers
-/// until the dead shard respawns into a fresh city.
-fn broadcast(sup: &ShardSupervisor, request: &Request) -> Response {
-    let n = sup.n_shards();
-    // Scope threads are new stacks: hand each one the caller's span
-    // context so per-shard calls stay inside the request's trace.
-    let ctx = trace::current();
-    let replies: Vec<Response> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = (0..n)
-            .map(|i| {
-                scope.spawn(move |_| {
-                    let _ctx = trace::attach(ctx);
-                    sup.call(i, request)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("broadcast thread panicked")).collect()
-    })
-    .expect("broadcast scope");
-
-    let mut applied = 0usize;
-    let mut first_ok = None;
-    let mut first_err = None;
-    for r in replies {
-        match r {
-            Response::Error { .. } => first_err.get_or_insert(r),
-            ok => {
-                applied += 1;
-                first_ok.get_or_insert(ok)
-            }
-        };
-    }
-    match (first_ok, first_err) {
-        (Some(ok), None) => ok,
-        // A semantic rejection (e.g. a one-stop route) is unanimous —
-        // every backend validates identically — so relaying the first
-        // error frame covers both the all-down and all-rejected cases.
-        (None, Some(err)) => err,
-        (Some(_), Some(_)) => Response::Error {
-            code: ErrorCode::Unavailable,
-            message: format!(
-                "bus route applied on {applied}/{n} shards; dead shards will respawn without it"
-            ),
-        },
-        (None, None) => unreachable!("fleet is never empty"),
     }
 }
 

@@ -14,20 +14,41 @@
 //!
 //! Retry semantics on a mid-call failure:
 //!
-//! * **Reads** (`Measures`, `Query`, `Stats`) are idempotent and retried
-//!   once on a *fresh* connection (the failed one is poisoned and
-//!   discarded; the wire protocol has no request ids, so the same
+//! * **Reads** (`Measures`, `Query`, `Stats`, `WhatIf`) are idempotent
+//!   and retried once on a *fresh* connection (the failed one is poisoned
+//!   and discarded; the wire protocol has no request ids, so the same
 //!   connection must never be reused after a desync).
-//! * **Edits** (`AddPoi`, `AddBusRoute`) are not retried: the backend may
-//!   have applied the edit before the connection died, and replaying it
-//!   would double-apply. The caller gets `Unavailable` and decides.
+//! * **Edits** (`AddPoi`, `AddBusRoute`, `ApplyDelta`) are not retried:
+//!   the backend may have applied the edit before the connection died,
+//!   and replaying it would double-apply. The caller gets `Unavailable`
+//!   and decides. `DeltaBatch` carries explicit sequence numbers, so the
+//!   backend deduplicates replays itself and the batch *is* retryable.
+//!
+//! # The fleet edit log
+//!
+//! Schedule edits must land on every replica or the fleet serves
+//! divergent answers. The supervisor owns the authoritative, sequenced
+//! delta log: [`ShardSupervisor::broadcast_delta`] appends the delta,
+//! assigns it the next fleet sequence number, and fans it out. Each
+//! shard's highest *acked* sequence is tracked; a lagging shard first
+//! receives the missing tail as an explicitly-sequenced `DeltaBatch`
+//! (idempotent — the backend skips what it already has), then the new
+//! delta. A `SeqGap` reply means the backend respawned with an empty log;
+//! the full log is resent once from sequence 1. The broadcast replies OK
+//! only when **all** shards acked the new sequence number; a partial
+//! application reports `Unavailable` with the applied count, and the
+//! delta stays in the log so lagging shards converge on the next edit or
+//! when the monitor re-syncs them after a respawn. A delta rejected by
+//! *every* shard (validation is deterministic and replicas are identical)
+//! is popped from the log and the rejection relayed.
 
 use crate::backend::Backend;
 use crate::metrics;
 use crate::pool::{BackendPool, PoolConfig, PoolError};
 use parking_lot::Mutex;
+use staq_gtfs::Delta;
 use staq_obs::trace;
-use staq_serve::codec::{ErrorCode, Request, Response};
+use staq_serve::codec::{DeltaAck, ErrorCode, Request, Response};
 use staq_serve::Client;
 use std::io;
 use std::net::SocketAddr;
@@ -65,10 +86,19 @@ struct Slot {
     pool: BackendPool,
 }
 
+/// The fleet's authoritative sequenced delta log. `log[i]` carries
+/// sequence number `i + 1`; `acked[shard]` is the highest sequence that
+/// shard is known to have applied (contiguously from 1).
+struct EditLog {
+    log: Vec<Delta>,
+    acked: Vec<u64>,
+}
+
 struct Inner {
     slots: Vec<Slot>,
     cfg: SupervisorConfig,
     shutdown: AtomicBool,
+    edits: Mutex<EditLog>,
 }
 
 /// Spawns, probes, monitors and respawns the backend fleet; owns the
@@ -124,7 +154,13 @@ impl ShardSupervisor {
             }
         }
 
-        let inner = Arc::new(Inner { slots, cfg, shutdown: AtomicBool::new(false) });
+        let n = slots.len();
+        let inner = Arc::new(Inner {
+            slots,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            edits: Mutex::new(EditLog { log: Vec::new(), acked: vec![0; n] }),
+        });
         let monitor = {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
@@ -166,51 +202,55 @@ impl ShardSupervisor {
     /// `Unavailable` error frames, never as transport errors — the front
     /// connection stays healthy while backends churn.
     pub fn call(&self, shard: usize, request: &Request) -> Response {
-        let slot = &self.inner.slots[shard];
-        let retryable = !matches!(request, Request::AddPoi { .. } | Request::AddBusRoute { .. });
-        let attempts = if retryable { 2 } else { 1 };
+        call_inner(&self.inner, shard, request)
+    }
 
-        for attempt in 0..attempts {
-            let acquire = trace::span("shard.pool.acquire");
-            let checkout = slot.pool.checkout();
-            drop(acquire);
-            let mut lease = match checkout {
-                Ok(l) => l,
-                Err(PoolError::Down) => return unavailable(shard, "down"),
-                Err(PoolError::Overloaded) => return unavailable(shard, "overloaded"),
+    /// Appends `delta` to the fleet log under the next sequence number
+    /// and fans it out to every shard (catching lagging shards up first).
+    /// `Ok` only when **all** shards acked; see the module docs for the
+    /// partial/rejected cases.
+    pub fn broadcast_delta(&self, delta: Delta) -> Result<DeltaAck, Response> {
+        let mut edits = self.inner.edits.lock();
+        broadcast_one(&self.inner, &mut edits, delta)
+    }
+
+    /// Replays an explicitly-sequenced run of deltas against the fleet
+    /// log. Sequences the router already has are skipped idempotently;
+    /// genuinely new ones are settled one at a time through the same
+    /// all-acked broadcast as [`broadcast_delta`](Self::broadcast_delta).
+    pub fn broadcast_batch(&self, first_seq: u64, deltas: &[Delta]) -> Response {
+        if first_seq == 0 {
+            return Response::Error {
+                code: ErrorCode::Invalid,
+                message: "a delta batch carries explicit sequence numbers (first_seq >= 1)".into(),
             };
-            let gen = lease.gen;
-            let t = Instant::now();
-            // The client encodes the current span context into the frame,
-            // so opening this span *before* the call is what propagates
-            // the trace to the backend.
-            let mut span = trace::span("shard.backend.call");
-            span.attr("shard", shard as u64);
-            span.attr("attempt", attempt as u64);
-            let result = lease.client.call(request);
-            drop(span);
-            match result {
-                Ok(resp) => {
-                    metrics::backend_latency(shard).record(t.elapsed());
-                    slot.pool.give_back(lease);
-                    return resp;
-                }
-                Err(_) => {
-                    // The lease is poisoned; give_back frees the permit
-                    // and drops the connection.
-                    slot.pool.give_back(lease);
-                    if attempt + 1 < attempts {
-                        metrics::RETRIES.inc();
-                        continue;
-                    }
-                    if slot.pool.mark_down_if(gen) {
-                        metrics::FAILOVERS.inc();
-                    }
-                    return unavailable(shard, "failed mid-request");
-                }
+        }
+        let inner = &self.inner;
+        let mut edits = inner.edits.lock();
+        let have = edits.log.len() as u64;
+        if first_seq > have + 1 {
+            return Response::Error {
+                code: ErrorCode::SeqGap,
+                message: format!("fleet log has {have} deltas; batch starts at {first_seq}"),
+            };
+        }
+        let skip = (have + 1 - first_seq) as usize;
+        for d in deltas.iter().skip(skip) {
+            if let Err(e) = broadcast_one(inner, &mut edits, d.clone()) {
+                return e;
             }
         }
-        unreachable!("attempts >= 1")
+        Response::DeltaBatch { last_seq: edits.log.len() as u64 }
+    }
+
+    /// Test hook: the fleet log's current highest sequence number.
+    pub fn edit_seq(&self) -> u64 {
+        self.inner.edits.lock().log.len() as u64
+    }
+
+    /// Test hook: the highest sequence `shard` is known to have applied.
+    pub fn edit_acked(&self, shard: usize) -> u64 {
+        self.inner.edits.lock().acked[shard]
     }
 
     /// Stops the monitor and kills every backend. Idempotent.
@@ -228,6 +268,59 @@ impl ShardSupervisor {
     }
 }
 
+/// The routed call path (see [`ShardSupervisor::call`]); free-standing so
+/// the monitor thread and the broadcast fan-out can use it too.
+fn call_inner(inner: &Inner, shard: usize, request: &Request) -> Response {
+    let slot = &inner.slots[shard];
+    let retryable = !matches!(
+        request,
+        Request::AddPoi { .. } | Request::AddBusRoute { .. } | Request::ApplyDelta { .. }
+    );
+    let attempts = if retryable { 2 } else { 1 };
+
+    for attempt in 0..attempts {
+        let acquire = trace::span("shard.pool.acquire");
+        let checkout = slot.pool.checkout();
+        drop(acquire);
+        let mut lease = match checkout {
+            Ok(l) => l,
+            Err(PoolError::Down) => return unavailable(shard, "down"),
+            Err(PoolError::Overloaded) => return unavailable(shard, "overloaded"),
+        };
+        let gen = lease.gen;
+        let t = Instant::now();
+        // The client encodes the current span context into the frame,
+        // so opening this span *before* the call is what propagates
+        // the trace to the backend.
+        let mut span = trace::span("shard.backend.call");
+        span.attr("shard", shard as u64);
+        span.attr("attempt", attempt as u64);
+        let result = lease.client.call(request);
+        drop(span);
+        match result {
+            Ok(resp) => {
+                metrics::backend_latency(shard).record(t.elapsed());
+                slot.pool.give_back(lease);
+                return resp;
+            }
+            Err(_) => {
+                // The lease is poisoned; give_back frees the permit
+                // and drops the connection.
+                slot.pool.give_back(lease);
+                if attempt + 1 < attempts {
+                    metrics::RETRIES.inc();
+                    continue;
+                }
+                if slot.pool.mark_down_if(gen) {
+                    metrics::FAILOVERS.inc();
+                }
+                return unavailable(shard, "failed mid-request");
+            }
+        }
+    }
+    unreachable!("attempts >= 1")
+}
+
 impl Drop for ShardSupervisor {
     fn drop(&mut self) {
         self.shutdown();
@@ -236,6 +329,150 @@ impl Drop for ShardSupervisor {
 
 fn unavailable(shard: usize, why: &str) -> Response {
     Response::Error { code: ErrorCode::Unavailable, message: format!("shard {shard} is {why}") }
+}
+
+/// Appends `delta` under the next fleet sequence number and settles it on
+/// every shard concurrently. The edit lock is held for the whole round
+/// trip: edits serialize through the log (queries are unaffected — they
+/// never touch it). Returns the first shard's ack on unanimous success.
+fn broadcast_one(inner: &Inner, edits: &mut EditLog, delta: Delta) -> Result<DeltaAck, Response> {
+    edits.log.push(delta.clone());
+    let seq = edits.log.len() as u64;
+    let n = inner.slots.len();
+    let log = &edits.log[..];
+    let acked = edits.acked.clone();
+    let delta = &delta;
+    let ctx = trace::current();
+
+    // Scope threads are new stacks: hand each the caller's span context
+    // so per-shard calls stay inside the request's trace.
+    let outcomes: Vec<(u64, Result<DeltaAck, Response>)> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let acked_i = acked[i];
+                scope.spawn(move |_| {
+                    let _ctx = trace::attach(ctx);
+                    apply_on_shard(inner, i, log, acked_i, seq, delta)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("broadcast thread panicked")).collect()
+    })
+    .expect("broadcast scope");
+
+    let mut first_ack = None;
+    let mut first_err = None;
+    let mut applied = 0usize;
+    let mut all_rejected = true;
+    for (i, (new_acked, result)) in outcomes.into_iter().enumerate() {
+        edits.acked[i] = new_acked;
+        match result {
+            Ok(ack) => {
+                applied += 1;
+                all_rejected = false;
+                first_ack.get_or_insert(ack);
+            }
+            Err(e) => {
+                if !matches!(&e, Response::Error { code: ErrorCode::Invalid, .. }) {
+                    all_rejected = false;
+                }
+                first_err.get_or_insert(e);
+            }
+        }
+    }
+    match (first_ack, first_err) {
+        (Some(ack), None) => Ok(ack),
+        (None, Some(err)) if all_rejected => {
+            // Validation is deterministic over identical replicas: a
+            // unanimous rejection means no shard's log grew. Un-sequence
+            // the delta and relay the rejection.
+            edits.log.pop();
+            Err(err)
+        }
+        (_, Some(_)) => Err(Response::Error {
+            code: ErrorCode::Unavailable,
+            message: format!(
+                "delta {seq} applied on {applied}/{n} shards; lagging shards converge on \
+                 the next edit or respawn sync"
+            ),
+        }),
+        (None, None) => unreachable!("fleet is never empty"),
+    }
+}
+
+/// Settles sequence `seq` (the last entry of `log`) on one shard:
+/// catch-up batch for any missing prefix, then the delta itself. Returns
+/// the shard's new acked sequence plus the ack or the failure.
+fn apply_on_shard(
+    inner: &Inner,
+    shard: usize,
+    log: &[Delta],
+    mut acked: u64,
+    seq: u64,
+    delta: &Delta,
+) -> (u64, Result<DeltaAck, Response>) {
+    if acked + 1 < seq {
+        let batch = Request::DeltaBatch {
+            first_seq: acked + 1,
+            deltas: log[acked as usize..(seq - 1) as usize].to_vec(),
+        };
+        match call_inner(inner, shard, &batch) {
+            Response::DeltaBatch { last_seq } => acked = last_seq,
+            Response::Error { code: ErrorCode::SeqGap, .. } => {
+                // The backend respawned with an empty log: resend the
+                // whole committed prefix once.
+                let full = Request::DeltaBatch {
+                    first_seq: 1,
+                    deltas: log[..(seq - 1) as usize].to_vec(),
+                };
+                match call_inner(inner, shard, &full) {
+                    Response::DeltaBatch { last_seq } => acked = last_seq,
+                    err @ Response::Error { .. } => return (0, Err(err)),
+                    _ => return (0, Err(unavailable(shard, "answering out of protocol"))),
+                }
+            }
+            err @ Response::Error { .. } => return (acked, Err(err)),
+            _ => return (acked, Err(unavailable(shard, "answering out of protocol"))),
+        }
+        if acked + 1 != seq {
+            return (acked, Err(unavailable(shard, "lagging after catch-up")));
+        }
+    }
+    match call_inner(inner, shard, &Request::ApplyDelta { seq, delta: delta.clone() }) {
+        Response::ApplyDelta(ack) => (seq, Ok(ack)),
+        Response::Error { code: ErrorCode::SeqGap, .. } => {
+            // Respawned between catch-up and apply; one full resend,
+            // new delta included.
+            let full = Request::DeltaBatch { first_seq: 1, deltas: log[..seq as usize].to_vec() };
+            match call_inner(inner, shard, &full) {
+                Response::DeltaBatch { last_seq } if last_seq >= seq => {
+                    (last_seq, Ok(DeltaAck { seq, zones_rebuilt: 0, replayed: false }))
+                }
+                Response::DeltaBatch { last_seq } => {
+                    (last_seq, Err(unavailable(shard, "lagging after full resend")))
+                }
+                err @ Response::Error { .. } => (0, Err(err)),
+                _ => (0, Err(unavailable(shard, "answering out of protocol"))),
+            }
+        }
+        err @ Response::Error { .. } => (acked, Err(err)),
+        _ => (acked, Err(unavailable(shard, "answering out of protocol"))),
+    }
+}
+
+/// Replays the full fleet log onto a freshly-respawned shard (its own
+/// log restarted empty). On failure the shard stays marked at sequence 0
+/// and the next broadcast retries the catch-up.
+fn sync_shard(inner: &Inner, shard: usize) {
+    let mut edits = inner.edits.lock();
+    edits.acked[shard] = 0;
+    if edits.log.is_empty() {
+        return;
+    }
+    let batch = Request::DeltaBatch { first_seq: 1, deltas: edits.log.clone() };
+    if let Response::DeltaBatch { last_seq } = call_inner(inner, shard, &batch) {
+        edits.acked[shard] = last_seq;
+    }
 }
 
 /// Readiness: the backend must answer a real `Stats` request, not merely
@@ -292,6 +529,10 @@ fn monitor_loop(inner: &Inner) {
                     slot.pool.bring_up(addr);
                     metrics::RESPAWNS.inc();
                     respawn_at[i] = None;
+                    // The respawned backend's delta log restarted empty:
+                    // replay the fleet's committed edits before it serves
+                    // answers that diverge from its replicas.
+                    sync_shard(inner, i);
                 }
                 Err(_) => {
                     respawn_at[i] = Some(Instant::now() + inner.cfg.respawn_backoff);

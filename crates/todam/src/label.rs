@@ -121,6 +121,19 @@ impl<'a> LabelEngine<'a> {
         LabelEngine { city, net, cost, interval, n_workers, schedule: LabelSchedule::WorkStealing }
     }
 
+    /// An engine over a caller-supplied network — the what-if path hands in
+    /// a scenario overlay here so counterfactual labeling reuses all of the
+    /// base engine's machinery.
+    pub fn with_network(
+        city: &'a City,
+        net: TransitNetwork<'a>,
+        cost: AccessCost,
+        interval: TimeInterval,
+    ) -> Self {
+        let n_workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        LabelEngine { city, net, cost, interval, n_workers, schedule: LabelSchedule::WorkStealing }
+    }
+
     /// The underlying network (shared with feature extraction).
     pub fn network(&self) -> &TransitNetwork<'a> {
         &self.net

@@ -32,5 +32,5 @@ pub mod raptor;
 pub use cost::{AccessCost, CostKind, GacWeights};
 pub use fare::FareModel;
 pub use journey::{Journey, Leg};
-pub use network::{AccessCache, RouterConfig, TransitNetwork};
+pub use network::{AccessCache, OverlayStats, RouterConfig, TransitNetwork};
 pub use raptor::Raptor;

@@ -22,7 +22,7 @@ pub fn earliest_arrival(
     depart: Stime,
     day: DayOfWeek,
 ) -> Stime {
-    let n_stops = net.feed.n_stops();
+    let n_stops = net.n_stops();
     let mut arr = vec![u32::MAX; n_stops];
     let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
 
@@ -65,7 +65,7 @@ pub fn earliest_arrival(
         // Ride the next catchable trip of every pattern through this stop.
         for &(pi, pos) in net.patterns_at(stop) {
             let p = &net.patterns()[pi as usize];
-            let Some(trip) = p.earliest_trip(pos as usize, Stime(t), day, net.feed) else {
+            let Some(trip) = p.earliest_trip(pos as usize, Stime(t), day) else {
                 continue;
             };
             for i in (pos as usize + 1)..p.stops.len() {

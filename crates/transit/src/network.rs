@@ -4,15 +4,28 @@
 //! route with an identical stop sequence — the unit RAPTOR scans), flattens
 //! their timetables into dense arrival/departure matrices, snaps stops to
 //! road nodes, and precomputes stop-to-stop foot transfers.
+//!
+//! Networks come in two flavors sharing one type. A **base** network owns
+//! its patterns and per-stop topology. An **overlay** ([`TransitNetwork::
+//! overlay`]) evaluates a counterfactual scenario against a base network by
+//! copy-on-write: patterns are `Arc`-shared and only the ones a delta
+//! touches are replaced; per-stop rows (patterns-at-stop, transfers) are
+//! shared wholesale through an `Arc<Topology>` with a small side table of
+//! full replacement rows, so every accessor keeps returning plain slices
+//! and the routers cannot tell the difference.
 
 use serde::{Deserialize, Serialize};
 use staq_geom::{KdTree, Point};
 use staq_gtfs::model::{RouteId, StopId, TripId};
 use staq_gtfs::time::{DayOfWeek, Stime};
-use staq_gtfs::FeedIndex;
+use staq_gtfs::{Delta, FeedIndex};
 use staq_obs::Counter;
 use staq_road::{dijkstra, NodeId, NodeSnapper, RoadGraph};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Service-day bitmask for scenario-added weekday routes (Mon..Fri).
+const WEEKDAY_MASK: u8 = 0b0001_1111;
 
 /// Access-isochrone memo lookups answered from the cache.
 static ACCESS_CACHE_HIT: Counter = Counter::new("transit.access_cache.hit");
@@ -49,7 +62,11 @@ impl Default for RouterConfig {
 }
 
 /// A trip pattern: trips of one route sharing an exact stop sequence.
-#[derive(Debug, Clone)]
+///
+/// Patterns are fully self-contained (per-trip service days live here, not
+/// in the feed) so overlay patterns carrying synthetic scenario trips need
+/// no feed record behind them.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pattern {
     pub route: RouteId,
     /// Ordered stops of the pattern.
@@ -60,9 +77,12 @@ pub struct Pattern {
     arrivals: Vec<Stime>,
     /// Flattened departures, same layout.
     departures: Vec<Stime>,
-    /// Bit `DayOfWeek::index()` set when at least one trip runs that day.
-    /// Lets the router skip whole patterns on no-service days before they
-    /// are ever enqueued.
+    /// Per-trip service-day bitmask (bit `DayOfWeek::index()`), parallel to
+    /// `trips`.
+    trip_days: Vec<u8>,
+    /// OR of `trip_days`: set when at least one trip runs that day. Lets
+    /// the router skip whole patterns on no-service days before they are
+    /// ever enqueued.
     service_days: u8,
 }
 
@@ -81,13 +101,7 @@ impl Pattern {
 
     /// Index (within this pattern) of the earliest trip departing stop
     /// position `i` at or after `t` and running on `day`.
-    pub fn earliest_trip(
-        &self,
-        i: usize,
-        t: Stime,
-        day: DayOfWeek,
-        feed: &FeedIndex,
-    ) -> Option<usize> {
+    pub fn earliest_trip(&self, i: usize, t: Stime, day: DayOfWeek) -> Option<usize> {
         // Trips are sorted by first-stop departure and never overtake within
         // a pattern (enforced in `check_no_overtaking` during build), so the
         // departures at any fixed position are sorted too: binary search.
@@ -102,7 +116,8 @@ impl Pattern {
                 hi = mid;
             }
         }
-        (lo..n).find(|&k| feed.trip_runs_on(self.trips[k], day))
+        let day_bit = 1u8 << day.index();
+        (lo..n).find(|&k| self.trip_days[k] & day_bit != 0)
     }
 
     /// True when at least one of this pattern's trips runs on `day`.
@@ -121,12 +136,9 @@ pub struct Transfer {
     pub walk_secs: u32,
 }
 
-/// The prepared multimodal network.
-pub struct TransitNetwork<'a> {
-    pub road: &'a RoadGraph,
-    pub feed: &'a FeedIndex,
-    pub cfg: RouterConfig,
-    patterns: Vec<Pattern>,
+/// Per-stop routing topology, shared (copy-on-write via `Arc`) between a
+/// base network and its scenario overlays.
+struct Topology {
     /// For each stop: `(pattern index, position within pattern)` pairs.
     patterns_at_stop: Vec<Vec<(u32, u32)>>,
     /// Road node each stop snaps to.
@@ -136,6 +148,65 @@ pub struct TransitNetwork<'a> {
     /// Foot transfers per stop.
     transfers: Vec<Vec<Transfer>>,
     snapper: NodeSnapper,
+}
+
+/// Overlay-only side table: full replacement rows for base stops a scenario
+/// delta touched, plus parallel rows for scenario-added stops (which get
+/// ids `n_base_stops..`). Accessors consult this first and fall through to
+/// the shared [`Topology`], so slices keep coming back either way.
+struct OverlayExt {
+    n_base_stops: usize,
+    /// Replacement patterns-at-stop rows for base stops, keyed by raw id.
+    patterns_at: HashMap<u32, Vec<(u32, u32)>>,
+    /// Replacement transfer rows for base stops, keyed by raw id.
+    transfers_at: HashMap<u32, Vec<Transfer>>,
+    /// Scenario-added stops, indexed by `id - n_base_stops`.
+    new_stop_pos: Vec<Point>,
+    new_stop_node: Vec<NodeId>,
+    new_patterns_at: Vec<Vec<(u32, u32)>>,
+    new_transfers: Vec<Vec<Transfer>>,
+    /// Scenario-added stops at a road node, consulted *alongside* the base
+    /// `node_stops` map during access walks.
+    node_new_stops: HashMap<u32, Vec<StopId>>,
+    /// Next synthetic trip/route ids (continuing the base feed's dense id
+    /// spaces, exactly like the feed-mutating path would).
+    next_trip: u32,
+    next_route: u32,
+}
+
+/// What a scenario overlay materialized, for `rt.scenario.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverlayStats {
+    /// Base patterns replaced by a copy-on-write edit.
+    pub patterns_touched: usize,
+    /// Patterns appended by the scenario (delayed-trip splits, new routes).
+    pub patterns_added: usize,
+    /// Stops added by the scenario.
+    pub stops_added: usize,
+    /// Approximate bytes the overlay materialized (vs cloning the network).
+    pub overlay_bytes: usize,
+}
+
+/// The prepared multimodal network.
+pub struct TransitNetwork<'a> {
+    pub road: &'a RoadGraph,
+    pub feed: &'a FeedIndex,
+    pub cfg: RouterConfig,
+    /// `Arc` so overlays share untouched patterns with their base.
+    patterns: Vec<Arc<Pattern>>,
+    topo: Arc<Topology>,
+    /// Present only on overlay networks.
+    ext: Option<Box<OverlayExt>>,
+}
+
+impl std::fmt::Debug for TransitNetwork<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransitNetwork")
+            .field("n_stops", &self.n_stops())
+            .field("n_patterns", &self.patterns.len())
+            .field("overlay", &self.ext.is_some())
+            .finish()
+    }
 }
 
 impl<'a> TransitNetwork<'a> {
@@ -185,12 +256,15 @@ impl<'a> TransitNetwork<'a> {
             road,
             feed,
             cfg,
-            patterns,
-            patterns_at_stop,
-            stop_node,
-            node_stops,
-            transfers,
-            snapper,
+            patterns: patterns.into_iter().map(Arc::new).collect(),
+            topo: Arc::new(Topology {
+                patterns_at_stop,
+                stop_node,
+                node_stops,
+                transfers,
+                snapper,
+            }),
+            ext: None,
         }
     }
 
@@ -199,28 +273,64 @@ impl<'a> TransitNetwork<'a> {
         Self::new(road, feed, RouterConfig::default())
     }
 
-    /// All trip patterns.
+    /// All trip patterns (base + any scenario-appended ones).
     #[inline]
-    pub fn patterns(&self) -> &[Pattern] {
+    pub fn patterns(&self) -> &[Arc<Pattern>] {
         &self.patterns
+    }
+
+    /// Total stops: base feed stops plus scenario-added ones.
+    #[inline]
+    pub fn n_stops(&self) -> usize {
+        self.topo.stop_node.len() + self.ext.as_ref().map_or(0, |e| e.new_stop_pos.len())
+    }
+
+    /// True for a network produced by [`overlay`](Self::overlay).
+    #[inline]
+    pub fn is_overlay(&self) -> bool {
+        self.ext.is_some()
     }
 
     /// Patterns serving `stop` with the position of `stop` in each.
     #[inline]
     pub fn patterns_at(&self, stop: StopId) -> &[(u32, u32)] {
-        &self.patterns_at_stop[stop.idx()]
+        if let Some(ext) = &self.ext {
+            let i = stop.idx();
+            if i >= ext.n_base_stops {
+                return &ext.new_patterns_at[i - ext.n_base_stops];
+            }
+            if let Some(row) = ext.patterns_at.get(&stop.0) {
+                return row;
+            }
+        }
+        &self.topo.patterns_at_stop[stop.idx()]
     }
 
     /// Foot transfers out of `stop`.
     #[inline]
     pub fn transfers_from(&self, stop: StopId) -> &[Transfer] {
-        &self.transfers[stop.idx()]
+        if let Some(ext) = &self.ext {
+            let i = stop.idx();
+            if i >= ext.n_base_stops {
+                return &ext.new_transfers[i - ext.n_base_stops];
+            }
+            if let Some(row) = ext.transfers_at.get(&stop.0) {
+                return row;
+            }
+        }
+        &self.topo.transfers[stop.idx()]
     }
 
     /// Road node `stop` snaps to.
     #[inline]
     pub fn stop_node(&self, stop: StopId) -> NodeId {
-        self.stop_node[stop.idx()]
+        if let Some(ext) = &self.ext {
+            let i = stop.idx();
+            if i >= ext.n_base_stops {
+                return ext.new_stop_node[i - ext.n_base_stops];
+            }
+        }
+        self.topo.stop_node[stop.idx()]
     }
 
     /// Stops reachable on foot from `point` within the access budget, as
@@ -243,7 +353,7 @@ impl<'a> TransitNetwork<'a> {
         out: &mut Vec<(StopId, u32)>,
     ) {
         out.clear();
-        let Some((root, gap_m)) = self.snapper.snap(point) else {
+        let Some((root, gap_m)) = self.topo.snapper.snap(point) else {
             return;
         };
         let entry = gap_m / self.cfg.omega_mps;
@@ -253,9 +363,16 @@ impl<'a> TransitNetwork<'a> {
         }
         dijkstra::bounded_walk_times_into(self.road, root, remaining, walk, nodes);
         for &(node, t) in nodes.iter() {
-            if let Some(stops) = self.node_stops.get(&node.0) {
+            if let Some(stops) = self.topo.node_stops.get(&node.0) {
                 for &s in stops {
                     out.push((s, (entry + t).round() as u32));
+                }
+            }
+            if let Some(ext) = &self.ext {
+                if let Some(stops) = ext.node_new_stops.get(&node.0) {
+                    for &s in stops {
+                        out.push((s, (entry + t).round() as u32));
+                    }
                 }
             }
         }
@@ -301,9 +418,10 @@ impl<'a> TransitNetwork<'a> {
     /// Structural summary for logs and reports.
     pub fn stats(&self) -> NetworkStats {
         let n_trips: usize = self.patterns.iter().map(|p| p.trips.len()).sum();
-        let n_transfers: usize = self.transfers.iter().map(Vec::len).sum();
+        let n_transfers: usize =
+            (0..self.n_stops()).map(|s| self.transfers_from(StopId(s as u32)).len()).sum();
         NetworkStats {
-            n_stops: self.feed.n_stops(),
+            n_stops: self.n_stops(),
             n_patterns: self.patterns.len(),
             n_trips,
             n_transfers,
@@ -315,6 +433,314 @@ impl<'a> TransitNetwork<'a> {
             },
         }
     }
+
+    /// A copy-on-write counterfactual view of this network with `deltas`
+    /// applied, plus what it cost to materialize. The base network is not
+    /// mutated and untouched patterns/rows are shared, so K scenarios cost
+    /// K small overlays rather than K network clones.
+    ///
+    /// Scenario edits follow exactly the semantics of the feed-mutating
+    /// path ([`FeedIndex::apply_delta`]): same schedules, same ids, same
+    /// no-op/error cases — routing over an overlay and routing over a
+    /// network rebuilt from a mutated feed agree on every arrival time.
+    pub fn overlay(
+        &self,
+        deltas: &[Delta],
+        bus_speed_mps: f64,
+    ) -> Result<(TransitNetwork<'a>, OverlayStats), String> {
+        if self.ext.is_some() {
+            return Err("overlays do not compose; put all deltas in one scenario".into());
+        }
+        let mut patterns = self.patterns.clone();
+        let mut ext = OverlayExt {
+            n_base_stops: self.topo.stop_node.len(),
+            patterns_at: HashMap::new(),
+            transfers_at: HashMap::new(),
+            new_stop_pos: Vec::new(),
+            new_stop_node: Vec::new(),
+            new_patterns_at: Vec::new(),
+            new_transfers: Vec::new(),
+            node_new_stops: HashMap::new(),
+            next_trip: self.feed.feed().trips.len() as u32,
+            next_route: self.feed.feed().routes.len() as u32,
+        };
+        for delta in deltas {
+            match delta {
+                Delta::TripDelay { trip, delay_secs } => {
+                    self.ov_delay(&mut patterns, &mut ext, *trip, *delay_secs)?
+                }
+                Delta::TripCancel { trip } => ov_cancel(&mut patterns, &ext, *trip)?,
+                Delta::RouteRemove { route } => ov_remove_route(&mut patterns, &ext, *route)?,
+                Delta::ServiceAlert { .. } => {}
+                Delta::AddRoute { stops, headway_s } => {
+                    self.ov_add_route(&mut patterns, &mut ext, stops, *headway_s, bus_speed_mps)?
+                }
+            }
+        }
+
+        let mut stats = OverlayStats::default();
+        for (p, base) in patterns.iter().zip(&self.patterns) {
+            if !Arc::ptr_eq(p, base) {
+                stats.patterns_touched += 1;
+                stats.overlay_bytes += pattern_bytes(p);
+            }
+        }
+        for p in &patterns[self.patterns.len()..] {
+            stats.patterns_added += 1;
+            stats.overlay_bytes += pattern_bytes(p);
+        }
+        stats.stops_added = ext.new_stop_pos.len();
+        stats.overlay_bytes += ext.patterns_at.values().map(|r| r.len() * 8).sum::<usize>()
+            + ext.new_patterns_at.iter().map(|r| r.len() * 8).sum::<usize>()
+            + ext.transfers_at.values().map(|r| r.len() * 8).sum::<usize>()
+            + ext.new_transfers.iter().map(|r| r.len() * 8).sum::<usize>()
+            + ext.new_stop_pos.len() * (std::mem::size_of::<Point>() + 4);
+
+        Ok((
+            TransitNetwork {
+                road: self.road,
+                feed: self.feed,
+                cfg: self.cfg,
+                patterns,
+                topo: Arc::clone(&self.topo),
+                ext: Some(Box::new(ext)),
+            },
+            stats,
+        ))
+    }
+
+    /// Overlay a uniform holding delay: the trip is split out of its
+    /// pattern into an appended single-trip pattern shifted by the delay
+    /// (so the reduced original and the new pattern each trivially keep the
+    /// no-overtaking invariant), and every call stop gains a row entry for
+    /// the new pattern.
+    fn ov_delay(
+        &self,
+        patterns: &mut Vec<Arc<Pattern>>,
+        ext: &mut OverlayExt,
+        trip: TripId,
+        delay_secs: u32,
+    ) -> Result<(), String> {
+        let (pi, k) =
+            find_trip(patterns, trip).ok_or_else(|| format!("trip #{} makes no calls", trip.0))?;
+        let p = Arc::clone(&patterns[pi]);
+        let ns = p.stops.len();
+        let delayed = Pattern {
+            route: p.route,
+            stops: p.stops.clone(),
+            trips: vec![trip],
+            arrivals: p.arrivals[k * ns..(k + 1) * ns].iter().map(|t| t.plus(delay_secs)).collect(),
+            departures: p.departures[k * ns..(k + 1) * ns]
+                .iter()
+                .map(|t| t.plus(delay_secs))
+                .collect(),
+            trip_days: vec![p.trip_days[k]],
+            service_days: p.trip_days[k],
+        };
+        patterns[pi] = Arc::new(without_trip(&p, k));
+        let pi_new = patterns.len() as u32;
+        patterns.push(Arc::new(delayed));
+        for (pos, &s) in p.stops.iter().enumerate() {
+            pattern_row(&self.topo, ext, s).push((pi_new, pos as u32));
+        }
+        Ok(())
+    }
+
+    /// Overlay a new dynamic route: scenario stops get fresh ids past the
+    /// base feed, two appended patterns carry the [`dyn_route_timetable`]
+    /// schedule with synthetic trip ids continuing the feed's id space, and
+    /// foot transfers to/from the new stops replace the touched base rows.
+    fn ov_add_route(
+        &self,
+        patterns: &mut Vec<Arc<Pattern>>,
+        ext: &mut OverlayExt,
+        stops: &[Point],
+        headway_s: u32,
+        bus_speed_mps: f64,
+    ) -> Result<(), String> {
+        if stops.len() < 2 {
+            return Err("a route needs at least two stops".into());
+        }
+        if stops.iter().any(|p| !p.is_finite()) {
+            return Err("route stops must be finite".into());
+        }
+        let tt = staq_gtfs::delta::dyn_route_timetable(stops, headway_s, bus_speed_mps);
+        let route = RouteId(ext.next_route);
+        ext.next_route += 1;
+
+        let first = (ext.n_base_stops + ext.new_stop_pos.len()) as u32;
+        let new_stops: Vec<StopId> = (0..stops.len() as u32).map(|k| StopId(first + k)).collect();
+        for (&sid, p) in new_stops.iter().zip(stops) {
+            let node = self.topo.snapper.snap_unchecked(p);
+            ext.new_stop_pos.push(*p);
+            ext.new_stop_node.push(node);
+            ext.new_patterns_at.push(Vec::new());
+            ext.new_transfers.push(Vec::new());
+            ext.node_new_stops.entry(node.0).or_default().push(sid);
+        }
+
+        for dir in 0..2usize {
+            let ordered: Vec<StopId> = if dir == 0 {
+                new_stops.clone()
+            } else {
+                new_stops.iter().rev().copied().collect()
+            };
+            let n = ordered.len();
+            let mut trips = Vec::with_capacity(tt.starts.len());
+            let mut arrivals = Vec::with_capacity(tt.starts.len() * n);
+            let mut departures = Vec::with_capacity(tt.starts.len() * n);
+            for &start in &tt.starts {
+                trips.push(TripId(ext.next_trip));
+                ext.next_trip += 1;
+                for i in 0..n {
+                    let (arr, dep) = tt.offsets[dir][i];
+                    arrivals.push(Stime(start + arr));
+                    departures.push(Stime(start + dep));
+                }
+            }
+            let trip_days = vec![WEEKDAY_MASK; trips.len()];
+            let pi = patterns.len() as u32;
+            patterns.push(Arc::new(Pattern {
+                route,
+                stops: ordered.clone(),
+                trips,
+                arrivals,
+                departures,
+                trip_days,
+                service_days: WEEKDAY_MASK,
+            }));
+            for (pos, &s) in ordered.iter().enumerate() {
+                pattern_row(&self.topo, ext, s).push((pi, pos as u32));
+            }
+        }
+
+        // Foot transfers for the new stops: a linear scan over base stops
+        // (scenario routes have a handful of stops, so no tree needed),
+        // with the same radius/cost convention as the base KdTree build.
+        let max_walk_m = self.cfg.transfer_walk_secs * self.cfg.omega_mps / self.cfg.walk_detour;
+        for (k, &sid) in new_stops.iter().enumerate() {
+            let pos = stops[k];
+            let my = sid.idx() - ext.n_base_stops;
+            for s in 0..ext.n_base_stops as u32 {
+                let d = pos.dist(&self.feed.stop_pos(StopId(s)));
+                if d <= max_walk_m {
+                    let secs = (d * self.cfg.walk_detour / self.cfg.omega_mps).round() as u32;
+                    ext.new_transfers[my].push(Transfer { to: StopId(s), walk_secs: secs });
+                    ext.transfers_at
+                        .entry(s)
+                        .or_insert_with(|| self.topo.transfers[s as usize].clone())
+                        .push(Transfer { to: sid, walk_secs: secs });
+                }
+            }
+            // Earlier scenario-added stops (previous routes and this
+            // route's earlier stops).
+            for j in 0..my {
+                let d = pos.dist(&ext.new_stop_pos[j]);
+                if d <= max_walk_m {
+                    let secs = (d * self.cfg.walk_detour / self.cfg.omega_mps).round() as u32;
+                    let other = StopId((ext.n_base_stops + j) as u32);
+                    ext.new_transfers[my].push(Transfer { to: other, walk_secs: secs });
+                    ext.new_transfers[j].push(Transfer { to: sid, walk_secs: secs });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Locates `trip` as `(pattern index, trip index within pattern)`.
+fn find_trip(patterns: &[Arc<Pattern>], trip: TripId) -> Option<(usize, usize)> {
+    patterns
+        .iter()
+        .enumerate()
+        .find_map(|(pi, p)| p.trips.iter().position(|&t| t == trip).map(|k| (pi, k)))
+}
+
+/// `p` with trip index `k` spliced out (an emptied pattern keeps its stop
+/// sequence; with no service days it is skipped before ever being scanned).
+fn without_trip(p: &Pattern, k: usize) -> Pattern {
+    let ns = p.stops.len();
+    let mut trips = p.trips.clone();
+    trips.remove(k);
+    let mut arrivals = p.arrivals.clone();
+    arrivals.drain(k * ns..(k + 1) * ns);
+    let mut departures = p.departures.clone();
+    departures.drain(k * ns..(k + 1) * ns);
+    let mut trip_days = p.trip_days.clone();
+    trip_days.remove(k);
+    let service_days = trip_days.iter().fold(0u8, |a, &b| a | b);
+    Pattern {
+        route: p.route,
+        stops: p.stops.clone(),
+        trips,
+        arrivals,
+        departures,
+        trip_days,
+        service_days,
+    }
+}
+
+/// The mutable patterns-at-stop row for `stop` inside an overlay: the
+/// parallel row for scenario-added stops, else the replacement row for the
+/// base stop (cloned from the shared topology on first touch).
+fn pattern_row<'e>(
+    topo: &Topology,
+    ext: &'e mut OverlayExt,
+    stop: StopId,
+) -> &'e mut Vec<(u32, u32)> {
+    let i = stop.idx();
+    if i >= ext.n_base_stops {
+        &mut ext.new_patterns_at[i - ext.n_base_stops]
+    } else {
+        ext.patterns_at.entry(stop.0).or_insert_with(|| topo.patterns_at_stop[i].clone())
+    }
+}
+
+/// Overlay a cancellation: splice the trip out of its pattern. A trip that
+/// already makes no calls (cancelled twice, or empty in the base feed) is a
+/// no-op, matching [`FeedIndex::cancel_trip`].
+fn ov_cancel(patterns: &mut [Arc<Pattern>], ext: &OverlayExt, trip: TripId) -> Result<(), String> {
+    match find_trip(patterns, trip) {
+        Some((pi, k)) => {
+            patterns[pi] = Arc::new(without_trip(&patterns[pi], k));
+            Ok(())
+        }
+        None if trip.0 < ext.next_trip => Ok(()),
+        None => Err(format!("unknown trip #{}", trip.0)),
+    }
+}
+
+/// Overlay a route removal: every pattern of the route is emptied (the
+/// route/stop records conceptually remain, exactly like the feed path).
+fn ov_remove_route(
+    patterns: &mut [Arc<Pattern>],
+    ext: &OverlayExt,
+    route: RouteId,
+) -> Result<(), String> {
+    if route.0 >= ext.next_route {
+        return Err(format!("unknown route #{}", route.0));
+    }
+    for p in patterns.iter_mut() {
+        if p.route == route && !p.trips.is_empty() {
+            *p = Arc::new(Pattern {
+                route,
+                stops: p.stops.clone(),
+                trips: Vec::new(),
+                arrivals: Vec::new(),
+                departures: Vec::new(),
+                trip_days: Vec::new(),
+                service_days: 0,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Approximate heap bytes of one pattern (for overlay accounting).
+fn pattern_bytes(p: &Pattern) -> usize {
+    p.stops.len() * std::mem::size_of::<StopId>()
+        + p.trips.len() * (std::mem::size_of::<TripId>() + 1)
+        + (p.arrivals.len() + p.departures.len()) * std::mem::size_of::<Stime>()
 }
 
 /// An entry handle into an [`AccessCache`] arena: `(start, len)`.
@@ -449,19 +875,31 @@ fn build_patterns(feed: &FeedIndex) -> Vec<Pattern> {
         let (route, stops) = key;
         let mut arrivals = Vec::with_capacity(trips.len() * stops.len());
         let mut departures = Vec::with_capacity(trips.len() * stops.len());
+        let mut trip_days = Vec::with_capacity(trips.len());
         let mut service_days = 0u8;
         for &t in &trips {
             for c in feed.trip_calls(t) {
                 arrivals.push(c.arrival);
                 departures.push(c.departure);
             }
+            let mut days = 0u8;
             for day in DayOfWeek::ALL {
                 if feed.trip_runs_on(t, day) {
-                    service_days |= 1u8 << day.index();
+                    days |= 1u8 << day.index();
                 }
             }
+            trip_days.push(days);
+            service_days |= days;
         }
-        patterns.push(Pattern { route, stops, trips, arrivals, departures, service_days });
+        patterns.push(Pattern {
+            route,
+            stops,
+            trips,
+            arrivals,
+            departures,
+            trip_days,
+            service_days,
+        });
     }
     patterns
 }
@@ -521,7 +959,7 @@ mod tests {
         for p in net.patterns().iter().take(5) {
             for &probe in &[Stime::hours(6), Stime::hms(7, 43, 0), Stime::hours(22)] {
                 for i in [0usize, p.stops.len() / 2] {
-                    let got = p.earliest_trip(i, probe, day, &city.feed);
+                    let got = p.earliest_trip(i, probe, day);
                     let want = (0..p.trips.len()).find(|&k| {
                         p.departure(k, i) >= probe && city.feed.trip_runs_on(p.trips[k], day)
                     });
@@ -604,6 +1042,127 @@ mod tests {
             assert!(cache.len() <= 4);
         }
         assert!(!cache.is_empty());
+    }
+
+    /// Earliest arrivals over a grid of probe queries — the overlay
+    /// equivalence tests compare these rather than leg sequences, because
+    /// transfer-row relaxation *order* (which differs between an overlay
+    /// and a rebuilt network) can tie-break label chains differently while
+    /// RAPTOR's arrival times stay relaxation-order independent.
+    fn probe_arrivals(net: &TransitNetwork<'_>, city: &City) -> Vec<u32> {
+        let r = crate::Raptor::new(net);
+        let day = DayOfWeek::Tuesday;
+        let mut out = Vec::new();
+        for o in [city.cores[0], city.zones[2].centroid, city.zones[9].centroid] {
+            for d in [city.zones[5].centroid, city.zones[11].centroid, city.cores[0]] {
+                for t in [Stime::hours(8), Stime::hms(17, 30, 0)] {
+                    out.push(r.query(&o, &d, t, day).arrive.0);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn overlay_empty_scenario_is_identity() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let (ov, stats) = net.overlay(&[], 8.0).expect("empty overlay");
+        assert!(ov.is_overlay());
+        assert_eq!(stats, OverlayStats::default());
+        assert_eq!(ov.n_stops(), net.n_stops());
+        for (a, b) in ov.patterns().iter().zip(net.patterns()) {
+            assert!(Arc::ptr_eq(a, b), "empty scenario must share every pattern");
+        }
+        assert_eq!(probe_arrivals(&ov, &city), probe_arrivals(&net, &city));
+    }
+
+    #[test]
+    fn overlay_add_route_is_bit_identical_to_incremental_feed() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let stops = vec![city.zones[2].centroid, city.cores[0], city.zones[9].centroid];
+        let speed = 8.0;
+
+        let mut mutated = city.feed.clone();
+        mutated.append_route(&stops, 600, speed).expect("incremental append");
+        let rebuilt = TransitNetwork::with_defaults(&city.road, &mutated);
+
+        let delta = Delta::AddRoute { stops, headway_s: 600 };
+        let (ov, stats) = net.overlay(std::slice::from_ref(&delta), speed).expect("overlay");
+
+        // Same ids, same schedules, same pattern order: field-for-field.
+        assert_eq!(ov.n_stops(), rebuilt.n_stops());
+        assert_eq!(ov.patterns().len(), rebuilt.patterns().len());
+        for (a, b) in ov.patterns().iter().zip(rebuilt.patterns()) {
+            assert_eq!(**a, **b, "overlay pattern diverged from rebuilt pattern");
+        }
+        for s in 0..ov.n_stops() {
+            let sid = StopId(s as u32);
+            assert_eq!(ov.patterns_at(sid), rebuilt.patterns_at(sid));
+            let mut x: Vec<_> = ov.transfers_from(sid).to_vec();
+            let mut y: Vec<_> = rebuilt.transfers_from(sid).to_vec();
+            x.sort_by_key(|t| (t.to, t.walk_secs));
+            y.sort_by_key(|t| (t.to, t.walk_secs));
+            assert_eq!(x, y, "transfers at stop {s} diverged");
+            assert_eq!(ov.stop_node(sid), rebuilt.stop_node(sid));
+        }
+        assert_eq!(stats.patterns_added, 2);
+        assert_eq!(stats.stops_added, 3);
+        assert!(stats.overlay_bytes > 0);
+        assert_eq!(probe_arrivals(&ov, &city), probe_arrivals(&rebuilt, &city));
+    }
+
+    #[test]
+    fn overlay_delay_cancel_remove_match_rebuilt_feeds() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let victim = net.patterns()[0].trips[0];
+        let route = net.patterns()[net.patterns().len() / 2].route;
+        let scenarios: Vec<Vec<Delta>> = vec![
+            vec![Delta::TripDelay { trip: victim, delay_secs: 900 }],
+            vec![Delta::TripCancel { trip: victim }],
+            vec![Delta::RouteRemove { route }],
+            vec![
+                Delta::TripDelay { trip: victim, delay_secs: 300 },
+                Delta::ServiceAlert { route, message: "advisory".into() },
+                Delta::RouteRemove { route },
+            ],
+        ];
+        for deltas in &scenarios {
+            let mut mutated = city.feed.clone();
+            for d in deltas {
+                mutated.apply_delta(d, 8.0).expect("incremental apply");
+            }
+            let rebuilt = TransitNetwork::with_defaults(&city.road, &mutated);
+            let (ov, _) = net.overlay(deltas, 8.0).expect("overlay");
+            assert_eq!(
+                probe_arrivals(&ov, &city),
+                probe_arrivals(&rebuilt, &city),
+                "scenario {deltas:?} diverged from the rebuilt feed"
+            );
+        }
+        // The base network is untouched by all of the above.
+        let fresh = TransitNetwork::with_defaults(&city.road, &city.feed);
+        assert_eq!(probe_arrivals(&net, &city), probe_arrivals(&fresh, &city));
+    }
+
+    #[test]
+    fn overlay_rejects_bad_scenarios() {
+        let city = city();
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let n_trips = city.feed.feed().trips.len() as u32;
+        let err = net
+            .overlay(&[Delta::TripCancel { trip: TripId(n_trips + 7) }], 8.0)
+            .expect_err("unknown trip must be rejected");
+        assert!(err.contains("unknown trip"), "{err}");
+        let err = net
+            .overlay(&[Delta::AddRoute { stops: vec![Point::new(0.0, 0.0)], headway_s: 600 }], 8.0)
+            .expect_err("one-stop route must be rejected");
+        assert!(err.contains("two stops"), "{err}");
+        let (ov, _) = net.overlay(&[], 8.0).unwrap();
+        let err = ov.overlay(&[], 8.0).expect_err("overlays must not compose");
+        assert!(err.contains("compose"), "{err}");
     }
 
     #[test]

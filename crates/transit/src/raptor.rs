@@ -184,7 +184,7 @@ impl<'n, 'a> Raptor<'n, 'a> {
 
     fn with_pruning(net: &'n TransitNetwork<'a>, pruning: bool) -> Self {
         let scratch =
-            RefCell::new(Scratch::new(net.cfg.max_boardings, net.feed.n_stops(), net.n_patterns()));
+            RefCell::new(Scratch::new(net.cfg.max_boardings, net.n_stops(), net.n_patterns()));
         Raptor { net, scratch, pruning }
     }
 
@@ -399,7 +399,7 @@ impl<'n, 'a> Raptor<'n, 'a> {
                     // round's arrival at this stop.
                     let ready = tau_prev[idx];
                     if ready < INF {
-                        let catchable = pattern.earliest_trip(i, Stime(ready), day, self.net.feed);
+                        let catchable = pattern.earliest_trip(i, Stime(ready), day);
                         if let Some(t2) = catchable {
                             let earlier = match active {
                                 None => true,

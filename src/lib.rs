@@ -21,6 +21,7 @@ pub use staq_gtfs as gtfs;
 pub use staq_hoptree as hoptree;
 pub use staq_ml as ml;
 pub use staq_road as road;
+pub use staq_rt as rt;
 pub use staq_synth as synth;
 pub use staq_todam as todam;
 pub use staq_transit as transit;

@@ -1,9 +1,13 @@
 //! Dynamic-scenario integration: the engine's edits keep every invariant of
 //! the underlying structures and produce the causally expected direction of
-//! change.
+//! change — and incremental delta application is *exact*: replaying the
+//! delta log on a fresh engine, or rebuilding an engine from the mutated
+//! feed, lands on bit-identical measures.
 
-use staq_repro::gtfs::validate;
+use staq_repro::gtfs::model::{RouteId, TripId};
+use staq_repro::gtfs::{validate, Delta};
 use staq_repro::prelude::*;
+use staq_repro::rt::RtEngine;
 
 fn engine() -> AccessEngine {
     let city = City::generate(&CityConfig::small(42));
@@ -110,4 +114,95 @@ fn queries_work_after_many_edits() {
             other => panic!("{other:?}"),
         }
     }
+}
+
+/// A mixed slice of live-feed history: one of each structural kind plus
+/// an advisory alert in the middle.
+fn sample_history(side: f64) -> Vec<Delta> {
+    vec![
+        Delta::TripDelay { trip: TripId(0), delay_secs: 240 },
+        Delta::ServiceAlert { route: RouteId(2), message: "expect crowding".into() },
+        Delta::TripCancel { trip: TripId(3) },
+        Delta::AddRoute {
+            stops: vec![
+                staq_repro::geom::Point::new(side * 0.2, side * 0.8),
+                staq_repro::geom::Point::new(side * 0.5, side * 0.5),
+                staq_repro::geom::Point::new(side * 0.8, side * 0.2),
+            ],
+            headway_s: 420,
+        },
+        Delta::RouteRemove { route: RouteId(1) },
+    ]
+}
+
+#[test]
+fn delta_log_replay_on_a_fresh_engine_is_bit_identical() {
+    // Live path: deltas arrive one at a time, applied incrementally.
+    let live = RtEngine::new(std::sync::Arc::new(engine()));
+    let history = sample_history(live.engine().city().config.side_m);
+    for d in &history {
+        live.apply(d.clone()).expect("live delta applies");
+    }
+    assert_eq!(live.seq(), history.len() as u64);
+
+    // Replica path: a fresh same-seed engine replays the whole log as
+    // one sequenced batch.
+    let replica = RtEngine::new(std::sync::Arc::new(engine()));
+    let applied = replica.apply_batch(1, &live.log_tail(0)).expect("log replays");
+    assert_eq!(applied.seq, live.seq());
+
+    // Incremental application must be deterministic: both worlds agree
+    // bit-for-bit on every category's measures and on the feed itself.
+    for cat in [PoiCategory::School, PoiCategory::Hospital, PoiCategory::VaxCenter] {
+        assert_eq!(
+            live.engine().measures(cat).predicted,
+            replica.engine().measures(cat).predicted,
+            "replayed measures diverged for {cat:?}"
+        );
+    }
+    assert_eq!(
+        live.engine().city().feed.feed(),
+        replica.engine().city().feed.feed(),
+        "replayed feed diverged"
+    );
+}
+
+#[test]
+fn incremental_apply_matches_a_from_scratch_rebuild() {
+    let config = PipelineConfig {
+        beta: 0.2,
+        model: ModelKind::Ols,
+        todam: TodamSpec { per_hour: 3, ..Default::default() },
+        ..Default::default()
+    };
+    let city = City::generate(&CityConfig::small(42));
+    let history = sample_history(city.config.side_m);
+
+    // Incremental path: an engine built on the pristine city, mutated
+    // delta by delta (partial hop-tree rebuilds, cache invalidation).
+    let incremental = AccessEngine::new(city.clone(), config.clone());
+    for d in &history {
+        incremental.apply_delta(d).expect("incremental delta applies");
+    }
+
+    // Rebuild path: the same deltas mutate the raw feed first, then a
+    // brand-new engine computes everything from scratch.
+    let mut mutated = city;
+    let bus_speed = mutated.config.bus_speed_mps;
+    for d in &history {
+        mutated.feed.apply_delta(d, bus_speed).expect("feed delta applies");
+    }
+    let rebuilt = AccessEngine::new(mutated, config);
+
+    // The incremental invalidation must be *exact*: nothing stale may
+    // survive, so both engines answer bit-identically.
+    for cat in [PoiCategory::School, PoiCategory::Hospital] {
+        assert_eq!(
+            incremental.measures(cat).predicted,
+            rebuilt.measures(cat).predicted,
+            "incremental apply diverged from full rebuild for {cat:?}"
+        );
+    }
+    let violations = validate::validate(incremental.city().feed.feed());
+    assert!(violations.is_empty(), "mutated feed must stay valid: {violations:?}");
 }

@@ -6,6 +6,8 @@
 //! victim, and a post-respawn sweep is bit-identical to a single-process
 //! server over the same city.
 
+use staq_repro::gtfs::model::{RouteId, TripId};
+use staq_repro::gtfs::Delta;
 use staq_repro::prelude::*;
 use staq_serve::codec::ErrorCode;
 use staq_serve::presets::CityPreset;
@@ -165,5 +167,98 @@ fn stats_scatter_gathers_and_bus_routes_broadcast() {
     }
     c.stats().expect("connection survives the rejection");
 
+    router.shutdown();
+}
+
+#[test]
+fn delta_broadcasts_carry_fleet_sequence_numbers_and_gate_on_all_acks() {
+    let mut router = start_fleet();
+    let mut c = Client::connect(router.addr()).expect("connect");
+    let sup = router.supervisor();
+
+    // The router is the sequencing authority: whatever seq the client
+    // claims, the fleet log assigns the next one, and OK means every
+    // shard acked it.
+    let d1 = Delta::TripDelay { trip: TripId(0), delay_secs: 240 };
+    let d2 = Delta::TripCancel { trip: TripId(2) };
+    let ack = c.apply_delta(77, &d1).expect("first fleet delta");
+    assert_eq!(ack.seq, 1, "client seq is advisory; the fleet log assigns");
+    let ack = c.apply_delta(0, &d2).expect("second fleet delta");
+    assert_eq!(ack.seq, 2);
+    assert_eq!(sup.edit_seq(), 2);
+    for shard in 0..SHARDS {
+        assert_eq!(sup.edit_acked(shard), 2, "shard {shard} must have acked the whole log");
+    }
+
+    // A rejected delta is unanimous across identical replicas: it is
+    // un-sequenced from the log and the rejection relayed verbatim.
+    match c.apply_delta(0, &Delta::RouteRemove { route: RouteId(9999) }) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::Invalid);
+            assert!(message.contains("unknown route"), "{message}");
+        }
+        other => panic!("expected relayed rejection, got {other:?}"),
+    }
+    assert_eq!(sup.edit_seq(), 2, "a rejected delta must not consume a sequence number");
+
+    // Kill one backend, then edit: the broadcast gates on all acks, so
+    // the reply is Unavailable naming the partial application — but the
+    // delta stays sequenced and the live shards keep it.
+    let victim = 1;
+    sup.kill_backend(victim);
+    let d3 = Delta::RouteRemove { route: RouteId(1) };
+    match c.apply_delta(0, &d3) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::Unavailable);
+            assert!(message.contains("3/4 shards"), "{message}");
+        }
+        other => panic!("expected partial-application error, got {other:?}"),
+    }
+    assert_eq!(sup.edit_seq(), 3, "a partially-applied delta stays in the fleet log");
+    for shard in 0..SHARDS {
+        // The victim acked seqs 1-2 before dying and keeps that credit;
+        // the respawn sync is what resets and replays it.
+        let want = if shard == victim { 2 } else { 3 };
+        assert_eq!(sup.edit_acked(shard), want, "shard {shard} ack after partial broadcast");
+    }
+
+    // The monitor respawns the victim into a fresh city and replays the
+    // fleet log onto it before it serves: convergence without any client
+    // action.
+    wait_until_up(&router, victim);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while sup.edit_acked(victim) < 3 {
+        assert!(Instant::now() < deadline, "respawned shard never synced the fleet log");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Every replica — the three that applied incrementally and the one
+    // that replayed from scratch — now answers bit-identically to a
+    // single-process server fed the same sequenced history.
+    let mut single_server = staq_serve::serve(
+        CityPreset::Test.engine(0.05, SEED),
+        &ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, queue_depth: 256 },
+    )
+    .expect("single server");
+    let mut single = Client::connect(single_server.addr()).expect("connect single");
+    let last = single.delta_batch(1, &[d1, d2, d3]).expect("replay history");
+    assert_eq!(last, 3);
+    for cat in PoiCategory::ALL {
+        assert_eq!(
+            c.measures(cat).expect("sharded measures"),
+            single.measures(cat).expect("single measures"),
+            "{cat:?}: post-failover fleet must match the replayed history"
+        );
+    }
+
+    // An explicitly-sequenced batch the fleet already has is acked
+    // idempotently without growing the log.
+    let replay = c
+        .delta_batch(1, &[Delta::TripDelay { trip: TripId(0), delay_secs: 240 }])
+        .expect("idempotent batch");
+    assert_eq!(replay, 3);
+    assert_eq!(sup.edit_seq(), 3);
+
+    single_server.shutdown();
     router.shutdown();
 }
