@@ -1,0 +1,239 @@
+//! RAPTOR scan-path bench: prices the flattened trip-boarding hot path.
+//!
+//! ```text
+//! raptor-bench [--seed N] [--iters N] [--ods N] [--quick]
+//!              [--emit-json path] [--baseline path]
+//! ```
+//!
+//! Three measurements, one report (`BENCH_raptor.json`):
+//!
+//! 1. **Single-criterion scan.** Replays a warm OD set through
+//!    [`Raptor::new`], reporting the median wall per query and
+//!    `raptor.patterns_scanned` per query — the flattened position-major
+//!    departure layout must hold this flat while making each round's trip
+//!    probe a contiguous-column cursor walk instead of a binary search.
+//! 2. **Pareto frontier.** The same OD set through `query_pareto`,
+//!    reporting median wall per query, mean frontier size, and the
+//!    `raptor.bag_inserts` / `raptor.labels_dominated` counters per query.
+//! 3. **Transfer-capped queries.** `query_max_transfers(1)` over the set:
+//!    the "fastest with ≤1 transfer" wall the serve path pays.
+//!
+//! `--baseline` compares fresh medians against a committed report and
+//! *warns* on regression — it never fails the run (CI stays green; the
+//! numbers are for humans and trend tooling).
+
+use staq_geom::Point;
+use staq_gtfs::time::{DayOfWeek, Stime};
+use staq_obs::snapshot;
+use staq_synth::{City, CityConfig};
+use staq_transit::{Raptor, TransitNetwork};
+use std::time::Instant;
+
+struct Args {
+    seed: u64,
+    iters: usize,
+    ods: usize,
+    quick: bool,
+    emit_json: Option<String>,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { seed: 42, iters: 5, ods: 80, quick: false, emit_json: None, baseline: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => args.seed = parse(&mut it, "--seed"),
+            "--iters" => args.iters = parse(&mut it, "--iters"),
+            "--ods" => args.ods = parse(&mut it, "--ods"),
+            "--quick" => args.quick = true,
+            "--emit-json" => args.emit_json = Some(need(&mut it, "--emit-json")),
+            "--baseline" => args.baseline = Some(need(&mut it, "--baseline")),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if args.iters == 0 {
+        usage("--iters must be at least 1");
+    }
+    if args.ods == 0 {
+        usage("--ods must be at least 1");
+    }
+    args
+}
+
+fn need(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+}
+
+fn parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    need(it, flag).parse().unwrap_or_else(|_| usage(&format!("{flag} needs a valid value")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: raptor-bench [--seed N] [--iters N] [--ods N] [--quick] \
+         [--emit-json path] [--baseline path]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 })
+}
+
+fn counter(name: &str) -> u64 {
+    snapshot().counter(name).unwrap_or(0)
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// Runs `iters` passes of `work` over the OD set; returns the median
+/// per-query wall in microseconds.
+fn run_passes(ods: &[(Point, Point)], iters: usize, mut work: impl FnMut(&Point, &Point)) -> f64 {
+    let mut walls = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        for (o, d) in ods {
+            work(o, d);
+        }
+        walls.push(t.elapsed().as_secs_f64() * 1e6 / ods.len() as f64);
+    }
+    median(&mut walls)
+}
+
+fn main() {
+    let args = parse_args();
+    let iters = if args.quick { 2.min(args.iters) } else { args.iters };
+    let n_ods = if args.quick { args.ods.min(25) } else { args.ods };
+    let city = City::generate(&CityConfig::small(args.seed));
+    let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+    let router = Raptor::new(&net);
+    let ods: Vec<(Point, Point)> = (0..n_ods)
+        .map(|i| {
+            let o = city.zones[(i * 7) % city.n_zones()].centroid;
+            let d = city.zones[(i * 13 + 5) % city.n_zones()].centroid;
+            (o, d)
+        })
+        .collect();
+    let depart = Stime::hms(7, 30, 0);
+    let day = DayOfWeek::Tuesday;
+    println!(
+        "city: {} zones, {} patterns; {} ODs, {} iters (seed {})",
+        city.n_zones(),
+        net.patterns().len(),
+        n_ods,
+        iters,
+        args.seed
+    );
+
+    // Warm-up pass: pays the access/egress cache misses once so the
+    // measured passes reflect the steady serving state.
+    for (o, d) in &ods {
+        router.query(o, d, depart, day);
+        router.query_pareto(o, d, depart, day);
+    }
+
+    let scans_before = counter("raptor.patterns_scanned");
+    let query_us = run_passes(&ods, iters, |o, d| {
+        router.query(o, d, depart, day);
+    });
+    let patterns_per_query =
+        (counter("raptor.patterns_scanned") - scans_before) as f64 / (iters * ods.len()) as f64;
+    println!(
+        "single-criterion: median {query_us:.1} us/query, {patterns_per_query:.1} patterns/query"
+    );
+
+    let inserts_before = counter("raptor.bag_inserts");
+    let dominated_before = counter("raptor.labels_dominated");
+    let mut frontier_points = 0usize;
+    let pareto_us = run_passes(&ods, iters, |o, d| {
+        frontier_points += router.query_pareto(o, d, depart, day).len();
+    });
+    let n_queries = (iters * ods.len()) as f64;
+    let mean_frontier = frontier_points as f64 / n_queries;
+    let inserts_per_query = (counter("raptor.bag_inserts") - inserts_before) as f64 / n_queries;
+    let dominated_per_query =
+        (counter("raptor.labels_dominated") - dominated_before) as f64 / n_queries;
+    println!(
+        "pareto: median {pareto_us:.1} us/query, frontier {mean_frontier:.2}, \
+         {inserts_per_query:.2} bag inserts + {dominated_per_query:.2} dominated/query"
+    );
+
+    let capped_us = run_passes(&ods, iters, |o, d| {
+        router.query_max_transfers(o, d, depart, day, 1);
+    });
+    println!("max 1 transfer: median {capped_us:.1} us/query");
+
+    if let Some(path) = &args.baseline {
+        compare_baseline(path, query_us, pareto_us);
+    }
+
+    if let Some(path) = &args.emit_json {
+        let json = format!(
+            "{{\"bench\":\"raptor-bench\",\"seed\":{},\"iters\":{},\"ods\":{},\
+             \"patterns\":{},\
+             \"query\":{{\"median_wall_us\":{:.3},\"patterns_per_query\":{:.2}}},\
+             \"pareto\":{{\"median_wall_us\":{:.3},\"mean_frontier\":{:.3},\
+             \"bag_inserts_per_query\":{:.3},\"labels_dominated_per_query\":{:.3}}},\
+             \"max_transfers_1\":{{\"median_wall_us\":{:.3}}},\
+             \"metrics\":{}}}",
+            args.seed,
+            iters,
+            n_ods,
+            net.patterns().len(),
+            query_us,
+            patterns_per_query,
+            pareto_us,
+            mean_frontier,
+            inserts_per_query,
+            dominated_per_query,
+            capped_us,
+            snapshot().to_json(),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+}
+
+/// Warn-only regression gate against the committed baseline report.
+/// Timing on shared CI boxes is noisy, so this prints and never exits
+/// non-zero — the committed JSON is the trend record.
+fn compare_baseline(path: &str, query_us: f64, pareto_us: f64) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        println!("baseline: cannot read {path}, skipping comparison");
+        return;
+    };
+    for (section, fresh) in [("query", query_us), ("pareto", pareto_us)] {
+        match json_f64(&text, section, "median_wall_us") {
+            Some(old) if fresh > old * 1.25 => println!(
+                "WARNING: {section} median regressed: {old:.1} us -> {fresh:.1} us (baseline {path})"
+            ),
+            Some(old) => {
+                println!("baseline {section}: {old:.1} us -> {fresh:.1} us (within 25% tolerance)")
+            }
+            None => println!("baseline: no {section}.median_wall_us in {path}"),
+        }
+    }
+    match json_f64(&text, "query", "patterns_per_query") {
+        Some(old) => println!("baseline query.patterns_per_query: {old:.2} (scan-count invariant)"),
+        None => println!("baseline: no query.patterns_per_query in {path}"),
+    }
+}
+
+/// Extracts `"key":<number>` from inside the `"section":{...}` object of a
+/// flat hand-rolled report. Good enough for our own JSON; not a parser.
+fn json_f64(text: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = text.find(&format!("\"{section}\":"))?;
+    let tail = &text[sec..];
+    let k = tail.find(&format!("\"{key}\":"))?;
+    let val = &tail[k + key.len() + 3..];
+    let end = val.find([',', '}'])?;
+    val[..end].trim().parse().ok()
+}

@@ -44,11 +44,12 @@ use crate::pipeline::{ssr_train_infer, PipelineResult, SsrPipeline};
 use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard};
 use staq_access::{AccessQuery, QueryAnswer, ZoneMeasures};
 use staq_geom::{KdTree, Point};
+use staq_gtfs::time::{DayOfWeek, Stime};
 use staq_gtfs::Delta;
 use staq_obs::Counter;
 use staq_synth::{City, Poi, PoiCategory, PoiId, ZoneId};
 use staq_todam::{LabelEngine, ZoneStats};
-use staq_transit::{AccessCost, CostKind, OverlayStats, TransitNetwork};
+use staq_transit::{AccessCost, CostKind, Journey, OverlayStats, Raptor, TransitNetwork};
 use std::collections::HashMap;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -404,6 +405,31 @@ impl AccessEngine {
             out.push(ScenarioOutcome { predicted, labeled_stats, overlay: overlay_stats });
         }
         Ok(out)
+    }
+
+    /// Point-to-point journey planning against the live timetable (the
+    /// state every applied delta has already rewritten). With a transfer
+    /// cap the answer is the single fastest journey using at most
+    /// `max_transfers` transfers; without one it is the whole Pareto
+    /// (arrival, transfers) frontier, transfers ascending.
+    pub fn plan(
+        &self,
+        origin: Point,
+        dest: Point,
+        depart: Stime,
+        day: DayOfWeek,
+        max_transfers: Option<u8>,
+    ) -> Vec<Journey> {
+        let mut span = staq_obs::trace::span("engine.plan");
+        let state = self.state.read();
+        let net = TransitNetwork::with_defaults(&state.city.road, &state.city.feed);
+        let router = Raptor::new(&net);
+        let journeys = match max_transfers {
+            Some(k) => vec![router.query_max_transfers(&origin, &dest, depart, day, k)],
+            None => router.query_pareto(&origin, &dest, depart, day),
+        };
+        span.attr("journeys", journeys.len() as u64);
+        journeys
     }
 }
 

@@ -67,7 +67,22 @@ pub struct DynTimetable {
 }
 
 /// Computes the [`DynTimetable`] for a dynamic route calling at `stops`.
-pub fn dyn_route_timetable(stops: &[Point], headway_s: u32, bus_speed_mps: f64) -> DynTimetable {
+///
+/// Errors on degenerate geometry — fewer than two stops (no hop to run)
+/// or a zero-length hop (two consecutive stops at the same position) —
+/// matching [`crate::FeedIndex::apply_delta`]'s contract of rejecting bad
+/// input with an error instead of emitting a degenerate route.
+pub fn dyn_route_timetable(
+    stops: &[Point],
+    headway_s: u32,
+    bus_speed_mps: f64,
+) -> Result<DynTimetable, String> {
+    if stops.len() < 2 {
+        return Err("a route needs at least two stops".into());
+    }
+    if stops.windows(2).any(|w| w[0].dist(&w[1]) == 0.0) {
+        return Err("route has a zero-length hop (consecutive stops coincide)".into());
+    }
     let runtimes: Vec<u32> = stops
         .windows(2)
         .map(|w| ((w[0].dist(&w[1]) * 1.25 / bus_speed_mps).round() as u32).max(30))
@@ -95,7 +110,7 @@ pub fn dyn_route_timetable(stops: &[Point], headway_s: u32, bus_speed_mps: f64) 
         starts.push(t);
         t += headway_s.max(120);
     }
-    DynTimetable { starts, offsets: [fwd, rev] }
+    Ok(DynTimetable { starts, offsets: [fwd, rev] })
 }
 
 /// What applying a delta touched — the inputs downstream cache invalidation

@@ -295,12 +295,12 @@ impl FeedIndex {
         peak_headway_s: u32,
         bus_speed_mps: f64,
     ) -> Result<Vec<Point>, String> {
-        if stops_at.len() < 2 {
-            return Err("a route needs at least two stops".into());
-        }
         if stops_at.iter().any(|p| !p.is_finite()) {
             return Err("route stops must be finite".into());
         }
+        // Validate geometry (stop count, zero-length hops) before touching
+        // the feed, so a rejected route leaves the index unchanged.
+        let tt = crate::delta::dyn_route_timetable(stops_at, peak_headway_s, bus_speed_mps)?;
         let feed = &mut self.feed;
         let first_new_stop = feed.stops.len();
         let first_new_trip = feed.trips.len();
@@ -339,7 +339,6 @@ impl FeedIndex {
         // what-ifs; a flat headway keeps the experiment interpretable).
         // The schedule convention lives in `dyn_route_timetable` so the
         // what-if overlay produces bit-identical trips.
-        let tt = crate::delta::dyn_route_timetable(stops_at, peak_headway_s, bus_speed_mps);
         for dir in 0..2usize {
             let ordered: Vec<StopId> = if dir == 0 {
                 new_stops.clone()

@@ -13,9 +13,11 @@ use bytes::BytesMut;
 use staq_access::measures::ZoneMeasures;
 use staq_access::{AccessQuery, QueryAnswer};
 use staq_geom::Point;
+use staq_gtfs::time::{DayOfWeek, Stime};
 use staq_gtfs::Delta;
 use staq_obs::OwnedSpan;
 use staq_synth::{PoiCategory, PoiId};
+use staq_transit::Journey;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -180,6 +182,23 @@ impl Client {
         }
     }
 
+    /// Point-to-point journeys against the live timetable: the Pareto
+    /// (arrival, transfers) frontier, or — with `max_transfers` — the
+    /// single fastest journey within that transfer cap.
+    pub fn plan(
+        &mut self,
+        origin: Point,
+        dest: Point,
+        depart: Stime,
+        day: DayOfWeek,
+        max_transfers: Option<u8>,
+    ) -> Result<Vec<Journey>, ClientError> {
+        match self.call(&Request::Plan { origin, dest, depart, day, max_transfers })? {
+            Response::Plan(journeys) => Ok(journeys),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Server counters.
     pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
         match self.call(&Request::Stats)? {
@@ -251,5 +270,6 @@ fn unexpected(resp: Response) -> ClientError {
         Response::ApplyDelta(_) => ClientError::Unexpected("apply_delta ack"),
         Response::DeltaBatch { .. } => ClientError::Unexpected("delta_batch ack"),
         Response::WhatIf(_) => ClientError::Unexpected("what_if answers"),
+        Response::Plan(_) => ClientError::Unexpected("plan journeys"),
     }
 }

@@ -14,8 +14,8 @@
 //! any accepted older version (≥ [`MIN_WIRE_VERSION`]); a peer speaking
 //! anything else gets an error frame and the connection is closed.
 //!
-//! Request kinds are `0x01..=0x09`; response kinds mirror them with the
-//! high bit set (`0x81..=0x89`), and `0xFF` is the error frame — so a
+//! Request kinds are `0x01..=0x0A`; response kinds mirror them with the
+//! high bit set (`0x81..=0x8A`), and `0xFF` is the error frame — so a
 //! response can never be confused for a request even if framing slips.
 //!
 //! ## Versions and trace context
@@ -39,18 +39,22 @@
 //! delta list) against the live engine and answers one [`AccessQuery`]
 //! per scenario, side by side. A server whose delta log is behind a
 //! claimed sequence number answers an [`ErrorCode::SeqGap`] error frame;
-//! the sender recovers by resending from the gap. None of these frames
-//! exist in v2 — [`encode_request_v2`] refuses them.
+//! the sender recovers by resending from the gap. `Plan` (also v3-only)
+//! asks for point-to-point journeys: the full Pareto (arrival, transfers)
+//! frontier, or the single fastest journey within a transfer cap. None of
+//! these frames exist in v2 — [`encode_request_v2`] refuses them.
 
 use bytes::{Buf, BufMut, BytesMut};
 use staq_access::measures::ZoneMeasures;
 use staq_access::{AccessClass, AccessQuery, DemographicWeight, QueryAnswer};
 use staq_geom::Point;
-use staq_gtfs::model::{RouteId, TripId};
+use staq_gtfs::model::{RouteId, StopId, TripId};
+use staq_gtfs::time::{DayOfWeek, Stime};
 use staq_gtfs::Delta;
 use staq_obs::SpanContext;
 use staq_obs::{trace, CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, OwnedSpan};
 use staq_synth::{PoiCategory, ZoneId};
+use staq_transit::{Journey, Leg};
 
 /// Protocol version this build emits. v2 extended the `Stats` response
 /// with a full [`MetricsSnapshot`]; v3 added the request trace context,
@@ -91,6 +95,11 @@ pub enum Request {
     /// Evaluate each counterfactual scenario (a delta list) against the
     /// live engine and answer `query` under each, side by side (v3+).
     WhatIf { category: PoiCategory, scenarios: Vec<Vec<Delta>>, query: AccessQuery },
+    /// Point-to-point journey planning against the live timetable (v3+).
+    /// `max_transfers: None` asks for the whole Pareto (arrival,
+    /// transfers) frontier; `Some(k)` for the single fastest journey
+    /// using at most `k` transfers.
+    Plan { origin: Point, dest: Point, depart: Stime, day: DayOfWeek, max_transfers: Option<u8> },
 }
 
 impl Request {
@@ -106,6 +115,7 @@ impl Request {
             Request::ApplyDelta { .. } => "apply_delta",
             Request::DeltaBatch { .. } => "delta_batch",
             Request::WhatIf { .. } => "what_if",
+            Request::Plan { .. } => "plan",
         }
     }
 }
@@ -181,6 +191,9 @@ pub enum Response {
     },
     /// Per-scenario answers, in request order.
     WhatIf(Vec<WhatIfAnswer>),
+    /// Journeys answering a `Plan` request: the Pareto frontier sorted by
+    /// transfers ascending, or a single journey under a transfer cap.
+    Plan(Vec<Journey>),
     /// Semantic failure; the connection stays usable.
     Error {
         code: ErrorCode,
@@ -251,6 +264,7 @@ const K_TRACE_DUMP: u8 = 0x06;
 const K_APPLY_DELTA: u8 = 0x07;
 const K_DELTA_BATCH: u8 = 0x08;
 const K_WHAT_IF: u8 = 0x09;
+const K_PLAN: u8 = 0x0A;
 const K_R_MEASURES: u8 = 0x81;
 const K_R_QUERY: u8 = 0x82;
 const K_R_ADD_POI: u8 = 0x83;
@@ -260,6 +274,7 @@ const K_R_TRACE_DUMP: u8 = 0x86;
 const K_R_APPLY_DELTA: u8 = 0x87;
 const K_R_DELTA_BATCH: u8 = 0x88;
 const K_R_WHAT_IF: u8 = 0x89;
+const K_R_PLAN: u8 = 0x8A;
 const K_R_ERROR: u8 = 0xFF;
 
 fn category_code(c: PoiCategory) -> u8 {
@@ -617,6 +632,82 @@ fn decode_span(buf: &mut &[u8]) -> Result<OwnedSpan, CodecError> {
     Ok(OwnedSpan { trace, span, parent, name, start_unix_ns, dur_ns, attrs })
 }
 
+/// Wire form of one journey leg: a tag byte then the variant's fields.
+fn encode_leg(buf: &mut BytesMut, leg: &Leg) {
+    match *leg {
+        Leg::Walk { secs, to_stop } => {
+            buf.put_u8(0);
+            buf.put_u32(secs);
+            match to_stop {
+                Some(s) => {
+                    buf.put_u8(1);
+                    buf.put_u32(s.0);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        Leg::Wait { secs, at_stop } => {
+            buf.put_u8(1);
+            buf.put_u32(secs);
+            buf.put_u32(at_stop.0);
+        }
+        Leg::Ride { trip, route, from_stop, to_stop, board, alight } => {
+            buf.put_u8(2);
+            buf.put_u32(trip.0);
+            buf.put_u32(route.0);
+            buf.put_u32(from_stop.0);
+            buf.put_u32(to_stop.0);
+            buf.put_u32(board.0);
+            buf.put_u32(alight.0);
+        }
+    }
+}
+
+fn decode_leg(buf: &mut &[u8]) -> Result<Leg, CodecError> {
+    Ok(match take_u8(buf)? {
+        0 => {
+            let secs = take_u32(buf)?;
+            let to_stop = match take_u8(buf)? {
+                0 => None,
+                1 => Some(StopId(take_u32(buf)?)),
+                _ => return Err(CodecError::BadPayload("bad walk-stop flag")),
+            };
+            Leg::Walk { secs, to_stop }
+        }
+        1 => Leg::Wait { secs: take_u32(buf)?, at_stop: StopId(take_u32(buf)?) },
+        2 => Leg::Ride {
+            trip: TripId(take_u32(buf)?),
+            route: RouteId(take_u32(buf)?),
+            from_stop: StopId(take_u32(buf)?),
+            to_stop: StopId(take_u32(buf)?),
+            board: Stime(take_u32(buf)?),
+            alight: Stime(take_u32(buf)?),
+        },
+        _ => return Err(CodecError::BadPayload("unknown leg tag")),
+    })
+}
+
+/// Wire form of one journey inside a `Plan` response.
+fn encode_journey(buf: &mut BytesMut, j: &Journey) {
+    buf.put_u32(j.depart.0);
+    buf.put_u32(j.arrive.0);
+    buf.put_u16(j.legs.len().min(u16::MAX as usize) as u16);
+    for leg in j.legs.iter().take(u16::MAX as usize) {
+        encode_leg(buf, leg);
+    }
+}
+
+fn decode_journey(buf: &mut &[u8]) -> Result<Journey, CodecError> {
+    let depart = Stime(take_u32(buf)?);
+    let arrive = Stime(take_u32(buf)?);
+    let n = take_u16(buf)? as usize;
+    let mut legs = Vec::with_capacity(capped(n, buf.remaining(), 6));
+    for _ in 0..n {
+        legs.push(decode_leg(buf)?);
+    }
+    Ok(Journey { depart, arrive, legs })
+}
+
 /// Appends one encoded request frame (header included) to `buf`, at
 /// [`WIRE_VERSION`], carrying the calling thread's current span context
 /// — propagation is automatic for any client running inside a span.
@@ -635,6 +726,7 @@ pub fn encode_request_v2(req: &Request, buf: &mut BytesMut) {
                 | Request::ApplyDelta { .. }
                 | Request::DeltaBatch { .. }
                 | Request::WhatIf { .. }
+                | Request::Plan { .. }
         ),
         "{} is a v3 request; v2 cannot encode it",
         req.kind_label()
@@ -723,6 +815,23 @@ fn encode_request_v(req: &Request, version: u8, ctx: SpanContext, buf: &mut Byte
                 }
             }
         }
+        Request::Plan { origin, dest, depart, day, max_transfers } => {
+            buf.put_u8(K_PLAN);
+            put_ctx(buf);
+            buf.put_f64(origin.x);
+            buf.put_f64(origin.y);
+            buf.put_f64(dest.x);
+            buf.put_f64(dest.y);
+            buf.put_u32(depart.0);
+            buf.put_u8(day.index() as u8);
+            match max_transfers {
+                Some(k) => {
+                    buf.put_u8(1);
+                    buf.put_u8(*k);
+                }
+                None => buf.put_u8(0),
+            }
+        }
     }
     end_frame(buf, body_start);
 }
@@ -796,6 +905,13 @@ pub fn encode_response_to(resp: &Response, version: u8, buf: &mut BytesMut) {
             for a in answers.iter().take(u16::MAX as usize) {
                 encode_answer(buf, &a.answer);
                 buf.put_u64(a.overlay_bytes);
+            }
+        }
+        Response::Plan(journeys) => {
+            buf.put_u8(K_R_PLAN);
+            buf.put_u16(journeys.len().min(u16::MAX as usize) as u16);
+            for j in journeys.iter().take(u16::MAX as usize) {
+                encode_journey(buf, j);
             }
         }
         Response::Error { code, message } => {
@@ -924,6 +1040,20 @@ pub fn decode_request_full(buf: &mut BytesMut) -> Result<Option<DecodedRequest>,
             }
             Request::WhatIf { category, scenarios, query }
         }
+        K_PLAN => {
+            let origin = Point::new(take_f64(&mut p)?, take_f64(&mut p)?);
+            let dest = Point::new(take_f64(&mut p)?, take_f64(&mut p)?);
+            let depart = Stime(take_u32(&mut p)?);
+            let day = *DayOfWeek::ALL
+                .get(take_u8(&mut p)? as usize)
+                .ok_or(CodecError::BadPayload("unknown day of week"))?;
+            let max_transfers = match take_u8(&mut p)? {
+                0 => None,
+                1 => Some(take_u8(&mut p)?),
+                _ => return Err(CodecError::BadPayload("bad max-transfers flag")),
+            };
+            Request::Plan { origin, dest, depart, day, max_transfers }
+        }
         other => return Err(CodecError::BadKind(other)),
     };
     if p.remaining() != 0 {
@@ -993,6 +1123,14 @@ pub fn decode_response(buf: &mut BytesMut) -> Result<Option<Response>, CodecErro
                 answers.push(WhatIfAnswer { answer, overlay_bytes });
             }
             Response::WhatIf(answers)
+        }
+        K_R_PLAN => {
+            let n = take_u16(&mut p)? as usize;
+            let mut journeys = Vec::with_capacity(capped(n, p.remaining(), 10));
+            for _ in 0..n {
+                journeys.push(decode_journey(&mut p)?);
+            }
+            Response::Plan(journeys)
         }
         K_R_ERROR => {
             let code = ErrorCode::from_u8(take_u8(&mut p)?)
@@ -1290,6 +1428,77 @@ mod tests {
         for r in &resps {
             assert_eq!(&roundtrip_response(r), r);
         }
+    }
+
+    fn sample_journey() -> Journey {
+        Journey {
+            depart: Stime(27000),
+            arrive: Stime(29512),
+            legs: vec![
+                Leg::Walk { secs: 120, to_stop: Some(StopId(4)) },
+                Leg::Wait { secs: 80, at_stop: StopId(4) },
+                Leg::Ride {
+                    trip: TripId(9),
+                    route: RouteId(2),
+                    from_stop: StopId(4),
+                    to_stop: StopId(11),
+                    board: Stime(27200),
+                    alight: Stime(29400),
+                },
+                Leg::Walk { secs: 112, to_stop: None },
+            ],
+        }
+    }
+
+    #[test]
+    fn plan_request_kinds_roundtrip() {
+        let reqs = [
+            Request::Plan {
+                origin: Point::new(100.0, 250.5),
+                dest: Point::new(-3.0, 9000.0),
+                depart: Stime(7 * 3600 + 1800),
+                day: DayOfWeek::Tuesday,
+                max_transfers: Some(1),
+            },
+            Request::Plan {
+                origin: Point::new(0.0, 0.0),
+                dest: Point::new(1.0, 1.0),
+                depart: Stime(0),
+                day: DayOfWeek::Sunday,
+                max_transfers: None,
+            },
+        ];
+        for r in &reqs {
+            assert_eq!(&roundtrip_request(r), r);
+        }
+    }
+
+    #[test]
+    fn plan_response_kinds_roundtrip() {
+        let resps = [
+            Response::Plan(vec![]),
+            Response::Plan(vec![Journey::walk_only(Stime(100), 340)]),
+            Response::Plan(vec![sample_journey(), Journey::walk_only(Stime(27000), 3000)]),
+        ];
+        for r in &resps {
+            assert_eq!(&roundtrip_response(r), r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "v3 request")]
+    fn v2_cannot_encode_plan() {
+        let mut buf = BytesMut::new();
+        encode_request_v2(
+            &Request::Plan {
+                origin: Point::new(0.0, 0.0),
+                dest: Point::new(1.0, 1.0),
+                depart: Stime(0),
+                day: DayOfWeek::Monday,
+                max_transfers: None,
+            },
+            &mut buf,
+        );
     }
 
     /// Truncating a delta frame mid-payload must be a payload error (or a

@@ -36,6 +36,7 @@ static H_TRACE_DUMP: AtomicHistogram = AtomicHistogram::new("serve.request.trace
 static H_APPLY_DELTA: AtomicHistogram = AtomicHistogram::new("serve.request.apply_delta");
 static H_DELTA_BATCH: AtomicHistogram = AtomicHistogram::new("serve.request.delta_batch");
 static H_WHAT_IF: AtomicHistogram = AtomicHistogram::new("serve.request.what_if");
+static H_PLAN: AtomicHistogram = AtomicHistogram::new("serve.request.plan");
 
 /// The latency histogram for one request kind; names follow
 /// [`Request::kind_label`] under the `serve.request.` prefix.
@@ -50,6 +51,7 @@ fn kind_histogram(request: &Request) -> &'static AtomicHistogram {
         Request::ApplyDelta { .. } => &H_APPLY_DELTA,
         Request::DeltaBatch { .. } => &H_DELTA_BATCH,
         Request::WhatIf { .. } => &H_WHAT_IF,
+        Request::Plan { .. } => &H_PLAN,
     }
 }
 
@@ -268,6 +270,19 @@ fn execute_inner(
             }
             Response::TraceDump(trace::dump(*min_dur_ns))
         }
+        Request::Plan { origin, dest, depart, day, max_transfers } => {
+            if !origin.x.is_finite()
+                || !origin.y.is_finite()
+                || !dest.x.is_finite()
+                || !dest.y.is_finite()
+            {
+                return Response::Error {
+                    code: ErrorCode::Invalid,
+                    message: "plan endpoints must be finite".into(),
+                };
+            }
+            Response::Plan(engine.plan(*origin, *dest, *depart, *day, *max_transfers))
+        }
     }
 }
 
@@ -296,6 +311,54 @@ mod tests {
         let (reply_tx, reply_rx) = bounded(1);
         pool.sender().send(Job::new(request, reply_tx)).unwrap();
         reply_rx.recv().unwrap()
+    }
+
+    /// "Fastest with ≤1 transfer" end-to-end: a `Plan` frame through the
+    /// pool answers with the Pareto frontier, and the capped variant
+    /// returns exactly the frontier's best ≤1-transfer point.
+    #[test]
+    fn plan_answers_pareto_and_capped_queries() {
+        let pool = WorkerPool::spawn(engine(), 2, 8);
+        let city = City::generate(&CityConfig::small(42));
+        let o = city.zones[3].centroid;
+        let d = city.zones[city.zones.len() - 4].centroid;
+        let depart = staq_gtfs::time::Stime::hms(7, 30, 0);
+        let day = staq_gtfs::time::DayOfWeek::Tuesday;
+        let plan = |max_transfers| Request::Plan { origin: o, dest: d, depart, day, max_transfers };
+        let frontier = match roundtrip(&pool, plan(None)) {
+            Response::Plan(js) => js,
+            other => panic!("{other:?}"),
+        };
+        assert!(!frontier.is_empty(), "frontier always has the walk fallback");
+        for w in frontier.windows(2) {
+            assert!(w[0].n_transfers() < w[1].n_transfers());
+            assert!(w[0].arrive > w[1].arrive);
+        }
+        let capped = match roundtrip(&pool, plan(Some(1))) {
+            Response::Plan(js) => js,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(capped.len(), 1);
+        assert!(capped[0].n_transfers() <= 1);
+        let want = frontier
+            .iter()
+            .filter(|j| j.n_transfers() <= 1)
+            .map(|j| j.arrive)
+            .min()
+            .expect("walk fallback has zero transfers");
+        assert_eq!(capped[0].arrive, want);
+
+        let bad = Request::Plan {
+            origin: staq_geom::Point::new(f64::NAN, 0.0),
+            dest: d,
+            depart,
+            day,
+            max_transfers: None,
+        };
+        match roundtrip(&pool, bad) {
+            Response::Error { code: ErrorCode::Invalid, .. } => {}
+            other => panic!("NaN origin must be rejected, got {other:?}"),
+        }
     }
 
     #[test]

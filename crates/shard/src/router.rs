@@ -25,7 +25,7 @@
 //! round-trips, and backend-side concurrency is bounded by the per-shard
 //! pools rather than a worker pool here.
 
-use crate::hash::shard_for;
+use crate::hash::{shard_for, shard_for_key};
 use crate::metrics;
 use crate::supervisor::ShardSupervisor;
 use bytes::BytesMut;
@@ -235,6 +235,19 @@ pub fn dispatch(sup: &ShardSupervisor, request: Request) -> Response {
         Request::Stats => gather_stats(sup),
         Request::TraceDump { min_dur_ns, set_capture_ns } => {
             gather_traces(sup, *min_dur_ns, *set_capture_ns)
+        }
+        // Journey planning has no category: every shard serves the same
+        // replicated timetable, so spread queries by a rendezvous hash of
+        // the OD pair (a repeated query sticks to one shard's warm caches).
+        Request::Plan { origin, dest, .. } => {
+            let key = origin.x.to_bits()
+                ^ origin.y.to_bits().rotate_left(16)
+                ^ dest.x.to_bits().rotate_left(32)
+                ^ dest.y.to_bits().rotate_left(48);
+            let shard = shard_for_key(key, sup.n_shards());
+            let mut span = trace::span("shard.route");
+            span.attr("shard", shard as u64);
+            sup.call(shard, &request)
         }
     }
 }

@@ -16,6 +16,10 @@
 //!
 //! * [`raptor`] — round-based RAPTOR over trip patterns: exact earliest
 //!   arrival with a bounded number of transfers. The production labeler.
+//!   Also answers multi-criteria queries: [`raptor::Raptor::query_pareto`]
+//!   returns the (arrival, transfers) frontier via [`pareto`]'s `Bag`, and
+//!   [`raptor::Raptor::query_max_transfers`] the fastest ≤K-transfer
+//!   journey.
 //! * [`mmdijkstra`] — a time-dependent multimodal Dijkstra baseline used for
 //!   cross-validation tests and the router ablation benchmark.
 //!
@@ -27,10 +31,12 @@ pub mod fare;
 pub mod journey;
 pub mod mmdijkstra;
 pub mod network;
+pub mod pareto;
 pub mod raptor;
 
 pub use cost::{AccessCost, CostKind, GacWeights};
 pub use fare::FareModel;
 pub use journey::{Journey, Leg};
 pub use network::{AccessCache, OverlayStats, RouterConfig, TransitNetwork};
+pub use pareto::{Bag, ParetoLabel};
 pub use raptor::Raptor;

@@ -66,16 +66,30 @@ impl Default for RouterConfig {
 /// Patterns are fully self-contained (per-trip service days live here, not
 /// in the feed) so overlay patterns carrying synthetic scenario trips need
 /// no feed record behind them.
+///
+/// Timetable layout: arrivals are **trip-major** (`arrivals[t * n_stops +
+/// i]` — reconstruction walks positions of one fixed trip), departures are
+/// **position-major** (`departures[i * n_trips + t]` — the scan probes one
+/// fixed position across trips, so each position's departure column is one
+/// contiguous, sorted slice). Sortedness of every departure column is the
+/// boarding invariant: `build_patterns` guarantees it by splitting trips
+/// into non-overtaking chains, and `check_no_overtaking` re-verifies both
+/// matrices.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Pattern {
     pub route: RouteId,
     /// Ordered stops of the pattern.
     pub stops: Vec<StopId>,
-    /// Trips sorted by departure time at the first stop.
+    /// Trips sorted by departure time at the first stop. Because trips of
+    /// one pattern form a dominance chain (no overtaking in arrivals *or*
+    /// departures), this order is simultaneously the sorted order of every
+    /// per-position departure column — the trip-index permutation of the
+    /// flattened layout is the identity.
     pub trips: Vec<TripId>,
-    /// Flattened `trips.len() x stops.len()` arrival matrix.
+    /// Flattened `trips.len() x stops.len()` arrival matrix, trip-major.
     arrivals: Vec<Stime>,
-    /// Flattened departures, same layout.
+    /// Flattened `stops.len() x trips.len()` departure matrix,
+    /// position-major: `departures[i * n_trips + t]`.
     departures: Vec<Stime>,
     /// Per-trip service-day bitmask (bit `DayOfWeek::index()`), parallel to
     /// `trips`.
@@ -87,6 +101,31 @@ pub struct Pattern {
 }
 
 impl Pattern {
+    /// Builds a pattern from **trip-major** arrival/departure rows (one row
+    /// of `stops.len()` calls per trip, in trip order) — the natural order
+    /// every producer emits — transposing departures into the
+    /// position-major scan layout.
+    fn from_trip_major(
+        route: RouteId,
+        stops: Vec<StopId>,
+        trips: Vec<TripId>,
+        arrivals: Vec<Stime>,
+        departures_tm: Vec<Stime>,
+        trip_days: Vec<u8>,
+    ) -> Pattern {
+        let (ns, nt) = (stops.len(), trips.len());
+        debug_assert_eq!(arrivals.len(), ns * nt);
+        debug_assert_eq!(departures_tm.len(), ns * nt);
+        let mut departures = vec![Stime(0); departures_tm.len()];
+        for t in 0..nt {
+            for i in 0..ns {
+                departures[i * nt + t] = departures_tm[t * ns + i];
+            }
+        }
+        let service_days = trip_days.iter().fold(0u8, |a, &b| a | b);
+        Pattern { route, stops, trips, arrivals, departures, trip_days, service_days }
+    }
+
     /// Arrival of trip index `t` (within this pattern) at stop position `i`.
     #[inline]
     pub fn arrival(&self, t: usize, i: usize) -> Stime {
@@ -96,28 +135,35 @@ impl Pattern {
     /// Departure of trip index `t` at stop position `i`.
     #[inline]
     pub fn departure(&self, t: usize, i: usize) -> Stime {
-        self.departures[t * self.stops.len() + i]
+        self.departures[i * self.trips.len() + t]
+    }
+
+    /// The contiguous departure column of stop position `i`: one `Stime`
+    /// per trip, sorted non-decreasing (the flattened-layout invariant).
+    /// The round scan walks a cursor over this slice instead of
+    /// re-running a binary search per position.
+    #[inline]
+    pub fn departures_at(&self, i: usize) -> &[Stime] {
+        let n = self.trips.len();
+        &self.departures[i * n..(i + 1) * n]
+    }
+
+    /// True when trip index `k` of this pattern runs on `day`.
+    #[inline]
+    pub fn trip_runs_on(&self, k: usize, day: DayOfWeek) -> bool {
+        self.trip_days[k] & (1u8 << day.index()) != 0
     }
 
     /// Index (within this pattern) of the earliest trip departing stop
     /// position `i` at or after `t` and running on `day`.
     pub fn earliest_trip(&self, i: usize, t: Stime, day: DayOfWeek) -> Option<usize> {
-        // Trips are sorted by first-stop departure and never overtake within
-        // a pattern (enforced in `check_no_overtaking` during build), so the
-        // departures at any fixed position are sorted too: binary search.
-        let n = self.trips.len();
-        let mut lo = 0usize;
-        let mut hi = n;
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            if self.departure(mid, i) < t {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
+        // Each position's departure column is contiguous and sorted (trips
+        // form a dominance chain in *departures*, not just arrivals — the
+        // sort key the search actually probes): binary search it.
+        let col = self.departures_at(i);
+        let lo = col.partition_point(|&d| d < t);
         let day_bit = 1u8 << day.index();
-        (lo..n).find(|&k| self.trip_days[k] & day_bit != 0)
+        (lo..col.len()).find(|&k| self.trip_days[k] & day_bit != 0)
     }
 
     /// True when at least one of this pattern's trips runs on `day`.
@@ -210,15 +256,29 @@ impl std::fmt::Debug for TransitNetwork<'_> {
 }
 
 impl<'a> TransitNetwork<'a> {
-    /// Prepares the network. Panics if a pattern's trips overtake each other
-    /// (violates RAPTOR's scan invariant; cannot happen with feeds from
-    /// `staq-synth`, and real feeds that overtake would need pattern
-    /// splitting — out of scope and loudly rejected rather than silently
-    /// mis-routed).
+    /// Prepares the network. Panics on genuinely malformed feeds (a trip
+    /// whose own call times run backwards); prefer [`try_new`](Self::try_new)
+    /// on serving paths where the feed has been through live mutation.
+    ///
+    /// Inter-trip overtaking (e.g. a delayed trip passing its successor) is
+    /// *not* an error: `build_patterns` splits such trips into separate
+    /// non-overtaking patterns, exactly like the overlay delay path does.
     pub fn new(road: &'a RoadGraph, feed: &'a FeedIndex, cfg: RouterConfig) -> Self {
-        let patterns = build_patterns(feed);
+        Self::try_new(road, feed, cfg).expect("malformed feed")
+    }
+
+    /// Fallible [`new`](Self::new): errors (instead of panicking a serving
+    /// backend) when the feed is genuinely malformed — a trip with
+    /// non-monotonic call times, which no amount of pattern splitting can
+    /// make scannable.
+    pub fn try_new(
+        road: &'a RoadGraph,
+        feed: &'a FeedIndex,
+        cfg: RouterConfig,
+    ) -> Result<Self, String> {
+        let patterns = build_patterns(feed)?;
         for p in &patterns {
-            check_no_overtaking(p);
+            check_no_overtaking(p)?;
         }
         let n_stops = feed.n_stops();
         let mut patterns_at_stop: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_stops];
@@ -252,7 +312,7 @@ impl<'a> TransitNetwork<'a> {
             }
         }
 
-        TransitNetwork {
+        Ok(TransitNetwork {
             road,
             feed,
             cfg,
@@ -265,7 +325,7 @@ impl<'a> TransitNetwork<'a> {
                 snapper,
             }),
             ext: None,
-        }
+        })
     }
 
     /// With default configuration.
@@ -525,18 +585,14 @@ impl<'a> TransitNetwork<'a> {
             find_trip(patterns, trip).ok_or_else(|| format!("trip #{} makes no calls", trip.0))?;
         let p = Arc::clone(&patterns[pi]);
         let ns = p.stops.len();
-        let delayed = Pattern {
-            route: p.route,
-            stops: p.stops.clone(),
-            trips: vec![trip],
-            arrivals: p.arrivals[k * ns..(k + 1) * ns].iter().map(|t| t.plus(delay_secs)).collect(),
-            departures: p.departures[k * ns..(k + 1) * ns]
-                .iter()
-                .map(|t| t.plus(delay_secs))
-                .collect(),
-            trip_days: vec![p.trip_days[k]],
-            service_days: p.trip_days[k],
-        };
+        let delayed = Pattern::from_trip_major(
+            p.route,
+            p.stops.clone(),
+            vec![trip],
+            p.arrivals[k * ns..(k + 1) * ns].iter().map(|t| t.plus(delay_secs)).collect(),
+            (0..ns).map(|i| p.departure(k, i).plus(delay_secs)).collect(),
+            vec![p.trip_days[k]],
+        );
         patterns[pi] = Arc::new(without_trip(&p, k));
         let pi_new = patterns.len() as u32;
         patterns.push(Arc::new(delayed));
@@ -558,13 +614,10 @@ impl<'a> TransitNetwork<'a> {
         headway_s: u32,
         bus_speed_mps: f64,
     ) -> Result<(), String> {
-        if stops.len() < 2 {
-            return Err("a route needs at least two stops".into());
-        }
         if stops.iter().any(|p| !p.is_finite()) {
             return Err("route stops must be finite".into());
         }
-        let tt = staq_gtfs::delta::dyn_route_timetable(stops, headway_s, bus_speed_mps);
+        let tt = staq_gtfs::delta::dyn_route_timetable(stops, headway_s, bus_speed_mps)?;
         let route = RouteId(ext.next_route);
         ext.next_route += 1;
 
@@ -600,15 +653,14 @@ impl<'a> TransitNetwork<'a> {
             }
             let trip_days = vec![WEEKDAY_MASK; trips.len()];
             let pi = patterns.len() as u32;
-            patterns.push(Arc::new(Pattern {
+            patterns.push(Arc::new(Pattern::from_trip_major(
                 route,
-                stops: ordered.clone(),
+                ordered.clone(),
                 trips,
                 arrivals,
                 departures,
                 trip_days,
-                service_days: WEEKDAY_MASK,
-            }));
+            )));
             for (pos, &s) in ordered.iter().enumerate() {
                 pattern_row(&self.topo, ext, s).push((pi, pos as u32));
             }
@@ -660,12 +712,21 @@ fn find_trip(patterns: &[Arc<Pattern>], trip: TripId) -> Option<(usize, usize)> 
 /// sequence; with no service days it is skipped before ever being scanned).
 fn without_trip(p: &Pattern, k: usize) -> Pattern {
     let ns = p.stops.len();
+    let nt = p.trips.len();
     let mut trips = p.trips.clone();
     trips.remove(k);
     let mut arrivals = p.arrivals.clone();
     arrivals.drain(k * ns..(k + 1) * ns);
-    let mut departures = p.departures.clone();
-    departures.drain(k * ns..(k + 1) * ns);
+    // Departures are position-major: drop trip `k`'s element from every
+    // position column.
+    let mut departures = Vec::with_capacity((nt - 1) * ns);
+    for i in 0..ns {
+        for t in 0..nt {
+            if t != k {
+                departures.push(p.departure(t, i));
+            }
+        }
+    }
     let mut trip_days = p.trip_days.clone();
     trip_days.remove(k);
     let service_days = trip_days.iter().fold(0u8, |a, &b| a | b);
@@ -855,13 +916,34 @@ impl std::fmt::Display for NetworkStats {
     }
 }
 
-/// Groups trips into patterns by (route, exact stop sequence).
-fn build_patterns(feed: &FeedIndex) -> Vec<Pattern> {
+/// Groups trips into patterns by (route, exact stop sequence), then splits
+/// each group into **non-overtaking chains**: trips sorted by first-stop
+/// departure are assigned first-fit to the first chain whose last trip they
+/// dominate pointwise (arrival *and* departure no earlier at every
+/// position), opening a new chain otherwise. On a feed with no overtaking
+/// — every schedule `staq-synth` generates — each group stays one chain and
+/// the output is identical to the unsplit grouping; a delayed trip that
+/// passes its successor lands in its own chain instead of corrupting the
+/// sorted departure columns the boarding search depends on.
+///
+/// Errors only on genuinely malformed input: a trip whose own call times
+/// run backwards (departure before arrival, or time travel between
+/// consecutive stops).
+fn build_patterns(feed: &FeedIndex) -> Result<Vec<Pattern>, String> {
     let mut keyed: HashMap<(RouteId, Vec<StopId>), Vec<TripId>> = HashMap::new();
     for trip in &feed.feed().trips {
         let calls = feed.trip_calls(trip.id);
         if calls.len() < 2 {
             continue;
+        }
+        for (i, c) in calls.iter().enumerate() {
+            let ok = c.departure >= c.arrival && (i == 0 || c.arrival >= calls[i - 1].departure);
+            if !ok {
+                return Err(format!(
+                    "trip #{} has non-monotonic call times at stop position {i}",
+                    trip.id.0
+                ));
+            }
         }
         let stops: Vec<StopId> = calls.iter().map(|c| c.stop).collect();
         keyed.entry((trip.route, stops)).or_default().push(trip.id);
@@ -871,56 +953,78 @@ fn build_patterns(feed: &FeedIndex) -> Vec<Pattern> {
     let mut patterns = Vec::with_capacity(keys.len());
     for key in keys {
         let mut trips = keyed.remove(&key).unwrap();
+        // Stable sort: ties keep feed (trip-id) order, deterministically.
         trips.sort_by_key(|&t| feed.trip_calls(t)[0].departure);
         let (route, stops) = key;
-        let mut arrivals = Vec::with_capacity(trips.len() * stops.len());
-        let mut departures = Vec::with_capacity(trips.len() * stops.len());
-        let mut trip_days = Vec::with_capacity(trips.len());
-        let mut service_days = 0u8;
+        let mut chains: Vec<Vec<TripId>> = Vec::new();
         for &t in &trips {
-            for c in feed.trip_calls(t) {
-                arrivals.push(c.arrival);
-                departures.push(c.departure);
+            let calls = feed.trip_calls(t);
+            let slot = chains.iter().position(|chain| {
+                let last = feed.trip_calls(*chain.last().unwrap());
+                last.iter()
+                    .zip(calls)
+                    .all(|(a, b)| b.arrival >= a.arrival && b.departure >= a.departure)
+            });
+            match slot {
+                Some(ci) => chains[ci].push(t),
+                None => chains.push(vec![t]),
             }
-            let mut days = 0u8;
-            for day in DayOfWeek::ALL {
-                if feed.trip_runs_on(t, day) {
-                    days |= 1u8 << day.index();
-                }
-            }
-            trip_days.push(days);
-            service_days |= days;
         }
-        patterns.push(Pattern {
-            route,
-            stops,
-            trips,
-            arrivals,
-            departures,
-            trip_days,
-            service_days,
-        });
+        for chain in chains {
+            let mut arrivals = Vec::with_capacity(chain.len() * stops.len());
+            let mut departures = Vec::with_capacity(chain.len() * stops.len());
+            let mut trip_days = Vec::with_capacity(chain.len());
+            for &t in &chain {
+                for c in feed.trip_calls(t) {
+                    arrivals.push(c.arrival);
+                    departures.push(c.departure);
+                }
+                let mut days = 0u8;
+                for day in DayOfWeek::ALL {
+                    if feed.trip_runs_on(t, day) {
+                        days |= 1u8 << day.index();
+                    }
+                }
+                trip_days.push(days);
+            }
+            patterns.push(Pattern::from_trip_major(
+                route,
+                stops.clone(),
+                chain,
+                arrivals,
+                departures,
+                trip_days,
+            ));
+        }
     }
-    patterns
+    Ok(patterns)
 }
 
-/// Panics when a later-departing trip arrives earlier at any stop.
-fn check_no_overtaking(p: &Pattern) {
+/// Errors when a later trip overtakes an earlier one at any stop position,
+/// in arrivals **or** departures — the departure columns are what
+/// `earliest_trip` binary-searches, so their sortedness is the invariant
+/// that actually matters. A post-condition of `build_patterns`' chain
+/// splitting; kept as an independent check so a future construction path
+/// cannot silently regress it.
+fn check_no_overtaking(p: &Pattern) -> Result<(), String> {
     let ns = p.stops.len();
     for t in 1..p.trips.len() {
         for i in 0..ns {
-            assert!(
-                p.arrival(t, i) >= p.arrival(t - 1, i),
-                "pattern on route {:?} has overtaking trips at stop position {i}",
-                p.route
-            );
+            if p.arrival(t, i) < p.arrival(t - 1, i) || p.departure(t, i) < p.departure(t - 1, i) {
+                return Err(format!(
+                    "pattern on route {:?} has overtaking trips at stop position {i}",
+                    p.route
+                ));
+            }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use staq_synth::{City, CityConfig};
 
     fn city() -> City {
@@ -964,6 +1068,123 @@ mod tests {
                         p.departure(k, i) >= probe && city.feed.trip_runs_on(p.trips[k], day)
                     });
                     assert_eq!(got, want);
+                }
+            }
+        }
+    }
+
+    /// A feed whose trips have per-trip start times, per-hop run times, and
+    /// per-stop dwells — deliberately non-uniform so departure columns are
+    /// not simple shifts of each other. Trips alternate between a weekday
+    /// service and a Saturday-only one to exercise the day filter.
+    fn irregular_feed(
+        starts: &[u32],
+        hops: &[Vec<u32>],
+        dwells: &[Vec<u32>],
+    ) -> staq_gtfs::model::Feed {
+        use staq_gtfs::model::*;
+        let n_stops = hops[0].len() + 1;
+        let stops = (0..n_stops)
+            .map(|k| Stop {
+                id: StopId(k as u32),
+                gtfs_id: format!("S{k}"),
+                name: format!("Stop {k}"),
+                pos: staq_geom::Point { x: 500.0 * k as f64, y: 0.0 },
+            })
+            .collect();
+        let services = vec![
+            Service {
+                id: ServiceId(0),
+                gtfs_id: "WK".into(),
+                days: [true, true, true, true, true, false, false],
+            },
+            Service {
+                id: ServiceId(1),
+                gtfs_id: "SAT".into(),
+                days: [false, false, false, false, false, true, false],
+            },
+        ];
+        let mut stop_times = Vec::new();
+        for (t, &start) in starts.iter().enumerate() {
+            let mut arr = start;
+            for seq in 0..n_stops {
+                if seq > 0 {
+                    arr += hops[t][seq - 1];
+                }
+                let dep = if seq + 1 < n_stops { arr + dwells[t][seq] } else { arr };
+                stop_times.push(StopTime {
+                    trip: TripId(t as u32),
+                    stop: StopId(seq as u32),
+                    arrival: Stime(arr),
+                    departure: Stime(dep),
+                    seq: seq as u32,
+                });
+                arr = dep;
+            }
+        }
+        Feed {
+            agencies: vec![Agency { id: AgencyId(0), gtfs_id: "A".into(), name: "T".into() }],
+            stops,
+            routes: vec![Route {
+                id: RouteId(0),
+                gtfs_id: "R0".into(),
+                agency: AgencyId(0),
+                short_name: "P".into(),
+                route_type: RouteType::Bus,
+            }],
+            services,
+            trips: (0..starts.len() as u32)
+                .map(|t| Trip {
+                    id: TripId(t),
+                    gtfs_id: format!("T{t}"),
+                    route: RouteId(0),
+                    service: ServiceId(t % 2),
+                })
+                .collect(),
+            stop_times,
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(96))]
+
+        /// On feeds with non-uniform dwells and run times — including ones
+        /// that force dominance-chain splits — every built pattern is
+        /// overtaking-free, no trip is lost, and the cursor-friendly
+        /// `earliest_trip` agrees with a brute-force linear scan at every
+        /// stop position for arbitrary probe times on both service days.
+        #[test]
+        fn built_patterns_are_sorted_and_earliest_trip_matches_linear_scan(
+            nt in 1usize..6,
+            ns in 2usize..6,
+            starts in proptest::collection::vec(6 * 3600u32..10 * 3600, 5),
+            all_hops in proptest::collection::vec(
+                proptest::collection::vec(60u32..1200, 4), 5),
+            all_dwells in proptest::collection::vec(
+                proptest::collection::vec(0u32..180, 5), 5),
+            probes in proptest::collection::vec(5 * 3600u32..12 * 3600, 4),
+        ) {
+            let starts = &starts[..nt];
+            let hops: Vec<Vec<u32>> =
+                all_hops[..nt].iter().map(|h| h[..ns - 1].to_vec()).collect();
+            let dwells: Vec<Vec<u32>> =
+                all_dwells[..nt].iter().map(|d| d[..ns].to_vec()).collect();
+            let ix = FeedIndex::build(irregular_feed(starts, &hops, &dwells));
+            let patterns = build_patterns(&ix).expect("monotone trips must build");
+            let total: usize = patterns.iter().map(|p| p.trips.len()).sum();
+            prop_assert_eq!(total, starts.len(), "splitting must not lose trips");
+            for p in &patterns {
+                check_no_overtaking(p).expect("built patterns are overtaking-free");
+                for day in [DayOfWeek::Tuesday, DayOfWeek::Saturday] {
+                    for i in 0..p.stops.len() {
+                        for &probe in &probes {
+                            let got = p.earliest_trip(i, Stime(probe), day);
+                            let want = (0..p.trips.len()).find(|&k| {
+                                p.departure(k, i) >= Stime(probe) && p.trip_runs_on(k, day)
+                            });
+                            prop_assert_eq!(got, want, "i={} probe={} day={:?}", i, probe, day);
+                        }
+                    }
                 }
             }
         }

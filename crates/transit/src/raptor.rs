@@ -45,6 +45,7 @@
 
 use crate::journey::{Journey, Leg};
 use crate::network::{AccessCache, TransitNetwork};
+use crate::pareto::{Bag, ParetoLabel};
 use staq_geom::Point;
 use staq_gtfs::model::StopId;
 use staq_gtfs::time::{DayOfWeek, Stime};
@@ -72,6 +73,18 @@ static ROUNDS_CUT: Counter = Counter::new("raptor.rounds_cut");
 /// Pattern-enqueue attempts skipped because the pattern runs no trip at
 /// all on the query day — `earliest_trip` could never board it.
 static PATTERNS_DAY_SKIPPED: Counter = Counter::new("raptor.patterns_day_skipped");
+
+/// The best completed journey as of the end of one round — the raw
+/// material of a Pareto frontier over (arrival, transfers): round `k`'s
+/// best total is the earliest arrival achievable with at most `k`
+/// boardings.
+#[derive(Debug, Clone, Copy)]
+struct RoundBest {
+    round: usize,
+    total: u32,
+    stop: StopId,
+    egress_walk: u32,
+}
 
 /// How a stop's arrival time was achieved in a given round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -192,6 +205,17 @@ impl<'n, 'a> Raptor<'n, 'a> {
     /// `depart` on `day`. Always returns a journey: the walk-only fallback
     /// guarantees finiteness even across a severed network.
     pub fn query(&self, origin: &Point, dest: &Point, depart: Stime, day: DayOfWeek) -> Journey {
+        self.query_inner(origin, dest, depart, day, None)
+    }
+
+    fn query_inner(
+        &self,
+        origin: &Point,
+        dest: &Point,
+        depart: Stime,
+        day: DayOfWeek,
+        mut round_best: Option<&mut Vec<RoundBest>>,
+    ) -> Journey {
         // Deferred span: only sample the clock when a trace is live, so
         // the untraced hot path stays a thread-local read.
         let t_span = staq_obs::trace::is_active().then(std::time::Instant::now);
@@ -290,6 +314,9 @@ impl<'n, 'a> Raptor<'n, 'a> {
                     bound = bound.min(t.saturating_add(egress_walk[idx]));
                 }
             }
+        }
+        if let Some(rb) = round_best.as_deref_mut() {
+            record_round_best(rb, 0, cache.slice(egress), tau_star);
         }
 
         // Last round whose labels row is valid; reconstruction starts here.
@@ -399,14 +426,39 @@ impl<'n, 'a> Raptor<'n, 'a> {
                     // round's arrival at this stop.
                     let ready = tau_prev[idx];
                     if ready < INF {
-                        let catchable = pattern.earliest_trip(i, Stime(ready), day);
-                        if let Some(t2) = catchable {
-                            let earlier = match active {
-                                None => true,
-                                Some((t, _)) => t2 < t,
-                            };
-                            if earlier {
-                                active = Some((t2, i));
+                        match active {
+                            None => {
+                                // First boarding along the scan: one binary
+                                // search over the position's sorted
+                                // departure column.
+                                if let Some(t2) = pattern.earliest_trip(i, Stime(ready), day) {
+                                    active = Some((t2, i));
+                                }
+                            }
+                            Some((t, _)) => {
+                                // Flattened-layout cursor: instead of
+                                // re-running the binary search, walk the
+                                // contiguous departure column down from the
+                                // active trip to the earliest one still
+                                // catchable, then forward past trips not
+                                // running today. The active trip index only
+                                // ever decreases along a scan, so the
+                                // walk-down is amortized O(n_trips) per
+                                // pattern — and the result is exactly
+                                // `earliest_trip`'s answer whenever that
+                                // answer is an earlier trip (the only case
+                                // the old code acted on).
+                                let col = pattern.departures_at(i);
+                                let mut t2 = t;
+                                while t2 > 0 && col[t2 - 1].0 >= ready {
+                                    t2 -= 1;
+                                }
+                                while t2 < t && !pattern.trip_runs_on(t2, day) {
+                                    t2 += 1;
+                                }
+                                if t2 < t {
+                                    active = Some((t2, i));
+                                }
                             }
                         }
                     }
@@ -444,6 +496,9 @@ impl<'n, 'a> Raptor<'n, 'a> {
                         }
                     }
                 }
+            }
+            if let Some(rb) = round_best.as_deref_mut() {
+                record_round_best(rb, k, cache.slice(egress), tau_star);
             }
         }
 
@@ -492,6 +547,94 @@ impl<'n, 'a> Raptor<'n, 'a> {
         day: DayOfWeek,
     ) -> Stime {
         self.query(origin, dest, depart, day).arrive
+    }
+
+    /// The Pareto frontier over **(arrival time, transfers)**: every
+    /// returned journey is undominated — no other journey arrives no later
+    /// with no more transfers — and together they cover every trade-off the
+    /// network offers up to `cfg.max_boardings` rides.
+    ///
+    /// RAPTOR's rounds *are* the second criterion: the best total at the
+    /// end of round `k` is the earliest arrival with at most `k` boardings,
+    /// so recording each improving round and reconstructing its journey
+    /// yields one frontier candidate per ride count; a [`Bag`] then keeps
+    /// the undominated ones (by the journeys' actual transfer counts — a
+    /// round-`k` candidate may reconstruct with fewer rides). The walk-only
+    /// fallback competes as the zero-transfer candidate. Pruning stays
+    /// exact for the whole frontier, not just the best total: the bound
+    /// never undercuts the optimal ≤`k`-boardings total while round `k`
+    /// runs, so every label on an optimal ≤`k` chain survives.
+    ///
+    /// Sorted by increasing transfers (hence decreasing arrival).
+    pub fn query_pareto(
+        &self,
+        origin: &Point,
+        dest: &Point,
+        depart: Stime,
+        day: DayOfWeek,
+    ) -> Vec<Journey> {
+        let mut rounds_best: Vec<RoundBest> = Vec::new();
+        let _ = self.query_inner(origin, dest, depart, day, Some(&mut rounds_best));
+
+        let mut candidates: Vec<Journey> = Vec::new();
+        {
+            // The labels rows survive `query_inner` untouched; reconstruct
+            // each improving round's journey from its prefix of rounds.
+            let s = self.scratch.borrow();
+            for rb in &rounds_best {
+                candidates.push(self.reconstruct(
+                    &s.labels[..=rb.round],
+                    depart,
+                    rb.stop,
+                    rb.egress_walk,
+                    Stime(rb.total),
+                ));
+            }
+        }
+        candidates.push(Journey::walk_only(depart, self.net.direct_walk_secs(origin, dest)));
+
+        let mut bag = Bag::new();
+        for j in &candidates {
+            bag.insert(ParetoLabel {
+                arrival: j.arrive,
+                transfers: j.n_transfers().min(u8::MAX as usize) as u8,
+            });
+        }
+        let mut frontier: Vec<Journey> = Vec::new();
+        for j in candidates {
+            let l = ParetoLabel {
+                arrival: j.arrive,
+                transfers: j.n_transfers().min(u8::MAX as usize) as u8,
+            };
+            if bag.contains(&l)
+                && !frontier
+                    .iter()
+                    .any(|f| f.arrive == j.arrive && f.n_transfers() == j.n_transfers())
+            {
+                frontier.push(j);
+            }
+        }
+        frontier.sort_by_key(|j| (j.n_transfers(), j.arrive));
+        frontier
+    }
+
+    /// Earliest-arriving journey using at most `max_transfers` transfers
+    /// (i.e. at most `max_transfers + 1` rides) — "fastest with ≤1
+    /// transfer". Falls back to walking when no such transit journey
+    /// exists. Transfer depth is naturally capped by `cfg.max_boardings`.
+    pub fn query_max_transfers(
+        &self,
+        origin: &Point,
+        dest: &Point,
+        depart: Stime,
+        day: DayOfWeek,
+        max_transfers: u8,
+    ) -> Journey {
+        self.query_pareto(origin, dest, depart, day)
+            .into_iter()
+            .filter(|j| j.n_transfers() <= max_transfers as usize)
+            .min_by_key(|j| j.arrive)
+            .unwrap_or_else(|| Journey::walk_only(depart, self.net.direct_walk_secs(origin, dest)))
     }
 
     /// Rebuilds legs by walking labels backwards from the egress stop.
@@ -579,6 +722,35 @@ impl<'n, 'a> Raptor<'n, 'a> {
         let j = Journey { depart, arrive: t, legs };
         debug_assert!(j.check_consistency().is_ok(), "{:?}", j.check_consistency());
         j
+    }
+}
+
+/// Best completed journey over the egress set as of now, appended to `out`
+/// when it strictly improves on the last recorded round (the frontier only
+/// cares about rounds that buy an earlier arrival). Tie-break matches the
+/// final egress scan: first stop in slice order with a strictly smaller
+/// total wins.
+fn record_round_best(
+    out: &mut Vec<RoundBest>,
+    round: usize,
+    egress: &[(StopId, u32)],
+    tau_star: &[u32],
+) {
+    let mut best: Option<(u32, StopId, u32)> = None;
+    for &(st, w) in egress {
+        let at = tau_star[st.idx()];
+        if at == INF {
+            continue;
+        }
+        let total = at.saturating_add(w);
+        if best.is_none_or(|(bt, _, _)| total < bt) {
+            best = Some((total, st, w));
+        }
+    }
+    if let Some((total, stop, egress_walk)) = best {
+        if out.last().is_none_or(|p| total < p.total) {
+            out.push(RoundBest { round, total, stop, egress_walk });
+        }
     }
 }
 

@@ -1,0 +1,164 @@
+//! Pareto correctness: the (arrival, transfers) frontier returned by
+//! [`Raptor::query_pareto`] must be dominance-correct against exhaustive
+//! reference enumeration, and the ≤K-transfers answer must match the best
+//! single-criterion answer restricted to ≤K transfers.
+//!
+//! The reference enumeration sweeps `max_boardings` over 0..=4 with the
+//! **unpruned** reference router: the best journey of a `max_boardings = b`
+//! network is the optimal arrival with at most `b` rides, i.e. at most
+//! `b - 1` transfers — together these points are the complete optimal
+//! trade-off set the frontier must reproduce.
+
+use staq_geom::Point;
+use staq_gtfs::time::{DayOfWeek, Stime};
+use staq_synth::{City, CityConfig};
+use staq_transit::{mmdijkstra, Journey, ParetoLabel, Raptor, RouterConfig, TransitNetwork};
+
+const SEEDS: [u64; 3] = [7, 42, 1234];
+
+fn od_pairs(city: &City, n: usize) -> Vec<(Point, Point)> {
+    (0..n)
+        .map(|i| {
+            let o = city.zones[(i * 7) % city.zones.len()].centroid;
+            let d = city.zones[(i * 13 + 5) % city.zones.len()].centroid;
+            (o, d)
+        })
+        .collect()
+}
+
+fn label_of(j: &Journey) -> ParetoLabel {
+    ParetoLabel { arrival: j.arrive, transfers: j.n_transfers() as u8 }
+}
+
+/// Every frontier journey is undominated by the exhaustive reference set,
+/// and every reference optimum is matched-or-dominated by the frontier.
+#[test]
+fn frontier_is_dominance_correct_against_reference_enumeration() {
+    for seed in SEEDS {
+        let city = City::generate(&CityConfig::small(seed));
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let router = Raptor::new(&net);
+
+        // Reference enumeration: the unpruned optimum per boarding budget.
+        let budget_nets: Vec<TransitNetwork> = (0..=4usize)
+            .map(|b| {
+                let cfg = RouterConfig { max_boardings: b, ..RouterConfig::default() };
+                TransitNetwork::new(&city.road, &city.feed, cfg)
+            })
+            .collect();
+
+        for day in [DayOfWeek::Tuesday, DayOfWeek::Sunday] {
+            for depart in [Stime::hms(7, 30, 0), Stime::hms(17, 45, 0)] {
+                for (o, d) in od_pairs(&city, 10) {
+                    let frontier = router.query_pareto(&o, &d, depart, day);
+                    assert!(!frontier.is_empty(), "frontier always has the walk fallback");
+
+                    // Internal shape: strictly better arrival for every
+                    // extra transfer, no duplicates, consistent legs.
+                    for w in frontier.windows(2) {
+                        assert!(w[0].n_transfers() < w[1].n_transfers());
+                        assert!(w[0].arrive > w[1].arrive, "more transfers must buy time");
+                    }
+                    for j in &frontier {
+                        j.check_consistency().unwrap();
+                    }
+
+                    let reference: Vec<ParetoLabel> = budget_nets
+                        .iter()
+                        .map(|n| label_of(&Raptor::reference(n).query(&o, &d, depart, day)))
+                        .collect();
+
+                    // (a) no reference point strictly dominates a frontier
+                    // journey;
+                    for j in &frontier {
+                        let jl = label_of(j);
+                        for r in &reference {
+                            assert!(
+                                !(r.dominates(&jl) && *r != jl),
+                                "reference {r:?} dominates frontier {jl:?} \
+                                 (seed={seed} day={day:?} o={o:?} d={d:?})"
+                            );
+                        }
+                    }
+                    // (b) every reference optimum is covered by the frontier.
+                    for r in &reference {
+                        assert!(
+                            frontier.iter().any(|j| label_of(j).dominates(r)),
+                            "reference {r:?} not covered by frontier \
+                             (seed={seed} day={day:?} o={o:?} d={d:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `query_max_transfers(K)` equals the best single-criterion answer of a
+/// router capped at `K + 1` boardings — "fastest with ≤K transfers" is the
+/// same journey the dedicated budget network returns.
+#[test]
+fn max_transfers_matches_budgeted_single_criterion_answer() {
+    for seed in SEEDS {
+        let city = City::generate(&CityConfig::small(seed));
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let router = Raptor::new(&net);
+        for k in 0u8..=3 {
+            let cfg = RouterConfig { max_boardings: k as usize + 1, ..RouterConfig::default() };
+            let budget_net = TransitNetwork::new(&city.road, &city.feed, cfg);
+            let budget_router = Raptor::new(&budget_net);
+            for (o, d) in od_pairs(&city, 8) {
+                let got =
+                    router.query_max_transfers(&o, &d, Stime::hms(7, 30, 0), DayOfWeek::Tuesday, k);
+                let want = budget_router.query(&o, &d, Stime::hms(7, 30, 0), DayOfWeek::Tuesday);
+                assert!(got.n_transfers() <= k as usize);
+                assert_eq!(
+                    got.arrive, want.arrive,
+                    "≤{k}-transfer answer diverged (seed={seed} o={o:?} d={d:?})"
+                );
+            }
+        }
+    }
+}
+
+/// Cross-check against the time-dependent multimodal Dijkstra baseline:
+/// no frontier point arrives before the exact unlimited-transfer optimum,
+/// and the transfer-unconstrained end of the frontier ties RAPTOR's own
+/// single-criterion answer, which Dijkstra can only match or beat.
+#[test]
+fn frontier_never_beats_dijkstra_baseline() {
+    for seed in [7u64, 42] {
+        let city = City::generate(&CityConfig::small(seed));
+        let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+        let router = Raptor::new(&net);
+        for (o, d) in od_pairs(&city, 12) {
+            let depart = Stime::hms(7, 30, 0);
+            let dij = mmdijkstra::earliest_arrival(&net, &o, &d, depart, DayOfWeek::Tuesday);
+            let frontier = router.query_pareto(&o, &d, depart, DayOfWeek::Tuesday);
+            for j in &frontier {
+                assert!(
+                    dij <= j.arrive,
+                    "frontier point {:?} beat exact dijkstra {dij:?} (seed={seed})",
+                    j.arrive
+                );
+            }
+        }
+    }
+}
+
+/// The unrestricted frontier's best arrival equals the single-criterion
+/// query — Pareto mode never loses time, it only adds trade-off points.
+#[test]
+fn frontier_best_equals_single_criterion_query() {
+    let city = City::generate(&CityConfig::small(42));
+    let net = TransitNetwork::with_defaults(&city.road, &city.feed);
+    let router = Raptor::new(&net);
+    for (o, d) in od_pairs(&city, 15) {
+        for depart in [Stime::hms(7, 30, 0), Stime::hms(12, 15, 0)] {
+            let single = router.query(&o, &d, depart, DayOfWeek::Tuesday);
+            let frontier = router.query_pareto(&o, &d, depart, DayOfWeek::Tuesday);
+            let best = frontier.iter().map(|j| j.arrive).min().unwrap();
+            assert_eq!(best, single.arrive, "o={o:?} d={d:?} depart={depart:?}");
+        }
+    }
+}
