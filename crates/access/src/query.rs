@@ -45,16 +45,33 @@ pub enum AccessQuery {
     Fairness { weight: DemographicWeight },
     /// The `k` zones with the worst (highest) MAC.
     WorstZones { k: usize },
+    /// Access measures at an arbitrary query point `(x, y)` (planar
+    /// meters): the measures of the zone whose centroid is nearest. The
+    /// spatially clustered, repeat-heavy query this repo's approximate
+    /// serving mode interpolates.
+    PointAccess { x: f64, y: f64 },
 }
 
 /// A query result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum QueryAnswer {
-    MeanAccess { mean_mac: f64, mean_acsd: f64, n_zones: usize },
+    MeanAccess {
+        mean_mac: f64,
+        mean_acsd: f64,
+        n_zones: usize,
+    },
     Classification(Vec<(ZoneId, AccessClass)>),
     AtRisk(Vec<ZoneId>),
     Fairness(f64),
     WorstZones(Vec<(ZoneId, f64)>),
+    /// Measures at a query point; `zone` is the nearest-centroid zone the
+    /// exact path resolved (or the nearest cached sample's zone on the
+    /// interpolated path). `NaN` measures when no zone is labeled.
+    PointAccess {
+        zone: ZoneId,
+        mac: f64,
+        acsd: f64,
+    },
 }
 
 impl AccessQuery {
@@ -113,6 +130,28 @@ impl AccessQuery {
                 ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
                 ranked.truncate(*k);
                 QueryAnswer::WorstZones(ranked)
+            }
+            AccessQuery::PointAccess { x, y } => {
+                // Linear scan over measured zones: simple, exact, and the
+                // deliberate latency contrast to the interpolated path.
+                let mut best: Option<(f64, &ZoneMeasures)> = None;
+                for m in measures {
+                    let c = zones[m.zone.idx()].centroid;
+                    let d2 = (c.x - x) * (c.x - x) + (c.y - y) * (c.y - y);
+                    if best.is_none_or(|(bd, _)| d2 < bd) {
+                        best = Some((d2, m));
+                    }
+                }
+                match best {
+                    Some((_, m)) => {
+                        QueryAnswer::PointAccess { zone: m.zone, mac: m.mac, acsd: m.acsd }
+                    }
+                    None => QueryAnswer::PointAccess {
+                        zone: ZoneId(u32::MAX),
+                        mac: f64::NAN,
+                        acsd: f64::NAN,
+                    },
+                }
             }
         }
     }
@@ -193,6 +232,27 @@ mod tests {
         assert!(pop > 0.0 && pop <= 1.0);
         // Different zone populations make the two differ.
         assert!((uniform - pop).abs() > 1e-9 || zones[0].population == zones[1].population);
+    }
+
+    #[test]
+    fn point_access_resolves_nearest_measured_zone() {
+        let zones = zones();
+        let near = zones[1].centroid;
+        let a = AccessQuery::PointAccess { x: near.x + 1.0, y: near.y - 1.0 }
+            .answer(&measures(), &zones);
+        match a {
+            QueryAnswer::PointAccess { zone, mac, acsd } => {
+                assert_eq!(zone, ZoneId(1));
+                assert_eq!(mac, 20.0);
+                assert_eq!(acsd, 2.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // No measures: NaN sentinel, never a panic.
+        match (AccessQuery::PointAccess { x: 0.0, y: 0.0 }).answer(&[], &zones) {
+            QueryAnswer::PointAccess { mac, .. } => assert!(mac.is_nan()),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ fn bench_codec(c: &mut Criterion) {
     let req = Request::Query {
         category: PoiCategory::School,
         query: AccessQuery::AtRisk { threshold_factor: 1.5 },
+        approx: false,
     };
     g.bench_function("query_request_roundtrip", |b| {
         let mut buf = BytesMut::with_capacity(256);

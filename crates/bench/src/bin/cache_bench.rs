@@ -1,0 +1,439 @@
+//! Fleet-cache bench: prices the shared access cache and the approximate
+//! query path against their exact/private baselines.
+//!
+//! ```text
+//! cache-bench [--seed N] [--scale F] [--queries N] [--quick]
+//!             [--emit-json path] [--baseline path]
+//! ```
+//!
+//! Three measurements, one report (`BENCH_cache.json`):
+//!
+//! 1. **Warm-up work.** A fleet of 1/4/8 labeling workers runs repeated
+//!    passes over the same city, once with per-router private access
+//!    caches and once with one [`SharedAccessCache`]. Reported per fleet
+//!    size: access-cache misses per pass, the steady-state hit rate, and
+//!    the total misses paid before a pass clears the target hit rate
+//!    (private caches are rebuilt per pass, so they pay their warm-up on
+//!    *every* pass; the shared cache pays once).
+//! 2. **Approximate queries.** A Zipf-distributed `PointAccess` workload
+//!    against a larger city: hit rate, |interpolated − exact| residual
+//!    percentiles against the configured error bound, and the amortized
+//!    latency of the interpolation path vs the exact warm-cache path.
+//! 3. **Equivalence.** Shared-cache and private-cache engines answer
+//!    Measures bit-identically (the cache is a pure perf substrate).
+//!
+//! `--baseline` compares fresh ratios against a committed report and
+//! *warns* on regression — it never fails the run (CI stays green; the
+//! numbers are for humans and trend tooling).
+
+use staq_access::AccessQuery;
+use staq_core::{AccessEngine, EngineOptions, PipelineConfig};
+use staq_gtfs::time::TimeInterval;
+use staq_obs::snapshot;
+use staq_synth::{City, CityConfig, PoiCategory, ZoneId};
+use staq_todam::{LabelEngine, TodamSpec};
+use staq_transit::{AccessCost, SharedAccessCache};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A pass counts as warmed up once its access-cache hit rate clears this.
+const TARGET_HIT_RATE: f64 = 0.995;
+/// Fleet passes per configuration in the warm-up measurement.
+const PASSES: usize = 4;
+
+struct Args {
+    seed: u64,
+    scale: f64,
+    queries: usize,
+    quick: bool,
+    emit_json: Option<String>,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { seed: 42, scale: 0.4, queries: 4000, quick: false, emit_json: None, baseline: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => args.seed = parse(&mut it, "--seed"),
+            "--scale" => args.scale = parse(&mut it, "--scale"),
+            "--queries" => args.queries = parse(&mut it, "--queries"),
+            "--quick" => args.quick = true,
+            "--emit-json" => args.emit_json = Some(need(&mut it, "--emit-json")),
+            "--baseline" => args.baseline = Some(need(&mut it, "--baseline")),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if args.quick {
+        args.scale = args.scale.min(0.15);
+        args.queries = args.queries.min(800);
+    }
+    args
+}
+
+fn need(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+}
+
+fn parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    need(it, flag).parse().unwrap_or_else(|_| usage(&format!("{flag} needs a valid value")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: cache-bench [--seed N] [--scale F] [--queries N] [--quick] \
+         [--emit-json path] [--baseline path]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 })
+}
+
+fn counter(name: &str) -> u64 {
+    snapshot().counter(name).unwrap_or(0)
+}
+
+/// Deterministic splitmix64 stream — the bench must not depend on rand.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One fleet configuration's warm-up accounting.
+struct Warmup {
+    /// Access-cache misses on the first (cold) pass.
+    cold_misses: u64,
+    /// Hit rate of the final pass — the fleet's steady state.
+    steady_hit_rate: f64,
+    /// Misses accumulated until a pass cleared [`TARGET_HIT_RATE`]
+    /// (all passes when it never did).
+    misses_to_target: u64,
+    reached_target: bool,
+}
+
+fn run_fleet(engine: &LabelEngine, m: &staq_todam::Todam, zones: &[ZoneId]) -> Warmup {
+    let mut cold_misses = 0;
+    let mut steady_hit_rate = 0.0;
+    let mut misses_to_target = 0;
+    let mut reached_target = false;
+    for pass in 0..PASSES {
+        let (h0, m0) = (counter("transit.access_cache.hit"), counter("transit.access_cache.miss"));
+        engine.label_zones(m, zones);
+        let hits = counter("transit.access_cache.hit") - h0;
+        let misses = counter("transit.access_cache.miss") - m0;
+        let rate = hits as f64 / ((hits + misses) as f64).max(1.0);
+        if pass == 0 {
+            cold_misses = misses;
+        }
+        if !reached_target {
+            misses_to_target += misses;
+            reached_target = rate >= TARGET_HIT_RATE;
+        }
+        steady_hit_rate = rate;
+    }
+    Warmup { cold_misses, steady_hit_rate, misses_to_target, reached_target }
+}
+
+/// Median of per-batch amortized costs: per-call `Instant` pairs cost more
+/// than the approximate path itself, so latency is timed in batches.
+fn batch_ns<F: FnMut()>(mut f: F, batches: usize, per: usize) -> f64 {
+    let mut ns = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let t = Instant::now();
+        for _ in 0..per {
+            f();
+        }
+        ns.push(t.elapsed().as_nanos() as f64 / per as f64);
+    }
+    ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ns[batches / 2]
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let i = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[i]
+}
+
+fn main() {
+    let args = parse_args();
+
+    // ---- Part 1: fleet warm-up, private vs shared caches -------------
+    let city = City::generate(&CityConfig::small(args.seed));
+    let m = TodamSpec { per_hour: 3, ..Default::default() }.build(&city, PoiCategory::School);
+    let zones: Vec<ZoneId> = (0..city.n_zones() as u32).map(ZoneId).collect();
+    println!(
+        "warm-up city: {} zones, {} trips; target hit rate {TARGET_HIT_RATE}, {PASSES} passes",
+        city.n_zones(),
+        m.n_trips()
+    );
+
+    let fleet_sizes = [1usize, 4, 8];
+    let mut rows = Vec::new();
+    for &w in &fleet_sizes {
+        let mut private = LabelEngine::new(&city, AccessCost::jt(), TimeInterval::am_peak());
+        private.n_workers = w;
+        let private_report = run_fleet(&private, &m, &zones);
+
+        let cache = Arc::new(SharedAccessCache::new());
+        let mut shared = LabelEngine::new(&city, AccessCost::jt(), TimeInterval::am_peak())
+            .with_shared_cache(Arc::clone(&cache));
+        shared.n_workers = w;
+        let shared_report = run_fleet(&shared, &m, &zones);
+
+        let ratio = private_report.misses_to_target as f64
+            / (shared_report.misses_to_target as f64).max(1.0);
+        println!(
+            "fleet of {w}: private {} misses/pass (rate {:.3}, {} to target), \
+             shared {} cold misses (rate {:.3}, {} to target) -> {ratio:.1}x less warm-up work",
+            private_report.cold_misses,
+            private_report.steady_hit_rate,
+            private_report.misses_to_target,
+            shared_report.cold_misses,
+            shared_report.steady_hit_rate,
+            shared_report.misses_to_target,
+        );
+        rows.push((w, private_report, shared_report, ratio));
+    }
+
+    // ---- Part 2: shared vs private engines answer bit-identically ----
+    let cfg = PipelineConfig {
+        beta: 0.25,
+        todam: TodamSpec { per_hour: 3, ..Default::default() },
+        ..Default::default()
+    };
+    let shared_engine = AccessEngine::new(city.clone(), cfg.clone());
+    let private_engine = AccessEngine::with_options(
+        city,
+        cfg,
+        EngineOptions { private_access_caches: true, ..Default::default() },
+    );
+    let a = shared_engine.measures(PoiCategory::School);
+    let b = private_engine.measures(PoiCategory::School);
+    let bit_identical = a.predicted.len() == b.predicted.len()
+        && a.predicted.iter().zip(b.predicted.iter()).all(|(x, y)| {
+            x.zone == y.zone
+                && x.mac.to_bits() == y.mac.to_bits()
+                && x.acsd.to_bits() == y.acsd.to_bits()
+        });
+    println!("shared vs private measures bit-identical: {bit_identical}");
+
+    // ---- Part 3: approximate PointAccess queries under Zipf ----------
+    let big = City::generate(&CityConfig::birmingham(args.seed).scaled(args.scale));
+    let side = big.config.side_m;
+    let n_zones = big.n_zones();
+    let approx_cfg = PipelineConfig {
+        beta: 0.10,
+        todam: TodamSpec { per_hour: 1, ..Default::default() },
+        ..Default::default()
+    };
+    let engine = AccessEngine::new(big, approx_cfg);
+    let cat = PoiCategory::School;
+    let error_bound = engine.approx_config().error_bound;
+    let t = Instant::now();
+    let _ = engine.measures(cat);
+    println!("approx city: {n_zones} zones, pipeline warm-up {:.1}s", t.elapsed().as_secs_f64());
+
+    // Zipf(1.0) over a pool of query points: rank r drawn with
+    // probability proportional to 1/(r+1).
+    let pool = 200usize;
+    let mut rng = Rng(args.seed ^ 0xCAC4E);
+    let points: Vec<(f64, f64)> = (0..pool)
+        .map(|_| (side * (0.05 + 0.9 * rng.f64()), side * (0.05 + 0.9 * rng.f64())))
+        .collect();
+    let mut cum: Vec<f64> = Vec::with_capacity(pool);
+    let mut acc = 0.0;
+    for r in 0..pool {
+        acc += 1.0 / (r + 1) as f64;
+        cum.push(acc);
+    }
+    let total = acc;
+    let draw = |rng: &mut Rng| {
+        let u = rng.f64() * total;
+        let i = cum.partition_point(|&c| c < u);
+        points[i.min(pool - 1)]
+    };
+
+    // Accuracy sweep: answer each query approximately, score it against
+    // the exact answer, classify hit/fallback by counter delta.
+    let mut hits = 0u64;
+    let mut within = 0u64;
+    let mut residuals: Vec<f64> = Vec::new();
+    for _ in 0..args.queries {
+        let (x, y) = draw(&mut rng);
+        let q = AccessQuery::PointAccess { x, y };
+        let h0 = counter("engine.approx.hit");
+        let approx = engine.query_approx(&q, cat);
+        let hit = counter("engine.approx.hit") > h0;
+        let exact = engine.query(&q, cat);
+        if let (
+            staq_access::QueryAnswer::PointAccess { mac: am, .. },
+            staq_access::QueryAnswer::PointAccess { mac: em, .. },
+        ) = (&approx, &exact)
+        {
+            let residual = (am - em).abs();
+            if hit {
+                hits += 1;
+                residuals.push(residual);
+            }
+            if residual <= error_bound {
+                within += 1;
+            }
+        }
+    }
+    residuals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let hit_rate = hits as f64 / args.queries as f64;
+    let within_rate = within as f64 / args.queries as f64;
+    println!(
+        "zipf workload: {} queries over {pool} points -> {:.1}% interpolated, \
+         {:.1}% within the {error_bound}s bound",
+        args.queries,
+        100.0 * hit_rate,
+        100.0 * within_rate
+    );
+    println!(
+        "residuals (s): p50 {:.2} p90 {:.2} p99 {:.2} max {:.2}",
+        percentile(&residuals, 0.5),
+        percentile(&residuals, 0.9),
+        percentile(&residuals, 0.99),
+        percentile(&residuals, 1.0)
+    );
+
+    // Latency: amortized cost of the interpolation path vs the exact
+    // warm-cache path, on the workload's hottest point.
+    let (hx, hy) = points[0];
+    let hot = AccessQuery::PointAccess { x: hx, y: hy };
+    let exact_ns = batch_ns(
+        || {
+            let _ = engine.query(&hot, cat);
+        },
+        60,
+        200,
+    );
+    let approx_ns = batch_ns(
+        || {
+            let _ = engine.query_approx(&hot, cat);
+        },
+        60,
+        200,
+    );
+    let latency_ratio = exact_ns / approx_ns;
+    println!(
+        "latency: exact warm path {exact_ns:.0} ns, approx hit path {approx_ns:.0} ns \
+         ({latency_ratio:.1}x)"
+    );
+
+    if let Some(path) = &args.baseline {
+        compare_baseline(path, args.scale, rows.last().map_or(0.0, |r| r.3), latency_ratio);
+    }
+
+    if let Some(path) = &args.emit_json {
+        let fleet_json: Vec<String> = rows
+            .iter()
+            .map(|(w, p, s, ratio)| {
+                format!(
+                    "{{\"workers\":{w},\
+                     \"private\":{{\"cold_misses\":{},\"steady_hit_rate\":{:.4},\
+                     \"misses_to_target\":{},\"reached_target\":{}}},\
+                     \"shared\":{{\"cold_misses\":{},\"steady_hit_rate\":{:.4},\
+                     \"misses_to_target\":{},\"reached_target\":{}}},\
+                     \"warmup_ratio\":{ratio:.2}}}",
+                    p.cold_misses,
+                    p.steady_hit_rate,
+                    p.misses_to_target,
+                    p.reached_target,
+                    s.cold_misses,
+                    s.steady_hit_rate,
+                    s.misses_to_target,
+                    s.reached_target,
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\"bench\":\"cache-bench\",\"seed\":{},\"scale\":{},\"quick\":{},\
+             \"warmup\":{{\"target_hit_rate\":{TARGET_HIT_RATE},\"passes\":{PASSES},\
+             \"fleets\":[{}]}},\
+             \"equivalence\":{{\"shared_vs_private_bit_identical\":{bit_identical}}},\
+             \"approx\":{{\"zones\":{n_zones},\"pool\":{pool},\"queries\":{},\
+             \"error_bound_s\":{error_bound},\
+             \"hit_rate\":{hit_rate:.4},\"within_bound_rate\":{within_rate:.4},\
+             \"residual_s\":{{\"p50\":{:.3},\"p90\":{:.3},\"p99\":{:.3},\"max\":{:.3}}},\
+             \"exact_ns\":{exact_ns:.0},\"approx_ns\":{approx_ns:.0},\
+             \"latency_ratio\":{latency_ratio:.2}}},\
+             \"metrics\":{}}}",
+            args.seed,
+            args.scale,
+            args.quick,
+            fleet_json.join(","),
+            args.queries,
+            percentile(&residuals, 0.5),
+            percentile(&residuals, 0.9),
+            percentile(&residuals, 0.99),
+            percentile(&residuals, 1.0),
+            snapshot().to_json(),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+}
+
+/// Warn-only regression gate on the two headline ratios. Timing and
+/// counter layouts shift with city scale, so this prints and never exits
+/// non-zero — the committed JSON is the trend record.
+fn compare_baseline(path: &str, scale: f64, warmup_ratio: f64, latency_ratio: f64) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        println!("baseline: cannot read {path}, skipping comparison");
+        return;
+    };
+    // The exact path's cost grows with the city, so the latency ratio is
+    // only comparable at the baseline's own scale (quick CI runs use a
+    // smaller city than the committed full-mode baseline).
+    let same_scale = last_json_f64(&text, "scale").is_some_and(|s| (s - scale).abs() < 1e-9);
+    if !same_scale {
+        println!("baseline: scale differs from {path}, comparing warm-up only");
+    }
+    for (key, fresh) in [("warmup_ratio", warmup_ratio), ("latency_ratio", latency_ratio)] {
+        if key == "latency_ratio" && !same_scale {
+            continue;
+        }
+        match last_json_f64(&text, key) {
+            Some(old) if fresh < old * 0.75 => {
+                println!("WARNING: {key} regressed: {old:.2} -> {fresh:.2} (baseline {path})")
+            }
+            Some(old) => {
+                println!("baseline {key}: {old:.2} -> {fresh:.2} (within 25% tolerance)")
+            }
+            None => println!("baseline: no {key} in {path}"),
+        }
+    }
+}
+
+/// Extracts the *last* `"key":<number>` occurrence from a flat hand-rolled
+/// report (the 8-worker fleet row and the approx section come last). Good
+/// enough for our own JSON; not a parser.
+fn last_json_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.rfind(&needle)?;
+    let val = &text[at + needle.len()..];
+    let end = val.find([',', '}'])?;
+    val[..end].trim().parse().ok()
+}

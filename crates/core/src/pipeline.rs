@@ -20,7 +20,8 @@ use staq_ml::{Matrix, SparseAdj, SsrTask};
 use staq_obs::{trace, AtomicHistogram, Counter};
 use staq_synth::{City, PoiCategory, ZoneId};
 use staq_todam::{LabelEngine, Todam, ZoneStats};
-use staq_transit::{AccessCost, CostKind};
+use staq_transit::{AccessCost, CostKind, SharedAccessCache};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Full pipeline passes completed.
@@ -75,6 +76,16 @@ pub struct PipelineResult {
 }
 
 impl PipelineResult {
+    /// Feature row of `zone` (labeled or unlabeled), if it was eligible.
+    /// Linear scan over the id lists — callers are off the hot path (the
+    /// approximate-query fallback records one sample per exact compute).
+    pub fn feature_row(&self, zone: ZoneId) -> Option<&[f64]> {
+        if let Some(i) = self.labeled.iter().position(|&z| z == zone) {
+            return Some(self.x_labeled.row(i));
+        }
+        self.unlabeled.iter().position(|&z| z == zone).map(|i| self.x_unlabeled.row(i))
+    }
+
     /// Predicted measures of the unlabeled zones only (evaluation set).
     pub fn predicted_unlabeled(&self) -> Vec<ZoneMeasures> {
         // Two-pointer merge: `predicted` is sorted by zone and `unlabeled`
@@ -100,13 +111,24 @@ pub struct SsrPipeline<'a> {
     pub city: &'a City,
     pub artifacts: &'a OfflineArtifacts,
     pub config: PipelineConfig,
+    /// Fleet-shared isochrone cache for the labeling stage's routers; when
+    /// absent every labeling worker warms a private cache from scratch.
+    access_cache: Option<Arc<SharedAccessCache>>,
 }
 
 impl<'a> SsrPipeline<'a> {
     /// Creates a pipeline; validates the configuration.
     pub fn new(city: &'a City, artifacts: &'a OfflineArtifacts, config: PipelineConfig) -> Self {
         config.validate().expect("invalid pipeline config");
-        SsrPipeline { city, artifacts, config }
+        SsrPipeline { city, artifacts, config, access_cache: None }
+    }
+
+    /// Labels `L` through routers that share `cache` instead of warming
+    /// private per-worker access caches. The caller owns invalidation: the
+    /// cache must be epoch-bumped whenever the city's network changes.
+    pub fn with_access_cache(mut self, cache: Arc<SharedAccessCache>) -> Self {
+        self.access_cache = Some(cache);
+        self
     }
 
     /// Runs the full pipeline for one POI category.
@@ -172,7 +194,10 @@ impl<'a> SsrPipeline<'a> {
             CostKind::Jt => AccessCost::jt(),
             CostKind::Gac => AccessCost::gac(),
         };
-        let engine = LabelEngine::new(self.city, cost_model, cfg.todam.interval.clone());
+        let mut engine = LabelEngine::new(self.city, cost_model, cfg.todam.interval.clone());
+        if let Some(cache) = &self.access_cache {
+            engine = engine.with_shared_cache(Arc::clone(cache));
+        }
         let t0 = Instant::now();
         let stage = trace::span("pipeline.stage.labeling");
         let stats = engine.label_zones(&matrix, &labeled);

@@ -171,4 +171,57 @@ mod tests {
     fn zero_k_rejected() {
         KnnRegressor::new(0, 2.0);
     }
+
+    /// Brute-force k-nearest reference: independent Minkowski distance,
+    /// stable selection sort over (distance, index).
+    fn brute_force_neighbors(x: &[Vec<f64>], q: &[f64], k: usize, p: f64) -> Vec<usize> {
+        let mut scored: Vec<(f64, usize)> = x
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let s: f64 = row.iter().zip(q).map(|(a, b)| (a - b).abs().powf(p)).sum();
+                (s.powf(1.0 / p), i)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        scored.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+
+    proptest::proptest! {
+        /// `neighbors` returns exactly the brute-force k-nearest — same
+        /// indices in the same order — on random feature sets, including
+        /// duplicate points (forced ties), k ≥ n, and the degenerate
+        /// zero-dimensional feature space where every distance ties at 0.
+        #[test]
+        fn neighbors_match_brute_force(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-100.0f64..100.0, 0..4), 1..40),
+            q_seed in proptest::collection::vec(-120.0f64..120.0, 4),
+            k in 1usize..50,
+            p_idx in 0usize..3,
+        ) {
+            let p = [1.0, 2.0, 5.0][p_idx];
+            // All rows share the first row's dimension (0..=3 features);
+            // duplicates of the first row force exact distance ties.
+            let d = rows[0].len();
+            let mut x: Vec<Vec<f64>> = rows
+                .iter()
+                .map(|r| {
+                    let mut r = r.clone();
+                    r.resize(d, 0.0);
+                    r
+                })
+                .collect();
+            x.push(x[0].clone());
+            x.push(x[0].clone());
+            let q = &q_seed[..d];
+            let mut knn = KnnRegressor::new(k, p);
+            for row in &x {
+                knn.push(row, &[0.0]);
+            }
+            let got = knn.neighbors(q);
+            let want = brute_force_neighbors(&x, q, k, p);
+            proptest::prop_assert_eq!(got, want);
+        }
+    }
 }

@@ -15,6 +15,8 @@
 //! * [`metrics`] — MAE, RMSE, Pearson correlation, classification accuracy.
 //! * [`ols`] — ridge-stabilized ordinary least squares.
 //! * [`knn`] — Minkowski k-NN regressor (COREG's base learner).
+//! * [`ann`] — incremental k-NN indexes ([`AnnIndex`]: kd-tree + linear
+//!   scan) for the serving layer's approximate-query interpolation.
 //! * [`coreg`] — COREG co-training with two k-NN regressors (Zhou & Li 2005).
 //! * [`mlp`] — multi-layer perceptron with ReLU and Adam.
 //! * [`mean_teacher`] — consistency-regularized MLP with EMA teacher
@@ -23,6 +25,7 @@
 //!   zone adjacency ([`adjacency::SparseAdj`]).
 
 pub mod adjacency;
+pub mod ann;
 pub mod coreg;
 pub mod gnn;
 pub mod knn;
@@ -35,5 +38,6 @@ pub mod scaler;
 pub mod ssr;
 
 pub use adjacency::SparseAdj;
+pub use ann::{AnnIndex, KdAnn, LinearAnn};
 pub use linalg::Matrix;
 pub use ssr::{ModelKind, SsrModel, SsrTask};

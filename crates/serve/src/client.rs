@@ -107,7 +107,20 @@ impl Client {
 
     /// Full SSR measure vector for one category.
     pub fn measures(&mut self, category: PoiCategory) -> Result<Vec<ZoneMeasures>, ClientError> {
-        match self.call(&Request::Measures { category })? {
+        match self.call(&Request::Measures { category, approx: false })? {
+            Response::Measures(ms) => Ok(ms),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// [`Self::measures`] with the approximate-mode flag set: the server
+    /// may answer from its warm cache and counts the request against its
+    /// `engine.approx.*` metrics.
+    pub fn measures_approx(
+        &mut self,
+        category: PoiCategory,
+    ) -> Result<Vec<ZoneMeasures>, ClientError> {
+        match self.call(&Request::Measures { category, approx: true })? {
             Response::Measures(ms) => Ok(ms),
             other => Err(unexpected(other)),
         }
@@ -119,7 +132,21 @@ impl Client {
         query: &AccessQuery,
         category: PoiCategory,
     ) -> Result<QueryAnswer, ClientError> {
-        match self.call(&Request::Query { category, query: query.clone() })? {
+        match self.call(&Request::Query { category, query: query.clone(), approx: false })? {
+            Response::Query(a) => Ok(a),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// [`Self::query`] in approximate mode: `PointAccess` queries may be
+    /// answered by server-side interpolation within its configured error
+    /// bound (exact fallback otherwise — the answer shape is identical).
+    pub fn query_approx(
+        &mut self,
+        query: &AccessQuery,
+        category: PoiCategory,
+    ) -> Result<QueryAnswer, ClientError> {
+        match self.call(&Request::Query { category, query: query.clone(), approx: true })? {
             Response::Query(a) => Ok(a),
             other => Err(unexpected(other)),
         }

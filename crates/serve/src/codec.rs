@@ -73,10 +73,14 @@ pub const MAX_FRAME_LEN: usize = 16 << 20;
 /// A request frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Full SSR measure vector for one category.
-    Measures { category: PoiCategory },
-    /// An analytical access query against one category.
-    Query { category: PoiCategory, query: AccessQuery },
+    /// Full SSR measure vector for one category. `approx` opts into the
+    /// engine's approximate serving mode (v3 frames only: the flag rides
+    /// the high bit of the category byte, which v2 never sets).
+    Measures { category: PoiCategory, approx: bool },
+    /// An analytical access query against one category; `approx` as on
+    /// [`Request::Measures`] — `PointAccess` queries may then be answered
+    /// by interpolation within the server's error bound.
+    Query { category: PoiCategory, query: AccessQuery, approx: bool },
     /// Scenario edit: add a POI at a position.
     AddPoi { category: PoiCategory, pos: Point },
     /// Scenario edit: add a bus route through the given stops.
@@ -288,6 +292,19 @@ fn category_from(code: u8) -> Result<PoiCategory, CodecError> {
         .ok_or(CodecError::BadPayload("unknown POI category"))
 }
 
+/// High bit of the category byte on `Measures`/`Query` requests: the
+/// approximate-mode opt-in. Category codes stay tiny, so the bit is free;
+/// v2 encoders never set it, which is what makes the flag v3-only.
+const APPROX_FLAG: u8 = 0x80;
+
+fn category_byte(c: PoiCategory, approx: bool) -> u8 {
+    category_code(c) | if approx { APPROX_FLAG } else { 0 }
+}
+
+fn category_and_approx(raw: u8) -> Result<(PoiCategory, bool), CodecError> {
+    Ok((category_from(raw & !APPROX_FLAG)?, raw & APPROX_FLAG != 0))
+}
+
 fn class_code(c: AccessClass) -> u8 {
     match c {
         AccessClass::Best => 0,
@@ -389,6 +406,11 @@ fn encode_query(buf: &mut BytesMut, q: &AccessQuery) {
             buf.put_u8(4);
             buf.put_u32(*k as u32);
         }
+        AccessQuery::PointAccess { x, y } => {
+            buf.put_u8(5);
+            buf.put_f64(*x);
+            buf.put_f64(*y);
+        }
     }
 }
 
@@ -399,6 +421,7 @@ fn decode_query(buf: &mut &[u8]) -> Result<AccessQuery, CodecError> {
         2 => AccessQuery::AtRisk { threshold_factor: take_f64(buf)? },
         3 => AccessQuery::Fairness { weight: weight_from(take_u8(buf)?)? },
         4 => AccessQuery::WorstZones { k: take_u32(buf)? as usize },
+        5 => AccessQuery::PointAccess { x: take_f64(buf)?, y: take_f64(buf)? },
         _ => return Err(CodecError::BadPayload("unknown query tag")),
     })
 }
@@ -438,6 +461,12 @@ fn encode_answer(buf: &mut BytesMut, a: &QueryAnswer) {
                 buf.put_f64(*mac);
             }
         }
+        QueryAnswer::PointAccess { zone, mac, acsd } => {
+            buf.put_u8(5);
+            buf.put_u32(zone.0);
+            buf.put_f64(*mac);
+            buf.put_f64(*acsd);
+        }
     }
 }
 
@@ -473,6 +502,11 @@ fn decode_answer(buf: &mut &[u8]) -> Result<QueryAnswer, CodecError> {
             }
             QueryAnswer::WorstZones(zs)
         }
+        5 => QueryAnswer::PointAccess {
+            zone: ZoneId(take_u32(buf)?),
+            mac: take_f64(buf)?,
+            acsd: take_f64(buf)?,
+        },
         _ => return Err(CodecError::BadPayload("unknown answer tag")),
     })
 }
@@ -731,6 +765,13 @@ pub fn encode_request_v2(req: &Request, buf: &mut BytesMut) {
         "{} is a v3 request; v2 cannot encode it",
         req.kind_label()
     );
+    assert!(
+        !matches!(
+            req,
+            Request::Measures { approx: true, .. } | Request::Query { approx: true, .. }
+        ),
+        "approximate mode is a v3 flag; v2 cannot encode it"
+    );
     encode_request_v(req, 2, SpanContext::NONE, buf)
 }
 
@@ -743,15 +784,15 @@ fn encode_request_v(req: &Request, version: u8, ctx: SpanContext, buf: &mut Byte
         }
     };
     match req {
-        Request::Measures { category } => {
+        Request::Measures { category, approx } => {
             buf.put_u8(K_MEASURES);
             put_ctx(buf);
-            buf.put_u8(category_code(*category));
+            buf.put_u8(category_byte(*category, *approx));
         }
-        Request::Query { category, query } => {
+        Request::Query { category, query, approx } => {
             buf.put_u8(K_QUERY);
             put_ctx(buf);
-            buf.put_u8(category_code(*category));
+            buf.put_u8(category_byte(*category, *approx));
             encode_query(buf, query);
         }
         Request::AddPoi { category, pos } => {
@@ -983,11 +1024,14 @@ pub fn decode_request_full(buf: &mut BytesMut) -> Result<Option<DecodedRequest>,
         SpanContext::NONE
     };
     let req = match kind {
-        K_MEASURES => Request::Measures { category: category_from(take_u8(&mut p)?)? },
-        K_QUERY => Request::Query {
-            category: category_from(take_u8(&mut p)?)?,
-            query: decode_query(&mut p)?,
-        },
+        K_MEASURES => {
+            let (category, approx) = category_and_approx(take_u8(&mut p)?)?;
+            Request::Measures { category, approx }
+        }
+        K_QUERY => {
+            let (category, approx) = category_and_approx(take_u8(&mut p)?)?;
+            Request::Query { category, query: decode_query(&mut p)?, approx }
+        }
         K_ADD_POI => Request::AddPoi {
             category: category_from(take_u8(&mut p)?)?,
             pos: Point::new(take_f64(&mut p)?, take_f64(&mut p)?),
@@ -1193,18 +1237,27 @@ mod tests {
     #[test]
     fn request_kinds_roundtrip() {
         let reqs = [
-            Request::Measures { category: PoiCategory::School },
+            Request::Measures { category: PoiCategory::School, approx: false },
+            Request::Measures { category: PoiCategory::Hospital, approx: true },
             Request::Query {
                 category: PoiCategory::Hospital,
                 query: AccessQuery::AtRisk { threshold_factor: 1.5 },
+                approx: false,
             },
             Request::Query {
                 category: PoiCategory::JobCenter,
                 query: AccessQuery::Fairness { weight: DemographicWeight::Unemployed },
+                approx: false,
             },
             Request::Query {
                 category: PoiCategory::VaxCenter,
                 query: AccessQuery::WorstZones { k: 7 },
+                approx: false,
+            },
+            Request::Query {
+                category: PoiCategory::School,
+                query: AccessQuery::PointAccess { x: 1312.5, y: -40.0 },
+                approx: true,
             },
             Request::AddPoi { category: PoiCategory::VaxCenter, pos: Point::new(1234.5, -6.25) },
             Request::AddBusRoute {
@@ -1237,6 +1290,7 @@ mod tests {
             Response::Query(QueryAnswer::AtRisk(vec![ZoneId(3), ZoneId(9)])),
             Response::Query(QueryAnswer::Fairness(0.83)),
             Response::Query(QueryAnswer::WorstZones(vec![(ZoneId(5), 99.5)])),
+            Response::Query(QueryAnswer::PointAccess { zone: ZoneId(12), mac: 840.5, acsd: 2.5 }),
             Response::AddPoi { poi_id: 41 },
             Response::AddBusRoute { zones_rebuilt: 17 },
             Response::Stats(StatsReply {
@@ -1306,11 +1360,14 @@ mod tests {
     fn pipelined_frames_decode_in_order() {
         let mut buf = BytesMut::new();
         encode_request(&Request::Stats, &mut buf);
-        encode_request(&Request::Measures { category: PoiCategory::School }, &mut buf);
+        encode_request(
+            &Request::Measures { category: PoiCategory::School, approx: false },
+            &mut buf,
+        );
         assert_eq!(decode_request(&mut buf).unwrap(), Some(Request::Stats));
         assert_eq!(
             decode_request(&mut buf).unwrap(),
-            Some(Request::Measures { category: PoiCategory::School })
+            Some(Request::Measures { category: PoiCategory::School, approx: false })
         );
         assert_eq!(decode_request(&mut buf).unwrap(), None);
     }
@@ -1528,6 +1585,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "approximate mode is a v3 flag")]
+    fn v2_cannot_encode_approx_requests() {
+        let mut buf = BytesMut::new();
+        encode_request_v2(
+            &Request::Measures { category: PoiCategory::School, approx: true },
+            &mut buf,
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "v3 request")]
     fn v2_cannot_encode_what_if() {
         let mut buf = BytesMut::new();
@@ -1547,8 +1614,12 @@ mod tests {
     #[test]
     fn v2_request_frames_decode_with_empty_context() {
         let reqs = [
-            Request::Measures { category: PoiCategory::School },
-            Request::Query { category: PoiCategory::Hospital, query: AccessQuery::MeanAccess },
+            Request::Measures { category: PoiCategory::School, approx: false },
+            Request::Query {
+                category: PoiCategory::Hospital,
+                query: AccessQuery::MeanAccess,
+                approx: false,
+            },
             Request::AddPoi { category: PoiCategory::VaxCenter, pos: Point::new(3.0, 4.0) },
             Request::AddBusRoute {
                 stops: vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)],
@@ -1621,19 +1692,22 @@ mod tests {
         #[test]
         fn arbitrary_query_requests_roundtrip(
             cat in 0usize..4,
-            tag in 0u8..5,
+            tag in 0u8..6,
             x in -1e6f64..1e6,
             k in 0u32..1000,
+            approx_bit in 0u8..2,
         ) {
+            let approx = approx_bit == 1;
             let category = PoiCategory::ALL[cat];
             let query = match tag {
                 0 => AccessQuery::MeanAccess,
                 1 => AccessQuery::Classification,
                 2 => AccessQuery::AtRisk { threshold_factor: x },
                 3 => AccessQuery::Fairness { weight: DemographicWeight::Children },
-                _ => AccessQuery::WorstZones { k: k as usize },
+                4 => AccessQuery::WorstZones { k: k as usize },
+                _ => AccessQuery::PointAccess { x, y: x * 0.5 - 12.0 },
             };
-            let req = Request::Query { category, query };
+            let req = Request::Query { category, query, approx };
             prop_assert_eq!(roundtrip_request(&req), req);
         }
 

@@ -198,10 +198,19 @@ fn execute_inner(
 ) -> Response {
     let engine: &AccessEngine = rt.engine();
     match request {
-        Request::Measures { category } => {
-            Response::Measures(engine.measures(*category).predicted.clone())
+        Request::Measures { category, approx } => {
+            let measures = if *approx {
+                engine.measures_approx(*category)
+            } else {
+                engine.measures(*category)
+            };
+            Response::Measures(measures.predicted.clone())
         }
-        Request::Query { category, query } => Response::Query(engine.query(query, *category)),
+        Request::Query { category, query, approx } => Response::Query(if *approx {
+            engine.query_approx(query, *category)
+        } else {
+            engine.query(query, *category)
+        }),
         Request::AddPoi { category, pos } => {
             if !pos.x.is_finite() || !pos.y.is_finite() {
                 return Response::Error {
@@ -364,7 +373,7 @@ mod tests {
     #[test]
     fn pool_answers_and_counts_requests() {
         let pool = WorkerPool::spawn(engine(), 2, 8);
-        match roundtrip(&pool, Request::Measures { category: PoiCategory::School }) {
+        match roundtrip(&pool, Request::Measures { category: PoiCategory::School, approx: false }) {
             Response::Measures(ms) => assert!(!ms.is_empty()),
             other => panic!("{other:?}"),
         }
@@ -450,7 +459,7 @@ mod tests {
         let query = AccessQuery::MeanAccess;
         let base = match roundtrip(
             &pool,
-            Request::Query { category: PoiCategory::School, query: query.clone() },
+            Request::Query { category: PoiCategory::School, query: query.clone(), approx: false },
         ) {
             Response::Query(a) => a,
             other => panic!("{other:?}"),

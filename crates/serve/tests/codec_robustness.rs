@@ -22,18 +22,38 @@ use staq_synth::{PoiCategory, ZoneId};
 /// One of every request variant, exercising every encoder branch.
 fn request_catalogue() -> Vec<Request> {
     vec![
-        Request::Measures { category: PoiCategory::School },
-        Request::Query { category: PoiCategory::Hospital, query: AccessQuery::MeanAccess },
-        Request::Query { category: PoiCategory::School, query: AccessQuery::Classification },
+        Request::Measures { category: PoiCategory::School, approx: false },
+        Request::Measures { category: PoiCategory::JobCenter, approx: true },
+        Request::Query {
+            category: PoiCategory::Hospital,
+            query: AccessQuery::MeanAccess,
+            approx: false,
+        },
+        Request::Query {
+            category: PoiCategory::School,
+            query: AccessQuery::Classification,
+            approx: false,
+        },
         Request::Query {
             category: PoiCategory::VaxCenter,
             query: AccessQuery::AtRisk { threshold_factor: 1.25 },
+            approx: false,
         },
         Request::Query {
             category: PoiCategory::JobCenter,
             query: AccessQuery::Fairness { weight: DemographicWeight::Vulnerable },
+            approx: false,
         },
-        Request::Query { category: PoiCategory::School, query: AccessQuery::WorstZones { k: 5 } },
+        Request::Query {
+            category: PoiCategory::School,
+            query: AccessQuery::WorstZones { k: 5 },
+            approx: false,
+        },
+        Request::Query {
+            category: PoiCategory::Hospital,
+            query: AccessQuery::PointAccess { x: 512.0, y: -80.25 },
+            approx: true,
+        },
         Request::AddPoi { category: PoiCategory::Hospital, pos: Point::new(-12.5, 99.0) },
         Request::AddBusRoute {
             stops: vec![Point::new(0.0, 0.0), Point::new(100.0, 50.0), Point::new(10.0, 1.0)],

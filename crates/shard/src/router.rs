@@ -207,7 +207,7 @@ fn handle_connection(
 pub fn dispatch(sup: &ShardSupervisor, request: Request) -> Response {
     metrics::route_counter(request.kind_label()).inc();
     match &request {
-        Request::Measures { category }
+        Request::Measures { category, .. }
         | Request::Query { category, .. }
         | Request::AddPoi { category, .. }
         | Request::WhatIf { category, .. } => {

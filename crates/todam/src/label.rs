@@ -17,8 +17,9 @@ use serde::{Deserialize, Serialize};
 use staq_gtfs::time::TimeInterval;
 use staq_obs::{trace, AtomicHistogram, Counter};
 use staq_synth::{City, ZoneId};
-use staq_transit::{AccessCost, Raptor, TransitNetwork};
+use staq_transit::{AccessCost, Raptor, SharedAccessCache, TransitNetwork};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Zones labeled (attempted — zones without trips count; they cost a map
@@ -111,6 +112,11 @@ pub struct LabelEngine<'a> {
     pub n_workers: usize,
     /// Chunk-distribution strategy for the worker pool.
     pub schedule: LabelSchedule,
+    /// When set, every worker's router memoizes access isochrones in this
+    /// fleet-shared cache instead of a private one. Labels are
+    /// bit-identical either way — the cache only changes who computes an
+    /// isochrone.
+    shared_cache: Option<Arc<SharedAccessCache>>,
 }
 
 impl<'a> LabelEngine<'a> {
@@ -118,7 +124,15 @@ impl<'a> LabelEngine<'a> {
     pub fn new(city: &'a City, cost: AccessCost, interval: TimeInterval) -> Self {
         let net = TransitNetwork::with_defaults(&city.road, &city.feed);
         let n_workers = std::thread::available_parallelism().map_or(1, |n| n.get());
-        LabelEngine { city, net, cost, interval, n_workers, schedule: LabelSchedule::WorkStealing }
+        LabelEngine {
+            city,
+            net,
+            cost,
+            interval,
+            n_workers,
+            schedule: LabelSchedule::WorkStealing,
+            shared_cache: None,
+        }
     }
 
     /// An engine over a caller-supplied network — the what-if path hands in
@@ -131,7 +145,32 @@ impl<'a> LabelEngine<'a> {
         interval: TimeInterval,
     ) -> Self {
         let n_workers = std::thread::available_parallelism().map_or(1, |n| n.get());
-        LabelEngine { city, net, cost, interval, n_workers, schedule: LabelSchedule::WorkStealing }
+        LabelEngine {
+            city,
+            net,
+            cost,
+            interval,
+            n_workers,
+            schedule: LabelSchedule::WorkStealing,
+            shared_cache: None,
+        }
+    }
+
+    /// Routes access isochrones through a fleet-shared cache. Only sound
+    /// for the network the cache was warmed against — what-if overlays
+    /// must keep private caches (their stop sets differ from the base).
+    pub fn with_shared_cache(mut self, cache: Arc<SharedAccessCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// One router per worker: shared-cache handle when configured,
+    /// private arena otherwise.
+    fn router(&self) -> Raptor<'_, 'a> {
+        match &self.shared_cache {
+            Some(c) => Raptor::with_shared_cache(&self.net, c),
+            None => Raptor::new(&self.net),
+        }
     }
 
     /// The underlying network (shared with feature extraction).
@@ -142,7 +181,7 @@ impl<'a> LabelEngine<'a> {
     /// Labels a single zone: routes every trip, aggregates to mean/std.
     /// `None` when the zone has no trips in `m`.
     pub fn label_zone(&self, m: &Todam, zone: ZoneId) -> Option<ZoneStats> {
-        let router = Raptor::new(&self.net);
+        let router = self.router();
         self.label_zone_with(&router, m, zone)
     }
 
@@ -186,7 +225,7 @@ impl<'a> LabelEngine<'a> {
             let mut span = trace::span("label.worker");
             span.attr("worker", 0);
             span.attr("chunks", zones.len().div_ceil(LABEL_CHUNK) as u64);
-            let router = Raptor::new(&self.net);
+            let router = self.router();
             let out = zones.iter().map(|&z| self.label_zone_with(&router, m, z)).collect();
             drop(span);
             let elapsed = t0.elapsed();
@@ -240,7 +279,7 @@ impl<'a> LabelEngine<'a> {
                         let mut span = trace::span("label.worker");
                         span.attr("worker", w as u64);
                         span.attr("chunks", share.len() as u64);
-                        let router = Raptor::new(&self.net);
+                        let router = self.router();
                         for (zc, oc) in share {
                             for (&z, slot) in zc.iter().zip(oc.iter_mut()) {
                                 *slot = self.label_zone_with(&router, m, z);
@@ -280,7 +319,7 @@ impl<'a> LabelEngine<'a> {
                         let _ctx = trace::attach(ctx);
                         let mut worker_span = trace::span("label.worker");
                         worker_span.attr("worker", w as u64);
-                        let router = Raptor::new(&self.net);
+                        let router = self.router();
                         let mut claimed = 0u64;
                         loop {
                             let c = cursor.fetch_add(1, Ordering::Relaxed);
@@ -376,6 +415,26 @@ mod tests {
             let par = engine.label_zones(&m, &zones);
             assert_eq!(seq, par, "diverged at {workers} workers");
         }
+    }
+
+    /// The fleet-shared access cache must not perturb labels: shared-cache
+    /// parallel labeling is bit-identical to private-cache sequential, and
+    /// the shared cache actually warms (later passes reuse it).
+    #[test]
+    fn shared_cache_labeling_matches_private() {
+        let (city, m) = setup();
+        let zones: Vec<ZoneId> = (0..city.n_zones() as u32).map(ZoneId).collect();
+        let mut private = LabelEngine::new(&city, AccessCost::jt(), TimeInterval::am_peak());
+        private.n_workers = 1;
+        let seq = private.label_zones(&m, &zones);
+        let shared = Arc::new(SharedAccessCache::new());
+        let mut engine = LabelEngine::new(&city, AccessCost::jt(), TimeInterval::am_peak())
+            .with_shared_cache(Arc::clone(&shared));
+        for workers in [1, 4] {
+            engine.n_workers = workers;
+            assert_eq!(seq, engine.label_zones(&m, &zones), "diverged at {workers} workers");
+        }
+        assert!(!shared.is_empty(), "labeling must warm the shared cache");
     }
 
     /// Worker counts above the zone count (1-zone chunks everywhere, some

@@ -33,6 +33,7 @@ pub mod mmdijkstra;
 pub mod network;
 pub mod pareto;
 pub mod raptor;
+pub mod shared_cache;
 
 pub use cost::{AccessCost, CostKind, GacWeights};
 pub use fare::FareModel;
@@ -40,3 +41,4 @@ pub use journey::{Journey, Leg};
 pub use network::{AccessCache, OverlayStats, RouterConfig, TransitNetwork};
 pub use pareto::{Bag, ParetoLabel};
 pub use raptor::Raptor;
+pub use shared_cache::{QueryCache, SharedAccessCache, SharedCacheHandle};

@@ -28,9 +28,11 @@ use std::sync::Arc;
 const WEEKDAY_MASK: u8 = 0b0001_1111;
 
 /// Access-isochrone memo lookups answered from the cache.
-static ACCESS_CACHE_HIT: Counter = Counter::new("transit.access_cache.hit");
+pub(crate) static ACCESS_CACHE_HIT: Counter = Counter::new("transit.access_cache.hit");
 /// Access-isochrone memo lookups that ran the road-graph Dijkstra.
-static ACCESS_CACHE_MISS: Counter = Counter::new("transit.access_cache.miss");
+pub(crate) static ACCESS_CACHE_MISS: Counter = Counter::new("transit.access_cache.miss");
+/// Memoized isochrones dropped to stay inside the entry budget.
+pub(crate) static ACCESS_CACHE_EVICTIONS: Counter = Counter::new("transit.access_cache.evictions");
 
 /// Router parameters. Defaults mirror the paper's walking parameters
 /// (τ = 600 s, ω = 4.5 km/h) and a standard 3-transfer search depth.
@@ -819,14 +821,27 @@ pub type AccessRange = (u32, u32);
 /// allocation-free.
 ///
 /// The cache is per-router (routers are per-worker), so no synchronization
-/// is needed. Eviction is wholesale: [`begin_query`](Self::begin_query)
-/// clears everything when the *next* query's two inserts could exceed the
-/// entry budget, which also guarantees ranges handed out within one query
-/// are never invalidated mid-query.
+/// is needed. Eviction is **second-chance** (a clock over insertion order):
+/// [`begin_query`](Self::begin_query) pops the oldest entries whose
+/// referenced bit is clear — a hit since the last sweep earns one reprieve —
+/// until the query's (up to two) inserts fit the budget, then compacts the
+/// arena. Because eviction happens only between queries, ranges handed out
+/// within one query are never invalidated mid-query. Evictions are counted
+/// in `transit.access_cache.evictions`.
 pub struct AccessCache {
-    map: HashMap<(i64, i64), AccessRange>,
+    map: HashMap<(i64, i64), CacheEntry>,
+    /// Insertion-ordered key queue the clock hand sweeps. Keys are unique:
+    /// [`insert`](Self::insert) only runs on a miss.
+    order: std::collections::VecDeque<(i64, i64)>,
     arena: Vec<(StopId, u32)>,
     max_entries: usize,
+}
+
+struct CacheEntry {
+    range: AccessRange,
+    /// Set on every hit, cleared when the clock hand passes — a hot entry
+    /// survives exactly one sweep beyond a cold one.
+    referenced: bool,
 }
 
 impl Default for AccessCache {
@@ -847,28 +862,58 @@ impl AccessCache {
 
     /// An empty cache holding at most `max_entries` memoized isochrones.
     pub fn with_max_entries(max_entries: usize) -> Self {
-        AccessCache { map: HashMap::new(), arena: Vec::new(), max_entries: max_entries.max(2) }
+        AccessCache {
+            map: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            arena: Vec::new(),
+            max_entries: max_entries.max(2),
+        }
     }
 
     /// Millimeter-grid key: exact for any two points that aren't within
     /// 1 mm of a shared grid line, i.e. all real origins/destinations.
-    fn key(point: &Point) -> (i64, i64) {
+    pub(crate) fn key(point: &Point) -> (i64, i64) {
         ((point.x * 1000.0).round() as i64, (point.y * 1000.0).round() as i64)
     }
 
-    /// Call once per query, before its lookups: wholesale-evicts when the
-    /// query's (up to two) inserts could overflow the budget, so ranges
-    /// returned within a single query always stay valid.
+    /// Call once per query, before its lookups: second-chance-evicts until
+    /// the query's (up to two) inserts fit the budget, so ranges returned
+    /// within a single query always stay valid.
     pub fn begin_query(&mut self) {
-        if self.map.len() + 2 > self.max_entries {
-            self.map.clear();
-            self.arena.clear();
+        let mut evicted = 0u64;
+        while self.map.len() + 2 > self.max_entries {
+            let Some(key) = self.order.pop_front() else { break };
+            let entry = self.map.get_mut(&key).expect("queued key must be mapped");
+            if entry.referenced {
+                entry.referenced = false;
+                self.order.push_back(key);
+            } else {
+                self.map.remove(&key);
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            ACCESS_CACHE_EVICTIONS.add(evicted);
+            // Compact the arena so evicted isochrones release their bytes;
+            // survivors keep their relative (insertion) order.
+            let mut arena = Vec::with_capacity(self.arena.len());
+            for key in &self.order {
+                let entry = self.map.get_mut(key).expect("queued key must be mapped");
+                let (start, len) = entry.range;
+                let new_start = arena.len() as u32;
+                arena.extend_from_slice(&self.arena[start as usize..(start + len) as usize]);
+                entry.range = (new_start, len);
+            }
+            self.arena = arena;
         }
     }
 
-    /// Cached range for `point`, if present.
-    fn get(&self, point: &Point) -> Option<AccessRange> {
-        self.map.get(&Self::key(point)).copied()
+    /// Cached range for `point`, if present; marks the entry referenced.
+    fn get(&mut self, point: &Point) -> Option<AccessRange> {
+        self.map.get_mut(&Self::key(point)).map(|e| {
+            e.referenced = true;
+            e.range
+        })
     }
 
     /// Memoizes `stops` as the isochrone of `point`.
@@ -876,7 +921,10 @@ impl AccessCache {
         let start = self.arena.len() as u32;
         self.arena.extend_from_slice(stops);
         let range = (start, stops.len() as u32);
-        self.map.insert(Self::key(point), range);
+        let key = Self::key(point);
+        if self.map.insert(key, CacheEntry { range, referenced: false }).is_none() {
+            self.order.push_back(key);
+        }
         range
     }
 
@@ -1249,20 +1297,40 @@ mod tests {
     }
 
     #[test]
-    fn access_cache_evicts_wholesale_at_budget() {
+    fn access_cache_evicts_in_second_chance_order_at_budget() {
         let city = city();
         let net = TransitNetwork::with_defaults(&city.road, &city.feed);
-        let mut cache = AccessCache::with_max_entries(4);
+        let mut cache = AccessCache::with_max_entries(5);
         let mut walk = dijkstra::WalkScratch::new();
         let (mut nodes, mut tmp) = (Vec::new(), Vec::new());
-        for z in 0..6 {
+        let evictions_before = ACCESS_CACHE_EVICTIONS.get();
+        let pts: Vec<Point> = (0..5).map(|z| city.zones[z].centroid).collect();
+        let mut lookup = |cache: &mut AccessCache, p: &Point| {
             cache.begin_query();
-            let p = city.zones[z].centroid;
-            let r = net.access_stops_cached(&p, &mut cache, &mut walk, &mut nodes, &mut tmp);
-            assert_eq!(cache.slice(r), &net.access_stops(&p)[..]);
-            assert!(cache.len() <= 4);
+            net.access_stops_cached(p, cache, &mut walk, &mut nodes, &mut tmp)
+        };
+        // Warm three entries, then re-touch pts[0] so its referenced bit
+        // is set, then fill to the budget.
+        for p in &pts[..3] {
+            lookup(&mut cache, p);
         }
-        assert!(!cache.is_empty());
+        lookup(&mut cache, &pts[0]);
+        lookup(&mut cache, &pts[3]);
+        // The next query overflows the budget: the clock hand reaches the
+        // referenced pts[0] first, grants it a second chance, and evicts
+        // the cold pts[1] instead — never the whole arena.
+        let r = lookup(&mut cache, &pts[4]);
+        assert_eq!(cache.slice(r), &net.access_stops(&pts[4])[..]);
+        assert!(cache.get(&pts[0]).is_some(), "referenced entry must get a second chance");
+        assert!(cache.get(&pts[1]).is_none(), "oldest cold entry is evicted first");
+        // A range surviving arena compaction still resolves correctly.
+        let r0 = cache.get(&pts[0]).expect("still cached");
+        assert_eq!(cache.slice(r0), &net.access_stops(&pts[0])[..]);
+        assert!(
+            ACCESS_CACHE_EVICTIONS.get() > evictions_before,
+            "selective eviction must be counted"
+        );
+        assert!(cache.len() <= 5 && !cache.is_empty());
     }
 
     /// Earliest arrivals over a grid of probe queries — the overlay

@@ -46,6 +46,7 @@
 use crate::journey::{Journey, Leg};
 use crate::network::{AccessCache, TransitNetwork};
 use crate::pareto::{Bag, ParetoLabel};
+use crate::shared_cache::{QueryCache, SharedAccessCache};
 use staq_geom::Point;
 use staq_gtfs::model::StopId;
 use staq_gtfs::time::{DayOfWeek, Stime};
@@ -140,12 +141,13 @@ struct Scratch {
     walk_nodes: Vec<(NodeId, f64)>,
     /// Staging buffer for isochrones on a cache miss.
     access_tmp: Vec<(StopId, u32)>,
-    /// Memoized access/egress isochrones (quantized-point keyed).
-    cache: AccessCache,
+    /// Memoized access/egress isochrones (quantized-point keyed): this
+    /// router's private arena, or a handle onto the fleet-shared cache.
+    cache: QueryCache,
 }
 
 impl Scratch {
-    fn new(rounds: usize, n_stops: usize, n_patterns: usize) -> Self {
+    fn new(rounds: usize, n_stops: usize, n_patterns: usize, cache: QueryCache) -> Self {
         Scratch {
             tau_star: vec![INF; n_stops],
             tau_prev: vec![INF; n_stops],
@@ -163,7 +165,7 @@ impl Scratch {
             walk: WalkScratch::new(),
             walk_nodes: Vec::new(),
             access_tmp: Vec::new(),
-            cache: AccessCache::new(),
+            cache,
         }
     }
 }
@@ -195,9 +197,28 @@ impl<'n, 'a> Raptor<'n, 'a> {
         Self::with_pruning(net, false)
     }
 
+    /// Production router whose access/egress isochrones go through the
+    /// fleet-shared cache instead of a private one. Results are
+    /// bit-identical to [`Raptor::new`] — the memo changes who computes an
+    /// isochrone, never its value.
+    pub fn with_shared_cache(
+        net: &'n TransitNetwork<'a>,
+        shared: &std::sync::Arc<SharedAccessCache>,
+    ) -> Self {
+        Self::with_cache(net, true, QueryCache::Shared(shared.handle()))
+    }
+
     fn with_pruning(net: &'n TransitNetwork<'a>, pruning: bool) -> Self {
-        let scratch =
-            RefCell::new(Scratch::new(net.cfg.max_boardings, net.n_stops(), net.n_patterns()));
+        Self::with_cache(net, pruning, QueryCache::Private(AccessCache::new()))
+    }
+
+    fn with_cache(net: &'n TransitNetwork<'a>, pruning: bool, cache: QueryCache) -> Self {
+        let scratch = RefCell::new(Scratch::new(
+            net.cfg.max_boardings,
+            net.n_stops(),
+            net.n_patterns(),
+            cache,
+        ));
         Raptor { net, scratch, pruning }
     }
 
@@ -260,8 +281,8 @@ impl<'n, 'a> Raptor<'n, 'a> {
         // bound through every round. `begin_query` guarantees neither
         // lookup evicts the other's range.
         cache.begin_query();
-        let egress = self.net.access_stops_cached(dest, cache, walk, walk_nodes, access_tmp);
-        let origin_acc = self.net.access_stops_cached(origin, cache, walk, walk_nodes, access_tmp);
+        let egress = cache.lookup(self.net, dest, walk, walk_nodes, access_tmp);
+        let origin_acc = cache.lookup(self.net, origin, walk, walk_nodes, access_tmp);
 
         *egress_round = egress_round.wrapping_add(1);
         if *egress_round == 0 {
