@@ -60,7 +60,12 @@ fn bench_e2e_warm(c: &mut Criterion) {
     let engine = CityPreset::Test.engine(0.05, 42);
     let mut handle = staq_serve::serve(
         engine,
-        &ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, queue_depth: 64 },
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 64,
+            ..Default::default()
+        },
     )
     .expect("bind loopback server");
     let mut client = Client::connect(handle.addr()).expect("connect");

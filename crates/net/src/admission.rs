@@ -1,0 +1,181 @@
+//! Deadline/budget admission control for the worker pool.
+//!
+//! The gate keeps an EWMA of request execution time and estimates, at
+//! enqueue time, how long a new request would sit in the queue:
+//! `est_wait = queue_len × ewma_exec / workers`. A request is shed with
+//! `Overloaded` — *before* consuming a queue slot — when that estimate
+//! exceeds the configured queue budget, or exceeds the request's own
+//! remaining deadline (it would be dead on arrival at a worker anyway).
+//! Workers apply one more check at dequeue: a request whose deadline
+//! passed while it waited is shed without executing.
+//!
+//! Everything is relaxed atomics — the estimate only needs to be
+//! roughly right to keep the queue from collapsing under overload.
+
+use staq_obs::Counter;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+pub static ADMITTED: Counter = Counter::new("admission.admitted");
+/// Every shed outcome, whatever the reason.
+pub static SHED: Counter = Counter::new("admission.shed");
+/// Shed at enqueue: estimated wait exceeded the queue budget.
+pub static SHED_QUEUE: Counter = Counter::new("admission.shed.queue");
+/// Shed at enqueue: estimated wait exceeded the request's deadline.
+pub static SHED_DEADLINE: Counter = Counter::new("admission.shed.deadline");
+/// Shed at enqueue: the bounded queue itself was full.
+pub static SHED_FULL: Counter = Counter::new("admission.shed.full");
+/// Shed at dequeue: the deadline expired while the request waited.
+pub static SHED_EXPIRED: Counter = Counter::new("admission.shed.expired");
+
+/// Why a request was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Estimated queue wait exceeds the server's queue-time budget.
+    QueueBudget,
+    /// Estimated queue wait exceeds the request's remaining deadline.
+    DeadlineTooTight,
+    /// The bounded queue had no free slot.
+    QueueFull,
+    /// Deadline expired before a worker picked the request up.
+    Expired,
+}
+
+impl ShedReason {
+    pub fn message(&self) -> &'static str {
+        match self {
+            ShedReason::QueueBudget => "estimated queue wait exceeds server budget",
+            ShedReason::DeadlineTooTight => "estimated queue wait exceeds request deadline",
+            ShedReason::QueueFull => "request queue full",
+            ShedReason::Expired => "deadline expired before execution",
+        }
+    }
+
+    /// Bumps `admission.shed` plus the per-reason counter.
+    pub fn count(&self) {
+        SHED.inc();
+        match self {
+            ShedReason::QueueBudget => SHED_QUEUE.inc(),
+            ShedReason::DeadlineTooTight => SHED_DEADLINE.inc(),
+            ShedReason::QueueFull => SHED_FULL.inc(),
+            ShedReason::Expired => SHED_EXPIRED.inc(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Maximum tolerated *estimated* queue wait before shedding.
+    pub queue_budget: Duration,
+    /// Worker count the wait estimate divides by.
+    pub workers: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { queue_budget: Duration::from_millis(500), workers: 4 }
+    }
+}
+
+pub struct Admission {
+    budget_ns: u64,
+    workers: u64,
+    /// EWMA of execution time, nanoseconds; 0 until the first sample.
+    ewma_exec_ns: AtomicU64,
+}
+
+impl Admission {
+    pub fn new(cfg: AdmissionConfig) -> Admission {
+        Admission {
+            budget_ns: cfg.queue_budget.as_nanos().min(u64::MAX as u128) as u64,
+            workers: cfg.workers.max(1) as u64,
+            ewma_exec_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Expected time a request enqueued behind `queue_len` others waits
+    /// for a worker. Zero until the first execution sample lands (cold
+    /// servers admit everything).
+    pub fn estimated_wait(&self, queue_len: usize) -> Duration {
+        let ewma = self.ewma_exec_ns.load(Ordering::Relaxed);
+        Duration::from_nanos((queue_len as u64).saturating_mul(ewma) / self.workers)
+    }
+
+    /// Enqueue-time gate. `remaining_deadline` is how long the caller is
+    /// still willing to wait, if it said.
+    pub fn admit(
+        &self,
+        queue_len: usize,
+        remaining_deadline: Option<Duration>,
+    ) -> Result<(), ShedReason> {
+        let est = self.estimated_wait(queue_len);
+        if est.as_nanos() as u64 > self.budget_ns {
+            return Err(ShedReason::QueueBudget);
+        }
+        if let Some(rem) = remaining_deadline {
+            if est > rem {
+                return Err(ShedReason::DeadlineTooTight);
+            }
+        }
+        Ok(())
+    }
+
+    /// Feeds one execution-time sample into the EWMA (α = 1/8).
+    pub fn observe_exec(&self, dur: Duration) {
+        let ns = dur.as_nanos().min(u64::MAX as u128) as u64;
+        let old = self.ewma_exec_ns.load(Ordering::Relaxed);
+        let new = if old == 0 { ns } else { old - old / 8 + ns / 8 };
+        self.ewma_exec_ns.store(new, Ordering::Relaxed);
+    }
+
+    /// Current EWMA of execution time.
+    pub fn ewma_exec(&self) -> Duration {
+        Duration::from_nanos(self.ewma_exec_ns.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_gate_admits_everything() {
+        let a = Admission::new(AdmissionConfig { queue_budget: Duration::ZERO, workers: 1 });
+        // No samples yet: est wait is zero whatever the queue length.
+        assert!(a.admit(1_000_000, Some(Duration::ZERO)).is_ok());
+    }
+
+    #[test]
+    fn queue_budget_sheds_once_estimate_exceeds_it() {
+        let a =
+            Admission::new(AdmissionConfig { queue_budget: Duration::from_millis(10), workers: 2 });
+        a.observe_exec(Duration::from_millis(4));
+        // est = 10 * 4ms / 2 workers = 20ms > 10ms budget.
+        assert_eq!(a.admit(10, None), Err(ShedReason::QueueBudget));
+        // est = 4 * 4ms / 2 = 8ms <= 10ms.
+        assert!(a.admit(4, None).is_ok());
+    }
+
+    #[test]
+    fn tight_deadlines_shed_before_the_budget_does() {
+        let a =
+            Admission::new(AdmissionConfig { queue_budget: Duration::from_secs(10), workers: 1 });
+        a.observe_exec(Duration::from_millis(5));
+        // 20 queued * 5ms = 100ms estimated wait; a 50ms deadline can't make it.
+        assert_eq!(a.admit(20, Some(Duration::from_millis(50))), Err(ShedReason::DeadlineTooTight));
+        assert!(a.admit(20, Some(Duration::from_millis(500))).is_ok());
+    }
+
+    #[test]
+    fn ewma_tracks_execution_samples() {
+        let a = Admission::new(AdmissionConfig::default());
+        a.observe_exec(Duration::from_millis(8));
+        assert_eq!(a.ewma_exec(), Duration::from_millis(8));
+        for _ in 0..64 {
+            a.observe_exec(Duration::from_millis(2));
+        }
+        let settled = a.ewma_exec();
+        assert!(settled < Duration::from_millis(3), "ewma did not converge: {settled:?}");
+        assert!(settled >= Duration::from_millis(1));
+    }
+}

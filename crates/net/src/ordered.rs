@@ -1,0 +1,74 @@
+//! In-order response release for connections whose protocol version has
+//! no request IDs.
+//!
+//! Pre-v4 wire clients match responses to requests purely by order, but
+//! the worker pool completes requests in whatever order they finish. The
+//! event loop assigns each decoded frame a per-connection sequence
+//! number; workers submit the encoded response under that number and the
+//! emitter releases frames to the [`ReplySink`] strictly in sequence,
+//! parking early completions until the gap fills. v4 frames (explicit
+//! request IDs) bypass this entirely and go straight to the sink.
+
+use crate::reactor::{ConnId, ReplySink};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+pub struct OrderedOut {
+    conn: ConnId,
+    sink: ReplySink,
+    state: Mutex<OrderState>,
+}
+
+struct OrderState {
+    next_assign: u64,
+    next_emit: u64,
+    parked: BTreeMap<u64, Bytes>,
+}
+
+impl OrderedOut {
+    pub fn new(conn: ConnId, sink: ReplySink) -> Arc<OrderedOut> {
+        Arc::new(OrderedOut {
+            conn,
+            sink,
+            state: Mutex::new(OrderState { next_assign: 0, next_emit: 0, parked: BTreeMap::new() }),
+        })
+    }
+
+    pub fn conn(&self) -> ConnId {
+        self.conn
+    }
+
+    /// Reserves the next in-order slot for a just-decoded request.
+    pub fn assign(&self) -> u64 {
+        let mut s = self.state.lock();
+        let seq = s.next_assign;
+        s.next_assign += 1;
+        seq
+    }
+
+    /// Submits the completed frame for `seq`; releases it plus any
+    /// parked successors the moment the sequence is contiguous.
+    pub fn submit(&self, seq: u64, frame: Bytes) {
+        let mut s = self.state.lock();
+        if seq != s.next_emit {
+            s.parked.insert(seq, frame);
+            return;
+        }
+        self.sink.send(self.conn, frame);
+        s.next_emit += 1;
+        while let Some(f) = {
+            let next = s.next_emit;
+            s.parked.remove(&next)
+        } {
+            self.sink.send(self.conn, f);
+            s.next_emit += 1;
+        }
+    }
+
+    /// For frames that carry their own request ID (v4+): no ordering.
+    pub fn submit_unordered(&self, frame: Bytes) {
+        self.sink.send(self.conn, frame);
+    }
+}

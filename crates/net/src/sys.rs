@@ -1,0 +1,123 @@
+//! Raw OS interfaces behind the poller: direct `extern "C"` declarations
+//! against the libc that std already links, so no external crate is
+//! needed. Only the handful of calls the reactor uses are declared —
+//! `epoll` (Linux), `poll` (portable fallback) and `RLIMIT_NOFILE`
+//! for the high-connection-count bench.
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type c_short = i16;
+pub type nfds_t = usize;
+
+// ---------------------------------------------------------------- epoll
+
+#[cfg(target_os = "linux")]
+pub mod epoll {
+    use super::c_int;
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x1;
+    pub const EPOLLOUT: u32 = 0x4;
+    pub const EPOLLERR: u32 = 0x8;
+    pub const EPOLLHUP: u32 = 0x10;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Kernel ABI layout: packed on x86-64, natural elsewhere.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub u64: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+}
+
+// ----------------------------------------------------------------- poll
+
+pub const POLLIN: c_short = 0x001;
+pub const POLLOUT: c_short = 0x004;
+pub const POLLERR: c_short = 0x008;
+pub const POLLHUP: c_short = 0x010;
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct pollfd {
+    pub fd: c_int,
+    pub events: c_short,
+    pub revents: c_short,
+}
+
+extern "C" {
+    pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+    pub fn close(fd: c_int) -> c_int;
+}
+
+// --------------------------------------------------------------- rlimit
+
+const RLIMIT_NOFILE: c_int = 7;
+
+#[repr(C)]
+struct rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+extern "C" {
+    fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+}
+
+/// Current (soft, hard) open-file limits.
+pub fn nofile_limit() -> std::io::Result<(u64, u64)> {
+    let mut r = rlimit { rlim_cur: 0, rlim_max: 0 };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut r) } != 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    Ok((r.rlim_cur, r.rlim_max))
+}
+
+/// Raises the soft open-file limit toward `want` (capped at the hard
+/// limit) and returns the soft limit now in effect. Benchmarks opening
+/// thousands of sockets call this first and scale themselves to the
+/// returned value.
+pub fn raise_nofile_limit(want: u64) -> std::io::Result<u64> {
+    let (soft, hard) = nofile_limit()?;
+    if soft >= want {
+        return Ok(soft);
+    }
+    let target = want.min(hard);
+    let r = rlimit { rlim_cur: target, rlim_max: hard };
+    if unsafe { setrlimit(RLIMIT_NOFILE, &r) } != 0 {
+        return Ok(soft); // leave the old limit in place rather than fail
+    }
+    Ok(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nofile_limit_is_reported_and_raisable_to_itself() {
+        let (soft, hard) = nofile_limit().unwrap();
+        assert!(soft > 0 && hard >= soft);
+        // Asking for what we already have must never lower the limit.
+        let now = raise_nofile_limit(soft).unwrap();
+        assert!(now >= soft);
+    }
+}

@@ -385,13 +385,21 @@ pub fn span_at(name: &'static str, start: Instant) -> Span {
 /// Inert when capture is off.
 #[cfg(not(feature = "obs-off"))]
 pub fn root_span(name: &'static str) -> Span {
+    root_span_at(name, Instant::now())
+}
+
+/// Like [`root_span`], but backdated to `start` — for request roots
+/// whose wall time began before the tracing thread picked them up
+/// (a job executed by a worker pool is timed from enqueue).
+#[cfg(not(feature = "obs-off"))]
+pub fn root_span_at(name: &'static str, start: Instant) -> Span {
     let parent = current();
     if !enabled() {
         return Span {
             ctx: SpanContext::NONE,
             parent,
             name,
-            start: Instant::now(),
+            start,
             attrs: [("", 0); MAX_ATTRS],
             n_attrs: 0,
             active: false,
@@ -403,7 +411,7 @@ pub fn root_span(name: &'static str) -> Span {
         ctx,
         parent: SpanContext::NONE,
         name,
-        start: Instant::now(),
+        start,
         attrs: [("", 0); MAX_ATTRS],
         n_attrs: 0,
         active: true,
@@ -527,6 +535,11 @@ pub fn span_at(_name: &'static str, _start: Instant) -> Span {
 
 #[cfg(feature = "obs-off")]
 pub fn root_span(_name: &'static str) -> Span {
+    Span { _priv: () }
+}
+
+#[cfg(feature = "obs-off")]
+pub fn root_span_at(_name: &'static str, _start: Instant) -> Span {
     Span { _priv: () }
 }
 

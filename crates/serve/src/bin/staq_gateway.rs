@@ -1,0 +1,99 @@
+//! `staq-gateway` — a curl-able HTTP/JSON front for a staq-serve or
+//! staq-shard endpoint.
+//!
+//! ```text
+//! staq-gateway --backend host:port [--addr 127.0.0.1:8080] [--threads N]
+//!              [--port-file path]
+//! ```
+//!
+//! The gateway holds one multiplexed binary-protocol connection to the
+//! backend and translates a small JSON API onto it (see
+//! `staq_serve::gateway` for the routes). It owns no engine state, so
+//! it boots instantly and can be restarted freely.
+
+use staq_serve::gateway::{gateway, GatewayConfig};
+use std::net::{SocketAddr, ToSocketAddrs};
+
+struct Args {
+    backend: Option<String>,
+    cfg: GatewayConfig,
+    port_file: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        backend: None,
+        cfg: GatewayConfig { addr: "127.0.0.1:8080".into(), ..Default::default() },
+        port_file: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--backend" => args.backend = Some(need(&mut it, "--backend")),
+            "--addr" => args.cfg.addr = need(&mut it, "--addr"),
+            "--threads" => args.cfg.threads = parse(&mut it, "--threads"),
+            "--port-file" => args.port_file = Some(need(&mut it, "--port-file")),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if args.cfg.threads == 0 {
+        usage("--threads must be at least 1");
+    }
+    args
+}
+
+fn need(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+}
+
+fn parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    need(it, flag).parse().unwrap_or_else(|_| usage(&format!("{flag} needs a valid value")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: staq-gateway --backend host:port [--addr host:port] [--threads N] \
+         [--port-file path]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 })
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(backend) = &args.backend else { usage("--backend is required") };
+    let backend: SocketAddr = backend
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .unwrap_or_else(|| usage(&format!("cannot resolve backend address {backend:?}")));
+
+    let mut handle = gateway(backend, &args.cfg).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {}: {e}", args.cfg.addr);
+        std::process::exit(1);
+    });
+    eprintln!(
+        "gateway on http://{} -> {backend} ({} threads); close stdin to stop",
+        handle.addr(),
+        args.cfg.threads
+    );
+    if let Some(path) = &args.port_file {
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, handle.addr().to_string())
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot write port file {path}: {e}");
+                std::process::exit(1);
+            });
+    }
+
+    let mut sink = String::new();
+    while std::io::stdin().read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+        sink.clear();
+    }
+    eprintln!("shutting down...");
+    handle.shutdown();
+}

@@ -20,6 +20,7 @@ use staq_synth::{PoiCategory, PoiId};
 use staq_transit::Journey;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -35,6 +36,12 @@ pub enum ClientError {
     Unexpected(&'static str),
     /// The server closed the connection.
     Disconnected,
+    /// A configured read/write timeout elapsed mid-call. On a plain
+    /// [`Client`] this poisons the connection (the response may still
+    /// arrive and would pair with the next request); a
+    /// [`MuxClient`](crate::mux::MuxClient) survives it (late responses
+    /// are matched by ID and discarded).
+    TimedOut,
     /// A previous call failed mid-frame; request/response pairing on this
     /// connection can no longer be trusted. Discard the client.
     Poisoned,
@@ -50,6 +57,7 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
             ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::TimedOut => write!(f, "timed out waiting for the server"),
             ClientError::Poisoned => {
                 write!(f, "connection poisoned by an earlier mid-frame failure")
             }
@@ -71,6 +79,19 @@ impl From<CodecError> for ClientError {
     }
 }
 
+/// Per-connection client tunables.
+#[derive(Debug, Clone, Default)]
+pub struct ClientConfig {
+    /// Longest a call blocks waiting for response bytes before failing
+    /// with [`ClientError::TimedOut`] (and poisoning the connection).
+    /// `None` waits forever — a stalled or half-open server blocks the
+    /// caller indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Same, for writing the request (a peer that stopped reading
+    /// eventually exhausts the socket buffer and stalls writes).
+    pub write_timeout: Option<Duration>,
+}
+
 /// One connection to a staq-serve server.
 pub struct Client {
     stream: TcpStream,
@@ -85,10 +106,21 @@ pub struct Client {
 
 impl Client {
     /// Connects and disables Nagle (request/response latencies matter
-    /// more than byte counts here).
+    /// more than byte counts here). No timeouts: calls block until the
+    /// server answers or the connection breaks.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        Client::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// [`connect`](Self::connect) with read/write timeouts. A timed-out
+    /// call fails with [`ClientError::TimedOut`] and poisons the
+    /// connection — the response may still be in flight, so reusing the
+    /// socket could pair it with the next request.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, cfg: &ClientConfig) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(cfg.read_timeout)?;
+        stream.set_write_timeout(cfg.write_timeout)?;
         Ok(Client {
             stream,
             buf: BytesMut::with_capacity(4096),
@@ -270,18 +302,27 @@ impl Client {
     fn call_inner(&mut self, request: &Request) -> Result<Response, ClientError> {
         self.out.clear();
         codec::encode_request(request, &mut self.out);
-        self.stream.write_all(&self.out)?;
+        self.stream.write_all(&self.out).map_err(map_io)?;
         let mut scratch = [0u8; 16 * 1024];
         loop {
             if let Some(resp) = codec::decode_response(&mut self.buf)? {
                 return Ok(resp);
             }
-            let n = self.stream.read(&mut scratch)?;
+            let n = self.stream.read(&mut scratch).map_err(map_io)?;
             if n == 0 {
                 return Err(ClientError::Disconnected);
             }
             self.buf.extend_from_slice(&scratch[..n]);
         }
+    }
+}
+
+/// Socket-timeout expiries surface as `WouldBlock` (or `TimedOut`,
+/// platform-dependent); everything else stays an IO error.
+fn map_io(e: std::io::Error) -> ClientError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ClientError::TimedOut,
+        _ => ClientError::Io(e),
     }
 }
 

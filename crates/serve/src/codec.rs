@@ -28,7 +28,28 @@
 //! v2 frames (no context) still decode — [`decode_request`] reports
 //! which version the peer spoke so servers can reply in kind via
 //! [`encode_response_to`], keeping un-upgraded v2 clients working
-//! against a v3 server.
+//! against a newer server.
+//!
+//! ## v4: request IDs, deadlines, multiplexing
+//!
+//! v4 gives frames an identity. Requests become
+//!
+//! ```text
+//! kind | req id: u64 | trace: u64 | span: u64 | flags: u8
+//!      | [deadline ms: u32 when flags bit 0] | payload
+//! ```
+//!
+//! and responses gain the echoed request ID right after the kind byte.
+//! The ID makes true multiplexing possible: many requests in flight on
+//! one connection, each response matched by ID rather than by arrival
+//! order, so the server may answer out of order. The optional deadline
+//! is the client's total time budget for the request — the server sheds
+//! the request with [`ErrorCode::Overloaded`] instead of queueing it
+//! past its useful life. Pre-v4 peers keep working: their responses
+//! carry no ID and are answered strictly in request order (the server
+//! re-sequences completions). A v4 client that pipelines MUST use
+//! distinct request IDs; responses to v4 requests arrive in completion
+//! order.
 //!
 //! ## Streaming frames (v3 only)
 //!
@@ -59,8 +80,10 @@ use staq_transit::{Journey, Leg};
 /// Protocol version this build emits. v2 extended the `Stats` response
 /// with a full [`MetricsSnapshot`]; v3 added the request trace context,
 /// the `TraceDump` request/response pair, and the streaming frames
-/// (`ApplyDelta`, `DeltaBatch`, `WhatIf`).
-pub const WIRE_VERSION: u8 = 3;
+/// (`ApplyDelta`, `DeltaBatch`, `WhatIf`); v4 added request IDs on both
+/// request and response frames (multiplexing) plus the optional
+/// per-request deadline field.
+pub const WIRE_VERSION: u8 = 4;
 
 /// Oldest version still accepted on decode. v2 peers round-trip every
 /// pre-trace request kind; their requests simply carry no span context.
@@ -131,6 +154,23 @@ impl Request {
 pub struct DecodedRequest {
     pub request: Request,
     pub ctx: SpanContext,
+    pub version: u8,
+    /// The request ID to echo on the response (0 on pre-v4 frames, and
+    /// for non-multiplexed v4 clients that always send 0).
+    pub req_id: u64,
+    /// The client's total time budget for this request, if it set one
+    /// (v4 frames only). Measured from decode; the server sheds the
+    /// request once the budget cannot be met.
+    pub deadline_ms: Option<u32>,
+}
+
+/// A decoded response plus its frame-level identity — what a
+/// multiplexing client needs to match it to a caller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedResponse {
+    pub response: Response,
+    /// Echoed request ID (0 on pre-v4 frames).
+    pub req_id: u64,
     pub version: u8,
 }
 
@@ -218,6 +258,10 @@ pub enum ErrorCode {
     /// A streamed delta's sequence number is ahead of the server's log;
     /// the sender must resend the missing tail.
     SeqGap = 4,
+    /// Load shed: admission control refused the request (queue budget
+    /// exhausted, or its deadline could not be met). Retry later or
+    /// against another replica — nothing was executed.
+    Overloaded = 5,
 }
 
 impl ErrorCode {
@@ -227,6 +271,7 @@ impl ErrorCode {
             2 => Some(ErrorCode::Invalid),
             3 => Some(ErrorCode::Unavailable),
             4 => Some(ErrorCode::SeqGap),
+            5 => Some(ErrorCode::Overloaded),
             _ => None,
         }
     }
@@ -745,8 +790,27 @@ fn decode_journey(buf: &mut &[u8]) -> Result<Journey, CodecError> {
 /// Appends one encoded request frame (header included) to `buf`, at
 /// [`WIRE_VERSION`], carrying the calling thread's current span context
 /// — propagation is automatic for any client running inside a span.
+/// Request ID 0 and no deadline: the sequential-client form.
 pub fn encode_request(req: &Request, buf: &mut BytesMut) {
-    encode_request_v(req, WIRE_VERSION, trace::current(), buf)
+    encode_request_v(req, WIRE_VERSION, trace::current(), 0, None, buf)
+}
+
+/// [`encode_request`] with an explicit request ID and optional deadline
+/// budget — the multiplexed-client form. IDs on one connection must be
+/// distinct while their requests are in flight.
+pub fn encode_request_mux(
+    req: &Request,
+    req_id: u64,
+    deadline_ms: Option<u32>,
+    buf: &mut BytesMut,
+) {
+    encode_request_v(req, WIRE_VERSION, trace::current(), req_id, deadline_ms, buf)
+}
+
+/// Encodes a v3 (pre-request-ID) frame — what a one-version-old client
+/// sends. Kept callable for compatibility tests.
+pub fn encode_request_v3(req: &Request, buf: &mut BytesMut) {
+    encode_request_v(req, 3, trace::current(), 0, None, buf)
 }
 
 /// Encodes a v2 (pre-trace) request frame — what an un-upgraded client
@@ -772,15 +836,38 @@ pub fn encode_request_v2(req: &Request, buf: &mut BytesMut) {
         ),
         "approximate mode is a v3 flag; v2 cannot encode it"
     );
-    encode_request_v(req, 2, SpanContext::NONE, buf)
+    encode_request_v(req, 2, SpanContext::NONE, 0, None, buf)
 }
 
-fn encode_request_v(req: &Request, version: u8, ctx: SpanContext, buf: &mut BytesMut) {
+/// Bit 0 of the v4 request flags byte: a `deadline ms: u32` field
+/// follows. Remaining bits are reserved (must be zero).
+const FLAG_DEADLINE: u8 = 0x01;
+
+fn encode_request_v(
+    req: &Request,
+    version: u8,
+    ctx: SpanContext,
+    req_id: u64,
+    deadline_ms: Option<u32>,
+    buf: &mut BytesMut,
+) {
     let body_start = begin_frame(buf, version);
     let put_ctx = |buf: &mut BytesMut| {
+        if version >= 4 {
+            buf.put_u64(req_id);
+        }
         if version >= 3 {
             buf.put_u64(ctx.trace);
             buf.put_u64(ctx.span);
+        }
+        if version >= 4 {
+            match deadline_ms {
+                Some(ms) => {
+                    buf.put_u8(FLAG_DEADLINE);
+                    buf.put_u32(ms);
+                }
+                None => buf.put_u8(0),
+            }
         }
     };
     match req {
@@ -878,21 +965,29 @@ fn encode_request_v(req: &Request, version: u8, ctx: SpanContext, buf: &mut Byte
 }
 
 /// Appends one encoded response frame (header included) to `buf`, at
-/// [`WIRE_VERSION`].
+/// [`WIRE_VERSION`], echoing request ID 0.
 pub fn encode_response(resp: &Response, buf: &mut BytesMut) {
-    encode_response_to(resp, WIRE_VERSION, buf)
+    encode_response_to(resp, WIRE_VERSION, 0, buf)
 }
 
 /// Encodes a response stamped with the version the requester spoke — a
 /// v2 client's `split_frame` hard-rejects any other version byte, so
-/// answering v2 requests at v3 would break exactly the peers the
+/// answering v2 requests at v4 would break exactly the peers the
 /// [`MIN_WIRE_VERSION`] floor is meant to keep alive. The response body
-/// layout is identical across v2/v3.
-pub fn encode_response_to(resp: &Response, version: u8, buf: &mut BytesMut) {
+/// layout is identical across versions; v4 frames additionally echo the
+/// request's ID right after the kind byte (`req_id` is ignored for
+/// older versions).
+pub fn encode_response_to(resp: &Response, version: u8, req_id: u64, buf: &mut BytesMut) {
     let body_start = begin_frame(buf, version);
+    let put_req_id = |buf: &mut BytesMut| {
+        if version >= 4 {
+            buf.put_u64(req_id);
+        }
+    };
     match resp {
         Response::Measures(ms) => {
             buf.put_u8(K_R_MEASURES);
+            put_req_id(buf);
             buf.put_u32(ms.len() as u32);
             for m in ms {
                 buf.put_u32(m.zone.0);
@@ -902,18 +997,22 @@ pub fn encode_response_to(resp: &Response, version: u8, buf: &mut BytesMut) {
         }
         Response::Query(a) => {
             buf.put_u8(K_R_QUERY);
+            put_req_id(buf);
             encode_answer(buf, a);
         }
         Response::AddPoi { poi_id } => {
             buf.put_u8(K_R_ADD_POI);
+            put_req_id(buf);
             buf.put_u32(*poi_id);
         }
         Response::AddBusRoute { zones_rebuilt } => {
             buf.put_u8(K_R_ADD_BUS_ROUTE);
+            put_req_id(buf);
             buf.put_u32(*zones_rebuilt);
         }
         Response::Stats(s) => {
             buf.put_u8(K_R_STATS);
+            put_req_id(buf);
             buf.put_u64(s.pipeline_runs);
             buf.put_u64(s.requests_served);
             buf.put_u16(s.workers);
@@ -925,6 +1024,7 @@ pub fn encode_response_to(resp: &Response, version: u8, buf: &mut BytesMut) {
         }
         Response::TraceDump(spans) => {
             buf.put_u8(K_R_TRACE_DUMP);
+            put_req_id(buf);
             buf.put_u32(spans.len() as u32);
             for s in spans {
                 encode_span(buf, s);
@@ -932,16 +1032,19 @@ pub fn encode_response_to(resp: &Response, version: u8, buf: &mut BytesMut) {
         }
         Response::ApplyDelta(ack) => {
             buf.put_u8(K_R_APPLY_DELTA);
+            put_req_id(buf);
             buf.put_u64(ack.seq);
             buf.put_u32(ack.zones_rebuilt);
             buf.put_u8(ack.replayed as u8);
         }
         Response::DeltaBatch { last_seq } => {
             buf.put_u8(K_R_DELTA_BATCH);
+            put_req_id(buf);
             buf.put_u64(*last_seq);
         }
         Response::WhatIf(answers) => {
             buf.put_u8(K_R_WHAT_IF);
+            put_req_id(buf);
             buf.put_u16(answers.len().min(u16::MAX as usize) as u16);
             for a in answers.iter().take(u16::MAX as usize) {
                 encode_answer(buf, &a.answer);
@@ -950,6 +1053,7 @@ pub fn encode_response_to(resp: &Response, version: u8, buf: &mut BytesMut) {
         }
         Response::Plan(journeys) => {
             buf.put_u8(K_R_PLAN);
+            put_req_id(buf);
             buf.put_u16(journeys.len().min(u16::MAX as usize) as u16);
             for j in journeys.iter().take(u16::MAX as usize) {
                 encode_journey(buf, j);
@@ -957,6 +1061,7 @@ pub fn encode_response_to(resp: &Response, version: u8, buf: &mut BytesMut) {
         }
         Response::Error { code, message } => {
             buf.put_u8(K_R_ERROR);
+            put_req_id(buf);
             buf.put_u8(*code as u8);
             put_string(buf, message);
         }
@@ -1018,10 +1123,24 @@ pub fn decode_request_full(buf: &mut BytesMut) -> Result<Option<DecodedRequest>,
     let Some((version, frame)) = split_frame(buf)? else { return Ok(None) };
     let mut p: &[u8] = &frame;
     let kind = take_u8(&mut p)?;
+    let req_id = if version >= 4 { take_u64(&mut p)? } else { 0 };
     let ctx = if version >= 3 {
         SpanContext { trace: take_u64(&mut p)?, span: take_u64(&mut p)? }
     } else {
         SpanContext::NONE
+    };
+    let deadline_ms = if version >= 4 {
+        let flags = take_u8(&mut p)?;
+        if flags & !FLAG_DEADLINE != 0 {
+            return Err(CodecError::BadPayload("unknown request flags"));
+        }
+        if flags & FLAG_DEADLINE != 0 {
+            Some(take_u32(&mut p)?)
+        } else {
+            None
+        }
+    } else {
+        None
     };
     let req = match kind {
         K_MEASURES => {
@@ -1103,14 +1222,22 @@ pub fn decode_request_full(buf: &mut BytesMut) -> Result<Option<DecodedRequest>,
     if p.remaining() != 0 {
         return Err(CodecError::BadPayload("trailing bytes in frame"));
     }
-    Ok(Some(DecodedRequest { request: req, ctx, version }))
+    Ok(Some(DecodedRequest { request: req, ctx, version, req_id, deadline_ms }))
 }
 
-/// Decodes one response from `buf` if a complete frame is buffered.
+/// Decodes one response from `buf` if a complete frame is buffered,
+/// discarding the frame identity — the sequential-client form.
+/// Multiplexing clients use [`decode_response_full`].
 pub fn decode_response(buf: &mut BytesMut) -> Result<Option<Response>, CodecError> {
-    let Some((_version, frame)) = split_frame(buf)? else { return Ok(None) };
+    Ok(decode_response_full(buf)?.map(|d| d.response))
+}
+
+/// Decodes one response plus its echoed request ID and frame version.
+pub fn decode_response_full(buf: &mut BytesMut) -> Result<Option<DecodedResponse>, CodecError> {
+    let Some((version, frame)) = split_frame(buf)? else { return Ok(None) };
     let mut p: &[u8] = &frame;
     let kind = take_u8(&mut p)?;
+    let req_id = if version >= 4 { take_u64(&mut p)? } else { 0 };
     let resp = match kind {
         K_R_MEASURES => {
             let n = take_u32(&mut p)? as usize;
@@ -1187,7 +1314,7 @@ pub fn decode_response(buf: &mut BytesMut) -> Result<Option<Response>, CodecErro
     if p.remaining() != 0 {
         return Err(CodecError::BadPayload("trailing bytes in frame"));
     }
-    Ok(Some(resp))
+    Ok(Some(DecodedResponse { response: resp, req_id, version }))
 }
 
 #[cfg(test)]
@@ -1643,13 +1770,86 @@ mod tests {
     fn responses_stamped_v2_roundtrip_and_carry_v2_byte() {
         let resp = Response::AddPoi { poi_id: 9 };
         let mut buf = BytesMut::new();
-        encode_response_to(&resp, 2, &mut buf);
+        encode_response_to(&resp, 2, 0, &mut buf);
         assert_eq!(buf[4], 2);
         assert_eq!(decode_response(&mut buf).unwrap(), Some(resp));
     }
 
     #[test]
-    fn v3_requests_carry_the_current_span_context() {
+    fn v4_requests_roundtrip_request_id_and_deadline() {
+        let mut buf = BytesMut::new();
+        encode_request_mux(&Request::Stats, 0xABCD_EF01_2345_6789, Some(1500), &mut buf);
+        let d = decode_request_full(&mut buf).unwrap().expect("complete frame");
+        assert!(buf.is_empty());
+        assert_eq!(d.version, WIRE_VERSION);
+        assert_eq!(d.req_id, 0xABCD_EF01_2345_6789);
+        assert_eq!(d.deadline_ms, Some(1500));
+
+        encode_request_mux(&Request::Stats, 7, None, &mut buf);
+        let d = decode_request_full(&mut buf).unwrap().expect("complete frame");
+        assert_eq!(d.req_id, 7);
+        assert_eq!(d.deadline_ms, None);
+    }
+
+    #[test]
+    fn v4_responses_echo_the_request_id() {
+        let resp = Response::AddPoi { poi_id: 9 };
+        let mut buf = BytesMut::new();
+        encode_response_to(&resp, WIRE_VERSION, 42, &mut buf);
+        let d = decode_response_full(&mut buf).unwrap().expect("complete frame");
+        assert_eq!(d.req_id, 42);
+        assert_eq!(d.version, WIRE_VERSION);
+        assert_eq!(d.response, resp);
+
+        // Pre-v4 responses have no ID on the wire and report 0.
+        encode_response_to(&resp, 3, 42, &mut buf);
+        let d = decode_response_full(&mut buf).unwrap().expect("complete frame");
+        assert_eq!(d.req_id, 0);
+        assert_eq!(d.version, 3);
+    }
+
+    #[test]
+    fn v3_request_frames_still_decode_with_zero_request_id() {
+        let req = Request::Query {
+            category: PoiCategory::Hospital,
+            query: AccessQuery::MeanAccess,
+            approx: true,
+        };
+        let mut buf = BytesMut::new();
+        encode_request_v3(&req, &mut buf);
+        assert_eq!(buf[4], 3);
+        let d = decode_request_full(&mut buf).unwrap().expect("complete frame");
+        assert_eq!(d.request, req);
+        assert_eq!(d.version, 3);
+        assert_eq!(d.req_id, 0);
+        assert_eq!(d.deadline_ms, None);
+    }
+
+    #[test]
+    fn unknown_request_flags_are_rejected() {
+        let mut buf = BytesMut::new();
+        encode_request_mux(&Request::Stats, 1, None, &mut buf);
+        // The flags byte sits after len(4) + ver(1) + kind(1) + req id(8)
+        // + trace ctx(16).
+        let flags_at = 4 + 1 + 1 + 8 + 16;
+        buf[flags_at] = 0x80;
+        assert_eq!(
+            decode_request_full(&mut buf).map(|d| d.map(|d| d.request)),
+            Err(CodecError::BadPayload("unknown request flags"))
+        );
+    }
+
+    #[test]
+    fn overloaded_error_code_roundtrips() {
+        let resp = Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "estimated queue wait exceeds server budget".into(),
+        };
+        assert_eq!(roundtrip_response(&resp), resp);
+    }
+
+    #[test]
+    fn current_requests_carry_the_current_span_context() {
         let ctx = SpanContext { trace: 0x1234_5678_9ABC_DEF0, span: 42 };
         let _g = trace::attach(ctx);
         let mut buf = BytesMut::new();

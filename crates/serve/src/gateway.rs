@@ -1,0 +1,546 @@
+//! HTTP/1.1 JSON gateway over the binary wire protocol.
+//!
+//! The staq stack speaks a length-prefixed binary protocol end to end —
+//! compact and multiplexable, but opaque to anything that isn't a staq
+//! client. This module is the thin translation layer that makes the
+//! stack curl-able: it serves a small JSON API over
+//! [`staq_net::http`] and forwards each request to a `staq-serve` or
+//! `staq-shard` endpoint over a single shared [`MuxClient`] connection,
+//! so a burst of HTTP callers does not fan out into a burst of backend
+//! sockets.
+//!
+//! Routes:
+//!
+//! | method | path           | body / params                             |
+//! |--------|----------------|-------------------------------------------|
+//! | GET    | `/healthz`     | — (gateway liveness only)                 |
+//! | GET    | `/v1/stats`    | —                                         |
+//! | GET    | `/v1/measures` | `?category=school[&approx=true]`          |
+//! | POST   | `/v1/query`    | `{category, query:{kind,...}, approx?}`   |
+//! | POST   | `/v1/plan`     | `{origin:{x,y}, dest:{x,y}, depart, ...}` |
+//! | POST   | `/v1/poi`      | `{category, x, y}`                        |
+//!
+//! Every backend-touching request accepts an optional `deadline_ms`
+//! (body field on POSTs, query param on GETs). When present it is
+//! stamped into the wire frame so the backend's admission control can
+//! shed the request instead of executing it after the caller has given
+//! up; the gateway itself gives up at the same instant with `504`.
+//!
+//! Error mapping: backend `BadRequest`/`Invalid` → 400, `SeqGap` → 409,
+//! `Unavailable` → 503, `Overloaded` → 429, transport failures → 502,
+//! deadline expiry → 504. The body is always `{"error": "..."}`.
+
+use crate::client::ClientError;
+use crate::codec::{ErrorCode, Request, Response, StatsReply};
+use crate::mux::MuxClient;
+use parking_lot::Mutex;
+use staq_access::measures::ZoneMeasures;
+use staq_access::{AccessClass, AccessQuery, DemographicWeight, QueryAnswer};
+use staq_geom::Point;
+use staq_gtfs::time::{DayOfWeek, Stime};
+use staq_net::http::{serve_http, Handler, HttpHandle, HttpRequest, HttpResponse};
+use staq_net::json::Json;
+use staq_synth::PoiCategory;
+use staq_transit::{Journey, Leg};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Gateway tuning knobs.
+#[derive(Clone, Debug)]
+pub struct GatewayConfig {
+    /// Address the HTTP listener binds (`host:port`, port 0 for ephemeral).
+    pub addr: String,
+    /// HTTP worker threads (each handles one connection at a time).
+    pub threads: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig { addr: "127.0.0.1:0".into(), threads: 4 }
+    }
+}
+
+/// Starts the gateway in background threads; dropping the handle (or
+/// calling [`HttpHandle::shutdown`]) stops it. The backend connection
+/// is dialed lazily on the first request, so the gateway can come up
+/// before (or outlive a restart of) the endpoint it fronts.
+pub fn gateway(backend: SocketAddr, cfg: &GatewayConfig) -> std::io::Result<HttpHandle> {
+    let state = Arc::new(GatewayState { backend, mux: Mutex::new(None) });
+    let handler: Handler = Arc::new(move |req| route(&state, req));
+    serve_http(&cfg.addr, cfg.threads.max(1), handler)
+}
+
+struct GatewayState {
+    backend: SocketAddr,
+    /// One multiplexed connection shared by every HTTP worker. A
+    /// poisoned client is dropped and redialed on the next call.
+    mux: Mutex<Option<MuxClient>>,
+}
+
+impl GatewayState {
+    fn client(&self) -> Result<MuxClient, ClientError> {
+        let mut slot = self.mux.lock();
+        if let Some(c) = slot.as_ref() {
+            if !c.is_poisoned() {
+                return Ok(c.clone());
+            }
+        }
+        let c = MuxClient::connect(self.backend).map_err(ClientError::Io)?;
+        *slot = Some(c.clone());
+        Ok(c)
+    }
+
+    fn call(&self, request: &Request, deadline: Option<Duration>) -> Result<Response, ClientError> {
+        let client = self.client()?;
+        match deadline {
+            Some(d) => client.call_with_deadline(request, d),
+            None => client.call(request),
+        }
+    }
+}
+
+fn route(state: &GatewayState, req: &HttpRequest) -> HttpResponse {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            HttpResponse::json(200, Json::obj(vec![("ok", Json::Bool(true))]).to_string())
+        }
+        ("GET", "/v1/stats") => stats(state, req),
+        ("GET", "/v1/measures") => measures(state, req),
+        ("POST", "/v1/query") => query(state, req),
+        ("POST", "/v1/plan") => plan(state, req),
+        ("POST", "/v1/poi") => add_poi(state, req),
+        (_, "/healthz" | "/v1/stats" | "/v1/measures" | "/v1/query" | "/v1/plan" | "/v1/poi") => {
+            error_response(405, "method not allowed on this route")
+        }
+        _ => error_response(404, "no such route"),
+    }
+}
+
+// ---------------------------------------------------------------- routes
+
+fn stats(state: &GatewayState, req: &HttpRequest) -> HttpResponse {
+    let deadline = match query_deadline(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    forward(state, &Request::Stats, deadline, |resp| match resp {
+        Response::Stats(s) => Some(stats_json(&s)),
+        _ => None,
+    })
+}
+
+fn measures(state: &GatewayState, req: &HttpRequest) -> HttpResponse {
+    let deadline = match query_deadline(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let Some(category) = req.param("category").and_then(parse_category) else {
+        return error_response(400, "category must be school|hospital|vax_center|job_center");
+    };
+    let approx = req.param("approx").is_some_and(|v| v == "true" || v == "1");
+    forward(state, &Request::Measures { category, approx }, deadline, |resp| match resp {
+        Response::Measures(zones) => Some(Json::Arr(zones.iter().map(measures_json).collect())),
+        _ => None,
+    })
+}
+
+fn query(state: &GatewayState, req: &HttpRequest) -> HttpResponse {
+    let body = match body_json(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let Some(category) = body.get("category").and_then(Json::as_str).and_then(parse_category)
+    else {
+        return error_response(400, "category must be school|hospital|vax_center|job_center");
+    };
+    let query = match body.get("query").map(parse_access_query) {
+        Some(Ok(q)) => q,
+        Some(Err(msg)) => return error_response(400, &msg),
+        None => return error_response(400, "missing query object"),
+    };
+    let approx = body.get("approx").and_then(Json::as_bool).unwrap_or(false);
+    let request = Request::Query { category, query, approx };
+    forward(state, &request, body_deadline(&body), |resp| match resp {
+        Response::Query(answer) => Some(answer_json(&answer)),
+        _ => None,
+    })
+}
+
+fn plan(state: &GatewayState, req: &HttpRequest) -> HttpResponse {
+    let body = match body_json(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let (origin, dest) = match (parse_point(body.get("origin")), parse_point(body.get("dest"))) {
+        (Some(o), Some(d)) => (o, d),
+        _ => return error_response(400, "origin and dest must be {x, y} objects"),
+    };
+    let Some(depart) = body.get("depart").and_then(Json::as_f64) else {
+        return error_response(400, "missing depart (seconds since midnight)");
+    };
+    let day = match body.get("day").and_then(Json::as_str) {
+        Some(name) => match parse_day(name) {
+            Some(d) => d,
+            None => return error_response(400, "day must be monday..sunday"),
+        },
+        None => DayOfWeek::Monday,
+    };
+    let max_transfers = body.get("max_transfers").and_then(Json::as_f64).map(|n| n as u8);
+    let request = Request::Plan { origin, dest, depart: Stime(depart as u32), day, max_transfers };
+    forward(state, &request, body_deadline(&body), |resp| match resp {
+        Response::Plan(journeys) => Some(Json::obj(vec![(
+            "journeys",
+            Json::Arr(journeys.iter().map(journey_json).collect()),
+        )])),
+        _ => None,
+    })
+}
+
+fn add_poi(state: &GatewayState, req: &HttpRequest) -> HttpResponse {
+    let body = match body_json(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let Some(category) = body.get("category").and_then(Json::as_str).and_then(parse_category)
+    else {
+        return error_response(400, "category must be school|hospital|vax_center|job_center");
+    };
+    let (x, y) = match (body.get("x").and_then(Json::as_f64), body.get("y").and_then(Json::as_f64))
+    {
+        (Some(x), Some(y)) => (x, y),
+        _ => return error_response(400, "missing x/y coordinates"),
+    };
+    let request = Request::AddPoi { category, pos: Point::new(x, y) };
+    forward(state, &request, body_deadline(&body), |resp| match resp {
+        Response::AddPoi { poi_id } => Some(Json::obj(vec![("poi_id", Json::Num(poi_id as f64))])),
+        _ => None,
+    })
+}
+
+// ------------------------------------------------------- request parsing
+
+fn body_json(req: &HttpRequest) -> Result<Json, HttpResponse> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| error_response(400, "body is not valid UTF-8"))?;
+    Json::parse(text).map_err(|e| error_response(400, &format!("bad JSON body: {e}")))
+}
+
+fn body_deadline(body: &Json) -> Option<Duration> {
+    body.get("deadline_ms").and_then(Json::as_f64).map(|ms| Duration::from_millis(ms as u64))
+}
+
+fn query_deadline(req: &HttpRequest) -> Result<Option<Duration>, HttpResponse> {
+    match req.param("deadline_ms") {
+        None => Ok(None),
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Ok(Some(Duration::from_millis(ms))),
+            Err(_) => Err(error_response(400, "deadline_ms must be an integer")),
+        },
+    }
+}
+
+fn parse_category(name: &str) -> Option<PoiCategory> {
+    match name {
+        "school" => Some(PoiCategory::School),
+        "hospital" => Some(PoiCategory::Hospital),
+        "vax_center" => Some(PoiCategory::VaxCenter),
+        "job_center" => Some(PoiCategory::JobCenter),
+        _ => None,
+    }
+}
+
+fn category_slug(category: PoiCategory) -> &'static str {
+    match category {
+        PoiCategory::School => "school",
+        PoiCategory::Hospital => "hospital",
+        PoiCategory::VaxCenter => "vax_center",
+        PoiCategory::JobCenter => "job_center",
+    }
+}
+
+fn parse_weight(name: &str) -> Option<DemographicWeight> {
+    match name {
+        "uniform" => Some(DemographicWeight::Uniform),
+        "population" => Some(DemographicWeight::Population),
+        "unemployed" => Some(DemographicWeight::Unemployed),
+        "vulnerable" => Some(DemographicWeight::Vulnerable),
+        "children" => Some(DemographicWeight::Children),
+        _ => None,
+    }
+}
+
+fn parse_day(name: &str) -> Option<DayOfWeek> {
+    match name {
+        "monday" => Some(DayOfWeek::Monday),
+        "tuesday" => Some(DayOfWeek::Tuesday),
+        "wednesday" => Some(DayOfWeek::Wednesday),
+        "thursday" => Some(DayOfWeek::Thursday),
+        "friday" => Some(DayOfWeek::Friday),
+        "saturday" => Some(DayOfWeek::Saturday),
+        "sunday" => Some(DayOfWeek::Sunday),
+        _ => None,
+    }
+}
+
+fn parse_point(value: Option<&Json>) -> Option<Point> {
+    let v = value?;
+    Some(Point::new(v.get("x")?.as_f64()?, v.get("y")?.as_f64()?))
+}
+
+fn parse_access_query(q: &Json) -> Result<AccessQuery, String> {
+    let Some(kind) = q.get("kind").and_then(Json::as_str) else {
+        return Err("query needs a kind".into());
+    };
+    match kind {
+        "mean_access" => Ok(AccessQuery::MeanAccess),
+        "classification" => Ok(AccessQuery::Classification),
+        "at_risk" => {
+            let f = q.get("threshold_factor").and_then(Json::as_f64).unwrap_or(1.0);
+            Ok(AccessQuery::AtRisk { threshold_factor: f })
+        }
+        "fairness" => {
+            let weight = match q.get("weight").and_then(Json::as_str) {
+                Some(name) => parse_weight(name).ok_or_else(|| {
+                    "weight must be uniform|population|unemployed|vulnerable|children".to_string()
+                })?,
+                None => DemographicWeight::Uniform,
+            };
+            Ok(AccessQuery::Fairness { weight })
+        }
+        "worst_zones" => {
+            let k = q.get("k").and_then(Json::as_f64).unwrap_or(10.0);
+            Ok(AccessQuery::WorstZones { k: k as usize })
+        }
+        "point_access" => {
+            match (q.get("x").and_then(Json::as_f64), q.get("y").and_then(Json::as_f64)) {
+                (Some(x), Some(y)) => Ok(AccessQuery::PointAccess { x, y }),
+                _ => Err("point_access needs x and y".into()),
+            }
+        }
+        other => Err(format!(
+            "unknown query kind {other:?} (want mean_access|classification|at_risk|fairness|\
+             worst_zones|point_access)"
+        )),
+    }
+}
+
+// ------------------------------------------------------ response shaping
+
+/// Forwards one request to the backend and renders the response. The
+/// `render` closure returns `None` when the backend answered with an
+/// unexpected response kind — a protocol bug, reported as 502.
+fn forward(
+    state: &GatewayState,
+    request: &Request,
+    deadline: Option<Duration>,
+    render: impl Fn(Response) -> Option<Json>,
+) -> HttpResponse {
+    match state.call(request, deadline) {
+        Ok(Response::Error { code, message }) => error_response(error_code_status(code), &message),
+        Ok(resp) => match render(resp) {
+            Some(json) => HttpResponse::json(200, json.to_string()),
+            None => error_response(502, "backend answered with an unexpected response kind"),
+        },
+        Err(ClientError::Server { code, message }) => {
+            error_response(error_code_status(code), &message)
+        }
+        Err(ClientError::TimedOut) => error_response(504, "deadline elapsed"),
+        Err(e) => error_response(502, &format!("backend unreachable: {e}")),
+    }
+}
+
+fn error_code_status(code: ErrorCode) -> u16 {
+    match code {
+        ErrorCode::BadRequest | ErrorCode::Invalid => 400,
+        ErrorCode::Unavailable => 503,
+        ErrorCode::SeqGap => 409,
+        ErrorCode::Overloaded => 429,
+    }
+}
+
+fn error_response(status: u16, message: &str) -> HttpResponse {
+    HttpResponse::json(status, Json::obj(vec![("error", Json::str(message))]).to_string())
+}
+
+fn measures_json(m: &ZoneMeasures) -> Json {
+    Json::obj(vec![
+        ("zone", Json::Num(m.zone.0 as f64)),
+        ("mac", Json::Num(m.mac)),
+        ("acsd", Json::Num(m.acsd)),
+    ])
+}
+
+fn class_label(class: AccessClass) -> &'static str {
+    match class {
+        AccessClass::Best => "best",
+        AccessClass::MostlyGood => "mostly_good",
+        AccessClass::MostlyBad => "mostly_bad",
+        AccessClass::Worst => "worst",
+    }
+}
+
+fn answer_json(answer: &QueryAnswer) -> Json {
+    match answer {
+        QueryAnswer::MeanAccess { mean_mac, mean_acsd, n_zones } => Json::obj(vec![
+            ("kind", Json::str("mean_access")),
+            ("mean_mac", Json::Num(*mean_mac)),
+            ("mean_acsd", Json::Num(*mean_acsd)),
+            ("n_zones", Json::Num(*n_zones as f64)),
+        ]),
+        QueryAnswer::Classification(classes) => Json::obj(vec![
+            ("kind", Json::str("classification")),
+            (
+                "zones",
+                Json::Arr(
+                    classes
+                        .iter()
+                        .map(|(zone, class)| {
+                            Json::obj(vec![
+                                ("zone", Json::Num(zone.0 as f64)),
+                                ("class", Json::str(class_label(*class))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        QueryAnswer::AtRisk(zones) => Json::obj(vec![
+            ("kind", Json::str("at_risk")),
+            ("zones", Json::Arr(zones.iter().map(|z| Json::Num(z.0 as f64)).collect())),
+        ]),
+        QueryAnswer::Fairness(score) => {
+            Json::obj(vec![("kind", Json::str("fairness")), ("score", Json::Num(*score))])
+        }
+        QueryAnswer::WorstZones(zones) => Json::obj(vec![
+            ("kind", Json::str("worst_zones")),
+            (
+                "zones",
+                Json::Arr(
+                    zones
+                        .iter()
+                        .map(|(zone, mac)| {
+                            Json::obj(vec![
+                                ("zone", Json::Num(zone.0 as f64)),
+                                ("mac", Json::Num(*mac)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        QueryAnswer::PointAccess { zone, mac, acsd } => Json::obj(vec![
+            ("kind", Json::str("point_access")),
+            ("zone", Json::Num(zone.0 as f64)),
+            ("mac", Json::Num(*mac)),
+            ("acsd", Json::Num(*acsd)),
+        ]),
+    }
+}
+
+fn stats_json(s: &StatsReply) -> Json {
+    Json::obj(vec![
+        ("pipeline_runs", Json::Num(s.pipeline_runs as f64)),
+        ("requests_served", Json::Num(s.requests_served as f64)),
+        ("workers", Json::Num(s.workers as f64)),
+        ("cached", Json::Arr(s.cached.iter().map(|c| Json::str(category_slug(*c))).collect())),
+    ])
+}
+
+fn journey_json(j: &Journey) -> Json {
+    Json::obj(vec![
+        ("depart", Json::Num(j.depart.0 as f64)),
+        ("arrive", Json::Num(j.arrive.0 as f64)),
+        ("legs", Json::Arr(j.legs.iter().map(leg_json).collect())),
+    ])
+}
+
+fn leg_json(leg: &Leg) -> Json {
+    match leg {
+        Leg::Walk { secs, to_stop } => Json::obj(vec![
+            ("kind", Json::str("walk")),
+            ("secs", Json::Num(*secs as f64)),
+            ("to_stop", to_stop.map_or(Json::Null, |s| Json::Num(s.0 as f64))),
+        ]),
+        Leg::Wait { secs, at_stop } => Json::obj(vec![
+            ("kind", Json::str("wait")),
+            ("secs", Json::Num(*secs as f64)),
+            ("at_stop", Json::Num(at_stop.0 as f64)),
+        ]),
+        Leg::Ride { trip, route, from_stop, to_stop, board, alight } => Json::obj(vec![
+            ("kind", Json::str("ride")),
+            ("trip", Json::Num(trip.0 as f64)),
+            ("route", Json::Num(route.0 as f64)),
+            ("from_stop", Json::Num(from_stop.0 as f64)),
+            ("to_stop", Json::Num(to_stop.0 as f64)),
+            ("board", Json::Num(board.0 as f64)),
+            ("alight", Json::Num(alight.0 as f64)),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staq_synth::ZoneId;
+
+    #[test]
+    fn access_queries_parse_from_json() {
+        let q = Json::parse(r#"{"kind":"at_risk","threshold_factor":0.5}"#).unwrap();
+        assert_eq!(parse_access_query(&q).unwrap(), AccessQuery::AtRisk { threshold_factor: 0.5 });
+
+        let q = Json::parse(r#"{"kind":"fairness","weight":"children"}"#).unwrap();
+        assert_eq!(
+            parse_access_query(&q).unwrap(),
+            AccessQuery::Fairness { weight: DemographicWeight::Children }
+        );
+
+        let q = Json::parse(r#"{"kind":"worst_zones","k":3}"#).unwrap();
+        assert_eq!(parse_access_query(&q).unwrap(), AccessQuery::WorstZones { k: 3 });
+
+        let q = Json::parse(r#"{"kind":"point_access","x":1.5,"y":-2.0}"#).unwrap();
+        assert_eq!(parse_access_query(&q).unwrap(), AccessQuery::PointAccess { x: 1.5, y: -2.0 });
+
+        let q = Json::parse(r#"{"kind":"telepathy"}"#).unwrap();
+        assert!(parse_access_query(&q).is_err());
+    }
+
+    #[test]
+    fn answers_render_to_stable_json() {
+        let answer = QueryAnswer::MeanAccess { mean_mac: 2.0, mean_acsd: 0.5, n_zones: 7 };
+        assert_eq!(
+            answer_json(&answer).to_string(),
+            r#"{"kind":"mean_access","mean_mac":2,"mean_acsd":0.5,"n_zones":7}"#
+        );
+
+        let answer = QueryAnswer::WorstZones(vec![(ZoneId(4), 9.25)]);
+        assert_eq!(
+            answer_json(&answer).to_string(),
+            r#"{"kind":"worst_zones","zones":[{"zone":4,"mac":9.25}]}"#
+        );
+
+        let answer = QueryAnswer::Classification(vec![(ZoneId(1), AccessClass::MostlyGood)]);
+        assert_eq!(
+            answer_json(&answer).to_string(),
+            r#"{"kind":"classification","zones":[{"zone":1,"class":"mostly_good"}]}"#
+        );
+    }
+
+    #[test]
+    fn error_codes_map_to_http_statuses() {
+        assert_eq!(error_code_status(ErrorCode::BadRequest), 400);
+        assert_eq!(error_code_status(ErrorCode::Invalid), 400);
+        assert_eq!(error_code_status(ErrorCode::Unavailable), 503);
+        assert_eq!(error_code_status(ErrorCode::SeqGap), 409);
+        assert_eq!(error_code_status(ErrorCode::Overloaded), 429);
+    }
+
+    #[test]
+    fn days_and_categories_round_trip() {
+        for c in PoiCategory::ALL {
+            assert_eq!(parse_category(category_slug(c)), Some(c));
+        }
+        assert_eq!(parse_day("wednesday"), Some(DayOfWeek::Wednesday));
+        assert!(parse_day("Someday").is_none());
+    }
+}

@@ -30,11 +30,14 @@
 
 pub mod client;
 pub mod codec;
+pub mod gateway;
+pub mod mux;
 pub mod pool;
 pub mod presets;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError};
 pub use codec::{DeltaAck, Request, Response, StatsReply, WhatIfAnswer, WIRE_VERSION};
-pub use pool::WorkerPool;
-pub use server::{serve, serve_rt, serve_shared, ServerConfig, ServerHandle};
+pub use mux::MuxClient;
+pub use pool::{Reply, WorkerPool};
+pub use server::{serve, serve_rt, serve_shared, serve_threaded, ServerConfig, ServerHandle};

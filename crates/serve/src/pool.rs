@@ -15,6 +15,7 @@ use crate::codec::{DeltaAck, ErrorCode, Request, Response, StatsReply, WhatIfAns
 use crossbeam::channel::{bounded, Receiver, Sender};
 use staq_core::AccessEngine;
 use staq_gtfs::Delta;
+use staq_net::admission::{Admission, AdmissionConfig, ShedReason};
 use staq_obs::{trace, AtomicHistogram, Counter, SpanContext};
 use staq_rt::{RtEngine, RtError};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,21 +56,53 @@ fn kind_histogram(request: &Request) -> &'static AtomicHistogram {
     }
 }
 
-/// One queued request plus the channel its answer goes back on.
+/// Where a job's answer goes: a blocking channel (threaded connection
+/// handlers, tests) or a callback (the reactor's event-loop path, which
+/// encodes the frame and pushes it onto the connection's outbound
+/// queue without parking a thread).
+pub enum Reply {
+    Channel(Sender<Response>),
+    Callback(Box<dyn FnOnce(Response) + Send>),
+}
+
+impl Reply {
+    /// Delivers the response; a dropped channel receiver (dead
+    /// connection) is silently fine.
+    pub fn send(self, response: Response) {
+        match self {
+            Reply::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            Reply::Callback(f) => f(response),
+        }
+    }
+}
+
+/// One queued request plus where its answer goes back.
 pub struct Job {
     pub request: Request,
-    pub reply: Sender<Response>,
-    /// Span context of the connection's `serve.request` span; the worker
-    /// re-attaches it so engine spans land in the caller's trace.
+    pub reply: Reply,
+    /// The peer's propagated span context; the worker re-attaches it so
+    /// engine spans land in the caller's trace (or roots a new one).
     pub ctx: SpanContext,
     /// When the job entered the queue — priced as `serve.queue_wait`.
     pub enqueued: Instant,
+    /// Absolute shed point: a worker that dequeues the job after this
+    /// instant answers `Overloaded` without executing.
+    pub deadline: Option<Instant>,
 }
 
 impl Job {
-    /// A job carrying the current thread's span context, enqueued now.
+    /// A job carrying the current thread's span context, enqueued now,
+    /// with no deadline.
     pub fn new(request: Request, reply: Sender<Response>) -> Job {
-        Job { request, reply, ctx: trace::current(), enqueued: Instant::now() }
+        Job {
+            request,
+            reply: Reply::Channel(reply),
+            ctx: trace::current(),
+            enqueued: Instant::now(),
+            deadline: None,
+        }
     }
 }
 
@@ -90,6 +123,7 @@ pub struct WorkerPool {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<PoolStats>,
+    admission: Arc<Admission>,
     size: usize,
 }
 
@@ -103,7 +137,24 @@ impl WorkerPool {
 
     /// Spawns the pool over an existing [`RtEngine`], preserving its delta
     /// log (sequence numbers keep counting from where the log stands).
+    /// Admission uses the default queue budget; servers with their own
+    /// budget use [`WorkerPool::spawn_rt_with`].
     pub fn spawn_rt(rt: Arc<RtEngine>, workers: usize, queue_depth: usize) -> Self {
+        let admission =
+            Arc::new(Admission::new(AdmissionConfig { workers, ..AdmissionConfig::default() }));
+        Self::spawn_rt_with(rt, workers, queue_depth, admission)
+    }
+
+    /// Spawns the pool with an externally shared [`Admission`] gate —
+    /// the server front end consults the same gate at decode time, the
+    /// workers feed it execution samples and apply the dequeue-side
+    /// deadline shed.
+    pub fn spawn_rt_with(
+        rt: Arc<RtEngine>,
+        workers: usize,
+        queue_depth: usize,
+        admission: Arc<Admission>,
+    ) -> Self {
         assert!(workers >= 1, "a pool needs at least one worker");
         assert!(queue_depth >= 1, "the queue must hold at least one job");
         let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(queue_depth);
@@ -113,14 +164,15 @@ impl WorkerPool {
                 let rx = rx.clone();
                 let rt = Arc::clone(&rt);
                 let stats = Arc::clone(&stats);
+                let admission = Arc::clone(&admission);
                 let size = workers;
                 std::thread::Builder::new()
                     .name(format!("staq-worker-{i}"))
-                    .spawn(move || worker_loop(rx, rt, stats, size))
+                    .spawn(move || worker_loop(rx, rt, stats, admission, size))
                     .expect("spawning worker thread")
             })
             .collect();
-        WorkerPool { tx: Some(tx), workers: handles, stats, size: workers }
+        WorkerPool { tx: Some(tx), workers: handles, stats, admission, size: workers }
     }
 
     /// Queue sender for connection threads. Cloning is cheap.
@@ -131,6 +183,16 @@ impl WorkerPool {
     /// Pool-wide counters.
     pub fn stats(&self) -> Arc<PoolStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// The admission gate shared with the server front end.
+    pub fn admission(&self) -> Arc<Admission> {
+        Arc::clone(&self.admission)
+    }
+
+    /// Jobs currently waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.tx.as_ref().map_or(0, |tx| tx.len())
     }
 
     /// Number of worker threads.
@@ -154,16 +216,41 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(rx: Receiver<Job>, rt: Arc<RtEngine>, stats: Arc<PoolStats>, pool_size: usize) {
+fn worker_loop(
+    rx: Receiver<Job>,
+    rt: Arc<RtEngine>,
+    stats: Arc<PoolStats>,
+    admission: Arc<Admission>,
+    pool_size: usize,
+) {
     while let Ok(job) = rx.recv() {
-        // Adopt the connection's trace on this worker thread: the queue
-        // wait is backdated to enqueue time, then execution runs under it.
+        // Adopt the peer's trace on this worker thread (or root a new
+        // one when serving directly): the request span is backdated to
+        // enqueue time, the queue wait priced as its first child.
         let _ctx = trace::attach(job.ctx);
+        let span = if job.ctx.is_some() {
+            trace::span_at("serve.request", job.enqueued)
+        } else {
+            trace::root_span_at("serve.request", job.enqueued)
+        };
         drop(trace::span_at("serve.queue_wait", job.enqueued));
+        // Dequeue-side shed: the deadline lapsed while the job waited,
+        // so executing it would only burn a worker on a dead answer.
+        if job.deadline.is_some_and(|d| Instant::now() > d) {
+            ShedReason::Expired.count();
+            drop(span);
+            job.reply.send(Response::Error {
+                code: ErrorCode::Overloaded,
+                message: ShedReason::Expired.message().into(),
+            });
+            continue;
+        }
+        let t0 = Instant::now();
         let response = execute(&rt, &stats, pool_size, &job.request);
+        admission.observe_exec(t0.elapsed());
         stats.requests_served.fetch_add(1, Ordering::Relaxed);
-        // A dropped reply receiver means the connection died; fine.
-        let _ = job.reply.send(response);
+        drop(span);
+        job.reply.send(response);
     }
 }
 

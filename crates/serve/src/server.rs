@@ -1,36 +1,46 @@
-//! TCP server: accept loop + per-connection framing threads over the
-//! shared worker pool.
+//! TCP server: a readiness reactor feeding the shared worker pool.
 //!
-//! Threading model:
+//! Default (reactor) model — one event-loop thread owns every socket:
 //!
 //! ```text
-//! acceptor ──spawns──► connection thread (one per client)
-//!                        │  read frame → decode → Job{request, reply}
-//!                        ▼
-//!                 bounded job queue ──► worker 0..N  (shared AccessEngine)
-//!                        ▲                   │
-//!                        └── reply channel ◄─┘
-//!                        │  encode → write frame
+//! reactor thread ── decode frame ── admission gate ──► bounded job queue
+//!      ▲                 │(shed: Overloaded frame)          │
+//!      │                 ▼                                  ▼
+//!      │        per-conn outbound queue ◄── encode ◄── worker 0..N
+//!      └────────────── waker ◄──────────────────────── (callback)
 //! ```
 //!
-//! Connection threads only parse and write bytes; every engine touch
-//! happens on a worker. Shutdown flips an atomic flag, nudges the
-//! acceptor awake with a loopback connect, then drains and joins the
-//! pool.
+//! Workers complete in any order. v4 connections carry request IDs, so
+//! their responses are written in completion order and the client
+//! matches by ID; pre-v4 connections get strict request-order responses
+//! via [`OrderedOut`] (early completions park until the gap fills).
+//!
+//! Admission control happens at decode time, before a queue slot is
+//! consumed: the gate estimates queue wait from an EWMA of execution
+//! time and sheds with [`ErrorCode::Overloaded`] when the estimate
+//! exceeds the server budget or the request's own deadline. Workers
+//! shed once more at dequeue if the deadline lapsed while queued.
+//!
+//! The legacy thread-per-connection model ([`serve_threaded`]) is kept
+//! as the benchmark baseline the reactor is measured against.
 
 use crate::codec::{self, CodecError, ErrorCode, Request, Response, MAX_FRAME_LEN};
-use crate::pool::{Job, WorkerPool};
+use crate::pool::{Job, Reply, WorkerPool};
 use bytes::BytesMut;
-use crossbeam::channel::bounded;
+use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use staq_core::AccessEngine;
-use staq_obs::{trace, SpanContext};
+use staq_net::admission::{Admission, AdmissionConfig, ShedReason, ADMITTED};
+use staq_net::reactor::{self, ConnHandler, ConnId, ReactorConfig, ReactorHandle, ReplySink};
+use staq_net::{Backend, OrderedOut};
+use staq_obs::SpanContext;
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -41,21 +51,55 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded job-queue depth (backpressure point).
     pub queue_depth: usize,
+    /// Admission budget: requests whose estimated queue wait exceeds
+    /// this are shed with `Overloaded` instead of queued.
+    pub queue_budget: Duration,
+    /// Poller backend for the reactor (tests force the portable one).
+    pub backend: Backend,
+    /// How long shutdown waits for outbound queues to flush.
+    pub flush_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { addr: "127.0.0.1:0".into(), workers: 4, queue_depth: 256 }
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 256,
+            queue_budget: Duration::from_millis(500),
+            backend: Backend::Auto,
+            flush_timeout: Duration::from_secs(1),
+        }
     }
 }
 
 /// Handle to a running server; dropping it shuts the server down.
 pub struct ServerHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    pool: WorkerPool,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    inner: Inner,
+}
+
+/// The reactor handler's job sender, revocable from the handle: taking it
+/// at shutdown is what lets the pool's workers observe channel disconnect
+/// and exit (the handler itself lives inside the reactor thread until
+/// `finish`, so a plain `Sender` clone there would hold the channel open
+/// and deadlock the worker join).
+type SharedJobSender = Arc<Mutex<Option<Sender<Job>>>>;
+
+enum Inner {
+    Reactor {
+        reactor: ReactorHandle,
+        pool: Option<WorkerPool>,
+        jobs: SharedJobSender,
+        flush: Duration,
+        done: bool,
+    },
+    Threaded {
+        shutdown: Arc<AtomicBool>,
+        acceptor: Option<JoinHandle<()>>,
+        pool: Option<WorkerPool>,
+        conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    },
 }
 
 impl ServerHandle {
@@ -64,22 +108,53 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting, closes connections after their in-flight request,
-    /// drains the job queue and joins every thread. Idempotent.
+    /// Live client connections (reactor model only; the threaded
+    /// baseline reports 0).
+    pub fn conn_count(&self) -> usize {
+        match &self.inner {
+            Inner::Reactor { reactor, .. } => reactor.conn_count(),
+            Inner::Threaded { .. } => 0,
+        }
+    }
+
+    /// Graceful shutdown: stop accepting and reading, let in-flight
+    /// requests finish, flush every outbound queue, then join all
+    /// threads. Idempotent.
     pub fn shutdown(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return;
+        match &mut self.inner {
+            Inner::Reactor { reactor, pool, jobs, flush, done } => {
+                if std::mem::replace(done, true) {
+                    return;
+                }
+                // Drain order matters: stop intake first, revoke the
+                // handler's sender so the channel can disconnect, then
+                // run the queue dry (joining workers fires every reply
+                // callback), and only then flush + close the sockets.
+                reactor.begin_drain();
+                jobs.lock().take();
+                if let Some(mut p) = pool.take() {
+                    p.shutdown();
+                }
+                reactor.finish(*flush);
+            }
+            Inner::Threaded { shutdown, acceptor, pool, conns } => {
+                if shutdown.swap(true, Ordering::SeqCst) {
+                    return;
+                }
+                // Nudge the blocking accept() awake.
+                let _ = TcpStream::connect(self.addr);
+                if let Some(h) = acceptor.take() {
+                    h.join().expect("acceptor thread panicked");
+                }
+                let conns = std::mem::take(&mut *conns.lock());
+                for c in conns {
+                    c.join().expect("connection thread panicked");
+                }
+                if let Some(mut p) = pool.take() {
+                    p.shutdown();
+                }
+            }
         }
-        // Nudge the blocking accept() awake.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.acceptor.take() {
-            h.join().expect("acceptor thread panicked");
-        }
-        let conns = std::mem::take(&mut *self.conns.lock());
-        for c in conns {
-            c.join().expect("connection thread panicked");
-        }
-        self.pool.shutdown();
     }
 }
 
@@ -97,6 +172,8 @@ pub fn serve(engine: AccessEngine, cfg: &ServerConfig) -> std::io::Result<Server
 /// Like [`serve`], for an engine that is already shared. The server's
 /// delta log starts empty; to serve an [`RtEngine`] whose log must
 /// survive a server restart, use [`serve_rt`].
+///
+/// [`RtEngine`]: staq_rt::RtEngine
 pub fn serve_shared(
     engine: Arc<AccessEngine>,
     cfg: &ServerConfig,
@@ -109,6 +186,163 @@ pub fn serve_shared(
 ///
 /// [`RtEngine`]: staq_rt::RtEngine
 pub fn serve_rt(rt: Arc<staq_rt::RtEngine>, cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let admission = Arc::new(Admission::new(AdmissionConfig {
+        queue_budget: cfg.queue_budget,
+        workers: cfg.workers,
+    }));
+    let pool = WorkerPool::spawn_rt_with(rt, cfg.workers, cfg.queue_depth, Arc::clone(&admission));
+    let jobs: SharedJobSender = Arc::new(Mutex::new(Some(pool.sender())));
+    let handler = ServeHandler { jobs: Arc::clone(&jobs), admission, conns: HashMap::new() };
+    let reactor = reactor::spawn(
+        listener,
+        Box::new(handler),
+        ReactorConfig { name: "staq-serve", max_frame: MAX_FRAME_LEN, backend: cfg.backend },
+    )?;
+    Ok(ServerHandle {
+        addr,
+        inner: Inner::Reactor {
+            reactor,
+            pool: Some(pool),
+            jobs,
+            flush: cfg.flush_timeout,
+            done: false,
+        },
+    })
+}
+
+/// The reactor's protocol handler: decodes frames, gates admission,
+/// dispatches jobs whose reply callback encodes straight onto the
+/// connection's outbound queue.
+struct ServeHandler {
+    jobs: SharedJobSender,
+    admission: Arc<Admission>,
+    /// Per-connection response sequencer, keyed by slot index (the
+    /// reactor guarantees on_close before the index is reused).
+    conns: HashMap<u32, Arc<OrderedOut>>,
+}
+
+impl ServeHandler {
+    /// Emits an already-decided error frame through the connection's
+    /// response ordering.
+    fn emit_error(
+        ordered: &OrderedOut,
+        version: u8,
+        req_id: u64,
+        seq: Option<u64>,
+        code: ErrorCode,
+        message: &str,
+    ) {
+        let response = Response::Error { code, message: message.into() };
+        let mut buf = BytesMut::with_capacity(64);
+        codec::encode_response_to(&response, version, req_id, &mut buf);
+        match seq {
+            Some(s) => ordered.submit(s, buf.freeze()),
+            None => ordered.submit_unordered(buf.freeze()),
+        }
+    }
+}
+
+impl ConnHandler for ServeHandler {
+    fn on_data(&mut self, conn: ConnId, buf: &mut BytesMut, out: &ReplySink) -> bool {
+        let ordered = Arc::clone(
+            self.conns.entry(conn.index()).or_insert_with(|| OrderedOut::new(conn, out.clone())),
+        );
+        loop {
+            match codec::decode_request_full(buf) {
+                Ok(Some(decoded)) => {
+                    reactor::FRAMES_IN.inc();
+                    let now = Instant::now();
+                    let version = decoded.version;
+                    let req_id = decoded.req_id;
+                    let deadline =
+                        decoded.deadline_ms.map(|ms| now + Duration::from_millis(ms.into()));
+                    // Pre-v4 clients match responses by order, so even a
+                    // shed must occupy its slot in the sequence.
+                    let seq = (version < codec::WIRE_VERSION).then(|| ordered.assign());
+                    let remaining = deadline.map(|d| d.saturating_duration_since(now));
+                    let queue_len = self.jobs.lock().as_ref().map_or(0, |tx| tx.len());
+                    if let Err(reason) = self.admission.admit(queue_len, remaining) {
+                        reason.count();
+                        Self::emit_error(
+                            &ordered,
+                            version,
+                            req_id,
+                            seq,
+                            ErrorCode::Overloaded,
+                            reason.message(),
+                        );
+                        continue;
+                    }
+                    let reply_ordered = Arc::clone(&ordered);
+                    let reply = Reply::Callback(Box::new(move |response: Response| {
+                        let mut buf = BytesMut::with_capacity(256);
+                        codec::encode_response_to(&response, version, req_id, &mut buf);
+                        match seq {
+                            Some(s) => reply_ordered.submit(s, buf.freeze()),
+                            None => reply_ordered.submit_unordered(buf.freeze()),
+                        }
+                    }));
+                    let job = Job {
+                        request: decoded.request,
+                        reply,
+                        ctx: decoded.ctx,
+                        enqueued: now,
+                        deadline,
+                    };
+                    let sent = match self.jobs.lock().as_ref() {
+                        Some(tx) => tx.try_send(job),
+                        None => Err(TrySendError::Disconnected(job)),
+                    };
+                    match sent {
+                        Ok(()) => ADMITTED.inc(),
+                        Err(TrySendError::Full(job)) => {
+                            ShedReason::QueueFull.count();
+                            job.reply.send(Response::Error {
+                                code: ErrorCode::Overloaded,
+                                message: ShedReason::QueueFull.message().into(),
+                            });
+                        }
+                        Err(TrySendError::Disconnected(job)) => {
+                            job.reply.send(Response::Error {
+                                code: ErrorCode::Unavailable,
+                                message: "server is shutting down".into(),
+                            });
+                        }
+                    }
+                }
+                Ok(None) => return true,
+                Err(e) => {
+                    // Framing is gone; tell the client why and hang up
+                    // (the reactor flushes the queue before closing).
+                    Self::emit_error(
+                        &ordered,
+                        codec::WIRE_VERSION,
+                        0,
+                        None,
+                        ErrorCode::BadRequest,
+                        &e.to_string(),
+                    );
+                    return false;
+                }
+            }
+        }
+    }
+
+    fn on_close(&mut self, conn: ConnId) {
+        self.conns.remove(&conn.index());
+    }
+}
+
+/// The pre-reactor serving model: one OS thread per client connection,
+/// blocking reads, strictly sequential request handling per connection.
+/// Kept as the baseline `net_bench` measures the reactor against (and
+/// as a correctness cross-check — both models share codec and pool).
+pub fn serve_threaded(
+    rt: Arc<staq_rt::RtEngine>,
+    cfg: &ServerConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let pool = WorkerPool::spawn_rt(rt, cfg.workers, cfg.queue_depth);
@@ -141,14 +375,17 @@ pub fn serve_rt(rt: Arc<staq_rt::RtEngine>, cfg: &ServerConfig) -> std::io::Resu
             .expect("spawning acceptor thread")
     };
 
-    Ok(ServerHandle { addr, shutdown, acceptor: Some(acceptor), pool, conns })
+    Ok(ServerHandle {
+        addr,
+        inner: Inner::Threaded { shutdown, acceptor: Some(acceptor), pool: Some(pool), conns },
+    })
 }
 
 /// Serves one client until it disconnects, the protocol desyncs, or the
-/// server shuts down.
+/// server shuts down. (Threaded baseline only.)
 fn handle_connection(
     mut stream: TcpStream,
-    jobs: crossbeam::channel::Sender<Job>,
+    jobs: Sender<Job>,
     shutdown: Arc<AtomicBool>,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
@@ -163,25 +400,19 @@ fn handle_connection(
         loop {
             match codec::decode_request_full(&mut buf) {
                 Ok(Some(decoded)) => {
-                    // Continue the peer's trace, or become the edge and
-                    // root a new one when serving directly (no router).
-                    let _ctx = trace::attach(decoded.ctx);
-                    let span = if decoded.ctx.is_some() {
-                        trace::span("serve.request")
-                    } else {
-                        trace::root_span("serve.request")
-                    };
-                    let response = match dispatch(&jobs, decoded.request, span.context()) {
+                    let deadline = decoded
+                        .deadline_ms
+                        .map(|ms| Instant::now() + Duration::from_millis(ms.into()));
+                    let response = match dispatch(&jobs, decoded.request, decoded.ctx, deadline) {
                         Some(r) => r,
                         None => Response::Error {
                             code: ErrorCode::Unavailable,
                             message: "server is shutting down".into(),
                         },
                     };
-                    drop(span);
                     out.clear();
                     // Answer in whichever version the client spoke.
-                    codec::encode_response_to(&response, decoded.version, &mut out);
+                    codec::encode_response_to(&response, decoded.version, decoded.req_id, &mut out);
                     stream.write_all(&out)?;
                 }
                 Ok(None) => break,
@@ -221,14 +452,22 @@ fn handle_connection(
 }
 
 /// Runs one request through the pool; `None` if the queue is closed.
-/// `ctx` is the span the executing worker should parent its spans under
-/// (the connection's `serve.request` span).
+/// `ctx` is the peer's propagated span context (the worker roots or
+/// continues the trace).
 fn dispatch(
-    jobs: &crossbeam::channel::Sender<Job>,
+    jobs: &Sender<Job>,
     request: Request,
     ctx: SpanContext,
+    deadline: Option<Instant>,
 ) -> Option<Response> {
     let (reply_tx, reply_rx) = bounded(1);
-    jobs.send(Job { request, reply: reply_tx, ctx, enqueued: std::time::Instant::now() }).ok()?;
+    jobs.send(Job {
+        request,
+        reply: Reply::Channel(reply_tx),
+        ctx,
+        enqueued: Instant::now(),
+        deadline,
+    })
+    .ok()?;
     reply_rx.recv().ok()
 }

@@ -75,7 +75,7 @@ impl ThreadBackend {
     pub fn new(workers: usize, factory: impl Fn() -> Arc<AccessEngine> + Send + 'static) -> Self {
         ThreadBackend {
             factory: Box::new(factory),
-            cfg: ServerConfig { addr: "127.0.0.1:0".into(), workers, queue_depth: 256 },
+            cfg: ServerConfig { addr: "127.0.0.1:0".into(), workers, ..Default::default() },
             server: None,
         }
     }

@@ -191,7 +191,11 @@ fn main() {
         let engine = CityPreset::Test.engine(0.05, args.seed);
         let handle = staq_serve::serve(
             engine,
-            &ServerConfig { addr: "127.0.0.1:0".into(), workers: args.workers, queue_depth: 256 },
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: args.workers,
+                ..Default::default()
+            },
         )
         .unwrap_or_else(|e| {
             eprintln!("error: cannot start loopback server: {e}");
@@ -225,7 +229,11 @@ fn run_comparison(args: &Args) {
         let engine = CityPreset::Test.engine(0.05, args.seed);
         staq_serve::serve(
             engine,
-            &ServerConfig { addr: "127.0.0.1:0".into(), workers: args.workers, queue_depth: 256 },
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: args.workers,
+                ..Default::default()
+            },
         )
         .unwrap_or_else(|e| {
             eprintln!("error: cannot start loopback server: {e}");
@@ -286,7 +294,11 @@ fn run_trace_compare(args: &Args) {
         let engine = CityPreset::Test.engine(0.05, args.seed);
         staq_serve::serve(
             engine,
-            &ServerConfig { addr: "127.0.0.1:0".into(), workers: args.workers, queue_depth: 256 },
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: args.workers,
+                ..Default::default()
+            },
         )
         .unwrap_or_else(|e| {
             eprintln!("error: cannot start loopback server: {e}");

@@ -1,48 +1,56 @@
-//! Per-backend connection pool: reuse, bounded in-flight, generations.
+//! Per-backend connection pool: shared multiplexed streams, bounded
+//! in-flight, generations.
 //!
-//! One [`BackendPool`] fronts one shard. It hands out [`Lease`]s —
-//! checked-out client connections — reusing idle ones and dialing new
-//! ones (with retry + linear backoff) when the idle list is dry. The
-//! in-flight count is capped: past the cap, checkout blocks briefly and
-//! then fails, turning a wedged backend into backpressure instead of an
-//! unbounded thread pile-up.
+//! One [`BackendPool`] fronts one shard. Since the v4 wire protocol
+//! carries request IDs, the pool no longer checks connections out
+//! exclusively: it keeps a small, fixed set of [`MuxClient`] streams per
+//! backend and round-robins concurrent calls across them, so N router
+//! workers hitting the same shard coalesce into pipelined frames on a
+//! handful of sockets instead of N private connections. The in-flight
+//! count is still capped: past the cap, [`call`](BackendPool::call)
+//! blocks briefly and then fails with [`PoolError::Overloaded`], turning
+//! a wedged backend into backpressure instead of an unbounded pile-up.
 //!
 //! Respawn safety is generation-based. Every `bring_up` bumps the pool's
-//! generation and every lease carries the generation it was minted under;
-//! idle returns and down-markings from stale generations are ignored.
-//! Without this, a slow request that started before a crash could — on
-//! failing — mark the *respawned* backend down, or park a connection to
-//! the dead process in the idle list of the new one.
+//! generation and discards the previous incarnation's streams; a call
+//! that fails mid-flight reports [`PoolError::Io`] with the generation it
+//! ran under, and the caller's `mark_down_if(gen)` is a no-op when that
+//! incarnation has already been replaced. Without this, a slow request
+//! that started before a crash could — on failing — mark the *respawned*
+//! backend down.
 //!
-//! The pool never unpoisons: a [`Client`] that failed mid-frame
-//! ([`Client::is_poisoned`]) is dropped on return, never reused (the
-//! poison-and-report contract added to `staq-serve` for exactly this
-//! caller).
+//! The pool never unpoisons: a [`MuxClient`] that failed mid-frame
+//! ([`MuxClient::is_poisoned`]) is dropped at the next slot pick, never
+//! reused — on a desynced stream every in-flight and future call is
+//! unrecoverable.
 
+use crate::metrics;
 use parking_lot::{Condvar, Mutex};
-use staq_serve::Client;
+use staq_serve::codec::{Request, Response};
+use staq_serve::MuxClient;
 use std::net::SocketAddr;
 use std::time::Duration;
 
 /// Pool tunables.
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
-    /// Idle connections kept per backend.
-    pub max_idle: usize,
-    /// Checked-out connections per backend; past this, checkout waits.
+    /// Multiplexed streams kept per backend; concurrent calls
+    /// round-robin across them.
+    pub mux_conns: usize,
+    /// Concurrent calls per backend; past this, [`BackendPool::call`] waits.
     pub max_inflight: usize,
     /// Connect attempts before declaring the backend unreachable.
     pub connect_retries: u32,
     /// Backoff between connect attempts (linear: 1×, 2×, ...).
     pub connect_backoff: Duration,
-    /// How long checkout waits for an in-flight permit before failing.
+    /// How long a call waits for an in-flight permit before failing.
     pub acquire_timeout: Duration,
 }
 
 impl Default for PoolConfig {
     fn default() -> Self {
         PoolConfig {
-            max_idle: 8,
+            mux_conns: 2,
             max_inflight: 64,
             connect_retries: 3,
             connect_backoff: Duration::from_millis(20),
@@ -51,31 +59,19 @@ impl Default for PoolConfig {
     }
 }
 
-/// Why a checkout failed. Both map to `ErrorCode::Unavailable` frames at
-/// the router; the distinction feeds the error message.
+/// Why a call failed. `Down` and `Overloaded` map to
+/// `ErrorCode::Unavailable` frames at the router; `Io` is a mid-request
+/// transport failure the caller may retry or escalate into a
+/// down-marking via [`BackendPool::mark_down_if`] with the carried
+/// generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PoolError {
     /// The backend is marked down (crashed, or connects are failing).
     Down,
     /// The in-flight cap held for the whole acquire timeout.
     Overloaded,
-}
-
-/// A checked-out connection. Return it with [`BackendPool::give_back`] —
-/// dropping it without returning would leak an in-flight permit.
-pub struct Lease {
-    pub client: Client,
-    /// Pool generation this lease was minted under.
-    pub gen: u64,
-}
-
-impl std::fmt::Debug for Lease {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Lease")
-            .field("gen", &self.gen)
-            .field("poisoned", &self.client.is_poisoned())
-            .finish()
-    }
+    /// The stream died mid-request under this pool generation.
+    Io { gen: u64 },
 }
 
 struct PoolState {
@@ -83,8 +79,10 @@ struct PoolState {
     addr: Option<SocketAddr>,
     /// Bumped on every `bring_up`; stale-generation events are ignored.
     gen: u64,
-    /// Idle connections with the generation they were dialed under.
-    idle: Vec<(u64, Client)>,
+    /// The shared streams; `None` until first use and after poisoning.
+    conns: Vec<Option<MuxClient>>,
+    /// Round-robin cursor over `conns`.
+    next: usize,
     inflight: usize,
 }
 
@@ -99,9 +97,16 @@ impl BackendPool {
     /// A pool starting in the *down* state; the supervisor calls
     /// [`bring_up`](Self::bring_up) after the readiness probe passes.
     pub fn new(cfg: PoolConfig) -> Self {
+        let n = cfg.mux_conns.max(1);
         BackendPool {
             cfg,
-            state: Mutex::new(PoolState { addr: None, gen: 0, idle: Vec::new(), inflight: 0 }),
+            state: Mutex::new(PoolState {
+                addr: None,
+                gen: 0,
+                conns: (0..n).map(|_| None).collect(),
+                next: 0,
+                inflight: 0,
+            }),
             permit_freed: Condvar::new(),
         }
     }
@@ -117,12 +122,14 @@ impl BackendPool {
     }
 
     /// Admits traffic to `addr` under a fresh generation, discarding any
-    /// idle connections to the previous incarnation.
+    /// streams to the previous incarnation.
     pub fn bring_up(&self, addr: SocketAddr) {
         let mut s = self.state.lock();
         s.addr = Some(addr);
         s.gen += 1;
-        s.idle.clear();
+        for c in &mut s.conns {
+            *c = None;
+        }
         drop(s);
         self.permit_freed.notify_all();
     }
@@ -137,7 +144,9 @@ impl BackendPool {
             return false;
         }
         s.addr = None;
-        s.idle.clear();
+        for c in &mut s.conns {
+            *c = None;
+        }
         drop(s);
         // Waiters should fail fast with Down rather than ride out the
         // acquire timeout.
@@ -152,25 +161,32 @@ impl BackendPool {
         self.mark_down_if(gen)
     }
 
-    /// Checks out a connection: an idle one when available, otherwise a
-    /// fresh dial with `connect_retries` × `connect_backoff`. Fails fast
-    /// with [`PoolError::Down`] while the backend is down — no dialing,
-    /// no waiting.
-    pub fn checkout(&self) -> Result<Lease, PoolError> {
-        let (addr, gen) = {
+    /// Sends one request over a shared multiplexed stream, dialing lazily
+    /// (with `connect_retries` × `connect_backoff`) when the picked slot
+    /// has no healthy stream. Fails fast with [`PoolError::Down`] while
+    /// the backend is down — no dialing, no waiting — and with
+    /// [`PoolError::Overloaded`] when the in-flight cap held for the
+    /// whole acquire timeout.
+    pub fn call(&self, request: &Request) -> Result<Response, PoolError> {
+        let (client, gen) = {
             let mut s = self.state.lock();
             loop {
                 let Some(addr) = s.addr else { return Err(PoolError::Down) };
                 if s.inflight < self.cfg.max_inflight {
                     s.inflight += 1;
-                    // Reuse the freshest idle connection of this
-                    // generation; drop stale or poisoned ones.
-                    while let Some((g, client)) = s.idle.pop() {
-                        if g == s.gen && !client.is_poisoned() {
-                            return Ok(Lease { client, gen: g });
-                        }
+                    let slot = s.next % s.conns.len();
+                    s.next = s.next.wrapping_add(1);
+                    // Drop a stream that died since its last use; the
+                    // dial below replaces it.
+                    if s.conns[slot].as_ref().is_some_and(|c| c.is_poisoned()) {
+                        s.conns[slot] = None;
                     }
-                    break (addr, s.gen);
+                    if let Some(c) = &s.conns[slot] {
+                        break (c.clone(), s.gen);
+                    }
+                    let gen = s.gen;
+                    drop(s);
+                    break (self.dial(addr, gen, slot)?, gen);
                 }
                 if self.permit_freed.wait_for(&mut s, self.cfg.acquire_timeout).timed_out() {
                     return Err(PoolError::Overloaded);
@@ -178,20 +194,40 @@ impl BackendPool {
             }
         };
 
-        // Dial outside the lock; connects can take milliseconds.
+        let result = client.call(request);
+        self.release_permit();
+        result.map_err(|_| PoolError::Io { gen })
+    }
+
+    /// Dials one stream for `slot` outside the state lock; connects can
+    /// take milliseconds. On success the stream is parked in `conns[slot]`
+    /// for sharing — unless the generation moved mid-dial (respawn), in
+    /// which case the old incarnation must not be talked to. On final
+    /// failure the backend is marked down. Either way the caller's
+    /// in-flight permit is released on error.
+    fn dial(&self, addr: SocketAddr, gen: u64, slot: usize) -> Result<MuxClient, PoolError> {
         let mut attempt = 0;
         loop {
-            match Client::connect(addr) {
-                Ok(client) => return Ok(Lease { client, gen }),
+            match MuxClient::connect(addr) {
+                Ok(client) => {
+                    let mut s = self.state.lock();
+                    if s.gen == gen && s.addr.is_some() {
+                        s.conns[slot] = Some(client.clone());
+                        return Ok(client);
+                    }
+                    drop(s);
+                    self.release_permit();
+                    return Err(PoolError::Down);
+                }
                 Err(_) if attempt + 1 < self.cfg.connect_retries => {
                     attempt += 1;
-                    crate::metrics::RETRIES.inc();
+                    metrics::RETRIES.inc();
                     std::thread::sleep(self.cfg.connect_backoff * attempt);
                 }
                 Err(_) => {
                     self.release_permit();
                     if self.mark_down_if(gen) {
-                        crate::metrics::FAILOVERS.inc();
+                        metrics::FAILOVERS.inc();
                     }
                     return Err(PoolError::Down);
                 }
@@ -199,20 +235,7 @@ impl BackendPool {
         }
     }
 
-    /// Returns a lease. The connection is parked for reuse only when it
-    /// is healthy, current-generation, and the idle list has room; it is
-    /// dropped otherwise. Always frees the in-flight permit.
-    pub fn give_back(&self, lease: Lease) {
-        let mut s = self.state.lock();
-        s.inflight = s.inflight.saturating_sub(1);
-        if !lease.client.is_poisoned() && lease.gen == s.gen && s.idle.len() < self.cfg.max_idle {
-            s.idle.push((lease.gen, lease.client));
-        }
-        drop(s);
-        self.permit_freed.notify_one();
-    }
-
-    /// Frees a permit for a lease that never materialized (dial failure).
+    /// Frees an in-flight permit.
     fn release_permit(&self) {
         let mut s = self.state.lock();
         s.inflight = s.inflight.saturating_sub(1);
@@ -224,74 +247,138 @@ impl BackendPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::BytesMut;
+    use staq_serve::codec::{self, ErrorCode};
+    use std::io::{Read, Write};
     use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
-    fn pool_at(listener: &TcpListener, cfg: PoolConfig) -> BackendPool {
-        let pool = BackendPool::new(cfg);
-        pool.bring_up(listener.local_addr().unwrap());
-        pool
+    /// A minimal protocol backend: accepts connections (counting them)
+    /// and answers every request with an `Invalid` error frame after
+    /// `delay` — enough to exercise the pool without booting an engine.
+    fn backend(listener: TcpListener, delay: Duration) -> Arc<AtomicUsize> {
+        let accepts = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&accepts);
+        std::thread::spawn(move || {
+            while let Ok((mut s, _)) = listener.accept() {
+                counter.fetch_add(1, Ordering::SeqCst);
+                std::thread::spawn(move || {
+                    let mut buf = BytesMut::new();
+                    let mut scratch = [0u8; 4096];
+                    loop {
+                        while let Ok(Some(d)) = codec::decode_request_full(&mut buf) {
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                            let resp =
+                                Response::Error { code: ErrorCode::Invalid, message: "ok".into() };
+                            let mut out = BytesMut::new();
+                            codec::encode_response_to(&resp, d.version, d.req_id, &mut out);
+                            if s.write_all(&out).is_err() {
+                                return;
+                            }
+                        }
+                        match s.read(&mut scratch) {
+                            Ok(0) | Err(_) => return,
+                            Ok(n) => buf.extend_from_slice(&scratch[..n]),
+                        }
+                    }
+                });
+            }
+        });
+        accepts
     }
 
     #[test]
     fn down_pool_fails_fast_without_dialing() {
         let pool = BackendPool::new(PoolConfig::default());
         assert!(!pool.is_up());
-        assert_eq!(pool.checkout().unwrap_err(), PoolError::Down);
+        assert_eq!(pool.call(&Request::Stats).unwrap_err(), PoolError::Down);
     }
 
     #[test]
-    fn connections_are_reused_within_a_generation() {
+    fn concurrent_calls_share_one_multiplexed_stream() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let pool = pool_at(&listener, PoolConfig::default());
-        let a = pool.checkout().unwrap();
-        let gen = a.gen;
-        pool.give_back(a);
-        // Only one accept happened: the second checkout reused the idle
-        // connection instead of dialing again.
-        let b = pool.checkout().unwrap();
-        assert_eq!(b.gen, gen);
-        listener.set_nonblocking(true).unwrap();
-        let _first = listener.accept().expect("exactly one dial");
-        assert!(listener.accept().is_err(), "second checkout must not dial");
-        pool.give_back(b);
+        let addr = listener.local_addr().unwrap();
+        let accepts = backend(listener, Duration::from_millis(10));
+        let pool = Arc::new(BackendPool::new(PoolConfig { mux_conns: 1, ..PoolConfig::default() }));
+        pool.bring_up(addr);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || pool.call(&Request::Stats))
+            })
+            .collect();
+        for h in handles {
+            assert!(matches!(h.join().unwrap(), Ok(Response::Error { .. })));
+        }
+        assert_eq!(
+            accepts.load(Ordering::SeqCst),
+            1,
+            "eight concurrent calls must coalesce onto one socket"
+        );
     }
 
     #[test]
-    fn respawn_generation_discards_stale_idle_connections() {
+    fn respawn_generation_is_tracked_and_stale_downs_ignored() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let pool = pool_at(&listener, PoolConfig::default());
-        let old = pool.checkout().unwrap();
-        let old_gen = old.gen;
-        pool.give_back(old);
+        let addr = listener.local_addr().unwrap();
+        let pool = BackendPool::new(PoolConfig::default());
+        pool.bring_up(addr);
+        let gen = pool.generation();
 
         // Backend "crashes" and comes back (same addr, new incarnation).
         assert!(pool.mark_down());
         assert!(!pool.mark_down(), "transition reported once");
-        assert_eq!(pool.checkout().unwrap_err(), PoolError::Down);
-        pool.bring_up(listener.local_addr().unwrap());
-
-        let fresh = pool.checkout().unwrap();
-        assert_eq!(fresh.gen, old_gen + 1, "bring_up bumps the generation");
+        assert_eq!(pool.call(&Request::Stats).unwrap_err(), PoolError::Down);
+        pool.bring_up(addr);
+        assert_eq!(pool.generation(), gen + 1, "bring_up bumps the generation");
         // A stale-generation down-marking must not take the new pool down.
-        assert!(!pool.mark_down_if(old_gen));
+        assert!(!pool.mark_down_if(gen));
         assert!(pool.is_up());
-        pool.give_back(fresh);
     }
 
     #[test]
     fn inflight_cap_turns_into_overloaded() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let cfg = PoolConfig {
+        let addr = listener.local_addr().unwrap();
+        let _accepts = backend(listener, Duration::from_millis(300));
+        let pool = Arc::new(BackendPool::new(PoolConfig {
             max_inflight: 1,
             acquire_timeout: Duration::from_millis(50),
-            ..Default::default()
+            ..PoolConfig::default()
+        }));
+        pool.bring_up(addr);
+        let holder = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.call(&Request::Stats))
         };
-        let pool = pool_at(&listener, cfg);
-        let held = pool.checkout().unwrap();
-        assert_eq!(pool.checkout().unwrap_err(), PoolError::Overloaded);
-        pool.give_back(held);
-        let again = pool.checkout().unwrap();
-        pool.give_back(again);
+        // Let the holder claim the single permit, then contend.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(pool.call(&Request::Stats).unwrap_err(), PoolError::Overloaded);
+        assert!(holder.join().unwrap().is_ok());
+        // The permit came back: the next call goes through.
+        assert!(pool.call(&Request::Stats).is_ok());
+    }
+
+    #[test]
+    fn mid_request_death_reports_io_with_the_generation() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            while let Ok((s, _)) = listener.accept() {
+                std::thread::sleep(Duration::from_millis(20));
+                drop(s); // close without answering
+            }
+        });
+        let pool = BackendPool::new(PoolConfig::default());
+        pool.bring_up(addr);
+        let gen = pool.generation();
+        assert_eq!(pool.call(&Request::Stats).unwrap_err(), PoolError::Io { gen });
+        // The pool itself never marks down on call errors; retry vs
+        // mark_down_if(gen) is the caller's policy.
+        assert!(pool.is_up());
     }
 
     #[test]
@@ -304,11 +391,11 @@ mod tests {
         let cfg = PoolConfig {
             connect_retries: 2,
             connect_backoff: Duration::from_millis(1),
-            ..Default::default()
+            ..PoolConfig::default()
         };
         let pool = BackendPool::new(cfg);
         pool.bring_up(addr);
-        assert_eq!(pool.checkout().unwrap_err(), PoolError::Down);
+        assert_eq!(pool.call(&Request::Stats).unwrap_err(), PoolError::Down);
         assert!(!pool.is_up(), "failed dialing must mark the backend down");
     }
 }

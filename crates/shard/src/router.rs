@@ -1,8 +1,8 @@
 //! The front server: wire protocol in, shard calls out.
 //!
-//! Speaks the same v2 protocol as a single `staq-serve` server, so every
-//! existing client — including the load generator — works against a
-//! sharded fleet unchanged. Per-request routing:
+//! Speaks the same wire protocol as a single `staq-serve` server, so
+//! every existing client — including the load generator — works against
+//! a sharded fleet unchanged. Per-request routing:
 //!
 //! * `Measures` / `Query` / `AddPoi` / `WhatIf` carry a category →
 //!   routed to the one shard that [`shard_for`] assigns it (what-if
@@ -20,49 +20,90 @@
 //!   backends share this process's registry, one snapshot stands for all
 //!   to avoid double-counting).
 //!
-//! Threading mirrors `staq-serve`'s server: an acceptor spawns one
-//! framing thread per client connection; that thread blocks on backend
-//! round-trips, and backend-side concurrency is bounded by the per-shard
-//! pools rather than a worker pool here.
+//! Threading mirrors `staq-serve`'s reactor model: one event-loop thread
+//! owns every front socket, decodes frames and gates admission; a small
+//! routing worker pool blocks on the backend round-trips (which the
+//! per-shard mux pools coalesce onto shared streams) and answers through
+//! per-connection [`OrderedOut`] sequencers — completion order for v4
+//! clients, strict request order for pre-v4 ones.
 
 use crate::hash::{shard_for, shard_for_key};
 use crate::metrics;
 use crate::supervisor::ShardSupervisor;
 use bytes::BytesMut;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use staq_gtfs::Delta;
-use staq_obs::{trace, MetricsSnapshot, OwnedSpan};
-use staq_serve::codec::{
-    self, CodecError, ErrorCode, Request, Response, StatsReply, MAX_FRAME_LEN,
-};
-use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use staq_net::admission::{Admission, AdmissionConfig, ShedReason, ADMITTED};
+use staq_net::reactor::{self, ConnHandler, ConnId, ReactorConfig, ReactorHandle, ReplySink};
+use staq_net::{Backend, OrderedOut};
+use staq_obs::{trace, MetricsSnapshot, OwnedSpan, SpanContext};
+use staq_serve::codec::{self, ErrorCode, Request, Response, StatsReply, MAX_FRAME_LEN};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Router front-end tunables.
 #[derive(Debug, Clone)]
 pub struct RouterConfig {
     /// Bind address; port 0 picks a free port.
     pub addr: String,
+    /// Routing worker threads (each blocks on one backend round-trip at
+    /// a time; shard-side concurrency is what they fan into).
+    pub workers: usize,
+    /// Bounded routing-queue depth (backpressure point).
+    pub queue_depth: usize,
+    /// Admission budget: requests whose estimated queue wait exceeds
+    /// this are shed with `Overloaded` instead of queued.
+    pub queue_budget: Duration,
+    /// Poller backend for the reactor (tests force the portable one).
+    pub backend: Backend,
+    /// How long shutdown waits for outbound queues to flush.
+    pub flush_timeout: Duration,
 }
 
 impl Default for RouterConfig {
     fn default() -> Self {
-        RouterConfig { addr: "127.0.0.1:0".into() }
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            queue_depth: 256,
+            queue_budget: Duration::from_millis(500),
+            backend: Backend::Auto,
+            flush_timeout: Duration::from_secs(1),
+        }
     }
 }
+
+/// One decoded front request on its way through the routing queue; the
+/// reply callback encodes onto the connection's outbound sequencer.
+struct RouterJob {
+    request: Request,
+    reply: Box<dyn FnOnce(Response) + Send>,
+    ctx: SpanContext,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+}
+
+/// The reactor handler's job sender, revocable from the handle: taking
+/// it at shutdown is what lets the routing workers observe channel
+/// disconnect and exit (the handler lives inside the reactor thread
+/// until `finish`, so a plain `Sender` clone there would hold the
+/// channel open and deadlock the worker join).
+type SharedJobSender = Arc<Mutex<Option<Sender<RouterJob>>>>;
 
 /// Handle to a running router; dropping it shuts down the front end and
 /// the supervised backend fleet.
 pub struct RouterHandle {
     addr: SocketAddr,
     sup: Arc<ShardSupervisor>,
-    shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactor: ReactorHandle,
+    jobs: SharedJobSender,
+    workers: Vec<JoinHandle<()>>,
+    flush: Duration,
+    done: bool,
 }
 
 impl RouterHandle {
@@ -71,26 +112,34 @@ impl RouterHandle {
         self.addr
     }
 
+    /// Live front connections.
+    pub fn conn_count(&self) -> usize {
+        self.reactor.conn_count()
+    }
+
     /// The supervised fleet behind this router (test hooks: kill a
     /// backend, check shard status).
     pub fn supervisor(&self) -> &ShardSupervisor {
         &self.sup
     }
 
-    /// Stops accepting, drains connections, then shuts the fleet down.
-    /// Idempotent.
+    /// Graceful shutdown: stop accepting and reading, let queued
+    /// requests finish routing, flush every outbound queue, then take
+    /// the fleet down. Idempotent.
     pub fn shutdown(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
+        if std::mem::replace(&mut self.done, true) {
             return;
         }
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.acceptor.take() {
-            h.join().expect("router acceptor panicked");
+        // Drain order mirrors `staq-serve`: stop intake, revoke the
+        // handler's sender so the channel can disconnect, run the queue
+        // dry (joining workers fires every reply callback), flush the
+        // sockets, and only then stop the backends the replies needed.
+        self.reactor.begin_drain();
+        self.jobs.lock().take();
+        for w in self.workers.drain(..) {
+            w.join().expect("router worker panicked");
         }
-        let conns = std::mem::take(&mut *self.conns.lock());
-        for c in conns {
-            c.join().expect("router connection thread panicked");
-        }
+        self.reactor.finish(self.flush);
         self.sup.shutdown();
     }
 }
@@ -106,100 +155,183 @@ pub fn route(sup: ShardSupervisor, cfg: &RouterConfig) -> std::io::Result<Router
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let sup = Arc::new(sup);
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-
-    let acceptor = {
-        let shutdown = Arc::clone(&shutdown);
-        let conns = Arc::clone(&conns);
-        let sup = Arc::clone(&sup);
-        std::thread::Builder::new()
-            .name("staq-shard-acceptor".into())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    let shutdown = Arc::clone(&shutdown);
-                    let sup = Arc::clone(&sup);
-                    let handle = std::thread::Builder::new()
-                        .name("staq-shard-conn".into())
-                        .spawn(move || {
-                            let _ = handle_connection(stream, &sup, &shutdown);
-                        })
-                        .expect("spawning router connection thread");
-                    conns.lock().push(handle);
-                }
-            })
-            .expect("spawning router acceptor thread")
-    };
-
-    Ok(RouterHandle { addr, sup, shutdown, acceptor: Some(acceptor), conns })
+    let n_workers = cfg.workers.max(1);
+    let admission = Arc::new(Admission::new(AdmissionConfig {
+        queue_budget: cfg.queue_budget,
+        workers: n_workers,
+    }));
+    let (tx, rx): (Sender<RouterJob>, Receiver<RouterJob>) = bounded(cfg.queue_depth);
+    let workers = (0..n_workers)
+        .map(|i| {
+            let rx = rx.clone();
+            let sup = Arc::clone(&sup);
+            let admission = Arc::clone(&admission);
+            std::thread::Builder::new()
+                .name(format!("staq-shard-worker-{i}"))
+                .spawn(move || worker_loop(rx, &sup, &admission))
+                .expect("spawning router worker")
+        })
+        .collect();
+    let jobs: SharedJobSender = Arc::new(Mutex::new(Some(tx)));
+    let handler = RouterHandler { jobs: Arc::clone(&jobs), admission, conns: HashMap::new() };
+    let reactor = reactor::spawn(
+        listener,
+        Box::new(handler),
+        ReactorConfig { name: "staq-shard", max_frame: MAX_FRAME_LEN, backend: cfg.backend },
+    )?;
+    Ok(RouterHandle { addr, sup, reactor, jobs, workers, flush: cfg.flush_timeout, done: false })
 }
 
-/// Serves one front connection until it closes, desyncs, or shutdown.
-fn handle_connection(
-    mut stream: TcpStream,
-    sup: &ShardSupervisor,
-    shutdown: &AtomicBool,
-) -> std::io::Result<()> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut buf = BytesMut::with_capacity(4096);
-    let mut scratch = [0u8; 16 * 1024];
-    let mut out = BytesMut::with_capacity(4096);
+/// Routing worker: pops jobs, sheds the ones whose deadline lapsed while
+/// queued, and runs the rest through [`dispatch`].
+fn worker_loop(rx: Receiver<RouterJob>, sup: &ShardSupervisor, admission: &Admission) {
+    while let Ok(job) = rx.recv() {
+        // The router is the fleet's edge: continue a traced client's
+        // context, or mint the TraceId here.
+        let _ctx = trace::attach(job.ctx);
+        let span = if job.ctx.is_some() {
+            trace::span_at("shard.request", job.enqueued)
+        } else {
+            trace::root_span_at("shard.request", job.enqueued)
+        };
+        drop(trace::span_at("shard.queue_wait", job.enqueued));
+        if job.deadline.is_some_and(|d| Instant::now() > d) {
+            ShedReason::Expired.count();
+            drop(span);
+            (job.reply)(Response::Error {
+                code: ErrorCode::Overloaded,
+                message: ShedReason::Expired.message().into(),
+            });
+            continue;
+        }
+        let t0 = Instant::now();
+        let response = dispatch(sup, job.request);
+        admission.observe_exec(t0.elapsed());
+        drop(span);
+        (job.reply)(response);
+    }
+}
 
-    loop {
+/// The reactor's protocol handler: decodes frames, gates admission,
+/// queues routing jobs whose reply callback encodes straight onto the
+/// connection's outbound queue.
+struct RouterHandler {
+    jobs: SharedJobSender,
+    admission: Arc<Admission>,
+    /// Per-connection response sequencer, keyed by slot index (the
+    /// reactor guarantees on_close before the index is reused).
+    conns: HashMap<u32, Arc<OrderedOut>>,
+}
+
+impl RouterHandler {
+    /// Emits an already-decided error frame through the connection's
+    /// response ordering.
+    fn emit_error(
+        ordered: &OrderedOut,
+        version: u8,
+        req_id: u64,
+        seq: Option<u64>,
+        code: ErrorCode,
+        message: &str,
+    ) {
+        let response = Response::Error { code, message: message.into() };
+        let mut buf = BytesMut::with_capacity(64);
+        codec::encode_response_to(&response, version, req_id, &mut buf);
+        match seq {
+            Some(s) => ordered.submit(s, buf.freeze()),
+            None => ordered.submit_unordered(buf.freeze()),
+        }
+    }
+}
+
+impl ConnHandler for RouterHandler {
+    fn on_data(&mut self, conn: ConnId, buf: &mut BytesMut, out: &ReplySink) -> bool {
+        let ordered = Arc::clone(
+            self.conns.entry(conn.index()).or_insert_with(|| OrderedOut::new(conn, out.clone())),
+        );
         loop {
-            match codec::decode_request_full(&mut buf) {
+            match codec::decode_request_full(buf) {
                 Ok(Some(decoded)) => {
-                    // The router is the fleet's edge: continue a traced
-                    // client's context, or mint the TraceId here.
-                    let _ctx = trace::attach(decoded.ctx);
-                    let span = if decoded.ctx.is_some() {
-                        trace::span("shard.request")
-                    } else {
-                        trace::root_span("shard.request")
+                    reactor::FRAMES_IN.inc();
+                    let now = Instant::now();
+                    let version = decoded.version;
+                    let req_id = decoded.req_id;
+                    let deadline =
+                        decoded.deadline_ms.map(|ms| now + Duration::from_millis(ms.into()));
+                    // Pre-v4 clients match responses by order, so even a
+                    // shed must occupy its slot in the sequence.
+                    let seq = (version < codec::WIRE_VERSION).then(|| ordered.assign());
+                    let remaining = deadline.map(|d| d.saturating_duration_since(now));
+                    let queue_len = self.jobs.lock().as_ref().map_or(0, |tx| tx.len());
+                    if let Err(reason) = self.admission.admit(queue_len, remaining) {
+                        reason.count();
+                        Self::emit_error(
+                            &ordered,
+                            version,
+                            req_id,
+                            seq,
+                            ErrorCode::Overloaded,
+                            reason.message(),
+                        );
+                        continue;
+                    }
+                    let reply_ordered = Arc::clone(&ordered);
+                    let reply = Box::new(move |response: Response| {
+                        let mut buf = BytesMut::with_capacity(256);
+                        codec::encode_response_to(&response, version, req_id, &mut buf);
+                        match seq {
+                            Some(s) => reply_ordered.submit(s, buf.freeze()),
+                            None => reply_ordered.submit_unordered(buf.freeze()),
+                        }
+                    });
+                    let job = RouterJob {
+                        request: decoded.request,
+                        reply,
+                        ctx: decoded.ctx,
+                        enqueued: now,
+                        deadline,
                     };
-                    let response = dispatch(sup, decoded.request);
-                    drop(span);
-                    out.clear();
-                    codec::encode_response_to(&response, decoded.version, &mut out);
-                    stream.write_all(&out)?;
+                    let sent = match self.jobs.lock().as_ref() {
+                        Some(tx) => tx.try_send(job),
+                        None => Err(TrySendError::Disconnected(job)),
+                    };
+                    match sent {
+                        Ok(()) => ADMITTED.inc(),
+                        Err(TrySendError::Full(job)) => {
+                            ShedReason::QueueFull.count();
+                            (job.reply)(Response::Error {
+                                code: ErrorCode::Overloaded,
+                                message: ShedReason::QueueFull.message().into(),
+                            });
+                        }
+                        Err(TrySendError::Disconnected(job)) => {
+                            (job.reply)(Response::Error {
+                                code: ErrorCode::Unavailable,
+                                message: "router is shutting down".into(),
+                            });
+                        }
+                    }
                 }
-                Ok(None) => break,
+                Ok(None) => return true,
                 Err(e) => {
-                    out.clear();
-                    codec::encode_response(
-                        &Response::Error { code: ErrorCode::BadRequest, message: e.to_string() },
-                        &mut out,
+                    // Framing is gone; tell the client why and hang up
+                    // (the reactor flushes the queue before closing).
+                    Self::emit_error(
+                        &ordered,
+                        codec::WIRE_VERSION,
+                        0,
+                        None,
+                        ErrorCode::BadRequest,
+                        &e.to_string(),
                     );
-                    let _ = stream.write_all(&out);
-                    return Ok(());
+                    return false;
                 }
             }
         }
-        if shutdown.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        match stream.read(&mut scratch) {
-            Ok(0) => return Ok(()),
-            Ok(n) => {
-                if buf.len() + n > MAX_FRAME_LEN + 4 {
-                    return Err(std::io::Error::new(
-                        ErrorKind::InvalidData,
-                        CodecError::FrameTooLarge(buf.len() + n),
-                    ));
-                }
-                buf.extend_from_slice(&scratch[..n]);
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                continue;
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        }
+    }
+
+    fn on_close(&mut self, conn: ConnId) {
+        self.conns.remove(&conn.index());
     }
 }
 

@@ -15,9 +15,9 @@
 //! Retry semantics on a mid-call failure:
 //!
 //! * **Reads** (`Measures`, `Query`, `Stats`, `WhatIf`) are idempotent
-//!   and retried once on a *fresh* connection (the failed one is poisoned
-//!   and discarded; the wire protocol has no request ids, so the same
-//!   connection must never be reused after a desync).
+//!   and retried once on a *fresh* stream (a multiplexed connection that
+//!   failed mid-frame is poisoned and discarded — even with request ids,
+//!   a desynced stream cannot be reused).
 //! * **Edits** (`AddPoi`, `AddBusRoute`, `ApplyDelta`) are not retried:
 //!   the backend may have applied the edit before the connection died,
 //!   and replaying it would double-apply. The caller gets `Unavailable`
@@ -49,7 +49,7 @@ use parking_lot::Mutex;
 use staq_gtfs::Delta;
 use staq_obs::trace;
 use staq_serve::codec::{DeltaAck, ErrorCode, Request, Response};
-use staq_serve::Client;
+use staq_serve::{Client, ClientConfig};
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -279,34 +279,25 @@ fn call_inner(inner: &Inner, shard: usize, request: &Request) -> Response {
     let attempts = if retryable { 2 } else { 1 };
 
     for attempt in 0..attempts {
-        let acquire = trace::span("shard.pool.acquire");
-        let checkout = slot.pool.checkout();
-        drop(acquire);
-        let mut lease = match checkout {
-            Ok(l) => l,
-            Err(PoolError::Down) => return unavailable(shard, "down"),
-            Err(PoolError::Overloaded) => return unavailable(shard, "overloaded"),
-        };
-        let gen = lease.gen;
         let t = Instant::now();
-        // The client encodes the current span context into the frame,
-        // so opening this span *before* the call is what propagates
-        // the trace to the backend.
+        // The pool's mux client encodes the current span context into
+        // the frame, so opening this span *before* the call is what
+        // propagates the trace to the backend.
         let mut span = trace::span("shard.backend.call");
         span.attr("shard", shard as u64);
         span.attr("attempt", attempt as u64);
-        let result = lease.client.call(request);
+        let result = slot.pool.call(request);
         drop(span);
         match result {
             Ok(resp) => {
                 metrics::backend_latency(shard).record(t.elapsed());
-                slot.pool.give_back(lease);
                 return resp;
             }
-            Err(_) => {
-                // The lease is poisoned; give_back frees the permit
-                // and drops the connection.
-                slot.pool.give_back(lease);
+            Err(PoolError::Down) => return unavailable(shard, "down"),
+            Err(PoolError::Overloaded) => return unavailable(shard, "overloaded"),
+            Err(PoolError::Io { gen }) => {
+                // The stream is poisoned and will be replaced on the
+                // next call; a retry dials (or picks) a fresh one.
                 if attempt + 1 < attempts {
                     metrics::RETRIES.inc();
                     continue;
@@ -479,8 +470,14 @@ fn sync_shard(inner: &Inner, shard: usize) {
 /// accept a connection — the listener comes up before the worker pool.
 fn probe(addr: SocketAddr, timeout: Duration) -> io::Result<()> {
     let deadline = Instant::now() + timeout;
+    // A bounded read timeout keeps a half-open backend (accepts, never
+    // answers) from wedging the probe loop past its own deadline.
+    let cfg = ClientConfig {
+        read_timeout: Some(Duration::from_secs(1)),
+        write_timeout: Some(Duration::from_secs(1)),
+    };
     loop {
-        if let Ok(mut c) = Client::connect(addr) {
+        if let Ok(mut c) = Client::connect_with(addr, &cfg) {
             if c.stats().is_ok() {
                 return Ok(());
             }

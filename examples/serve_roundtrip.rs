@@ -18,7 +18,12 @@ fn main() {
     let engine = CityPreset::Test.engine(0.05, 42);
     let mut server = staq_serve::serve(
         engine,
-        &ServerConfig { addr: "127.0.0.1:0".into(), workers: 4, queue_depth: 64 },
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 64,
+            ..Default::default()
+        },
     )
     .expect("bind loopback server");
     println!("serving on {}", server.addr());

@@ -1,0 +1,72 @@
+//! Client behaviour against a half-open peer: a server that accepts the
+//! connection (the TCP handshake succeeds) but never answers. Without a
+//! configured timeout a caller would block forever; with one, the plain
+//! client must fail in bounded time and poison the connection, while
+//! the mux client must fail the one call and stay usable.
+
+use staq_repro::prelude::*;
+use staq_serve::{Client, ClientConfig, ClientError, MuxClient, Request};
+use std::io::Read;
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+/// Accepts connections and reads (so requests are drained off the
+/// socket) but never writes a byte back — a stalled or wedged server.
+fn half_open_peer() -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut s) = stream else { return };
+            std::thread::spawn(move || {
+                let mut sink = [0u8; 4096];
+                while s.read(&mut sink).map(|n| n > 0).unwrap_or(false) {}
+            });
+        }
+    });
+    addr
+}
+
+#[test]
+fn a_half_open_peer_cannot_wedge_a_timeout_configured_client() {
+    let addr = half_open_peer();
+    let cfg = ClientConfig {
+        read_timeout: Some(Duration::from_millis(150)),
+        write_timeout: Some(Duration::from_millis(150)),
+    };
+    let mut c = Client::connect_with(addr, &cfg).expect("connect");
+
+    let t0 = Instant::now();
+    let outcome = c.query(&AccessQuery::MeanAccess, PoiCategory::School);
+    assert!(matches!(outcome, Err(ClientError::TimedOut)), "{outcome:?}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "the timeout must bound the stall: {:?}",
+        t0.elapsed()
+    );
+
+    // The request reached the wire; a late response could still arrive
+    // and would pair with the *next* request. The connection is
+    // poisoned, and every further call fails fast without touching it.
+    assert!(c.is_poisoned());
+    let t1 = Instant::now();
+    assert!(matches!(c.stats(), Err(ClientError::Poisoned)));
+    assert!(t1.elapsed() < Duration::from_millis(50), "fail fast, not after another timeout");
+}
+
+#[test]
+fn a_half_open_peer_times_out_mux_calls_without_poisoning_them() {
+    let addr = half_open_peer();
+    let mux = MuxClient::connect(addr).expect("connect");
+
+    // Responses are matched by request ID, so a timed-out call leaves
+    // the stream coherent: the client survives and later calls are
+    // allowed to try again (and, here, time out again).
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        let outcome = mux.call_timeout(&Request::Stats, Duration::from_millis(150));
+        assert!(matches!(outcome, Err(ClientError::TimedOut)), "{outcome:?}");
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        assert!(!mux.is_poisoned(), "a timeout is not a transport failure");
+    }
+}

@@ -29,7 +29,12 @@ fn stats_frame_carries_server_side_latency_histograms() {
     let engine = CityPreset::Test.engine(0.05, 42);
     let mut server = staq_serve::serve(
         engine,
-        &ServerConfig { addr: "127.0.0.1:0".into(), workers: 4, queue_depth: 64 },
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 64,
+            ..Default::default()
+        },
     )
     .expect("bind loopback server");
     let mut c = Client::connect(server.addr()).expect("connect");

@@ -16,7 +16,12 @@ fn start_server(workers: usize) -> ServerHandle {
     let engine = CityPreset::Test.engine(0.05, 42);
     staq_serve::serve(
         engine,
-        &ServerConfig { addr: "127.0.0.1:0".into(), workers, queue_depth: 64 },
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            queue_depth: 64,
+            ..Default::default()
+        },
     )
     .expect("bind loopback server")
 }

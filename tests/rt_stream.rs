@@ -15,7 +15,7 @@ fn start_server(seed: u64) -> ServerHandle {
     let engine = CityPreset::Test.engine(0.05, seed);
     staq_serve::serve(
         engine,
-        &ServerConfig { addr: "127.0.0.1:0".into(), workers: 4, queue_depth: 256 },
+        &ServerConfig { addr: "127.0.0.1:0".into(), workers: 4, ..Default::default() },
     )
     .expect("bind loopback server")
 }

@@ -119,7 +119,7 @@ fn killing_one_shard_mid_burst_fails_only_its_categories_until_respawn() {
     let mut sharded = Client::connect(addr).expect("connect");
     let mut single_server = staq_serve::serve(
         CityPreset::Test.engine(0.05, SEED),
-        &ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, queue_depth: 256 },
+        &ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, ..Default::default() },
     )
     .expect("single server");
     let mut single = Client::connect(single_server.addr()).expect("connect single");
@@ -237,7 +237,7 @@ fn delta_broadcasts_carry_fleet_sequence_numbers_and_gate_on_all_acks() {
     // single-process server fed the same sequenced history.
     let mut single_server = staq_serve::serve(
         CityPreset::Test.engine(0.05, SEED),
-        &ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, queue_depth: 256 },
+        &ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, ..Default::default() },
     )
     .expect("single server");
     let mut single = Client::connect(single_server.addr()).expect("connect single");

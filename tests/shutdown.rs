@@ -1,0 +1,69 @@
+//! Graceful shutdown of the serving binaries' cores: in-flight requests
+//! drain and their replies are flushed before the listener goes away,
+//! and a second `shutdown()` is an idempotent no-op rather than a
+//! deadlock or a double-join panic.
+
+use staq_repro::prelude::*;
+use staq_serve::presets::CityPreset;
+use staq_serve::{Client, MuxClient, Request, Response, ServerConfig};
+use staq_shard::{route, Backend, RouterConfig, ShardSupervisor, SupervisorConfig, ThreadBackend};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn query(category: PoiCategory) -> Request {
+    Request::Query { category, query: AccessQuery::MeanAccess, approx: false }
+}
+
+#[test]
+fn serve_shutdown_drains_in_flight_requests_and_is_idempotent() {
+    let engine = CityPreset::Test.engine(0.05, 42);
+    let mut server = staq_serve::serve(
+        engine,
+        &ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, ..Default::default() },
+    )
+    .expect("bind server");
+    let addr = server.addr();
+
+    // A cold query is a full pipeline run — slow enough that shutdown
+    // begins while it is still executing.
+    let mux = MuxClient::connect(addr).expect("connect");
+    let in_flight = {
+        let mux = mux.clone();
+        std::thread::spawn(move || mux.call(&query(PoiCategory::School)))
+    };
+    std::thread::sleep(Duration::from_millis(20)); // let the worker take it
+
+    server.shutdown();
+
+    // The caller whose request was already admitted gets a real answer,
+    // not a hangup: drain completes the job and flushes the reply.
+    let answer = in_flight.join().unwrap().expect("in-flight reply must be flushed");
+    assert!(matches!(answer, Response::Query(_)), "{answer:?}");
+
+    // Stopping twice is a no-op.
+    server.shutdown();
+
+    // The listener is really gone.
+    assert!(TcpStream::connect(addr).is_err(), "listener must be closed after shutdown");
+}
+
+#[test]
+fn shard_router_shutdown_is_idempotent_and_closes_the_listener() {
+    let backends: Vec<Box<dyn Backend>> = (0..2)
+        .map(|_| {
+            Box::new(ThreadBackend::new(2, || Arc::new(CityPreset::Test.engine(0.05, 42))))
+                as Box<dyn Backend>
+        })
+        .collect();
+    let sup = ShardSupervisor::start(backends, SupervisorConfig::default()).expect("fleet up");
+    let mut router = route(sup, &RouterConfig::default()).expect("bind router");
+    let addr = router.addr();
+
+    let mut c = Client::connect(addr).expect("connect");
+    c.query(&AccessQuery::MeanAccess, PoiCategory::School).expect("routed query");
+
+    router.shutdown();
+    router.shutdown(); // idempotent
+    assert!(TcpStream::connect(addr).is_err(), "router listener must be closed after shutdown");
+}

@@ -131,6 +131,15 @@ impl<T> Sender<T> {
         self.shared.not_empty.notify_one();
         Ok(())
     }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().expect("channel lock").items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> Receiver<T> {
