@@ -1,0 +1,243 @@
+//! obs-bench: prices the windowed-aggregation layer against the bare
+//! metrics hot path.
+//!
+//! ```text
+//! obs-bench [--seed N] [--iters N] [--rounds N] [--quick]
+//!           [--emit-json path] [--baseline path]
+//! ```
+//!
+//! The question the bench answers: does a dashboard polling
+//! [`staq_obs::ops::report`] (which snapshots the whole registry, diffs
+//! it into the window ring and assembles burn rates) slow down the
+//! serving hot path — the histogram `record` call every request makes?
+//!
+//! Two interleaved variants, A/B/A/B across `--rounds` rounds so clock
+//! drift and thermal state hit both equally:
+//!
+//! - **off** — a tight record loop with nobody polling.
+//! - **on**  — the same loop while a poller thread assembles a report
+//!   every 500µs with a 1ms window interval, i.e. a poll cadence ~20×
+//!   harsher than any real dashboard.
+//!
+//! Reported: median ns/op per variant, the on/off overhead ratio, and
+//! the standalone cost of one `report()` assembly. `--baseline` warns —
+//! never fails — when the overhead ratio drifts beyond the ±6% noise
+//! gate used by the other serving benches.
+
+use staq_obs::{snapshot, AtomicHistogram};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+static H_RECORD: AtomicHistogram = AtomicHistogram::new("bench.obs.record");
+
+/// Baseline drift beyond this warns.
+const NOISE_GATE: f64 = 0.06;
+
+struct Args {
+    seed: u64,
+    iters: usize,
+    rounds: usize,
+    quick: bool,
+    emit_json: Option<String>,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 42,
+        iters: 2_000_000,
+        rounds: 9,
+        quick: false,
+        emit_json: None,
+        baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => args.seed = parse(&mut it, "--seed"),
+            "--iters" => args.iters = parse(&mut it, "--iters"),
+            "--rounds" => args.rounds = parse(&mut it, "--rounds"),
+            "--quick" => args.quick = true,
+            "--emit-json" => args.emit_json = Some(need(&mut it, "--emit-json")),
+            "--baseline" => args.baseline = Some(need(&mut it, "--baseline")),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if args.quick {
+        args.iters = args.iters.min(300_000);
+        args.rounds = args.rounds.min(5);
+    }
+    args.rounds = args.rounds.max(1);
+    args
+}
+
+fn need(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+}
+
+fn parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    need(it, flag).parse().unwrap_or_else(|_| usage(&format!("{flag} needs a valid value")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: obs-bench [--seed N] [--iters N] [--rounds N] [--quick] \
+         [--emit-json path] [--baseline path]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 })
+}
+
+/// Deterministic splitmix64 stream — the bench must not depend on rand.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// One round of the hot path: `iters` histogram records with a spread of
+/// durations so every bucket range stays warm. Returns ns/op.
+fn record_round(rng: &mut Rng, iters: usize) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        // 1µs .. ~1ms, log-ish spread via the low bits.
+        let ns = 1_000 + (rng.next() % 1_000_000);
+        H_RECORD.record_ns(ns);
+    }
+    t.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let args = parse_args();
+    let obs = staq_obs::obs_enabled();
+    println!(
+        "obs-bench: {} iters x {} rounds per variant, obs {}",
+        args.iters,
+        args.rounds,
+        if obs { "on" } else { "OFF (no-op registry)" }
+    );
+
+    // Aggressive window interval so nearly every poll closes a window —
+    // the expensive path (full-registry snapshot + diff), not the cheap
+    // read-only one.
+    staq_obs::ops::set_interval(Duration::from_millis(1));
+
+    let mut rng = Rng(args.seed);
+    // Warm the histogram and the ring before timing anything.
+    record_round(&mut rng, args.iters / 10 + 1);
+    staq_obs::ops::force_tick();
+
+    let stop = AtomicBool::new(false);
+    let (mut off_ns, mut on_ns) = (Vec::new(), Vec::new());
+    let mut polls = 0u64;
+    std::thread::scope(|scope| {
+        // Interleaved A/B: each round runs the quiet variant, then the
+        // same workload with the poller alive.
+        for _ in 0..args.rounds {
+            off_ns.push(record_round(&mut rng, args.iters));
+
+            stop.store(false, Ordering::Relaxed);
+            let poller = scope.spawn(|| {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = staq_obs::ops::report(4);
+                    n += 1;
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                n
+            });
+            on_ns.push(record_round(&mut rng, args.iters));
+            stop.store(true, Ordering::Relaxed);
+            polls += poller.join().expect("poller panicked");
+        }
+    });
+
+    let off = median(&mut off_ns);
+    let on = median(&mut on_ns);
+    let overhead_ratio = on / off.max(1e-9);
+    println!(
+        "record hot path: {off:.1} ns/op quiet, {on:.1} ns/op under polling \
+         ({overhead_ratio:.3}x, {polls} polls)"
+    );
+
+    // Standalone report assembly cost (includes a tick on most calls at
+    // the 1ms interval).
+    let reports = if args.quick { 200 } else { 1_000 };
+    let t = Instant::now();
+    for _ in 0..reports {
+        let _ = staq_obs::ops::report(4);
+    }
+    let report_ns = t.elapsed().as_nanos() as f64 / reports as f64;
+    println!("report assembly: {report_ns:.0} ns/report over {reports} calls");
+
+    if let Some(path) = &args.baseline {
+        compare_baseline(path, overhead_ratio);
+    }
+
+    if let Some(path) = &args.emit_json {
+        let json = format!(
+            "{{\"bench\":\"obs-bench\",\"seed\":{},\"quick\":{},\"obs_enabled\":{obs},\
+             \"iters\":{},\"rounds\":{},\"polls\":{polls},\
+             \"off_ns_per_op\":{off:.2},\"on_ns_per_op\":{on:.2},\
+             \"overhead_ratio\":{overhead_ratio:.4},\"report_ns\":{report_ns:.0},\
+             \"metrics\":{}}}",
+            args.seed,
+            args.quick,
+            args.iters,
+            args.rounds,
+            snapshot().to_json(),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+}
+
+/// Warn-only gate on the headline ratio: CI stays green, the committed
+/// JSON is the trend record.
+fn compare_baseline(path: &str, fresh: f64) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        println!("baseline: cannot read {path}, skipping comparison");
+        return;
+    };
+    match last_json_f64(&text, "overhead_ratio") {
+        Some(old) if (fresh - old).abs() > old * NOISE_GATE => println!(
+            "WARNING: overhead_ratio moved beyond the {:.0}% gate: {old:.3} -> {fresh:.3} \
+             (baseline {path})",
+            NOISE_GATE * 100.0
+        ),
+        Some(old) => println!(
+            "baseline overhead_ratio: {old:.3} -> {fresh:.3} (within {:.0}%)",
+            NOISE_GATE * 100.0
+        ),
+        None => println!("baseline: no overhead_ratio in {path}"),
+    }
+}
+
+/// Extracts the last `"key":<number>` occurrence from our own flat JSON.
+fn last_json_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.rfind(&needle)?;
+    let val = &text[at + needle.len()..];
+    let end = val.find([',', '}'])?;
+    val[..end].trim().parse().ok()
+}

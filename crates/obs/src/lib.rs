@@ -23,6 +23,11 @@
 //! * [`prom`] / [`http`] — the ops scrape surface: Prometheus text
 //!   exposition of a snapshot and the std-only `--metrics-addr`
 //!   listener that serves it.
+//! * [`window`] / [`slo`] / [`slow`] / [`ops`] — staq-ops: windowed
+//!   snapshot deltas ("p99 *right now*", not since boot), declarative
+//!   per-class SLOs with fast/slow burn rates, tail-sampled slow-trace
+//!   retention, and the mergeable [`OpsReport`] the serving layer
+//!   exposes fleet-wide.
 //!
 //! Instrumentation cost: a counter bump is one relaxed `fetch_add` plus a
 //! relaxed flag load; a histogram record is three; an untraced span is a
@@ -32,16 +37,24 @@
 
 pub mod hist;
 pub mod http;
+pub mod ops;
 pub mod prom;
 pub mod registry;
+pub mod slo;
+pub mod slow;
 pub mod snapshot;
 pub mod trace;
+pub mod window;
 
 pub use hist::{fmt_dur, LatencyHistogram};
 pub use http::{serve_prometheus, ScrapeHandle};
+pub use ops::{BurnWindow, ClassWindow, OpsReport, SloStatus};
 pub use registry::{snapshot, AtomicHistogram, Counter, Gauge, ScopedTimer};
+pub use slo::{SloClass, SloSpec};
+pub use slow::SlowTrace;
 pub use snapshot::{CounterSample, GaugeSample, HistogramSample, JsonError, MetricsSnapshot};
 pub use trace::{OwnedSpan, SpanContext, TraceId};
+pub use window::WindowRing;
 
 /// True when the crate was built with recording compiled in (i.e. the
 /// `obs-off` feature is absent) — benches stamp this into their reports

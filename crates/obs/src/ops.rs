@@ -1,0 +1,518 @@
+//! The fleet-health report: windows + SLO burn + slow traces, in one
+//! wire-friendly value.
+//!
+//! [`report`] is what the serving layer answers an `OpsReport` request
+//! with. It owns the process-global [`WindowRing`]: windows close
+//! *lazily* — a report call first checks whether at least
+//! [`set_interval`]'s worth of wall time has passed since the last
+//! close and ticks if so. No background thread; the poller's cadence
+//! (a `staq-top` refresh, a dashboard scrape) drives the ring, and each
+//! window carries its real `span_ns` so uneven polling never skews
+//! rates. The shard router scatter-gathers one report per backend and
+//! folds them with [`OpsReport::merge`].
+//!
+//! Burn rates follow the fast/slow multi-window convention (see
+//! [`slo`](crate::slo)): the fast window pages on sudden breakage, the
+//! slow window catches budget leaks. Both are assembled from the same
+//! ring by summing trailing deltas.
+//!
+//! Under `obs-off` everything here still compiles and runs — snapshots
+//! are empty, so reports carry zeroed classes, zero burn and no traces.
+
+use crate::slo::{self, SloClass};
+use crate::slow::{self, SlowTrace};
+use crate::snapshot::MetricsSnapshot;
+use crate::window::WindowRing;
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime};
+
+/// Default window width when nobody polls faster.
+pub const DEFAULT_INTERVAL: Duration = Duration::from_secs(10);
+/// Fast burn window: sudden-breakage alerting horizon.
+pub const FAST_WINDOW: Duration = Duration::from_secs(5 * 60);
+/// Slow burn window: budget-leak horizon.
+pub const SLOW_WINDOW: Duration = Duration::from_secs(60 * 60);
+/// Windows the ring retains — covers the slow window at the default
+/// interval with headroom (6 h at 10 s ticks, less when polled faster).
+pub const RING_WINDOWS: usize = 2048;
+
+/// Per-class view of the most recently closed window. Carries the raw
+/// delta buckets so fleet merges stay exact at bucket resolution;
+/// quantiles are derived views.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassWindow {
+    /// [`SloClass::name`] of the class.
+    pub class: String,
+    /// Wall time the window covers.
+    pub span_ns: u64,
+    /// Requests the class completed inside the window.
+    pub count: u64,
+    pub sum_ns: u64,
+    pub max_ns: u64,
+    /// Sparse `(bucket, count)` latency pairs, window-local.
+    pub buckets: Vec<(u32, u64)>,
+    /// Admission sheds / deadline misses attributed to the class.
+    pub shed: u64,
+}
+
+impl ClassWindow {
+    /// Completed requests per second over the window.
+    pub fn rps(&self) -> f64 {
+        if self.span_ns == 0 {
+            return 0.0;
+        }
+        self.count as f64 / (self.span_ns as f64 / 1e9)
+    }
+
+    /// Window-local latency quantile in nanoseconds (0 when idle).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        crate::hist::LatencyHistogram::from_sparse(&self.buckets, self.sum_ns as u128, self.max_ns)
+            .percentile(q)
+            .as_nanos() as u64
+    }
+
+    /// Folds another shard's view of the same class and window.
+    pub fn merge(&mut self, other: &ClassWindow) {
+        debug_assert_eq!(self.class, other.class);
+        self.span_ns = self.span_ns.max(other.span_ns);
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for &(idx, n) in &other.buckets {
+            match self.buckets.iter_mut().find(|(i, _)| *i == idx) {
+                Some((_, mine)) => *mine += n,
+                None => self.buckets.push((idx, n)),
+            }
+        }
+        self.buckets.sort_by_key(|&(i, _)| i);
+        self.shed += other.shed;
+    }
+}
+
+/// Event counts for one burn-rate window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BurnWindow {
+    /// Wall time actually covered (≤ the nominal window while the ring
+    /// is still filling).
+    pub span_ns: u64,
+    /// All class events: completed requests + sheds.
+    pub total: u64,
+    /// Budget-consuming events: threshold violations + sheds.
+    pub bad: u64,
+}
+
+impl BurnWindow {
+    fn merge(&mut self, other: &BurnWindow) {
+        self.span_ns = self.span_ns.max(other.span_ns);
+        self.total += other.total;
+        self.bad += other.bad;
+    }
+}
+
+/// One class's objective and its current burn state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    pub class: String,
+    /// Good-fraction objective in thousandths (999 = 99.9%).
+    pub objective_milli: u32,
+    /// Latency threshold a good request finishes under.
+    pub threshold_ns: u64,
+    pub fast: BurnWindow,
+    pub slow: BurnWindow,
+    /// Cumulative sheds for the class since boot.
+    pub shed_total: u64,
+}
+
+impl SloStatus {
+    fn budget_fraction(&self) -> f64 {
+        1.0 - (self.objective_milli.min(1000) as f64 / 1000.0)
+    }
+
+    /// Fast-window burn rate (1.0 = spending the budget exactly at the
+    /// sustainable pace).
+    pub fn burn_fast(&self) -> f64 {
+        slo::burn_rate(self.fast.total, self.fast.bad, self.budget_fraction())
+    }
+
+    /// Slow-window burn rate.
+    pub fn burn_slow(&self) -> f64 {
+        slo::burn_rate(self.slow.total, self.slow.bad, self.budget_fraction())
+    }
+
+    /// Fraction of the slow-window error budget still unspent, in
+    /// `[0, 1]`. An idle class has its whole budget.
+    pub fn budget_remaining(&self) -> f64 {
+        if self.slow.total == 0 {
+            return 1.0;
+        }
+        let allowed = self.slow.total as f64 * self.budget_fraction();
+        if allowed <= 0.0 {
+            return if self.slow.bad == 0 { 1.0 } else { 0.0 };
+        }
+        (1.0 - self.slow.bad as f64 / allowed).clamp(0.0, 1.0)
+    }
+
+    fn merge(&mut self, other: &SloStatus) {
+        debug_assert_eq!(self.class, other.class);
+        self.fast.merge(&other.fast);
+        self.slow.merge(&other.slow);
+        self.shed_total += other.shed_total;
+    }
+}
+
+/// The whole fleet-health answer, as one mergeable value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OpsReport {
+    /// Nominal tick interval of the reporting process.
+    pub interval_ns: u64,
+    /// Closed windows the ring currently holds.
+    pub windows: u32,
+    /// Unix time the report was assembled.
+    pub generated_unix_ns: u64,
+    /// Per-class view of the most recently closed window.
+    pub classes: Vec<ClassWindow>,
+    pub slo: Vec<SloStatus>,
+    /// Slowest retained traces, duration-descending.
+    pub slow: Vec<SlowTrace>,
+}
+
+impl OpsReport {
+    /// Folds another backend's report in: class windows and burn counts
+    /// sum, slow traces re-rank into one top-K. Reports from backends
+    /// sharing a process (and therefore a registry) must not be merged —
+    /// take one of them instead, exactly like `MetricsSnapshot::merge`.
+    pub fn merge(&mut self, other: &OpsReport) {
+        self.interval_ns = self.interval_ns.max(other.interval_ns);
+        self.windows = self.windows.max(other.windows);
+        self.generated_unix_ns = self.generated_unix_ns.max(other.generated_unix_ns);
+        for cw in &other.classes {
+            match self.classes.iter_mut().find(|m| m.class == cw.class) {
+                Some(mine) => mine.merge(cw),
+                None => self.classes.push(cw.clone()),
+            }
+        }
+        for st in &other.slo {
+            match self.slo.iter_mut().find(|m| m.class == st.class) {
+                Some(mine) => mine.merge(st),
+                None => self.slo.push(st.clone()),
+            }
+        }
+        for t in &other.slow {
+            slow::insert_top_k(&mut self.slow, t.clone(), slow::SLOW_KEEP);
+        }
+    }
+
+    /// The class window by name.
+    pub fn class(&self, name: &str) -> Option<&ClassWindow> {
+        self.classes.iter().find(|c| c.class == name)
+    }
+
+    /// The SLO status by class name.
+    pub fn slo_for(&self, name: &str) -> Option<&SloStatus> {
+        self.slo.iter().find(|s| s.class == name)
+    }
+}
+
+struct OpsState {
+    interval: Duration,
+    ring: WindowRing,
+    last_tick: Instant,
+}
+
+static OPS: Mutex<Option<OpsState>> = Mutex::new(None);
+
+fn unix_now_ns() -> u64 {
+    SystemTime::now().duration_since(SystemTime::UNIX_EPOCH).unwrap_or_default().as_nanos() as u64
+}
+
+fn with_state<R>(f: impl FnOnce(&mut OpsState) -> R) -> R {
+    let mut guard = OPS.lock().expect("ops state poisoned");
+    let state = guard.get_or_insert_with(|| OpsState {
+        interval: DEFAULT_INTERVAL,
+        // Baseline at first touch: pre-ops history stays out of window 1.
+        ring: WindowRing::new(RING_WINDOWS, crate::registry::snapshot()),
+        last_tick: Instant::now(),
+    });
+    f(state)
+}
+
+/// Sets the nominal window width (process-global; 10 s default). Tests
+/// and dashboards polling faster than the interval see one window per
+/// interval; polling slower yields wider windows with honest `span_ns`.
+pub fn set_interval(interval: Duration) {
+    with_state(|s| s.interval = interval.max(Duration::from_millis(1)));
+}
+
+fn tick_locked(state: &mut OpsState) {
+    let span_ns = state.last_tick.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    state.ring.tick(crate::registry::snapshot(), span_ns, unix_now_ns());
+    state.last_tick = Instant::now();
+}
+
+/// Closes the current window unconditionally. Reports tick lazily;
+/// tests tick explicitly to make window boundaries deterministic.
+pub fn force_tick() {
+    with_state(tick_locked);
+}
+
+/// Assembles the process-local report, lazily closing a window first if
+/// the interval has elapsed. `slow_limit` caps the traces included.
+pub fn report(slow_limit: usize) -> OpsReport {
+    let (interval_ns, windows, classes, slo_status) = with_state(|state| {
+        if state.last_tick.elapsed() >= state.interval {
+            tick_locked(state);
+        }
+        let last = state.ring.last();
+        let specs = slo::specs();
+        let classes: Vec<ClassWindow> = specs
+            .iter()
+            .map(|spec| {
+                let (span_ns, delta) = match last {
+                    Some(w) => (w.span_ns, &w.delta),
+                    None => (0, &EMPTY_SNAPSHOT),
+                };
+                class_window(spec.class, span_ns, delta)
+            })
+            .collect();
+        let fast = state.ring.trailing(FAST_WINDOW.as_nanos() as u64);
+        let slow_w = state.ring.trailing(SLOW_WINDOW.as_nanos() as u64);
+        let slo_status: Vec<SloStatus> = specs
+            .iter()
+            .map(|spec| {
+                let (fast_total, fast_bad) = slo::window_events(spec, &fast.1);
+                let (slow_total, slow_bad) = slo::window_events(spec, &slow_w.1);
+                SloStatus {
+                    class: spec.class.name().to_string(),
+                    objective_milli: spec.objective_milli,
+                    threshold_ns: spec.threshold_ns,
+                    fast: BurnWindow { span_ns: fast.0, total: fast_total, bad: fast_bad },
+                    slow: BurnWindow { span_ns: slow_w.0, total: slow_total, bad: slow_bad },
+                    shed_total: shed_total(spec.class),
+                }
+            })
+            .collect();
+        (state.interval.as_nanos() as u64, state.ring.len() as u32, classes, slo_status)
+    });
+    publish_gauges(&slo_status);
+    let mut slow_traces = slow::dump();
+    slow_traces.truncate(slow_limit);
+    OpsReport {
+        interval_ns,
+        windows,
+        generated_unix_ns: unix_now_ns(),
+        classes,
+        slo: slo_status,
+        slow: slow_traces,
+    }
+}
+
+static EMPTY_SNAPSHOT: MetricsSnapshot =
+    MetricsSnapshot { counters: Vec::new(), gauges: Vec::new(), histograms: Vec::new() };
+
+fn class_window(class: SloClass, span_ns: u64, delta: &MetricsSnapshot) -> ClassWindow {
+    let mut out = ClassWindow {
+        class: class.name().to_string(),
+        span_ns,
+        count: 0,
+        sum_ns: 0,
+        max_ns: 0,
+        buckets: Vec::new(),
+        shed: delta.counter(class.shed_counter()).unwrap_or(0),
+    };
+    for hist in class.hist_names() {
+        if let Some(h) = delta.histogram(hist) {
+            out.count += h.count;
+            out.sum_ns = out.sum_ns.saturating_add(h.sum_ns);
+            out.max_ns = out.max_ns.max(h.max_ns);
+            for &(idx, n) in &h.buckets {
+                match out.buckets.iter_mut().find(|(i, _)| *i == idx) {
+                    Some((_, mine)) => *mine += n,
+                    None => out.buckets.push((idx, n)),
+                }
+            }
+        }
+    }
+    out.buckets.sort_by_key(|&(i, _)| i);
+    out
+}
+
+fn shed_total(class: SloClass) -> u64 {
+    slo::shed_count(class)
+}
+
+// The `obs.slo.*` gauge family: burn rates and remaining budget in
+// thousandths, refreshed whenever a report is assembled. A fixed bank,
+// like every other metric family in the workspace.
+static G_QUERY_FAST: crate::registry::Gauge =
+    crate::registry::Gauge::new("obs.slo.query.burn_fast_milli");
+static G_QUERY_SLOW: crate::registry::Gauge =
+    crate::registry::Gauge::new("obs.slo.query.burn_slow_milli");
+static G_QUERY_BUDGET: crate::registry::Gauge =
+    crate::registry::Gauge::new("obs.slo.query.budget_remaining_milli");
+static G_PLAN_FAST: crate::registry::Gauge =
+    crate::registry::Gauge::new("obs.slo.plan.burn_fast_milli");
+static G_PLAN_SLOW: crate::registry::Gauge =
+    crate::registry::Gauge::new("obs.slo.plan.burn_slow_milli");
+static G_PLAN_BUDGET: crate::registry::Gauge =
+    crate::registry::Gauge::new("obs.slo.plan.budget_remaining_milli");
+static G_MEASURES_FAST: crate::registry::Gauge =
+    crate::registry::Gauge::new("obs.slo.measures.burn_fast_milli");
+static G_MEASURES_SLOW: crate::registry::Gauge =
+    crate::registry::Gauge::new("obs.slo.measures.burn_slow_milli");
+static G_MEASURES_BUDGET: crate::registry::Gauge =
+    crate::registry::Gauge::new("obs.slo.measures.budget_remaining_milli");
+static G_EDITS_FAST: crate::registry::Gauge =
+    crate::registry::Gauge::new("obs.slo.edits.burn_fast_milli");
+static G_EDITS_SLOW: crate::registry::Gauge =
+    crate::registry::Gauge::new("obs.slo.edits.burn_slow_milli");
+static G_EDITS_BUDGET: crate::registry::Gauge =
+    crate::registry::Gauge::new("obs.slo.edits.budget_remaining_milli");
+
+fn gauges_for(class: &str) -> Option<[&'static crate::registry::Gauge; 3]> {
+    match class {
+        "query" => Some([&G_QUERY_FAST, &G_QUERY_SLOW, &G_QUERY_BUDGET]),
+        "plan" => Some([&G_PLAN_FAST, &G_PLAN_SLOW, &G_PLAN_BUDGET]),
+        "measures" => Some([&G_MEASURES_FAST, &G_MEASURES_SLOW, &G_MEASURES_BUDGET]),
+        "edits" => Some([&G_EDITS_FAST, &G_EDITS_SLOW, &G_EDITS_BUDGET]),
+        _ => None,
+    }
+}
+
+fn publish_gauges(statuses: &[SloStatus]) {
+    for st in statuses {
+        if let Some([fast, slow_g, budget]) = gauges_for(&st.class) {
+            fast.set((st.burn_fast() * 1000.0).min(u64::MAX as f64) as u64);
+            slow_g.set((st.burn_slow() * 1000.0).min(u64::MAX as f64) as u64);
+            budget.set((st.budget_remaining() * 1000.0) as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cw(class: &str, count: u64, shed: u64, buckets: Vec<(u32, u64)>) -> ClassWindow {
+        ClassWindow {
+            class: class.into(),
+            span_ns: 1_000_000_000,
+            count,
+            sum_ns: count * 1000,
+            max_ns: 1000,
+            buckets,
+            shed,
+        }
+    }
+
+    #[test]
+    fn merge_sums_classes_and_reranks_slow_traces() {
+        let t = |trace, dur| SlowTrace {
+            trace,
+            class: "query".into(),
+            root_dur_ns: dur,
+            is_error: false,
+            captured_unix_ns: 0,
+            spans: vec![],
+        };
+        let mut a = OpsReport {
+            interval_ns: 10,
+            windows: 2,
+            generated_unix_ns: 5,
+            classes: vec![cw("query", 10, 1, vec![(100, 10)])],
+            slo: vec![SloStatus {
+                class: "query".into(),
+                objective_milli: 999,
+                threshold_ns: 1000,
+                fast: BurnWindow { span_ns: 60, total: 10, bad: 1 },
+                slow: BurnWindow { span_ns: 600, total: 100, bad: 2 },
+                shed_total: 1,
+            }],
+            slow: vec![t(1, 500)],
+        };
+        let b = OpsReport {
+            interval_ns: 20,
+            windows: 1,
+            generated_unix_ns: 9,
+            classes: vec![cw("query", 5, 2, vec![(100, 3), (200, 2)]), cw("plan", 7, 0, vec![])],
+            slo: vec![SloStatus {
+                class: "query".into(),
+                objective_milli: 999,
+                threshold_ns: 1000,
+                fast: BurnWindow { span_ns: 55, total: 5, bad: 0 },
+                slow: BurnWindow { span_ns: 590, total: 50, bad: 1 },
+                shed_total: 2,
+            }],
+            slow: vec![t(2, 900), t(1, 100)],
+        };
+        a.merge(&b);
+        let q = a.class("query").unwrap();
+        assert_eq!(q.count, 15);
+        assert_eq!(q.shed, 3);
+        assert_eq!(q.buckets, vec![(100, 13), (200, 2)]);
+        assert!(a.class("plan").is_some(), "new classes union in");
+        let s = a.slo_for("query").unwrap();
+        assert_eq!((s.fast.total, s.fast.bad), (15, 1));
+        assert_eq!((s.slow.total, s.slow.bad), (150, 3));
+        assert_eq!(s.shed_total, 3);
+        // Slow traces re-rank; trace 1 keeps its longer incarnation.
+        assert_eq!(a.slow[0].trace, 2);
+        assert_eq!(a.slow[1].root_dur_ns, 500);
+    }
+
+    #[test]
+    fn burn_and_budget_math() {
+        let st = SloStatus {
+            class: "query".into(),
+            objective_milli: 990, // 1% budget
+            threshold_ns: 0,
+            fast: BurnWindow { span_ns: 1, total: 100, bad: 2 },
+            slow: BurnWindow { span_ns: 1, total: 1000, bad: 5 },
+            shed_total: 0,
+        };
+        assert!((st.burn_fast() - 2.0).abs() < 1e-9);
+        assert!((st.burn_slow() - 0.5).abs() < 1e-9);
+        // 5 bad of 10 allowed: half the budget left.
+        assert!((st.budget_remaining() - 0.5).abs() < 1e-9);
+        let idle = SloStatus { fast: BurnWindow::default(), slow: BurnWindow::default(), ..st };
+        assert_eq!(idle.burn_fast(), 0.0);
+        assert_eq!(idle.budget_remaining(), 1.0);
+    }
+
+    #[test]
+    fn class_window_quantiles_come_from_buckets() {
+        let mut h = crate::hist::LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record_ns(1_000);
+        }
+        h.record_ns(8_000_000);
+        let w = ClassWindow {
+            class: "query".into(),
+            span_ns: 2_000_000_000,
+            count: h.count(),
+            sum_ns: h.sum_ns() as u64,
+            max_ns: 8_000_000,
+            buckets: h.nonzero_buckets(),
+            shed: 0,
+        };
+        assert!((w.rps() - 50.0).abs() < 1e-9);
+        assert!(w.quantile_ns(50.0) <= 1_100);
+        assert!(w.quantile_ns(99.9) >= 7_000_000);
+    }
+
+    // The global report path is exercised end-to-end (with real traffic
+    // and a fleet) by the root `tests/ops.rs`; here just pin the lazy
+    // tick + shape contract.
+    #[test]
+    fn report_shape_is_stable() {
+        set_interval(Duration::from_secs(3600)); // no lazy tick mid-test
+        let r = report(4);
+        assert_eq!(r.classes.len(), 4);
+        assert_eq!(r.slo.len(), 4);
+        for class in ["query", "plan", "measures", "edits"] {
+            assert!(r.class(class).is_some());
+            assert!(r.slo_for(class).is_some());
+        }
+        assert!(r.slow.len() <= 4);
+        assert!(r.generated_unix_ns > 0);
+    }
+}

@@ -4,25 +4,31 @@
 //! returns — counters and gauges as-is, histograms as cumulative
 //! `_bucket{le="..."}` series reconstructed from the sparse log-bucket
 //! pairs. Names map `.` → `_` under a `staq_` prefix; durations follow
-//! the Prometheus convention of seconds.
+//! the Prometheus convention of seconds. Every family gets exactly one
+//! `# HELP` and one `# TYPE` line, even when two raw names sanitize to
+//! the same family.
 
 use crate::hist::bucket_value;
 use crate::snapshot::MetricsSnapshot;
+use std::collections::HashSet;
 
 /// Renders the snapshot in Prometheus text exposition format (v0.0.4).
 pub fn render(snap: &MetricsSnapshot) -> String {
     let mut out = String::with_capacity(4096);
+    let mut seen: HashSet<String> = HashSet::new();
     for c in &snap.counters {
         let name = metric_name(&c.name);
-        out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.value));
+        header(&mut out, &mut seen, &name, &c.name, "counter");
+        out.push_str(&format!("{name} {}\n", c.value));
     }
     for g in &snap.gauges {
         let name = metric_name(&g.name);
-        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.value));
+        header(&mut out, &mut seen, &name, &g.name, "gauge");
+        out.push_str(&format!("{name} {}\n", g.value));
     }
     for h in &snap.histograms {
         let name = metric_name(&h.name);
-        out.push_str(&format!("# TYPE {name} histogram\n"));
+        header(&mut out, &mut seen, &name, &h.name, "histogram");
         let mut cum = 0u64;
         for &(idx, n) in &h.buckets {
             cum += n;
@@ -34,6 +40,33 @@ pub fn render(snap: &MetricsSnapshot) -> String {
         out.push_str(&format!("{name}_count {}\n", h.count));
     }
     out
+}
+
+/// Emits the `# HELP` / `# TYPE` pair for a family, once.
+fn header(out: &mut String, seen: &mut HashSet<String>, name: &str, raw: &str, kind: &str) {
+    if !seen.insert(name.to_string()) {
+        return;
+    }
+    out.push_str(&format!("# HELP {name} {}\n# TYPE {name} {kind}\n", help_text(raw, kind)));
+}
+
+/// One-line family description. Prometheus help text escapes `\` and
+/// newlines; raw metric names are the only foreign content.
+fn help_text(raw: &str, kind: &str) -> String {
+    let what = match kind {
+        "counter" => "cumulative counter",
+        "gauge" => "level gauge",
+        _ => "latency histogram (seconds)",
+    };
+    let mut escaped = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            c => escaped.push(c),
+        }
+    }
+    format!("STAQ {what} '{escaped}'")
 }
 
 /// `engine.cache.hits` → `staq_engine_cache_hits`; anything outside
@@ -66,8 +99,10 @@ mod tests {
             histograms: vec![],
         };
         let text = render(&snap);
+        assert!(text.contains("# HELP staq_engine_cache_hits "));
         assert!(text.contains("# TYPE staq_engine_cache_hits counter\n"));
         assert!(text.contains("staq_engine_cache_hits 42\n"));
+        assert!(text.contains("# HELP staq_serve_workers "));
         assert!(text.contains("# TYPE staq_serve_workers gauge\n"));
         assert!(text.contains("staq_serve_workers 8\n"));
     }
@@ -102,6 +137,39 @@ mod tests {
             ..Default::default()
         };
         assert!(render(&snap).contains("staq_a_b_c_d_e 1\n"));
+    }
+
+    #[test]
+    fn colliding_sanitized_names_emit_one_header_pair() {
+        // `a.b` and `a_b` both sanitize to `staq_a_b`; the family header
+        // must appear once, while both sample lines survive.
+        let snap = MetricsSnapshot {
+            counters: vec![
+                CounterSample { name: "a.b".into(), value: 1 },
+                CounterSample { name: "a_b".into(), value: 2 },
+            ],
+            ..Default::default()
+        };
+        let text = render(&snap);
+        assert_eq!(text.matches("# TYPE staq_a_b counter").count(), 1);
+        assert_eq!(text.matches("# HELP staq_a_b ").count(), 1);
+        assert!(text.contains("staq_a_b 1\n") && text.contains("staq_a_b 2\n"));
+    }
+
+    #[test]
+    fn help_text_escapes_backslashes_and_newlines() {
+        let snap = MetricsSnapshot {
+            counters: vec![CounterSample { name: "bad\\name\nwith.breaks".into(), value: 1 }],
+            ..Default::default()
+        };
+        let text = render(&snap);
+        let help = text.lines().find(|l| l.starts_with("# HELP")).unwrap();
+        assert!(help.contains("bad\\\\name\\nwith.breaks"), "{help}");
+        // The raw newline must not have split the page mid-directive:
+        // every line is a comment or a sample, never a bare fragment.
+        for line in text.lines().filter(|l| !l.is_empty()) {
+            assert!(line.starts_with('#') || line.starts_with("staq_"), "stray line: {line}");
+        }
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Declarative latency/availability objectives per query class, with
+//! multi-window burn rates.
+//!
+//! An SLO here is "fraction `objective` of requests finish under
+//! `threshold` and are not shed". A *bad event* is a request whose
+//! latency landed above the threshold, plus every admission shed or
+//! worker-side deadline miss attributed to the class (the serving layer
+//! calls [`shed`] at those sites — shed requests never reach the
+//! latency histograms, so they must be counted separately or the error
+//! budget would silently exclude exactly the failures admission control
+//! produces).
+//!
+//! Burn rate follows the multi-window convention: over a window,
+//! `burn = (bad / total) / (1 - objective)` — 1.0 means the budget is
+//! being spent exactly at the sustainable pace, 10 means the budget
+//! burns ten times too fast. The ops layer evaluates a fast window
+//! (default 5 min, pages on sudden breakage) and a slow window (default
+//! 1 h, catches slow leaks) from the same [`WindowRing`](crate::window::WindowRing).
+//!
+//! Everything here keys off the four serving classes; their latency
+//! source histograms are the per-kind `serve.request.*` families the
+//! worker pool already records. Per-class shed counts live in the
+//! `obs.slo.<class>.shed` counter family so window deltas yield
+//! per-window shed counts for free.
+
+use crate::hist::bucket_value;
+use crate::registry::Counter;
+use crate::snapshot::MetricsSnapshot;
+
+/// The serving classes objectives are declared over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloClass {
+    /// Access queries (`serve.request.query`).
+    Query,
+    /// Journey planning (`serve.request.plan`).
+    Plan,
+    /// Per-zone measure dumps (`serve.request.measures`).
+    Measures,
+    /// Mutations: POI/route edits and streamed deltas.
+    Edits,
+}
+
+impl SloClass {
+    pub const ALL: [SloClass; 4] =
+        [SloClass::Query, SloClass::Plan, SloClass::Measures, SloClass::Edits];
+
+    /// Stable wire/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SloClass::Query => "query",
+            SloClass::Plan => "plan",
+            SloClass::Measures => "measures",
+            SloClass::Edits => "edits",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<SloClass> {
+        SloClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// The cumulative latency histograms whose samples this class
+    /// aggregates.
+    pub fn hist_names(self) -> &'static [&'static str] {
+        match self {
+            SloClass::Query => &["serve.request.query"],
+            SloClass::Plan => &["serve.request.plan"],
+            SloClass::Measures => &["serve.request.measures"],
+            SloClass::Edits => &[
+                "serve.request.add_poi",
+                "serve.request.add_bus_route",
+                "serve.request.apply_delta",
+                "serve.request.delta_batch",
+            ],
+        }
+    }
+
+    /// The class's shed counter name.
+    pub fn shed_counter(self) -> &'static str {
+        match self {
+            SloClass::Query => "obs.slo.query.shed",
+            SloClass::Plan => "obs.slo.plan.shed",
+            SloClass::Measures => "obs.slo.measures.shed",
+            SloClass::Edits => "obs.slo.edits.shed",
+        }
+    }
+}
+
+// Fixed bank of shed counters — the registry takes statics only, so the
+// four classes each get a declared counter rather than a dynamic name.
+static SHED_QUERY: Counter = Counter::new("obs.slo.query.shed");
+static SHED_PLAN: Counter = Counter::new("obs.slo.plan.shed");
+static SHED_MEASURES: Counter = Counter::new("obs.slo.measures.shed");
+static SHED_EDITS: Counter = Counter::new("obs.slo.edits.shed");
+
+/// Counts one availability error (admission shed or deadline miss)
+/// against `class`'s error budget. No-op under `obs-off`.
+pub fn shed(class: SloClass) {
+    shed_cell(class).inc()
+}
+
+/// Cumulative shed count for `class` since boot.
+pub fn shed_count(class: SloClass) -> u64 {
+    shed_cell(class).get()
+}
+
+fn shed_cell(class: SloClass) -> &'static Counter {
+    match class {
+        SloClass::Query => &SHED_QUERY,
+        SloClass::Plan => &SHED_PLAN,
+        SloClass::Measures => &SHED_MEASURES,
+        SloClass::Edits => &SHED_EDITS,
+    }
+}
+
+/// One declared objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloSpec {
+    pub class: SloClass,
+    /// Good-fraction objective in thousandths: 999 = 99.9%.
+    pub objective_milli: u32,
+    /// Latency threshold a good request must finish under.
+    pub threshold_ns: u64,
+}
+
+impl SloSpec {
+    /// The error-budget fraction: `1 - objective`.
+    pub fn budget_fraction(&self) -> f64 {
+        1.0 - (self.objective_milli.min(1000) as f64 / 1000.0)
+    }
+}
+
+const DEFAULT_SPECS: [SloSpec; 4] = [
+    SloSpec { class: SloClass::Query, objective_milli: 999, threshold_ns: 50_000_000 },
+    SloSpec { class: SloClass::Plan, objective_milli: 999, threshold_ns: 100_000_000 },
+    SloSpec { class: SloClass::Measures, objective_milli: 999, threshold_ns: 50_000_000 },
+    SloSpec { class: SloClass::Edits, objective_milli: 995, threshold_ns: 250_000_000 },
+];
+
+static SPECS: std::sync::Mutex<Option<[SloSpec; 4]>> = std::sync::Mutex::new(None);
+
+/// The active objectives, defaults unless [`configure`]d.
+pub fn specs() -> [SloSpec; 4] {
+    SPECS.lock().expect("slo specs poisoned").unwrap_or(DEFAULT_SPECS)
+}
+
+/// Replaces the objective for each class present in `new` (absent
+/// classes keep their current spec). Process-global, like the registry.
+pub fn configure(new: &[SloSpec]) {
+    let mut guard = SPECS.lock().expect("slo specs poisoned");
+    let mut specs = guard.unwrap_or(DEFAULT_SPECS);
+    for spec in new {
+        if let Some(slot) = specs.iter_mut().find(|s| s.class == spec.class) {
+            *slot = *spec;
+        }
+    }
+    *guard = Some(specs);
+}
+
+/// Total and bad event counts for `class` inside one delta snapshot
+/// (a [`Window`](crate::window::Window)'s `delta` or a trailing merge).
+///
+/// Returns `(total, bad)`: total = latency samples + sheds; bad =
+/// samples whose bucket's upper edge exceeds the threshold + sheds.
+/// Working at bucket granularity inherits the histogram's ~6% edge
+/// resolution, which is the precision the quantiles already have.
+pub fn window_events(spec: &SloSpec, delta: &MetricsSnapshot) -> (u64, u64) {
+    let mut total = 0u64;
+    let mut bad = 0u64;
+    for hist in spec.class.hist_names() {
+        if let Some(h) = delta.histogram(hist) {
+            total += h.count;
+            bad += h
+                .buckets
+                .iter()
+                .filter(|&&(idx, _)| bucket_value(idx as usize) > spec.threshold_ns)
+                .map(|&(_, n)| n)
+                .sum::<u64>();
+        }
+    }
+    let sheds = delta.counter(spec.class.shed_counter()).unwrap_or(0);
+    (total + sheds, bad + sheds)
+}
+
+/// Burn rate for `bad` out of `total` events against an objective:
+/// `(bad/total) / budget_fraction`. Zero traffic burns nothing; a zero
+/// budget (objective = 100%) makes any bad event an infinite burn,
+/// clamped to a large finite sentinel so it serializes.
+pub fn burn_rate(total: u64, bad: u64, budget_fraction: f64) -> f64 {
+    if total == 0 || bad == 0 {
+        return 0.0;
+    }
+    let bad_fraction = bad as f64 / total as f64;
+    if budget_fraction <= 0.0 {
+        return 1e9;
+    }
+    bad_fraction / budget_fraction
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+    use crate::snapshot::{CounterSample, HistogramSample};
+
+    fn delta(class: SloClass, latencies_ns: &[u64], sheds: u64) -> MetricsSnapshot {
+        let mut h = LatencyHistogram::new();
+        for &ns in latencies_ns {
+            h.record_ns(ns);
+        }
+        MetricsSnapshot {
+            counters: vec![CounterSample { name: class.shed_counter().into(), value: sheds }],
+            gauges: vec![],
+            histograms: vec![HistogramSample::from_histogram(class.hist_names()[0], &h)],
+        }
+    }
+
+    #[test]
+    fn violations_and_sheds_both_count_as_bad() {
+        let spec =
+            SloSpec { class: SloClass::Query, objective_milli: 990, threshold_ns: 1_000_000 };
+        // 3 fast, 2 slow, 1 shed.
+        let d = delta(SloClass::Query, &[10_000, 10_000, 10_000, 50_000_000, 50_000_000], 1);
+        let (total, bad) = window_events(&spec, &d);
+        assert_eq!(total, 6);
+        assert_eq!(bad, 3);
+        let burn = burn_rate(total, bad, spec.budget_fraction());
+        // 50% bad against a 1% budget burns 50x.
+        assert!((burn - 50.0).abs() < 1e-9, "burn = {burn}");
+    }
+
+    #[test]
+    fn quiet_window_burns_nothing() {
+        let spec = specs()[0];
+        let (total, bad) = window_events(&spec, &MetricsSnapshot::default());
+        assert_eq!((total, bad), (0, 0));
+        assert_eq!(burn_rate(total, bad, spec.budget_fraction()), 0.0);
+    }
+
+    #[test]
+    fn edits_class_sums_all_edit_histograms() {
+        let spec = SloSpec { class: SloClass::Edits, objective_milli: 990, threshold_ns: 1_000 };
+        let mut h = LatencyHistogram::new();
+        h.record_ns(5_000);
+        let d = MetricsSnapshot {
+            histograms: vec![
+                HistogramSample::from_histogram("serve.request.add_poi", &h.clone()),
+                HistogramSample::from_histogram("serve.request.apply_delta", &h),
+            ],
+            ..Default::default()
+        };
+        let (total, bad) = window_events(&spec, &d);
+        assert_eq!((total, bad), (2, 2));
+    }
+
+    #[test]
+    fn configure_overrides_only_named_classes() {
+        // Serialized by being the only test that writes SPECS; reset after.
+        let plan_before = specs()[1];
+        configure(&[SloSpec { class: SloClass::Query, objective_milli: 900, threshold_ns: 77 }]);
+        let now = specs();
+        assert_eq!(now[0].objective_milli, 900);
+        assert_eq!(now[0].threshold_ns, 77);
+        assert_eq!(now[1], plan_before, "plan untouched");
+        configure(&[DEFAULT_SPECS[0]]);
+    }
+
+    #[test]
+    fn class_names_round_trip() {
+        for c in SloClass::ALL {
+            assert_eq!(SloClass::from_name(c.name()), Some(c));
+        }
+        assert_eq!(SloClass::from_name("telepathy"), None);
+    }
+}

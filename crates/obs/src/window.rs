@@ -1,0 +1,264 @@
+//! Windowed metric aggregation: a ring of snapshot deltas.
+//!
+//! The registry only ever accumulates — `serve.requests` is
+//! "since boot", which answers capacity questions but not "what is p99
+//! *right now*". This module turns consecutive [`MetricsSnapshot`]s into
+//! per-window *deltas*: [`diff`] subtracts two snapshots (counters by
+//! value, histograms bucket-pair-wise), and [`WindowRing`] keeps the
+//! last N deltas so callers can read per-window rates and rebuild
+//! sliding-window quantiles with [`LatencyHistogram::from_sparse`].
+//!
+//! Windows are *closed by ticks*, not by a background thread: whoever
+//! owns the ring calls [`WindowRing::tick`] with a fresh snapshot (the
+//! ops layer does this lazily when a report is requested, so the
+//! dashboard's polling cadence defines the window width — each window
+//! records its own `span_ns`, nothing assumes the interval is exact).
+//! The ring itself is plain data, usable under `obs-off` (snapshots are
+//! just empty there).
+
+use crate::hist::{bucket_value, LatencyHistogram};
+use crate::snapshot::{HistogramSample, MetricsSnapshot};
+use std::collections::VecDeque;
+
+/// One closed window: what changed between two consecutive snapshots.
+///
+/// `delta` is a [`MetricsSnapshot`] whose counters hold *increments*,
+/// whose histograms hold only the samples recorded inside the window,
+/// and whose gauges hold the level observed at the window's close (a
+/// gauge is not a flow; subtracting levels would be meaningless).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    /// Wall time the window covers, in nanoseconds.
+    pub span_ns: u64,
+    /// Unix time at the window's close.
+    pub end_unix_ns: u64,
+    pub delta: MetricsSnapshot,
+}
+
+impl Window {
+    /// Counter increment over this window.
+    pub fn count(&self, counter: &str) -> u64 {
+        self.delta.counter(counter).unwrap_or(0)
+    }
+
+    /// Counter rate over this window, per second.
+    pub fn rate(&self, counter: &str) -> f64 {
+        if self.span_ns == 0 {
+            return 0.0;
+        }
+        self.count(counter) as f64 / (self.span_ns as f64 / 1e9)
+    }
+
+    /// Quantile of a histogram's *window-local* samples, in nanoseconds.
+    /// Returns 0 when the histogram saw nothing this window.
+    pub fn quantile_ns(&self, hist: &str, q: f64) -> u64 {
+        match self.delta.histogram(hist) {
+            Some(h) => h.to_histogram().percentile(q).as_nanos() as u64,
+            None => 0,
+        }
+    }
+}
+
+/// Subtracts `prev` from `cur`, producing the delta snapshot described
+/// on [`Window`]. Metrics absent from `prev` (registered mid-window)
+/// count from zero; metrics absent from `cur` are dropped.
+pub fn diff(prev: &MetricsSnapshot, cur: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = MetricsSnapshot::default();
+    for c in &cur.counters {
+        let before = prev.counter(&c.name).unwrap_or(0);
+        out.counters.push(crate::snapshot::CounterSample {
+            name: c.name.clone(),
+            value: c.value.saturating_sub(before),
+        });
+    }
+    // Gauges are levels: report the closing level, not a difference.
+    out.gauges = cur.gauges.clone();
+    for h in &cur.histograms {
+        let delta = match prev.histogram(&h.name) {
+            Some(p) => diff_histogram(p, h),
+            None => h.clone(),
+        };
+        out.histograms.push(delta);
+    }
+    out
+}
+
+/// Bucket-pair subtraction of two cumulative samples of the *same*
+/// histogram. The window's `max_ns` is not observable from cumulative
+/// state, so it is approximated by the upper edge of the highest bucket
+/// that grew (clamped to the cumulative max — an upper bound either way).
+fn diff_histogram(prev: &HistogramSample, cur: &HistogramSample) -> HistogramSample {
+    let mut buckets: Vec<(u32, u64)> = Vec::new();
+    for &(idx, n) in &cur.buckets {
+        let before = prev.buckets.iter().find(|&&(i, _)| i == idx).map(|&(_, n)| n).unwrap_or(0);
+        let d = n.saturating_sub(before);
+        if d > 0 {
+            buckets.push((idx, d));
+        }
+    }
+    let count: u64 = buckets.iter().map(|&(_, n)| n).sum();
+    let sum_ns = cur.sum_ns.saturating_sub(prev.sum_ns);
+    let max_ns = buckets
+        .iter()
+        .map(|&(idx, _)| bucket_value(idx as usize))
+        .max()
+        .unwrap_or(0)
+        .min(cur.max_ns);
+    let h = LatencyHistogram::from_sparse(&buckets, sum_ns as u128, max_ns);
+    let mut sample = HistogramSample::from_histogram(&cur.name, &h);
+    sample.count = count; // from_sparse already sums, but be explicit
+    sample
+}
+
+/// A bounded ring of closed windows, newest last.
+#[derive(Debug, Clone)]
+pub struct WindowRing {
+    cap: usize,
+    /// Snapshot at the last tick — next window's subtrahend.
+    prev: MetricsSnapshot,
+    windows: VecDeque<Window>,
+}
+
+impl WindowRing {
+    /// An empty ring holding at most `cap` windows. The first [`tick`]
+    /// closes a window against the `baseline` snapshot (pass the current
+    /// snapshot to exclude pre-ring history, or
+    /// [`MetricsSnapshot::default()`] to count from boot).
+    ///
+    /// [`tick`]: WindowRing::tick
+    pub fn new(cap: usize, baseline: MetricsSnapshot) -> Self {
+        assert!(cap > 0, "a window ring needs at least one slot");
+        WindowRing { cap, prev: baseline, windows: VecDeque::with_capacity(cap) }
+    }
+
+    /// Closes the current window: everything recorded between the last
+    /// tick's snapshot and `cur` becomes one [`Window`] covering
+    /// `span_ns` of wall time, evicting the oldest window at capacity.
+    pub fn tick(&mut self, cur: MetricsSnapshot, span_ns: u64, end_unix_ns: u64) {
+        let delta = diff(&self.prev, &cur);
+        if self.windows.len() == self.cap {
+            self.windows.pop_front();
+        }
+        self.windows.push_back(Window { span_ns, end_unix_ns, delta });
+        self.prev = cur;
+    }
+
+    /// Closed windows held, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &Window> {
+        self.windows.iter()
+    }
+
+    /// Number of closed windows held.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The most recently closed window.
+    pub fn last(&self) -> Option<&Window> {
+        self.windows.back()
+    }
+
+    /// Merges the newest windows until at least `target_span_ns` of wall
+    /// time is covered (or the ring runs out), returning the covered
+    /// span and the summed deltas — the sliding-window view burn rates
+    /// are computed from. Gauges in the result are meaningless (they sum
+    /// across windows); use only counters and histograms.
+    pub fn trailing(&self, target_span_ns: u64) -> (u64, MetricsSnapshot) {
+        let mut covered = 0u64;
+        let mut merged = MetricsSnapshot::default();
+        for w in self.windows.iter().rev() {
+            merged.merge(&w.delta);
+            covered = covered.saturating_add(w.span_ns);
+            if covered >= target_span_ns {
+                break;
+            }
+        }
+        (covered, merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::CounterSample;
+    use std::time::Duration;
+
+    fn snap_with(counter: u64, samples: &[u64]) -> MetricsSnapshot {
+        let mut h = LatencyHistogram::new();
+        for &ns in samples {
+            h.record_ns(ns);
+        }
+        MetricsSnapshot {
+            counters: vec![CounterSample { name: "t.reqs".into(), value: counter }],
+            gauges: vec![],
+            histograms: vec![HistogramSample::from_histogram("t.lat", &h)],
+        }
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_buckets() {
+        let a = snap_with(10, &[1_000, 2_000]);
+        let b = snap_with(25, &[1_000, 2_000, 50_000, 50_000, 50_000]);
+        let d = diff(&a, &b);
+        assert_eq!(d.counter("t.reqs"), Some(15));
+        let h = d.histogram("t.lat").unwrap();
+        assert_eq!(h.count, 3, "only the window's samples remain");
+        // The delta's quantiles reflect the 50µs burst, not the 1-2µs
+        // cumulative history.
+        assert!(h.to_histogram().percentile(50.0) >= Duration::from_nanos(40_000));
+    }
+
+    #[test]
+    fn diff_of_identical_snapshots_is_empty_flow() {
+        let a = snap_with(7, &[5_000]);
+        let d = diff(&a, &a.clone());
+        assert_eq!(d.counter("t.reqs"), Some(0));
+        assert_eq!(d.histogram("t.lat").unwrap().count, 0);
+    }
+
+    #[test]
+    fn new_metric_mid_window_counts_from_zero() {
+        let a = MetricsSnapshot::default();
+        let b = snap_with(4, &[9_000]);
+        let d = diff(&a, &b);
+        assert_eq!(d.counter("t.reqs"), Some(4));
+        assert_eq!(d.histogram("t.lat").unwrap().count, 1);
+    }
+
+    #[test]
+    fn ring_rotates_and_sums_trailing_windows() {
+        let mut ring = WindowRing::new(3, MetricsSnapshot::default());
+        for i in 1..=5u64 {
+            ring.tick(snap_with(i * 10, &[]), 1_000_000_000, i);
+        }
+        assert_eq!(ring.len(), 3, "capacity bounds the ring");
+        // Each window saw +10; the oldest two rotated out.
+        assert_eq!(ring.last().unwrap().count("t.reqs"), 10);
+        assert!((ring.last().unwrap().rate("t.reqs") - 10.0).abs() < 1e-9);
+        let (covered, merged) = ring.trailing(2_000_000_000);
+        assert_eq!(covered, 2_000_000_000);
+        assert_eq!(merged.counter("t.reqs"), Some(20));
+        // Asking for more than the ring holds returns what's there.
+        let (covered, merged) = ring.trailing(u64::MAX);
+        assert_eq!(covered, 3_000_000_000);
+        assert_eq!(merged.counter("t.reqs"), Some(30));
+    }
+
+    #[test]
+    fn window_quantile_reads_window_local_samples() {
+        let mut ring = WindowRing::new(4, snap_with(0, &[]));
+        ring.tick(snap_with(3, &[1_000, 1_000, 1_000]), 1_000_000_000, 1);
+        let slow: Vec<u64> = vec![1_000, 1_000, 1_000, 8_000_000, 8_000_000, 8_000_000];
+        ring.tick(snap_with(6, &slow), 1_000_000_000, 2);
+        // The burst window's p99 is the 8ms spike even though the
+        // cumulative histogram is half fast samples.
+        let p99 = ring.last().unwrap().quantile_ns("t.lat", 99.0);
+        assert!(p99 >= 7_000_000, "burst window p99 = {p99}ns");
+        let p99_first = ring.windows().next().unwrap().quantile_ns("t.lat", 99.0);
+        assert!(p99_first <= 2_000, "quiet window p99 = {p99_first}ns");
+    }
+}

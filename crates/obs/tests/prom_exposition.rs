@@ -1,0 +1,155 @@
+//! Exposition-format correctness for the Prometheus scrape surface:
+//! a golden page for a fixed snapshot, plus property tests over
+//! arbitrary snapshots pinning the format invariants a scraper relies
+//! on — one `# HELP`/`# TYPE` pair per family, monotone non-decreasing
+//! cumulative buckets ending at `+Inf`, and label/name escaping that
+//! keeps hostile metric names from breaking the line protocol.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use staq_obs::prom::render;
+use staq_obs::{CounterSample, GaugeSample, HistogramSample, LatencyHistogram, MetricsSnapshot};
+use std::collections::HashMap;
+use std::time::Duration;
+
+#[test]
+fn golden_page_for_a_fixed_snapshot() {
+    let mut h = LatencyHistogram::new();
+    h.record(Duration::from_nanos(100));
+    h.record(Duration::from_nanos(100));
+    h.record(Duration::from_micros(50));
+    let snap = MetricsSnapshot {
+        counters: vec![CounterSample { name: "engine.cache.hits".into(), value: 42 }],
+        gauges: vec![GaugeSample { name: "serve.workers".into(), value: 8 }],
+        histograms: vec![HistogramSample::from_histogram("serve.request.query", &h)],
+    };
+    let text = render(&snap);
+    let expected = "\
+# HELP staq_engine_cache_hits STAQ cumulative counter 'engine.cache.hits'
+# TYPE staq_engine_cache_hits counter
+staq_engine_cache_hits 42
+# HELP staq_serve_workers STAQ level gauge 'serve.workers'
+# TYPE staq_serve_workers gauge
+staq_serve_workers 8
+# HELP staq_serve_request_query STAQ latency histogram (seconds) 'serve.request.query'
+# TYPE staq_serve_request_query histogram
+staq_serve_request_query_bucket{le=\"0.0000001\"} 2
+staq_serve_request_query_bucket{le=\"0.000049152\"} 3
+staq_serve_request_query_bucket{le=\"+Inf\"} 3
+staq_serve_request_query_sum 0.0000502
+staq_serve_request_query_count 3
+";
+    assert_eq!(text, expected);
+}
+
+/// Raw metric names: printable ASCII plus the troublemakers (quotes,
+/// braces, backslashes, newlines, unicode).
+fn raw_name() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z.{}\"\\\\\n é_0-9-]{1,24}").unwrap()
+}
+
+fn arb_hist() -> impl Strategy<Value = (String, Vec<u64>)> {
+    (raw_name(), vec(1u64..=40_000_000_000u64, 0..40))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn headers_appear_once_per_family(
+        counters in vec((raw_name(), 0u64..u64::MAX), 0..8),
+        gauges in vec((raw_name(), 0u64..u64::MAX), 0..8),
+    ) {
+        let snap = MetricsSnapshot {
+            counters: counters
+                .into_iter()
+                .map(|(name, value)| CounterSample { name, value })
+                .collect(),
+            gauges: gauges.into_iter().map(|(name, value)| GaugeSample { name, value }).collect(),
+            histograms: vec![],
+        };
+        let text = render(&snap);
+        let mut help: HashMap<&str, usize> = HashMap::new();
+        let mut types: HashMap<&str, usize> = HashMap::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                *help.entry(rest.split(' ').next().unwrap()).or_default() += 1;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                *types.entry(rest.split(' ').next().unwrap()).or_default() += 1;
+            }
+        }
+        for (family, n) in &help {
+            prop_assert_eq!(*n, 1, "duplicate HELP for {}", family);
+        }
+        for (family, n) in &types {
+            prop_assert_eq!(*n, 1, "duplicate TYPE for {}", family);
+            prop_assert!(help.contains_key(family), "TYPE without HELP for {}", family);
+        }
+        // Every non-comment line is `name[_suffix[{le="..."}]] value`
+        // over a sanitized name: hostile raw names never leak format
+        // characters into the sample lines.
+        for line in text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            prop_assert!(name.starts_with("staq_"), "bad sample line: {}", line);
+            prop_assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "unsanitized name in: {}",
+                line
+            );
+            prop_assert!(line.rsplit(' ').next().unwrap().parse::<f64>().is_ok(), "{}", line);
+        }
+    }
+
+    #[test]
+    fn histogram_series_are_cumulative_with_terminal_inf(hists in vec(arb_hist(), 1..5)) {
+        let snap = MetricsSnapshot {
+            histograms: hists
+                .iter()
+                .map(|(name, samples)| {
+                    let mut h = LatencyHistogram::new();
+                    for &ns in samples {
+                        h.record_ns(ns);
+                    }
+                    HistogramSample::from_histogram(name, &h)
+                })
+                .collect(),
+            ..Default::default()
+        };
+        let text = render(&snap);
+        // Walk each family's bucket series in page order.
+        let mut cur_family: Option<String> = None;
+        let mut last_cum = 0u64;
+        let mut last_le = f64::NEG_INFINITY;
+        let mut saw_inf = false;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                // A new family begins; the previous one must have closed
+                // with +Inf.
+                prop_assert!(cur_family.is_none() || saw_inf);
+                cur_family = Some(rest.split(' ').next().unwrap().to_string());
+                last_cum = 0;
+                last_le = f64::NEG_INFINITY;
+                saw_inf = false;
+            } else if let Some((_, rest)) = line.split_once("_bucket{le=\"") {
+                let (le_text, count_text) = rest.split_once("\"} ").unwrap();
+                let cum: u64 = count_text.parse().unwrap();
+                prop_assert!(cum >= last_cum, "non-monotone buckets: {}", line);
+                last_cum = cum;
+                if le_text == "+Inf" {
+                    saw_inf = true;
+                } else {
+                    prop_assert!(!saw_inf, "+Inf must terminate the series: {}", line);
+                    let le: f64 = le_text.parse().unwrap();
+                    prop_assert!(le > last_le, "le edges must increase: {}", line);
+                    last_le = le;
+                }
+            } else if line.contains("_count ") {
+                let total: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                prop_assert!(saw_inf, "bucketless histogram family");
+                prop_assert_eq!(total, last_cum, "+Inf bucket must equal _count");
+            }
+        }
+        prop_assert!(saw_inf, "last family never closed with +Inf");
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! staq-trace [--addr 127.0.0.1:7900] [--min-dur-us N] [--set-capture-us N]
-//!            [--limit N]
+//!            [--limit N] [--min-dur DUR] [--sort total|self|start] [--top N]
 //! ```
 //!
 //! Issues a `TraceDump` request (routers fan it out across the fleet and
@@ -16,22 +16,49 @@
 //! retunes the server's capture threshold for *future* spans, which is
 //! how an operator keeps sub-microsecond spans from flooding the ring
 //! before taking a dump worth reading.
+//!
+//! Triage flags operate client-side on whole traces: `--min-dur` drops
+//! traces whose end-to-end time is under a threshold (`250us`, `5ms`,
+//! `1s`; a bare number is microseconds), `--sort` orders them by
+//! `total` (end-to-end, slowest first), `self` (largest single-span
+//! self time first) or `start` (newest first — the default, unchanged),
+//! and `--top N` keeps only the first N after sorting.
 
 use staq_obs::{fmt_dur, OwnedSpan};
 use staq_serve::Client;
 use std::collections::HashMap;
 use std::time::Duration;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SortKey {
+    /// End-to-end duration, slowest first.
+    Total,
+    /// Largest single-span self time, largest first.
+    SelfTime,
+    /// Newest activity first (the historical default).
+    Start,
+}
+
 struct Args {
     addr: String,
     min_dur_us: u64,
     set_capture_us: Option<u64>,
     limit: usize,
+    min_dur_ns: u64,
+    sort: SortKey,
+    top: Option<usize>,
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { addr: "127.0.0.1:7900".into(), min_dur_us: 0, set_capture_us: None, limit: 20 };
+    let mut args = Args {
+        addr: "127.0.0.1:7900".into(),
+        min_dur_us: 0,
+        set_capture_us: None,
+        limit: 20,
+        min_dur_ns: 0,
+        sort: SortKey::Start,
+        top: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -39,11 +66,38 @@ fn parse_args() -> Args {
             "--min-dur-us" => args.min_dur_us = parse(&mut it, "--min-dur-us"),
             "--set-capture-us" => args.set_capture_us = Some(parse(&mut it, "--set-capture-us")),
             "--limit" => args.limit = parse(&mut it, "--limit"),
+            "--min-dur" => {
+                let v = need(&mut it, "--min-dur");
+                args.min_dur_ns = parse_dur_ns(&v)
+                    .unwrap_or_else(|| usage("--min-dur wants e.g. 250us, 5ms or 1s"));
+            }
+            "--sort" => {
+                args.sort = match need(&mut it, "--sort").as_str() {
+                    "total" => SortKey::Total,
+                    "self" => SortKey::SelfTime,
+                    "start" => SortKey::Start,
+                    _ => usage("--sort must be total, self or start"),
+                }
+            }
+            "--top" => args.top = Some(parse(&mut it, "--top")),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
     }
     args
+}
+
+/// `250us` / `5ms` / `1s` / `1000ns`; a bare number is microseconds,
+/// matching the CLI's other duration flags.
+fn parse_dur_ns(v: &str) -> Option<u64> {
+    let (digits, scale) = match v {
+        _ if v.ends_with("ns") => (&v[..v.len() - 2], 1),
+        _ if v.ends_with("us") => (&v[..v.len() - 2], 1_000),
+        _ if v.ends_with("ms") => (&v[..v.len() - 2], 1_000_000),
+        _ if v.ends_with('s') => (&v[..v.len() - 1], 1_000_000_000),
+        _ => (v, 1_000),
+    };
+    digits.parse::<u64>().ok().map(|n| n.saturating_mul(scale))
 }
 
 fn need(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
@@ -59,7 +113,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: staq-trace [--addr host:port] [--min-dur-us N] [--set-capture-us N] [--limit N]"
+        "usage: staq-trace [--addr host:port] [--min-dur-us N] [--set-capture-us N] [--limit N]\n\
+         \x20                 [--min-dur DUR] [--sort total|self|start] [--top N]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
@@ -83,19 +138,50 @@ fn main() {
         println!("no spans (ring empty, filtered out, or server built with obs-off)");
         return;
     }
-    print_traces(&spans, args.limit);
+    print_traces(&spans, &args);
 }
 
-/// Groups spans by trace, newest trace first, and prints each as a tree.
-fn print_traces(spans: &[OwnedSpan], limit: usize) {
+fn trace_total_ns(ss: &[&OwnedSpan]) -> u64 {
+    let start = ss.iter().map(|s| s.start_unix_ns).min().unwrap_or(0);
+    let end = ss.iter().map(|s| s.start_unix_ns + s.dur_ns).max().unwrap_or(0);
+    end.saturating_sub(start)
+}
+
+/// A trace's largest single-span self time (total minus children).
+fn trace_max_self_ns(ss: &[&OwnedSpan]) -> u64 {
+    ss.iter()
+        .map(|s| {
+            let child_ns: u64 = ss
+                .iter()
+                .filter(|c| c.parent == s.span && c.span != s.span)
+                .map(|c| c.dur_ns)
+                .sum();
+            s.dur_ns.saturating_sub(child_ns)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Groups spans by trace, orders per `--sort` (newest first by
+/// default), and prints each as a tree.
+fn print_traces(spans: &[OwnedSpan], args: &Args) {
     let mut by_trace: HashMap<u64, Vec<&OwnedSpan>> = HashMap::new();
     for s in spans {
         by_trace.entry(s.trace).or_default().push(s);
     }
     let mut traces: Vec<(u64, Vec<&OwnedSpan>)> = by_trace.into_iter().collect();
-    // Newest activity first: a dump is usually taken to look at what just
-    // happened.
-    traces.sort_by_key(|(_, ss)| std::cmp::Reverse(ss.iter().map(|s| s.start_unix_ns).max()));
+    if args.min_dur_ns > 0 {
+        traces.retain(|(_, ss)| trace_total_ns(ss) >= args.min_dur_ns);
+    }
+    match args.sort {
+        // Newest activity first: a dump is usually taken to look at what
+        // just happened.
+        SortKey::Start => traces
+            .sort_by_key(|(_, ss)| std::cmp::Reverse(ss.iter().map(|s| s.start_unix_ns).max())),
+        SortKey::Total => traces.sort_by_key(|(_, ss)| std::cmp::Reverse(trace_total_ns(ss))),
+        SortKey::SelfTime => traces.sort_by_key(|(_, ss)| std::cmp::Reverse(trace_max_self_ns(ss))),
+    }
+    let limit = args.top.unwrap_or(args.limit);
     let total = traces.len();
     for (trace, mut ss) in traces.into_iter().take(limit) {
         ss.sort_by_key(|s| (s.start_unix_ns, s.span));
@@ -123,7 +209,8 @@ fn print_traces(spans: &[OwnedSpan], limit: usize) {
         }
     }
     if total > limit {
-        println!("... {} more trace(s); raise --limit to see them", total - limit);
+        let flag = if args.top.is_some() { "--top" } else { "--limit" };
+        println!("... {} more trace(s); raise {flag} to see them", total - limit);
     }
 }
 

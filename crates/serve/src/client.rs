@@ -15,7 +15,7 @@ use staq_access::{AccessQuery, QueryAnswer};
 use staq_geom::Point;
 use staq_gtfs::time::{DayOfWeek, Stime};
 use staq_gtfs::Delta;
-use staq_obs::OwnedSpan;
+use staq_obs::{OpsReport, OwnedSpan};
 use staq_synth::{PoiCategory, PoiId};
 use staq_transit::Journey;
 use std::io::{Read, Write};
@@ -258,6 +258,15 @@ impl Client {
         }
     }
 
+    /// The server's fleet-mergeable ops report: windowed per-class rates
+    /// and quantiles, SLO burn status, retained slow traces.
+    pub fn ops_report(&mut self) -> Result<OpsReport, ClientError> {
+        match self.call(&Request::OpsReport)? {
+            Response::OpsReport(report) => Ok(report),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Server counters.
     pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
         match self.call(&Request::Stats)? {
@@ -339,5 +348,6 @@ fn unexpected(resp: Response) -> ClientError {
         Response::DeltaBatch { .. } => ClientError::Unexpected("delta_batch ack"),
         Response::WhatIf(_) => ClientError::Unexpected("what_if answers"),
         Response::Plan(_) => ClientError::Unexpected("plan journeys"),
+        Response::OpsReport(_) => ClientError::Unexpected("ops report"),
     }
 }

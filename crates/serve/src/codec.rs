@@ -14,8 +14,8 @@
 //! any accepted older version (≥ [`MIN_WIRE_VERSION`]); a peer speaking
 //! anything else gets an error frame and the connection is closed.
 //!
-//! Request kinds are `0x01..=0x0A`; response kinds mirror them with the
-//! high bit set (`0x81..=0x8A`), and `0xFF` is the error frame — so a
+//! Request kinds are `0x01..=0x0B`; response kinds mirror them with the
+//! high bit set (`0x81..=0x8B`), and `0xFF` is the error frame — so a
 //! response can never be confused for a request even if framing slips.
 //!
 //! ## Versions and trace context
@@ -51,6 +51,11 @@
 //! distinct request IDs; responses to v4 requests arrive in completion
 //! order.
 //!
+//! v4 also adds the `OpsReport` pair: the fleet-health poll answering
+//! windowed per-class rates, SLO burn status, and retained slow traces
+//! in one frame. It does not exist in older versions — v2/v3 encoders
+//! refuse it and the decoder rejects it on pre-v4 frames.
+//!
 //! ## Streaming frames (v3 only)
 //!
 //! `ApplyDelta` carries one [`Delta`] plus an explicit sequence number
@@ -74,6 +79,7 @@ use staq_gtfs::time::{DayOfWeek, Stime};
 use staq_gtfs::Delta;
 use staq_obs::SpanContext;
 use staq_obs::{trace, CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, OwnedSpan};
+use staq_obs::{BurnWindow, ClassWindow, OpsReport, SloStatus, SlowTrace};
 use staq_synth::{PoiCategory, ZoneId};
 use staq_transit::{Journey, Leg};
 
@@ -127,6 +133,9 @@ pub enum Request {
     /// transfers) frontier; `Some(k)` for the single fastest journey
     /// using at most `k` transfers.
     Plan { origin: Point, dest: Point, depart: Stime, day: DayOfWeek, max_transfers: Option<u8> },
+    /// Fleet-health poll: windowed per-class rates and quantiles, SLO
+    /// burn status, and retained slow traces, in one frame (v4 only).
+    OpsReport,
 }
 
 impl Request {
@@ -143,6 +152,7 @@ impl Request {
             Request::DeltaBatch { .. } => "delta_batch",
             Request::WhatIf { .. } => "what_if",
             Request::Plan { .. } => "plan",
+            Request::OpsReport => "ops_report",
         }
     }
 }
@@ -238,6 +248,8 @@ pub enum Response {
     /// Journeys answering a `Plan` request: the Pareto frontier sorted by
     /// transfers ascending, or a single journey under a transfer cap.
     Plan(Vec<Journey>),
+    /// The server's ops report — mergeable across a fleet.
+    OpsReport(OpsReport),
     /// Semantic failure; the connection stays usable.
     Error {
         code: ErrorCode,
@@ -314,6 +326,7 @@ const K_APPLY_DELTA: u8 = 0x07;
 const K_DELTA_BATCH: u8 = 0x08;
 const K_WHAT_IF: u8 = 0x09;
 const K_PLAN: u8 = 0x0A;
+const K_OPS_REPORT: u8 = 0x0B;
 const K_R_MEASURES: u8 = 0x81;
 const K_R_QUERY: u8 = 0x82;
 const K_R_ADD_POI: u8 = 0x83;
@@ -324,6 +337,7 @@ const K_R_APPLY_DELTA: u8 = 0x87;
 const K_R_DELTA_BATCH: u8 = 0x88;
 const K_R_WHAT_IF: u8 = 0x89;
 const K_R_PLAN: u8 = 0x8A;
+const K_R_OPS_REPORT: u8 = 0x8B;
 const K_R_ERROR: u8 = 0xFF;
 
 fn category_code(c: PoiCategory) -> u8 {
@@ -787,6 +801,119 @@ fn decode_journey(buf: &mut &[u8]) -> Result<Journey, CodecError> {
     Ok(Journey { depart, arrive, legs })
 }
 
+/// Wire form of an [`OpsReport`]: fixed header, then three `u16`-counted
+/// lists — per-class windows (sparse buckets like the stats snapshot),
+/// SLO statuses (two raw burn windows each, so the poller recomputes
+/// rates from exact integers), and retained slow traces (each a span
+/// list reusing the `TraceDump` span codec).
+fn encode_ops_report(buf: &mut BytesMut, r: &OpsReport) {
+    buf.put_u64(r.interval_ns);
+    buf.put_u32(r.windows);
+    buf.put_u64(r.generated_unix_ns);
+    buf.put_u16(r.classes.len().min(u16::MAX as usize) as u16);
+    for c in r.classes.iter().take(u16::MAX as usize) {
+        put_string(buf, &c.class);
+        buf.put_u64(c.span_ns);
+        buf.put_u64(c.count);
+        buf.put_u64(c.sum_ns);
+        buf.put_u64(c.max_ns);
+        buf.put_u64(c.shed);
+        buf.put_u16(c.buckets.len().min(u16::MAX as usize) as u16);
+        for &(idx, n) in c.buckets.iter().take(u16::MAX as usize) {
+            buf.put_u32(idx);
+            buf.put_u64(n);
+        }
+    }
+    buf.put_u16(r.slo.len().min(u16::MAX as usize) as u16);
+    for s in r.slo.iter().take(u16::MAX as usize) {
+        put_string(buf, &s.class);
+        buf.put_u32(s.objective_milli);
+        buf.put_u64(s.threshold_ns);
+        for w in [&s.fast, &s.slow] {
+            buf.put_u64(w.span_ns);
+            buf.put_u64(w.total);
+            buf.put_u64(w.bad);
+        }
+        buf.put_u64(s.shed_total);
+    }
+    buf.put_u16(r.slow.len().min(u16::MAX as usize) as u16);
+    for t in r.slow.iter().take(u16::MAX as usize) {
+        buf.put_u64(t.trace);
+        put_string(buf, &t.class);
+        buf.put_u64(t.root_dur_ns);
+        buf.put_u8(t.is_error as u8);
+        buf.put_u64(t.captured_unix_ns);
+        buf.put_u16(t.spans.len().min(u16::MAX as usize) as u16);
+        for s in t.spans.iter().take(u16::MAX as usize) {
+            encode_span(buf, s);
+        }
+    }
+}
+
+fn decode_ops_report(buf: &mut &[u8]) -> Result<OpsReport, CodecError> {
+    let interval_ns = take_u64(buf)?;
+    let windows = take_u32(buf)?;
+    let generated_unix_ns = take_u64(buf)?;
+    let n = take_u16(buf)? as usize;
+    let mut classes = Vec::with_capacity(capped(n, buf.remaining(), 44));
+    for _ in 0..n {
+        let class = take_string(buf)?;
+        let span_ns = take_u64(buf)?;
+        let count = take_u64(buf)?;
+        let sum_ns = take_u64(buf)?;
+        let max_ns = take_u64(buf)?;
+        let shed = take_u64(buf)?;
+        let nb = take_u16(buf)? as usize;
+        let mut buckets = Vec::with_capacity(capped(nb, buf.remaining(), 12));
+        for _ in 0..nb {
+            buckets.push((take_u32(buf)?, take_u64(buf)?));
+        }
+        classes.push(ClassWindow { class, span_ns, count, sum_ns, max_ns, buckets, shed });
+    }
+    let n = take_u16(buf)? as usize;
+    let mut slo = Vec::with_capacity(capped(n, buf.remaining(), 70));
+    for _ in 0..n {
+        let class = take_string(buf)?;
+        let objective_milli = take_u32(buf)?;
+        let threshold_ns = take_u64(buf)?;
+        let mut burns = [BurnWindow::default(); 2];
+        for w in burns.iter_mut() {
+            w.span_ns = take_u64(buf)?;
+            w.total = take_u64(buf)?;
+            w.bad = take_u64(buf)?;
+        }
+        let shed_total = take_u64(buf)?;
+        slo.push(SloStatus {
+            class,
+            objective_milli,
+            threshold_ns,
+            fast: burns[0],
+            slow: burns[1],
+            shed_total,
+        });
+    }
+    let n = take_u16(buf)? as usize;
+    let mut slow = Vec::with_capacity(capped(n, buf.remaining(), 37));
+    for _ in 0..n {
+        let trace = take_u64(buf)?;
+        let class = take_string(buf)?;
+        let root_dur_ns = take_u64(buf)?;
+        let is_error = match take_u8(buf)? {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError::BadPayload("bad is-error flag")),
+        };
+        let captured_unix_ns = take_u64(buf)?;
+        let ns = take_u16(buf)? as usize;
+        let mut spans = Vec::with_capacity(capped(ns, buf.remaining(), 43));
+        for _ in 0..ns {
+            spans.push(decode_span(buf)?);
+        }
+        slow.push(SlowTrace { trace, class, root_dur_ns, is_error, captured_unix_ns, spans });
+    }
+    Ok(OpsReport { interval_ns, windows, generated_unix_ns, classes, slo, slow })
+}
+
 /// Appends one encoded request frame (header included) to `buf`, at
 /// [`WIRE_VERSION`], carrying the calling thread's current span context
 /// — propagation is automatic for any client running inside a span.
@@ -808,8 +935,10 @@ pub fn encode_request_mux(
 }
 
 /// Encodes a v3 (pre-request-ID) frame — what a one-version-old client
-/// sends. Kept callable for compatibility tests.
+/// sends. Kept callable for compatibility tests. `OpsReport` does not
+/// exist before v4 and panics here.
 pub fn encode_request_v3(req: &Request, buf: &mut BytesMut) {
+    assert!(!matches!(req, Request::OpsReport), "ops_report is a v4 request; v3 cannot encode it");
     encode_request_v(req, 3, trace::current(), 0, None, buf)
 }
 
@@ -825,8 +954,9 @@ pub fn encode_request_v2(req: &Request, buf: &mut BytesMut) {
                 | Request::DeltaBatch { .. }
                 | Request::WhatIf { .. }
                 | Request::Plan { .. }
+                | Request::OpsReport
         ),
-        "{} is a v3 request; v2 cannot encode it",
+        "{} is a v3+ request; v2 cannot encode it",
         req.kind_label()
     );
     assert!(
@@ -960,6 +1090,10 @@ fn encode_request_v(
                 None => buf.put_u8(0),
             }
         }
+        Request::OpsReport => {
+            buf.put_u8(K_OPS_REPORT);
+            put_ctx(buf);
+        }
     }
     end_frame(buf, body_start);
 }
@@ -1058,6 +1192,11 @@ pub fn encode_response_to(resp: &Response, version: u8, req_id: u64, buf: &mut B
             for j in journeys.iter().take(u16::MAX as usize) {
                 encode_journey(buf, j);
             }
+        }
+        Response::OpsReport(report) => {
+            buf.put_u8(K_R_OPS_REPORT);
+            put_req_id(buf);
+            encode_ops_report(buf, report);
         }
         Response::Error { code, message } => {
             buf.put_u8(K_R_ERROR);
@@ -1217,6 +1356,12 @@ pub fn decode_request_full(buf: &mut BytesMut) -> Result<Option<DecodedRequest>,
             };
             Request::Plan { origin, dest, depart, day, max_transfers }
         }
+        K_OPS_REPORT => {
+            if version < 4 {
+                return Err(CodecError::BadPayload("ops_report requires wire v4"));
+            }
+            Request::OpsReport
+        }
         other => return Err(CodecError::BadKind(other)),
     };
     if p.remaining() != 0 {
@@ -1303,6 +1448,7 @@ pub fn decode_response_full(buf: &mut BytesMut) -> Result<Option<DecodedResponse
             }
             Response::Plan(journeys)
         }
+        K_R_OPS_REPORT => Response::OpsReport(decode_ops_report(&mut p)?),
         K_R_ERROR => {
             let code = ErrorCode::from_u8(take_u8(&mut p)?)
                 .ok_or(CodecError::BadPayload("unknown error code"))?;
@@ -1669,8 +1815,103 @@ mod tests {
         }
     }
 
+    fn sample_ops_report() -> OpsReport {
+        OpsReport {
+            interval_ns: 10_000_000_000,
+            windows: 12,
+            generated_unix_ns: 1_700_000_000_000_000_000,
+            classes: vec![
+                ClassWindow {
+                    class: "query".into(),
+                    span_ns: 10_000_000_000,
+                    count: 900,
+                    sum_ns: 45_000_000,
+                    max_ns: 2_000_000,
+                    buckets: vec![(100, 880), (150, 20)],
+                    shed: 3,
+                },
+                ClassWindow {
+                    class: "edits".into(),
+                    span_ns: 10_000_000_000,
+                    count: 0,
+                    sum_ns: 0,
+                    max_ns: 0,
+                    buckets: vec![],
+                    shed: 0,
+                },
+            ],
+            slo: vec![SloStatus {
+                class: "query".into(),
+                objective_milli: 999,
+                threshold_ns: 50_000_000,
+                fast: BurnWindow { span_ns: 300_000_000_000, total: 900, bad: 23 },
+                slow: BurnWindow { span_ns: 3_600_000_000_000, total: 12_000, bad: 23 },
+                shed_total: 3,
+            }],
+            slow: vec![SlowTrace {
+                trace: 0xFEED_F00D,
+                class: "query".into(),
+                root_dur_ns: 77_000_000,
+                is_error: true,
+                captured_unix_ns: 1_700_000_000_000_000_111,
+                spans: vec![OwnedSpan {
+                    trace: 0xFEED_F00D,
+                    span: 1,
+                    parent: 0,
+                    name: "serve.request".into(),
+                    start_unix_ns: 1_700_000_000_000_000_000,
+                    dur_ns: 77_000_000,
+                    attrs: vec![("queue_wait_ns".into(), 12)],
+                }],
+            }],
+        }
+    }
+
     #[test]
-    #[should_panic(expected = "v3 request")]
+    fn ops_report_request_roundtrips() {
+        assert_eq!(roundtrip_request(&Request::OpsReport), Request::OpsReport);
+    }
+
+    #[test]
+    fn ops_report_response_roundtrips() {
+        let resp = Response::OpsReport(sample_ops_report());
+        assert_eq!(roundtrip_response(&resp), resp);
+        let empty = Response::OpsReport(OpsReport::default());
+        assert_eq!(roundtrip_response(&empty), empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "v3+ request")]
+    fn v2_cannot_encode_ops_report() {
+        let mut buf = BytesMut::new();
+        encode_request_v2(&Request::OpsReport, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "v4 request")]
+    fn v3_cannot_encode_ops_report() {
+        let mut buf = BytesMut::new();
+        encode_request_v3(&Request::OpsReport, &mut buf);
+    }
+
+    /// A forged pre-v4 frame claiming the ops-report kind must be
+    /// rejected — the kind does not exist in those versions.
+    #[test]
+    fn pre_v4_ops_report_frame_is_rejected() {
+        let mut buf = BytesMut::new();
+        let body_start = begin_frame(&mut buf, 3);
+        buf.put_u8(K_OPS_REPORT);
+        buf.put_u64(0); // trace
+        buf.put_u64(0); // span
+        end_frame(&mut buf, body_start);
+        assert_eq!(
+            decode_request(&mut buf),
+            Err(CodecError::BadPayload("ops_report requires wire v4"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "v3+ request")]
     fn v2_cannot_encode_plan() {
         let mut buf = BytesMut::new();
         encode_request_v2(
@@ -1702,7 +1943,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "v3 request")]
+    #[should_panic(expected = "v3+ request")]
     fn v2_cannot_encode_apply_delta() {
         let mut buf = BytesMut::new();
         encode_request_v2(
@@ -1722,7 +1963,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "v3 request")]
+    #[should_panic(expected = "v3+ request")]
     fn v2_cannot_encode_what_if() {
         let mut buf = BytesMut::new();
         encode_request_v2(

@@ -19,6 +19,19 @@
 //! | POST   | `/v1/query`    | `{category, query:{kind,...}, approx?}`   |
 //! | POST   | `/v1/plan`     | `{origin:{x,y}, dest:{x,y}, depart, ...}` |
 //! | POST   | `/v1/poi`      | `{category, x, y}`                        |
+//! | GET    | `/metrics`     | — (gateway-process Prometheus exposition) |
+//! | GET    | `/v1/ops/health`  | — (fleet summary: rates, burn, budget) |
+//! | GET    | `/v1/ops/slo`     | — (per-class objectives + burn state)  |
+//! | GET    | `/v1/ops/windows` | — (last closed window, per class)      |
+//! | GET    | `/v1/ops/slow`    | `?limit=N` (retained slow traces)      |
+//!
+//! The four `/v1/ops/*` routes are views over one backend `OpsReport`
+//! poll — against a `staq-shard` router that is a fleet-merged report,
+//! against a single `staq-serve` endpoint the process-local one.
+//! `/metrics` is different: it renders the *gateway's own* registry, so
+//! a scrape never touches the backend. The gateway records a
+//! `gateway.http.request` latency histogram and `gateway.http.{2,4,5}xx`
+//! status counters, so a standalone gateway's scrape is never empty.
 //!
 //! Every backend-touching request accepts an optional `deadline_ms`
 //! (body field on POSTs, query param on GETs). When present it is
@@ -40,6 +53,9 @@ use staq_geom::Point;
 use staq_gtfs::time::{DayOfWeek, Stime};
 use staq_net::http::{serve_http, Handler, HttpHandle, HttpRequest, HttpResponse};
 use staq_net::json::Json;
+use staq_obs::{
+    AtomicHistogram, BurnWindow, ClassWindow, Counter, OpsReport, OwnedSpan, SloStatus, SlowTrace,
+};
 use staq_synth::PoiCategory;
 use staq_transit::{Journey, Leg};
 use std::net::SocketAddr;
@@ -100,7 +116,27 @@ impl GatewayState {
     }
 }
 
+// The gateway's own process registry — what a standalone gateway's
+// `/metrics` scrape shows even when the backend lives in another
+// process (backend metrics are reached via `/v1/ops/*` instead).
+static H_HTTP: AtomicHistogram = AtomicHistogram::new("gateway.http.request");
+static C_HTTP_2XX: Counter = Counter::new("gateway.http.2xx");
+static C_HTTP_4XX: Counter = Counter::new("gateway.http.4xx");
+static C_HTTP_5XX: Counter = Counter::new("gateway.http.5xx");
+
 fn route(state: &GatewayState, req: &HttpRequest) -> HttpResponse {
+    let start = std::time::Instant::now();
+    let resp = dispatch(state, req);
+    H_HTTP.record(start.elapsed());
+    match resp.status {
+        200..=299 => C_HTTP_2XX.inc(),
+        400..=499 => C_HTTP_4XX.inc(),
+        _ => C_HTTP_5XX.inc(),
+    }
+    resp
+}
+
+fn dispatch(state: &GatewayState, req: &HttpRequest) -> HttpResponse {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             HttpResponse::json(200, Json::obj(vec![("ok", Json::Bool(true))]).to_string())
@@ -110,9 +146,18 @@ fn route(state: &GatewayState, req: &HttpRequest) -> HttpResponse {
         ("POST", "/v1/query") => query(state, req),
         ("POST", "/v1/plan") => plan(state, req),
         ("POST", "/v1/poi") => add_poi(state, req),
-        (_, "/healthz" | "/v1/stats" | "/v1/measures" | "/v1/query" | "/v1/plan" | "/v1/poi") => {
-            error_response(405, "method not allowed on this route")
+        ("GET", "/metrics") => {
+            HttpResponse::text(200, &staq_obs::prom::render(&staq_obs::snapshot()))
         }
+        ("GET", "/v1/ops/health") => ops_health(state, req),
+        ("GET", "/v1/ops/slo") => ops_slo(state, req),
+        ("GET", "/v1/ops/windows") => ops_windows(state, req),
+        ("GET", "/v1/ops/slow") => ops_slow(state, req),
+        (
+            _,
+            "/healthz" | "/v1/stats" | "/v1/measures" | "/v1/query" | "/v1/plan" | "/v1/poi"
+            | "/metrics" | "/v1/ops/health" | "/v1/ops/slo" | "/v1/ops/windows" | "/v1/ops/slow",
+        ) => error_response(405, "method not allowed on this route"),
         _ => error_response(404, "no such route"),
     }
 }
@@ -216,6 +261,152 @@ fn add_poi(state: &GatewayState, req: &HttpRequest) -> HttpResponse {
         Response::AddPoi { poi_id } => Some(Json::obj(vec![("poi_id", Json::Num(poi_id as f64))])),
         _ => None,
     })
+}
+
+// ------------------------------------------------------------ ops routes
+
+/// All `/v1/ops/*` routes poll the backend once and shape a view of the
+/// same [`OpsReport`]; they share deadline handling and error mapping.
+fn ops_call(
+    state: &GatewayState,
+    req: &HttpRequest,
+    render: impl Fn(&OpsReport) -> Json,
+) -> HttpResponse {
+    let deadline = match query_deadline(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    forward(state, &Request::OpsReport, deadline, |resp| match resp {
+        Response::OpsReport(report) => Some(render(&report)),
+        _ => None,
+    })
+}
+
+fn ops_health(state: &GatewayState, req: &HttpRequest) -> HttpResponse {
+    ops_call(state, req, |r| {
+        // "ok" means no class is burning its fast-window budget faster
+        // than the sustainable pace — the page-someone threshold.
+        let ok = r.slo.iter().all(|s| s.burn_fast() < 1.0);
+        let classes = r
+            .classes
+            .iter()
+            .map(|c| {
+                let slo = r.slo_for(&c.class);
+                Json::obj(vec![
+                    ("class", Json::str(&c.class)),
+                    ("rps", Json::Num(c.rps())),
+                    ("p99_ms", Json::Num(ns_to_ms(c.quantile_ns(99.0)))),
+                    ("shed", Json::Num(c.shed as f64)),
+                    ("burn_fast", Json::Num(slo.map_or(0.0, SloStatus::burn_fast))),
+                    ("budget_remaining", Json::Num(slo.map_or(1.0, SloStatus::budget_remaining))),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("ok", Json::Bool(ok)),
+            ("generated_unix_ms", Json::Num(ns_to_ms(r.generated_unix_ns))),
+            ("interval_ms", Json::Num(ns_to_ms(r.interval_ns))),
+            ("windows", Json::Num(r.windows as f64)),
+            ("classes", Json::Arr(classes)),
+        ])
+    })
+}
+
+fn ops_slo(state: &GatewayState, req: &HttpRequest) -> HttpResponse {
+    ops_call(state, req, |r| {
+        Json::obj(vec![("classes", Json::Arr(r.slo.iter().map(slo_json).collect()))])
+    })
+}
+
+fn ops_windows(state: &GatewayState, req: &HttpRequest) -> HttpResponse {
+    ops_call(state, req, |r| {
+        Json::obj(vec![
+            ("interval_ms", Json::Num(ns_to_ms(r.interval_ns))),
+            ("windows", Json::Num(r.windows as f64)),
+            ("classes", Json::Arr(r.classes.iter().map(window_json).collect())),
+        ])
+    })
+}
+
+fn ops_slow(state: &GatewayState, req: &HttpRequest) -> HttpResponse {
+    let limit = match req.param("limit") {
+        None => staq_obs::slow::SLOW_KEEP,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return error_response(400, "limit must be an integer"),
+        },
+    };
+    ops_call(state, req, move |r| {
+        Json::obj(vec![(
+            "traces",
+            Json::Arr(r.slow.iter().take(limit).map(slow_trace_json).collect()),
+        )])
+    })
+}
+
+fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn slo_json(s: &SloStatus) -> Json {
+    Json::obj(vec![
+        ("class", Json::str(&s.class)),
+        ("objective_milli", Json::Num(s.objective_milli as f64)),
+        ("threshold_ms", Json::Num(ns_to_ms(s.threshold_ns))),
+        ("fast", burn_json(&s.fast, s.burn_fast())),
+        ("slow", burn_json(&s.slow, s.burn_slow())),
+        ("budget_remaining", Json::Num(s.budget_remaining())),
+        ("shed_total", Json::Num(s.shed_total as f64)),
+    ])
+}
+
+fn burn_json(w: &BurnWindow, burn: f64) -> Json {
+    Json::obj(vec![
+        ("span_ms", Json::Num(ns_to_ms(w.span_ns))),
+        ("total", Json::Num(w.total as f64)),
+        ("bad", Json::Num(w.bad as f64)),
+        ("burn", Json::Num(burn)),
+    ])
+}
+
+fn window_json(c: &ClassWindow) -> Json {
+    Json::obj(vec![
+        ("class", Json::str(&c.class)),
+        ("span_ms", Json::Num(ns_to_ms(c.span_ns))),
+        ("count", Json::Num(c.count as f64)),
+        ("rps", Json::Num(c.rps())),
+        ("p50_ms", Json::Num(ns_to_ms(c.quantile_ns(50.0)))),
+        ("p90_ms", Json::Num(ns_to_ms(c.quantile_ns(90.0)))),
+        ("p99_ms", Json::Num(ns_to_ms(c.quantile_ns(99.0)))),
+        ("max_ms", Json::Num(ns_to_ms(c.max_ns))),
+        ("shed", Json::Num(c.shed as f64)),
+    ])
+}
+
+fn slow_trace_json(t: &SlowTrace) -> Json {
+    Json::obj(vec![
+        ("trace", Json::str(format!("{:016x}", t.trace))),
+        ("class", Json::str(&t.class)),
+        ("root_dur_ms", Json::Num(ns_to_ms(t.root_dur_ns))),
+        ("is_error", Json::Bool(t.is_error)),
+        ("captured_unix_ms", Json::Num(ns_to_ms(t.captured_unix_ns))),
+        ("spans", Json::Arr(t.spans.iter().map(span_json).collect())),
+    ])
+}
+
+fn span_json(s: &OwnedSpan) -> Json {
+    let parent = if s.parent == 0 { Json::Null } else { Json::str(format!("{:016x}", s.parent)) };
+    Json::obj(vec![
+        ("span", Json::str(format!("{:016x}", s.span))),
+        ("parent", parent),
+        ("name", Json::str(&s.name)),
+        ("start_unix_ms", Json::Num(ns_to_ms(s.start_unix_ns))),
+        ("dur_ms", Json::Num(ns_to_ms(s.dur_ns))),
+        (
+            "attrs",
+            Json::obj(s.attrs.iter().map(|(k, v)| (k.as_str(), Json::Num(*v as f64))).collect()),
+        ),
+    ])
 }
 
 // ------------------------------------------------------- request parsing
@@ -533,6 +724,42 @@ mod tests {
         assert_eq!(error_code_status(ErrorCode::Unavailable), 503);
         assert_eq!(error_code_status(ErrorCode::SeqGap), 409);
         assert_eq!(error_code_status(ErrorCode::Overloaded), 429);
+    }
+
+    #[test]
+    fn slow_traces_render_with_hex_ids() {
+        let t = SlowTrace {
+            trace: 0xFEED_F00D,
+            class: "query".into(),
+            root_dur_ns: 2_500_000,
+            is_error: true,
+            captured_unix_ns: 4_000_000,
+            spans: vec![OwnedSpan {
+                trace: 0xFEED_F00D,
+                span: 0xAB,
+                parent: 0,
+                name: "serve.request.query".into(),
+                start_unix_ns: 1_000_000,
+                dur_ns: 2_000_000,
+                attrs: vec![("shard".into(), 3)],
+            }],
+        };
+        assert_eq!(
+            slow_trace_json(&t).to_string(),
+            r#"{"trace":"00000000feedf00d","class":"query","root_dur_ms":2.5,"is_error":true,"#
+                .to_string()
+                + r#""captured_unix_ms":4,"spans":[{"span":"00000000000000ab","parent":null,"#
+                + r#""name":"serve.request.query","start_unix_ms":1,"dur_ms":2,"attrs":{"shard":3}}]}"#
+        );
+    }
+
+    #[test]
+    fn burn_windows_render_span_and_rate() {
+        let w = BurnWindow { span_ns: 5_000_000_000, total: 100, bad: 2 };
+        assert_eq!(
+            burn_json(&w, 2.0).to_string(),
+            r#"{"span_ms":5000,"total":100,"bad":2,"burn":2}"#
+        );
     }
 
     #[test]

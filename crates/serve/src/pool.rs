@@ -16,7 +16,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use staq_core::AccessEngine;
 use staq_gtfs::Delta;
 use staq_net::admission::{Admission, AdmissionConfig, ShedReason};
-use staq_obs::{trace, AtomicHistogram, Counter, SpanContext};
+use staq_obs::{slo, slow, trace, AtomicHistogram, Counter, SloClass, SpanContext};
 use staq_rt::{RtEngine, RtError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -38,6 +38,7 @@ static H_APPLY_DELTA: AtomicHistogram = AtomicHistogram::new("serve.request.appl
 static H_DELTA_BATCH: AtomicHistogram = AtomicHistogram::new("serve.request.delta_batch");
 static H_WHAT_IF: AtomicHistogram = AtomicHistogram::new("serve.request.what_if");
 static H_PLAN: AtomicHistogram = AtomicHistogram::new("serve.request.plan");
+static H_OPS_REPORT: AtomicHistogram = AtomicHistogram::new("serve.request.ops_report");
 
 /// The latency histogram for one request kind; names follow
 /// [`Request::kind_label`] under the `serve.request.` prefix.
@@ -53,6 +54,26 @@ fn kind_histogram(request: &Request) -> &'static AtomicHistogram {
         Request::DeltaBatch { .. } => &H_DELTA_BATCH,
         Request::WhatIf { .. } => &H_WHAT_IF,
         Request::Plan { .. } => &H_PLAN,
+        Request::OpsReport => &H_OPS_REPORT,
+    }
+}
+
+/// The SLO class a request's latency and sheds are attributed to.
+/// Introspection kinds (`Stats`, `TraceDump`, `OpsReport`) and the
+/// scenario sandbox (`WhatIf`) carry no objective and return `None`.
+pub fn slo_class(request: &Request) -> Option<SloClass> {
+    match request {
+        Request::Query { .. } => Some(SloClass::Query),
+        Request::Plan { .. } => Some(SloClass::Plan),
+        Request::Measures { .. } => Some(SloClass::Measures),
+        Request::AddPoi { .. }
+        | Request::AddBusRoute { .. }
+        | Request::ApplyDelta { .. }
+        | Request::DeltaBatch { .. } => Some(SloClass::Edits),
+        Request::Stats
+        | Request::TraceDump { .. }
+        | Request::WhatIf { .. }
+        | Request::OpsReport => None,
     }
 }
 
@@ -238,6 +259,9 @@ fn worker_loop(
         // so executing it would only burn a worker on a dead answer.
         if job.deadline.is_some_and(|d| Instant::now() > d) {
             ShedReason::Expired.count();
+            if let Some(class) = slo_class(&job.request) {
+                slo::shed(class);
+            }
             drop(span);
             job.reply.send(Response::Error {
                 code: ErrorCode::Overloaded,
@@ -249,7 +273,21 @@ fn worker_loop(
         let response = execute(&rt, &stats, pool_size, &job.request);
         admission.observe_exec(t0.elapsed());
         stats.requests_served.fetch_add(1, Ordering::Relaxed);
+        // The worker is the one place the request's class, outcome and
+        // full duration coexist with a ring that still holds its spans:
+        // drop the root span so it lands in the ring, then decide
+        // whether the completed trace earns slow-capture retention.
+        let trace_id = trace::current().trace;
         drop(span);
+        if let Some(class) = slo_class(&job.request) {
+            let is_error = matches!(response, Response::Error { .. });
+            slow::maybe_promote(
+                class,
+                trace_id,
+                job.enqueued.elapsed().as_nanos() as u64,
+                is_error,
+            );
+        }
         job.reply.send(response);
     }
 }
@@ -378,6 +416,12 @@ fn execute_inner(
                 };
             }
             Response::Plan(engine.plan(*origin, *dest, *depart, *day, *max_transfers))
+        }
+        Request::OpsReport => {
+            // Ticks the window ring lazily (the poll cadence defines the
+            // window width) and assembles this process's fleet-mergeable
+            // health view.
+            Response::OpsReport(staq_obs::ops::report(staq_obs::slow::SLOW_KEEP))
         }
     }
 }

@@ -25,7 +25,7 @@
 //! as the benchmark baseline the reactor is measured against.
 
 use crate::codec::{self, CodecError, ErrorCode, Request, Response, MAX_FRAME_LEN};
-use crate::pool::{Job, Reply, WorkerPool};
+use crate::pool::{self, Job, Reply, WorkerPool};
 use bytes::BytesMut;
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -265,6 +265,9 @@ impl ConnHandler for ServeHandler {
                     let queue_len = self.jobs.lock().as_ref().map_or(0, |tx| tx.len());
                     if let Err(reason) = self.admission.admit(queue_len, remaining) {
                         reason.count();
+                        if let Some(class) = pool::slo_class(&decoded.request) {
+                            staq_obs::slo::shed(class);
+                        }
                         Self::emit_error(
                             &ordered,
                             version,
@@ -299,6 +302,9 @@ impl ConnHandler for ServeHandler {
                         Ok(()) => ADMITTED.inc(),
                         Err(TrySendError::Full(job)) => {
                             ShedReason::QueueFull.count();
+                            if let Some(class) = pool::slo_class(&job.request) {
+                                staq_obs::slo::shed(class);
+                            }
                             job.reply.send(Response::Error {
                                 code: ErrorCode::Overloaded,
                                 message: ShedReason::QueueFull.message().into(),

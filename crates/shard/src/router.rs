@@ -37,8 +37,9 @@ use staq_gtfs::Delta;
 use staq_net::admission::{Admission, AdmissionConfig, ShedReason, ADMITTED};
 use staq_net::reactor::{self, ConnHandler, ConnId, ReactorConfig, ReactorHandle, ReplySink};
 use staq_net::{Backend, OrderedOut};
-use staq_obs::{trace, MetricsSnapshot, OwnedSpan, SpanContext};
+use staq_obs::{slo, trace, MetricsSnapshot, OpsReport, OwnedSpan, SpanContext};
 use staq_serve::codec::{self, ErrorCode, Request, Response, StatsReply, MAX_FRAME_LEN};
+use staq_serve::pool::slo_class;
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
@@ -197,6 +198,9 @@ fn worker_loop(rx: Receiver<RouterJob>, sup: &ShardSupervisor, admission: &Admis
         drop(trace::span_at("shard.queue_wait", job.enqueued));
         if job.deadline.is_some_and(|d| Instant::now() > d) {
             ShedReason::Expired.count();
+            if let Some(class) = slo_class(&job.request) {
+                slo::shed(class);
+            }
             drop(span);
             (job.reply)(Response::Error {
                 code: ErrorCode::Overloaded,
@@ -265,6 +269,9 @@ impl ConnHandler for RouterHandler {
                     let queue_len = self.jobs.lock().as_ref().map_or(0, |tx| tx.len());
                     if let Err(reason) = self.admission.admit(queue_len, remaining) {
                         reason.count();
+                        if let Some(class) = slo_class(&decoded.request) {
+                            slo::shed(class);
+                        }
                         Self::emit_error(
                             &ordered,
                             version,
@@ -299,6 +306,9 @@ impl ConnHandler for RouterHandler {
                         Ok(()) => ADMITTED.inc(),
                         Err(TrySendError::Full(job)) => {
                             ShedReason::QueueFull.count();
+                            if let Some(class) = slo_class(&job.request) {
+                                slo::shed(class);
+                            }
                             (job.reply)(Response::Error {
                                 code: ErrorCode::Overloaded,
                                 message: ShedReason::QueueFull.message().into(),
@@ -365,6 +375,7 @@ pub fn dispatch(sup: &ShardSupervisor, request: Request) -> Response {
         },
         Request::DeltaBatch { first_seq, deltas } => sup.broadcast_batch(*first_seq, deltas),
         Request::Stats => gather_stats(sup),
+        Request::OpsReport => gather_ops(sup),
         Request::TraceDump { min_dur_ns, set_capture_ns } => {
             gather_traces(sup, *min_dur_ns, *set_capture_ns)
         }
@@ -415,6 +426,40 @@ fn gather_stats(sup: &ShardSupervisor) -> Response {
         };
     }
     Response::Stats(merge_stats(stats, sup.any_in_process()))
+}
+
+/// Scatter-gathers `OpsReport` from every live shard and folds the
+/// replies (class windows and burn counts sum, slow traces re-rank) into
+/// one fleet view that includes the router's own report. With in-process
+/// backends the fleet shares one registry and trace ring, so the local
+/// report already covers everyone — merging N copies would multiply
+/// every rate by the fleet size, exactly like `Stats`.
+fn gather_ops(sup: &ShardSupervisor) -> Response {
+    if sup.any_in_process() {
+        return Response::OpsReport(staq_obs::ops::report(staq_obs::slow::SLOW_KEEP));
+    }
+    let n = sup.n_shards();
+    let ctx = trace::current();
+    let replies: Vec<Response> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                scope.spawn(move |_| {
+                    let _ctx = trace::attach(ctx);
+                    sup.call(i, &Request::OpsReport)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("ops report thread panicked")).collect()
+    })
+    .expect("ops report scope");
+
+    let mut merged: OpsReport = staq_obs::ops::report(staq_obs::slow::SLOW_KEEP);
+    for r in replies {
+        if let Response::OpsReport(report) = r {
+            merged.merge(&report);
+        }
+    }
+    Response::OpsReport(merged)
 }
 
 /// Scatter-gathers `TraceDump` from every shard and concatenates the
